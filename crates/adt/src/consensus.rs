@@ -1,0 +1,181 @@
+//! The consensus ADT (paper Figure 1 and Example 1).
+//!
+//! `I_Cons = {p(v)}`, `O_Cons = {d(v)}`, and
+//! `f_Cons([p(v1), p(v2), …, p(vn)]) = d(v1)`: in a sequential execution the
+//! first proposed value is decided by every subsequent operation.
+
+use crate::Adt;
+use std::fmt;
+
+/// A proposal value. The paper assumes proposals differ from `⊥`; we encode
+/// `⊥` by absence (`Option<Value>`) rather than a sentinel.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(u64);
+
+impl Value {
+    /// Creates a proposal value.
+    pub fn new(v: u64) -> Self {
+        Value(v)
+    }
+
+    /// The numeric value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value(v)
+    }
+}
+
+/// A consensus input `p(v)` ("propose v").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConsInput {
+    value: Value,
+}
+
+impl ConsInput {
+    /// The proposal `p(v)`.
+    pub fn propose(v: impl Into<Value>) -> Self {
+        ConsInput { value: v.into() }
+    }
+
+    /// The proposed value.
+    pub fn value(&self) -> Value {
+        self.value
+    }
+}
+
+impl fmt::Debug for ConsInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p({})", self.value)
+    }
+}
+
+/// A consensus output `d(v)` ("decide v").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConsOutput {
+    value: Value,
+}
+
+impl ConsOutput {
+    /// The decision `d(v)`.
+    pub fn decide(v: impl Into<Value>) -> Self {
+        ConsOutput { value: v.into() }
+    }
+
+    /// The decided value.
+    pub fn value(&self) -> Value {
+        self.value
+    }
+}
+
+impl fmt::Debug for ConsOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d({})", self.value)
+    }
+}
+
+/// The consensus abstract data type of Figure 1: a write-once shared value.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Adt, Consensus, ConsInput, ConsOutput};
+/// let cons = Consensus::new();
+/// let h = [ConsInput::propose(9), ConsInput::propose(1)];
+/// assert_eq!(cons.output(&h), Some(ConsOutput::decide(9)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Consensus;
+
+impl Consensus {
+    /// Creates the consensus ADT.
+    pub fn new() -> Self {
+        Consensus
+    }
+}
+
+impl Adt for Consensus {
+    type Input = ConsInput;
+    type Output = ConsOutput;
+    /// `Some(v)` once a value has been written, `None` (`⊥`) initially.
+    type State = Option<Value>;
+
+    fn initial(&self) -> Self::State {
+        None
+    }
+
+    fn apply(&self, state: &Self::State, input: &Self::Input) -> (Self::State, Self::Output) {
+        match state {
+            // V = ⊥: adopt the proposal and return it.
+            None => (
+                Some(input.value()),
+                ConsOutput {
+                    value: input.value(),
+                },
+            ),
+            // V ≠ ⊥: the first proposal wins.
+            Some(v) => (Some(*v), ConsOutput { value: *v }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_proposal_decides() {
+        let cons = Consensus::new();
+        let h: Vec<ConsInput> = [3u64, 1, 4, 1, 5].iter().map(|&v| ConsInput::propose(v)).collect();
+        assert_eq!(cons.output(&h), Some(ConsOutput::decide(3)));
+    }
+
+    #[test]
+    fn singleton_history_returns_own_value() {
+        let cons = Consensus::new();
+        assert_eq!(
+            cons.output(&[ConsInput::propose(42)]),
+            Some(ConsOutput::decide(42))
+        );
+    }
+
+    #[test]
+    fn state_is_write_once() {
+        let cons = Consensus::new();
+        let s0 = cons.initial();
+        let (s1, _) = cons.apply(&s0, &ConsInput::propose(1));
+        let (s2, out) = cons.apply(&s1, &ConsInput::propose(2));
+        assert_eq!(s1, s2);
+        assert_eq!(out, ConsOutput::decide(1));
+    }
+
+    #[test]
+    fn repeated_proposals_are_idempotent_on_state() {
+        let cons = Consensus::new();
+        let a = cons.run(&[ConsInput::propose(7), ConsInput::propose(7)]);
+        let b = cons.run(&[ConsInput::propose(7)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn debug_rendering() {
+        assert_eq!(format!("{:?}", ConsInput::propose(5)), "p(5)");
+        assert_eq!(format!("{:?}", ConsOutput::decide(5)), "d(5)");
+    }
+}

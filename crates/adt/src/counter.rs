@@ -1,0 +1,111 @@
+//! A counter ADT (increment / read).
+//!
+//! Unlike consensus, every input changes observable state, which makes the
+//! counter a good stress test for the linearization-search checkers: the
+//! order of increments between two reads matters.
+
+use crate::Adt;
+use std::fmt;
+
+/// A counter input.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CounterInput {
+    /// Add one to the counter.
+    Increment,
+    /// Read the current count.
+    Read,
+}
+
+impl fmt::Debug for CounterInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterInput::Increment => write!(f, "inc"),
+            CounterInput::Read => write!(f, "get"),
+        }
+    }
+}
+
+/// A counter output.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CounterOutput {
+    /// Acknowledgement of an increment.
+    Ack,
+    /// The count observed by a read.
+    Count(u64),
+}
+
+impl fmt::Debug for CounterOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterOutput::Ack => write!(f, "ok"),
+            CounterOutput::Count(n) => write!(f, "={n}"),
+        }
+    }
+}
+
+/// A monotone counter, initially zero.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Adt, Counter, CounterInput, CounterOutput};
+/// let c = Counter::new();
+/// let h = [CounterInput::Increment, CounterInput::Increment, CounterInput::Read];
+/// assert_eq!(c.output(&h), Some(CounterOutput::Count(2)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Creates the counter ADT.
+    pub fn new() -> Self {
+        Counter
+    }
+}
+
+impl Adt for Counter {
+    type Input = CounterInput;
+    type Output = CounterOutput;
+    type State = u64;
+
+    fn initial(&self) -> Self::State {
+        0
+    }
+
+    fn apply(&self, state: &Self::State, input: &Self::Input) -> (Self::State, Self::Output) {
+        match input {
+            CounterInput::Increment => (state + 1, CounterOutput::Ack),
+            CounterInput::Read => (*state, CounterOutput::Count(*state)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = Counter::new();
+        assert_eq!(c.output(&[CounterInput::Read]), Some(CounterOutput::Count(0)));
+    }
+
+    #[test]
+    fn increments_accumulate() {
+        let c = Counter::new();
+        let h = vec![CounterInput::Increment; 5];
+        assert_eq!(c.run(&h), 5);
+    }
+
+    #[test]
+    fn reads_interleaved_with_increments() {
+        let c = Counter::new();
+        let h = [
+            CounterInput::Increment,
+            CounterInput::Read,
+            CounterInput::Increment,
+            CounterInput::Read,
+        ];
+        assert_eq!(c.output(&h), Some(CounterOutput::Count(2)));
+    }
+}

@@ -1,0 +1,129 @@
+//! A key–value store ADT.
+//!
+//! Models the replicated data services the paper motivates (Chubby, Gaios):
+//! a dictionary whose operations are replicated through consensus in the
+//! `replicated_kv` example.
+
+use crate::Adt;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A key–value store input.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KvInput {
+    /// Bind `key` to `value`.
+    Put(u32, u64),
+    /// Look up `key`.
+    Get(u32),
+    /// Remove `key`.
+    Delete(u32),
+}
+
+impl fmt::Debug for KvInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvInput::Put(k, v) => write!(f, "put({k},{v})"),
+            KvInput::Get(k) => write!(f, "get({k})"),
+            KvInput::Delete(k) => write!(f, "del({k})"),
+        }
+    }
+}
+
+/// A key–value store output.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KvOutput {
+    /// Acknowledgement of a put or delete.
+    Ack,
+    /// The value bound to the requested key, if any.
+    Found(Option<u64>),
+}
+
+impl fmt::Debug for KvOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvOutput::Ack => write!(f, "ok"),
+            KvOutput::Found(Some(v)) => write!(f, "={v}"),
+            KvOutput::Found(None) => write!(f, "=∅"),
+        }
+    }
+}
+
+/// A key–value store, initially empty.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Adt, KvStore, KvInput, KvOutput};
+/// let kv = KvStore::new();
+/// let h = [KvInput::Put(1, 10), KvInput::Get(1)];
+/// assert_eq!(kv.output(&h), Some(KvOutput::Found(Some(10))));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct KvStore;
+
+impl KvStore {
+    /// Creates the key–value store ADT.
+    pub fn new() -> Self {
+        KvStore
+    }
+}
+
+impl Adt for KvStore {
+    type Input = KvInput;
+    type Output = KvOutput;
+    type State = BTreeMap<u32, u64>;
+
+    fn initial(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn apply(&self, state: &Self::State, input: &Self::Input) -> (Self::State, Self::Output) {
+        let mut next = state.clone();
+        match input {
+            KvInput::Put(k, v) => {
+                next.insert(*k, *v);
+                (next, KvOutput::Ack)
+            }
+            KvInput::Get(k) => {
+                let found = next.get(k).copied();
+                (next, KvOutput::Found(found))
+            }
+            KvInput::Delete(k) => {
+                next.remove(k);
+                (next, KvOutput::Ack)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_missing_key() {
+        let kv = KvStore::new();
+        assert_eq!(kv.output(&[KvInput::Get(7)]), Some(KvOutput::Found(None)));
+    }
+
+    #[test]
+    fn put_then_delete_then_get() {
+        let kv = KvStore::new();
+        let h = [KvInput::Put(1, 5), KvInput::Delete(1), KvInput::Get(1)];
+        assert_eq!(kv.output(&h), Some(KvOutput::Found(None)));
+    }
+
+    #[test]
+    fn puts_overwrite() {
+        let kv = KvStore::new();
+        let h = [KvInput::Put(1, 5), KvInput::Put(1, 6), KvInput::Get(1)];
+        assert_eq!(kv.output(&h), Some(KvOutput::Found(Some(6))));
+    }
+
+    #[test]
+    fn independent_keys() {
+        let kv = KvStore::new();
+        let h = [KvInput::Put(1, 5), KvInput::Put(2, 6), KvInput::Get(1)];
+        assert_eq!(kv.output(&h), Some(KvOutput::Found(Some(5))));
+    }
+}

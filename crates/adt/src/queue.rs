@@ -1,0 +1,128 @@
+//! A FIFO queue ADT.
+//!
+//! The queue is the classic example of Herlihy & Wing's linearizability paper
+//! (cited as \[12\]); its non-commutative operations exercise the checkers on
+//! histories where ordering constraints propagate.
+
+use crate::Adt;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A queue input.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueueInput {
+    /// Append an element at the tail.
+    Enqueue(u64),
+    /// Remove the element at the head.
+    Dequeue,
+}
+
+impl fmt::Debug for QueueInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueInput::Enqueue(v) => write!(f, "enq({v})"),
+            QueueInput::Dequeue => write!(f, "deq"),
+        }
+    }
+}
+
+/// A queue output.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueueOutput {
+    /// Acknowledgement of an enqueue.
+    Ack,
+    /// The dequeued element, or `None` when the queue was empty.
+    Dequeued(Option<u64>),
+}
+
+impl fmt::Debug for QueueOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueOutput::Ack => write!(f, "ok"),
+            QueueOutput::Dequeued(Some(v)) => write!(f, "={v}"),
+            QueueOutput::Dequeued(None) => write!(f, "=∅"),
+        }
+    }
+}
+
+/// A FIFO queue, initially empty. `Dequeue` on an empty queue returns
+/// `Dequeued(None)` (a total version of the partial dequeue).
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Adt, Queue, QueueInput, QueueOutput};
+/// let q = Queue::new();
+/// let h = [QueueInput::Enqueue(1), QueueInput::Enqueue(2), QueueInput::Dequeue];
+/// assert_eq!(q.output(&h), Some(QueueOutput::Dequeued(Some(1))));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Queue;
+
+impl Queue {
+    /// Creates the queue ADT.
+    pub fn new() -> Self {
+        Queue
+    }
+}
+
+impl Adt for Queue {
+    type Input = QueueInput;
+    type Output = QueueOutput;
+    type State = VecDeque<u64>;
+
+    fn initial(&self) -> Self::State {
+        VecDeque::new()
+    }
+
+    fn apply(&self, state: &Self::State, input: &Self::Input) -> (Self::State, Self::Output) {
+        let mut next = state.clone();
+        match input {
+            QueueInput::Enqueue(v) => {
+                next.push_back(*v);
+                (next, QueueOutput::Ack)
+            }
+            QueueInput::Dequeue => {
+                let head = next.pop_front();
+                (next, QueueOutput::Dequeued(head))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = Queue::new();
+        let h = [
+            QueueInput::Enqueue(1),
+            QueueInput::Enqueue(2),
+            QueueInput::Dequeue,
+            QueueInput::Dequeue,
+        ];
+        assert_eq!(q.output(&h), Some(QueueOutput::Dequeued(Some(2))));
+    }
+
+    #[test]
+    fn dequeue_on_empty_returns_none() {
+        let q = Queue::new();
+        assert_eq!(
+            q.output(&[QueueInput::Dequeue]),
+            Some(QueueOutput::Dequeued(None))
+        );
+    }
+
+    #[test]
+    fn state_tracks_remaining_elements() {
+        let q = Queue::new();
+        let s = q.run(&[
+            QueueInput::Enqueue(1),
+            QueueInput::Enqueue(2),
+            QueueInput::Dequeue,
+        ]);
+        assert_eq!(s, VecDeque::from([2]));
+    }
+}

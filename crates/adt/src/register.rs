@@ -1,0 +1,114 @@
+//! A read/write register ADT.
+//!
+//! Linearizability was originally stated for registers (Lamport's atomic
+//! registers, cited as \[17, 18\] in the paper); the register ADT exercises
+//! checkers on an object whose state is overwritten rather than write-once.
+
+use crate::Adt;
+use std::fmt;
+
+/// A register input: write a value or read the current one.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegInput {
+    /// Overwrite the register contents.
+    Write(u64),
+    /// Read the register contents.
+    Read,
+}
+
+impl fmt::Debug for RegInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegInput::Write(v) => write!(f, "wr({v})"),
+            RegInput::Read => write!(f, "rd"),
+        }
+    }
+}
+
+/// A register output.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegOutput {
+    /// Acknowledgement of a write.
+    Ack,
+    /// The value observed by a read (`None` if never written).
+    Value(Option<u64>),
+}
+
+impl fmt::Debug for RegOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegOutput::Ack => write!(f, "ok"),
+            RegOutput::Value(Some(v)) => write!(f, "={v}"),
+            RegOutput::Value(None) => write!(f, "=⊥"),
+        }
+    }
+}
+
+/// A single read/write register, initially unwritten.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Adt, Register, RegInput, RegOutput};
+/// let r = Register::new();
+/// let h = [RegInput::Write(3), RegInput::Read];
+/// assert_eq!(r.output(&h), Some(RegOutput::Value(Some(3))));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Register;
+
+impl Register {
+    /// Creates the register ADT.
+    pub fn new() -> Self {
+        Register
+    }
+}
+
+impl Adt for Register {
+    type Input = RegInput;
+    type Output = RegOutput;
+    type State = Option<u64>;
+
+    fn initial(&self) -> Self::State {
+        None
+    }
+
+    fn apply(&self, state: &Self::State, input: &Self::Input) -> (Self::State, Self::Output) {
+        match input {
+            RegInput::Write(v) => (Some(*v), RegOutput::Ack),
+            RegInput::Read => (*state, RegOutput::Value(*state)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_before_write_sees_bottom() {
+        let r = Register::new();
+        assert_eq!(r.output(&[RegInput::Read]), Some(RegOutput::Value(None)));
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let r = Register::new();
+        let h = [RegInput::Write(1), RegInput::Write(2), RegInput::Read];
+        assert_eq!(r.output(&h), Some(RegOutput::Value(Some(2))));
+    }
+
+    #[test]
+    fn writes_ack() {
+        let r = Register::new();
+        assert_eq!(r.output(&[RegInput::Write(9)]), Some(RegOutput::Ack));
+    }
+
+    #[test]
+    fn reads_do_not_change_state() {
+        let r = Register::new();
+        let a = r.run(&[RegInput::Write(5), RegInput::Read, RegInput::Read]);
+        let b = r.run(&[RegInput::Write(5)]);
+        assert_eq!(a, b);
+    }
+}

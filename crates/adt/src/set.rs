@@ -1,0 +1,122 @@
+//! A set ADT (add / remove / contains).
+//!
+//! Adds an object with *commuting* operations on distinct elements: many
+//! interleavings linearize identically, exercising the checkers' memoisation
+//! (states collide heavily).
+
+use crate::Adt;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set input.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SetInput {
+    /// Insert an element; reports whether it was new.
+    Add(u64),
+    /// Remove an element; reports whether it was present.
+    Remove(u64),
+    /// Membership test.
+    Contains(u64),
+}
+
+impl fmt::Debug for SetInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetInput::Add(v) => write!(f, "add({v})"),
+            SetInput::Remove(v) => write!(f, "rem({v})"),
+            SetInput::Contains(v) => write!(f, "has({v})"),
+        }
+    }
+}
+
+/// A set output: the boolean result of the operation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetOutput(pub bool);
+
+impl fmt::Debug for SetOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "={}", self.0)
+    }
+}
+
+/// A mathematical set of `u64`s, initially empty.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Adt, Set, SetInput, SetOutput};
+/// let s = Set::new();
+/// let h = [SetInput::Add(3), SetInput::Add(3), SetInput::Contains(3)];
+/// assert_eq!(s.output(&h), Some(SetOutput(true)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Set;
+
+impl Set {
+    /// Creates the set ADT.
+    pub fn new() -> Self {
+        Set
+    }
+}
+
+impl Adt for Set {
+    type Input = SetInput;
+    type Output = SetOutput;
+    type State = BTreeSet<u64>;
+
+    fn initial(&self) -> Self::State {
+        BTreeSet::new()
+    }
+
+    fn apply(&self, state: &Self::State, input: &Self::Input) -> (Self::State, Self::Output) {
+        let mut next = state.clone();
+        let out = match input {
+            SetInput::Add(v) => next.insert(*v),
+            SetInput::Remove(v) => next.remove(v),
+            SetInput::Contains(v) => next.contains(v),
+        };
+        (next, SetOutput(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_idempotent_on_state_but_not_output() {
+        let s = Set::new();
+        let once = s.run(&[SetInput::Add(1)]);
+        let twice = s.run(&[SetInput::Add(1), SetInput::Add(1)]);
+        assert_eq!(once, twice);
+        assert_eq!(
+            s.output(&[SetInput::Add(1), SetInput::Add(1)]),
+            Some(SetOutput(false))
+        );
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let s = Set::new();
+        assert_eq!(s.output(&[SetInput::Remove(9)]), Some(SetOutput(false)));
+        assert_eq!(
+            s.output(&[SetInput::Add(9), SetInput::Remove(9)]),
+            Some(SetOutput(true))
+        );
+    }
+
+    #[test]
+    fn contains_after_remove() {
+        let s = Set::new();
+        let h = [SetInput::Add(2), SetInput::Remove(2), SetInput::Contains(2)];
+        assert_eq!(s.output(&h), Some(SetOutput(false)));
+    }
+
+    #[test]
+    fn operations_on_distinct_elements_commute() {
+        let s = Set::new();
+        let a = s.run(&[SetInput::Add(1), SetInput::Add(2)]);
+        let b = s.run(&[SetInput::Add(2), SetInput::Add(1)]);
+        assert_eq!(a, b);
+    }
+}

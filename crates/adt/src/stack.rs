@@ -1,0 +1,126 @@
+//! A LIFO stack ADT.
+//!
+//! Complements the queue: pop/push do not commute with themselves, and the
+//! LIFO discipline creates ordering constraints that run *backwards*
+//! through a history, a useful stress for the chain-search checker.
+
+use crate::Adt;
+use std::fmt;
+
+/// A stack input.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StackInput {
+    /// Push an element.
+    Push(u64),
+    /// Pop the top element.
+    Pop,
+}
+
+impl fmt::Debug for StackInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackInput::Push(v) => write!(f, "push({v})"),
+            StackInput::Pop => write!(f, "pop"),
+        }
+    }
+}
+
+/// A stack output.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StackOutput {
+    /// Acknowledgement of a push.
+    Ack,
+    /// The popped element, or `None` when the stack was empty.
+    Popped(Option<u64>),
+}
+
+impl fmt::Debug for StackOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackOutput::Ack => write!(f, "ok"),
+            StackOutput::Popped(Some(v)) => write!(f, "={v}"),
+            StackOutput::Popped(None) => write!(f, "=∅"),
+        }
+    }
+}
+
+/// A LIFO stack, initially empty. `Pop` on an empty stack returns
+/// `Popped(None)`.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Adt, Stack, StackInput, StackOutput};
+/// let s = Stack::new();
+/// let h = [StackInput::Push(1), StackInput::Push(2), StackInput::Pop];
+/// assert_eq!(s.output(&h), Some(StackOutput::Popped(Some(2))));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Stack;
+
+impl Stack {
+    /// Creates the stack ADT.
+    pub fn new() -> Self {
+        Stack
+    }
+}
+
+impl Adt for Stack {
+    type Input = StackInput;
+    type Output = StackOutput;
+    type State = Vec<u64>;
+
+    fn initial(&self) -> Self::State {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &Self::State, input: &Self::Input) -> (Self::State, Self::Output) {
+        let mut next = state.clone();
+        match input {
+            StackInput::Push(v) => {
+                next.push(*v);
+                (next, StackOutput::Ack)
+            }
+            StackInput::Pop => {
+                let top = next.pop();
+                (next, StackOutput::Popped(top))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let s = Stack::new();
+        let h = [
+            StackInput::Push(1),
+            StackInput::Push(2),
+            StackInput::Pop,
+            StackInput::Pop,
+        ];
+        assert_eq!(s.output(&h), Some(StackOutput::Popped(Some(1))));
+    }
+
+    #[test]
+    fn pop_empty() {
+        let s = Stack::new();
+        assert_eq!(s.output(&[StackInput::Pop]), Some(StackOutput::Popped(None)));
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let s = Stack::new();
+        let h = [
+            StackInput::Push(1),
+            StackInput::Pop,
+            StackInput::Push(2),
+            StackInput::Pop,
+        ];
+        assert_eq!(s.output(&h), Some(StackOutput::Popped(Some(2))));
+        assert_eq!(s.run(&h), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,88 @@
+//! Unique-input stamping of an ADT.
+//!
+//! Several classical treatments of linearizability assume that all invoked
+//! inputs are distinct; the paper's new definition is designed to allow
+//! *repeated events*, and its Theorem 1 claims equivalence with the
+//! classical definition. Our reproduction found that the equivalence holds
+//! under the unique-inputs assumption but **diverges on duplicated input
+//! values** (see `tests/thm1_equivalence.rs`): multiset validity lets a
+//! commit history account a response to one client against a *pending
+//! duplicate invocation of another client*.
+//!
+//! [`Stamped`] restores the unique-inputs assumption mechanically: inputs
+//! are paired with a stamp that the output function ignores, so the
+//! sequential semantics is unchanged while every invocation becomes
+//! distinguishable.
+
+use crate::Adt;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An ADT whose inputs are `(stamp, input)` pairs; the stamp does not
+/// affect outputs.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Adt, Counter, CounterInput, CounterOutput, Stamped};
+/// let s = Stamped::new(Counter::new());
+/// let h = [(0, CounterInput::Increment), (1, CounterInput::Read)];
+/// assert_eq!(s.output(&h), Some(CounterOutput::Count(1)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Stamped<T> {
+    inner: T,
+}
+
+impl<T> Stamped<T> {
+    /// Wraps an ADT.
+    pub fn new(inner: T) -> Self {
+        Stamped { inner }
+    }
+
+    /// The underlying ADT.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Adt> Adt for Stamped<T> {
+    type Input = (u32, T::Input);
+    type Output = T::Output;
+    type State = T::State;
+
+    fn initial(&self) -> Self::State {
+        self.inner.initial()
+    }
+
+    fn apply(&self, state: &Self::State, input: &Self::Input) -> (Self::State, Self::Output) {
+        self.inner.apply(state, &input.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::{ConsInput, ConsOutput, Consensus};
+
+    #[test]
+    fn stamps_do_not_change_outputs() {
+        let s = Stamped::new(Consensus::new());
+        let h = [(9, ConsInput::propose(5)), (2, ConsInput::propose(7))];
+        assert_eq!(s.output(&h), Some(ConsOutput::decide(5)));
+    }
+
+    #[test]
+    fn stamped_inputs_are_distinct() {
+        let a = (0u32, ConsInput::propose(5));
+        let b = (1u32, ConsInput::propose(5));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn state_tracks_inner_state() {
+        let s = Stamped::new(Consensus::new());
+        let st = s.run(&[(0, ConsInput::propose(3))]);
+        assert_eq!(st, Consensus::new().run(&[ConsInput::propose(3)]));
+    }
+}

@@ -1,0 +1,68 @@
+//! B4 — practicality of the decision procedures.
+//!
+//! The paper argues its framework enables *scalable* reasoning; the
+//! executable counterpart is checker throughput. We measure the new
+//! definition's chain search, the classical Wing–Gong search, the
+//! consensus-specialized linear-time test, and the speculative checker,
+//! as the trace length grows.
+
+use criterion::{criterion_group, criterion_main, PlottingBackend, BenchmarkId, Criterion};
+use rand::Rng;
+use slin_adt::{ConsInput, Consensus};
+use slin_consensus::harness::{run_scenario, Scenario};
+use slin_core::classical::ClassicalChecker;
+use slin_core::compose::project_phase;
+use slin_core::gen::{random_linearizable_trace, GenConfig};
+use slin_core::initrel::ConsensusInit;
+use slin_core::invariants;
+use slin_core::lin::LinChecker;
+use slin_core::slin::SlinChecker;
+use slin_trace::PhaseId;
+use std::time::Duration;
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lin_checkers_vs_trace_length");
+    for &steps in &[9usize, 12, 15, 18, 21] {
+        let cfg = GenConfig {
+            clients: 3,
+            steps,
+            seed: 42,
+        };
+        let t = random_linearizable_trace(&Consensus, cfg, |rng| {
+            ConsInput::propose(rng.gen_range(1..4u64))
+        });
+        group.bench_with_input(BenchmarkId::new("new_definition", steps), &t, |b, t| {
+            b.iter(|| LinChecker::new(&Consensus).check(t).is_ok())
+        });
+        group.bench_with_input(BenchmarkId::new("classical", steps), &t, |b, t| {
+            b.iter(|| ClassicalChecker::new(&Consensus).check(t).is_ok())
+        });
+        group.bench_with_input(BenchmarkId::new("specialized", steps), &t, |b, t| {
+            b.iter(|| invariants::consensus_linearizable(t))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("slin_checker_on_phase_traces");
+    for seed in [0u64, 7] {
+        let out = run_scenario(&Scenario::contended(3, &[1, 2], seed));
+        let t12 = project_phase::<Consensus, _>(&out.trace, PhaseId::new(1), PhaseId::new(2));
+        let t23 = project_phase::<Consensus, _>(&out.trace, PhaseId::new(2), PhaseId::new(3));
+        group.bench_with_input(BenchmarkId::new("first_phase", seed), &t12, |b, t| {
+            let chk = SlinChecker::new(&Consensus, ConsensusInit::new(), PhaseId::new(1), PhaseId::new(2));
+            b.iter(|| chk.check(t).is_ok())
+        });
+        group.bench_with_input(BenchmarkId::new("second_phase", seed), &t23, |b, t| {
+            let chk = SlinChecker::new(&Consensus, ConsensusInit::new(), PhaseId::new(2), PhaseId::new(3));
+            b.iter(|| chk.check(t).is_ok())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().plotting_backend(PlottingBackend::None).warm_up_time(Duration::from_millis(400)).sample_size(15).measurement_time(Duration::from_secs(3));
+    targets = bench_checkers
+}
+criterion_main!(benches);

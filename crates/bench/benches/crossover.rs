@@ -1,0 +1,88 @@
+//! B2 — where speculation stops paying off (the paper's Zyzzyva
+//! discussion, Section 1): as faults (message loss) or contention grow, the
+//! fast path aborts more often and the composed protocol degrades toward —
+//! and past — the non-speculative baseline.
+//!
+//! Criterion measures *simulated time* (1 message delay = 1 µs).
+
+use criterion::{criterion_group, criterion_main, PlottingBackend, BenchmarkId, Criterion};
+use slin_bench::{contention_rows, crossover_rows, render_table};
+use slin_consensus::harness::{run_scenario, Scenario};
+use std::time::Duration;
+
+fn print_tables() {
+    let rows = crossover_rows(&[0, 5, 10, 20, 30, 40], 20);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%", r.x),
+                format!("{:.2}", r.composed_mean),
+                format!("{:.2}", r.paxos_mean),
+                format!("{:.0}%", r.fallback_rate * 100.0),
+            ]
+        })
+        .collect();
+    println!("\nB2 — mean decision latency vs message loss (3 servers, 20 seeds)");
+    println!(
+        "{}",
+        render_table(&["loss", "quorum+backup", "pure paxos", "fallback"], &table)
+    );
+
+    let rows = contention_rows(&[1, 2, 3, 4], 15);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.x.to_string(),
+                format!("{:.2}", r.composed_mean),
+                format!("{:.2}", r.paxos_mean),
+                format!("{:.0}%", r.fallback_rate * 100.0),
+            ]
+        })
+        .collect();
+    println!("\nB2b — mean decision latency vs contending clients (3 servers, 15 seeds)");
+    println!(
+        "{}",
+        render_table(&["clients", "quorum+backup", "pure paxos", "fallback"], &table)
+    );
+}
+
+fn bench_crossover(c: &mut Criterion) {
+    print_tables();
+    let mut group = c.benchmark_group("latency_vs_loss_message_delays");
+    for &pct in &[0u64, 10, 20, 30] {
+        group.bench_with_input(BenchmarkId::new("quorum_backup", pct), &pct, |b, &pct| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for s in 0..iters {
+                    let out = run_scenario(
+                        &Scenario::fault_free(3, &[(7, 0)]).with_loss(pct as f64 / 100.0, s),
+                    );
+                    total += Duration::from_micros(out.latencies[0].1.unwrap_or(out.sim_time));
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pure_paxos", pct), &pct, |b, &pct| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for s in 0..iters {
+                    let out = run_scenario(
+                        &Scenario::pure_paxos(3, &[(7, 0)]).with_loss(pct as f64 / 100.0, s),
+                    );
+                    total += Duration::from_micros(out.latencies[0].1.unwrap_or(out.sim_time));
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().plotting_backend(PlottingBackend::None).warm_up_time(Duration::from_millis(400)).sample_size(10).measurement_time(Duration::from_secs(2));
+    targets = bench_crossover
+}
+criterion_main!(benches);

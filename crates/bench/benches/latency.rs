@@ -1,0 +1,76 @@
+//! B1 — fast-path versus backup decision latency (paper Section 2.1).
+//!
+//! The paper claims Quorum decides in **2 message delays** when executions
+//! are fault-free and contention-free, while Paxos needs 3+ (our
+//! client-driven Paxos takes 4: two round trips). Criterion's measurement
+//! here is *simulated time* (unit message delay = 1 µs), so the reported
+//! numbers are message delays, not host-machine noise; the regenerated
+//! table is printed once at startup.
+
+use criterion::{criterion_group, criterion_main, PlottingBackend, BenchmarkId, Criterion};
+use slin_bench::{latency_rows, render_table};
+use slin_consensus::harness::{run_scenario, Scenario};
+use std::time::Duration;
+
+fn print_table() {
+    let rows = latency_rows(&[3, 5, 7, 9]);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.servers.to_string(),
+                format!("{:?}", r.composed.unwrap()),
+                format!("{:?}", r.paxos.unwrap()),
+                r.composed_msgs.to_string(),
+                r.paxos_msgs.to_string(),
+            ]
+        })
+        .collect();
+    println!("\nB1 — decision latency (message delays), fault-free single client");
+    println!(
+        "{}",
+        render_table(
+            &["servers", "quorum+backup", "pure paxos", "msgs(fast)", "msgs(paxos)"],
+            &table
+        )
+    );
+}
+
+fn bench_latency(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("decision_latency_message_delays");
+    for &servers in &[3usize, 5, 7, 9] {
+        group.bench_with_input(
+            BenchmarkId::new("quorum_backup", servers),
+            &servers,
+            |b, &n| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let out = run_scenario(&Scenario::fault_free(n, &[(5, 0)]));
+                        total += Duration::from_micros(out.latencies[0].1.unwrap_or(0));
+                    }
+                    total
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("pure_paxos", servers), &servers, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let out = run_scenario(&Scenario::pure_paxos(n, &[(5, 0)]));
+                    total += Duration::from_micros(out.latencies[0].1.unwrap_or(0));
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().plotting_backend(PlottingBackend::None).warm_up_time(Duration::from_millis(400)).sample_size(10).measurement_time(Duration::from_secs(2));
+    targets = bench_latency
+}
+criterion_main!(benches);

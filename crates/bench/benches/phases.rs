@@ -1,0 +1,70 @@
+//! B4b — modular phase chaining (paper Section 1).
+//!
+//! Ad-hoc composition of n speculation phases needs O(n²) switching cases;
+//! the framework's chained composition is linear: adding a phase never
+//! touches the existing ones. This bench measures what chaining costs at
+//! run time — the fault-free fast path must stay at 2 message delays no
+//! matter how long the chain, while contended runs pay one extra fast-phase
+//! round per hop until the backup decides.
+//!
+//! Criterion measures simulated time (1 message delay = 1 µs).
+
+use criterion::{criterion_group, criterion_main, PlottingBackend, BenchmarkId, Criterion};
+use slin_bench::{phase_chain_rows, render_table};
+use slin_consensus::harness::{run_scenario, Scenario};
+use std::time::Duration;
+
+fn print_table() {
+    let rows = phase_chain_rows(&[1, 2, 3, 4], 12);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.fast_phases.to_string(),
+                format!("{:?}", r.fault_free_latency.unwrap()),
+                format!("{:.2}", r.latency_mean),
+                format!("{:.1}", r.messages_mean),
+            ]
+        })
+        .collect();
+    println!("\nB4b — chained fast phases (3 servers; contended = 2 clients, 12 seeds)");
+    println!(
+        "{}",
+        render_table(
+            &["fast phases", "fault-free latency", "contended latency", "msgs"],
+            &table
+        )
+    );
+}
+
+fn bench_phases(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("contended_latency_vs_chain_length");
+    for &fast in &[1u32, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(fast), &fast, |b, &fast| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for s in 0..iters {
+                    let out =
+                        run_scenario(&Scenario::contended(3, &[1, 2], s).with_fast_phases(fast));
+                    let worst = out
+                        .latencies
+                        .iter()
+                        .filter_map(|(_, l)| *l)
+                        .max()
+                        .unwrap_or(out.sim_time);
+                    total += Duration::from_micros(worst);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().plotting_backend(PlottingBackend::None).warm_up_time(Duration::from_millis(400)).sample_size(10).measurement_time(Duration::from_secs(2));
+    targets = bench_phases
+}
+criterion_main!(benches);

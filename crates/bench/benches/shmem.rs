@@ -1,0 +1,83 @@
+//! B3 — registers versus CAS (paper Section 2.5).
+//!
+//! The motivation for RCons: "consensus can be implemented … using the
+//! wait-free compare-and-swap (CAS) instruction, but this instruction may
+//! be slower than an atomic register access". We measure, on this host:
+//! the raw cost of the register-only fast path vs the CAS path, and the
+//! end-to-end cost of the composed object on sequential (contention-free)
+//! versus concurrent workloads — plus the headline invariant: **zero CAS
+//! operations without contention**.
+
+use criterion::{criterion_group, criterion_main, PlottingBackend, BenchmarkId, Criterion};
+use slin_adt::Value;
+use slin_bench::render_table;
+use slin_shmem::harness::{run_concurrent, Workload};
+use slin_shmem::{CasCons, RCons, SpeculativeConsensus};
+use std::time::Duration;
+
+fn print_cas_table() {
+    let mut rows = Vec::new();
+    for threads in [1u32, 2, 4, 8] {
+        let seq = run_concurrent(&Workload::sequential(threads));
+        let conc = run_concurrent(&Workload::concurrent(threads));
+        rows.push(vec![
+            threads.to_string(),
+            seq.cas_count.to_string(),
+            conc.cas_count.to_string(),
+        ]);
+    }
+    println!("\nB3 — CAS operations per run (composed RCons+CASCons)");
+    println!(
+        "{}",
+        render_table(&["threads", "sequential", "concurrent"], &rows)
+    );
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    print_cas_table();
+    let mut group = c.benchmark_group("solo_propose");
+    group.bench_function("rcons_register_path", |b| {
+        b.iter_batched(
+            RCons::new,
+            |r| r.propose(1, Value::new(7)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("cascons_cas_path", |b| {
+        b.iter_batched(
+            CasCons::new,
+            |c| c.switch_to(Value::new(7)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("composed_fast_path", |b| {
+        b.iter_batched(
+            SpeculativeConsensus::new,
+            |o| o.propose(1, Value::new(7)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("workload");
+    for &threads in &[1u32, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sequential", threads),
+            &threads,
+            |b, &t| b.iter(|| run_concurrent(&Workload::sequential(t))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("concurrent", threads),
+            &threads,
+            |b, &t| b.iter(|| run_concurrent(&Workload::concurrent(t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().plotting_backend(PlottingBackend::None).warm_up_time(Duration::from_millis(400)).sample_size(20).measurement_time(Duration::from_secs(3));
+    targets = bench_primitives
+}
+criterion_main!(benches);

@@ -1,0 +1,249 @@
+//! The composed speculative client: a chain of Quorum fast phases ending in
+//! the Paxos backup.
+//!
+//! Each client proposes once. It starts in fast phase 1 and, whenever a
+//! phase aborts, records a switch action and independently moves to the
+//! next phase, carrying the switch value as its new proposal — no agreement
+//! with other clients on when (or whether) to switch, exactly as the
+//! framework demands. With `fast_phases = 0` the client runs pure Paxos
+//! (the unoptimized baseline); with `fast_phases = 1` it is the paper's
+//! Quorum + Backup composition.
+//!
+//! Every object-interface event is recorded as a [`crate::ConsAction`]:
+//! `inv` at invocation, `swi(c, k+1, in, v)` at each switch, and
+//! `res(c, k, in, d(v))` at the decision in phase `k`.
+
+use crate::msg::Msg;
+use crate::paxos::{PaxosProposer, PaxosStep};
+use crate::quorum::{QuorumPhase, QuorumStep};
+use crate::ConsAction;
+use slin_adt::consensus::{ConsInput, ConsOutput, Value};
+use slin_sim::{Context, Process, ProcessId, Time, TimerId};
+use slin_trace::{Action, ClientId, PhaseId};
+
+/// Configuration of a composed client.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// The client's 1-based index (also its [`ClientId`] and Paxos ballot
+    /// tie-breaker).
+    pub index: u32,
+    /// The value this client proposes.
+    pub proposal: Value,
+    /// The server processes.
+    pub servers: Vec<ProcessId>,
+    /// Absolute simulated time of the invocation.
+    pub invoke_at: Time,
+    /// Fast-phase timeout (simulated time units).
+    pub timeout: Time,
+    /// Number of Quorum fast phases before the Paxos backup (0 = pure
+    /// Paxos).
+    pub fast_phases: u32,
+    /// Cap on Paxos ballots (livelock guard in adversarial scenarios).
+    pub max_paxos_rounds: u32,
+}
+
+impl ClientConfig {
+    /// A standard configuration: one fast phase, then Paxos.
+    pub fn new(index: u32, proposal: impl Into<Value>, servers: Vec<ProcessId>) -> Self {
+        ClientConfig {
+            index,
+            proposal: proposal.into(),
+            servers,
+            invoke_at: 0,
+            timeout: 10,
+            fast_phases: 1,
+            max_paxos_rounds: 64,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    Idle,
+    Fast { phase_no: u32, q: QuorumPhase },
+    Backup { p: PaxosProposer },
+    Done,
+}
+
+/// The composed speculative client process.
+#[derive(Debug)]
+pub struct Client {
+    cfg: ClientConfig,
+    state: State,
+    /// Timer epoch: stale timers are ignored.
+    epoch: TimerId,
+    decided: Option<Value>,
+}
+
+impl Client {
+    /// Creates the client.
+    pub fn new(cfg: ClientConfig) -> Self {
+        Client {
+            cfg,
+            state: State::Idle,
+            epoch: 0,
+            decided: None,
+        }
+    }
+
+    /// The decided value, once the client responded.
+    pub fn decided(&self) -> Option<Value> {
+        self.decided
+    }
+
+    fn client_id(&self) -> ClientId {
+        ClientId::new(self.cfg.index)
+    }
+
+    fn input(&self) -> ConsInput {
+        ConsInput::propose(self.cfg.proposal)
+    }
+
+    fn arm_timer(&mut self, ctx: &mut Context<'_, Msg, ConsAction>, delay: Time) {
+        self.epoch += 1;
+        ctx.set_timer(delay, self.epoch);
+    }
+
+    fn invoke(&mut self, ctx: &mut Context<'_, Msg, ConsAction>) {
+        ctx.record(Action::invoke(self.client_id(), PhaseId::new(1), self.input()));
+        if self.cfg.fast_phases >= 1 {
+            let q = QuorumPhase::new(1, self.cfg.proposal, self.cfg.servers.clone());
+            q.begin(ctx);
+            self.state = State::Fast { phase_no: 1, q };
+            let t = self.cfg.timeout;
+            self.arm_timer(ctx, t);
+        } else {
+            self.enter_backup(ctx, self.cfg.proposal);
+        }
+    }
+
+    fn enter_backup(&mut self, ctx: &mut Context<'_, Msg, ConsAction>, proposal: Value) {
+        let p = PaxosProposer::new(self.cfg.index, proposal, self.cfg.servers.clone());
+        p.begin(ctx);
+        self.state = State::Backup { p };
+        let t = self.cfg.timeout;
+        self.arm_timer(ctx, t);
+    }
+
+    fn decide(&mut self, ctx: &mut Context<'_, Msg, ConsAction>, phase_no: u32, v: Value) {
+        ctx.record(Action::respond(
+            self.client_id(),
+            PhaseId::new(phase_no),
+            self.input(),
+            ConsOutput::decide(v),
+        ));
+        self.decided = Some(v);
+        self.state = State::Done;
+        self.epoch += 1; // cancel outstanding timers
+    }
+
+    fn switch(&mut self, ctx: &mut Context<'_, Msg, ConsAction>, from_phase: u32, value: Value) {
+        ctx.record(Action::switch(
+            self.client_id(),
+            PhaseId::new(from_phase + 1),
+            self.input(),
+            value,
+        ));
+        if from_phase < self.cfg.fast_phases {
+            let q = QuorumPhase::new(from_phase + 1, value, self.cfg.servers.clone());
+            q.begin(ctx);
+            self.state = State::Fast {
+                phase_no: from_phase + 1,
+                q,
+            };
+            let t = self.cfg.timeout;
+            self.arm_timer(ctx, t);
+        } else {
+            self.enter_backup(ctx, value);
+        }
+    }
+}
+
+impl Process<Msg, ConsAction> for Client {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg, ConsAction>) {
+        if self.cfg.invoke_at == 0 {
+            self.invoke(ctx);
+        } else {
+            let at = self.cfg.invoke_at;
+            self.arm_timer(ctx, at);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg, ConsAction>, from: ProcessId, msg: Msg) {
+        match &mut self.state {
+            State::Fast { phase_no, q } => {
+                let phase_no = *phase_no;
+                if let Msg::Accept { slot, value } = msg {
+                    if slot != q.slot() {
+                        return; // stale accept from an earlier fast phase
+                    }
+                    match q.on_accept(from, value) {
+                        QuorumStep::Continue => {}
+                        QuorumStep::Decide(v) => self.decide(ctx, phase_no, v),
+                        QuorumStep::Switch(v) => self.switch(ctx, phase_no, v),
+                        QuorumStep::Rebroadcast => unreachable!("accepts never rebroadcast"),
+                    }
+                }
+            }
+            State::Backup { p } => match p.on_message(ctx, from, msg) {
+                PaxosStep::Continue => {}
+                PaxosStep::Decide(v) => {
+                    let phase_no = self.cfg.fast_phases + 1;
+                    self.decide(ctx, phase_no, v);
+                }
+                PaxosStep::Backoff => {
+                    if p.rounds_started() < self.cfg.max_paxos_rounds {
+                        // Damp duels: back off proportionally to the index.
+                        let delay = self.cfg.timeout / 2 + self.cfg.index as Time;
+                        self.arm_timer(ctx, delay.max(1));
+                    }
+                }
+            },
+            State::Idle | State::Done => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg, ConsAction>, timer: TimerId) {
+        if timer != self.epoch {
+            return; // stale timer from an earlier state
+        }
+        match &mut self.state {
+            State::Idle => self.invoke(ctx),
+            State::Fast { phase_no, q } => {
+                let phase_no = *phase_no;
+                match q.on_timeout() {
+                    QuorumStep::Switch(v) => self.switch(ctx, phase_no, v),
+                    QuorumStep::Rebroadcast => {
+                        q.begin(ctx);
+                        let t = self.cfg.timeout;
+                        self.arm_timer(ctx, t);
+                    }
+                    QuorumStep::Continue | QuorumStep::Decide(_) => {
+                        unreachable!("timeout never continues or decides")
+                    }
+                }
+            }
+            State::Backup { p } => {
+                if p.rounds_started() < self.cfg.max_paxos_rounds {
+                    p.retry(ctx);
+                    let t = self.cfg.timeout;
+                    self.arm_timer(ctx, t);
+                }
+            }
+            State::Done => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = ClientConfig::new(1, 5, vec![]);
+        assert_eq!(cfg.fast_phases, 1);
+        assert!(cfg.timeout > 0);
+        assert_eq!(cfg.proposal, Value::new(5));
+    }
+}

@@ -1,0 +1,322 @@
+//! Scenario harness: build, run and measure consensus executions.
+//!
+//! A [`Scenario`] describes servers, clients (value and invocation time),
+//! the fast-phase chain length, network behaviour (delays, loss) and crash
+//! injection. [`run_scenario`] executes it deterministically and returns the
+//! object-interface trace (for the `slin-core` checkers) together with the
+//! metrics the benchmarks report: per-client decision latency in simulated
+//! time (= message delays when delays are unit) and total message count.
+
+use crate::client::{Client, ClientConfig};
+use crate::msg::Msg;
+use crate::server::Server;
+use crate::ConsAction;
+use slin_adt::consensus::Value;
+use slin_sim::{ProcessId, SimConfig, Simulation, Time};
+use slin_trace::{ClientId, Trace};
+
+/// A consensus execution scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Number of server processes.
+    pub servers: usize,
+    /// One `(proposal value, invocation time)` pair per client.
+    pub clients: Vec<(u64, Time)>,
+    /// Number of Quorum fast phases before Paxos (0 = pure Paxos).
+    pub fast_phases: u32,
+    /// Fast-phase and Paxos retry timeout.
+    pub timeout: Time,
+    /// Server crashes: `(server index, crash time)`.
+    pub crashes: Vec<(usize, Time)>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Message delay bounds.
+    pub delay: (Time, Time),
+    /// Message drop probability.
+    pub drop_prob: f64,
+    /// Cap on Paxos ballots per client.
+    pub max_paxos_rounds: u32,
+    /// Safety bound on simulation steps.
+    pub max_steps: usize,
+}
+
+impl Scenario {
+    /// Fault-free, loss-free, unit-delay scenario with one Quorum phase:
+    /// the paper's common case.
+    pub fn fault_free(servers: usize, clients: &[(u64, Time)]) -> Self {
+        Scenario {
+            servers,
+            clients: clients.to_vec(),
+            fast_phases: 1,
+            timeout: 12,
+            crashes: Vec::new(),
+            seed: 0,
+            delay: (1, 1),
+            drop_prob: 0.0,
+            max_paxos_rounds: 64,
+            max_steps: 200_000,
+        }
+    }
+
+    /// Pure-Paxos baseline (no fast phase) in the same conditions.
+    pub fn pure_paxos(servers: usize, clients: &[(u64, Time)]) -> Self {
+        Scenario {
+            fast_phases: 0,
+            ..Scenario::fault_free(servers, clients)
+        }
+    }
+
+    /// Fault-free but contended: all clients invoke at time 0 with random
+    /// delays, so servers may adopt different first proposals.
+    pub fn contended(servers: usize, values: &[u64], seed: u64) -> Self {
+        Scenario {
+            seed,
+            delay: (1, 4),
+            ..Scenario::fault_free(servers, &values.iter().map(|&v| (v, 0)).collect::<Vec<_>>())
+        }
+    }
+
+    /// Crash-prone: the given servers crash at the given times.
+    pub fn with_crashes(mut self, crashes: &[(usize, Time)]) -> Self {
+        self.crashes = crashes.to_vec();
+        self
+    }
+
+    /// Lossy network with the given drop probability.
+    pub fn with_loss(mut self, drop_prob: f64, seed: u64) -> Self {
+        self.drop_prob = drop_prob;
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the number of fast phases.
+    pub fn with_fast_phases(mut self, fast_phases: u32) -> Self {
+        self.fast_phases = fast_phases;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The result of running a scenario.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The object-interface trace, in event order.
+    pub trace: Trace<ConsAction>,
+    /// Each client's decision, in decision order.
+    pub decisions: Vec<(ClientId, Value)>,
+    /// Per client: decision latency (response time − invocation time), or
+    /// `None` when the client never decided.
+    pub latencies: Vec<(ClientId, Option<Time>)>,
+    /// Final simulated time.
+    pub sim_time: Time,
+    /// Messages handed to the network.
+    pub messages: usize,
+    /// Simulation steps processed.
+    pub steps: usize,
+}
+
+impl RunOutcome {
+    /// Whether all decided values agree (consensus agreement).
+    pub fn agreement(&self) -> bool {
+        self.decisions.windows(2).all(|w| w[0].1 == w[1].1)
+    }
+
+    /// The common decided value, if any client decided.
+    pub fn decided_value(&self) -> Option<Value> {
+        self.decisions.first().map(|(_, v)| *v)
+    }
+}
+
+/// Builds and runs a scenario to quiescence.
+///
+/// # Example
+///
+/// ```
+/// use slin_consensus::harness::{run_scenario, Scenario};
+/// let out = run_scenario(&Scenario::fault_free(3, &[(7, 0), (9, 40)]));
+/// // Sequential, fault-free: both decide the first value, in 2 delays each.
+/// assert!(out.agreement());
+/// assert_eq!(out.latencies[0].1, Some(2));
+/// assert_eq!(out.latencies[1].1, Some(2));
+/// ```
+pub fn run_scenario(scenario: &Scenario) -> RunOutcome {
+    let mut sim: Simulation<Msg, ConsAction> = Simulation::new(SimConfig {
+        seed: scenario.seed,
+        min_delay: scenario.delay.0,
+        max_delay: scenario.delay.1,
+        drop_prob: scenario.drop_prob,
+        max_steps: scenario.max_steps,
+    });
+    let servers: Vec<ProcessId> = (0..scenario.servers)
+        .map(|_| sim.add_process(Box::new(Server::new())))
+        .collect();
+    for (k, &(value, invoke_at)) in scenario.clients.iter().enumerate() {
+        let cfg = ClientConfig {
+            index: k as u32 + 1,
+            proposal: Value::new(value),
+            servers: servers.clone(),
+            invoke_at,
+            timeout: scenario.timeout,
+            fast_phases: scenario.fast_phases,
+            max_paxos_rounds: scenario.max_paxos_rounds,
+        };
+        sim.add_process(Box::new(Client::new(cfg)));
+    }
+    for &(server_idx, at) in &scenario.crashes {
+        sim.crash_at(servers[server_idx], at);
+    }
+    sim.run();
+
+    let sim_time = sim.now();
+    let messages = sim.messages_sent();
+    let steps = sim.steps();
+    let record_times = sim.record_times().to_vec();
+    let records = sim.into_records();
+
+    let mut decisions = Vec::new();
+    let mut invoke_time = std::collections::HashMap::new();
+    let mut latencies: Vec<(ClientId, Option<Time>)> = (1..=scenario.clients.len() as u32)
+        .map(|k| (ClientId::new(k), None))
+        .collect();
+    for (a, &at) in records.iter().zip(record_times.iter()) {
+        match a {
+            slin_trace::Action::Invoke { client, .. } => {
+                invoke_time.insert(*client, at);
+            }
+            slin_trace::Action::Respond { client, output, .. } => {
+                decisions.push((*client, output.value()));
+                if let Some(&t0) = invoke_time.get(client) {
+                    latencies[client.value() as usize - 1].1 = Some(at - t0);
+                }
+            }
+            slin_trace::Action::Switch { .. } => {}
+        }
+    }
+
+    RunOutcome {
+        trace: Trace::from_actions(records),
+        decisions,
+        latencies,
+        sim_time,
+        messages,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slin_core::invariants;
+
+    #[test]
+    fn fault_free_single_client_decides_in_two_delays() {
+        let out = run_scenario(&Scenario::fault_free(3, &[(5, 0)]));
+        assert_eq!(out.decisions.len(), 1);
+        assert_eq!(out.decided_value(), Some(Value::new(5)));
+        assert_eq!(out.latencies[0].1, Some(2));
+        // No switches in the fault-free, contention-free case.
+        assert!(out.trace.iter().all(|a| !a.is_switch()));
+    }
+
+    #[test]
+    fn sequential_clients_decide_first_value() {
+        // Contention-free (non-overlapping): both decide in the fast phase.
+        let out = run_scenario(&Scenario::fault_free(5, &[(7, 0), (9, 50)]));
+        assert_eq!(out.decisions.len(), 2);
+        assert!(out.agreement());
+        assert_eq!(out.decided_value(), Some(Value::new(7)));
+        assert_eq!(out.latencies[1].1, Some(2));
+    }
+
+    #[test]
+    fn pure_paxos_single_client_takes_four_delays() {
+        // Two round trips: Prepare/Promise + Accept2a/Accepted2b.
+        let out = run_scenario(&Scenario::pure_paxos(3, &[(5, 0)]));
+        assert_eq!(out.decisions.len(), 1);
+        assert_eq!(out.latencies[0].1, Some(4));
+    }
+
+    #[test]
+    fn contention_falls_back_and_agrees() {
+        let mut fallback_seen = false;
+        for seed in 0..25 {
+            let out = run_scenario(&Scenario::contended(3, &[1, 2, 3], seed));
+            assert!(out.agreement(), "seed {seed}: {:?}", out.decisions);
+            assert_eq!(out.decisions.len(), 3, "seed {seed}: all must decide");
+            fallback_seen |= out.trace.iter().any(|a| a.is_switch());
+            // The paper's invariants hold on every run.
+            assert!(invariants::i2(&out.trace), "seed {seed}");
+            assert!(invariants::i3(&out.trace), "seed {seed}");
+            assert!(
+                invariants::consensus_linearizable(&out.trace),
+                "seed {seed}"
+            );
+        }
+        assert!(fallback_seen, "contention should trigger some switches");
+    }
+
+    #[test]
+    fn server_crash_forces_backup_which_still_decides() {
+        // One of three servers crashes immediately: unanimity is impossible,
+        // Quorum times out, Paxos (majority 2/3 alive) decides.
+        let out =
+            run_scenario(&Scenario::fault_free(3, &[(4, 0)]).with_crashes(&[(0, 0)]));
+        assert_eq!(out.decisions.len(), 1);
+        assert!(out.trace.iter().any(|a| a.is_switch()));
+        assert!(invariants::consensus_linearizable(&out.trace));
+    }
+
+    #[test]
+    fn majority_crash_blocks_everything_safely() {
+        let out = run_scenario(
+            &Scenario::fault_free(3, &[(4, 0)]).with_crashes(&[(0, 0), (1, 0)]),
+        );
+        assert!(out.decisions.is_empty());
+        // Safety: the trace (with a pending invocation) is still fine.
+        assert!(invariants::consensus_linearizable(&out.trace));
+    }
+
+    #[test]
+    fn lossy_network_eventually_decides_and_agrees() {
+        for seed in 0..15 {
+            let out = run_scenario(
+                &Scenario::fault_free(3, &[(1, 0), (2, 0)]).with_loss(0.2, seed),
+            );
+            assert!(out.agreement(), "seed {seed}");
+            assert!(
+                invariants::consensus_linearizable(&out.trace),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_phase_chain_still_agrees() {
+        for seed in 0..10 {
+            let out = run_scenario(
+                &Scenario::contended(3, &[1, 2], seed).with_fast_phases(3),
+            );
+            assert!(out.agreement(), "seed {seed}");
+            assert_eq!(out.decisions.len(), 2, "seed {seed}");
+            assert!(
+                invariants::consensus_linearizable(&out.trace),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let s = Scenario::contended(3, &[1, 2, 3], 9);
+        let a = run_scenario(&s);
+        let b = run_scenario(&s);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.sim_time, b.sim_time);
+        assert_eq!(a.messages, b.messages);
+    }
+}

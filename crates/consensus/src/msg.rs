@@ -1,0 +1,113 @@
+//! Protocol messages: Quorum proposals/accepts and Paxos ballots.
+
+use slin_adt::consensus::Value;
+use std::fmt;
+
+/// A Paxos ballot: totally ordered, unique per client (the client index
+/// breaks ties between rounds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ballot {
+    /// The retry round.
+    pub round: u32,
+    /// The proposing client's index (tie breaker).
+    pub client: u32,
+}
+
+impl Ballot {
+    /// The smallest ballot of a client (round 0).
+    pub fn first(client: u32) -> Self {
+        Ballot { round: 0, client }
+    }
+
+    /// The next ballot of the same client strictly greater than `other`.
+    pub fn above(&self, other: Ballot) -> Ballot {
+        Ballot {
+            round: self.round.max(other.round) + 1,
+            client: self.client,
+        }
+    }
+}
+
+impl fmt::Debug for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round, self.client)
+    }
+}
+
+/// Messages exchanged between clients and servers.
+///
+/// Quorum messages carry a `slot` identifying which fast phase they belong
+/// to (the composed protocol may chain several Quorum phases); Paxos runs as
+/// the single final phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Msg {
+    /// Quorum: a client broadcasts its proposal for fast-phase `slot`.
+    Proposal {
+        /// The fast-phase index (1-based).
+        slot: u32,
+        /// The proposed value.
+        value: Value,
+    },
+    /// Quorum: a server echoes the first value it accepted in `slot`.
+    Accept {
+        /// The fast-phase index.
+        slot: u32,
+        /// The server's accepted value for the slot.
+        value: Value,
+    },
+    /// Paxos phase 1a: a proposer asks for promises.
+    Prepare {
+        /// The proposer's ballot.
+        ballot: Ballot,
+    },
+    /// Paxos phase 1b: an acceptor promises and reports its accepted value.
+    Promise {
+        /// The ballot being promised.
+        ballot: Ballot,
+        /// The acceptor's highest accepted (ballot, value), if any.
+        accepted: Option<(Ballot, Value)>,
+    },
+    /// Paxos phase 2a: the proposer asks acceptors to accept `value`.
+    Accept2a {
+        /// The proposer's ballot.
+        ballot: Ballot,
+        /// The value to accept.
+        value: Value,
+    },
+    /// Paxos phase 2b: an acceptor accepted the proposal.
+    Accepted2b {
+        /// The accepted ballot.
+        ballot: Ballot,
+    },
+    /// Paxos: an acceptor refuses a stale ballot, reporting its promise.
+    Reject {
+        /// The acceptor's current promised ballot.
+        promised: Ballot,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballots_order_by_round_then_client() {
+        assert!(Ballot { round: 1, client: 0 } > Ballot { round: 0, client: 9 });
+        assert!(Ballot { round: 1, client: 2 } > Ballot { round: 1, client: 1 });
+    }
+
+    #[test]
+    fn above_is_strictly_greater_and_keeps_client() {
+        let mine = Ballot::first(3);
+        let theirs = Ballot { round: 7, client: 5 };
+        let next = mine.above(theirs);
+        assert!(next > theirs);
+        assert!(next > mine);
+        assert_eq!(next.client, 3);
+    }
+
+    #[test]
+    fn first_ballots_are_distinct_across_clients() {
+        assert_ne!(Ballot::first(1), Ballot::first(2));
+    }
+}

@@ -1,0 +1,232 @@
+//! Seeded random generation of well-formed traces.
+//!
+//! The equivalence and composition experiments need large families of
+//! well-formed concurrent traces: some linearizable by construction (the
+//! generator plays a genuinely atomic object with random linearization
+//! points), some adversarial (outputs perturbed so that most traces are
+//! *not* linearizable). Everything is deterministic in the seed.
+
+use crate::ObjAction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slin_adt::Adt;
+use slin_trace::{Action, ClientId, PhaseId, Trace};
+
+/// Configuration of the random trace generators.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Number of concurrent clients.
+    pub clients: u32,
+    /// Number of generation steps (each step emits at most one event).
+    pub steps: usize,
+    /// RNG seed: equal seeds give equal traces.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            clients: 3,
+            steps: 12,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ClientState<I, O> {
+    Idle,
+    /// Invoked, linearization point not yet reached.
+    Pending(I),
+    /// Linearization point reached; the output is fixed.
+    Applied(I, O),
+}
+
+/// Generates a trace that is **linearizable by construction**: the generator
+/// runs an atomic object and picks, for every operation, a linearization
+/// point between its invocation and its response.
+///
+/// `sample_input` draws random inputs (e.g. random proposals).
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Consensus, ConsInput};
+/// use slin_core::gen::{random_linearizable_trace, GenConfig};
+/// use slin_core::lin::LinChecker;
+///
+/// let t = random_linearizable_trace(
+///     &Consensus::new(),
+///     GenConfig { clients: 3, steps: 10, seed: 7 },
+///     |rng| ConsInput::propose(rand::Rng::gen_range(rng, 1..4u64)),
+/// );
+/// assert!(LinChecker::new(&Consensus::new()).check(&t).is_ok());
+/// ```
+pub fn random_linearizable_trace<T, F>(
+    adt: &T,
+    cfg: GenConfig,
+    mut sample_input: F,
+) -> Trace<ObjAction<T, ()>>
+where
+    T: Adt,
+    F: FnMut(&mut StdRng) -> T::Input,
+{
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut t = Trace::new();
+    let mut state = adt.initial();
+    let mut clients: Vec<ClientState<T::Input, T::Output>> =
+        (0..cfg.clients).map(|_| ClientState::Idle).collect();
+    for _ in 0..cfg.steps {
+        let k = rng.gen_range(0..clients.len());
+        let c = ClientId::new(k as u32 + 1);
+        match clients[k].clone() {
+            ClientState::Idle => {
+                let input = sample_input(&mut rng);
+                t.push(Action::invoke(c, PhaseId::FIRST, input.clone()));
+                clients[k] = ClientState::Pending(input);
+            }
+            ClientState::Pending(input) => {
+                // Reach the linearization point: apply atomically now.
+                let (next, out) = adt.apply(&state, &input);
+                state = next;
+                clients[k] = ClientState::Applied(input, out);
+            }
+            ClientState::Applied(input, out) => {
+                t.push(Action::respond(c, PhaseId::FIRST, input, out));
+                clients[k] = ClientState::Idle;
+            }
+        }
+    }
+    t
+}
+
+/// Generates a well-formed trace whose outputs are *perturbed*: with
+/// probability `error_prob` a response carries the output the operation
+/// would produce on the **initial** state instead of the current one.
+/// Useful for exercising checkers on a mix of linearizable and
+/// non-linearizable traces.
+pub fn random_perturbed_trace<T, F>(
+    adt: &T,
+    cfg: GenConfig,
+    error_prob: f64,
+    mut sample_input: F,
+) -> Trace<ObjAction<T, ()>>
+where
+    T: Adt,
+    F: FnMut(&mut StdRng) -> T::Input,
+{
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut t = Trace::new();
+    let mut state = adt.initial();
+    let mut clients: Vec<ClientState<T::Input, T::Output>> =
+        (0..cfg.clients).map(|_| ClientState::Idle).collect();
+    for _ in 0..cfg.steps {
+        let k = rng.gen_range(0..clients.len());
+        let c = ClientId::new(k as u32 + 1);
+        match clients[k].clone() {
+            ClientState::Idle => {
+                let input = sample_input(&mut rng);
+                t.push(Action::invoke(c, PhaseId::FIRST, input.clone()));
+                clients[k] = ClientState::Pending(input);
+            }
+            ClientState::Pending(input) => {
+                let (next, out) = adt.apply(&state, &input);
+                let out = if rng.gen_bool(error_prob) {
+                    // Pretend the operation ran on the initial state.
+                    adt.apply(&adt.initial(), &input).1
+                } else {
+                    state = next;
+                    out
+                };
+                clients[k] = ClientState::Applied(input, out);
+            }
+            ClientState::Applied(input, out) => {
+                t.push(Action::respond(c, PhaseId::FIRST, input, out));
+                clients[k] = ClientState::Idle;
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::ClassicalChecker;
+    use crate::lin::LinChecker;
+    use slin_adt::{ConsInput, Consensus, Counter, CounterInput};
+    use slin_trace::wf;
+
+    fn cons_input(rng: &mut StdRng) -> ConsInput {
+        ConsInput::propose(rng.gen_range(1..4u64))
+    }
+
+    fn counter_input(rng: &mut StdRng) -> CounterInput {
+        if rng.gen_bool(0.5) {
+            CounterInput::Increment
+        } else {
+            CounterInput::Read
+        }
+    }
+
+    #[test]
+    fn generated_traces_are_well_formed() {
+        for seed in 0..50 {
+            let cfg = GenConfig {
+                clients: 4,
+                steps: 20,
+                seed,
+            };
+            let t = random_linearizable_trace(&Consensus, cfg, cons_input);
+            assert!(wf::is_well_formed(&t), "seed {seed}");
+            let t2 = random_perturbed_trace(&Consensus, cfg, 0.4, cons_input);
+            assert!(wf::is_well_formed(&t2), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn linearizable_generator_passes_both_checkers() {
+        for seed in 0..30 {
+            let cfg = GenConfig {
+                clients: 3,
+                steps: 14,
+                seed,
+            };
+            let t = random_linearizable_trace(&Counter, cfg, counter_input);
+            assert!(LinChecker::new(&Counter).check(&t).is_ok(), "seed {seed}");
+            assert!(
+                ClassicalChecker::new(&Counter).check(&t).is_ok(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn perturbation_produces_some_violations() {
+        let mut violations = 0;
+        for seed in 0..40 {
+            let cfg = GenConfig {
+                clients: 3,
+                steps: 14,
+                seed,
+            };
+            let t = random_perturbed_trace(&Counter, cfg, 0.5, counter_input);
+            if LinChecker::new(&Counter).check(&t).is_err() {
+                violations += 1;
+            }
+        }
+        assert!(violations > 0, "expected at least one violation");
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let cfg = GenConfig {
+            clients: 3,
+            steps: 16,
+            seed: 99,
+        };
+        let a = random_linearizable_trace(&Consensus, cfg, cons_input);
+        let b = random_linearizable_trace(&Consensus, cfg, cons_input);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,525 @@
+//! The paper's new definition of linearizability (Section 4).
+//!
+//! A trace `t` is linearizable iff it is well-formed and admits a
+//! *linearization function* `g` mapping every commit (response) index to a
+//! history such that (Definitions 6–12):
+//!
+//! * **Explains** — `f_T(g(i))` equals the output returned at `i`;
+//! * **Validity** — `elems(g(i)) ⊆ elems(inputs(t, i))` and `g(i)` ends
+//!   with the input answered at `i`;
+//! * **Commit-Order** — commit histories form a chain under the strict
+//!   prefix order.
+//!
+//! [`LinChecker`] decides the existential by a backtracking search that
+//! grows the chain of commit histories one element at a time, memoising on
+//! the reached ADT state and the multiset of consumed inputs. Because the
+//! chain can interleave *extra* inputs (inputs whose responses never commit,
+//! or duplicated inputs — the definition allows repeated events), the search
+//! alternates "append an extra input" and "commit a response" moves.
+
+use crate::ops::{self, Commit};
+use crate::ObjAction;
+use slin_adt::Adt;
+use slin_trace::wf::{self, WellFormednessError};
+use slin_trace::{Multiset, Trace};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Default node budget for the backtracking search.
+pub const DEFAULT_BUDGET: usize = 2_000_000;
+
+/// Why a trace failed the linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinError {
+    /// The trace is not well-formed (Definition 15).
+    IllFormed(WellFormednessError),
+    /// The trace contains a switch action; plain linearizability is defined
+    /// on the object signature `sigT`, which has none. Use
+    /// [`crate::slin::SlinChecker`] for phase traces.
+    SwitchAction {
+        /// Index of the offending switch action.
+        index: usize,
+    },
+    /// No linearization function exists: the trace is not linearizable.
+    NotLinearizable,
+    /// The search exceeded its node budget before reaching a verdict.
+    BudgetExhausted,
+}
+
+impl fmt::Display for LinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinError::IllFormed(e) => write!(f, "trace is ill-formed: {e}"),
+            LinError::SwitchAction { index } => {
+                write!(f, "switch action at index {index} in an object trace")
+            }
+            LinError::NotLinearizable => write!(f, "no linearization function exists"),
+            LinError::BudgetExhausted => write!(f, "search budget exhausted"),
+        }
+    }
+}
+
+impl Error for LinError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LinError::IllFormed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WellFormednessError> for LinError {
+    fn from(e: WellFormednessError) -> Self {
+        LinError::IllFormed(e)
+    }
+}
+
+/// A witness linearization function `g`: the commit history assigned to each
+/// commit index, in chain order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinWitness<I> {
+    assignments: Vec<(usize, Vec<I>)>,
+}
+
+impl<I> LinWitness<I> {
+    /// The `(commit index, commit history)` pairs in chain (prefix) order.
+    pub fn assignments(&self) -> &[(usize, Vec<I>)] {
+        &self.assignments
+    }
+
+    /// The full linearization: the longest commit history.
+    pub fn full_history(&self) -> &[I] {
+        self.assignments
+            .last()
+            .map(|(_, h)| h.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// Checks the witness against the definition (used by tests to validate the
+/// search itself).
+pub fn witness_is_valid<T: Adt, V>(
+    adt: &T,
+    t: &Trace<ObjAction<T, V>>,
+    w: &LinWitness<T::Input>,
+) -> bool {
+    let input_ms = ops::input_multisets::<T, V>(t);
+    let commits = ops::commits::<T, V>(t);
+    if w.assignments.len() != commits.len() {
+        return false;
+    }
+    // Explains + Validity.
+    for (idx, h) in &w.assignments {
+        let Some(c) = commits.iter().find(|c| c.index == *idx) else {
+            return false;
+        };
+        if adt.output(h) != Some(c.output.clone()) {
+            return false;
+        }
+        if h.last() != Some(&c.input) {
+            return false;
+        }
+        if !Multiset::elems(h).is_subset_of(&input_ms[*idx]) {
+            return false;
+        }
+    }
+    // Commit-Order: pairwise strict-prefix comparability.
+    for (i, (_, h1)) in w.assignments.iter().enumerate() {
+        for (_, h2) in &w.assignments[i + 1..] {
+            if !(slin_trace::seq::is_strict_prefix(h1, h2)
+                || slin_trace::seq::is_strict_prefix(h2, h1))
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Decision procedure for the paper's new definition of linearizability.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Consensus, ConsInput, ConsOutput};
+/// use slin_core::lin::LinChecker;
+/// use slin_trace::{Action, ClientId, PhaseId, Trace};
+///
+/// let c1 = ClientId::new(1);
+/// let ph = PhaseId::FIRST;
+/// let t: Trace<Action<ConsInput, ConsOutput, ()>> = Trace::from_actions(vec![
+///     Action::invoke(c1, ph, ConsInput::propose(4)),
+///     Action::respond(c1, ph, ConsInput::propose(4), ConsOutput::decide(4)),
+/// ]);
+/// let cons = Consensus::new();
+/// let checker = LinChecker::new(&cons);
+/// let witness = checker.check(&t)?;
+/// assert_eq!(witness.full_history(), &[ConsInput::propose(4)]);
+/// # Ok::<(), slin_core::lin::LinError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinChecker<'a, T> {
+    adt: &'a T,
+    budget: usize,
+}
+
+impl<'a, T: Adt> LinChecker<'a, T>
+where
+    T::Input: Ord,
+{
+    /// Creates a checker for the given ADT with the default search budget.
+    pub fn new(adt: &'a T) -> Self {
+        LinChecker {
+            adt,
+            budget: DEFAULT_BUDGET,
+        }
+    }
+
+    /// Overrides the search node budget.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Checks the trace and returns a witness linearization function.
+    ///
+    /// # Errors
+    ///
+    /// [`LinError::IllFormed`] or [`LinError::SwitchAction`] when the trace
+    /// is outside the object signature; [`LinError::NotLinearizable`] when
+    /// no linearization function exists; [`LinError::BudgetExhausted`] when
+    /// the search gave up.
+    pub fn check<V>(&self, t: &Trace<ObjAction<T, V>>) -> Result<LinWitness<T::Input>, LinError>
+    where
+        V: Clone + PartialEq,
+    {
+        if let Some(index) = t.iter().position(|a| a.is_switch()) {
+            return Err(LinError::SwitchAction { index });
+        }
+        wf::check_well_formed(t)?;
+        let commits = ops::commits::<T, V>(t);
+        let input_ms = ops::input_multisets::<T, V>(t);
+        let total_inputs = input_ms.last().cloned().unwrap_or_else(Multiset::new);
+        let mut search = ChainSearch {
+            adt: self.adt,
+            commits: &commits,
+            input_ms: &input_ms,
+            pool: total_inputs,
+            extra_bound_total: t.len(),
+            budget: self.budget,
+            nodes: 0,
+            memo: HashSet::new(),
+        };
+        let mut chain = Vec::new();
+        let init_state = self.adt.initial();
+        let remaining: u64 = if commits.len() > 64 {
+            return Err(LinError::BudgetExhausted);
+        } else {
+            (0..commits.len()).fold(0u64, |m, i| m | (1 << i))
+        };
+        if search.dfs(
+            init_state,
+            Multiset::new(),
+            &mut Vec::new(),
+            remaining,
+            &mut chain,
+        )? {
+            Ok(LinWitness { assignments: chain })
+        } else {
+            Err(LinError::NotLinearizable)
+        }
+    }
+
+    /// Boolean form of [`LinChecker::check`]; treats a budget exhaustion as
+    /// "not linearizable" (conservative for assertions of linearizability).
+    pub fn is_linearizable<V>(&self, t: &Trace<ObjAction<T, V>>) -> bool
+    where
+        V: Clone + PartialEq,
+    {
+        self.check(t).is_ok()
+    }
+}
+
+/// Memoisation key of the chain search: committed set, ADT state, consumed
+/// input multiset (sorted for hashing).
+type MemoKey<T> = (u64, <T as Adt>::State, Vec<(<T as Adt>::Input, usize)>);
+
+struct ChainSearch<'s, T: Adt> {
+    adt: &'s T,
+    commits: &'s [Commit<T>],
+    input_ms: &'s [Multiset<T::Input>],
+    /// Multiset of all inputs invoked anywhere in the trace: bounds the
+    /// extras the chain may interleave.
+    pool: Multiset<T::Input>,
+    extra_bound_total: usize,
+    budget: usize,
+    nodes: usize,
+    memo: HashSet<MemoKey<T>>,
+}
+
+impl<'s, T: Adt> ChainSearch<'s, T>
+where
+    T::Input: Ord,
+{
+    fn memo_key(
+        &self,
+        remaining: u64,
+        state: &T::State,
+        used: &Multiset<T::Input>,
+    ) -> MemoKey<T> {
+        let mut u: Vec<(T::Input, usize)> = used.iter().map(|(e, c)| (e.clone(), c)).collect();
+        u.sort();
+        (remaining, state.clone(), u)
+    }
+
+    fn dfs(
+        &mut self,
+        state: T::State,
+        used: Multiset<T::Input>,
+        hist: &mut Vec<T::Input>,
+        remaining: u64,
+        chain: &mut Vec<(usize, Vec<T::Input>)>,
+    ) -> Result<bool, LinError> {
+        if remaining == 0 {
+            return Ok(true);
+        }
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return Err(LinError::BudgetExhausted);
+        }
+        let key = self.memo_key(remaining, &state, &used);
+        if self.memo.contains(&key) {
+            return Ok(false);
+        }
+
+        // Prune: a remaining commit whose allowed-input multiset no longer
+        // contains the used inputs can never be committed.
+        for (k, c) in self.commits.iter().enumerate() {
+            if remaining & (1 << k) != 0 && !used.is_subset_of(&self.input_ms[c.index]) {
+                self.memo.insert(key);
+                return Ok(false);
+            }
+        }
+
+        // Move 1: commit one of the remaining responses next on the chain.
+        for (k, c) in self.commits.iter().enumerate() {
+            if remaining & (1 << k) == 0 {
+                continue;
+            }
+            let mut used2 = used.clone();
+            used2.insert(c.input.clone());
+            if !used2.is_subset_of(&self.input_ms[c.index]) {
+                continue;
+            }
+            let (state2, out) = self.adt.apply(&state, &c.input);
+            if out != c.output {
+                continue;
+            }
+            hist.push(c.input.clone());
+            chain.push((c.index, hist.clone()));
+            let r = self.dfs(state2, used2, hist, remaining & !(1 << k), chain)?;
+            if r {
+                return Ok(true);
+            }
+            chain.pop();
+            hist.pop();
+        }
+
+        // Move 2: interleave an extra input (one not consumed as a commit's
+        // own last element). Bounded by the trace-wide invocation pool.
+        if hist.len() < self.extra_bound_total {
+            let candidates: Vec<T::Input> = self
+                .pool
+                .iter()
+                .filter(|(e, c)| used.count(e) < *c)
+                .map(|(e, _)| e.clone())
+                .collect();
+            for e in candidates {
+                let mut used2 = used.clone();
+                used2.insert(e.clone());
+                let (state2, _) = self.adt.apply(&state, &e);
+                hist.push(e);
+                let r = self.dfs(state2, used2, hist, remaining, chain)?;
+                if r {
+                    return Ok(true);
+                }
+                hist.pop();
+            }
+        }
+
+        self.memo.insert(key);
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slin_adt::{ConsInput, ConsOutput, Consensus, Register, RegInput, RegOutput};
+    use slin_trace::{Action, ClientId, PhaseId};
+
+    type CA = ObjAction<Consensus, ()>;
+
+    fn c(n: u32) -> ClientId {
+        ClientId::new(n)
+    }
+    fn ph() -> PhaseId {
+        PhaseId::FIRST
+    }
+    fn p(v: u64) -> ConsInput {
+        ConsInput::propose(v)
+    }
+    fn d(v: u64) -> ConsOutput {
+        ConsOutput::decide(v)
+    }
+
+    fn checker() -> LinChecker<'static, Consensus> {
+        LinChecker::new(&Consensus)
+    }
+
+    #[test]
+    fn empty_trace_linearizable() {
+        let t: Trace<CA> = Trace::new();
+        assert!(checker().check(&t).is_ok());
+    }
+
+    #[test]
+    fn paper_section_2_2_linearizable_example() {
+        // c1 proposes v1; c2 proposes v2; c2 decides v2; c1 decides v2.
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(), p(1)),
+            Action::invoke(c(2), ph(), p(2)),
+            Action::respond(c(2), ph(), p(2), d(2)),
+            Action::respond(c(1), ph(), p(1), d(2)),
+        ]);
+        let w = checker().check(&t).unwrap();
+        assert!(witness_is_valid(&Consensus, &t, &w));
+        assert_eq!(w.full_history(), &[p(2), p(1)]);
+    }
+
+    #[test]
+    fn paper_section_2_2_non_linearizable_split_decision() {
+        // c1 proposes v1, c2 proposes v2, c1 decides v1, c2 decides v2.
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(), p(1)),
+            Action::invoke(c(2), ph(), p(2)),
+            Action::respond(c(1), ph(), p(1), d(1)),
+            Action::respond(c(2), ph(), p(2), d(2)),
+        ]);
+        assert_eq!(checker().check(&t), Err(LinError::NotLinearizable));
+    }
+
+    #[test]
+    fn paper_section_2_2_non_linearizable_future_value() {
+        // c1 proposes v1, c1 decides v2 (before v2 was ever proposed).
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(), p(1)),
+            Action::respond(c(1), ph(), p(1), d(2)),
+            Action::invoke(c(2), ph(), p(2)),
+            Action::respond(c(2), ph(), p(2), d(2)),
+        ]);
+        assert_eq!(checker().check(&t), Err(LinError::NotLinearizable));
+    }
+
+    #[test]
+    fn pending_invocations_are_fine() {
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(), p(1)),
+            Action::invoke(c(2), ph(), p(2)),
+            Action::respond(c(2), ph(), p(2), d(2)),
+        ]);
+        // c2 decided 2 although c1 proposed first: only linearizable thanks
+        // to c1's proposal being pending — v2 is linearized first.
+        assert!(checker().check(&t).is_ok());
+    }
+
+    #[test]
+    fn decision_can_depend_on_pending_proposal() {
+        // c2 decides c1's pending value: the chain must interleave the
+        // pending proposal p(1) as an extra input.
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(), p(1)),
+            Action::invoke(c(2), ph(), p(2)),
+            Action::respond(c(2), ph(), p(2), d(1)),
+        ]);
+        let w = checker().check(&t).unwrap();
+        assert!(witness_is_valid(&Consensus, &t, &w));
+        assert_eq!(w.full_history(), &[p(1), p(2)]);
+    }
+
+    #[test]
+    fn ill_formed_rejected() {
+        let t: Trace<CA> = Trace::from_actions(vec![Action::respond(c(1), ph(), p(1), d(1))]);
+        assert!(matches!(checker().check(&t), Err(LinError::IllFormed(_))));
+    }
+
+    #[test]
+    fn switch_action_rejected() {
+        let t: Trace<ObjAction<Consensus, u8>> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(), p(1)),
+            Action::switch(c(1), PhaseId::new(2), p(1), 0),
+        ]);
+        assert_eq!(
+            LinChecker::new(&Consensus).check(&t),
+            Err(LinError::SwitchAction { index: 1 })
+        );
+    }
+
+    #[test]
+    fn repeated_inputs_are_supported() {
+        // Both clients propose the same value; both decide it.
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(), p(7)),
+            Action::invoke(c(2), ph(), p(7)),
+            Action::respond(c(1), ph(), p(7), d(7)),
+            Action::respond(c(2), ph(), p(7), d(7)),
+        ]);
+        let w = checker().check(&t).unwrap();
+        assert!(witness_is_valid(&Consensus, &t, &w));
+    }
+
+    #[test]
+    fn register_read_must_see_latest_non_overlapping_write() {
+        let r = Register::new();
+        let chk = LinChecker::new(&r);
+        // wr(1) completes, then a read returns ⊥: not linearizable.
+        let t: Trace<ObjAction<Register, ()>> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(), RegInput::Write(1)),
+            Action::respond(c(1), ph(), RegInput::Write(1), RegOutput::Ack),
+            Action::invoke(c(2), ph(), RegInput::Read),
+            Action::respond(c(2), ph(), RegInput::Read, RegOutput::Value(None)),
+        ]);
+        assert_eq!(chk.check(&t), Err(LinError::NotLinearizable));
+    }
+
+    #[test]
+    fn register_overlapping_write_read_both_orders_ok() {
+        let r = Register::new();
+        let chk = LinChecker::new(&r);
+        for seen in [None, Some(3)] {
+            let t: Trace<ObjAction<Register, ()>> = Trace::from_actions(vec![
+                Action::invoke(c(1), ph(), RegInput::Write(3)),
+                Action::invoke(c(2), ph(), RegInput::Read),
+                Action::respond(c(2), ph(), RegInput::Read, RegOutput::Value(seen)),
+                Action::respond(c(1), ph(), RegInput::Write(3), RegOutput::Ack),
+            ]);
+            assert!(chk.check(&t).is_ok(), "seen={seen:?}");
+        }
+    }
+
+    #[test]
+    fn commit_order_rules_out_equal_histories() {
+        // Two responses cannot share one commit history: the second decision
+        // must extend the chain, which forces a second occurrence of p(5).
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(), p(5)),
+            Action::respond(c(1), ph(), p(5), d(5)),
+            Action::invoke(c(1), ph(), p(5)),
+            Action::respond(c(1), ph(), p(5), d(5)),
+        ]);
+        let w = checker().check(&t).unwrap();
+        let hs: Vec<usize> = w.assignments().iter().map(|(_, h)| h.len()).collect();
+        assert_eq!(hs, vec![1, 2]);
+    }
+}

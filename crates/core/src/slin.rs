@@ -1,0 +1,749 @@
+//! Speculative linearizability (paper Section 5).
+//!
+//! A trace `t` of a speculation phase `(m, n)` is *(m, n)-speculatively
+//! linearizable* (Definition 19) iff it is `(m, n)`-well-formed and **for
+//! every** interpretation `finit` of its init actions (switch actions
+//! labelled `m`, interpreted through the common relation `rinit`) **there
+//! exist** an interpretation `fabort` of its abort actions (switch actions
+//! labelled `n`) and a *speculative linearization function* `g` such that
+//! (Definitions 20–32):
+//!
+//! * **Explains** — `f_T(g(i))` is the output returned at every commit
+//!   index `i`;
+//! * **Validity** — commit and abort histories draw their inputs from the
+//!   *valid inputs* `vi(m, t, finit, i)`: inputs invoked before `i` plus the
+//!   inputs vouched for by init actions before `i` (`ivi`, Definition 25);
+//! * **Commit-Order** — commit histories form a chain under strict prefix;
+//! * **Init-Order** — the longest common prefix of all init histories is a
+//!   strict prefix of every commit and abort history;
+//! * **Abort-Order** — every commit history is a prefix of every abort
+//!   history.
+//!
+//! [`SlinChecker`] decides the quantifier alternation by enumerating the
+//! finite candidate interpretations provided by the [`InitRelation`]
+//! (exact for the Section 6 singleton relation, bounded-adversarial for the
+//! consensus mapping) and running, for each, the same chain search as the
+//! plain linearizability checker — seeded with the longest common prefix of
+//! the init histories and extended with abort feasibility at the leaves.
+
+use crate::initrel::{CandidateContext, InitRelation};
+use crate::ops::{self, Commit, SwitchEvent};
+use crate::ObjAction;
+use slin_adt::Adt;
+use slin_trace::seq;
+use slin_trace::wf::{self, WellFormednessError};
+use slin_trace::{Multiset, PhaseId, Trace};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Default node budget for the backtracking search (per interpretation).
+pub const DEFAULT_BUDGET: usize = 2_000_000;
+
+/// Default cap on the number of init interpretations enumerated.
+pub const DEFAULT_MAX_INTERPRETATIONS: usize = 16_384;
+
+/// Why a trace failed the speculative linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlinError {
+    /// The trace is not `(m, n)`-well-formed (Definition 35).
+    IllFormed(WellFormednessError),
+    /// An action's phase label lies outside `[m..n]`.
+    ForeignAction {
+        /// Index of the offending action.
+        index: usize,
+    },
+    /// No speculative linearization function exists for the reported init
+    /// interpretation: the trace is not speculatively linearizable.
+    NotSpeculativelyLinearizable {
+        /// Indices of the init actions, paired with the interpretation
+        /// under which the existential fails (empty when `m = 1`).
+        interpretation: Vec<(usize, Vec<String>)>,
+    },
+    /// The search exceeded its node budget before reaching a verdict.
+    BudgetExhausted,
+    /// More candidate interpretations than the configured cap.
+    TooManyInterpretations {
+        /// The number of interpretations that enumeration would require.
+        required: usize,
+    },
+}
+
+impl fmt::Display for SlinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlinError::IllFormed(e) => write!(f, "trace is not (m, n)-well-formed: {e}"),
+            SlinError::ForeignAction { index } => {
+                write!(f, "action at index {index} outside the phase signature")
+            }
+            SlinError::NotSpeculativelyLinearizable { interpretation } => write!(
+                f,
+                "no speculative linearization function exists (init interpretation at indices {:?})",
+                interpretation.iter().map(|(i, _)| *i).collect::<Vec<_>>()
+            ),
+            SlinError::BudgetExhausted => write!(f, "search budget exhausted"),
+            SlinError::TooManyInterpretations { required } => {
+                write!(f, "{required} init interpretations exceed the configured cap")
+            }
+        }
+    }
+}
+
+impl Error for SlinError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SlinError::IllFormed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WellFormednessError> for SlinError {
+    fn from(e: WellFormednessError) -> Self {
+        SlinError::IllFormed(e)
+    }
+}
+
+/// A witness for one init interpretation: the commit chain `g` and the abort
+/// histories `fabort` found by the search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlinWitness<I> {
+    /// The interpretation of each init action: `(trace index, history)`.
+    pub init_histories: Vec<(usize, Vec<I>)>,
+    /// The commit histories in chain order: `(trace index, history)`.
+    pub commit_histories: Vec<(usize, Vec<I>)>,
+    /// The abort histories: `(trace index, history)`.
+    pub abort_histories: Vec<(usize, Vec<I>)>,
+}
+
+/// The outcome of a successful check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlinReport<I> {
+    /// How many init interpretations were enumerated (1 when `m = 1`).
+    pub interpretations_checked: usize,
+    /// The witness found under the first interpretation.
+    pub witness: SlinWitness<I>,
+}
+
+/// Decision procedure for `(m, n)`-speculative linearizability.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Consensus, ConsInput, ConsOutput, Value};
+/// use slin_core::initrel::ConsensusInit;
+/// use slin_core::slin::SlinChecker;
+/// use slin_trace::{Action, ClientId, PhaseId, Trace};
+///
+/// // A Quorum-style phase (1, 2) trace: c1 decides 1, c2 aborts with 1.
+/// let (c1, c2) = (ClientId::new(1), ClientId::new(2));
+/// let ph1 = PhaseId::new(1);
+/// let t: Trace<Action<ConsInput, ConsOutput, Value>> = Trace::from_actions(vec![
+///     Action::invoke(c1, ph1, ConsInput::propose(1)),
+///     Action::invoke(c2, ph1, ConsInput::propose(2)),
+///     Action::respond(c1, ph1, ConsInput::propose(1), ConsOutput::decide(1)),
+///     Action::switch(c2, PhaseId::new(2), ConsInput::propose(2), Value::new(1)),
+/// ]);
+/// let cons = Consensus::new();
+/// let checker = SlinChecker::new(&cons, ConsensusInit::new(),
+///                                PhaseId::new(1), PhaseId::new(2));
+/// assert!(checker.check(&t).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlinChecker<'a, T, R> {
+    adt: &'a T,
+    rinit: R,
+    m: PhaseId,
+    n: PhaseId,
+    budget: usize,
+    max_interpretations: usize,
+}
+
+impl<'a, T, R> SlinChecker<'a, T, R>
+where
+    T: Adt,
+    T::Input: Ord,
+    R: InitRelation<T::Input>,
+{
+    /// Creates a checker for speculation phase `(m, n)` over `adt` with the
+    /// common relation `rinit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m < n`.
+    pub fn new(adt: &'a T, rinit: R, m: PhaseId, n: PhaseId) -> Self {
+        assert!(m < n, "a speculation phase (m, n) requires m < n");
+        SlinChecker {
+            adt,
+            rinit,
+            m,
+            n,
+            budget: DEFAULT_BUDGET,
+            max_interpretations: DEFAULT_MAX_INTERPRETATIONS,
+        }
+    }
+
+    /// Overrides the per-interpretation search node budget.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the cap on enumerated init interpretations.
+    pub fn with_max_interpretations(mut self, cap: usize) -> Self {
+        self.max_interpretations = cap;
+        self
+    }
+
+    /// Checks `(m, n)`-speculative linearizability of the trace.
+    ///
+    /// # Errors
+    ///
+    /// See [`SlinError`]. The check is exact when the [`InitRelation`]
+    /// candidate sets are exhaustive (e.g. [`crate::initrel::ExactInit`]);
+    /// otherwise it validates the definition over the bounded adversarial
+    /// candidate enumeration documented by the relation.
+    pub fn check(
+        &self,
+        t: &Trace<ObjAction<T, R::Value>>,
+    ) -> Result<SlinReport<T::Input>, SlinError> {
+        // Signature membership: invocations and responses labelled in
+        // [m..n-1], switch actions in [m..n].
+        let sig = slin_trace::PhaseSignature::new(self.m, self.n);
+        use slin_trace::prop::Signature as _;
+        for (index, a) in t.iter().enumerate() {
+            if !sig.contains(a) {
+                return Err(SlinError::ForeignAction { index });
+            }
+        }
+        wf::check_phase_well_formed(t, self.m, self.n)?;
+
+        let commits = ops::commits::<T, R::Value>(t);
+        if commits.len() > 64 {
+            return Err(SlinError::BudgetExhausted);
+        }
+        let inits = ops::switches::<T, R::Value>(t, self.m);
+        let aborts = ops::switches::<T, R::Value>(t, self.n);
+        let input_ms = ops::input_multisets::<T, R::Value>(t);
+        let ctx = CandidateContext::new(t.iter().map(|a| a.input().clone()).collect());
+
+        // Enumerate candidate interpretations of the init actions.
+        let per_init: Vec<Vec<Vec<T::Input>>> = inits
+            .iter()
+            .map(|s| self.rinit.candidates(&s.value, &ctx))
+            .collect();
+        let combos: usize = per_init.iter().map(|c| c.len().max(1)).product();
+        if combos > self.max_interpretations {
+            return Err(SlinError::TooManyInterpretations { required: combos });
+        }
+
+        let mut first_witness: Option<SlinWitness<T::Input>> = None;
+        let mut checked = 0usize;
+        let mut idxs = vec![0usize; per_init.len()];
+        loop {
+            let finit: Vec<(usize, &Vec<T::Input>)> = inits
+                .iter()
+                .zip(per_init.iter().zip(idxs.iter()))
+                .filter_map(|(s, (cands, &k))| cands.get(k).map(|h| (s.index, h)))
+                .collect();
+            checked += 1;
+            match self.check_one_interpretation(t, &commits, &inits, &aborts, &input_ms, &finit, &ctx)?
+            {
+                Some(w) => {
+                    if first_witness.is_none() {
+                        first_witness = Some(w);
+                    }
+                }
+                None => {
+                    return Err(SlinError::NotSpeculativelyLinearizable {
+                        interpretation: finit
+                            .iter()
+                            .map(|(i, h)| (*i, h.iter().map(|x| format!("{x:?}")).collect()))
+                            .collect(),
+                    });
+                }
+            }
+            // Advance the mixed-radix counter over candidate choices.
+            let mut pos = 0;
+            loop {
+                if pos == idxs.len() {
+                    return Ok(SlinReport {
+                        interpretations_checked: checked,
+                        witness: first_witness.expect("at least one interpretation checked"),
+                    });
+                }
+                idxs[pos] += 1;
+                if idxs[pos] < per_init[pos].len().max(1) {
+                    break;
+                }
+                idxs[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    /// Boolean form of [`SlinChecker::check`].
+    pub fn is_speculatively_linearizable(&self, t: &Trace<ObjAction<T, R::Value>>) -> bool {
+        self.check(t).is_ok()
+    }
+
+    /// Decides the existential part of Definition 19 for one fixed `finit`.
+    #[allow(clippy::too_many_arguments)]
+    fn check_one_interpretation(
+        &self,
+        t: &Trace<ObjAction<T, R::Value>>,
+        commits: &[Commit<T>],
+        inits: &[SwitchEvent<T::Input, R::Value>],
+        aborts: &[SwitchEvent<T::Input, R::Value>],
+        input_ms: &[Multiset<T::Input>],
+        finit: &[(usize, &Vec<T::Input>)],
+        ctx: &CandidateContext<T::Input>,
+    ) -> Result<Option<SlinWitness<T::Input>>, SlinError> {
+        // ivi (Definition 25): cumulative, per trace index, the inputs
+        // vouched for by init actions strictly before i. The elements of the
+        // interpretation histories are ∪-combined (they describe prefixes of
+        // one linearization of the previous phase), while each init action's
+        // *pending input* is a distinct invocation transferred into this
+        // phase and is therefore ⊎-summed — this is what makes the paper's
+        // own Backup construction (h ::: pending inputs, Section 2.4) valid
+        // when a pending value collides with an init-history element.
+        let mut ivi: Vec<Multiset<T::Input>> = Vec::with_capacity(t.len() + 1);
+        let mut hist_elems: Multiset<T::Input> = Multiset::new();
+        let mut pending_sum: Multiset<T::Input> = Multiset::new();
+        ivi.push(Multiset::new());
+        for i in 0..t.len() {
+            if let Some((_, h)) = finit.iter().find(|(j, _)| *j == i) {
+                let init_input = inits
+                    .iter()
+                    .find(|s| s.index == i)
+                    .map(|s| s.input.clone())
+                    .expect("finit indices come from inits");
+                hist_elems = hist_elems.union_max(&Multiset::elems(h));
+                pending_sum.insert(init_input);
+            }
+            ivi.push(hist_elems.sum(&pending_sum));
+        }
+        // vi (Definition 26): ivi(i) ⊎ elems(inputs(t, i)).
+        let vi: Vec<Multiset<T::Input>> = ivi
+            .iter()
+            .zip(input_ms.iter())
+            .map(|(a, b)| a.sum(b))
+            .collect();
+
+        // The longest common prefix of the init histories seeds the chain.
+        let lcp: Vec<T::Input> =
+            seq::longest_common_prefix(finit.iter().map(|(_, h)| h.as_slice()));
+        let constrain_init_order = !finit.is_empty();
+
+        // Abort interpretations are found at the leaves, once the longest
+        // commit history is known: the relation enumerates members of
+        // rinit(v) extending it.
+        let abort_events: Vec<(usize, T::Input, R::Value)> = aborts
+            .iter()
+            .map(|s| (s.index, s.input.clone(), s.value.clone()))
+            .collect();
+        let extend = |value: &R::Value, prefix: &[T::Input]| self.rinit.extensions(value, prefix, ctx);
+
+        let pool = vi.last().cloned().unwrap_or_else(Multiset::new);
+        let mut search = SlinSearch {
+            adt: self.adt,
+            commits,
+            vi: &vi,
+            pool,
+            budget: self.budget,
+            nodes: 0,
+            memo: HashSet::new(),
+            lcp: &lcp,
+            constrain_init_order,
+            abort_events: &abort_events,
+            extend: &extend,
+        };
+        let remaining: u64 = (0..commits.len()).fold(0u64, |m, i| m | (1 << i));
+        let mut chain: Vec<(usize, Vec<T::Input>)> = Vec::new();
+        let mut hist = lcp.clone();
+        let state = self.adt.run(&lcp);
+        let used = Multiset::elems(&lcp);
+        match search.dfs(state, used, &mut hist, remaining, &mut chain)? {
+            Some(abort_histories) => Ok(Some(SlinWitness {
+                init_histories: finit.iter().map(|(i, h)| (*i, (*h).clone())).collect(),
+                commit_histories: chain,
+                abort_histories,
+            })),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Memoisation key of the chain search (see `crate::lin`).
+type MemoKey<T> = (u64, <T as Adt>::State, Vec<(<T as Adt>::Input, usize)>);
+/// Enumerator of rinit members extending a prefix (the ∃ fabort side).
+type ExtendFn<'s, T, V> =
+    &'s dyn Fn(&V, &[<T as Adt>::Input]) -> Vec<Vec<<T as Adt>::Input>>;
+/// The found abort interpretations: `(trace index, history)` pairs.
+type AbortWitness<T> = Vec<(usize, Vec<<T as Adt>::Input>)>;
+
+struct SlinSearch<'s, T: Adt, V> {
+    adt: &'s T,
+    commits: &'s [Commit<T>],
+    vi: &'s [Multiset<T::Input>],
+    pool: Multiset<T::Input>,
+    budget: usize,
+    nodes: usize,
+    memo: HashSet<MemoKey<T>>,
+    lcp: &'s [T::Input],
+    constrain_init_order: bool,
+    abort_events: &'s [(usize, T::Input, V)],
+    extend: ExtendFn<'s, T, V>,
+}
+
+impl<'s, T: Adt, V> SlinSearch<'s, T, V>
+where
+    T::Input: Ord,
+{
+    fn memo_key(
+        &self,
+        remaining: u64,
+        state: &T::State,
+        used: &Multiset<T::Input>,
+    ) -> MemoKey<T> {
+        let mut u: Vec<(T::Input, usize)> = used.iter().map(|(e, c)| (e.clone(), c)).collect();
+        u.sort();
+        (remaining, state.clone(), u)
+    }
+
+    /// Leaf check: every abort event needs an interpretation that extends
+    /// the longest commit history (Abort-Order), extends the init LCP
+    /// (Init-Order), and draws from the valid inputs at its index
+    /// (Definition 28).
+    ///
+    /// Definition 31 demands a *strict* prefix; we require strictness only
+    /// for commit histories (where the chain construction enforces it) and
+    /// relax it to a plain prefix for abort histories: the paper's own ALM
+    /// specification automaton (Section 6, step A4) emits abort values equal
+    /// to the initialization prefix when nothing committed and no loose
+    /// pending inputs exist, and the composition proof only uses non-strict
+    /// prefix reasoning on abort histories.
+    fn aborts_feasible(&self, longest_commit: &[T::Input]) -> Option<AbortWitness<T>> {
+        let mut chosen = Vec::with_capacity(self.abort_events.len());
+        for (index, input, value) in self.abort_events {
+            let cands = (self.extend)(value, longest_commit);
+            let ok = cands.into_iter().find(|a| {
+                (!self.constrain_init_order || seq::is_prefix(self.lcp, a))
+                    && Multiset::elems(a)
+                        .union_max(&Multiset::elems(std::slice::from_ref(input)))
+                        .is_subset_of(&self.vi[*index])
+            });
+            match ok {
+                Some(a) => chosen.push((*index, a)),
+                None => return None,
+            }
+        }
+        Some(chosen)
+    }
+
+    fn dfs(
+        &mut self,
+        state: T::State,
+        used: Multiset<T::Input>,
+        hist: &mut Vec<T::Input>,
+        remaining: u64,
+        chain: &mut Vec<(usize, Vec<T::Input>)>,
+    ) -> Result<Option<AbortWitness<T>>, SlinError> {
+        if remaining == 0 {
+            // All commits placed; aborts must extend the longest commit
+            // history (or the LCP when there were no commits).
+            let longest = chain.last().map(|(_, h)| h.as_slice()).unwrap_or(self.lcp);
+            return Ok(self.aborts_feasible(longest));
+        }
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return Err(SlinError::BudgetExhausted);
+        }
+        let key = self.memo_key(remaining, &state, &used);
+        if self.memo.contains(&key) {
+            return Ok(None);
+        }
+
+        for (k, c) in self.commits.iter().enumerate() {
+            if remaining & (1 << k) != 0 && !used.is_subset_of(&self.vi[c.index]) {
+                self.memo.insert(key);
+                return Ok(None);
+            }
+        }
+
+        // Move 1: commit a remaining response.
+        for (k, c) in self.commits.iter().enumerate() {
+            if remaining & (1 << k) == 0 {
+                continue;
+            }
+            let mut used2 = used.clone();
+            used2.insert(c.input.clone());
+            if !used2.is_subset_of(&self.vi[c.index]) {
+                continue;
+            }
+            let (state2, out) = self.adt.apply(&state, &c.input);
+            if out != c.output {
+                continue;
+            }
+            hist.push(c.input.clone());
+            chain.push((c.index, hist.clone()));
+            let r = self.dfs(state2, used2, hist, remaining & !(1 << k), chain)?;
+            if r.is_some() {
+                return Ok(r);
+            }
+            chain.pop();
+            hist.pop();
+        }
+
+        // Move 2: interleave an extra valid input.
+        let candidates: Vec<T::Input> = self
+            .pool
+            .iter()
+            .filter(|(e, c)| used.count(e) < *c)
+            .map(|(e, _)| e.clone())
+            .collect();
+        for e in candidates {
+            let mut used2 = used.clone();
+            used2.insert(e.clone());
+            let (state2, _) = self.adt.apply(&state, &e);
+            hist.push(e);
+            let r = self.dfs(state2, used2, hist, remaining, chain)?;
+            if r.is_some() {
+                return Ok(r);
+            }
+            hist.pop();
+        }
+
+        self.memo.insert(key);
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::initrel::{ConsensusInit, ExactInit};
+    use slin_adt::{ConsInput, ConsOutput, Consensus, Universal, Value};
+    use slin_trace::{Action, ClientId};
+
+    type CV = Value;
+    type CA = ObjAction<Consensus, CV>;
+
+    fn c(n: u32) -> ClientId {
+        ClientId::new(n)
+    }
+    fn ph(n: u32) -> PhaseId {
+        PhaseId::new(n)
+    }
+    fn p(v: u64) -> ConsInput {
+        ConsInput::propose(v)
+    }
+    fn d(v: u64) -> ConsOutput {
+        ConsOutput::decide(v)
+    }
+
+    fn quorum_checker() -> SlinChecker<'static, Consensus, ConsensusInit> {
+        SlinChecker::new(&Consensus, ConsensusInit::new(), ph(1), ph(2))
+    }
+
+    fn backup_checker() -> SlinChecker<'static, Consensus, ConsensusInit> {
+        SlinChecker::new(&Consensus, ConsensusInit::new(), ph(2), ph(3))
+    }
+
+    #[test]
+    fn empty_trace_is_slin() {
+        let t: Trace<CA> = Trace::new();
+        assert!(quorum_checker().check(&t).is_ok());
+        assert!(backup_checker().check(&t).is_ok());
+    }
+
+    #[test]
+    fn decide_then_switch_with_same_value_is_slin() {
+        // Invariant I1 satisfied: c1 decides 1, c2 switches with 1.
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(1), p(1)),
+            Action::invoke(c(2), ph(1), p(2)),
+            Action::respond(c(1), ph(1), p(1), d(1)),
+            Action::switch(c(2), ph(2), p(2), Value::new(1)),
+        ]);
+        let report = quorum_checker().check(&t).unwrap();
+        assert!(report.interpretations_checked >= 1);
+        // The abort history starts with the decided value and extends the
+        // commit history [p(1)].
+        let (_, a) = &report.witness.abort_histories[0];
+        assert_eq!(a.first(), Some(&p(1)));
+    }
+
+    #[test]
+    fn decide_then_switch_with_other_value_violates() {
+        // Invariant I1 violated: c1 decides 1 but c2 switches with 2.
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(1), p(1)),
+            Action::invoke(c(2), ph(1), p(2)),
+            Action::respond(c(1), ph(1), p(1), d(1)),
+            Action::switch(c(2), ph(2), p(2), Value::new(2)),
+        ]);
+        assert!(matches!(
+            quorum_checker().check(&t),
+            Err(SlinError::NotSpeculativelyLinearizable { .. })
+        ));
+    }
+
+    #[test]
+    fn split_decisions_violate() {
+        // Invariant I2 violated.
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(1), p(1)),
+            Action::invoke(c(2), ph(1), p(2)),
+            Action::respond(c(1), ph(1), p(1), d(1)),
+            Action::respond(c(2), ph(1), p(2), d(2)),
+        ]);
+        assert!(quorum_checker().check(&t).is_err());
+    }
+
+    #[test]
+    fn switch_with_unproposed_value_violates() {
+        // Invariant I3 violated: 9 was never proposed, so no valid abort
+        // history starting with p(9) exists.
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(1), p(1)),
+            Action::switch(c(1), ph(2), p(1), Value::new(9)),
+        ]);
+        assert!(quorum_checker().check(&t).is_err());
+    }
+
+    #[test]
+    fn diverging_switches_without_decision_are_slin() {
+        // No decisions: clients may switch with different values (the
+        // paper's "no client decides" case — LCP of abort histories empty).
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(1), p(1)),
+            Action::invoke(c(2), ph(1), p(2)),
+            Action::switch(c(1), ph(2), p(1), Value::new(2)),
+            Action::switch(c(2), ph(2), p(2), Value::new(1)),
+        ]);
+        assert!(quorum_checker().check(&t).is_ok());
+    }
+
+    #[test]
+    fn backup_decides_unique_switch_value() {
+        // Phase (2, 3): both clients arrive with switch value 5 and decide 5
+        // (invariants I4, I5).
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::switch(c(1), ph(2), p(1), Value::new(5)),
+            Action::switch(c(2), ph(2), p(2), Value::new(5)),
+            Action::respond(c(1), ph(2), p(1), d(5)),
+            Action::respond(c(2), ph(2), p(2), d(5)),
+        ]);
+        let report = backup_checker().check(&t).unwrap();
+        // The adversary can pick [p(5), x] for both init actions, so more
+        // than one interpretation is enumerated.
+        assert!(report.interpretations_checked > 1);
+    }
+
+    #[test]
+    fn backup_must_not_decide_own_pending_over_init() {
+        // Both init actions carry value 5; deciding 1 (a pending input value,
+        // never a switch value) violates Init-Order: every commit history
+        // must strictly extend [p(5)] and thus decide 5.
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::switch(c(1), ph(2), p(1), Value::new(5)),
+            Action::respond(c(1), ph(2), p(1), d(1)),
+        ]);
+        assert!(backup_checker().check(&t).is_err());
+    }
+
+    #[test]
+    fn backup_with_divergent_switch_values_may_decide_either() {
+        // Two different switch values: LCP of init histories is empty, so
+        // the phase may decide either (as Paxos might).
+        for decided in [1u64, 2] {
+            let t: Trace<CA> = Trace::from_actions(vec![
+                Action::switch(c(1), ph(2), p(1), Value::new(1)),
+                Action::switch(c(2), ph(2), p(2), Value::new(2)),
+                Action::respond(c(1), ph(2), p(1), d(decided)),
+                Action::respond(c(2), ph(2), p(2), d(decided)),
+            ]);
+            assert!(backup_checker().check(&t).is_ok(), "decided={decided}");
+        }
+    }
+
+    #[test]
+    fn backup_split_decision_violates() {
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::switch(c(1), ph(2), p(1), Value::new(1)),
+            Action::switch(c(2), ph(2), p(2), Value::new(2)),
+            Action::respond(c(1), ph(2), p(1), d(1)),
+            Action::respond(c(2), ph(2), p(2), d(2)),
+        ]);
+        assert!(backup_checker().check(&t).is_err());
+    }
+
+    #[test]
+    fn foreign_phase_label_rejected() {
+        let t: Trace<CA> = Trace::from_actions(vec![Action::invoke(c(1), ph(3), p(1))]);
+        assert_eq!(
+            quorum_checker().check(&t),
+            Err(SlinError::ForeignAction { index: 0 })
+        );
+    }
+
+    #[test]
+    fn exact_relation_universal_adt_roundtrip() {
+        // Section 6 setting: universal ADT, switch values are histories.
+        let u: Universal<u8> = Universal::new();
+        let checker = SlinChecker::new(&u, ExactInit::new(), ph(1), ph(2));
+        let t: Trace<ObjAction<Universal<u8>, Vec<u8>>> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(1), 7u8),
+            Action::respond(c(1), ph(1), 7u8, vec![7u8]),
+            Action::invoke(c(2), ph(1), 9u8),
+            Action::switch(c(2), ph(2), 9u8, vec![7u8, 9u8]),
+        ]);
+        let report = checker.check(&t).unwrap();
+        assert_eq!(report.witness.abort_histories[0].1, vec![7, 9]);
+    }
+
+    #[test]
+    fn exact_relation_rejects_abort_history_dropping_a_commit() {
+        // c1's committed [7] must prefix every abort history; switching with
+        // the history [9] alone contradicts Abort-Order.
+        let u: Universal<u8> = Universal::new();
+        let checker = SlinChecker::new(&u, ExactInit::new(), ph(1), ph(2));
+        let t: Trace<ObjAction<Universal<u8>, Vec<u8>>> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(1), 7u8),
+            Action::respond(c(1), ph(1), 7u8, vec![7u8]),
+            Action::invoke(c(2), ph(1), 9u8),
+            Action::switch(c(2), ph(2), 9u8, vec![9u8]),
+        ]);
+        assert!(checker.check(&t).is_err());
+    }
+
+    #[test]
+    fn theorem_2_slin_equals_lin_on_switch_free_traces() {
+        // SLin(1, m) restricted to the object signature is Lin (Theorem 2):
+        // on a switch-free trace the two checkers agree.
+        use crate::lin::LinChecker;
+        let lin = LinChecker::new(&Consensus);
+        let traces: Vec<Trace<CA>> = vec![
+            Trace::from_actions(vec![
+                Action::invoke(c(1), ph(1), p(1)),
+                Action::invoke(c(2), ph(1), p(2)),
+                Action::respond(c(2), ph(1), p(2), d(2)),
+                Action::respond(c(1), ph(1), p(1), d(2)),
+            ]),
+            Trace::from_actions(vec![
+                Action::invoke(c(1), ph(1), p(1)),
+                Action::invoke(c(2), ph(1), p(2)),
+                Action::respond(c(1), ph(1), p(1), d(1)),
+                Action::respond(c(2), ph(1), p(2), d(2)),
+            ]),
+        ];
+        for t in &traces {
+            assert_eq!(
+                quorum_checker().check(t).is_ok(),
+                lin.check(t).is_ok(),
+                "{t:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! The ALM ("abortable linearizable module") specification automaton
+//! (paper Section 6).
+//!
+//! The automaton specifies speculative linearizability for the *universal
+//! ADT* (outputs are full input histories) with the singleton relation
+//! `rinit(h) = {h}`. Its state comprises the longest committed
+//! linearization `hist`, a per-client phase (`Sleep`, `Pending`, `Ready`,
+//! `Aborted`), the pending input of each client, the received init
+//! histories, and the `aborted` / `initialized` flags. It takes the
+//! nondeterministic steps of the paper:
+//!
+//! * **A1** (internal) — once some client is awake and the automaton is not
+//!   yet initialized, set `hist` to the longest common prefix of the
+//!   received init histories;
+//! * **A2** (output) — respond to a pending client by appending its input to
+//!   `hist` and emitting the new `hist`; disabled once `aborted` — this is
+//!   what freezes `hist` and secures Abort-Order ("at this point hist does
+//!   not grow anymore");
+//! * **A3** (internal) — set `aborted`;
+//! * **A4** (output) — switch a pending client out, emitting an abort value
+//!   `h'` that extends `hist` by pending inputs only.
+//!
+//! Two variants are provided: the **strict** automaton above (the paper's),
+//! and a **relaxed** one ([`AlmAutomaton::spec`]) whose responses may linearize
+//! other clients' pending inputs in the same step. The relaxed variant is
+//! needed as the *specification* when checking that a composition with
+//! *hidden* interior switches refines a single phase: a hidden abort value
+//! can transfer pending inputs into the next component's `hist`, and the
+//! specification must be able to produce the resulting response in one
+//! visible step. Every relaxed trace is still speculatively linearizable
+//! (the workspace tests check both variants with
+//! `slin_core::slin::SlinChecker`).
+
+use crate::automaton::Automaton;
+use slin_trace::{Action, ClientId, PhaseId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An external ALM action: a trace action of the universal ADT, with
+/// histories as outputs and as switch values.
+pub type AlmExt<I> = Action<I, Vec<I>, Vec<I>>;
+
+/// An action of the ALM automaton.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum AlmAction<I> {
+    /// An external action (invocation, response, or switch).
+    Ext(AlmExt<I>),
+    /// Internal step A1 of the automaton whose first phase is `phase`.
+    Initialize {
+        /// The owning automaton's first phase (disambiguates instances).
+        phase: u32,
+    },
+    /// Internal step A3 of the automaton whose first phase is `phase`.
+    MarkAborted {
+        /// The owning automaton's first phase.
+        phase: u32,
+    },
+}
+
+impl<I: Debug> Debug for AlmAction<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlmAction::Ext(a) => write!(f, "{a:?}"),
+            AlmAction::Initialize { phase } => write!(f, "init@{phase}"),
+            AlmAction::MarkAborted { phase } => write!(f, "abort@{phase}"),
+        }
+    }
+}
+
+/// Parameters of an ALM automaton instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlmParams<I = u8> {
+    /// The phase interval lower bound `m` (1 for the first phase).
+    pub first: u32,
+    /// The phase interval upper bound `n` (the phase switched to).
+    pub last: u32,
+    /// Number of clients (identifiers `1..=clients`).
+    pub clients: u32,
+    /// The finite input pool enumerated by invocations and init histories.
+    pub inputs: Vec<I>,
+}
+
+impl<I> AlmParams<I> {
+    /// Upper bound on the length of enumerated incoming init histories.
+    const MAX_INIT_HIST: usize = 2;
+}
+
+/// Per-client phase of the ALM automaton (paper Section 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClientPhase {
+    /// Not yet arrived in this speculation phase.
+    Sleep,
+    /// Waiting for a response to its pending input.
+    Pending,
+    /// Received its last response; may invoke again.
+    Ready,
+    /// Switched out to the next speculation phase.
+    Aborted,
+}
+
+/// The state of the ALM automaton.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AlmState<I: Ord> {
+    hist: Vec<I>,
+    phase: BTreeMap<ClientId, ClientPhase>,
+    pending: BTreeMap<ClientId, (u32, I)>,
+    init_hists: BTreeSet<Vec<I>>,
+    aborted: bool,
+    initialized: bool,
+}
+
+impl<I: Ord + Clone> AlmState<I> {
+    /// The longest linearization made visible to a client so far.
+    pub fn hist(&self) -> &[I] {
+        &self.hist
+    }
+
+    /// Whether step A3 has occurred.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// The phase of a client.
+    pub fn client_phase(&self, c: ClientId) -> ClientPhase {
+        self.phase.get(&c).copied().unwrap_or(ClientPhase::Sleep)
+    }
+}
+
+/// The ALM specification automaton for speculation phase
+/// `(first, last)`.
+///
+/// # Example
+///
+/// ```
+/// use slin_ioa::alm::{AlmAutomaton, AlmParams};
+/// use slin_ioa::automaton::Automaton;
+///
+/// let alm = AlmAutomaton::new(AlmParams { first: 1, last: 2, clients: 1, inputs: vec![7u8] });
+/// let s0 = alm.initial_states().remove(0);
+/// // Client 1 may invoke 7 from the initial state (next to the internal
+/// // initialize / abort steps, which are always available).
+/// let ts = alm.transitions(&s0);
+/// assert!(ts.iter().any(|(a, _)| alm.is_external(a)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlmAutomaton<I = u8> {
+    params: AlmParams<I>,
+    multi_append: bool,
+}
+
+impl<I: Clone + Ord + Hash + Debug> AlmAutomaton<I> {
+    /// The paper's (strict) specification automaton.
+    pub fn new(params: AlmParams<I>) -> Self {
+        assert!(params.first < params.last, "phase interval requires m < n");
+        assert!(params.clients > 0, "at least one client");
+        AlmAutomaton {
+            params,
+            multi_append: false,
+        }
+    }
+
+    /// The relaxed variant whose responses may linearize other pending
+    /// inputs in the same step (used as the specification when interior
+    /// switch actions are hidden).
+    pub fn spec(params: AlmParams<I>) -> Self {
+        let mut a = AlmAutomaton::new(params);
+        a.multi_append = true;
+        a
+    }
+
+    /// The automaton's parameters.
+    pub fn params(&self) -> &AlmParams<I> {
+        &self.params
+    }
+
+    fn client_ids(&self) -> impl Iterator<Item = ClientId> {
+        (1..=self.params.clients).map(ClientId::new)
+    }
+
+    /// Sub-phase labels usable by invocations and responses: `[m..n-1]`.
+    fn op_labels(&self) -> impl Iterator<Item = u32> {
+        self.params.first..self.params.last
+    }
+
+    /// Enumerates the candidate incoming init histories: sequences over the
+    /// input pool of length `≤ MAX_INIT_HIST`.
+    fn init_hist_pool(&self) -> Vec<Vec<I>> {
+        let mut out: Vec<Vec<I>> = vec![Vec::new()];
+        let mut layer: Vec<Vec<I>> = vec![Vec::new()];
+        for _ in 0..AlmParams::<I>::MAX_INIT_HIST {
+            let mut next = Vec::new();
+            for h in &layer {
+                for i in &self.params.inputs {
+                    let mut h2 = h.clone();
+                    h2.push(i.clone());
+                    next.push(h2.clone());
+                    out.push(h2);
+                }
+            }
+            layer = next;
+        }
+        out
+    }
+
+    /// The pending inputs (of `Pending` clients) not already present in
+    /// `hist` — the inputs abort values may append (step A4), and the extra
+    /// inputs relaxed responses may linearize.
+    fn loose_pending(&self, s: &AlmState<I>, except: Option<ClientId>) -> Vec<I> {
+        let mut out = Vec::new();
+        for (c, (_, i)) in &s.pending {
+            if Some(*c) == except {
+                continue;
+            }
+            if s.phase.get(c) == Some(&ClientPhase::Pending) && !s.hist.contains(i) {
+                out.push(i.clone());
+            }
+        }
+        out
+    }
+
+    /// All ordered arrangements of all subsets of `items` (small inputs
+    /// only: used for abort-value and multi-append enumeration).
+    fn arrangements(items: &[I]) -> Vec<Vec<I>> {
+        let mut out = vec![Vec::new()];
+        // Enumerate permutations of subsets by recursive selection.
+        fn go<I: Clone + PartialEq>(
+            items: &[I],
+            current: &mut Vec<I>,
+            used: &mut Vec<bool>,
+            out: &mut Vec<Vec<I>>,
+        ) {
+            for k in 0..items.len() {
+                if used[k] {
+                    continue;
+                }
+                used[k] = true;
+                current.push(items[k].clone());
+                out.push(current.clone());
+                go(items, current, used, out);
+                current.pop();
+                used[k] = false;
+            }
+        }
+        let mut used = vec![false; items.len()];
+        go(items, &mut Vec::new(), &mut used, &mut out);
+        out.dedup();
+        out
+    }
+}
+
+impl<I: Clone + Ord + Hash + Debug> Automaton for AlmAutomaton<I> {
+    type State = AlmState<I>;
+    type Action = AlmAction<I>;
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        let start = if self.params.first == 1 {
+            // Phase 1 has no init switches: clients are immediately ready.
+            ClientPhase::Ready
+        } else {
+            ClientPhase::Sleep
+        };
+        vec![AlmState {
+            hist: Vec::new(),
+            phase: self.client_ids().map(|c| (c, start)).collect(),
+            pending: BTreeMap::new(),
+            init_hists: BTreeSet::new(),
+            aborted: false,
+            initialized: false,
+        }]
+    }
+
+    fn transitions(&self, s: &AlmState<I>) -> Vec<(AlmAction<I>, AlmState<I>)> {
+        let mut out = Vec::new();
+        let m = self.params.first;
+        let n = self.params.last;
+
+        // Input: invocations by ready clients, at any owned sub-phase label.
+        for c in self.client_ids() {
+            if s.phase.get(&c) == Some(&ClientPhase::Ready) {
+                for o in self.op_labels() {
+                    for i in &self.params.inputs {
+                        let mut s2 = s.clone();
+                        s2.phase.insert(c, ClientPhase::Pending);
+                        s2.pending.insert(c, (o, i.clone()));
+                        out.push((
+                            AlmAction::Ext(Action::invoke(c, PhaseId::new(o), i.clone())),
+                            s2,
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Input: init switches (only when m > 1) by sleeping clients.
+        if m > 1 {
+            for c in self.client_ids() {
+                if s.phase.get(&c) == Some(&ClientPhase::Sleep) {
+                    for i in &self.params.inputs {
+                        for h in self.init_hist_pool() {
+                            let mut s2 = s.clone();
+                            s2.phase.insert(c, ClientPhase::Pending);
+                            s2.pending.insert(c, (m, i.clone()));
+                            s2.init_hists.insert(h.clone());
+                            out.push((
+                                AlmAction::Ext(Action::switch(c, PhaseId::new(m), i.clone(), h)),
+                                s2,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // A1 (internal): initialize hist from the received init histories.
+        if !s.initialized
+            && s.phase
+                .values()
+                .any(|p| *p != ClientPhase::Sleep)
+        {
+            let mut s2 = s.clone();
+            s2.hist = slin_trace::seq::longest_common_prefix(
+                s.init_hists.iter().map(|h| h.as_slice()),
+            );
+            s2.initialized = true;
+            out.push((AlmAction::Initialize { phase: m }, s2));
+        }
+
+        // A2 (output): respond to a pending client. Disabled once aborted —
+        // hist must not grow after an abort value has been emitted. Also
+        // disabled while the client's input is already present in hist
+        // (the paper's definition of *pending*): the operation may already
+        // have been linearized by an incoming init history or by an abort
+        // value of the previous phase, and answering it again would
+        // double-count the invocation.
+        if s.initialized && !s.aborted {
+            for c in self.client_ids() {
+                if s.phase.get(&c) != Some(&ClientPhase::Pending) {
+                    continue;
+                }
+                let (o_pending, input) = s.pending.get(&c).expect("pending client").clone();
+                if s.hist.contains(&input) {
+                    continue;
+                }
+                let extra_arrangements = if self.multi_append {
+                    Self::arrangements(&self.loose_pending(s, Some(c)))
+                } else {
+                    vec![Vec::new()]
+                };
+                for extras in extra_arrangements {
+                    let mut hist2 = s.hist.clone();
+                    hist2.extend(extras);
+                    hist2.push(input.clone());
+                    // The response label may be any owned sub-phase: the
+                    // client may have progressed past its invocation label
+                    // behind hidden interior switches.
+                    for o in self.op_labels().filter(|o| *o >= o_pending) {
+                        let mut s2 = s.clone();
+                        s2.hist = hist2.clone();
+                        s2.phase.insert(c, ClientPhase::Ready);
+                        s2.pending.remove(&c);
+                        out.push((
+                            AlmAction::Ext(Action::respond(
+                                c,
+                                PhaseId::new(o),
+                                input.clone(),
+                                hist2.clone(),
+                            )),
+                            s2,
+                        ));
+                    }
+                }
+            }
+        }
+
+        // A3 (internal): abort.
+        if !s.aborted {
+            let mut s2 = s.clone();
+            s2.aborted = true;
+            out.push((AlmAction::MarkAborted { phase: m }, s2));
+        }
+
+        // A4 (output): switch a pending client out with an abort value
+        // extending hist by pending inputs.
+        if s.aborted && s.initialized {
+            for c in self.client_ids() {
+                if s.phase.get(&c) != Some(&ClientPhase::Pending) {
+                    continue;
+                }
+                let (_, input) = s.pending.get(&c).expect("pending client").clone();
+                for extras in Self::arrangements(&self.loose_pending(s, None)) {
+                    let mut h2 = s.hist.clone();
+                    h2.extend(extras);
+                    let mut s2 = s.clone();
+                    s2.phase.insert(c, ClientPhase::Aborted);
+                    s2.pending.remove(&c);
+                    out.push((
+                        AlmAction::Ext(Action::switch(c, PhaseId::new(n), input.clone(), h2)),
+                        s2,
+                    ));
+                }
+            }
+        }
+
+        out
+    }
+
+    fn in_signature(&self, action: &AlmAction<I>) -> bool {
+        let m = self.params.first;
+        let n = self.params.last;
+        match action {
+            AlmAction::Ext(Action::Invoke { phase, .. })
+            | AlmAction::Ext(Action::Respond { phase, .. }) => {
+                (m..n).contains(&phase.value())
+            }
+            AlmAction::Ext(Action::Switch { phase, .. }) => {
+                (phase.value() == m && m > 1) || phase.value() == n
+            }
+            AlmAction::Initialize { phase } | AlmAction::MarkAborted { phase } => *phase == m,
+        }
+    }
+
+    fn is_external(&self, action: &AlmAction<I>) -> bool {
+        matches!(action, AlmAction::Ext(_))
+    }
+}
+
+/// Extracts the trace-model actions from an ALM action sequence (dropping
+/// internal steps), ready for the checkers of `slin-core`.
+pub fn external_trace<I: Clone>(actions: &[AlmAction<I>]) -> slin_trace::Trace<AlmExt<I>> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            AlmAction::Ext(e) => Some(e.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{bounded_traces, random_walk};
+
+    fn small(first: u32, last: u32) -> AlmAutomaton<u8> {
+        AlmAutomaton::new(AlmParams {
+            first,
+            last,
+            clients: 2,
+            inputs: vec![1, 2],
+        })
+    }
+
+    #[test]
+    fn initial_phase_depends_on_m() {
+        let a1 = small(1, 2);
+        let s = a1.initial_states().remove(0);
+        assert_eq!(s.client_phase(ClientId::new(1)), ClientPhase::Ready);
+        let a2 = small(2, 3);
+        let s = a2.initial_states().remove(0);
+        assert_eq!(s.client_phase(ClientId::new(1)), ClientPhase::Sleep);
+    }
+
+    #[test]
+    fn respond_requires_initialization() {
+        let a = small(1, 2);
+        let s0 = a.initial_states().remove(0);
+        // Invoke client 1.
+        let (_, s1) = a
+            .transitions(&s0)
+            .into_iter()
+            .find(|(act, _)| matches!(act, AlmAction::Ext(Action::Invoke { .. })))
+            .unwrap();
+        // No response enabled before A1.
+        assert!(!a
+            .transitions(&s1)
+            .iter()
+            .any(|(act, _)| matches!(act, AlmAction::Ext(Action::Respond { .. }))));
+        // After A1, the response appends to hist.
+        let (_, s2) = a
+            .transitions(&s1)
+            .into_iter()
+            .find(|(act, _)| matches!(act, AlmAction::Initialize { .. }))
+            .unwrap();
+        let resp = a
+            .transitions(&s2)
+            .into_iter()
+            .find(|(act, _)| matches!(act, AlmAction::Ext(Action::Respond { .. })));
+        assert!(resp.is_some());
+        let (_, s3) = resp.unwrap();
+        assert_eq!(s3.hist().len(), 1);
+    }
+
+    #[test]
+    fn aborted_automaton_stops_responding() {
+        let a = small(1, 2);
+        let s0 = a.initial_states().remove(0);
+        let (_, s1) = a
+            .transitions(&s0)
+            .into_iter()
+            .find(|(act, _)| matches!(act, AlmAction::Ext(Action::Invoke { .. })))
+            .unwrap();
+        let (_, s2) = a
+            .transitions(&s1)
+            .into_iter()
+            .find(|(act, _)| matches!(act, AlmAction::Initialize { .. }))
+            .unwrap();
+        let (_, s3) = a
+            .transitions(&s2)
+            .into_iter()
+            .find(|(act, _)| matches!(act, AlmAction::MarkAborted { .. }))
+            .unwrap();
+        assert!(s3.is_aborted());
+        // No A2 response, but A4 switch-out is enabled.
+        let ts = a.transitions(&s3);
+        assert!(!ts
+            .iter()
+            .any(|(act, _)| matches!(act, AlmAction::Ext(Action::Respond { .. }))));
+        assert!(ts
+            .iter()
+            .any(|(act, _)| matches!(act, AlmAction::Ext(Action::Switch { .. }))));
+    }
+
+    #[test]
+    fn second_phase_accepts_init_switches() {
+        let a = small(2, 3);
+        let s0 = a.initial_states().remove(0);
+        let inits: Vec<_> = a
+            .transitions(&s0)
+            .into_iter()
+            .filter(|(act, _)| matches!(act, AlmAction::Ext(Action::Switch { .. })))
+            .collect();
+        assert!(!inits.is_empty());
+        // All incoming switches are labelled with the phase's m.
+        for (act, s1) in &inits {
+            if let AlmAction::Ext(Action::Switch { phase, .. }) = act {
+                assert_eq!(phase.value(), 2);
+            }
+            assert!(
+                s1.client_phase(ClientId::new(1)) == ClientPhase::Pending
+                    || s1.client_phase(ClientId::new(2)) == ClientPhase::Pending
+            );
+        }
+    }
+
+    #[test]
+    fn walks_are_deterministic_and_bounded() {
+        let a = small(1, 2);
+        assert_eq!(random_walk(&a, 15, 5), random_walk(&a, 15, 5));
+        assert!(random_walk(&a, 15, 5).len() <= 15);
+    }
+
+    #[test]
+    fn bounded_traces_include_complete_operations() {
+        let a = AlmAutomaton::new(AlmParams {
+            first: 1,
+            last: 2,
+            clients: 1,
+            inputs: vec![9u8],
+        });
+        let traces = bounded_traces(&a, 4);
+        // Some trace contains an invocation followed by a response of [9].
+        assert!(traces.iter().any(|t| {
+            t.len() == 2
+                && matches!(&t[0], AlmAction::Ext(Action::Invoke { .. }))
+                && matches!(&t[1], AlmAction::Ext(Action::Respond { output, .. }) if output == &vec![9u8])
+        }));
+    }
+
+    #[test]
+    fn spec_variant_multi_appends() {
+        let a = AlmAutomaton::spec(AlmParams {
+            first: 1,
+            last: 2,
+            clients: 2,
+            inputs: vec![1u8, 2],
+        });
+        // Both clients invoke; a single response may linearize both inputs.
+        let s0 = a.initial_states().remove(0);
+        let mut s = s0;
+        for _ in 0..2 {
+            let (_, s2) = a
+                .transitions(&s)
+                .into_iter()
+                .find(|(act, _)| matches!(act, AlmAction::Ext(Action::Invoke { .. })))
+                .unwrap();
+            s = s2;
+        }
+        let (_, s) = a
+            .transitions(&s)
+            .into_iter()
+            .find(|(act, _)| matches!(act, AlmAction::Initialize { .. }))
+            .unwrap();
+        let two_at_once = a.transitions(&s).into_iter().any(|(act, _)| {
+            matches!(act, AlmAction::Ext(Action::Respond { output, .. }) if output.len() == 2)
+        });
+        assert!(two_at_once);
+    }
+}

@@ -1,0 +1,232 @@
+//! Composition and hiding of I/O automata.
+//!
+//! Composition synchronizes components on shared actions: an action in both
+//! signatures executes jointly (Definition 2's requirement that components
+//! execute common actions simultaneously); an action in one signature only
+//! executes solo. Hiding reclassifies selected external actions as internal —
+//! the `proj` of Theorem 3, which removes the interior switch actions of a
+//! composed speculation phase.
+
+use crate::automaton::Automaton;
+
+/// The parallel composition `A1 ‖ A2` of two automata over the same action
+/// type.
+///
+/// Compatibility (no shared outputs) is the caller's responsibility, as in
+/// the paper; for the ALM development the shared actions are exactly the
+/// switch actions at the phase boundary, which are outputs of the first
+/// component and inputs of the second.
+#[derive(Debug, Clone)]
+pub struct Composition<A1, A2> {
+    first: A1,
+    second: A2,
+}
+
+impl<A1, A2> Composition<A1, A2> {
+    /// Composes two automata.
+    pub fn new(first: A1, second: A2) -> Self {
+        Composition { first, second }
+    }
+
+    /// The first component.
+    pub fn first(&self) -> &A1 {
+        &self.first
+    }
+
+    /// The second component.
+    pub fn second(&self) -> &A2 {
+        &self.second
+    }
+}
+
+impl<Act, A1, A2> Automaton for Composition<A1, A2>
+where
+    Act: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    A1: Automaton<Action = Act>,
+    A2: Automaton<Action = Act>,
+{
+    type State = (A1::State, A2::State);
+    type Action = Act;
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        let mut out = Vec::new();
+        for s1 in self.first.initial_states() {
+            for s2 in self.second.initial_states() {
+                out.push((s1.clone(), s2));
+            }
+        }
+        out
+    }
+
+    fn transitions(&self, state: &Self::State) -> Vec<(Act, Self::State)> {
+        let (s1, s2) = state;
+        let mut out = Vec::new();
+        for (a, s1p) in self.first.transitions(s1) {
+            if self.second.in_signature(&a) {
+                // Joint step: the second component must take the same action.
+                for (b, s2p) in self.second.transitions(s2) {
+                    if b == a {
+                        out.push((a.clone(), (s1p.clone(), s2p)));
+                    }
+                }
+            } else {
+                out.push((a, (s1p, s2.clone())));
+            }
+        }
+        for (a, s2p) in self.second.transitions(s2) {
+            if !self.first.in_signature(&a) {
+                out.push((a, (s1.clone(), s2p)));
+            }
+            // Joint steps were already produced above.
+        }
+        out
+    }
+
+    fn in_signature(&self, action: &Act) -> bool {
+        self.first.in_signature(action) || self.second.in_signature(action)
+    }
+
+    fn is_external(&self, action: &Act) -> bool {
+        (self.first.in_signature(action) && self.first.is_external(action))
+            || (self.second.in_signature(action) && self.second.is_external(action))
+    }
+}
+
+/// An automaton with some external actions reclassified as internal.
+#[derive(Debug, Clone)]
+pub struct Hidden<A, F> {
+    inner: A,
+    hide: F,
+}
+
+impl<A, F> Hidden<A, F> {
+    /// Hides the actions selected by `hide` in `inner`.
+    pub fn new(inner: A, hide: F) -> Self {
+        Hidden { inner, hide }
+    }
+
+    /// The underlying automaton.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A, F> Automaton for Hidden<A, F>
+where
+    A: Automaton,
+    F: Fn(&A::Action) -> bool,
+{
+    type State = A::State;
+    type Action = A::Action;
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        self.inner.initial_states()
+    }
+
+    fn transitions(&self, state: &Self::State) -> Vec<(Self::Action, Self::State)> {
+        self.inner.transitions(state)
+    }
+
+    fn in_signature(&self, action: &Self::Action) -> bool {
+        self.inner.in_signature(action)
+    }
+
+    fn is_external(&self, action: &Self::Action) -> bool {
+        self.inner.is_external(action) && !(self.hide)(action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::Automaton;
+
+    /// A producer emitting `Msg(k)` outputs, and a consumer accepting them.
+    #[derive(Debug, Clone)]
+    struct Producer {
+        max: u8,
+    }
+    #[derive(Debug, Clone)]
+    struct Consumer;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Act {
+        Msg(u8),
+        Consumed(u8),
+    }
+
+    impl Automaton for Producer {
+        type State = u8;
+        type Action = Act;
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn transitions(&self, s: &u8) -> Vec<(Act, u8)> {
+            if *s < self.max {
+                vec![(Act::Msg(*s), s + 1)]
+            } else {
+                vec![]
+            }
+        }
+        fn in_signature(&self, a: &Act) -> bool {
+            matches!(a, Act::Msg(_))
+        }
+        fn is_external(&self, _a: &Act) -> bool {
+            true
+        }
+    }
+
+    impl Automaton for Consumer {
+        type State = Vec<u8>;
+        type Action = Act;
+        fn initial_states(&self) -> Vec<Vec<u8>> {
+            vec![vec![]]
+        }
+        fn transitions(&self, s: &Vec<u8>) -> Vec<(Act, Vec<u8>)> {
+            let mut out = Vec::new();
+            // Input-enabled: accept any message value.
+            for k in 0..4 {
+                let mut s2 = s.clone();
+                s2.push(k);
+                out.push((Act::Msg(k), s2));
+            }
+            if let Some(&last) = s.last() {
+                out.push((Act::Consumed(last), s.clone()));
+            }
+            out
+        }
+        fn in_signature(&self, _a: &Act) -> bool {
+            true
+        }
+        fn is_external(&self, _a: &Act) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn shared_actions_synchronize() {
+        let comp = Composition::new(Producer { max: 2 }, Consumer);
+        let init = comp.initial_states().remove(0);
+        let ts = comp.transitions(&init);
+        // Only Msg(0) is jointly enabled (producer constrains the value);
+        // Consumed is not enabled yet (consumer has no message).
+        assert_eq!(ts.len(), 1);
+        let (a, s1) = &ts[0];
+        assert_eq!(*a, Act::Msg(0));
+        assert_eq!(s1.1, vec![0]);
+        // After one message, the consumer can emit Consumed(0) solo.
+        let ts2 = comp.transitions(s1);
+        assert!(ts2.iter().any(|(a, _)| *a == Act::Consumed(0)));
+    }
+
+    #[test]
+    fn hiding_removes_actions_from_traces() {
+        let comp = Composition::new(Producer { max: 2 }, Consumer);
+        let hidden = Hidden::new(comp, |a: &Act| matches!(a, Act::Msg(_)));
+        let actions = vec![Act::Msg(0), Act::Consumed(0), Act::Msg(1)];
+        assert_eq!(hidden.trace_of(&actions), vec![Act::Consumed(0)]);
+        // Transitions are unchanged.
+        let init = hidden.initial_states().remove(0);
+        assert_eq!(hidden.transitions(&init).len(), 1);
+    }
+}

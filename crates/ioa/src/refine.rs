@@ -1,0 +1,195 @@
+//! Trace-inclusion checking by subset construction.
+//!
+//! The paper proves its intra-object composition theorem for automata by
+//! exhibiting a refinement mapping \[20\] from the composition of two
+//! specification automata to a single one. Refinement mappings imply trace
+//! inclusion; here we check trace inclusion directly and exhaustively on
+//! bounded state spaces: for every reachable implementation step with an
+//! external action, the specification (tracked as a *set* of states closed
+//! under internal steps) must be able to match it.
+
+use crate::automaton::Automaton;
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// A refinement-check failure: the implementation can produce an external
+/// trace the specification cannot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefinementError<Act> {
+    /// The external trace prefix leading to the failure.
+    pub trace: Vec<Act>,
+    /// The external action the specification could not match.
+    pub action: Act,
+}
+
+impl<Act: fmt::Debug> fmt::Display for RefinementError<Act> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "specification cannot match action {:?} after trace {:?}",
+            self.action, self.trace
+        )
+    }
+}
+
+impl<Act: fmt::Debug> Error for RefinementError<Act> {}
+
+/// The result of a bounded trace-inclusion check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InclusionReport {
+    /// Inclusion verified over the whole bounded region.
+    HoldsWithinBounds {
+        /// Number of (implementation state, spec state-set) pairs explored.
+        pairs_explored: usize,
+    },
+    /// The exploration hit the state cap before exhausting the region;
+    /// inclusion holds on everything explored.
+    CapReached {
+        /// Number of pairs explored before stopping.
+        pairs_explored: usize,
+    },
+}
+
+/// Closure of a set of specification states under internal steps.
+fn internal_closure<S: Automaton>(spec: &S, states: &mut BTreeSet<S::State>)
+where
+    S::State: Ord,
+{
+    let mut frontier: Vec<S::State> = states.iter().cloned().collect();
+    while let Some(s) = frontier.pop() {
+        for (a, s2) in spec.transitions(&s) {
+            if !spec.is_external(&a) && states.insert(s2.clone()) {
+                frontier.push(s2);
+            }
+        }
+    }
+}
+
+/// Checks that every external trace of `imp` with at most `max_depth`
+/// transitions is a trace of `spec` (bounded trace inclusion).
+///
+/// # Errors
+///
+/// Returns a [`RefinementError`] with a counterexample trace when inclusion
+/// fails.
+///
+/// # Example
+///
+/// ```
+/// use slin_ioa::alm::{AlmAutomaton, AlmParams};
+/// use slin_ioa::refine::check_trace_inclusion;
+/// let p = AlmParams { first: 1, last: 2, clients: 1, inputs: vec![1u8] };
+/// let alm = AlmAutomaton::new(p.clone());
+/// let same = AlmAutomaton::new(p);
+/// // Any automaton refines itself.
+/// assert!(check_trace_inclusion(&alm, &same, 6, 100_000).is_ok());
+/// ```
+pub fn check_trace_inclusion<I, S>(
+    imp: &I,
+    spec: &S,
+    max_depth: usize,
+    max_pairs: usize,
+) -> Result<InclusionReport, RefinementError<I::Action>>
+where
+    I: Automaton,
+    S: Automaton<Action = I::Action>,
+    S::State: Ord,
+{
+    let mut spec_init: BTreeSet<S::State> = spec.initial_states().into_iter().collect();
+    internal_closure(spec, &mut spec_init);
+
+    type Pair<I1, S1> = (
+        <I1 as Automaton>::State,
+        BTreeSet<<S1 as Automaton>::State>,
+    );
+    type Work<I1, S1> = (Pair<I1, S1>, Vec<<I1 as Automaton>::Action>, usize);
+    let mut seen: HashSet<Pair<I, S>> = HashSet::new();
+    let mut queue: VecDeque<Work<I, S>> = VecDeque::new();
+    for s in imp.initial_states() {
+        let pair = (s, spec_init.clone());
+        if seen.insert(pair.clone()) {
+            queue.push_back((pair, Vec::new(), 0));
+        }
+    }
+    let mut capped = false;
+    while let Some(((is, ss), trace, depth)) = queue.pop_front() {
+        if depth >= max_depth {
+            continue;
+        }
+        for (a, is2) in imp.transitions(&is) {
+            let (ss2, trace2) = if imp.is_external(&a) {
+                // The spec must match the action from some tracked state.
+                let mut next: BTreeSet<S::State> = BTreeSet::new();
+                for s in &ss {
+                    for (b, s2) in spec.transitions(s) {
+                        if b == a {
+                            next.insert(s2);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    return Err(RefinementError { trace, action: a });
+                }
+                internal_closure(spec, &mut next);
+                let mut t2 = trace.clone();
+                t2.push(a.clone());
+                (next, t2)
+            } else {
+                (ss.clone(), trace.clone())
+            };
+            let pair = (is2, ss2);
+            if seen.len() >= max_pairs {
+                capped = true;
+                continue;
+            }
+            if seen.insert(pair.clone()) {
+                queue.push_back((pair, trace2, depth + 1));
+            }
+        }
+    }
+    let pairs_explored = seen.len();
+    if capped {
+        Ok(InclusionReport::CapReached { pairs_explored })
+    } else {
+        Ok(InclusionReport::HoldsWithinBounds { pairs_explored })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::testutil::{TickAction, TickTock};
+
+    #[test]
+    fn automaton_refines_itself() {
+        let a = TickTock { max: 3 };
+        let b = TickTock { max: 3 };
+        let r = check_trace_inclusion(&a, &b, 8, 10_000).unwrap();
+        assert!(matches!(r, InclusionReport::HoldsWithinBounds { .. }));
+    }
+
+    #[test]
+    fn smaller_refines_larger() {
+        let small = TickTock { max: 2 };
+        let large = TickTock { max: 5 };
+        assert!(check_trace_inclusion(&small, &large, 8, 10_000).is_ok());
+    }
+
+    #[test]
+    fn larger_does_not_refine_smaller() {
+        let small = TickTock { max: 1 };
+        let large = TickTock { max: 3 };
+        let err = check_trace_inclusion(&large, &small, 10, 10_000).unwrap_err();
+        // The counterexample emits a count the small automaton can't reach.
+        assert_eq!(err.action, TickAction::Emit(2));
+    }
+
+    #[test]
+    fn cap_is_reported() {
+        let a = TickTock { max: 50 };
+        let b = TickTock { max: 50 };
+        let r = check_trace_inclusion(&a, &b, 100, 5).unwrap();
+        assert!(matches!(r, InclusionReport::CapReached { .. }));
+    }
+}

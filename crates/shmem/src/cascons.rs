@@ -1,0 +1,131 @@
+//! CAS-based consensus — `CASCons` (paper Figure 3).
+//!
+//! The second speculation phase: a single compare-and-swap on the shared
+//! decision register `D`. Switch calls from the register phase are treated
+//! as proposals; plain `propose` calls may only happen after the consensus
+//! has been won and simply read `D`.
+//!
+//! The phase counts its CAS invocations so the benchmarks can verify the
+//! headline property of the composition: *zero* CAS operations in
+//! contention-free executions.
+
+use slin_adt::consensus::Value;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// The CAS-based speculation phase (Figure 3).
+///
+/// # Example
+///
+/// ```
+/// use slin_shmem::CasCons;
+/// use slin_adt::Value;
+/// let c = CasCons::new();
+/// assert_eq!(c.switch_to(Value::new(3)), Value::new(3)); // wins the CAS
+/// assert_eq!(c.switch_to(Value::new(8)), Value::new(3)); // loses: adopts
+/// assert_eq!(c.cas_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct CasCons {
+    /// Shared register `D` (0 = ⊥).
+    d: AtomicU64,
+    cas_count: AtomicUsize,
+}
+
+impl CasCons {
+    /// Creates a fresh phase.
+    pub fn new() -> Self {
+        CasCons::default()
+    }
+
+    /// `switch-to-CASCons(val)`: `CAS(D, ⊥, val)` and return the decided
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `val` is the reserved `⊥` encoding (0).
+    pub fn switch_to(&self, val: Value) -> Value {
+        assert!(val.get() != 0, "value 0 encodes ⊥");
+        self.cas_count.fetch_add(1, Ordering::Relaxed);
+        match self
+            .d
+            .compare_exchange(0, val.get(), Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => val,
+            Err(current) => Value::new(current),
+        }
+    }
+
+    /// `propose(val)`: only called after the consensus has been won — just
+    /// returns `D` (Figure 3, line 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any [`CasCons::switch_to`] (the algorithm's
+    /// precondition is violated).
+    pub fn propose(&self, _val: Value) -> Value {
+        let d = self.d.load(Ordering::SeqCst);
+        assert!(d != 0, "propose before any switch: precondition violated");
+        Value::new(d)
+    }
+
+    /// Number of CAS operations executed so far.
+    pub fn cas_count(&self) -> usize {
+        self.cas_count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn first_switch_wins() {
+        let c = CasCons::new();
+        assert_eq!(c.switch_to(Value::new(5)), Value::new(5));
+        assert_eq!(c.switch_to(Value::new(9)), Value::new(5));
+    }
+
+    #[test]
+    fn propose_reads_decision() {
+        let c = CasCons::new();
+        c.switch_to(Value::new(5));
+        assert_eq!(c.propose(Value::new(7)), Value::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "precondition")]
+    fn propose_before_switch_panics() {
+        CasCons::new().propose(Value::new(7));
+    }
+
+    #[test]
+    fn concurrent_switches_agree() {
+        for _ in 0..200 {
+            let c = Arc::new(CasCons::new());
+            let decided: Vec<Value> = std::thread::scope(|s| {
+                let hs: Vec<_> = (1..=4u64)
+                    .map(|k| {
+                        let c = Arc::clone(&c);
+                        s.spawn(move || c.switch_to(Value::new(k)))
+                    })
+                    .collect();
+                hs.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert!(decided.windows(2).all(|w| w[0] == w[1]), "{decided:?}");
+            // The agreed value is one of the submitted switch values (I5).
+            assert!((1..=4).contains(&decided[0].get()));
+        }
+    }
+
+    #[test]
+    fn cas_count_tracks_invocations() {
+        let c = CasCons::new();
+        assert_eq!(c.cas_count(), 0);
+        c.switch_to(Value::new(1));
+        c.switch_to(Value::new(2));
+        assert_eq!(c.cas_count(), 2);
+        c.propose(Value::new(3));
+        assert_eq!(c.cas_count(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Workload harness for the shared-memory experiments.
+
+use crate::composed::SpeculativeConsensus;
+use crate::ConsAction;
+use slin_adt::consensus::Value;
+use slin_trace::{ClientId, Trace};
+use std::sync::Arc;
+
+/// A shared-memory consensus workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Number of proposing threads (each proposes its index × 10).
+    pub threads: u32,
+    /// Run proposals one after another (contention-free) instead of
+    /// concurrently.
+    pub sequential: bool,
+}
+
+impl Workload {
+    /// A concurrent workload of `threads` proposers.
+    pub fn concurrent(threads: u32) -> Self {
+        Workload {
+            threads,
+            sequential: false,
+        }
+    }
+
+    /// A sequential (contention-free) workload of `threads` proposers.
+    pub fn sequential(threads: u32) -> Self {
+        Workload {
+            threads,
+            sequential: true,
+        }
+    }
+}
+
+/// The result of a shared-memory run.
+#[derive(Debug, Clone)]
+pub struct ShmemOutcome {
+    /// The recorded object-interface trace.
+    pub trace: Trace<ConsAction>,
+    /// Each thread's decision.
+    pub decisions: Vec<(ClientId, Value)>,
+    /// CAS operations performed by the backup phase.
+    pub cas_count: usize,
+}
+
+impl ShmemOutcome {
+    /// Whether all decided values agree.
+    pub fn agreement(&self) -> bool {
+        self.decisions.windows(2).all(|w| w[0].1 == w[1].1)
+    }
+}
+
+/// Runs the composed `RCons + CASCons` object under the given workload.
+///
+/// # Example
+///
+/// ```
+/// use slin_shmem::harness::{run_concurrent, Workload};
+/// let out = run_concurrent(&Workload { threads: 3, sequential: true });
+/// assert!(out.agreement());
+/// assert_eq!(out.cas_count, 0); // registers only, without contention
+/// ```
+pub fn run_concurrent(workload: &Workload) -> ShmemOutcome {
+    let obj = Arc::new(if workload.sequential {
+        SpeculativeConsensus::new()
+    } else {
+        SpeculativeConsensus::chaotic()
+    });
+    let mut decisions: Vec<(ClientId, Value)> = Vec::new();
+    if workload.sequential {
+        for c in 1..=workload.threads {
+            let v = obj.propose(c, Value::new(c as u64 * 10));
+            decisions.push((ClientId::new(c), v));
+        }
+    } else {
+        let results: Vec<(u32, Value)> = std::thread::scope(|s| {
+            let hs: Vec<_> = (1..=workload.threads)
+                .map(|c| {
+                    let obj = Arc::clone(&obj);
+                    s.spawn(move || (c, obj.propose(c, Value::new(c as u64 * 10))))
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (c, v) in results {
+            decisions.push((ClientId::new(c), v));
+        }
+    }
+    let cas_count = obj.cas_count();
+    let obj = Arc::try_unwrap(obj).expect("all threads joined");
+    ShmemOutcome {
+        trace: obj.into_trace(),
+        decisions,
+        cas_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slin_core::invariants;
+
+    #[test]
+    fn sequential_runs_never_cas() {
+        for threads in 1..=6 {
+            let out = run_concurrent(&Workload {
+                threads,
+                sequential: true,
+            });
+            assert!(out.agreement());
+            assert_eq!(out.cas_count, 0, "threads={threads}");
+            assert_eq!(out.decisions[0].1, Value::new(10));
+        }
+    }
+
+    #[test]
+    fn concurrent_runs_agree_and_are_linearizable() {
+        for round in 0..100 {
+            let out = run_concurrent(&Workload {
+                threads: 4,
+                sequential: false,
+            });
+            assert!(out.agreement(), "round {round}");
+            assert!(
+                invariants::consensus_linearizable(&out.trace),
+                "round {round}: {:?}",
+                out.trace
+            );
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Register-based speculative consensus — `RCons` (paper Figure 2).
+//!
+//! Uses only read/write registers (no CAS): a shared decision register `D`,
+//! a value register `V`, a contention flag, and a [`Splitter`]. In a
+//! contention-free execution the splitter winner writes `V`, sees no
+//! contention, publishes `D` and decides; later (non-overlapping) callers
+//! read `D` directly. Under contention the algorithm *switches*: it returns
+//! [`RconsOutcome::Switch`] with the value the next phase should adopt.
+
+use crate::splitter::Splitter;
+use slin_adt::consensus::Value;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The result of an `RCons` proposal: the phase either decides or aborts
+/// with a switch value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RconsOutcome {
+    /// The register phase decided the value.
+    Decide(Value),
+    /// The register phase aborts; the caller must switch to the next phase
+    /// with this value.
+    Switch(Value),
+}
+
+/// The register-based speculation phase (Figure 2).
+///
+/// # Example
+///
+/// ```
+/// use slin_shmem::{RCons, RconsOutcome};
+/// use slin_adt::Value;
+/// let r = RCons::new();
+/// // A solo proposer decides its own value using registers only.
+/// assert_eq!(r.propose(1, Value::new(9)), RconsOutcome::Decide(Value::new(9)));
+/// // A later proposer reads the published decision.
+/// assert_eq!(r.propose(2, Value::new(5)), RconsOutcome::Decide(Value::new(9)));
+/// ```
+#[derive(Debug, Default)]
+pub struct RCons {
+    /// Shared register `V` (0 = ⊥).
+    v: AtomicU64,
+    /// Shared register `D` (0 = ⊥): the published decision.
+    d: AtomicU64,
+    /// Shared register `Contention`.
+    contention: AtomicBool,
+    splitter: Splitter,
+    chaotic: bool,
+}
+
+impl RCons {
+    /// Creates a fresh phase.
+    pub fn new() -> Self {
+        RCons::default()
+    }
+
+    /// Creates a phase that yields the scheduler between shared accesses,
+    /// forcing diverse interleavings even on a single CPU.
+    pub fn chaotic() -> Self {
+        RCons {
+            splitter: Splitter::chaotic(),
+            chaotic: true,
+            ..RCons::new()
+        }
+    }
+
+    fn pace(&self) {
+        if self.chaotic {
+            std::thread::yield_now();
+        }
+    }
+
+    /// `propose(val)` for caller `c` (Figure 2, lines 6–25).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == 0` or `val` is the reserved `⊥` encoding (0).
+    pub fn propose(&self, c: u32, val: Value) -> RconsOutcome {
+        assert!(val.get() != 0, "value 0 encodes ⊥");
+        let mut v = val;
+        // if D ≠ ⊥ then return D
+        let d = self.d.load(Ordering::SeqCst);
+        if d != 0 {
+            return RconsOutcome::Decide(Value::new(d));
+        }
+        self.pace();
+        if self.splitter.split(c) {
+            self.pace();
+            // V ← v
+            self.v.store(v.get(), Ordering::SeqCst);
+            self.pace();
+            // if ¬Contention then D ← v; return v
+            if !self.contention.load(Ordering::SeqCst) {
+                self.pace();
+                self.d.store(v.get(), Ordering::SeqCst);
+                RconsOutcome::Decide(v)
+            } else {
+                RconsOutcome::Switch(v)
+            }
+        } else {
+            self.pace();
+            // Contention ← true
+            self.contention.store(true, Ordering::SeqCst);
+            self.pace();
+            // if V ≠ ⊥ then v ← V
+            let seen = self.v.load(Ordering::SeqCst);
+            if seen != 0 {
+                v = Value::new(seen);
+            }
+            RconsOutcome::Switch(v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn solo_proposer_decides_own_value() {
+        let r = RCons::new();
+        assert_eq!(r.propose(1, Value::new(4)), RconsOutcome::Decide(Value::new(4)));
+    }
+
+    #[test]
+    fn sequential_proposers_read_published_decision() {
+        let r = RCons::new();
+        r.propose(1, Value::new(4));
+        assert_eq!(r.propose(2, Value::new(8)), RconsOutcome::Decide(Value::new(4)));
+        assert_eq!(r.propose(3, Value::new(9)), RconsOutcome::Decide(Value::new(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "⊥")]
+    fn zero_value_rejected() {
+        RCons::new().propose(1, Value::new(0));
+    }
+
+    #[test]
+    fn losing_splitter_switches() {
+        let r = RCons::new();
+        // Simulate contention: thread 2 takes the splitter path first but
+        // has not published D (we interleave by hand using two proposers
+        // whose splitter outcome differs).
+        assert!(matches!(r.propose(1, Value::new(4)), RconsOutcome::Decide(_)));
+        // After a decision, everyone reads D — so build a contended run on
+        // threads (released simultaneously by a barrier) to see switches.
+        let mut saw_switch = false;
+        for _ in 0..500 {
+            let r = Arc::new(RCons::chaotic());
+            let barrier = Arc::new(std::sync::Barrier::new(3));
+            let outcomes: Vec<RconsOutcome> = std::thread::scope(|s| {
+                let handles: Vec<_> = (1..=3u32)
+                    .map(|c| {
+                        let r = Arc::clone(&r);
+                        let barrier = Arc::clone(&barrier);
+                        s.spawn(move || {
+                            barrier.wait();
+                            r.propose(c, Value::new(c as u64))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            saw_switch |= outcomes
+                .iter()
+                .any(|o| matches!(o, RconsOutcome::Switch(_)));
+            if saw_switch {
+                break;
+            }
+        }
+        assert!(saw_switch, "contention should force some switches");
+    }
+
+    #[test]
+    fn paper_invariants_on_concurrent_outcomes() {
+        // I1/I2 at the outcome level: if someone decided v, every other
+        // outcome (decide or switch) carries v.
+        for round in 0..200 {
+            let r = Arc::new(RCons::chaotic());
+            let outcomes: Vec<(u32, RconsOutcome)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (1..=4u32)
+                    .map(|c| {
+                        let r = Arc::clone(&r);
+                        s.spawn(move || (c, r.propose(c, Value::new(c as u64 * 10))))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let decided: Vec<Value> = outcomes
+                .iter()
+                .filter_map(|(_, o)| match o {
+                    RconsOutcome::Decide(v) => Some(*v),
+                    _ => None,
+                })
+                .collect();
+            if let Some(&v) = decided.first() {
+                for (c, o) in &outcomes {
+                    match o {
+                        RconsOutcome::Decide(d) => {
+                            assert_eq!(*d, v, "round {round}, client {c}: split decision")
+                        }
+                        RconsOutcome::Switch(sv) => {
+                            assert_eq!(*sv, v, "round {round}, client {c}: I1 violated")
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

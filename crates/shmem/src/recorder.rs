@@ -1,0 +1,84 @@
+//! A concurrent trace recorder for the shared-memory algorithms.
+//!
+//! Threads append object-interface events as they cross them: an invocation
+//! is recorded *before* the operation's first shared access and a response
+//! *after* its last, so the recorded real-time order is a sub-order of the
+//! actual one — if the recorded trace is linearizable, so was the actual
+//! execution.
+
+use crate::ConsAction;
+use parking_lot::Mutex;
+use slin_adt::consensus::{ConsInput, ConsOutput, Value};
+use slin_trace::{Action, ClientId, PhaseId, Trace};
+
+/// A lock-protected global event log.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    events: Mutex<Vec<ConsAction>>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Records `inv(c, phase, p(v))`.
+    pub fn invoke(&self, c: ClientId, phase: PhaseId, v: Value) {
+        self.events
+            .lock()
+            .push(Action::invoke(c, phase, ConsInput::propose(v)));
+    }
+
+    /// Records `res(c, phase, p(input), d(decided))`.
+    pub fn respond(&self, c: ClientId, phase: PhaseId, input: Value, decided: Value) {
+        self.events.lock().push(Action::respond(
+            c,
+            phase,
+            ConsInput::propose(input),
+            ConsOutput::decide(decided),
+        ));
+    }
+
+    /// Records `swi(c, phase, p(input), v)`.
+    pub fn switch(&self, c: ClientId, phase: PhaseId, input: Value, value: Value) {
+        self.events
+            .lock()
+            .push(Action::switch(c, phase, ConsInput::propose(input), value));
+    }
+
+    /// Extracts the recorded trace.
+    pub fn into_trace(self) -> Trace<ConsAction> {
+        Trace::from_actions(self.events.into_inner())
+    }
+
+    /// Clones the events recorded so far.
+    pub fn snapshot(&self) -> Trace<ConsAction> {
+        Trace::from_actions(self.events.lock().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_emission_order() {
+        let r = TraceRecorder::new();
+        let c = ClientId::new(1);
+        r.invoke(c, PhaseId::new(1), Value::new(5));
+        r.respond(c, PhaseId::new(1), Value::new(5), Value::new(5));
+        let t = r.into_trace();
+        assert_eq!(t.len(), 2);
+        assert!(t[0].is_invoke() && t[1].is_respond());
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let r = TraceRecorder::new();
+        r.invoke(ClientId::new(1), PhaseId::new(1), Value::new(5));
+        assert_eq!(r.snapshot().len(), 1);
+        r.switch(ClientId::new(1), PhaseId::new(2), Value::new(5), Value::new(5));
+        assert_eq!(r.snapshot().len(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Lamport's wait-free splitter (paper Figure 2, `splitter()`; citation
+//! \[19\]).
+//!
+//! The splitter guarantees that **at most one** process returns `true`, and
+//! that in the *absence of contention* exactly one process returns `true`.
+//! It needs only two registers: `X` (last arriving process) and `Y` (door).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// A one-shot wait-free splitter over two shared registers.
+///
+/// # Example
+///
+/// ```
+/// use slin_shmem::Splitter;
+/// let s = Splitter::new();
+/// assert!(s.split(1));     // alone: wins
+/// assert!(!s.split(2));    // late arrival: loses
+/// ```
+#[derive(Debug, Default)]
+pub struct Splitter {
+    /// `X`: the identifier of the most recent arriver (0 = unset).
+    x: AtomicU32,
+    /// `Y`: the door, closed by the first process past the first read.
+    y: AtomicBool,
+    chaotic: bool,
+}
+
+impl Splitter {
+    /// Creates an open splitter.
+    pub fn new() -> Self {
+        Splitter {
+            x: AtomicU32::new(0),
+            y: AtomicBool::new(false),
+            chaotic: false,
+        }
+    }
+
+    /// Creates a splitter that yields the scheduler between shared
+    /// accesses, forcing diverse interleavings even on a single CPU.
+    pub fn chaotic() -> Self {
+        Splitter {
+            chaotic: true,
+            ..Splitter::new()
+        }
+    }
+
+    fn pace(&self) {
+        if self.chaotic {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Runs the splitter for the calling process `c` (non-zero).
+    ///
+    /// Returns `true` for at most one caller; exactly one when callers do
+    /// not overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == 0` (the sentinel for "unset").
+    pub fn split(&self, c: u32) -> bool {
+        assert!(c != 0, "process identifiers must be non-zero");
+        // X ← c
+        self.x.store(c, Ordering::SeqCst);
+        self.pace();
+        // if Y then return false
+        if self.y.load(Ordering::SeqCst) {
+            return false;
+        }
+        self.pace();
+        // Y ← true
+        self.y.store(true, Ordering::SeqCst);
+        self.pace();
+        // return X = c
+        self.x.load(Ordering::SeqCst) == c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn solo_caller_wins() {
+        let s = Splitter::new();
+        assert!(s.split(7));
+    }
+
+    #[test]
+    fn second_sequential_caller_loses() {
+        let s = Splitter::new();
+        assert!(s.split(1));
+        assert!(!s.split(2));
+        assert!(!s.split(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_id_rejected() {
+        Splitter::new().split(0);
+    }
+
+    #[test]
+    fn at_most_one_winner_under_contention() {
+        for _ in 0..200 {
+            let s = Arc::new(Splitter::chaotic());
+            let winners = Arc::new(AtomicUsize::new(0));
+            std::thread::scope(|scope| {
+                for c in 1..=4u32 {
+                    let s = Arc::clone(&s);
+                    let winners = Arc::clone(&winners);
+                    scope.spawn(move || {
+                        if s.split(c) {
+                            winners.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+            assert!(winners.load(Ordering::SeqCst) <= 1);
+        }
+    }
+}

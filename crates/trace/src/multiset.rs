@@ -1,0 +1,242 @@
+//! Multisets (paper Section 3, "Multisets").
+//!
+//! The paper represents multisets of elements of a set `E` by multiplicity
+//! functions `E → ℕ` and uses three operations:
+//!
+//! * `(m1 ∪ m2)(e) = max(m1(e), m2(e))` — [`Multiset::union_max`];
+//! * `(m1 ⊎ m2)(e) = m1(e) + m2(e)` — [`Multiset::sum`];
+//! * `m1 ⊆ m2 ⟺ ∀e. m1(e) ≤ m2(e)` — [`Multiset::is_subset_of`].
+//!
+//! The `elems` function mapping a sequence to the multiset of its elements is
+//! [`Multiset::from_iter`] / [`Multiset::elems`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A finite multiset over an element type `E`, represented by its
+/// multiplicity function.
+///
+/// Entries with multiplicity zero are never stored, so structural equality of
+/// the underlying maps coincides with multiset equality.
+///
+/// # Example
+///
+/// ```
+/// use slin_trace::Multiset;
+///
+/// let a: Multiset<&str> = ["x", "x", "y"].into_iter().collect();
+/// let b: Multiset<&str> = ["x", "y", "y"].into_iter().collect();
+/// assert_eq!(a.count(&"x"), 2);
+/// assert_eq!(a.union_max(&b).count(&"y"), 2);
+/// assert_eq!(a.sum(&b).count(&"x"), 3);
+/// assert!(!a.is_subset_of(&b));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Multiset<E: Eq + Hash> {
+    counts: HashMap<E, usize>,
+}
+
+impl<E: Eq + Hash> Multiset<E> {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Multiset {
+            counts: HashMap::new(),
+        }
+    }
+
+    /// The multiset of elements of a sequence (the paper's `elems`).
+    pub fn elems(seq: &[E]) -> Self
+    where
+        E: Clone,
+    {
+        seq.iter().cloned().collect()
+    }
+
+    /// The multiplicity of `e` (zero if absent).
+    pub fn count(&self, e: &E) -> usize {
+        self.counts.get(e).copied().unwrap_or(0)
+    }
+
+    /// Whether `e` occurs at least once (the paper writes `e ∈ s` for
+    /// `elems(s)(e) > 0`).
+    pub fn contains(&self, e: &E) -> bool {
+        self.count(e) > 0
+    }
+
+    /// Inserts one occurrence of `e`.
+    pub fn insert(&mut self, e: E) {
+        *self.counts.entry(e).or_insert(0) += 1;
+    }
+
+    /// Removes one occurrence of `e`; returns `false` if `e` was absent.
+    pub fn remove(&mut self, e: &E) -> bool
+    where
+        E: Clone,
+    {
+        match self.counts.get_mut(e) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                true
+            }
+            Some(_) => {
+                self.counts.remove(e);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Total number of element occurrences.
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Whether the multiset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of *distinct* elements.
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Pointwise maximum `m1 ∪ m2` (the paper's multiset union).
+    pub fn union_max(&self, other: &Self) -> Self
+    where
+        E: Clone,
+    {
+        let mut out = self.clone();
+        for (e, &c) in &other.counts {
+            let cur = out.counts.entry(e.clone()).or_insert(0);
+            *cur = (*cur).max(c);
+        }
+        out
+    }
+
+    /// Pointwise sum `m1 ⊎ m2`.
+    pub fn sum(&self, other: &Self) -> Self
+    where
+        E: Clone,
+    {
+        let mut out = self.clone();
+        for (e, &c) in &other.counts {
+            *out.counts.entry(e.clone()).or_insert(0) += c;
+        }
+        out
+    }
+
+    /// Multiset inclusion `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        self.counts.iter().all(|(e, &c)| c <= other.count(e))
+    }
+
+    /// Iterates over `(element, multiplicity)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&E, usize)> {
+        self.counts.iter().map(|(e, &c)| (e, c))
+    }
+}
+
+impl<E: Eq + Hash> FromIterator<E> for Multiset<E> {
+    fn from_iter<I: IntoIterator<Item = E>>(iter: I) -> Self {
+        let mut m = Multiset::new();
+        for e in iter {
+            m.insert(e);
+        }
+        m
+    }
+}
+
+impl<E: Eq + Hash> Extend<E> for Multiset<E> {
+    fn extend<I: IntoIterator<Item = E>>(&mut self, iter: I) {
+        for e in iter {
+            self.insert(e);
+        }
+    }
+}
+
+impl<E: Eq + Hash + fmt::Debug> fmt::Debug for Multiset<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.counts.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(items: &[u32]) -> Multiset<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn empty_has_no_elements() {
+        let m: Multiset<u32> = Multiset::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.count(&7), 0);
+        assert!(!m.contains(&7));
+    }
+
+    #[test]
+    fn elems_counts_occurrences() {
+        let m = Multiset::elems(&[1, 1, 2]);
+        assert_eq!(m.count(&1), 2);
+        assert_eq!(m.count(&2), 1);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.distinct_len(), 2);
+    }
+
+    #[test]
+    fn union_is_pointwise_max() {
+        let a = ms(&[1, 1, 2]);
+        let b = ms(&[1, 2, 2, 3]);
+        let u = a.union_max(&b);
+        assert_eq!(u.count(&1), 2);
+        assert_eq!(u.count(&2), 2);
+        assert_eq!(u.count(&3), 1);
+    }
+
+    #[test]
+    fn sum_is_pointwise_addition() {
+        let a = ms(&[1, 1]);
+        let b = ms(&[1, 2]);
+        let s = a.sum(&b);
+        assert_eq!(s.count(&1), 3);
+        assert_eq!(s.count(&2), 1);
+    }
+
+    #[test]
+    fn subset_respects_multiplicity() {
+        assert!(ms(&[1]).is_subset_of(&ms(&[1, 1])));
+        assert!(!ms(&[1, 1]).is_subset_of(&ms(&[1])));
+        assert!(ms(&[]).is_subset_of(&ms(&[])));
+        assert!(!ms(&[9]).is_subset_of(&ms(&[1])));
+    }
+
+    #[test]
+    fn remove_decrements_and_cleans_up() {
+        let mut m = ms(&[4, 4]);
+        assert!(m.remove(&4));
+        assert_eq!(m.count(&4), 1);
+        assert!(m.remove(&4));
+        assert!(!m.contains(&4));
+        assert!(!m.remove(&4));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        assert_eq!(ms(&[1, 2, 1]), ms(&[1, 1, 2]));
+        assert_ne!(ms(&[1, 2]), ms(&[1, 1, 2]));
+    }
+
+    #[test]
+    fn union_idempotent_and_commutative() {
+        let a = ms(&[1, 2, 2]);
+        let b = ms(&[2, 3]);
+        assert_eq!(a.union_max(&a), a);
+        assert_eq!(a.union_max(&b), b.union_max(&a));
+    }
+}

@@ -1,0 +1,211 @@
+//! Signatures and trace properties (paper Definitions 1–3).
+//!
+//! A *signature* classifies actions into disjoint input and output sets; a
+//! *trace property* is a signature together with a set of traces. Because the
+//! action universe of a concurrent object is infinite (inputs and switch
+//! values range over arbitrary data), signatures are represented by
+//! *membership predicates* rather than by enumerated sets, and trace
+//! properties by *decision procedures* rather than extensional sets.
+
+use crate::trace::Trace;
+
+/// Classification of an action within a signature.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Polarity {
+    /// The action is an input of the component (controlled by its
+    /// environment).
+    Input,
+    /// The action is an output of the component (controlled by the component
+    /// itself).
+    Output,
+}
+
+/// A signature `sig = (in, out)`: a pair of disjoint action sets, given
+/// intensionally by a classification function.
+///
+/// `acts(sig)` is the set of actions with a `Some(_)` polarity.
+pub trait Signature<A> {
+    /// Classifies `action`: `Some(Input)`, `Some(Output)`, or `None` when the
+    /// action does not belong to `acts(sig)`.
+    fn polarity(&self, action: &A) -> Option<Polarity>;
+
+    /// Whether `action ∈ acts(sig)`.
+    fn contains(&self, action: &A) -> bool {
+        self.polarity(action).is_some()
+    }
+
+    /// Whether `action ∈ in(sig)`.
+    fn is_input(&self, action: &A) -> bool {
+        self.polarity(action) == Some(Polarity::Input)
+    }
+
+    /// Whether `action ∈ out(sig)`.
+    fn is_output(&self, action: &A) -> bool {
+        self.polarity(action) == Some(Polarity::Output)
+    }
+
+    /// Whether every event of `t` belongs to `acts(sig)` ("t is a trace in
+    /// sig").
+    fn admits_trace(&self, t: &Trace<A>) -> bool {
+        t.iter().all(|a| self.contains(a))
+    }
+
+    /// Signature compatibility (Definition 2 precondition): `self` and
+    /// `other` share no *output* actions.
+    ///
+    /// Because signatures are intensional, compatibility can only be checked
+    /// relative to a finite set of witness actions; this helper checks the
+    /// events of a given trace.
+    fn compatible_on<S: Signature<A>>(&self, other: &S, witnesses: &Trace<A>) -> bool {
+        witnesses
+            .iter()
+            .all(|a| !(self.is_output(a) && other.is_output(a)))
+    }
+}
+
+/// A trace property `P = (sig, Traces)` (Definition 1), represented by a
+/// decision procedure for trace membership.
+///
+/// `Q ⊨ P` ("Q satisfies P") for a concrete finite system `Q` holds when
+/// every generated trace of `Q` is accepted by `P`; see
+/// [`satisfies`].
+pub trait TraceProperty<A> {
+    /// Whether `t ∈ Traces(P)`.
+    fn holds(&self, t: &Trace<A>) -> bool;
+}
+
+impl<A, F: Fn(&Trace<A>) -> bool> TraceProperty<A> for F {
+    fn holds(&self, t: &Trace<A>) -> bool {
+        self(t)
+    }
+}
+
+/// Checks `Q ⊨ P` for a finite set of observed traces: every trace of the
+/// system satisfies the property. Returns the index of the first violating
+/// trace on failure.
+///
+/// # Example
+///
+/// ```
+/// use slin_trace::prop::satisfies;
+/// use slin_trace::Trace;
+///
+/// let traces: Vec<Trace<u8>> = vec![Trace::from_actions(vec![1, 2])];
+/// let even_len = |t: &Trace<u8>| t.len() % 2 == 0;
+/// assert_eq!(satisfies(&traces, &even_len), Ok(()));
+/// ```
+pub fn satisfies<A, P: TraceProperty<A>>(traces: &[Trace<A>], prop: &P) -> Result<(), usize> {
+    for (i, t) in traces.iter().enumerate() {
+        if !prop.holds(t) {
+            return Err(i);
+        }
+    }
+    Ok(())
+}
+
+/// The composed property `P1 ‖ P2` (Definition 2), checked on a trace by
+/// projecting onto each component signature: `t ∈ Traces(P1‖P2)` iff
+/// `proj(t, acts(P1)) ∈ Traces(P1)` and `proj(t, acts(P2)) ∈ Traces(P2)`.
+#[derive(Debug, Clone)]
+pub struct Compose<S1, P1, S2, P2> {
+    sig1: S1,
+    prop1: P1,
+    sig2: S2,
+    prop2: P2,
+}
+
+impl<S1, P1, S2, P2> Compose<S1, P1, S2, P2> {
+    /// Builds the composition of `(sig1, prop1)` and `(sig2, prop2)`.
+    pub fn new(sig1: S1, prop1: P1, sig2: S2, prop2: P2) -> Self {
+        Compose {
+            sig1,
+            prop1,
+            sig2,
+            prop2,
+        }
+    }
+}
+
+impl<A, S1, P1, S2, P2> TraceProperty<A> for Compose<S1, P1, S2, P2>
+where
+    A: Clone,
+    S1: Signature<A>,
+    P1: TraceProperty<A>,
+    S2: Signature<A>,
+    P2: TraceProperty<A>,
+{
+    fn holds(&self, t: &Trace<A>) -> bool {
+        // Every event must belong to at least one component signature.
+        if !t
+            .iter()
+            .all(|a| self.sig1.contains(a) || self.sig2.contains(a))
+        {
+            return false;
+        }
+        let t1 = t.project(|a| self.sig1.contains(a));
+        let t2 = t.project(|a| self.sig2.contains(a));
+        self.prop1.holds(&t1) && self.prop2.holds(&t2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Evens;
+    impl Signature<u32> for Evens {
+        fn polarity(&self, a: &u32) -> Option<Polarity> {
+            a.is_multiple_of(2).then_some(Polarity::Output)
+        }
+    }
+
+    struct Odds;
+    impl Signature<u32> for Odds {
+        fn polarity(&self, a: &u32) -> Option<Polarity> {
+            (!a.is_multiple_of(2)).then_some(Polarity::Input)
+        }
+    }
+
+    #[test]
+    fn closure_predicates() {
+        assert!(Evens.contains(&2));
+        assert!(Evens.is_output(&2));
+        assert!(!Evens.is_input(&2));
+        assert!(!Evens.contains(&3));
+    }
+
+    #[test]
+    fn admits_trace_checks_all_events() {
+        let t = Trace::from_actions(vec![2u32, 4, 6]);
+        assert!(Evens.admits_trace(&t));
+        let t2 = Trace::from_actions(vec![2u32, 3]);
+        assert!(!Evens.admits_trace(&t2));
+    }
+
+    #[test]
+    fn compatibility_on_witnesses() {
+        let t = Trace::from_actions(vec![1u32, 2, 3]);
+        assert!(Evens.compatible_on(&Odds, &t));
+    }
+
+    #[test]
+    fn composition_projects_and_checks_both() {
+        // prop1: all even events are <= 4; prop2: at most one odd event.
+        let p1 = |t: &Trace<u32>| t.iter().all(|a| *a <= 4);
+        let p2 = |t: &Trace<u32>| t.len() <= 1;
+        let comp = Compose::new(Evens, p1, Odds, p2);
+        assert!(comp.holds(&Trace::from_actions(vec![2u32, 3, 4])));
+        assert!(!comp.holds(&Trace::from_actions(vec![6u32, 3])));
+        assert!(!comp.holds(&Trace::from_actions(vec![2u32, 3, 5])));
+    }
+
+    #[test]
+    fn satisfies_reports_first_violation() {
+        let traces = vec![
+            Trace::from_actions(vec![2u32]),
+            Trace::from_actions(vec![3u32]),
+        ];
+        let all_even = |t: &Trace<u32>| t.iter().all(|a| a % 2 == 0);
+        assert_eq!(satisfies(&traces, &all_even), Err(1));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the trace substrate: algebraic laws of
+//! multisets, the prefix order, projections, and well-formedness.
+
+use proptest::prelude::*;
+use slin_trace::seq::{comparable, concat, is_prefix, is_strict_prefix, longest_common_prefix};
+use slin_trace::wf;
+use slin_trace::{Action, ClientId, Multiset, PhaseId, Trace};
+
+fn small_vec() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0..5u8, 0..8)
+}
+
+proptest! {
+    // ---- multiset laws ----
+
+    #[test]
+    fn multiset_union_is_commutative(a in small_vec(), b in small_vec()) {
+        let (ma, mb) = (Multiset::elems(&a), Multiset::elems(&b));
+        prop_assert_eq!(ma.union_max(&mb), mb.union_max(&ma));
+    }
+
+    #[test]
+    fn multiset_union_is_idempotent(a in small_vec()) {
+        let m = Multiset::elems(&a);
+        prop_assert_eq!(m.union_max(&m), m);
+    }
+
+    #[test]
+    fn multiset_sum_is_commutative_and_counts(a in small_vec(), b in small_vec()) {
+        let (ma, mb) = (Multiset::elems(&a), Multiset::elems(&b));
+        prop_assert_eq!(ma.sum(&mb), mb.sum(&ma));
+        prop_assert_eq!(ma.sum(&mb).len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn multiset_subset_is_a_partial_order(a in small_vec(), b in small_vec(), c in small_vec()) {
+        let (ma, mb, mc) = (Multiset::elems(&a), Multiset::elems(&b), Multiset::elems(&c));
+        // Reflexive.
+        prop_assert!(ma.is_subset_of(&ma));
+        // Antisymmetric.
+        if ma.is_subset_of(&mb) && mb.is_subset_of(&ma) {
+            prop_assert_eq!(&ma, &mb);
+        }
+        // Transitive.
+        if ma.is_subset_of(&mb) && mb.is_subset_of(&mc) {
+            prop_assert!(ma.is_subset_of(&mc));
+        }
+    }
+
+    #[test]
+    fn union_is_least_upper_bound(a in small_vec(), b in small_vec()) {
+        let (ma, mb) = (Multiset::elems(&a), Multiset::elems(&b));
+        let u = ma.union_max(&mb);
+        prop_assert!(ma.is_subset_of(&u));
+        prop_assert!(mb.is_subset_of(&u));
+        // The union embeds in the sum.
+        prop_assert!(u.is_subset_of(&ma.sum(&mb)));
+    }
+
+    #[test]
+    fn remove_inverts_insert(a in small_vec(), x in 0..5u8) {
+        let mut m = Multiset::elems(&a);
+        let before = m.clone();
+        m.insert(x);
+        prop_assert!(m.remove(&x));
+        prop_assert_eq!(m, before);
+    }
+
+    // ---- prefix-order laws ----
+
+    #[test]
+    fn prefix_is_reflexive_and_concat_extends(a in small_vec(), b in small_vec()) {
+        prop_assert!(is_prefix(&a, &a));
+        let ab = concat(&a, &b);
+        prop_assert!(is_prefix(&a, &ab));
+        prop_assert_eq!(is_strict_prefix(&a, &ab), !b.is_empty());
+    }
+
+    #[test]
+    fn lcp_is_a_common_prefix_and_maximal(xs in prop::collection::vec(small_vec(), 1..5)) {
+        let lcp = longest_common_prefix(xs.iter().map(|v| v.as_slice()));
+        for x in &xs {
+            prop_assert!(is_prefix(&lcp, x));
+        }
+        // Maximality: extending by the next element of the first sequence
+        // breaks common-prefix-ness (unless lcp is the first sequence).
+        if lcp.len() < xs[0].len() {
+            let mut longer = lcp.clone();
+            longer.push(xs[0][lcp.len()]);
+            prop_assert!(!xs.iter().all(|x| is_prefix(&longer, x)));
+        }
+    }
+
+    #[test]
+    fn comparability_matches_definition(a in small_vec(), b in small_vec()) {
+        prop_assert_eq!(comparable(&a, &b), is_prefix(&a, &b) || is_prefix(&b, &a));
+    }
+
+    // ---- trace and projection laws ----
+
+    #[test]
+    fn projection_is_idempotent_and_shrinking(events in prop::collection::vec((0..4u32, 0..3u8), 0..12)) {
+        let t: Trace<Action<u8, u8, u8>> = events
+            .iter()
+            .map(|&(c, i)| Action::invoke(ClientId::new(c + 1), PhaseId::FIRST, i))
+            .collect();
+        let keep = |a: &Action<u8, u8, u8>| a.client().value().is_multiple_of(2);
+        let p1 = t.project(keep);
+        let p2 = p1.project(keep);
+        prop_assert_eq!(&p1, &p2);
+        prop_assert!(p1.len() <= t.len());
+    }
+
+    #[test]
+    fn client_subtraces_partition_events(events in prop::collection::vec((0..4u32, 0..3u8), 0..12)) {
+        let t: Trace<Action<u8, u8, u8>> = events
+            .iter()
+            .map(|&(c, i)| Action::invoke(ClientId::new(c + 1), PhaseId::FIRST, i))
+            .collect();
+        let total: usize = wf::clients(&t)
+            .into_iter()
+            .map(|c| wf::client_subtrace(&t, c, None).len())
+            .sum();
+        prop_assert_eq!(total, t.len());
+    }
+
+    // ---- well-formedness closure properties ----
+
+    #[test]
+    fn alternating_client_traces_are_well_formed(inputs in prop::collection::vec(0..4u8, 0..6)) {
+        // Build a single-client strictly alternating trace: always WF,
+        // with or without a trailing pending invocation.
+        let c = ClientId::new(1);
+        let mut actions: Vec<Action<u8, u8, u8>> = Vec::new();
+        for &i in &inputs {
+            actions.push(Action::invoke(c, PhaseId::FIRST, i));
+            actions.push(Action::respond(c, PhaseId::FIRST, i, i));
+        }
+        let complete: Trace<_> = actions.iter().cloned().collect();
+        prop_assert!(wf::is_well_formed(&complete));
+        actions.push(Action::invoke(c, PhaseId::FIRST, 9));
+        let pending: Trace<_> = actions.into_iter().collect();
+        prop_assert!(wf::is_well_formed(&pending));
+    }
+
+    #[test]
+    fn well_formedness_is_preserved_by_truncation(inputs in prop::collection::vec(0..4u8, 0..6), cut in 0..12usize) {
+        let c = ClientId::new(1);
+        let mut actions: Vec<Action<u8, u8, u8>> = Vec::new();
+        for &i in &inputs {
+            actions.push(Action::invoke(c, PhaseId::FIRST, i));
+            actions.push(Action::respond(c, PhaseId::FIRST, i, i));
+        }
+        let t: Trace<_> = actions.into_iter().collect();
+        let cut = cut.min(t.len());
+        // A prefix of a well-formed trace is well-formed (safety property).
+        prop_assert!(wf::is_well_formed(&t.truncate_to(cut)));
+    }
+}

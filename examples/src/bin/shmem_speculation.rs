@@ -1,0 +1,57 @@
+//! Shared-memory speculation on real threads (paper Section 2.5).
+//!
+//! Demonstrates the composed RCons + CASCons object: contention-free
+//! executions decide using **registers only** (zero CAS), contended
+//! executions fall back to the CAS phase — and every recorded trace is
+//! linearizable.
+//!
+//! Run with: `cargo run -p slin-examples --bin shmem_speculation`
+
+use slin_core::compose::project_object;
+use slin_core::invariants;
+use slin_core::lin::LinChecker;
+use slin_adt::Consensus;
+use slin_shmem::harness::{run_concurrent, Workload};
+
+fn main() {
+    println!("== sequential (contention-free) proposals ==");
+    for threads in [1u32, 2, 4, 8] {
+        let out = run_concurrent(&Workload::sequential(threads));
+        println!(
+            "{threads} threads sequential: decided {:?}, CAS operations: {}",
+            out.decisions[0].1, out.cas_count
+        );
+        assert_eq!(out.cas_count, 0, "the fast path must not CAS");
+    }
+
+    println!("\n== concurrent proposals (chaotic interleaving) ==");
+    let mut fast = 0;
+    let mut fallback = 0;
+    let lin = LinChecker::new(&Consensus);
+    for round in 0..200 {
+        let out = run_concurrent(&Workload::concurrent(4));
+        assert!(out.agreement(), "round {round}: split decision!");
+        assert!(invariants::consensus_linearizable(&out.trace));
+        if out.cas_count == 0 {
+            fast += 1;
+        } else {
+            fallback += 1;
+        }
+        // Spot-check small traces with the generic checker.
+        if round % 50 == 0 {
+            let obj = project_object::<Consensus, _>(&out.trace);
+            assert!(lin.check(&obj).is_ok(), "round {round}");
+        }
+    }
+    println!("200 contended runs: {fast} register-only, {fallback} used the CAS backup");
+    println!("agreement and linearizability held in every run ✓");
+
+    println!("\n== why it matters ==");
+    println!(
+        "wait-free consensus is impossible from registers alone (Herlihy),\n\
+         yet speculation gets register-only performance whenever the timing\n\
+         is clean, while the CAS phase guarantees progress otherwise —\n\
+         and the intra-object composition theorem says we may reason about\n\
+         each phase in isolation."
+    );
+}

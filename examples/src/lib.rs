@@ -1,0 +1,1 @@
+//! Example binaries live in examples/src/bin/.

@@ -1,0 +1,187 @@
+//! The intra-object composition theorem (Theorems 3 and 5, experiment E6):
+//! whenever both phase projections of a trace are speculatively
+//! linearizable, the whole trace is.
+//!
+//! Exercised two ways:
+//!
+//! 1. **Specification-driven**: random walks of the composition of two ALM
+//!    specification automata (universal ADT, exact `rinit`) produce traces
+//!    whose projections satisfy `SLin(1,2)` and `SLin(2,3)` *by
+//!    construction*; the composed trace must satisfy `SLin(1,3)`.
+//! 2. **Implementation-driven**: simulated Quorum+Backup executions under
+//!    contention, crashes and loss; every outcome class of
+//!    [`slin_core::compose::check_composition`] except `TheoremViolated` is
+//!    acceptable, and `Holds` must occur.
+
+use slin_core::compose::{check_composition, CompositionOutcome};
+use slin_core::initrel::{ConsensusInit, ExactInit};
+use slin_ioa::alm::{external_trace, AlmAutomaton, AlmParams};
+use slin_ioa::compose::Composition;
+use slin_ioa::explore::random_walk;
+use slin_adt::{Consensus, Universal};
+use slin_consensus::harness::{run_scenario, Scenario};
+use slin_trace::PhaseId;
+
+fn ph(n: u32) -> PhaseId {
+    PhaseId::new(n)
+}
+
+#[test]
+fn alm_composition_traces_satisfy_the_theorem() {
+    let adt: Universal<u8> = Universal::new();
+    let mk = |first, last| AlmParams {
+        first,
+        last,
+        clients: 2,
+        inputs: vec![1u8, 2],
+    };
+    let comp = Composition::new(AlmAutomaton::new(mk(1, 2)), AlmAutomaton::new(mk(2, 3)));
+    let mut holds = 0;
+    for seed in 0..60 {
+        let actions = random_walk(&comp, 18, seed);
+        let t = external_trace(&actions);
+        let out = check_composition(&adt, ExactInit::new(), &t, ph(1), ph(2), ph(3));
+        assert!(
+            out.is_consistent(),
+            "seed {seed}: THEOREM VIOLATED on {t:?}\n{out:?}"
+        );
+        // Spec-generated traces must in fact satisfy both premises.
+        match out {
+            CompositionOutcome::Holds => holds += 1,
+            CompositionOutcome::PremiseFailed { phase, ref error } => panic!(
+                "seed {seed}: spec automaton produced a non-SLin phase-{phase} trace: {error}\n{t:?}"
+            ),
+            CompositionOutcome::TheoremViolated(_) => unreachable!("checked above"),
+        }
+    }
+    assert_eq!(holds, 60);
+}
+
+#[test]
+fn quorum_backup_simulation_traces_satisfy_the_theorem() {
+    let mut holds = 0;
+    let mut checked = 0;
+    for seed in 0..40 {
+        let scenarios = [
+            Scenario::contended(3, &[1, 2], seed),
+            Scenario::fault_free(3, &[(4, 0)])
+                .with_crashes(&[(0, 0)])
+                .with_seed(seed),
+            Scenario::fault_free(3, &[(1, 0), (2, 0)]).with_loss(0.15, seed),
+        ];
+        for (k, s) in scenarios.iter().enumerate() {
+            let out = run_scenario(s);
+            if out.trace.len() > 10 {
+                continue; // keep the exhaustive checker fast
+            }
+            checked += 1;
+            let comp = check_composition(
+                &Consensus,
+                ConsensusInit::new(),
+                &out.trace,
+                ph(1),
+                ph(2),
+                ph(3),
+            );
+            assert!(
+                comp.is_consistent(),
+                "seed {seed} scenario {k}: THEOREM VIOLATED on {:?}\n{comp:?}",
+                out.trace
+            );
+            if comp == CompositionOutcome::Holds {
+                holds += 1;
+            }
+        }
+    }
+    assert!(checked > 20, "too few checkable traces ({checked})");
+    assert!(holds > 0, "no scenario satisfied both premises");
+}
+
+#[test]
+fn theorem_2_composed_traces_project_to_linearizable_object_traces() {
+    // Theorem 2: SLin(1, m) restricted to the object signature is Lin — the
+    // composed protocol's object projection must be linearizable.
+    use slin_core::compose::project_object;
+    use slin_core::lin::LinChecker;
+
+    for seed in 0..30 {
+        let out = run_scenario(&Scenario::contended(3, &[1, 2], seed));
+        let obj = project_object::<Consensus, _>(&out.trace);
+        if obj.len() <= 10 {
+            let lin = LinChecker::new(&Consensus);
+            assert!(lin.check(&obj).is_ok(), "seed {seed}: {obj:?}");
+        }
+        assert!(slin_core::invariants::consensus_linearizable(&out.trace));
+    }
+}
+
+#[test]
+fn definition_2_composition_operator_matches_premise_evaluation() {
+    // The generic trace-property composition (Definition 2, `Compose`)
+    // instantiated with the two phase properties must agree with the
+    // premise evaluation done by `check_composition`: t ∈ P12 ‖ P23 iff
+    // both projections satisfy their phase property.
+    use slin_core::slin::SlinChecker;
+    use slin_trace::prop::{Compose, TraceProperty};
+    use slin_trace::PhaseSignature;
+
+    let q = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(1), ph(2));
+    let b = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(2), ph(3));
+    let p12 = |t: &slin_trace::Trace<slin_consensus::ConsAction>| q.check(t).is_ok();
+    let p23 = |t: &slin_trace::Trace<slin_consensus::ConsAction>| b.check(t).is_ok();
+    let composed_property = Compose::new(
+        PhaseSignature::new(ph(1), ph(2)),
+        p12,
+        PhaseSignature::new(ph(2), ph(3)),
+        p23,
+    );
+
+    let mut agreements = 0;
+    for seed in 0..20 {
+        let out = run_scenario(&Scenario::contended(3, &[1, 2], seed));
+        if out.trace.len() > 10 {
+            continue;
+        }
+        let by_operator = composed_property.holds(&out.trace);
+        let by_projection = !matches!(
+            check_composition(
+                &Consensus,
+                ConsensusInit::new(),
+                &out.trace,
+                ph(1),
+                ph(2),
+                ph(3)
+            ),
+            CompositionOutcome::PremiseFailed { .. }
+        );
+        assert_eq!(by_operator, by_projection, "seed {seed}");
+        agreements += 1;
+    }
+    assert!(agreements > 5, "too few comparisons: {agreements}");
+}
+
+#[test]
+fn property_1_satisfaction_lifts_through_composition() {
+    // Property 1 of the paper: Q1 ⊨ P1 ∧ Q2 ⊨ P2 ⇒ Q1 ‖ Q2 ⊨ P1 ‖ P2 —
+    // exercised with finite trace sets drawn from the ALM automata.
+    use slin_core::slin::SlinChecker;
+    use slin_trace::prop::satisfies;
+    use slin_adt::Universal;
+    use slin_ioa::alm::external_trace;
+
+    let adt: Universal<u8> = Universal::new();
+    let q = SlinChecker::new(&adt, ExactInit::new(), ph(1), ph(2));
+    let mk = |first, last| AlmParams {
+        first,
+        last,
+        clients: 2,
+        inputs: vec![1u8, 2],
+    };
+    // Q1: traces of the first-phase automaton; they satisfy P1 = SLin(1,2).
+    let alm12 = AlmAutomaton::new(mk(1, 2));
+    let q1: Vec<_> = (0..15)
+        .map(|s| external_trace(&random_walk(&alm12, 12, s)))
+        .collect();
+    let p1 = |t: &slin_trace::Trace<_>| q.check(t).is_ok();
+    assert_eq!(satisfies(&q1, &p1), Ok(()));
+}

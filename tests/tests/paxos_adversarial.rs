@@ -1,0 +1,100 @@
+//! Adversarial safety sweeps for the Backup phase: Paxos must never violate
+//! agreement or validity, whatever the network and crash schedule does.
+//! (Liveness is explicitly out of scope — FLP — so undecided runs are
+//! acceptable; split decisions never are.)
+
+use slin_consensus::harness::{run_scenario, Scenario};
+use slin_core::invariants;
+
+#[test]
+fn heavy_loss_never_splits_decisions() {
+    for seed in 0..60 {
+        let out = run_scenario(
+            &Scenario::pure_paxos(3, &[(1, 0), (2, 0)]).with_loss(0.35, seed),
+        );
+        assert!(out.agreement(), "seed {seed}: {:?}", out.decisions);
+        assert!(
+            invariants::consensus_linearizable(&out.trace),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn staggered_crashes_never_split_decisions() {
+    for seed in 0..40 {
+        // Crash two of five acceptors at awkward times mid-protocol.
+        let out = run_scenario(
+            &Scenario::pure_paxos(5, &[(1, 0), (2, 0), (3, 0)])
+                .with_crashes(&[(0, 2), (4, 5)])
+                .with_seed(seed),
+        );
+        assert!(out.agreement(), "seed {seed}: {:?}", out.decisions);
+    }
+}
+
+#[test]
+fn decided_values_were_proposed() {
+    for seed in 0..40 {
+        let out = run_scenario(&Scenario::pure_paxos(3, &[(11, 0), (22, 0), (33, 0)]).with_seed(seed));
+        if let Some(v) = out.decided_value() {
+            assert!(
+                [11, 22, 33].contains(&v.get()),
+                "seed {seed}: invented value {v:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn composed_protocol_is_safe_under_combined_adversity() {
+    // Loss + crash + contention, composed protocol: the hardest sweep.
+    for seed in 0..40 {
+        let out = run_scenario(
+            &Scenario::contended(5, &[1, 2, 3], seed)
+                .with_crashes(&[(0, 1), (1, 6)])
+                .with_loss(0.15, seed),
+        );
+        assert!(out.agreement(), "seed {seed}: {:?}", out.decisions);
+        assert!(
+            invariants::consensus_linearizable(&out.trace),
+            "seed {seed}: {:?}",
+            out.trace
+        );
+        // Phase projections keep their invariants even when nobody decides.
+        use slin_adt::Consensus;
+        use slin_core::compose::project_phase;
+        use slin_trace::PhaseId;
+        let t12 = project_phase::<Consensus, _>(&out.trace, PhaseId::new(1), PhaseId::new(2));
+        assert!(invariants::i1(&t12) && invariants::i2(&t12) && invariants::i3(&t12));
+        let t23 = project_phase::<Consensus, _>(&out.trace, PhaseId::new(2), PhaseId::new(3));
+        assert!(invariants::i4(&t23) && invariants::i5(&t23), "seed {seed}");
+    }
+}
+
+#[test]
+fn dueling_proposers_eventually_settle_or_stay_safe() {
+    // Ballot duels: many clients, tight timeouts. Safety must hold even if
+    // the run exhausts its ballot budget without deciding.
+    for seed in 0..30 {
+        let mut s = Scenario::pure_paxos(3, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        s.timeout = 4;
+        s.seed = seed;
+        s.delay = (1, 3);
+        let out = run_scenario(&s);
+        assert!(out.agreement(), "seed {seed}: {:?}", out.decisions);
+    }
+}
+
+#[test]
+fn quiescent_runs_are_reproducible_bit_for_bit() {
+    for seed in [0u64, 3, 11] {
+        let s = Scenario::contended(5, &[1, 2, 3], seed).with_loss(0.1, seed);
+        let a = run_scenario(&s);
+        let b = run_scenario(&s);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.sim_time, b.sim_time);
+        assert_eq!(a.steps, b.steps);
+    }
+}

@@ -1,0 +1,98 @@
+//! End-to-end experiment E7: the shared-memory RCons + CASCons composition
+//! on real threads (Figures 2 and 3).
+
+use slin_adt::Consensus;
+use slin_core::compose::{project_object, project_phase};
+use slin_core::initrel::ConsensusInit;
+use slin_core::invariants::{self, has_late_decide};
+use slin_core::lin::LinChecker;
+use slin_core::slin::SlinChecker;
+use slin_shmem::harness::{run_concurrent, Workload};
+use slin_trace::PhaseId;
+
+fn ph(n: u32) -> PhaseId {
+    PhaseId::new(n)
+}
+
+#[test]
+fn sequential_executions_use_registers_only_and_linearize() {
+    let lin = LinChecker::new(&Consensus);
+    for threads in 1..=5 {
+        let out = run_concurrent(&Workload::sequential(threads));
+        assert!(out.agreement());
+        assert_eq!(out.cas_count, 0, "threads={threads}: CAS in sequential run");
+        let obj = project_object::<Consensus, _>(&out.trace);
+        assert!(lin.check(&obj).is_ok(), "threads={threads}: {obj:?}");
+    }
+}
+
+#[test]
+fn concurrent_executions_agree_and_linearize() {
+    let lin = LinChecker::new(&Consensus);
+    for round in 0..150 {
+        let out = run_concurrent(&Workload::concurrent(3));
+        assert!(out.agreement(), "round {round}: {:?}", out.decisions);
+        assert!(
+            invariants::consensus_linearizable(&out.trace),
+            "round {round}: {:?}",
+            out.trace
+        );
+        let obj = project_object::<Consensus, _>(&out.trace);
+        if obj.len() <= 10 {
+            assert!(lin.check(&obj).is_ok(), "round {round}: {obj:?}");
+        }
+    }
+}
+
+#[test]
+fn rcons_phase_satisfies_invariants_i1_to_i3() {
+    for round in 0..150 {
+        let out = run_concurrent(&Workload::concurrent(4));
+        let t12 = project_phase::<Consensus, _>(&out.trace, ph(1), ph(2));
+        assert!(invariants::i1(&t12), "round {round}: {t12:?}");
+        assert!(invariants::i2(&t12), "round {round}: {t12:?}");
+        assert!(invariants::i3(&t12), "round {round}: {t12:?}");
+    }
+}
+
+#[test]
+fn cascons_phase_satisfies_invariants_i4_i5() {
+    for round in 0..150 {
+        let out = run_concurrent(&Workload::concurrent(4));
+        let t23 = project_phase::<Consensus, _>(&out.trace, ph(2), ph(3));
+        assert!(invariants::i4(&t23), "round {round}: {t23:?}");
+        assert!(invariants::i5(&t23), "round {round}: {t23:?}");
+    }
+}
+
+#[test]
+fn phase_projections_pass_the_slin_checker() {
+    let q = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(1), ph(2));
+    let b = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(2), ph(3));
+    let mut switched_runs = 0;
+    for round in 0..120 {
+        let out = run_concurrent(&Workload::concurrent(3));
+        if out.trace.iter().any(|a| a.is_switch()) {
+            switched_runs += 1;
+        }
+        let t12 = project_phase::<Consensus, _>(&out.trace, ph(1), ph(2));
+        if !has_late_decide(&t12) {
+            assert!(q.check(&t12).is_ok(), "round {round}: {t12:?}");
+        }
+        let t23 = project_phase::<Consensus, _>(&out.trace, ph(2), ph(3));
+        assert!(b.check(&t23).is_ok(), "round {round}: {t23:?}");
+    }
+    assert!(switched_runs > 0, "chaotic runs should exercise the backup");
+}
+
+#[test]
+fn contention_exercises_cas_backup() {
+    let mut cas_runs = 0;
+    for _ in 0..150 {
+        let out = run_concurrent(&Workload::concurrent(4));
+        if out.cas_count > 0 {
+            cas_runs += 1;
+        }
+    }
+    assert!(cas_runs > 0, "no run ever reached the CAS phase");
+}

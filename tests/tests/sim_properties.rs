@@ -1,0 +1,84 @@
+//! Cross-crate properties of the simulation substrate: the asynchronous
+//! model assumptions the paper's algorithms rely on must actually hold in
+//! `slin-sim` as driven by `slin-consensus`.
+
+use slin_consensus::harness::{run_scenario, Scenario};
+
+#[test]
+fn latency_is_delay_scale_invariant() {
+    // Message *delays* are the latency unit: scaling the per-hop delay by k
+    // scales fault-free decision latency by exactly k (2 hops).
+    for k in [1u64, 3, 10] {
+        let mut s = Scenario::fault_free(3, &[(5, 0)]);
+        s.delay = (k, k);
+        s.timeout = 12 * k;
+        let out = run_scenario(&s);
+        assert_eq!(out.latencies[0].1, Some(2 * k), "k={k}");
+    }
+}
+
+#[test]
+fn asynchrony_reorders_but_never_corrupts() {
+    // Wildly variable delays (1..20) reorder deliveries arbitrarily;
+    // agreement and validity must be untouched.
+    for seed in 0..30 {
+        let mut s = Scenario::contended(3, &[1, 2, 3], seed);
+        s.delay = (1, 20);
+        s.timeout = 25;
+        let out = run_scenario(&s);
+        assert!(out.agreement(), "seed {seed}: {:?}", out.decisions);
+        if let Some(v) = out.decided_value() {
+            assert!((1..=3).contains(&v.get()), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn crashes_are_permanent() {
+    // A crashed server never participates again: with all servers crashed
+    // before start, no client can ever decide, and no server sends a byte.
+    let out = run_scenario(
+        &Scenario::fault_free(3, &[(5, 0)]).with_crashes(&[(0, 0), (1, 0), (2, 0)]),
+    );
+    assert!(out.decisions.is_empty());
+    // Only client traffic (repeated proposal broadcasts / prepares) exists.
+    assert!(out.messages > 0);
+}
+
+#[test]
+fn seeds_partition_behaviours() {
+    // Different seeds genuinely explore different executions: across 30
+    // seeds of a lossy contended scenario we must observe at least two
+    // different decision latencies (the scheduler is not degenerate).
+    let mut latencies = std::collections::BTreeSet::new();
+    for seed in 0..30 {
+        let out = run_scenario(&Scenario::contended(3, &[1, 2], seed).with_loss(0.1, seed));
+        for (_, l) in &out.latencies {
+            if let Some(l) = l {
+                latencies.insert(*l);
+            }
+        }
+    }
+    assert!(latencies.len() >= 2, "degenerate scheduler: {latencies:?}");
+}
+
+#[test]
+fn step_bound_is_a_hard_stop() {
+    let mut s = Scenario::contended(3, &[1, 2], 0).with_loss(0.6, 1);
+    s.max_steps = 50;
+    let out = run_scenario(&s);
+    assert!(out.steps <= 50);
+    // Safety still intact on the truncated run.
+    assert!(out.agreement());
+}
+
+#[test]
+fn invocation_times_are_honoured() {
+    // The second client invokes at t=40, long after the first decided;
+    // its fast path sees a quiescent system and also takes exactly 2 hops.
+    let out = run_scenario(&Scenario::fault_free(3, &[(1, 0), (2, 40)]));
+    assert_eq!(out.latencies[0].1, Some(2));
+    assert_eq!(out.latencies[1].1, Some(2));
+    // And the decisions agree across the time gap (the servers remember).
+    assert!(out.agreement());
+}
