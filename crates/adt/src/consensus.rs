@@ -142,7 +142,10 @@ mod tests {
     #[test]
     fn first_proposal_decides() {
         let cons = Consensus::new();
-        let h: Vec<ConsInput> = [3u64, 1, 4, 1, 5].iter().map(|&v| ConsInput::propose(v)).collect();
+        let h: Vec<ConsInput> = [3u64, 1, 4, 1, 5]
+            .iter()
+            .map(|&v| ConsInput::propose(v))
+            .collect();
         assert_eq!(cons.output(&h), Some(ConsOutput::decide(3)));
     }
 

@@ -87,7 +87,10 @@ mod tests {
     #[test]
     fn starts_at_zero() {
         let c = Counter::new();
-        assert_eq!(c.output(&[CounterInput::Read]), Some(CounterOutput::Count(0)));
+        assert_eq!(
+            c.output(&[CounterInput::Read]),
+            Some(CounterOutput::Count(0))
+        );
     }
 
     #[test]

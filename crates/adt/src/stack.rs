@@ -108,7 +108,10 @@ mod tests {
     #[test]
     fn pop_empty() {
         let s = Stack::new();
-        assert_eq!(s.output(&[StackInput::Pop]), Some(StackOutput::Popped(None)));
+        assert_eq!(
+            s.output(&[StackInput::Pop]),
+            Some(StackOutput::Popped(None))
+        );
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! consensus-specialized linear-time test, and the speculative checker,
 //! as the trace length grows.
 
-use criterion::{criterion_group, criterion_main, PlottingBackend, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, PlottingBackend};
 use rand::Rng;
 use slin_adt::{ConsInput, Consensus};
+use slin_bench::{checker_stats_rows, render_table, CHECKER_STATS_HEADER};
 use slin_consensus::harness::{run_scenario, Scenario};
 use slin_core::classical::ClassicalChecker;
 use slin_core::compose::project_phase;
@@ -20,7 +21,17 @@ use slin_core::slin::SlinChecker;
 use slin_trace::PhaseId;
 use std::time::Duration;
 
+fn print_stats_table() {
+    let rows: Vec<Vec<String>> = checker_stats_rows(&[0, 1, 7, 13])
+        .iter()
+        .map(|r| r.cells())
+        .collect();
+    println!("\nB4c — shared-engine search statistics on protocol traces");
+    println!("{}", render_table(&CHECKER_STATS_HEADER, &rows));
+}
+
 fn bench_checkers(c: &mut Criterion) {
+    print_stats_table();
     let mut group = c.benchmark_group("lin_checkers_vs_trace_length");
     for &steps in &[9usize, 12, 15, 18, 21] {
         let cfg = GenConfig {
@@ -49,11 +60,21 @@ fn bench_checkers(c: &mut Criterion) {
         let t12 = project_phase::<Consensus, _>(&out.trace, PhaseId::new(1), PhaseId::new(2));
         let t23 = project_phase::<Consensus, _>(&out.trace, PhaseId::new(2), PhaseId::new(3));
         group.bench_with_input(BenchmarkId::new("first_phase", seed), &t12, |b, t| {
-            let chk = SlinChecker::new(&Consensus, ConsensusInit::new(), PhaseId::new(1), PhaseId::new(2));
+            let chk = SlinChecker::new(
+                &Consensus,
+                ConsensusInit::new(),
+                PhaseId::new(1),
+                PhaseId::new(2),
+            );
             b.iter(|| chk.check(t).is_ok())
         });
         group.bench_with_input(BenchmarkId::new("second_phase", seed), &t23, |b, t| {
-            let chk = SlinChecker::new(&Consensus, ConsensusInit::new(), PhaseId::new(2), PhaseId::new(3));
+            let chk = SlinChecker::new(
+                &Consensus,
+                ConsensusInit::new(),
+                PhaseId::new(2),
+                PhaseId::new(3),
+            );
             b.iter(|| chk.check(t).is_ok())
         });
     }

@@ -5,7 +5,7 @@
 //!
 //! Criterion measures *simulated time* (1 message delay = 1 µs).
 
-use criterion::{criterion_group, criterion_main, PlottingBackend, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, PlottingBackend};
 use slin_bench::{contention_rows, crossover_rows, render_table};
 use slin_consensus::harness::{run_scenario, Scenario};
 use std::time::Duration;
@@ -44,7 +44,10 @@ fn print_tables() {
     println!("\nB2b — mean decision latency vs contending clients (3 servers, 15 seeds)");
     println!(
         "{}",
-        render_table(&["clients", "quorum+backup", "pure paxos", "fallback"], &table)
+        render_table(
+            &["clients", "quorum+backup", "pure paxos", "fallback"],
+            &table
+        )
     );
 }
 

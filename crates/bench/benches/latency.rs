@@ -7,7 +7,7 @@
 //! numbers are message delays, not host-machine noise; the regenerated
 //! table is printed once at startup.
 
-use criterion::{criterion_group, criterion_main, PlottingBackend, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, PlottingBackend};
 use slin_bench::{latency_rows, render_table};
 use slin_consensus::harness::{run_scenario, Scenario};
 use std::time::Duration;
@@ -30,7 +30,13 @@ fn print_table() {
     println!(
         "{}",
         render_table(
-            &["servers", "quorum+backup", "pure paxos", "msgs(fast)", "msgs(paxos)"],
+            &[
+                "servers",
+                "quorum+backup",
+                "pure paxos",
+                "msgs(fast)",
+                "msgs(paxos)"
+            ],
             &table
         )
     );
@@ -54,16 +60,20 @@ fn bench_latency(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(BenchmarkId::new("pure_paxos", servers), &servers, |b, &n| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let out = run_scenario(&Scenario::pure_paxos(n, &[(5, 0)]));
-                    total += Duration::from_micros(out.latencies[0].1.unwrap_or(0));
-                }
-                total
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pure_paxos", servers),
+            &servers,
+            |b, &n| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let out = run_scenario(&Scenario::pure_paxos(n, &[(5, 0)]));
+                        total += Duration::from_micros(out.latencies[0].1.unwrap_or(0));
+                    }
+                    total
+                })
+            },
+        );
     }
     group.finish();
 }

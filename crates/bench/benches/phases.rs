@@ -9,7 +9,7 @@
 //!
 //! Criterion measures simulated time (1 message delay = 1 µs).
 
-use criterion::{criterion_group, criterion_main, PlottingBackend, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, PlottingBackend};
 use slin_bench::{phase_chain_rows, render_table};
 use slin_consensus::harness::{run_scenario, Scenario};
 use std::time::Duration;
@@ -31,7 +31,12 @@ fn print_table() {
     println!(
         "{}",
         render_table(
-            &["fast phases", "fault-free latency", "contended latency", "msgs"],
+            &[
+                "fast phases",
+                "fault-free latency",
+                "contended latency",
+                "msgs"
+            ],
             &table
         )
     );

@@ -8,7 +8,7 @@
 //! versus concurrent workloads — plus the headline invariant: **zero CAS
 //! operations without contention**.
 
-use criterion::{criterion_group, criterion_main, PlottingBackend, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, PlottingBackend};
 use slin_adt::Value;
 use slin_bench::render_table;
 use slin_shmem::harness::{run_concurrent, Workload};

@@ -14,6 +14,9 @@
 //!   contention;
 //! * [`phase_chain_rows`] — **B4b**: latency and message cost of chaining
 //!   extra fast phases;
+//! * [`checker_stats_rows`] — **B4c**: the shared checker engine's
+//!   [`SearchStats`] (nodes, memoisation, interpretation counts) over
+//!   simulated runs — the practicality counterpart of the timing data;
 //! * checker scaling data for **B4** lives in the `checkers` bench.
 //!
 //! Every function returns plain rows so the experiment tables can be
@@ -22,7 +25,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use slin_consensus::harness::{run_scenario, Scenario};
+use slin_consensus::harness::{run_scenario, verify_run, Scenario};
+use slin_core::engine::SearchStats;
 use slin_sim::Time;
 
 /// One row of the fast-path latency table (B1).
@@ -117,9 +121,7 @@ pub fn crossover_rows(drop_percents: &[u64], seeds: u64) -> Vec<CrossoverRow> {
         .map(|&pct| {
             let drop = pct as f64 / 100.0;
             let composed: Vec<_> = (0..seeds)
-                .map(|s| {
-                    run_scenario(&Scenario::fault_free(3, &[(7, 0)]).with_loss(drop, s))
-                })
+                .map(|s| run_scenario(&Scenario::fault_free(3, &[(7, 0)]).with_loss(drop, s)))
                 .collect();
             let paxos: Vec<_> = (0..seeds)
                 .map(|s| run_scenario(&Scenario::pure_paxos(3, &[(7, 0)]).with_loss(drop, s)))
@@ -145,11 +147,7 @@ pub fn contention_rows(client_counts: &[u64], seeds: u64) -> Vec<CrossoverRow> {
                 .map(|s| run_scenario(&Scenario::contended(3, &values, s)))
                 .collect();
             let paxos: Vec<_> = (0..seeds)
-                .map(|s| {
-                    run_scenario(
-                        &Scenario::contended(3, &values, s).with_fast_phases(0),
-                    )
-                })
+                .map(|s| run_scenario(&Scenario::contended(3, &values, s).with_fast_phases(0)))
                 .collect();
             CrossoverRow {
                 x: k,
@@ -181,9 +179,7 @@ pub fn phase_chain_rows(chain_lengths: &[u32], seeds: u64) -> Vec<ChainRow> {
         .iter()
         .map(|&fast| {
             let outs: Vec<_> = (0..seeds)
-                .map(|s| {
-                    run_scenario(&Scenario::contended(3, &[1, 2], s).with_fast_phases(fast))
-                })
+                .map(|s| run_scenario(&Scenario::contended(3, &[1, 2], s).with_fast_phases(fast)))
                 .collect();
             let msgs = outs.iter().map(|o| o.messages as f64).sum::<f64>() / seeds as f64;
             let fault_free =
@@ -196,6 +192,76 @@ pub fn phase_chain_rows(chain_lengths: &[u32], seeds: u64) -> Vec<ChainRow> {
             }
         })
         .collect()
+}
+
+/// One row of the checker-practicality table (B4c): the engine counters
+/// behind one verified scenario run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckerStatsRow {
+    /// Human-readable scenario label.
+    pub scenario: String,
+    /// Whether every phase and the object projection verified.
+    pub ok: bool,
+    /// Whether a failure was a resource limit (budget / interpretation
+    /// cap) rather than a genuine violation.
+    pub resource_limited: bool,
+    /// Aggregated engine counters for the whole verification.
+    pub stats: SearchStats,
+}
+
+impl CheckerStatsRow {
+    /// The table cells printed by the `checkers` bench.
+    pub fn cells(&self) -> Vec<String> {
+        let verdict = if self.ok {
+            "ok"
+        } else if self.resource_limited {
+            "limit"
+        } else {
+            "FAIL"
+        };
+        vec![
+            self.scenario.clone(),
+            verdict.to_string(),
+            self.stats.interpretations.to_string(),
+            self.stats.nodes.to_string(),
+            self.stats.memo_entries.to_string(),
+            self.stats.memo_hits.to_string(),
+            self.stats.leaf_checks.to_string(),
+        ]
+    }
+}
+
+/// The header matching [`CheckerStatsRow::cells`].
+pub const CHECKER_STATS_HEADER: [&str; 7] = [
+    "scenario", "verdict", "interps", "nodes", "memo", "hits", "leaves",
+];
+
+/// B4c: engine statistics for verifying contended runs (3 servers, the
+/// given seeds) and one 3-phase chain — what the speculative checker
+/// actually costs on protocol-generated traces.
+pub fn checker_stats_rows(seeds: &[u64]) -> Vec<CheckerStatsRow> {
+    let mut rows: Vec<CheckerStatsRow> = seeds
+        .iter()
+        .map(|&seed| {
+            let scenario = Scenario::contended(3, &[1, 2], seed);
+            let v = verify_run(&scenario, &run_scenario(&scenario));
+            CheckerStatsRow {
+                scenario: format!("contended(3, [1,2], seed {seed})"),
+                ok: v.all_ok(),
+                resource_limited: v.resource_limited(),
+                stats: v.stats,
+            }
+        })
+        .collect();
+    let chained = Scenario::contended(3, &[1, 2], 1).with_fast_phases(3);
+    let v = verify_run(&chained, &run_scenario(&chained));
+    rows.push(CheckerStatsRow {
+        scenario: "contended, 3 fast phases".to_string(),
+        ok: v.all_ok(),
+        resource_limited: v.resource_limited(),
+        stats: v.stats,
+    });
+    rows
 }
 
 /// Renders rows as an aligned text table (used by the benches to print the
@@ -274,6 +340,18 @@ mod tests {
             rows[2].messages_mean <= rows[0].messages_mean * 2.0,
             "{rows:?}"
         );
+    }
+
+    #[test]
+    fn b4c_engine_stats_rows_verify_and_count() {
+        let rows = checker_stats_rows(&[0, 7]);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.ok, "{row:?}");
+            assert!(row.stats.nodes > 0, "{row:?}");
+            assert!(row.stats.interpretations > 0, "{row:?}");
+            assert_eq!(row.cells().len(), CHECKER_STATS_HEADER.len());
+        }
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! The [`any`] entry point and the [`Arbitrary`] trait.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The full-domain strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u64_covers_high_bits() {
+        let mut rng = TestRng::from_seed(1);
+        let strat = any::<u64>();
+        assert!((0..100).any(|_| strat.new_value(&mut rng) > u64::MAX / 2));
+    }
+}

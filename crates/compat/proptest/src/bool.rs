@@ -1,0 +1,30 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy generating both booleans uniformly.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+/// Uniformly random booleans.
+pub const ANY: BoolStrategy = BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_values_occur() {
+        let mut rng = TestRng::from_seed(2);
+        let vals: Vec<bool> = (0..64).map(|_| ANY.new_value(&mut rng)).collect();
+        assert!(vals.iter().any(|&b| b) && vals.iter().any(|&b| !b));
+    }
+}

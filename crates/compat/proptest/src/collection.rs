@@ -1,0 +1,103 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A range of collection sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        debug_assert!(self.min < self.max);
+        self.min + rng.below((self.max - self.min) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            min: len,
+            max: len + 1,
+        }
+    }
+}
+
+impl From<::core::ops::Range<usize>> for SizeRange {
+    fn from(r: ::core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<::core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: ::core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+/// Generates a `Vec` whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_the_range() {
+        let strat = vec(0..5u8, 2..6);
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn fixed_length_from_usize() {
+        let strat = vec(0..2u8, 4usize);
+        let mut rng = TestRng::from_seed(3);
+        assert_eq!(strat.new_value(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn nested_vec_strategies() {
+        let strat = vec(vec(0..5u8, 0..8), 1..5);
+        let mut rng = TestRng::from_seed(11);
+        let v = strat.new_value(&mut rng);
+        assert!((1..5).contains(&v.len()));
+    }
+}

@@ -105,7 +105,11 @@ impl Client {
     }
 
     fn invoke(&mut self, ctx: &mut Context<'_, Msg, ConsAction>) {
-        ctx.record(Action::invoke(self.client_id(), PhaseId::new(1), self.input()));
+        ctx.record(Action::invoke(
+            self.client_id(),
+            PhaseId::new(1),
+            self.input(),
+        ));
         if self.cfg.fast_phases >= 1 {
             let q = QuorumPhase::new(1, self.cfg.proposal, self.cfg.servers.clone());
             q.begin(ctx);

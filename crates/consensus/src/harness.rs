@@ -12,6 +12,9 @@ use crate::msg::Msg;
 use crate::server::Server;
 use crate::ConsAction;
 use slin_adt::consensus::Value;
+use slin_adt::Consensus;
+use slin_core::compose::{verify_phase_chain, PhaseChainVerification};
+use slin_core::initrel::ConsensusInit;
 use slin_sim::{ProcessId, SimConfig, Simulation, Time};
 use slin_trace::{ClientId, Trace};
 
@@ -130,6 +133,27 @@ impl RunOutcome {
     pub fn decided_value(&self) -> Option<Value> {
         self.decisions.first().map(|(_, v)| *v)
     }
+
+    /// Verifies the recorded trace through the shared checker engine: every
+    /// speculation phase `(k, k+1)` of a chain with `fast_phases` Quorum
+    /// phases before the Paxos backup, plus plain linearizability of the
+    /// object projection, with aggregated
+    /// [search statistics](slin_core::engine::SearchStats).
+    pub fn verify(&self, fast_phases: u32) -> PhaseChainVerification {
+        verify_phase_chain(
+            &Consensus,
+            ConsensusInit::new(),
+            &self.trace,
+            1,
+            fast_phases + 1,
+        )
+    }
+}
+
+/// Engine-backed verification of a scenario run (phases derived from the
+/// scenario's chain length). See [`RunOutcome::verify`].
+pub fn verify_run(scenario: &Scenario, out: &RunOutcome) -> PhaseChainVerification {
+    out.verify(scenario.fast_phases)
 }
 
 /// Builds and runs a scenario to quiescence.
@@ -264,8 +288,7 @@ mod tests {
     fn server_crash_forces_backup_which_still_decides() {
         // One of three servers crashes immediately: unanimity is impossible,
         // Quorum times out, Paxos (majority 2/3 alive) decides.
-        let out =
-            run_scenario(&Scenario::fault_free(3, &[(4, 0)]).with_crashes(&[(0, 0)]));
+        let out = run_scenario(&Scenario::fault_free(3, &[(4, 0)]).with_crashes(&[(0, 0)]));
         assert_eq!(out.decisions.len(), 1);
         assert!(out.trace.iter().any(|a| a.is_switch()));
         assert!(invariants::consensus_linearizable(&out.trace));
@@ -273,9 +296,7 @@ mod tests {
 
     #[test]
     fn majority_crash_blocks_everything_safely() {
-        let out = run_scenario(
-            &Scenario::fault_free(3, &[(4, 0)]).with_crashes(&[(0, 0), (1, 0)]),
-        );
+        let out = run_scenario(&Scenario::fault_free(3, &[(4, 0)]).with_crashes(&[(0, 0), (1, 0)]));
         assert!(out.decisions.is_empty());
         // Safety: the trace (with a pending invocation) is still fine.
         assert!(invariants::consensus_linearizable(&out.trace));
@@ -284,9 +305,8 @@ mod tests {
     #[test]
     fn lossy_network_eventually_decides_and_agrees() {
         for seed in 0..15 {
-            let out = run_scenario(
-                &Scenario::fault_free(3, &[(1, 0), (2, 0)]).with_loss(0.2, seed),
-            );
+            let out =
+                run_scenario(&Scenario::fault_free(3, &[(1, 0), (2, 0)]).with_loss(0.2, seed));
             assert!(out.agreement(), "seed {seed}");
             assert!(
                 invariants::consensus_linearizable(&out.trace),
@@ -298,9 +318,7 @@ mod tests {
     #[test]
     fn multi_phase_chain_still_agrees() {
         for seed in 0..10 {
-            let out = run_scenario(
-                &Scenario::contended(3, &[1, 2], seed).with_fast_phases(3),
-            );
+            let out = run_scenario(&Scenario::contended(3, &[1, 2], seed).with_fast_phases(3));
             assert!(out.agreement(), "seed {seed}");
             assert_eq!(out.decisions.len(), 2, "seed {seed}");
             assert!(
@@ -308,6 +326,27 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn engine_verification_accepts_contended_runs() {
+        for seed in 0..10 {
+            let scenario = Scenario::contended(3, &[1, 2], seed);
+            let out = run_scenario(&scenario);
+            let v = verify_run(&scenario, &out);
+            assert!(v.all_ok(), "seed {seed}: {v:?}");
+            assert_eq!(v.phases.len(), 2, "phases (1,2) and (2,3)");
+            assert!(v.stats.nodes > 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn engine_verification_covers_longer_chains() {
+        let scenario = Scenario::contended(3, &[1, 2], 3).with_fast_phases(3);
+        let out = run_scenario(&scenario);
+        let v = verify_run(&scenario, &out);
+        assert_eq!(v.phases.len(), 4, "phases (1,2) .. (4,5)");
+        assert!(v.all_ok(), "{v:?}");
     }
 
     #[test]

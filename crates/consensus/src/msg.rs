@@ -92,14 +92,33 @@ mod tests {
 
     #[test]
     fn ballots_order_by_round_then_client() {
-        assert!(Ballot { round: 1, client: 0 } > Ballot { round: 0, client: 9 });
-        assert!(Ballot { round: 1, client: 2 } > Ballot { round: 1, client: 1 });
+        assert!(
+            Ballot {
+                round: 1,
+                client: 0
+            } > Ballot {
+                round: 0,
+                client: 9
+            }
+        );
+        assert!(
+            Ballot {
+                round: 1,
+                client: 2
+            } > Ballot {
+                round: 1,
+                client: 1
+            }
+        );
     }
 
     #[test]
     fn above_is_strictly_greater_and_keeps_client() {
         let mine = Ballot::first(3);
-        let theirs = Ballot { round: 7, client: 5 };
+        let theirs = Ballot {
+            round: 7,
+            client: 5,
+        };
         let next = mine.above(theirs);
         assert!(next > theirs);
         assert!(next > mine);

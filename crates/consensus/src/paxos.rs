@@ -161,10 +161,8 @@ impl PaxosProposer {
             }
             Msg::Reject { promised } => {
                 if promised > self.ballot {
-                    self.highest_rejection = Some(
-                        self.highest_rejection
-                            .map_or(promised, |h| h.max(promised)),
-                    );
+                    self.highest_rejection =
+                        Some(self.highest_rejection.map_or(promised, |h| h.max(promised)));
                     return PaxosStep::Backoff;
                 }
                 PaxosStep::Continue
@@ -196,7 +194,12 @@ mod tests {
             p.begin(ctx);
             self.proposer = Some(p);
         }
-        fn on_message(&mut self, ctx: &mut Context<'_, Msg, ConsAction>, from: ProcessId, msg: Msg) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, Msg, ConsAction>,
+            from: ProcessId,
+            msg: Msg,
+        ) {
             if let Some(p) = &mut self.proposer {
                 match p.on_message(ctx, from, msg) {
                     PaxosStep::Decide(v) => {

@@ -113,9 +113,7 @@ mod tests {
         // ProcessId construction is private; obtain ids from a simulation.
         let mut sim: slin_sim::Simulation<Msg, ()> =
             slin_sim::Simulation::new(slin_sim::SimConfig::default());
-        (0..n)
-            .map(|_| sim.add_process(Box::new(Sink)))
-            .collect()
+        (0..n).map(|_| sim.add_process(Box::new(Sink))).collect()
     }
 
     struct Sink;

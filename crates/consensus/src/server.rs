@@ -91,7 +91,10 @@ impl Process<Msg, ConsAction> for Server {
                 }
             }
             // Server-bound messages only; replies are ignored if misrouted.
-            Msg::Accept { .. } | Msg::Promise { .. } | Msg::Accepted2b { .. } | Msg::Reject { .. } => {}
+            Msg::Accept { .. }
+            | Msg::Promise { .. }
+            | Msg::Accepted2b { .. }
+            | Msg::Reject { .. } => {}
         }
     }
 }
@@ -134,8 +137,14 @@ mod tests {
     fn acceptor_promise_and_reject() {
         let mut s = Server::new();
         // Direct unit-level exercise through a simulation with two probes.
-        let b1 = Ballot { round: 1, client: 1 };
-        let b0 = Ballot { round: 0, client: 2 };
+        let b1 = Ballot {
+            round: 1,
+            client: 1,
+        };
+        let b0 = Ballot {
+            round: 0,
+            client: 2,
+        };
         // promise b1
         assert!(s.promised.is_none());
         s.promised = Some(b1);

@@ -86,7 +86,7 @@ impl<'a, T: Adt> ClassicalChecker<'a, T> {
         wf::check_well_formed(t)?;
         let operations = ops::operations::<T, V>(t);
         if operations.len() > 64 {
-            return Err(LinError::BudgetExhausted);
+            return Err(LinError::BudgetExhausted { nodes: 0 });
         }
         let remaining: u64 = (0..operations.len()).fold(0u64, |m, i| m | (1 << i));
         let mut search = WgSearch {
@@ -155,7 +155,7 @@ impl<'s, T: Adt> WgSearch<'s, T> {
         }
         self.nodes += 1;
         if self.nodes > self.budget {
-            return Err(LinError::BudgetExhausted);
+            return Err(LinError::BudgetExhausted { nodes: self.nodes });
         }
         if self.memo.contains(&(remaining, state.clone())) {
             return Ok(false);
@@ -270,9 +270,19 @@ mod tests {
             Action::respond(c(1), ph(), QueueInput::Enqueue(1), QueueOutput::Ack),
             Action::respond(c(2), ph(), QueueInput::Enqueue(2), QueueOutput::Ack),
             Action::invoke(c(1), ph(), QueueInput::Dequeue),
-            Action::respond(c(1), ph(), QueueInput::Dequeue, QueueOutput::Dequeued(Some(2))),
+            Action::respond(
+                c(1),
+                ph(),
+                QueueInput::Dequeue,
+                QueueOutput::Dequeued(Some(2)),
+            ),
             Action::invoke(c(1), ph(), QueueInput::Dequeue),
-            Action::respond(c(1), ph(), QueueInput::Dequeue, QueueOutput::Dequeued(Some(1))),
+            Action::respond(
+                c(1),
+                ph(),
+                QueueInput::Dequeue,
+                QueueOutput::Dequeued(Some(1)),
+            ),
         ]);
         assert!(ClassicalChecker::new(&Queue).check(&t).is_ok());
     }
@@ -286,7 +296,12 @@ mod tests {
             Action::invoke(c(1), ph(), QueueInput::Enqueue(2)),
             Action::respond(c(1), ph(), QueueInput::Enqueue(2), QueueOutput::Ack),
             Action::invoke(c(1), ph(), QueueInput::Dequeue),
-            Action::respond(c(1), ph(), QueueInput::Dequeue, QueueOutput::Dequeued(Some(2))),
+            Action::respond(
+                c(1),
+                ph(),
+                QueueInput::Dequeue,
+                QueueOutput::Dequeued(Some(2)),
+            ),
         ]);
         assert_eq!(
             ClassicalChecker::new(&Queue).check(&t),

@@ -16,7 +16,9 @@
 //! phase `(m, n)` *are* the init actions of phase `(n, o)`: both phases see
 //! the same switch events labelled `n`.
 
+use crate::engine::{SearchBudget, SearchStats};
 use crate::initrel::InitRelation;
+use crate::lin::LinChecker;
 use crate::slin::{SlinChecker, SlinError};
 use crate::ObjAction;
 use slin_adt::Adt;
@@ -104,9 +106,11 @@ pub fn check_composition<T, R>(
     o: PhaseId,
 ) -> CompositionOutcome
 where
-    T: Adt,
-    T::Input: Ord,
-    R: InitRelation<T::Input> + Clone,
+    T: Adt + Sync,
+    T::Input: Ord + Send + Sync,
+    T::Output: Sync,
+    R: InitRelation<T::Input> + Clone + Sync,
+    R::Value: Sync,
 {
     assert!(m < n && n < o, "phases must be ordered m < n < o");
     let t_mn = project_phase::<T, R::Value>(t, m, n);
@@ -120,6 +124,146 @@ where
     match SlinChecker::new(adt, rinit, m, o).check(t) {
         Ok(_) => CompositionOutcome::Holds,
         Err(error) => CompositionOutcome::TheoremViolated(error),
+    }
+}
+
+/// The outcome of verifying a whole chained run: every speculation phase
+/// `(k, k+1)` of the chain plus the object projection, all through the
+/// shared [`CheckerEngine`](crate::engine::CheckerEngine), with aggregated
+/// [`SearchStats`]. This is the harness-facing engine API: the consensus
+/// and shared-memory scenario harnesses expose it over their recorded
+/// traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseChainVerification {
+    /// Per phase `(m, n, verdict)`: whether the `(m, n)` projection is
+    /// `(m, n)`-speculatively linearizable.
+    pub phases: Vec<(u32, u32, bool)>,
+    /// The checker error behind every failed phase, `(m, n, error)` —
+    /// distinguishing genuine violations
+    /// ([`SlinError::NotSpeculativelyLinearizable`]) from resource limits
+    /// ([`SlinError::BudgetExhausted`],
+    /// [`SlinError::TooManyInterpretations`]).
+    pub failures: Vec<(u32, u32, SlinError)>,
+    /// Whether the object projection satisfies the paper's definition of
+    /// linearizability.
+    pub object_linearizable: bool,
+    /// The object-projection checker error when it failed.
+    pub object_error: Option<crate::lin::LinError>,
+    /// Engine counters aggregated over every check performed.
+    pub stats: SearchStats,
+}
+
+impl PhaseChainVerification {
+    /// Whether every phase and the object projection passed.
+    pub fn all_ok(&self) -> bool {
+        self.object_linearizable && self.phases.iter().all(|&(_, _, ok)| ok)
+    }
+
+    /// Whether any failure is a resource limit (budget or interpretation
+    /// cap) rather than a genuine violation — a `false` verdict with
+    /// `resource_limited()` means "try a bigger [`crate::engine::SearchBudget`]",
+    /// not "the protocol misbehaved".
+    pub fn resource_limited(&self) -> bool {
+        self.failures.iter().any(|(_, _, e)| {
+            matches!(
+                e,
+                SlinError::BudgetExhausted { .. } | SlinError::TooManyInterpretations { .. }
+            )
+        }) || matches!(
+            self.object_error,
+            Some(crate::lin::LinError::BudgetExhausted { .. })
+        )
+    }
+}
+
+/// Verifies a chained run over phases `first ..= last`: each speculation
+/// phase `(k, k+1)` on its projection, and plain linearizability on the
+/// object projection.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Consensus, ConsInput, ConsOutput, Value};
+/// use slin_core::compose::verify_phase_chain;
+/// use slin_core::initrel::ConsensusInit;
+/// use slin_trace::{Action, ClientId, PhaseId, Trace};
+///
+/// let c1 = ClientId::new(1);
+/// let t: Trace<Action<ConsInput, ConsOutput, Value>> = Trace::from_actions(vec![
+///     Action::invoke(c1, PhaseId::new(1), ConsInput::propose(4)),
+///     Action::switch(c1, PhaseId::new(2), ConsInput::propose(4), Value::new(4)),
+///     Action::respond(c1, PhaseId::new(2), ConsInput::propose(4), ConsOutput::decide(4)),
+/// ]);
+/// let v = verify_phase_chain(&Consensus::new(), ConsensusInit::new(), &t, 1, 2);
+/// assert!(v.all_ok());
+/// assert!(v.stats.nodes > 0);
+/// ```
+pub fn verify_phase_chain<T, R>(
+    adt: &T,
+    rinit: R,
+    t: &Trace<ObjAction<T, R::Value>>,
+    first: u32,
+    last: u32,
+) -> PhaseChainVerification
+where
+    T: Adt + Sync,
+    T::Input: Ord + Send + Sync,
+    T::Output: Sync,
+    R: InitRelation<T::Input> + Clone + Sync,
+    R::Value: Sync,
+{
+    verify_phase_chain_with_budget(adt, rinit, t, first, last, SearchBudget::default())
+}
+
+/// [`verify_phase_chain`] under an explicit per-search [`SearchBudget`].
+pub fn verify_phase_chain_with_budget<T, R>(
+    adt: &T,
+    rinit: R,
+    t: &Trace<ObjAction<T, R::Value>>,
+    first: u32,
+    last: u32,
+    budget: SearchBudget,
+) -> PhaseChainVerification
+where
+    T: Adt + Sync,
+    T::Input: Ord + Send + Sync,
+    T::Output: Sync,
+    R: InitRelation<T::Input> + Clone + Sync,
+    R::Value: Sync,
+{
+    assert!(first <= last, "phase chain requires first <= last");
+    let mut stats = SearchStats::default();
+    let mut phases = Vec::new();
+    let mut failures = Vec::new();
+    for k in first..=last {
+        let (m, n) = (PhaseId::new(k), PhaseId::new(k + 1));
+        let proj = project_phase::<T, R::Value>(t, m, n);
+        let ok = match SlinChecker::new(adt, rinit.clone(), m, n)
+            .with_budget(budget.max_nodes)
+            .check(&proj)
+        {
+            Ok(report) => {
+                stats.absorb(&report.stats);
+                true
+            }
+            Err(error) => {
+                failures.push((k, k + 1, error));
+                false
+            }
+        };
+        phases.push((k, k + 1, ok));
+    }
+    let obj = project_object::<T, R::Value>(t);
+    let (lin_verdict, lin_stats) = LinChecker::new(adt)
+        .with_budget(budget.max_nodes)
+        .check_with_stats(&obj);
+    stats.absorb(&lin_stats);
+    PhaseChainVerification {
+        phases,
+        failures,
+        object_linearizable: lin_verdict.is_ok(),
+        object_error: lin_verdict.err(),
+        stats,
     }
 }
 
@@ -222,6 +366,58 @@ mod tests {
             out,
             CompositionOutcome::PremiseFailed { phase: 2, .. }
         ));
+    }
+
+    #[test]
+    fn verify_phase_chain_reports_per_phase_verdicts_and_stats() {
+        let v = verify_phase_chain(&Consensus, ConsensusInit::new(), &two_phase_run(), 1, 2);
+        assert_eq!(v.phases, vec![(1, 2, true), (2, 3, true)]);
+        assert!(v.object_linearizable);
+        assert!(v.all_ok());
+        assert!(v.stats.nodes > 0);
+        assert!(v.stats.interpretations >= 2, "{:?}", v.stats);
+    }
+
+    #[test]
+    fn verify_phase_chain_flags_the_misbehaving_phase() {
+        // Phase 1 decides 1 but c2 switches with 2: (1, 2) must fail while
+        // the object projection stays linearizable.
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(1), p(1)),
+            Action::invoke(c(2), ph(1), p(2)),
+            Action::respond(c(1), ph(1), p(1), d(1)),
+            Action::switch(c(2), ph(2), p(2), Value::new(2)),
+        ]);
+        let v = verify_phase_chain(&Consensus, ConsensusInit::new(), &t, 1, 2);
+        assert_eq!(v.phases[0], (1, 2, false));
+        assert!(v.object_linearizable);
+        assert!(!v.all_ok());
+        // A genuine violation is recorded as such, not as a resource limit.
+        assert!(matches!(
+            v.failures.as_slice(),
+            [(1, 2, SlinError::NotSpeculativelyLinearizable { .. })]
+        ));
+        assert!(!v.resource_limited());
+    }
+
+    #[test]
+    fn verify_phase_chain_distinguishes_budget_exhaustion() {
+        // An exhausted search budget must be distinguishable from a
+        // genuine violation at the harness API.
+        let v = verify_phase_chain_with_budget(
+            &Consensus,
+            ConsensusInit::new(),
+            &two_phase_run(),
+            1,
+            2,
+            SearchBudget::new(0),
+        );
+        assert!(!v.all_ok());
+        assert!(v.resource_limited(), "{v:?}");
+        assert!(v
+            .failures
+            .iter()
+            .all(|(_, _, e)| matches!(e, SlinError::BudgetExhausted { .. })));
     }
 
     #[test]

@@ -1,0 +1,557 @@
+//! The shared backtracking **chain-search engine** behind both checkers.
+//!
+//! The paper's two decision procedures — plain linearizability
+//! ([`crate::lin::LinChecker`], Section 4) and speculative linearizability
+//! ([`crate::slin::SlinChecker`], Section 5) — both reduce to the same
+//! existential search: grow a **chain of commit histories** one element at a
+//! time, where every step either
+//!
+//! 1. *commits* one of the remaining responses (appending its input to the
+//!    current history, provided the ADT explains the recorded output and the
+//!    per-index validity bound admits the consumed inputs), or
+//! 2. *interleaves an extra input* drawn from a bounded pool (an input whose
+//!    response never commits, or a duplicated occurrence — the definitions
+//!    permit repeated events).
+//!
+//! The two checkers differ only in their **parameters**, not in the search:
+//!
+//! | parameter            | `lin`                          | `slin`                                   |
+//! |----------------------|--------------------------------|------------------------------------------|
+//! | validity bounds      | `elems(inputs(t, i))` (Def. 10)| valid inputs `vi(m, t, finit, i)` (Def. 26) |
+//! | seed history         | empty                          | LCP of the init interpretations (Def. 31) |
+//! | extra-input cap      | `t.len()`                      | none (pool-bounded)                      |
+//! | leaf oracle          | trivially succeeds             | abort feasibility (Abort-Order, Def. 28) |
+//!
+//! [`CheckerEngine::run`] performs the search with memoisation on the
+//! reached ADT state and consumed-input multiset, under an explicit
+//! [`SearchBudget`], and reports [`SearchStats`] either way. The *leaf
+//! oracle* decides what "success" means once every commit is placed: it
+//! receives the completed chain and the longest history and may veto the
+//! leaf (forcing further backtracking), which is how `slin` grafts the
+//! existential over abort interpretations onto the shared search.
+//!
+//! Keeping the search in one place is what makes the two checkers provably
+//! comparable (Theorem 2 equates them on switch-free traces — see the
+//! `theorem_2_slin_equals_lin_on_switch_free_traces` test) and gives every
+//! frontend the same budget/statistics surface.
+
+use crate::ops::Commit;
+use slin_adt::Adt;
+use slin_trace::Multiset;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// The widest commit set the engine can track (one bit per commit in the
+/// `remaining` word).
+pub const MAX_TRACKED_COMMITS: usize = 64;
+
+/// Explicit resource bounds on one chain search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Maximum number of expanded search nodes before the engine gives up.
+    pub max_nodes: usize,
+}
+
+impl SearchBudget {
+    /// The default node budget (matches the checkers' historical default).
+    pub const DEFAULT_MAX_NODES: usize = 2_000_000;
+
+    /// A budget of `max_nodes` expanded nodes.
+    pub fn new(max_nodes: usize) -> Self {
+        SearchBudget { max_nodes }
+    }
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget::new(SearchBudget::DEFAULT_MAX_NODES)
+    }
+}
+
+/// Counters reported by every search, successful or not.
+///
+/// Frontends aggregate these across init interpretations (see
+/// [`crate::slin::SlinReport`]); the benchmark harness prints them as the
+/// checker-practicality rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Search nodes expanded (budget unit).
+    pub nodes: usize,
+    /// Distinct dead states memoised.
+    pub memo_entries: usize,
+    /// Searches cut short by a memo hit.
+    pub memo_hits: usize,
+    /// Completed chains handed to the leaf oracle.
+    pub leaf_checks: usize,
+    /// Longest history built during the search.
+    pub max_history_len: usize,
+    /// Init interpretations aggregated into these counters (1 for a plain
+    /// linearizability search).
+    pub interpretations: usize,
+}
+
+impl SearchStats {
+    /// Accumulates another search's counters into this one (sums, except
+    /// `max_history_len` which takes the maximum).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.memo_entries += other.memo_entries;
+        self.memo_hits += other.memo_hits;
+        self.leaf_checks += other.leaf_checks;
+        self.max_history_len = self.max_history_len.max(other.max_history_len);
+        self.interpretations += other.interpretations;
+    }
+}
+
+/// Why the engine abandoned a search without a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The search expanded more nodes than [`SearchBudget::max_nodes`];
+    /// carries the node count at the point of giving up.
+    BudgetExhausted {
+        /// Nodes expanded when the budget tripped.
+        nodes: usize,
+    },
+    /// The trace has more commits than [`MAX_TRACKED_COMMITS`], so the
+    /// search was refused up front.
+    TooManyCommits {
+        /// The number of commits in the trace.
+        commits: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BudgetExhausted { nodes } => {
+                write!(f, "search budget exhausted after {nodes} nodes")
+            }
+            EngineError::TooManyCommits { commits } => {
+                write!(
+                    f,
+                    "{commits} commits exceed the engine's {MAX_TRACKED_COMMITS}-commit bound"
+                )
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// A chain of commit histories: `(trace index, history)` pairs in prefix
+/// order — the witness shape shared by both checkers.
+pub type Chain<I> = Vec<(usize, Vec<I>)>;
+
+/// The leaf oracle consulted when every commit is placed: receives the
+/// completed chain and the longest history, and returns the leaf witness —
+/// or `None` to veto the leaf and force further backtracking.
+///
+/// # Soundness contract
+///
+/// The engine memoises dead-ends on `(remaining commits, ADT state,
+/// consumed-input multiset)` — **not** on the ordered history. A vetoed
+/// subtree therefore prunes every other path reaching the same key, so the
+/// oracle's verdict must not distinguish two histories that agree on that
+/// key: it may depend on the history only through data the key determines.
+/// Both frontends satisfy this — `lin`'s oracle is constant, and `slin`'s
+/// abort-feasibility is key-invariant for the shipped relations: every
+/// history is seeded with the init LCP (making the Init-Order prefix check
+/// stable), validity is checked on element *multisets*, and the
+/// exact/consensus relations' extension sets distinguish histories only
+/// through their first element (determined by the consensus ADT state) or
+/// their full sequence (determined by the universal ADT state). An
+/// order-sensitive oracle over an ADT whose states merge commuting input
+/// orders would need the memo disabled (or keyed on the history) to stay
+/// exact.
+pub type LeafOracle<'a, I, W> = dyn FnMut(&Chain<I>, &[I]) -> Option<W> + 'a;
+
+/// Where the search starts: a (possibly non-empty) history prefix with its
+/// replayed ADT state and consumed-input multiset.
+#[derive(Debug, Clone)]
+pub struct SearchSeed<T: Adt> {
+    /// The history every chain element must extend.
+    pub history: Vec<T::Input>,
+    /// The ADT state reached by `history`.
+    pub state: T::State,
+    /// The multiset of inputs consumed by `history`.
+    pub used: Multiset<T::Input>,
+}
+
+impl<T: Adt> SearchSeed<T> {
+    /// The empty seed: initial state, empty history.
+    pub fn initial(adt: &T) -> Self {
+        SearchSeed {
+            history: Vec::new(),
+            state: adt.initial(),
+            used: Multiset::new(),
+        }
+    }
+
+    /// Seeds the search with `history` (replayed from the initial state) —
+    /// how the speculative checker plants the init-interpretation LCP.
+    pub fn from_history(adt: &T, history: Vec<T::Input>) -> Self {
+        let state = adt.run(&history);
+        let used = Multiset::elems(&history);
+        SearchSeed {
+            history,
+            state,
+            used,
+        }
+    }
+}
+
+/// The result of a completed (non-erroring) search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchOutcome<I, W> {
+    /// `Some((chain, leaf_witness))` when a chain satisfying the leaf oracle
+    /// exists; `None` when the search space is exhausted.
+    pub solution: Option<(Chain<I>, W)>,
+    /// Counters for this search.
+    pub stats: SearchStats,
+}
+
+/// The shared chain-search engine. See the module docs for the search it
+/// performs and the parameters distinguishing the two frontends.
+pub struct CheckerEngine<'s, T: Adt> {
+    adt: &'s T,
+    commits: &'s [Commit<T>],
+    /// Per-trace-index multiset bound on the inputs a history reaching that
+    /// index may consume (`elems(inputs(t, i))` for `lin`, `vi` for `slin`).
+    bounds: &'s [Multiset<T::Input>],
+    /// Pool bounding the extra inputs the chain may interleave.
+    pool: Multiset<T::Input>,
+    /// Cap on the total history length when interleaving extras (`None`:
+    /// pool-bounded only).
+    extra_cap: Option<usize>,
+    budget: SearchBudget,
+}
+
+/// Memoisation key: committed set, ADT state, consumed inputs (sorted).
+type MemoKey<T> = (u64, <T as Adt>::State, Vec<(<T as Adt>::Input, usize)>);
+
+impl<'s, T: Adt> CheckerEngine<'s, T>
+where
+    T::Input: Ord,
+{
+    /// Creates an engine over the given commits and validity bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::TooManyCommits`] when the commit set does not fit the
+    /// engine's 64-bit tracking word.
+    pub fn new(
+        adt: &'s T,
+        commits: &'s [Commit<T>],
+        bounds: &'s [Multiset<T::Input>],
+        pool: Multiset<T::Input>,
+        budget: SearchBudget,
+    ) -> Result<Self, EngineError> {
+        if commits.len() > MAX_TRACKED_COMMITS {
+            return Err(EngineError::TooManyCommits {
+                commits: commits.len(),
+            });
+        }
+        Ok(CheckerEngine {
+            adt,
+            commits,
+            bounds,
+            pool,
+            extra_cap: None,
+            budget,
+        })
+    }
+
+    /// Caps the total history length reachable by extra-input moves.
+    pub fn with_extra_cap(mut self, cap: usize) -> Self {
+        self.extra_cap = Some(cap);
+        self
+    }
+
+    /// Runs the search from `seed`. The `leaf` oracle is consulted whenever
+    /// every commit has been placed; returning `None` vetoes the leaf and
+    /// the search backtracks.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BudgetExhausted`] when more than
+    /// [`SearchBudget::max_nodes`] nodes are expanded.
+    pub fn run<W>(
+        &self,
+        seed: SearchSeed<T>,
+        leaf: &mut LeafOracle<'_, T::Input, W>,
+    ) -> Result<SearchOutcome<T::Input, W>, EngineError> {
+        let remaining: u64 = (0..self.commits.len()).fold(0u64, |m, i| m | (1 << i));
+        let mut dfs = Dfs {
+            engine: self,
+            seed_history: seed.history.clone(),
+            leaf,
+            memo: HashSet::new(),
+            stats: SearchStats {
+                interpretations: 1,
+                ..SearchStats::default()
+            },
+        };
+        let mut chain: Chain<T::Input> = Vec::new();
+        let mut hist = seed.history;
+        let solution = dfs
+            .dfs(seed.state, seed.used, &mut hist, remaining, &mut chain)?
+            .map(|w| (chain, w));
+        let mut stats = dfs.stats;
+        stats.memo_entries = dfs.memo.len();
+        Ok(SearchOutcome { solution, stats })
+    }
+}
+
+struct Dfs<'e, 's, T: Adt, W> {
+    engine: &'e CheckerEngine<'s, T>,
+    seed_history: Vec<T::Input>,
+    leaf: &'e mut LeafOracle<'e, T::Input, W>,
+    memo: HashSet<MemoKey<T>>,
+    stats: SearchStats,
+}
+
+impl<T: Adt, W> Dfs<'_, '_, T, W>
+where
+    T::Input: Ord,
+{
+    fn memo_key(&self, remaining: u64, state: &T::State, used: &Multiset<T::Input>) -> MemoKey<T> {
+        let mut u: Vec<(T::Input, usize)> = used.iter().map(|(e, c)| (e.clone(), c)).collect();
+        u.sort();
+        (remaining, state.clone(), u)
+    }
+
+    fn dfs(
+        &mut self,
+        state: T::State,
+        used: Multiset<T::Input>,
+        hist: &mut Vec<T::Input>,
+        remaining: u64,
+        chain: &mut Chain<T::Input>,
+    ) -> Result<Option<W>, EngineError> {
+        let eng = self.engine;
+        self.stats.max_history_len = self.stats.max_history_len.max(hist.len());
+        if remaining == 0 {
+            // Every commit is placed: consult the leaf oracle with the
+            // longest history on the chain (the seed history when the trace
+            // has no commits at all).
+            self.stats.leaf_checks += 1;
+            let longest = chain
+                .last()
+                .map(|(_, h)| h.as_slice())
+                .unwrap_or(&self.seed_history);
+            return Ok((self.leaf)(chain, longest));
+        }
+        self.stats.nodes += 1;
+        if self.stats.nodes > eng.budget.max_nodes {
+            return Err(EngineError::BudgetExhausted {
+                nodes: self.stats.nodes,
+            });
+        }
+        let key = self.memo_key(remaining, &state, &used);
+        if self.memo.contains(&key) {
+            self.stats.memo_hits += 1;
+            return Ok(None);
+        }
+
+        // Prune: a remaining commit whose validity bound no longer contains
+        // the consumed inputs can never be committed from here.
+        for (k, c) in eng.commits.iter().enumerate() {
+            if remaining & (1 << k) != 0 && !used.is_subset_of(&eng.bounds[c.index]) {
+                self.memo.insert(key);
+                return Ok(None);
+            }
+        }
+
+        // Move 1: commit one of the remaining responses next on the chain.
+        for (k, c) in eng.commits.iter().enumerate() {
+            if remaining & (1 << k) == 0 {
+                continue;
+            }
+            let mut used2 = used.clone();
+            used2.insert(c.input.clone());
+            if !used2.is_subset_of(&eng.bounds[c.index]) {
+                continue;
+            }
+            let (state2, out) = eng.adt.apply(&state, &c.input);
+            if out != c.output {
+                continue;
+            }
+            hist.push(c.input.clone());
+            chain.push((c.index, hist.clone()));
+            let r = self.dfs(state2, used2, hist, remaining & !(1 << k), chain)?;
+            if r.is_some() {
+                return Ok(r);
+            }
+            chain.pop();
+            hist.pop();
+        }
+
+        // Move 2: interleave an extra input from the pool. The candidates
+        // are sorted so the search order — and with it every witness and
+        // statistic — is a pure function of the inputs, not of hash-map
+        // iteration order (the parallel/sequential parity of the
+        // speculative checker depends on this).
+        if eng.extra_cap.is_none_or(|cap| hist.len() < cap) {
+            let mut candidates: Vec<T::Input> = eng
+                .pool
+                .iter()
+                .filter(|(e, c)| used.count(e) < *c)
+                .map(|(e, _)| e.clone())
+                .collect();
+            candidates.sort();
+            for e in candidates {
+                let mut used2 = used.clone();
+                used2.insert(e.clone());
+                let (state2, _) = eng.adt.apply(&state, &e);
+                hist.push(e);
+                let r = self.dfs(state2, used2, hist, remaining, chain)?;
+                if r.is_some() {
+                    return Ok(r);
+                }
+                hist.pop();
+            }
+        }
+
+        self.memo.insert(key);
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use crate::ObjAction;
+    use slin_adt::{ConsInput, ConsOutput, Consensus};
+    use slin_trace::{Action, ClientId, PhaseId, Trace};
+
+    type CA = ObjAction<Consensus, ()>;
+
+    fn sample() -> Trace<CA> {
+        Trace::from_actions(vec![
+            Action::invoke(ClientId::new(1), PhaseId::FIRST, ConsInput::propose(1)),
+            Action::invoke(ClientId::new(2), PhaseId::FIRST, ConsInput::propose(2)),
+            Action::respond(
+                ClientId::new(2),
+                PhaseId::FIRST,
+                ConsInput::propose(2),
+                ConsOutput::decide(2),
+            ),
+            Action::respond(
+                ClientId::new(1),
+                PhaseId::FIRST,
+                ConsInput::propose(1),
+                ConsOutput::decide(2),
+            ),
+        ])
+    }
+
+    #[test]
+    fn engine_finds_the_chain_and_reports_stats() {
+        let t = sample();
+        let commits = ops::commits::<Consensus, ()>(&t);
+        let bounds = ops::input_multisets::<Consensus, ()>(&t);
+        let pool = bounds.last().cloned().unwrap();
+        let engine =
+            CheckerEngine::new(&Consensus, &commits, &bounds, pool, SearchBudget::default())
+                .unwrap()
+                .with_extra_cap(t.len());
+        let out = engine
+            .run(SearchSeed::initial(&Consensus), &mut |_, _| Some(()))
+            .unwrap();
+        let (chain, ()) = out.solution.expect("linearizable");
+        assert_eq!(chain.len(), 2);
+        assert!(out.stats.nodes > 0);
+        assert_eq!(out.stats.interpretations, 1);
+        assert!(out.stats.leaf_checks >= 1);
+    }
+
+    #[test]
+    fn leaf_veto_forces_exhaustion() {
+        let t = sample();
+        let commits = ops::commits::<Consensus, ()>(&t);
+        let bounds = ops::input_multisets::<Consensus, ()>(&t);
+        let pool = bounds.last().cloned().unwrap();
+        let engine =
+            CheckerEngine::new(&Consensus, &commits, &bounds, pool, SearchBudget::default())
+                .unwrap()
+                .with_extra_cap(t.len());
+        let out = engine
+            .run(SearchSeed::initial(&Consensus), &mut |_, _| {
+                Option::<()>::None
+            })
+            .unwrap();
+        assert!(out.solution.is_none());
+        assert!(out.stats.leaf_checks >= 1, "leaves were reached and vetoed");
+    }
+
+    #[test]
+    fn budget_exhaustion_carries_the_node_count() {
+        let t = sample();
+        let commits = ops::commits::<Consensus, ()>(&t);
+        let bounds = ops::input_multisets::<Consensus, ()>(&t);
+        let pool = bounds.last().cloned().unwrap();
+        let engine = CheckerEngine::new(&Consensus, &commits, &bounds, pool, SearchBudget::new(1))
+            .unwrap()
+            .with_extra_cap(t.len());
+        let err = engine
+            .run(SearchSeed::initial(&Consensus), &mut |_, _| Some(()))
+            .unwrap_err();
+        assert_eq!(err, EngineError::BudgetExhausted { nodes: 2 });
+    }
+
+    #[test]
+    fn too_many_commits_is_refused_up_front() {
+        let mut actions = Vec::new();
+        for k in 0..65u32 {
+            let c = ClientId::new(k + 1);
+            actions.push(Action::invoke(c, PhaseId::FIRST, ConsInput::propose(1)));
+            actions.push(Action::respond(
+                c,
+                PhaseId::FIRST,
+                ConsInput::propose(1),
+                ConsOutput::decide(1),
+            ));
+        }
+        let t: Trace<CA> = Trace::from_actions(actions);
+        let commits = ops::commits::<Consensus, ()>(&t);
+        let bounds = ops::input_multisets::<Consensus, ()>(&t);
+        let pool = bounds.last().cloned().unwrap();
+        let err = CheckerEngine::new(&Consensus, &commits, &bounds, pool, SearchBudget::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, EngineError::TooManyCommits { commits: 65 });
+    }
+
+    #[test]
+    fn seeded_search_extends_the_seed_history() {
+        // Seed with [p(2)]; the only commit must extend it.
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(ClientId::new(1), PhaseId::FIRST, ConsInput::propose(1)),
+            Action::respond(
+                ClientId::new(1),
+                PhaseId::FIRST,
+                ConsInput::propose(1),
+                ConsOutput::decide(2),
+            ),
+        ]);
+        let commits = ops::commits::<Consensus, ()>(&t);
+        // Allow the seeded occurrence of p(2) plus the trace's own inputs.
+        let mut bounds = ops::input_multisets::<Consensus, ()>(&t);
+        for b in &mut bounds {
+            b.insert(ConsInput::propose(2));
+        }
+        let pool = bounds.last().cloned().unwrap();
+        let engine =
+            CheckerEngine::new(&Consensus, &commits, &bounds, pool, SearchBudget::default())
+                .unwrap();
+        let seed = SearchSeed::from_history(&Consensus, vec![ConsInput::propose(2)]);
+        let out = engine.run(seed, &mut |_, _| Some(())).unwrap();
+        let (chain, ()) = out.solution.expect("explained by the seeded history");
+        assert_eq!(
+            chain[0].1,
+            vec![ConsInput::propose(2), ConsInput::propose(1)]
+        );
+    }
+}

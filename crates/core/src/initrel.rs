@@ -249,9 +249,7 @@ mod tests {
         let prefix = vec![ConsInput::propose(4), ConsInput::propose(9)];
         let exts = r.extensions(&Value::new(4), &prefix, &ctx);
         assert!(exts.iter().all(|h| r.contains(&Value::new(4), h)));
-        assert!(exts
-            .iter()
-            .all(|h| slin_trace::seq::is_prefix(&prefix, h)));
+        assert!(exts.iter().all(|h| slin_trace::seq::is_prefix(&prefix, h)));
         // The prefix itself is a valid abort history here.
         assert!(exts.contains(&prefix));
         // No extension exists when the prefix head disagrees with the value.

@@ -112,9 +112,7 @@ pub fn consensus_linearizable<V>(t: &Trace<Action<ConsInput, ConsOutput, V>>) ->
     let mut ds = decisions(t);
     match ds.next() {
         None => true,
-        Some((first_idx, v)) => {
-            ds.all(|(_, d)| d == v) && proposed_before(t, v, first_idx)
-        }
+        Some((first_idx, v)) => ds.all(|(_, d)| d == v) && proposed_before(t, v, first_idx),
     }
 }
 

@@ -3,6 +3,9 @@
 //! This crate is the primary contribution of the reproduction of
 //! *Speculative Linearizability* (Guerraoui, Kuncak, Losa — PLDI 2012):
 //!
+//! * [`engine`] — the **shared chain-search engine** both checkers are
+//!   thin frontends over: one backtracking search with explicit
+//!   [`engine::SearchBudget`]s and [`engine::SearchStats`];
 //! * [`lin`] — the paper's **new definition of linearizability**
 //!   (Section 4, Definitions 5–15), decided by a backtracking search for a
 //!   *linearization function* `g` mapping commit indices to histories;
@@ -51,6 +54,7 @@
 
 pub mod classical;
 pub mod compose;
+pub mod engine;
 pub mod gen;
 pub mod initrel;
 pub mod invariants;
@@ -59,6 +63,7 @@ pub mod ops;
 pub mod slin;
 
 pub use classical::ClassicalChecker;
+pub use engine::{CheckerEngine, EngineError, SearchBudget, SearchStats};
 pub use initrel::{ConsensusInit, ExactInit, InitRelation};
 pub use lin::{LinChecker, LinError, LinWitness};
 pub use slin::{SlinChecker, SlinError, SlinWitness};

@@ -10,24 +10,26 @@
 //! * **Commit-Order** — commit histories form a chain under the strict
 //!   prefix order.
 //!
-//! [`LinChecker`] decides the existential by a backtracking search that
-//! grows the chain of commit histories one element at a time, memoising on
-//! the reached ADT state and the multiset of consumed inputs. Because the
-//! chain can interleave *extra* inputs (inputs whose responses never commit,
-//! or duplicated inputs — the definition allows repeated events), the search
-//! alternates "append an extra input" and "commit a response" moves.
+//! [`LinChecker`] decides the existential as a thin frontend over the
+//! shared [`CheckerEngine`](crate::engine::CheckerEngine): the chain of
+//! commit histories grows one element at a time, memoised on the reached
+//! ADT state and the multiset of consumed inputs. Because the chain can
+//! interleave *extra* inputs (inputs whose responses never commit, or
+//! duplicated inputs — the definition allows repeated events), the search
+//! alternates "append an extra input" and "commit a response" moves; see
+//! [`crate::engine`] for the search itself.
 
-use crate::ops::{self, Commit};
+use crate::engine::{CheckerEngine, EngineError, SearchBudget, SearchSeed, SearchStats};
+use crate::ops;
 use crate::ObjAction;
 use slin_adt::Adt;
 use slin_trace::wf::{self, WellFormednessError};
 use slin_trace::{Multiset, Trace};
-use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
 /// Default node budget for the backtracking search.
-pub const DEFAULT_BUDGET: usize = 2_000_000;
+pub const DEFAULT_BUDGET: usize = SearchBudget::DEFAULT_MAX_NODES;
 
 /// Why a trace failed the linearizability check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,7 +46,13 @@ pub enum LinError {
     /// No linearization function exists: the trace is not linearizable.
     NotLinearizable,
     /// The search exceeded its node budget before reaching a verdict.
-    BudgetExhausted,
+    ///
+    /// `nodes == 0` means the search was refused up front (more than
+    /// [`crate::engine::MAX_TRACKED_COMMITS`] commits).
+    BudgetExhausted {
+        /// Search nodes expanded when the budget tripped.
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for LinError {
@@ -55,7 +63,9 @@ impl fmt::Display for LinError {
                 write!(f, "switch action at index {index} in an object trace")
             }
             LinError::NotLinearizable => write!(f, "no linearization function exists"),
-            LinError::BudgetExhausted => write!(f, "search budget exhausted"),
+            LinError::BudgetExhausted { nodes } => {
+                write!(f, "search budget exhausted after {nodes} nodes")
+            }
         }
     }
 }
@@ -72,6 +82,15 @@ impl Error for LinError {
 impl From<WellFormednessError> for LinError {
     fn from(e: WellFormednessError) -> Self {
         LinError::IllFormed(e)
+    }
+}
+
+impl From<EngineError> for LinError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::BudgetExhausted { nodes } => LinError::BudgetExhausted { nodes },
+            EngineError::TooManyCommits { .. } => LinError::BudgetExhausted { nodes: 0 },
+        }
     }
 }
 
@@ -194,40 +213,52 @@ where
     where
         V: Clone + PartialEq,
     {
+        self.check_with_stats(t).0
+    }
+
+    /// Like [`LinChecker::check`], also reporting the engine's
+    /// [`SearchStats`] (all-zero when the trace is rejected before the
+    /// search starts).
+    pub fn check_with_stats<V>(
+        &self,
+        t: &Trace<ObjAction<T, V>>,
+    ) -> (Result<LinWitness<T::Input>, LinError>, SearchStats)
+    where
+        V: Clone + PartialEq,
+    {
         if let Some(index) = t.iter().position(|a| a.is_switch()) {
-            return Err(LinError::SwitchAction { index });
+            return (
+                Err(LinError::SwitchAction { index }),
+                SearchStats::default(),
+            );
         }
-        wf::check_well_formed(t)?;
+        if let Err(e) = wf::check_well_formed(t) {
+            return (Err(e.into()), SearchStats::default());
+        }
         let commits = ops::commits::<T, V>(t);
         let input_ms = ops::input_multisets::<T, V>(t);
         let total_inputs = input_ms.last().cloned().unwrap_or_else(Multiset::new);
-        let mut search = ChainSearch {
-            adt: self.adt,
-            commits: &commits,
-            input_ms: &input_ms,
-            pool: total_inputs,
-            extra_bound_total: t.len(),
-            budget: self.budget,
-            nodes: 0,
-            memo: HashSet::new(),
+        let engine = match CheckerEngine::new(
+            self.adt,
+            &commits,
+            &input_ms,
+            total_inputs,
+            SearchBudget::new(self.budget),
+        ) {
+            Ok(engine) => engine.with_extra_cap(t.len()),
+            Err(e) => return (Err(e.into()), SearchStats::default()),
         };
-        let mut chain = Vec::new();
-        let init_state = self.adt.initial();
-        let remaining: u64 = if commits.len() > 64 {
-            return Err(LinError::BudgetExhausted);
-        } else {
-            (0..commits.len()).fold(0u64, |m, i| m | (1 << i))
-        };
-        if search.dfs(
-            init_state,
-            Multiset::new(),
-            &mut Vec::new(),
-            remaining,
-            &mut chain,
-        )? {
-            Ok(LinWitness { assignments: chain })
-        } else {
-            Err(LinError::NotLinearizable)
+        // The leaf oracle is trivial: a completed chain *is* a linearization
+        // function (speculative checking grafts abort feasibility here).
+        match engine.run(SearchSeed::initial(self.adt), &mut |_, _| Some(())) {
+            Ok(outcome) => {
+                let stats = outcome.stats;
+                match outcome.solution {
+                    Some((chain, ())) => (Ok(LinWitness { assignments: chain }), stats),
+                    None => (Err(LinError::NotLinearizable), stats),
+                }
+            }
+            Err(e) => (Err(e.into()), SearchStats::default()),
         }
     }
 
@@ -241,122 +272,10 @@ where
     }
 }
 
-/// Memoisation key of the chain search: committed set, ADT state, consumed
-/// input multiset (sorted for hashing).
-type MemoKey<T> = (u64, <T as Adt>::State, Vec<(<T as Adt>::Input, usize)>);
-
-struct ChainSearch<'s, T: Adt> {
-    adt: &'s T,
-    commits: &'s [Commit<T>],
-    input_ms: &'s [Multiset<T::Input>],
-    /// Multiset of all inputs invoked anywhere in the trace: bounds the
-    /// extras the chain may interleave.
-    pool: Multiset<T::Input>,
-    extra_bound_total: usize,
-    budget: usize,
-    nodes: usize,
-    memo: HashSet<MemoKey<T>>,
-}
-
-impl<'s, T: Adt> ChainSearch<'s, T>
-where
-    T::Input: Ord,
-{
-    fn memo_key(
-        &self,
-        remaining: u64,
-        state: &T::State,
-        used: &Multiset<T::Input>,
-    ) -> MemoKey<T> {
-        let mut u: Vec<(T::Input, usize)> = used.iter().map(|(e, c)| (e.clone(), c)).collect();
-        u.sort();
-        (remaining, state.clone(), u)
-    }
-
-    fn dfs(
-        &mut self,
-        state: T::State,
-        used: Multiset<T::Input>,
-        hist: &mut Vec<T::Input>,
-        remaining: u64,
-        chain: &mut Vec<(usize, Vec<T::Input>)>,
-    ) -> Result<bool, LinError> {
-        if remaining == 0 {
-            return Ok(true);
-        }
-        self.nodes += 1;
-        if self.nodes > self.budget {
-            return Err(LinError::BudgetExhausted);
-        }
-        let key = self.memo_key(remaining, &state, &used);
-        if self.memo.contains(&key) {
-            return Ok(false);
-        }
-
-        // Prune: a remaining commit whose allowed-input multiset no longer
-        // contains the used inputs can never be committed.
-        for (k, c) in self.commits.iter().enumerate() {
-            if remaining & (1 << k) != 0 && !used.is_subset_of(&self.input_ms[c.index]) {
-                self.memo.insert(key);
-                return Ok(false);
-            }
-        }
-
-        // Move 1: commit one of the remaining responses next on the chain.
-        for (k, c) in self.commits.iter().enumerate() {
-            if remaining & (1 << k) == 0 {
-                continue;
-            }
-            let mut used2 = used.clone();
-            used2.insert(c.input.clone());
-            if !used2.is_subset_of(&self.input_ms[c.index]) {
-                continue;
-            }
-            let (state2, out) = self.adt.apply(&state, &c.input);
-            if out != c.output {
-                continue;
-            }
-            hist.push(c.input.clone());
-            chain.push((c.index, hist.clone()));
-            let r = self.dfs(state2, used2, hist, remaining & !(1 << k), chain)?;
-            if r {
-                return Ok(true);
-            }
-            chain.pop();
-            hist.pop();
-        }
-
-        // Move 2: interleave an extra input (one not consumed as a commit's
-        // own last element). Bounded by the trace-wide invocation pool.
-        if hist.len() < self.extra_bound_total {
-            let candidates: Vec<T::Input> = self
-                .pool
-                .iter()
-                .filter(|(e, c)| used.count(e) < *c)
-                .map(|(e, _)| e.clone())
-                .collect();
-            for e in candidates {
-                let mut used2 = used.clone();
-                used2.insert(e.clone());
-                let (state2, _) = self.adt.apply(&state, &e);
-                hist.push(e);
-                let r = self.dfs(state2, used2, hist, remaining, chain)?;
-                if r {
-                    return Ok(true);
-                }
-                hist.pop();
-            }
-        }
-
-        self.memo.insert(key);
-        Ok(false)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slin_adt::{ConsInput, ConsOutput, Consensus, Register, RegInput, RegOutput};
+    use slin_adt::{ConsInput, ConsOutput, Consensus, RegInput, RegOutput, Register};
     use slin_trace::{Action, ClientId, PhaseId};
 
     type CA = ObjAction<Consensus, ()>;

@@ -22,10 +22,19 @@
 //! [`SlinChecker`] decides the quantifier alternation by enumerating the
 //! finite candidate interpretations provided by the [`InitRelation`]
 //! (exact for the Section 6 singleton relation, bounded-adversarial for the
-//! consensus mapping) and running, for each, the same chain search as the
-//! plain linearizability checker — seeded with the longest common prefix of
-//! the init histories and extended with abort feasibility at the leaves.
+//! consensus mapping) and running, for each, the same
+//! [`CheckerEngine`](crate::engine::CheckerEngine) chain search as the plain
+//! linearizability checker — seeded with the longest common prefix of the
+//! init histories and extended with abort feasibility at the leaves.
+//!
+//! Because the init interpretations are **independent** (the universal
+//! quantifier of Definition 19 factors over them), [`SlinChecker::check`]
+//! enumerates them **in parallel** across threads. Verdicts are
+//! deterministic and identical to [`SlinChecker::check_sequential`]: on
+//! failure, the *earliest* interpretation in enumeration order wins — the
+//! same one the sequential loop would report.
 
+use crate::engine::{Chain, CheckerEngine, EngineError, SearchBudget, SearchSeed, SearchStats};
 use crate::initrel::{CandidateContext, InitRelation};
 use crate::ops::{self, Commit, SwitchEvent};
 use crate::ObjAction;
@@ -33,12 +42,12 @@ use slin_adt::Adt;
 use slin_trace::seq;
 use slin_trace::wf::{self, WellFormednessError};
 use slin_trace::{Multiset, PhaseId, Trace};
-use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default node budget for the backtracking search (per interpretation).
-pub const DEFAULT_BUDGET: usize = 2_000_000;
+pub const DEFAULT_BUDGET: usize = SearchBudget::DEFAULT_MAX_NODES;
 
 /// Default cap on the number of init interpretations enumerated.
 pub const DEFAULT_MAX_INTERPRETATIONS: usize = 16_384;
@@ -61,7 +70,14 @@ pub enum SlinError {
         interpretation: Vec<(usize, Vec<String>)>,
     },
     /// The search exceeded its node budget before reaching a verdict.
-    BudgetExhausted,
+    ///
+    /// `nodes == 0` means the search was refused up front (more than
+    /// [`crate::engine::MAX_TRACKED_COMMITS`] commits).
+    BudgetExhausted {
+        /// Search nodes expanded (in the exhausting interpretation's
+        /// search) when the budget tripped.
+        nodes: usize,
+    },
     /// More candidate interpretations than the configured cap.
     TooManyInterpretations {
         /// The number of interpretations that enumeration would require.
@@ -81,7 +97,9 @@ impl fmt::Display for SlinError {
                 "no speculative linearization function exists (init interpretation at indices {:?})",
                 interpretation.iter().map(|(i, _)| *i).collect::<Vec<_>>()
             ),
-            SlinError::BudgetExhausted => write!(f, "search budget exhausted"),
+            SlinError::BudgetExhausted { nodes } => {
+                write!(f, "search budget exhausted after {nodes} nodes")
+            }
             SlinError::TooManyInterpretations { required } => {
                 write!(f, "{required} init interpretations exceed the configured cap")
             }
@@ -104,6 +122,15 @@ impl From<WellFormednessError> for SlinError {
     }
 }
 
+impl From<EngineError> for SlinError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::BudgetExhausted { nodes } => SlinError::BudgetExhausted { nodes },
+            EngineError::TooManyCommits { .. } => SlinError::BudgetExhausted { nodes: 0 },
+        }
+    }
+}
+
 /// A witness for one init interpretation: the commit chain `g` and the abort
 /// histories `fabort` found by the search.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,6 +150,9 @@ pub struct SlinReport<I> {
     pub interpretations_checked: usize,
     /// The witness found under the first interpretation.
     pub witness: SlinWitness<I>,
+    /// Aggregated engine counters over every enumerated interpretation
+    /// (identical between the parallel and sequential paths).
+    pub stats: SearchStats,
 }
 
 /// Decision procedure for `(m, n)`-speculative linearizability.
@@ -157,6 +187,8 @@ pub struct SlinChecker<'a, T, R> {
     n: PhaseId,
     budget: usize,
     max_interpretations: usize,
+    /// Worker threads for interpretation enumeration (0 = one per core).
+    threads: usize,
 }
 
 impl<'a, T, R> SlinChecker<'a, T, R>
@@ -180,6 +212,7 @@ where
             n,
             budget: DEFAULT_BUDGET,
             max_interpretations: DEFAULT_MAX_INTERPRETATIONS,
+            threads: 0,
         }
     }
 
@@ -195,6 +228,24 @@ where
         self
     }
 
+    /// Overrides the number of worker threads used by [`SlinChecker::check`]
+    /// to enumerate init interpretations (0 = one per available core;
+    /// 1 = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
     /// Checks `(m, n)`-speculative linearizability of the trace.
     ///
     /// # Errors
@@ -206,7 +257,50 @@ where
     pub fn check(
         &self,
         t: &Trace<ObjAction<T, R::Value>>,
+    ) -> Result<SlinReport<T::Input>, SlinError>
+    where
+        T: Sync,
+        T::Input: Send + Sync,
+        T::Output: Sync,
+        R: Sync,
+        R::Value: Sync,
+    {
+        let prep = self.prepare(t)?;
+        let threads = self.effective_threads().min(prep.combos);
+        if threads <= 1 || prep.combos <= 1 {
+            return self.run_sequential(&prep);
+        }
+        self.run_parallel(&prep, threads)
+    }
+
+    /// Single-threaded form of [`SlinChecker::check`]; byte-identical
+    /// verdicts (the parallel path resolves races by enumeration order).
+    pub fn check_sequential(
+        &self,
+        t: &Trace<ObjAction<T, R::Value>>,
     ) -> Result<SlinReport<T::Input>, SlinError> {
+        let prep = self.prepare(t)?;
+        self.run_sequential(&prep)
+    }
+
+    /// Boolean form of [`SlinChecker::check`].
+    pub fn is_speculatively_linearizable(&self, t: &Trace<ObjAction<T, R::Value>>) -> bool
+    where
+        T: Sync,
+        T::Input: Send + Sync,
+        T::Output: Sync,
+        R: Sync,
+        R::Value: Sync,
+    {
+        self.check(t).is_ok()
+    }
+
+    /// Validates the trace against the phase signature and well-formedness,
+    /// and enumerates the candidate interpretation space.
+    fn prepare(
+        &self,
+        t: &Trace<ObjAction<T, R::Value>>,
+    ) -> Result<Prepared<T, R::Value>, SlinError> {
         // Signature membership: invocations and responses labelled in
         // [m..n-1], switch actions in [m..n].
         let sig = slin_trace::PhaseSignature::new(self.m, self.n);
@@ -219,8 +313,8 @@ where
         wf::check_phase_well_formed(t, self.m, self.n)?;
 
         let commits = ops::commits::<T, R::Value>(t);
-        if commits.len() > 64 {
-            return Err(SlinError::BudgetExhausted);
+        if commits.len() > crate::engine::MAX_TRACKED_COMMITS {
+            return Err(SlinError::BudgetExhausted { nodes: 0 });
         }
         let inits = ops::switches::<T, R::Value>(t, self.m);
         let aborts = ops::switches::<T, R::Value>(t, self.n);
@@ -236,69 +330,175 @@ where
         if combos > self.max_interpretations {
             return Err(SlinError::TooManyInterpretations { required: combos });
         }
+        Ok(Prepared {
+            t_len: t.len(),
+            commits,
+            inits,
+            aborts,
+            input_ms,
+            ctx,
+            per_init,
+            combos,
+        })
+    }
 
-        let mut first_witness: Option<SlinWitness<T::Input>> = None;
-        let mut checked = 0usize;
-        let mut idxs = vec![0usize; per_init.len()];
-        loop {
-            let finit: Vec<(usize, &Vec<T::Input>)> = inits
+    /// The `idx`-th interpretation in enumeration order: `idx` is read as a
+    /// mixed-radix numeral over the per-init candidate counts, least
+    /// significant digit first (the order the historical sequential counter
+    /// produced).
+    fn finit_at<'p>(
+        &self,
+        prep: &'p Prepared<T, R::Value>,
+        idx: usize,
+    ) -> Vec<(usize, &'p Vec<T::Input>)> {
+        let mut rem = idx;
+        prep.inits
+            .iter()
+            .zip(prep.per_init.iter())
+            .filter_map(|(s, cands)| {
+                let radix = cands.len().max(1);
+                let digit = rem % radix;
+                rem /= radix;
+                cands.get(digit).map(|h| (s.index, h))
+            })
+            .collect()
+    }
+
+    fn fail_error(finit: &[(usize, &Vec<T::Input>)]) -> SlinError {
+        SlinError::NotSpeculativelyLinearizable {
+            interpretation: finit
                 .iter()
-                .zip(per_init.iter().zip(idxs.iter()))
-                .filter_map(|(s, (cands, &k))| cands.get(k).map(|h| (s.index, h)))
-                .collect();
-            checked += 1;
-            match self.check_one_interpretation(t, &commits, &inits, &aborts, &input_ms, &finit, &ctx)?
-            {
-                Some(w) => {
+                .map(|(i, h)| (*i, h.iter().map(|x| format!("{x:?}")).collect()))
+                .collect(),
+        }
+    }
+
+    /// The historical enumeration loop, one interpretation at a time.
+    fn run_sequential(
+        &self,
+        prep: &Prepared<T, R::Value>,
+    ) -> Result<SlinReport<T::Input>, SlinError> {
+        let mut first_witness: Option<SlinWitness<T::Input>> = None;
+        let mut stats = SearchStats::default();
+        for idx in 0..prep.combos {
+            let finit = self.finit_at(prep, idx);
+            match self.check_one_interpretation(prep, &finit)? {
+                (Some(w), s) => {
+                    stats.absorb(&s);
                     if first_witness.is_none() {
                         first_witness = Some(w);
                     }
                 }
-                None => {
-                    return Err(SlinError::NotSpeculativelyLinearizable {
-                        interpretation: finit
-                            .iter()
-                            .map(|(i, h)| (*i, h.iter().map(|x| format!("{x:?}")).collect()))
-                            .collect(),
-                    });
-                }
-            }
-            // Advance the mixed-radix counter over candidate choices.
-            let mut pos = 0;
-            loop {
-                if pos == idxs.len() {
-                    return Ok(SlinReport {
-                        interpretations_checked: checked,
-                        witness: first_witness.expect("at least one interpretation checked"),
-                    });
-                }
-                idxs[pos] += 1;
-                if idxs[pos] < per_init[pos].len().max(1) {
-                    break;
-                }
-                idxs[pos] = 0;
-                pos += 1;
+                (None, _) => return Err(Self::fail_error(&finit)),
             }
         }
+        Ok(SlinReport {
+            interpretations_checked: prep.combos,
+            witness: first_witness.expect("combos >= 1: at least one interpretation checked"),
+            stats,
+        })
     }
 
-    /// Boolean form of [`SlinChecker::check`].
-    pub fn is_speculatively_linearizable(&self, t: &Trace<ObjAction<T, R::Value>>) -> bool {
-        self.check(t).is_ok()
+    /// Fans the interpretation indices out over `threads` scoped workers
+    /// (worker `w` takes indices `w, w + threads, …`). A shared watermark
+    /// of the earliest abnormal index lets workers stop early; the final
+    /// verdict is resolved by minimum index, which makes the result
+    /// byte-identical to [`SlinChecker::run_sequential`].
+    fn run_parallel(
+        &self,
+        prep: &Prepared<T, R::Value>,
+        threads: usize,
+    ) -> Result<SlinReport<T::Input>, SlinError>
+    where
+        T: Sync,
+        T::Input: Send + Sync,
+        T::Output: Sync,
+        R: Sync,
+        R::Value: Sync,
+    {
+        struct WorkerOutcome<I> {
+            witness0: Option<SlinWitness<I>>,
+            abnormal: Option<(usize, SlinError)>,
+            stats: SearchStats,
+        }
+
+        let best_abnormal = AtomicUsize::new(usize::MAX);
+        let worker_outcomes: Vec<WorkerOutcome<T::Input>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let best_abnormal = &best_abnormal;
+                    scope.spawn(move || {
+                        let mut out = WorkerOutcome {
+                            witness0: None,
+                            abnormal: None,
+                            stats: SearchStats::default(),
+                        };
+                        let mut idx = worker;
+                        while idx < prep.combos {
+                            // Indices beyond the earliest known abnormal one
+                            // cannot influence the verdict.
+                            if idx > best_abnormal.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let finit = self.finit_at(prep, idx);
+                            match self.check_one_interpretation(prep, &finit) {
+                                Ok((Some(w), s)) => {
+                                    out.stats.absorb(&s);
+                                    if idx == 0 {
+                                        out.witness0 = Some(w);
+                                    }
+                                }
+                                Ok((None, _)) => {
+                                    best_abnormal.fetch_min(idx, Ordering::Relaxed);
+                                    out.abnormal = Some((idx, Self::fail_error(&finit)));
+                                    break;
+                                }
+                                Err(e) => {
+                                    best_abnormal.fetch_min(idx, Ordering::Relaxed);
+                                    out.abnormal = Some((idx, e));
+                                    break;
+                                }
+                            }
+                            idx += threads;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("interpretation worker panicked"))
+                .collect()
+        });
+
+        if let Some((_, error)) = worker_outcomes
+            .iter()
+            .filter_map(|w| w.abnormal.clone())
+            .min_by_key(|(idx, _)| *idx)
+        {
+            return Err(error);
+        }
+        let mut stats = SearchStats::default();
+        let mut witness = None;
+        for w in worker_outcomes {
+            stats.absorb(&w.stats);
+            if w.witness0.is_some() {
+                witness = w.witness0;
+            }
+        }
+        Ok(SlinReport {
+            interpretations_checked: prep.combos,
+            witness: witness.expect("worker 0 checked interpretation 0"),
+            stats,
+        })
     }
 
     /// Decides the existential part of Definition 19 for one fixed `finit`.
-    #[allow(clippy::too_many_arguments)]
     fn check_one_interpretation(
         &self,
-        t: &Trace<ObjAction<T, R::Value>>,
-        commits: &[Commit<T>],
-        inits: &[SwitchEvent<T::Input, R::Value>],
-        aborts: &[SwitchEvent<T::Input, R::Value>],
-        input_ms: &[Multiset<T::Input>],
+        prep: &Prepared<T, R::Value>,
         finit: &[(usize, &Vec<T::Input>)],
-        ctx: &CandidateContext<T::Input>,
-    ) -> Result<Option<SlinWitness<T::Input>>, SlinError> {
+    ) -> Result<InterpretationOutcome<T>, SlinError> {
         // ivi (Definition 25): cumulative, per trace index, the inputs
         // vouched for by init actions strictly before i. The elements of the
         // interpretation histories are ∪-combined (they describe prefixes of
@@ -307,13 +507,14 @@ where
         // phase and is therefore ⊎-summed — this is what makes the paper's
         // own Backup construction (h ::: pending inputs, Section 2.4) valid
         // when a pending value collides with an init-history element.
-        let mut ivi: Vec<Multiset<T::Input>> = Vec::with_capacity(t.len() + 1);
+        let mut ivi: Vec<Multiset<T::Input>> = Vec::with_capacity(prep.t_len + 1);
         let mut hist_elems: Multiset<T::Input> = Multiset::new();
         let mut pending_sum: Multiset<T::Input> = Multiset::new();
         ivi.push(Multiset::new());
-        for i in 0..t.len() {
+        for i in 0..prep.t_len {
             if let Some((_, h)) = finit.iter().find(|(j, _)| *j == i) {
-                let init_input = inits
+                let init_input = prep
+                    .inits
                     .iter()
                     .find(|s| s.index == i)
                     .map(|s| s.input.clone())
@@ -326,7 +527,7 @@ where
         // vi (Definition 26): ivi(i) ⊎ elems(inputs(t, i)).
         let vi: Vec<Multiset<T::Input>> = ivi
             .iter()
-            .zip(input_ms.iter())
+            .zip(prep.input_ms.iter())
             .map(|(a, b)| a.sum(b))
             .collect();
 
@@ -338,185 +539,107 @@ where
         // Abort interpretations are found at the leaves, once the longest
         // commit history is known: the relation enumerates members of
         // rinit(v) extending it.
-        let abort_events: Vec<(usize, T::Input, R::Value)> = aborts
+        let abort_events: Vec<(usize, T::Input, R::Value)> = prep
+            .aborts
             .iter()
             .map(|s| (s.index, s.input.clone(), s.value.clone()))
             .collect();
-        let extend = |value: &R::Value, prefix: &[T::Input]| self.rinit.extensions(value, prefix, ctx);
+        let extend =
+            |value: &R::Value, prefix: &[T::Input]| self.rinit.extensions(value, prefix, &prep.ctx);
 
         let pool = vi.last().cloned().unwrap_or_else(Multiset::new);
-        let mut search = SlinSearch {
-            adt: self.adt,
-            commits,
-            vi: &vi,
+        let engine = CheckerEngine::new(
+            self.adt,
+            &prep.commits,
+            &vi,
             pool,
-            budget: self.budget,
-            nodes: 0,
-            memo: HashSet::new(),
-            lcp: &lcp,
-            constrain_init_order,
-            abort_events: &abort_events,
-            extend: &extend,
+            SearchBudget::new(self.budget),
+        )?;
+        // The leaf oracle grafts the ∃ fabort side onto the shared chain
+        // search: aborts must extend the longest commit history (or the LCP
+        // when there were no commits).
+        let mut leaf = |_chain: &Chain<T::Input>, longest: &[T::Input]| {
+            aborts_feasible::<T, R::Value>(
+                &abort_events,
+                longest,
+                &lcp,
+                constrain_init_order,
+                &vi,
+                &extend,
+            )
         };
-        let remaining: u64 = (0..commits.len()).fold(0u64, |m, i| m | (1 << i));
-        let mut chain: Vec<(usize, Vec<T::Input>)> = Vec::new();
-        let mut hist = lcp.clone();
-        let state = self.adt.run(&lcp);
-        let used = Multiset::elems(&lcp);
-        match search.dfs(state, used, &mut hist, remaining, &mut chain)? {
-            Some(abort_histories) => Ok(Some(SlinWitness {
-                init_histories: finit.iter().map(|(i, h)| (*i, (*h).clone())).collect(),
-                commit_histories: chain,
-                abort_histories,
-            })),
-            None => Ok(None),
-        }
+        let outcome = engine.run(SearchSeed::from_history(self.adt, lcp.clone()), &mut leaf)?;
+        Ok((
+            outcome
+                .solution
+                .map(|(chain, abort_histories)| SlinWitness {
+                    init_histories: finit.iter().map(|(i, h)| (*i, (*h).clone())).collect(),
+                    commit_histories: chain,
+                    abort_histories,
+                }),
+            outcome.stats,
+        ))
     }
 }
 
-/// Memoisation key of the chain search (see `crate::lin`).
-type MemoKey<T> = (u64, <T as Adt>::State, Vec<(<T as Adt>::Input, usize)>);
-/// Enumerator of rinit members extending a prefix (the ∃ fabort side).
-type ExtendFn<'s, T, V> =
-    &'s dyn Fn(&V, &[<T as Adt>::Input]) -> Vec<Vec<<T as Adt>::Input>>;
+/// The validated trace summary and interpretation space shared by the
+/// sequential and parallel enumeration paths.
+struct Prepared<T: Adt, V> {
+    t_len: usize,
+    commits: Vec<Commit<T>>,
+    inits: Vec<SwitchEvent<T::Input, V>>,
+    aborts: Vec<SwitchEvent<T::Input, V>>,
+    input_ms: Vec<Multiset<T::Input>>,
+    ctx: CandidateContext<T::Input>,
+    per_init: Vec<Vec<Vec<T::Input>>>,
+    combos: usize,
+}
+
 /// The found abort interpretations: `(trace index, history)` pairs.
 type AbortWitness<T> = Vec<(usize, Vec<<T as Adt>::Input>)>;
 
-struct SlinSearch<'s, T: Adt, V> {
-    adt: &'s T,
-    commits: &'s [Commit<T>],
-    vi: &'s [Multiset<T::Input>],
-    pool: Multiset<T::Input>,
-    budget: usize,
-    nodes: usize,
-    memo: HashSet<MemoKey<T>>,
-    lcp: &'s [T::Input],
+/// One interpretation's verdict (a witness, or `None` for "no speculative
+/// linearization exists under this `finit`") plus its engine stats.
+type InterpretationOutcome<T> = (Option<SlinWitness<<T as Adt>::Input>>, SearchStats);
+
+/// Enumerator of `rinit` members extending a prefix (the ∃ `fabort` side).
+type ExtendFn<'a, I, V> = dyn Fn(&V, &[I]) -> Vec<Vec<I>> + 'a;
+
+/// Leaf check: every abort event needs an interpretation that extends
+/// the longest commit history (Abort-Order), extends the init LCP
+/// (Init-Order), and draws from the valid inputs at its index
+/// (Definition 28).
+///
+/// Definition 31 demands a *strict* prefix; we require strictness only
+/// for commit histories (where the chain construction enforces it) and
+/// relax it to a plain prefix for abort histories: the paper's own ALM
+/// specification automaton (Section 6, step A4) emits abort values equal
+/// to the initialization prefix when nothing committed and no loose
+/// pending inputs exist, and the composition proof only uses non-strict
+/// prefix reasoning on abort histories.
+fn aborts_feasible<T: Adt, V>(
+    abort_events: &[(usize, T::Input, V)],
+    longest_commit: &[T::Input],
+    lcp: &[T::Input],
     constrain_init_order: bool,
-    abort_events: &'s [(usize, T::Input, V)],
-    extend: ExtendFn<'s, T, V>,
-}
-
-impl<'s, T: Adt, V> SlinSearch<'s, T, V>
-where
-    T::Input: Ord,
-{
-    fn memo_key(
-        &self,
-        remaining: u64,
-        state: &T::State,
-        used: &Multiset<T::Input>,
-    ) -> MemoKey<T> {
-        let mut u: Vec<(T::Input, usize)> = used.iter().map(|(e, c)| (e.clone(), c)).collect();
-        u.sort();
-        (remaining, state.clone(), u)
+    vi: &[Multiset<T::Input>],
+    extend: &ExtendFn<'_, T::Input, V>,
+) -> Option<AbortWitness<T>> {
+    let mut chosen = Vec::with_capacity(abort_events.len());
+    for (index, input, value) in abort_events {
+        let cands = extend(value, longest_commit);
+        let ok = cands.into_iter().find(|a| {
+            (!constrain_init_order || seq::is_prefix(lcp, a))
+                && Multiset::elems(a)
+                    .union_max(&Multiset::elems(std::slice::from_ref(input)))
+                    .is_subset_of(&vi[*index])
+        });
+        match ok {
+            Some(a) => chosen.push((*index, a)),
+            None => return None,
+        }
     }
-
-    /// Leaf check: every abort event needs an interpretation that extends
-    /// the longest commit history (Abort-Order), extends the init LCP
-    /// (Init-Order), and draws from the valid inputs at its index
-    /// (Definition 28).
-    ///
-    /// Definition 31 demands a *strict* prefix; we require strictness only
-    /// for commit histories (where the chain construction enforces it) and
-    /// relax it to a plain prefix for abort histories: the paper's own ALM
-    /// specification automaton (Section 6, step A4) emits abort values equal
-    /// to the initialization prefix when nothing committed and no loose
-    /// pending inputs exist, and the composition proof only uses non-strict
-    /// prefix reasoning on abort histories.
-    fn aborts_feasible(&self, longest_commit: &[T::Input]) -> Option<AbortWitness<T>> {
-        let mut chosen = Vec::with_capacity(self.abort_events.len());
-        for (index, input, value) in self.abort_events {
-            let cands = (self.extend)(value, longest_commit);
-            let ok = cands.into_iter().find(|a| {
-                (!self.constrain_init_order || seq::is_prefix(self.lcp, a))
-                    && Multiset::elems(a)
-                        .union_max(&Multiset::elems(std::slice::from_ref(input)))
-                        .is_subset_of(&self.vi[*index])
-            });
-            match ok {
-                Some(a) => chosen.push((*index, a)),
-                None => return None,
-            }
-        }
-        Some(chosen)
-    }
-
-    fn dfs(
-        &mut self,
-        state: T::State,
-        used: Multiset<T::Input>,
-        hist: &mut Vec<T::Input>,
-        remaining: u64,
-        chain: &mut Vec<(usize, Vec<T::Input>)>,
-    ) -> Result<Option<AbortWitness<T>>, SlinError> {
-        if remaining == 0 {
-            // All commits placed; aborts must extend the longest commit
-            // history (or the LCP when there were no commits).
-            let longest = chain.last().map(|(_, h)| h.as_slice()).unwrap_or(self.lcp);
-            return Ok(self.aborts_feasible(longest));
-        }
-        self.nodes += 1;
-        if self.nodes > self.budget {
-            return Err(SlinError::BudgetExhausted);
-        }
-        let key = self.memo_key(remaining, &state, &used);
-        if self.memo.contains(&key) {
-            return Ok(None);
-        }
-
-        for (k, c) in self.commits.iter().enumerate() {
-            if remaining & (1 << k) != 0 && !used.is_subset_of(&self.vi[c.index]) {
-                self.memo.insert(key);
-                return Ok(None);
-            }
-        }
-
-        // Move 1: commit a remaining response.
-        for (k, c) in self.commits.iter().enumerate() {
-            if remaining & (1 << k) == 0 {
-                continue;
-            }
-            let mut used2 = used.clone();
-            used2.insert(c.input.clone());
-            if !used2.is_subset_of(&self.vi[c.index]) {
-                continue;
-            }
-            let (state2, out) = self.adt.apply(&state, &c.input);
-            if out != c.output {
-                continue;
-            }
-            hist.push(c.input.clone());
-            chain.push((c.index, hist.clone()));
-            let r = self.dfs(state2, used2, hist, remaining & !(1 << k), chain)?;
-            if r.is_some() {
-                return Ok(r);
-            }
-            chain.pop();
-            hist.pop();
-        }
-
-        // Move 2: interleave an extra valid input.
-        let candidates: Vec<T::Input> = self
-            .pool
-            .iter()
-            .filter(|(e, c)| used.count(e) < *c)
-            .map(|(e, _)| e.clone())
-            .collect();
-        for e in candidates {
-            let mut used2 = used.clone();
-            used2.insert(e.clone());
-            let (state2, _) = self.adt.apply(&state, &e);
-            hist.push(e);
-            let r = self.dfs(state2, used2, hist, remaining, chain)?;
-            if r.is_some() {
-                return Ok(r);
-            }
-            hist.pop();
-        }
-
-        self.memo.insert(key);
-        Ok(None)
-    }
+    Some(chosen)
 }
 
 #[cfg(test)]
@@ -716,6 +839,90 @@ mod tests {
             Action::switch(c(2), ph(2), 9u8, vec![9u8]),
         ]);
         assert!(checker.check(&t).is_err());
+    }
+
+    #[test]
+    fn parallel_and_sequential_verdicts_are_identical() {
+        // Every test trace in this module, under forced multi-threading:
+        // the parallel enumeration must reproduce the sequential verdict
+        // byte for byte (witness, counts, stats, and error payloads).
+        let traces: Vec<Trace<CA>> = vec![
+            Trace::new(),
+            Trace::from_actions(vec![
+                Action::invoke(c(1), ph(1), p(1)),
+                Action::invoke(c(2), ph(1), p(2)),
+                Action::respond(c(1), ph(1), p(1), d(1)),
+                Action::switch(c(2), ph(2), p(2), Value::new(1)),
+            ]),
+            Trace::from_actions(vec![
+                Action::invoke(c(1), ph(1), p(1)),
+                Action::invoke(c(2), ph(1), p(2)),
+                Action::respond(c(1), ph(1), p(1), d(1)),
+                Action::switch(c(2), ph(2), p(2), Value::new(2)),
+            ]),
+            Trace::from_actions(vec![
+                Action::switch(c(1), ph(2), p(1), Value::new(5)),
+                Action::switch(c(2), ph(2), p(2), Value::new(5)),
+                Action::respond(c(1), ph(2), p(1), d(5)),
+                Action::respond(c(2), ph(2), p(2), d(5)),
+            ]),
+            Trace::from_actions(vec![
+                Action::switch(c(1), ph(2), p(1), Value::new(1)),
+                Action::switch(c(2), ph(2), p(2), Value::new(2)),
+                Action::respond(c(1), ph(2), p(1), d(1)),
+                Action::respond(c(2), ph(2), p(2), d(2)),
+            ]),
+        ];
+        for t in &traces {
+            for (m, n) in [(1, 2), (2, 3)] {
+                let chk = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(m), ph(n))
+                    .with_threads(4);
+                let par = chk.check(t);
+                let seq = chk.check_sequential(t);
+                assert_eq!(par, seq, "phase ({m}, {n}) on {t:?}");
+                assert_eq!(format!("{par:?}"), format!("{seq:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn backup_parallel_enumeration_matches_interpretation_count() {
+        // The backup phase enumerates > 1 interpretation (adversarial
+        // candidate sets); parallel and sequential must count identically.
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::switch(c(1), ph(2), p(1), Value::new(5)),
+            Action::switch(c(2), ph(2), p(2), Value::new(5)),
+            Action::respond(c(1), ph(2), p(1), d(5)),
+            Action::respond(c(2), ph(2), p(2), d(5)),
+        ]);
+        let chk = backup_checker().with_threads(3);
+        let par = chk.check(&t).unwrap();
+        let seq = chk.check_sequential(&t).unwrap();
+        assert!(par.interpretations_checked > 1);
+        assert_eq!(par.interpretations_checked, seq.interpretations_checked);
+        assert_eq!(par.stats, seq.stats);
+        assert_eq!(par.stats.interpretations, par.interpretations_checked);
+        assert!(par.stats.nodes > 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_node_count() {
+        let t: Trace<CA> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(1), p(1)),
+            Action::invoke(c(2), ph(1), p(2)),
+            Action::respond(c(1), ph(1), p(1), d(1)),
+            Action::respond(c(2), ph(1), p(2), d(1)),
+        ]);
+        let chk = quorum_checker().with_budget(1);
+        match chk.check_sequential(&t) {
+            Err(SlinError::BudgetExhausted { nodes }) => assert!(nodes > 0),
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+        // The parallel path reports the identical error.
+        assert_eq!(
+            chk.with_threads(2).check(&t),
+            Err(SlinError::BudgetExhausted { nodes: 2 })
+        );
     }
 
     #[test]

@@ -64,9 +64,7 @@ fn phase_trace() -> impl Strategy<Value = Trace<CA>> {
                 let c = a.client();
                 // An event is unblocked if no earlier event of the same
                 // client remains.
-                let blocked = placed
-                    .iter()
-                    .any(|(p2, a2)| a2.client() == c && p2 < p);
+                let blocked = placed.iter().any(|(p2, a2)| a2.client() == c && p2 < p);
                 if !blocked {
                     best = Some(i);
                     break;
@@ -167,6 +165,37 @@ proptest! {
         }
         if ClassicalChecker::new(&Counter).check(&t).is_ok() {
             prop_assert!(ClassicalChecker::new(&Counter).check(&prefix).is_ok(), "{:?}", prefix);
+        }
+    }
+
+    /// Differential test for the engine refactor: the parallel
+    /// `SlinChecker` returns byte-identical verdicts (witness, counts,
+    /// stats, and error payloads) to a single-threaded run, on both the
+    /// first-phase and backup-phase checkers.
+    #[test]
+    fn parallel_slin_matches_sequential(t in phase_trace()) {
+        for (m, n) in [(1u32, 2u32), (2, 3)] {
+            let chk = SlinChecker::new(
+                &Consensus, ConsensusInit::new(), PhaseId::new(m), PhaseId::new(n),
+            ).with_threads(4);
+            let par = chk.check(&t);
+            let seq = chk.check_sequential(&t);
+            prop_assert_eq!(&par, &seq, "phase ({}, {}) on {:?}", m, n, t);
+            prop_assert_eq!(format!("{:?}", par), format!("{:?}", seq));
+        }
+    }
+
+    /// Successful checks aggregate engine stats over exactly the enumerated
+    /// interpretations, identically on both execution paths.
+    #[test]
+    fn slin_stats_cover_all_interpretations(t in phase_trace()) {
+        let chk = SlinChecker::new(
+            &Consensus, ConsensusInit::new(), PhaseId::new(1), PhaseId::new(2),
+        );
+        if let Ok(report) = chk.check_sequential(&t) {
+            prop_assert_eq!(report.stats.interpretations, report.interpretations_checked);
+            let par = chk.with_threads(4).check(&t).expect("parity with sequential");
+            prop_assert_eq!(par.stats, report.stats);
         }
     }
 

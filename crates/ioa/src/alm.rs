@@ -313,15 +313,10 @@ impl<I: Clone + Ord + Hash + Debug> Automaton for AlmAutomaton<I> {
         }
 
         // A1 (internal): initialize hist from the received init histories.
-        if !s.initialized
-            && s.phase
-                .values()
-                .any(|p| *p != ClientPhase::Sleep)
-        {
+        if !s.initialized && s.phase.values().any(|p| *p != ClientPhase::Sleep) {
             let mut s2 = s.clone();
-            s2.hist = slin_trace::seq::longest_common_prefix(
-                s.init_hists.iter().map(|h| h.as_slice()),
-            );
+            s2.hist =
+                slin_trace::seq::longest_common_prefix(s.init_hists.iter().map(|h| h.as_slice()));
             s2.initialized = true;
             out.push((AlmAction::Initialize { phase: m }, s2));
         }
@@ -410,9 +405,7 @@ impl<I: Clone + Ord + Hash + Debug> Automaton for AlmAutomaton<I> {
         let n = self.params.last;
         match action {
             AlmAction::Ext(Action::Invoke { phase, .. })
-            | AlmAction::Ext(Action::Respond { phase, .. }) => {
-                (m..n).contains(&phase.value())
-            }
+            | AlmAction::Ext(Action::Respond { phase, .. }) => (m..n).contains(&phase.value()),
             AlmAction::Ext(Action::Switch { phase, .. }) => {
                 (phase.value() == m && m > 1) || phase.value() == n
             }

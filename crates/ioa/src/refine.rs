@@ -99,10 +99,7 @@ where
     let mut spec_init: BTreeSet<S::State> = spec.initial_states().into_iter().collect();
     internal_closure(spec, &mut spec_init);
 
-    type Pair<I1, S1> = (
-        <I1 as Automaton>::State,
-        BTreeSet<<S1 as Automaton>::State>,
-    );
+    type Pair<I1, S1> = (<I1 as Automaton>::State, BTreeSet<<S1 as Automaton>::State>);
     type Work<I1, S1> = (Pair<I1, S1>, Vec<<I1 as Automaton>::Action>, usize);
     let mut seen: HashSet<Pair<I, S>> = HashSet::new();
     let mut queue: VecDeque<Work<I, S>> = VecDeque::new();

@@ -3,6 +3,9 @@
 use crate::composed::SpeculativeConsensus;
 use crate::ConsAction;
 use slin_adt::consensus::Value;
+use slin_adt::Consensus;
+use slin_core::compose::{verify_phase_chain, PhaseChainVerification};
+use slin_core::initrel::ConsensusInit;
 use slin_trace::{ClientId, Trace};
 use std::sync::Arc;
 
@@ -49,6 +52,14 @@ impl ShmemOutcome {
     /// Whether all decided values agree.
     pub fn agreement(&self) -> bool {
         self.decisions.windows(2).all(|w| w[0].1 == w[1].1)
+    }
+
+    /// Verifies the recorded trace through the shared checker engine: the
+    /// RCons fast phase `(1, 2)`, the CASCons backup phase `(2, 3)`, and
+    /// plain linearizability of the object projection, with aggregated
+    /// [search statistics](slin_core::engine::SearchStats).
+    pub fn verify(&self) -> PhaseChainVerification {
+        verify_phase_chain(&Consensus, ConsensusInit::new(), &self.trace, 1, 2)
     }
 }
 
@@ -128,6 +139,17 @@ mod tests {
                 "round {round}: {:?}",
                 out.trace
             );
+        }
+    }
+
+    #[test]
+    fn engine_verification_accepts_shmem_runs() {
+        for threads in [1u32, 3] {
+            let seq = run_concurrent(&Workload::sequential(threads)).verify();
+            assert!(seq.all_ok(), "sequential threads={threads}: {seq:?}");
+            let conc = run_concurrent(&Workload::concurrent(threads)).verify();
+            assert!(conc.all_ok(), "concurrent threads={threads}: {conc:?}");
+            assert_eq!(conc.phases.len(), 2);
         }
     }
 }

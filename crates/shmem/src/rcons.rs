@@ -119,15 +119,24 @@ mod tests {
     #[test]
     fn solo_proposer_decides_own_value() {
         let r = RCons::new();
-        assert_eq!(r.propose(1, Value::new(4)), RconsOutcome::Decide(Value::new(4)));
+        assert_eq!(
+            r.propose(1, Value::new(4)),
+            RconsOutcome::Decide(Value::new(4))
+        );
     }
 
     #[test]
     fn sequential_proposers_read_published_decision() {
         let r = RCons::new();
         r.propose(1, Value::new(4));
-        assert_eq!(r.propose(2, Value::new(8)), RconsOutcome::Decide(Value::new(4)));
-        assert_eq!(r.propose(3, Value::new(9)), RconsOutcome::Decide(Value::new(4)));
+        assert_eq!(
+            r.propose(2, Value::new(8)),
+            RconsOutcome::Decide(Value::new(4))
+        );
+        assert_eq!(
+            r.propose(3, Value::new(9)),
+            RconsOutcome::Decide(Value::new(4))
+        );
     }
 
     #[test]
@@ -142,7 +151,10 @@ mod tests {
         // Simulate contention: thread 2 takes the splitter path first but
         // has not published D (we interleave by hand using two proposers
         // whose splitter outcome differs).
-        assert!(matches!(r.propose(1, Value::new(4)), RconsOutcome::Decide(_)));
+        assert!(matches!(
+            r.propose(1, Value::new(4)),
+            RconsOutcome::Decide(_)
+        ));
         // After a decision, everyone reads D — so build a contended run on
         // threads (released simultaneously by a barrier) to see switches.
         let mut saw_switch = false;

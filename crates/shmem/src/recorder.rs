@@ -78,7 +78,12 @@ mod tests {
         let r = TraceRecorder::new();
         r.invoke(ClientId::new(1), PhaseId::new(1), Value::new(5));
         assert_eq!(r.snapshot().len(), 1);
-        r.switch(ClientId::new(1), PhaseId::new(2), Value::new(5), Value::new(5));
+        r.switch(
+            ClientId::new(1),
+            PhaseId::new(2),
+            Value::new(5),
+            Value::new(5),
+        );
         assert_eq!(r.snapshot().len(), 2);
     }
 }

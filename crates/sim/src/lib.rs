@@ -214,7 +214,10 @@ pub struct Simulation<M, E> {
 impl<M, E> Simulation<M, E> {
     /// Creates an empty simulation with the given configuration.
     pub fn new(config: SimConfig) -> Self {
-        assert!(config.min_delay <= config.max_delay, "min_delay > max_delay");
+        assert!(
+            config.min_delay <= config.max_delay,
+            "min_delay > max_delay"
+        );
         assert!(
             (0.0..=1.0).contains(&config.drop_prob),
             "drop_prob out of range"
@@ -269,7 +272,12 @@ impl<M, E> Simulation<M, E> {
     }
 
     /// Dispatches the outbox/timers produced by one handler invocation.
-    fn flush(&mut self, from: ProcessId, outbox: Vec<(ProcessId, M)>, timers: Vec<(Time, TimerId)>) {
+    fn flush(
+        &mut self,
+        from: ProcessId,
+        outbox: Vec<(ProcessId, M)>,
+        timers: Vec<(Time, TimerId)>,
+    ) {
         for (to, msg) in outbox {
             self.messages_sent += 1;
             if self.config.drop_prob > 0.0 && self.rng.gen_bool(self.config.drop_prob) {

@@ -45,7 +45,11 @@ impl WellFormednessError {
 
 impl fmt::Display for WellFormednessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "client {} sub-trace ill-formed: {}", self.client, self.reason)
+        write!(
+            f,
+            "client {} sub-trace ill-formed: {}",
+            self.client, self.reason
+        )
     }
 }
 

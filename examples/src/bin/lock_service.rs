@@ -44,16 +44,19 @@ fn main() {
         println!(
             "seed {seed:2}: node {holder} holds the lock \
              ({})",
-            if fell_back { "via Paxos fallback" } else { "fast path" }
+            if fell_back {
+                "via Paxos fallback"
+            } else {
+                "fast path"
+            }
         );
     }
     println!("fast grants: {fast_grants}, fallback grants: {fallback_grants}");
 
     banner("race during a server crash");
     for seed in 0..5 {
-        let out = run_scenario(
-            &Scenario::contended(5, &[1, 2], seed).with_crashes(&[(0, 2), (1, 4)]),
-        );
+        let out =
+            run_scenario(&Scenario::contended(5, &[1, 2], seed).with_crashes(&[(0, 2), (1, 4)]));
         assert!(out.agreement());
         println!(
             "seed {seed}: node {} holds the lock despite two crashed servers \

@@ -46,7 +46,13 @@ fn main() {
                     }
                 }
             }
-            worst = worst.max(out.latencies.iter().filter_map(|(_, l)| *l).max().unwrap_or(0));
+            worst = worst.max(
+                out.latencies
+                    .iter()
+                    .filter_map(|(_, l)| *l)
+                    .max()
+                    .unwrap_or(0),
+            );
         }
         println!(
             "  chain of {fast}: {decided_fast} fast decisions, {decided_backup} backup decisions, worst latency {worst}"

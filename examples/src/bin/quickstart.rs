@@ -44,7 +44,10 @@ fn main() {
         Action::respond(c1, ph, p(1), d(1)),
         Action::respond(c2, ph, p(2), d(2)),
     ]);
-    println!("split decision rejected: {:?}", lin.check(&bad).unwrap_err());
+    println!(
+        "split decision rejected: {:?}",
+        lin.check(&bad).unwrap_err()
+    );
     assert!(classical.check(&bad).is_err());
 
     println!("\n== 2. Quorum + Backup over the simulated network ==");
@@ -77,5 +80,19 @@ fn main() {
     );
     println!("check_composition: {out:?}");
     assert_eq!(out, CompositionOutcome::Holds);
+
+    println!("\n== 4. Engine verification of the whole run ==");
+    // The harness drives the shared CheckerEngine over every phase (in
+    // parallel across init interpretations) and reports search statistics.
+    let v = crash.verify(1);
+    println!(
+        "phases: {:?}  object linearizable: {}",
+        v.phases, v.object_linearizable
+    );
+    println!(
+        "engine: {} interpretations, {} nodes, {} memo entries",
+        v.stats.interpretations, v.stats.nodes, v.stats.memo_entries
+    );
+    assert!(v.all_ok());
     println!("\nOK: both phases are speculatively linearizable and their\ncomposition is a linearizable consensus.");
 }

@@ -48,7 +48,10 @@ fn main() {
         KvInput::Get(3),
     ];
 
-    println!("replicating a log of {} slots over 3 servers…\n", client_a.len());
+    println!(
+        "replicating a log of {} slots over 3 servers…\n",
+        client_a.len()
+    );
     let mut log: Vec<KvInput> = Vec::new();
     let mut fast_slots = 0;
     for (slot, (a, b)) in client_a.iter().zip(&client_b).enumerate() {

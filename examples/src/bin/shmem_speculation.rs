@@ -7,10 +7,10 @@
 //!
 //! Run with: `cargo run -p slin-examples --bin shmem_speculation`
 
+use slin_adt::Consensus;
 use slin_core::compose::project_object;
 use slin_core::invariants;
 use slin_core::lin::LinChecker;
-use slin_adt::Consensus;
 use slin_shmem::harness::{run_concurrent, Workload};
 
 fn main() {

@@ -13,13 +13,13 @@
 //!    [`slin_core::compose::check_composition`] except `TheoremViolated` is
 //!    acceptable, and `Holds` must occur.
 
+use slin_adt::{Consensus, Universal};
+use slin_consensus::harness::{run_scenario, Scenario};
 use slin_core::compose::{check_composition, CompositionOutcome};
 use slin_core::initrel::{ConsensusInit, ExactInit};
 use slin_ioa::alm::{external_trace, AlmAutomaton, AlmParams};
 use slin_ioa::compose::Composition;
 use slin_ioa::explore::random_walk;
-use slin_adt::{Consensus, Universal};
-use slin_consensus::harness::{run_scenario, Scenario};
 use slin_trace::PhaseId;
 
 fn ph(n: u32) -> PhaseId {
@@ -164,10 +164,10 @@ fn definition_2_composition_operator_matches_premise_evaluation() {
 fn property_1_satisfaction_lifts_through_composition() {
     // Property 1 of the paper: Q1 ⊨ P1 ∧ Q2 ⊨ P2 ⇒ Q1 ‖ Q2 ⊨ P1 ‖ P2 —
     // exercised with finite trace sets drawn from the ALM automata.
-    use slin_core::slin::SlinChecker;
-    use slin_trace::prop::satisfies;
     use slin_adt::Universal;
+    use slin_core::slin::SlinChecker;
     use slin_ioa::alm::external_trace;
+    use slin_trace::prop::satisfies;
 
     let adt: Universal<u8> = Universal::new();
     let q = SlinChecker::new(&adt, ExactInit::new(), ph(1), ph(2));

@@ -5,8 +5,8 @@
 //! state-machine replication.
 
 use slin_adt::{
-    derive_output, ConsInput, Consensus, Counter, CounterInput, CounterOutput, KvInput,
-    KvOutput, KvStore, Queue, QueueInput, QueueOutput, RegInput, RegOutput, Register, Universal,
+    derive_output, ConsInput, Consensus, Counter, CounterInput, CounterOutput, KvInput, KvOutput,
+    KvStore, Queue, QueueInput, QueueOutput, RegInput, RegOutput, Register, Universal,
 };
 use slin_core::classical::ClassicalChecker;
 use slin_core::gen::{random_linearizable_trace, GenConfig};
@@ -54,12 +54,10 @@ fn kv_store_generated_traces() {
             steps: 12,
             seed,
         };
-        let t = random_linearizable_trace(&KvStore, cfg, |rng| {
-            match rng.gen_range(0..3u8) {
-                0 => KvInput::Put(rng.gen_range(1..3), rng.gen_range(1..4)),
-                1 => KvInput::Get(rng.gen_range(1..3)),
-                _ => KvInput::Delete(rng.gen_range(1..3)),
-            }
+        let t = random_linearizable_trace(&KvStore, cfg, |rng| match rng.gen_range(0..3u8) {
+            0 => KvInput::Put(rng.gen_range(1..3), rng.gen_range(1..4)),
+            1 => KvInput::Get(rng.gen_range(1..3)),
+            _ => KvInput::Delete(rng.gen_range(1..3)),
         });
         let w = LinChecker::new(&KvStore).check(&t).unwrap();
         assert!(witness_is_valid(&KvStore, &t, &w), "seed {seed}");
@@ -74,7 +72,12 @@ fn universal_adt_traces_check_against_any_derived_adt() {
     let u: Universal<ConsInput> = Universal::new();
     let t: Trace<ObjAction<Universal<ConsInput>, ()>> = Trace::from_actions(vec![
         Action::invoke(c(1), ph(), ConsInput::propose(4)),
-        Action::respond(c(1), ph(), ConsInput::propose(4), vec![ConsInput::propose(4)]),
+        Action::respond(
+            c(1),
+            ph(),
+            ConsInput::propose(4),
+            vec![ConsInput::propose(4)],
+        ),
         Action::invoke(c(2), ph(), ConsInput::propose(9)),
         Action::respond(
             c(2),
@@ -141,9 +144,19 @@ fn queue_elements_are_not_duplicated() {
         Action::invoke(c(1), ph(), QueueInput::Enqueue(5)),
         Action::respond(c(1), ph(), QueueInput::Enqueue(5), QueueOutput::Ack),
         Action::invoke(c(1), ph(), QueueInput::Dequeue),
-        Action::respond(c(1), ph(), QueueInput::Dequeue, QueueOutput::Dequeued(Some(5))),
+        Action::respond(
+            c(1),
+            ph(),
+            QueueInput::Dequeue,
+            QueueOutput::Dequeued(Some(5)),
+        ),
         Action::invoke(c(2), ph(), QueueInput::Dequeue),
-        Action::respond(c(2), ph(), QueueInput::Dequeue, QueueOutput::Dequeued(Some(5))),
+        Action::respond(
+            c(2),
+            ph(),
+            QueueInput::Dequeue,
+            QueueOutput::Dequeued(Some(5)),
+        ),
     ]);
     assert!(chk.check(&t).is_err());
 }
@@ -173,9 +186,19 @@ fn checker_verdicts_depend_on_the_adt() {
     // another — the checkers are genuinely ADT-parametric.
     let t_cons: Trace<ObjAction<Consensus, ()>> = Trace::from_actions(vec![
         Action::invoke(c(1), ph(), ConsInput::propose(1)),
-        Action::respond(c(1), ph(), ConsInput::propose(1), slin_adt::ConsOutput::decide(1)),
+        Action::respond(
+            c(1),
+            ph(),
+            ConsInput::propose(1),
+            slin_adt::ConsOutput::decide(1),
+        ),
         Action::invoke(c(2), ph(), ConsInput::propose(2)),
-        Action::respond(c(2), ph(), ConsInput::propose(2), slin_adt::ConsOutput::decide(1)),
+        Action::respond(
+            c(2),
+            ph(),
+            ConsInput::propose(2),
+            slin_adt::ConsOutput::decide(1),
+        ),
     ]);
     assert!(LinChecker::new(&Consensus).check(&t_cons).is_ok());
     // A register would have to return the latest write instead.
@@ -228,7 +251,11 @@ fn set_membership_constraints() {
             Action::respond(c(2), ph(), SetInput::Add(1), SetOutput(second_saw)),
         ]);
         // Exactly one of the adds can report "new" — both true is invalid.
-        assert_eq!(chk.check(&t).is_ok(), !second_saw, "second_saw={second_saw}");
+        assert_eq!(
+            chk.check(&t).is_ok(),
+            !second_saw,
+            "second_saw={second_saw}"
+        );
     }
     // …and a completed remove separates two adds: both report true.
     let t: Trace<ObjAction<Set, ()>> = Trace::from_actions(vec![
@@ -260,7 +287,10 @@ fn stack_and_set_generated_traces_pass_both_checkers() {
             }
         });
         assert!(LinChecker::new(&Stack).check(&t).is_ok(), "seed {seed}");
-        assert!(ClassicalChecker::new(&Stack).check(&t).is_ok(), "seed {seed}");
+        assert!(
+            ClassicalChecker::new(&Stack).check(&t).is_ok(),
+            "seed {seed}"
+        );
         let t = random_linearizable_trace(&Set, cfg, |rng| match rng.gen_range(0..3u8) {
             0 => SetInput::Add(rng.gen_range(1..3)),
             1 => SetInput::Remove(rng.gen_range(1..3)),

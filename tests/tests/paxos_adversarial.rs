@@ -9,9 +9,7 @@ use slin_core::invariants;
 #[test]
 fn heavy_loss_never_splits_decisions() {
     for seed in 0..60 {
-        let out = run_scenario(
-            &Scenario::pure_paxos(3, &[(1, 0), (2, 0)]).with_loss(0.35, seed),
-        );
+        let out = run_scenario(&Scenario::pure_paxos(3, &[(1, 0), (2, 0)]).with_loss(0.35, seed));
         assert!(out.agreement(), "seed {seed}: {:?}", out.decisions);
         assert!(
             invariants::consensus_linearizable(&out.trace),
@@ -36,7 +34,8 @@ fn staggered_crashes_never_split_decisions() {
 #[test]
 fn decided_values_were_proposed() {
     for seed in 0..40 {
-        let out = run_scenario(&Scenario::pure_paxos(3, &[(11, 0), (22, 0), (33, 0)]).with_seed(seed));
+        let out =
+            run_scenario(&Scenario::pure_paxos(3, &[(11, 0), (22, 0), (33, 0)]).with_seed(seed));
         if let Some(v) = out.decided_value() {
             assert!(
                 [11, 22, 33].contains(&v.get()),

@@ -8,7 +8,7 @@
 //! projections when the exhaustive checker is applicable.
 
 use slin_adt::Consensus;
-use slin_consensus::harness::{run_scenario, Scenario};
+use slin_consensus::harness::{run_scenario, verify_run, Scenario};
 use slin_core::compose::{project_object, project_phase};
 use slin_core::initrel::ConsensusInit;
 use slin_core::invariants::{self, has_late_decide};
@@ -22,7 +22,10 @@ fn ph(n: u32) -> PhaseId {
 
 fn scenarios(seed: u64) -> Vec<(&'static str, Scenario)> {
     vec![
-        ("fault_free", Scenario::fault_free(3, &[(1, 0), (2, 30)]).with_seed(seed)),
+        (
+            "fault_free",
+            Scenario::fault_free(3, &[(1, 0), (2, 30)]).with_seed(seed),
+        ),
         ("contended2", Scenario::contended(3, &[1, 2], seed)),
         ("contended3", Scenario::contended(5, &[1, 2, 3], seed)),
         (
@@ -137,6 +140,30 @@ fn longer_fast_chains_preserve_everything() {
             // (the final Paxos phase never aborts).
             let o = fast + 2;
             assert!(out.trace.iter().all(|a| a.phase().value() < o));
+        }
+    }
+}
+
+#[test]
+fn harness_engine_verification_matches_direct_checks() {
+    // The harness-level engine API agrees with constructing the checkers by
+    // hand, and the parallel enumeration inside it agrees with a
+    // single-threaded run, on real protocol traces.
+    let q = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(1), ph(2));
+    let b = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(2), ph(3));
+    for seed in 0..10 {
+        for (name, s) in scenarios(seed) {
+            let out = run_scenario(&s);
+            let v = verify_run(&s, &out);
+            let t12 = project_phase::<Consensus, _>(&out.trace, ph(1), ph(2));
+            let t23 = project_phase::<Consensus, _>(&out.trace, ph(2), ph(3));
+            assert_eq!(v.phases[0].2, q.check(&t12).is_ok(), "{name} seed {seed}");
+            assert_eq!(v.phases[1].2, b.check(&t23).is_ok(), "{name} seed {seed}");
+            for (t, chk) in [(&t12, &q), (&t23, &b)] {
+                let par = chk.clone().with_threads(4).check(t);
+                let seq = chk.check_sequential(t);
+                assert_eq!(format!("{par:?}"), format!("{seq:?}"), "{name} seed {seed}");
+            }
         }
     }
 }

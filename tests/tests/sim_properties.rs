@@ -37,9 +37,8 @@ fn asynchrony_reorders_but_never_corrupts() {
 fn crashes_are_permanent() {
     // A crashed server never participates again: with all servers crashed
     // before start, no client can ever decide, and no server sends a byte.
-    let out = run_scenario(
-        &Scenario::fault_free(3, &[(5, 0)]).with_crashes(&[(0, 0), (1, 0), (2, 0)]),
-    );
+    let out =
+        run_scenario(&Scenario::fault_free(3, &[(5, 0)]).with_crashes(&[(0, 0), (1, 0), (2, 0)]));
     assert!(out.decisions.is_empty());
     // Only client traffic (repeated proposal broadcasts / prepares) exists.
     assert!(out.messages > 0);

@@ -17,8 +17,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::Rng;
 use slin_adt::{
-    Adt, ConsInput, Consensus, Counter, CounterInput, CounterOutput, Queue, QueueInput, Register,
-    RegInput, Stamped,
+    Adt, ConsInput, Consensus, Counter, CounterInput, CounterOutput, Queue, QueueInput, RegInput,
+    Register, Stamped,
 };
 use slin_core::classical::ClassicalChecker;
 use slin_core::gen::{random_linearizable_trace, random_perturbed_trace, GenConfig};
@@ -55,9 +55,7 @@ where
 
 /// Stamps every generated input uniquely, restoring the unique-inputs
 /// assumption without changing the sequential semantics.
-fn stamper<I>(
-    mut inner: impl FnMut(&mut StdRng) -> I,
-) -> impl FnMut(&mut StdRng) -> (u32, I) {
+fn stamper<I>(mut inner: impl FnMut(&mut StdRng) -> I) -> impl FnMut(&mut StdRng) -> (u32, I) {
     let mut next = 0u32;
     move |rng| {
         next += 1;
@@ -113,7 +111,13 @@ macro_rules! stamped_equivalence_test {
     };
 }
 
-stamped_equivalence_test!(stamped_equivalence_consensus, Consensus, cons_input, 15, 100);
+stamped_equivalence_test!(
+    stamped_equivalence_consensus,
+    Consensus,
+    cons_input,
+    15,
+    100
+);
 stamped_equivalence_test!(stamped_equivalence_counter, Counter, counter_input, 14, 100);
 stamped_equivalence_test!(stamped_equivalence_queue, Queue, queue_input, 12, 80);
 stamped_equivalence_test!(stamped_equivalence_register, Register, reg_input, 14, 80);
