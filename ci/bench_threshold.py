@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fail CI when partitioned checking regresses against the committed baseline.
+
+Usage: bench_threshold.py <baseline.json> <current.json>
+
+Both files are `slin-bench/v1` reports (see `cargo bench -p slin-bench
+--bench report -- --json`). The B5 rows are a pure function of the code
+under measurement (pinned seeds, node counts — no timing), so regressions
+are deterministic, not flaky:
+
+  * every B5 row must keep byte-identical partitioned/monolithic verdicts;
+  * every B5 row present in the baseline must keep at least 80% of its
+    baseline node-count reduction ratio (i.e. fail on a >20% regression);
+  * rows new to the current report are allowed (they become the baseline
+    once committed).
+"""
+
+import json
+import sys
+
+ALLOWED_REGRESSION = 0.20
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip())
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+
+    failures = []
+    base_rows = {row["scenario"]: row for row in baseline.get("b5_partition", [])}
+    cur_rows = current.get("b5_partition", [])
+    if not cur_rows:
+        failures.append("current report has no b5_partition rows")
+
+    for row in cur_rows:
+        name = row["scenario"]
+        if not row.get("verdicts_agree", False):
+            failures.append(f"{name}: partitioned verdicts diverged from monolithic")
+        base = base_rows.get(name)
+        if base is None:
+            print(f"  new row (no baseline): {name}: ratio {row['node_ratio']:.2f}")
+            continue
+        floor = (1.0 - ALLOWED_REGRESSION) * base["node_ratio"]
+        status = "ok" if row["node_ratio"] >= floor else "REGRESSED"
+        print(
+            f"  {name}: ratio {row['node_ratio']:.2f} "
+            f"(baseline {base['node_ratio']:.2f}, floor {floor:.2f}) {status}"
+        )
+        if row["node_ratio"] < floor:
+            failures.append(
+                f"{name}: node ratio {row['node_ratio']:.2f} fell below "
+                f"{floor:.2f} (baseline {base['node_ratio']:.2f}, "
+                f">{ALLOWED_REGRESSION:.0%} regression)"
+            )
+
+    dropped = sorted(set(base_rows) - {row["scenario"] for row in cur_rows})
+    for name in dropped:
+        failures.append(f"baseline row disappeared: {name}")
+
+    if failures:
+        print("\nbench threshold check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench threshold check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

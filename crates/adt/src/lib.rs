@@ -18,6 +18,10 @@
 //! * [`Universal`] — the universal ADT of Section 6, whose output is the full
 //!   input history (the basis for generic state-machine replication).
 //!
+//! The [`partition`] module classifies inputs into independence classes
+//! ([`Partitioner`]) so the checkers can split multi-key histories into
+//! independent sub-histories and check them in parallel.
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +40,7 @@ pub mod consensus;
 pub mod counter;
 pub mod equiv;
 pub mod kv;
+pub mod partition;
 pub mod queue;
 pub mod register;
 pub mod set;
@@ -47,6 +52,7 @@ pub use consensus::{ConsInput, ConsOutput, Consensus, Value};
 pub use counter::{Counter, CounterInput, CounterOutput};
 pub use equiv::{histories_equivalent, reachable_state};
 pub use kv::{KvInput, KvOutput, KvStore};
+pub use partition::{IdentityPartitioner, KvKeyPartitioner, Partitioner, SetElemPartitioner};
 pub use queue::{Queue, QueueInput, QueueOutput};
 pub use register::{RegInput, RegOutput, Register};
 pub use set::{Set, SetInput, SetOutput};

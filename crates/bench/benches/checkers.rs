@@ -9,7 +9,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, PlottingBackend};
 use rand::Rng;
 use slin_adt::{ConsInput, Consensus};
-use slin_bench::{checker_stats_rows, render_table, CHECKER_STATS_HEADER};
+use slin_bench::{
+    checker_stats_rows, partition_speedup_rows, render_table, CHECKER_STATS_HEADER,
+    PARTITION_HEADER, PARTITION_SEEDS,
+};
 use slin_consensus::harness::{run_scenario, Scenario};
 use slin_core::classical::ClassicalChecker;
 use slin_core::compose::project_phase;
@@ -28,6 +31,12 @@ fn print_stats_table() {
         .collect();
     println!("\nB4c — shared-engine search statistics on protocol traces");
     println!("{}", render_table(&CHECKER_STATS_HEADER, &rows));
+    let rows: Vec<Vec<String>> = partition_speedup_rows(&PARTITION_SEEDS)
+        .iter()
+        .map(|r| r.cells())
+        .collect();
+    println!("B5 — partitioned vs monolithic checking (node counts)");
+    println!("{}", render_table(&PARTITION_HEADER, &rows));
 }
 
 fn bench_checkers(c: &mut Criterion) {

@@ -1,0 +1,147 @@
+//! A minimal JSON value type and serializer.
+//!
+//! The bench pipeline must emit machine-readable artifacts in an
+//! environment with no crates.io access, so this module hand-rolls the
+//! (tiny) subset of JSON the report needs: objects, arrays, strings,
+//! integers, floats, booleans and null. Non-finite floats serialize as
+//! `null` (JSON has no NaN), and string escaping covers the control
+//! characters plus `"` and `\`.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a fraction).
+    Int(i64),
+    /// A float; non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: ordered key/value pairs (insertion order preserved, so
+    /// output is deterministic).
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for a `usize` counter.
+    pub fn count(n: usize) -> Json {
+        Json::Int(n as i64)
+    }
+
+    /// Serializes the value with two-space indentation and a trailing
+    /// newline (a stable, diff-friendly artifact format).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) if !x.is_finite() => out.push_str("null"),
+            Json::Float(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures_deterministically() {
+        let v = Json::Obj(vec![
+            ("name", Json::Str("b5".into())),
+            ("rows", Json::Arr(vec![Json::Int(1), Json::Float(2.5)])),
+            ("ok", Json::Bool(true)),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"name\": \"b5\""));
+        assert!(s.contains("\"empty\": []"));
+        assert_eq!(s, v.render(), "rendering is deterministic");
+        assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null\n");
+        assert_eq!(Json::Float(2.0).render(), "2\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::Str("a\"b\\c\nd".into()).render();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"\n");
+    }
+}

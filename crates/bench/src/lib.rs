@@ -17,16 +17,30 @@
 //! * [`checker_stats_rows`] — **B4c**: the shared checker engine's
 //!   [`SearchStats`] (nodes, memoisation, interpretation counts) over
 //!   simulated runs — the practicality counterpart of the timing data;
+//! * [`partition_speedup_rows`] — **B5**: node-count reduction of
+//!   P-compositional (partitioned) checking over multi-key workloads,
+//!   from partition-hostile (1 key, or full contention) to
+//!   partition-friendly (8 spread keys);
 //! * checker scaling data for **B4** lives in the `checkers` bench.
 //!
 //! Every function returns plain rows so the experiment tables can be
 //! regenerated (`cargo bench -p slin-bench`) and asserted on in tests.
+//! [`bench_report_json`] assembles every B-series table into one
+//! machine-readable artifact (`cargo bench -p slin-bench --bench report --
+//! --json` writes it to `BENCH_PR2.json` at the repo root) so CI can track
+//! the numbers across commits.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
+use json::Json;
+use slin_adt::{KvKeyPartitioner, KvStore, Set, SetElemPartitioner};
 use slin_consensus::harness::{run_scenario, verify_run, Scenario};
 use slin_core::engine::SearchStats;
+use slin_core::gen::{random_multikey_kv_trace, random_multikey_set_trace, MultiKeyConfig};
+use slin_core::lin::LinChecker;
 use slin_sim::Time;
 
 /// One row of the fast-path latency table (B1).
@@ -264,6 +278,258 @@ pub fn checker_stats_rows(seeds: &[u64]) -> Vec<CheckerStatsRow> {
     rows
 }
 
+/// One row of the partition-speedup table (B5): monolithic vs partitioned
+/// engine cost on one multi-key workload family, aggregated over seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionRow {
+    /// Human-readable workload label (stable: the JSON baseline matcher
+    /// keys on it).
+    pub scenario: String,
+    /// Number of distinct keys in the workload.
+    pub keys: u32,
+    /// Largest partition count any seed produced.
+    pub partitions: usize,
+    /// Monolithic engine counters summed over the seeds.
+    pub mono: SearchStats,
+    /// Partitioned engine counters summed over the seeds (including any
+    /// monolithic witness re-derivations).
+    pub part: SearchStats,
+    /// Seeds whose witness merge had to re-run a monolithic search.
+    pub remerged: usize,
+    /// Whether every seed's partitioned verdict and witness equalled the
+    /// monolithic ones byte for byte.
+    pub verdicts_agree: bool,
+    /// `mono.nodes / part.nodes` — the headline node-count reduction.
+    pub node_ratio: f64,
+}
+
+impl PartitionRow {
+    /// The table cells printed by the `checkers` and `report` benches.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.scenario.clone(),
+            self.keys.to_string(),
+            self.partitions.to_string(),
+            if self.verdicts_agree {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+            .to_string(),
+            self.mono.nodes.to_string(),
+            self.part.nodes.to_string(),
+            self.remerged.to_string(),
+            format!("{:.2}", self.node_ratio),
+        ]
+    }
+}
+
+/// The header matching [`PartitionRow::cells`].
+pub const PARTITION_HEADER: [&str; 8] = [
+    "scenario",
+    "keys",
+    "parts",
+    "verdicts",
+    "mono_nodes",
+    "part_nodes",
+    "remerged",
+    "ratio",
+];
+
+/// The seeds every B5 row aggregates over (pinned so the JSON artifact is
+/// reproducible bit for bit).
+pub const PARTITION_SEEDS: [u64; 6] = [0, 1, 2, 7, 9, 13];
+
+/// One B5 row: monolithic vs partitioned checking of `generate`d traces
+/// over the given ADT and partitioner, aggregated over `seeds`.
+fn partition_row<T, P, G>(
+    scenario: &str,
+    adt: &T,
+    partitioner: &P,
+    generate: G,
+    base: MultiKeyConfig,
+    seeds: &[u64],
+) -> PartitionRow
+where
+    T: slin_adt::Adt + Sync,
+    T::Input: Ord + Send + Sync,
+    T::Output: Sync,
+    P: slin_adt::Partitioner<T>,
+    G: Fn(&MultiKeyConfig) -> slin_trace::Trace<slin_core::ObjAction<T, ()>>,
+{
+    let chk = LinChecker::new(adt);
+    let mut row = PartitionRow {
+        scenario: scenario.to_string(),
+        keys: base.keys,
+        partitions: 0,
+        mono: SearchStats::default(),
+        part: SearchStats::default(),
+        remerged: 0,
+        verdicts_agree: true,
+        node_ratio: 0.0,
+    };
+    for &seed in seeds {
+        let t = generate(&MultiKeyConfig { seed, ..base });
+        let (mono, mono_stats) = chk.check_with_stats(&t);
+        let (part, report) = chk.check_partitioned_with_report(partitioner, &t);
+        row.mono.absorb(&mono_stats);
+        row.part.absorb(&report.stats);
+        row.partitions = row.partitions.max(report.partitions);
+        row.remerged += report.remerged as usize;
+        row.verdicts_agree &= part == mono;
+    }
+    row.node_ratio = row.mono.nodes as f64 / row.part.nodes.max(1) as f64;
+    row
+}
+
+/// B5: node-count reduction of partitioned checking as the key space
+/// widens, aggregated over `seeds` (use [`PARTITION_SEEDS`] for the
+/// pinned artifact). The `kv keys=1` and `kv hot-key` rows are
+/// partition-hostile controls (ratio ~1); the multi-key rows are where
+/// P-compositionality pays.
+pub fn partition_speedup_rows(seeds: &[u64]) -> Vec<PartitionRow> {
+    let base = MultiKeyConfig {
+        clients: 5,
+        steps: 48,
+        skew: 0.3,
+        contention: 0.0,
+        error_prob: 0.0,
+        seed: 0,
+        keys: 1,
+    };
+    let kv = |scenario: &str, cfg: MultiKeyConfig| {
+        partition_row(
+            scenario,
+            &KvStore,
+            &KvKeyPartitioner,
+            random_multikey_kv_trace,
+            cfg,
+            seeds,
+        )
+    };
+    vec![
+        kv("kv keys=1 (hostile)", MultiKeyConfig { keys: 1, ..base }),
+        kv("kv keys=2", MultiKeyConfig { keys: 2, ..base }),
+        kv("kv keys=4", MultiKeyConfig { keys: 4, ..base }),
+        kv("kv keys=8", MultiKeyConfig { keys: 8, ..base }),
+        kv(
+            "kv hot-key (hostile)",
+            MultiKeyConfig {
+                keys: 8,
+                contention: 1.0,
+                ..base
+            },
+        ),
+        partition_row(
+            "set elems=6",
+            &Set,
+            &SetElemPartitioner,
+            random_multikey_set_trace,
+            MultiKeyConfig { keys: 6, ..base },
+            seeds,
+        ),
+    ]
+}
+
+fn stats_json(s: &SearchStats) -> Json {
+    Json::Obj(vec![
+        ("nodes", Json::count(s.nodes)),
+        ("memo_entries", Json::count(s.memo_entries)),
+        ("memo_hits", Json::count(s.memo_hits)),
+        ("leaf_checks", Json::count(s.leaf_checks)),
+        ("max_history_len", Json::count(s.max_history_len)),
+        ("interpretations", Json::count(s.interpretations)),
+    ])
+}
+
+fn time_json(t: Option<Time>) -> Json {
+    t.map(|t| Json::Int(t as i64)).unwrap_or(Json::Null)
+}
+
+/// Assembles every B-series table into one machine-readable JSON artifact
+/// (schema `slin-bench/v1`). All inputs are pinned (seeds, scenario
+/// parameters), so the artifact is a pure function of the code under
+/// measurement: CI diffs it against the committed baseline to catch
+/// regressions in the partition speedup and the engine counters.
+pub fn bench_report_json() -> String {
+    let b1 = latency_rows(&[3, 5, 7])
+        .into_iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("servers", Json::count(r.servers)),
+                ("composed", time_json(r.composed)),
+                ("paxos", time_json(r.paxos)),
+                ("composed_msgs", Json::count(r.composed_msgs)),
+                ("paxos_msgs", Json::count(r.paxos_msgs)),
+            ])
+        })
+        .collect();
+    let crossover = |rows: Vec<CrossoverRow>| -> Json {
+        Json::Arr(
+            rows.into_iter()
+                .map(|r| {
+                    Json::Obj(vec![
+                        ("x", Json::Int(r.x as i64)),
+                        ("composed_mean", Json::Float(r.composed_mean)),
+                        ("paxos_mean", Json::Float(r.paxos_mean)),
+                        ("fallback_rate", Json::Float(r.fallback_rate)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    let b4b = phase_chain_rows(&[1, 2, 3], 6)
+        .into_iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("fast_phases", Json::Int(r.fast_phases as i64)),
+                ("latency_mean", Json::Float(r.latency_mean)),
+                ("messages_mean", Json::Float(r.messages_mean)),
+                ("fault_free_latency", time_json(r.fault_free_latency)),
+            ])
+        })
+        .collect();
+    let b4c = checker_stats_rows(&[0, 1, 7])
+        .into_iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("scenario", Json::Str(r.scenario.clone())),
+                ("ok", Json::Bool(r.ok)),
+                ("resource_limited", Json::Bool(r.resource_limited)),
+                ("stats", stats_json(&r.stats)),
+            ])
+        })
+        .collect();
+    let b5 = partition_speedup_rows(&PARTITION_SEEDS)
+        .into_iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("scenario", Json::Str(r.scenario.clone())),
+                ("keys", Json::Int(r.keys as i64)),
+                ("partitions", Json::count(r.partitions)),
+                ("mono", stats_json(&r.mono)),
+                ("part", stats_json(&r.part)),
+                ("remerged", Json::count(r.remerged)),
+                ("verdicts_agree", Json::Bool(r.verdicts_agree)),
+                ("node_ratio", Json::Float(r.node_ratio)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema", Json::Str("slin-bench/v1".into())),
+        ("b1_latency", Json::Arr(b1)),
+        (
+            "b2_crossover",
+            crossover(crossover_rows(&[0, 10, 20, 30], 8)),
+        ),
+        ("b2b_contention", crossover(contention_rows(&[1, 2, 3], 6))),
+        ("b4b_phase_chain", Json::Arr(b4b)),
+        ("b4c_checker_stats", Json::Arr(b4c)),
+        ("b5_partition", Json::Arr(b5)),
+    ])
+    .render()
+}
+
 /// Renders rows as an aligned text table (used by the benches to print the
 /// regenerated experiment tables).
 pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
@@ -351,6 +617,59 @@ mod tests {
             assert!(row.stats.nodes > 0, "{row:?}");
             assert!(row.stats.interpretations > 0, "{row:?}");
             assert_eq!(row.cells().len(), CHECKER_STATS_HEADER.len());
+        }
+    }
+
+    #[test]
+    fn b5_shape_partitioning_reduces_nodes_at_least_2x() {
+        let rows = partition_speedup_rows(&PARTITION_SEEDS);
+        for row in &rows {
+            assert!(row.verdicts_agree, "{row:?}");
+            assert!(row.part.nodes > 0, "{row:?}");
+            assert_eq!(row.cells().len(), PARTITION_HEADER.len());
+        }
+        // The acceptance bar: every multi-key KvStore workload shows at
+        // least a 2x node-count reduction…
+        for row in rows
+            .iter()
+            .filter(|r| r.scenario.starts_with("kv keys=") && r.keys > 1)
+        {
+            assert!(
+                row.node_ratio >= 2.0,
+                "expected >= 2x node reduction: {row:?}"
+            );
+            assert!(row.partitions > 1, "{row:?}");
+        }
+        // …while the hostile controls collapse to a single partition and
+        // pay (essentially) nothing.
+        let hostile: Vec<_> = rows
+            .iter()
+            .filter(|r| r.scenario.contains("hostile"))
+            .collect();
+        assert_eq!(hostile.len(), 2);
+        for row in hostile {
+            assert_eq!(row.partitions, 1, "{row:?}");
+            assert!((row.node_ratio - 1.0).abs() < 1e-9, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn json_report_is_deterministic_and_covers_all_b_series() {
+        let a = bench_report_json();
+        assert_eq!(a, bench_report_json(), "artifact must be reproducible");
+        for key in [
+            "\"schema\": \"slin-bench/v1\"",
+            "\"b1_latency\"",
+            "\"b2_crossover\"",
+            "\"b2b_contention\"",
+            "\"b4b_phase_chain\"",
+            "\"b4c_checker_stats\"",
+            "\"b5_partition\"",
+            "\"memo_hits\"",
+            "\"memo_entries\"",
+            "\"node_ratio\"",
+        ] {
+            assert!(a.contains(key), "missing {key} in artifact");
         }
     }
 

@@ -3,9 +3,9 @@
 //! The workspace builds in environments with no access to crates.io, so this
 //! stub reimplements the slice of proptest the workspace test suites use:
 //!
-//! * the [`Strategy`] trait with [`Strategy::prop_map`], implemented for
-//!   integer ranges, tuples (up to 4), [`collection::vec`], [`any`], and
-//!   [`bool::ANY`];
+//! * the [`strategy::Strategy`] trait with [`strategy::Strategy::prop_map`],
+//!   implemented for integer ranges, tuples (up to 4), [`collection::vec()`],
+//!   [`arbitrary::any`], and [`bool::ANY`];
 //! * the [`proptest!`] macro with the `arg in strategy` binder syntax and
 //!   the optional `#![proptest_config(...)]` header;
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];

@@ -9,7 +9,7 @@
 use crate::ObjAction;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use slin_adt::Adt;
+use slin_adt::{Adt, KvInput, KvStore, Set, SetInput};
 use slin_trace::{Action, ClientId, PhaseId, Trace};
 
 /// Configuration of the random trace generators.
@@ -149,6 +149,144 @@ where
     t
 }
 
+/// Configuration of the multi-key concurrent workload generators.
+///
+/// Extends [`GenConfig`] with the key-space shape that partition-aware
+/// checking cares about: how many independence classes exist (`keys`), how
+/// unevenly traffic spreads over them (`skew`), and how much of it piles
+/// onto one shared hot key (`contention`). `keys = 1` or `contention = 1.0`
+/// produce **partition-hostile** workloads (every operation contends on one
+/// class); many keys with low skew produce **partition-friendly** ones.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiKeyConfig {
+    /// Number of concurrent clients.
+    pub clients: u32,
+    /// Number of generation steps (each step emits at most one event).
+    pub steps: usize,
+    /// Number of distinct keys (independence classes), numbered `1..=keys`.
+    pub keys: u32,
+    /// Zipf-style skew exponent over the key space: key `k` is drawn with
+    /// weight `k^-skew`. `0.0` is uniform; larger values concentrate
+    /// traffic on low-numbered keys.
+    pub skew: f64,
+    /// Probability that an operation targets key 1 outright, regardless of
+    /// the skewed draw — a dial from fully spread (`0.0`) to fully
+    /// contended (`1.0`).
+    pub contention: f64,
+    /// Probability that a response is perturbed as in
+    /// [`random_perturbed_trace`]; `0.0` generates linearizable-by-
+    /// construction traces.
+    pub error_prob: f64,
+    /// RNG seed: equal seeds give equal traces.
+    pub seed: u64,
+}
+
+impl Default for MultiKeyConfig {
+    fn default() -> Self {
+        MultiKeyConfig {
+            clients: 4,
+            steps: 24,
+            keys: 4,
+            skew: 0.6,
+            contention: 0.0,
+            error_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl MultiKeyConfig {
+    fn gen_config(&self) -> GenConfig {
+        GenConfig {
+            clients: self.clients,
+            steps: self.steps,
+            seed: self.seed,
+        }
+    }
+
+    /// Draws a key in `1..=keys` under the configured skew and contention.
+    fn sample_key(&self, rng: &mut StdRng, cumulative: &[f64]) -> u32 {
+        if self.keys <= 1 {
+            return 1;
+        }
+        if self.contention > 0.0 && rng.gen_bool(self.contention) {
+            return 1;
+        }
+        let total = *cumulative.last().expect("keys >= 1");
+        let r = (rng.gen_range(0..1u64 << 53) as f64) / (1u64 << 53) as f64 * total;
+        let k = cumulative.partition_point(|&c| c <= r);
+        k as u32 + 1
+    }
+
+    /// The cumulative Zipf weights `sum_{j<=k} j^-skew`.
+    fn cumulative_weights(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        (1..=self.keys.max(1))
+            .map(|k| {
+                acc += f64::powf(k as f64, -self.skew);
+                acc
+            })
+            .collect()
+    }
+}
+
+fn multikey_trace<T, F>(adt: &T, cfg: &MultiKeyConfig, mut op: F) -> Trace<ObjAction<T, ()>>
+where
+    T: Adt,
+    F: FnMut(&mut StdRng, u32) -> T::Input,
+{
+    let cumulative = cfg.cumulative_weights();
+    let sample = |rng: &mut StdRng| {
+        let key = cfg.sample_key(rng, &cumulative);
+        op(rng, key)
+    };
+    if cfg.error_prob > 0.0 {
+        random_perturbed_trace(adt, cfg.gen_config(), cfg.error_prob, sample)
+    } else {
+        random_linearizable_trace(adt, cfg.gen_config(), sample)
+    }
+}
+
+/// Generates a well-formed multi-key [`KvStore`] trace: each operation
+/// draws a key under the configured skew/contention, then puts, gets, or
+/// deletes it (gets twice as likely as either write).
+///
+/// With `error_prob = 0.0` the trace is linearizable by construction.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{KvKeyPartitioner, KvStore};
+/// use slin_core::gen::{random_multikey_kv_trace, MultiKeyConfig};
+/// use slin_core::lin::LinChecker;
+///
+/// let t = random_multikey_kv_trace(&MultiKeyConfig { keys: 8, ..Default::default() });
+/// let chk = LinChecker::new(&KvStore);
+/// assert_eq!(
+///     chk.check_partitioned(&KvKeyPartitioner, &t),
+///     chk.check(&t), // byte-identical, fewer nodes
+/// );
+/// ```
+pub fn random_multikey_kv_trace(cfg: &MultiKeyConfig) -> Trace<ObjAction<KvStore, ()>> {
+    multikey_trace(&KvStore, cfg, |rng, key| match rng.gen_range(0..4u8) {
+        0 => KvInput::Put(key, rng.gen_range(1..5u64)),
+        1 | 2 => KvInput::Get(key),
+        _ => KvInput::Delete(key),
+    })
+}
+
+/// Generates a well-formed multi-key [`Set`] trace over the elements
+/// `1..=keys` (adds and membership tests twice as likely as removes).
+///
+/// With `error_prob = 0.0` the trace is linearizable by construction.
+pub fn random_multikey_set_trace(cfg: &MultiKeyConfig) -> Trace<ObjAction<Set, ()>> {
+    multikey_trace(&Set, cfg, |rng, key| match rng.gen_range(0..5u8) {
+        0 | 1 => SetInput::Add(key as u64),
+        2 | 3 => SetInput::Contains(key as u64),
+        _ => SetInput::Remove(key as u64),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +354,118 @@ mod tests {
             }
         }
         assert!(violations > 0, "expected at least one violation");
+    }
+
+    #[test]
+    fn multikey_traces_are_well_formed_and_spread_over_keys() {
+        use slin_adt::{KvKeyPartitioner, Partitioner};
+        for seed in 0..30 {
+            let cfg = MultiKeyConfig {
+                keys: 6,
+                seed,
+                ..Default::default()
+            };
+            let t = random_multikey_kv_trace(&cfg);
+            assert!(wf::is_well_formed(&t), "seed {seed}");
+            let s = random_multikey_set_trace(&cfg);
+            assert!(wf::is_well_formed(&s), "seed {seed}");
+            let distinct: std::collections::BTreeSet<u32> = t
+                .iter()
+                .filter_map(|a| KvKeyPartitioner.key_of(a.input()))
+                .collect();
+            assert!(distinct.len() > 1, "seed {seed}: all ops on one key");
+            assert!(distinct.iter().all(|k| (1..=6).contains(k)));
+        }
+    }
+
+    #[test]
+    fn full_contention_collapses_to_a_single_key() {
+        use slin_adt::{KvKeyPartitioner, Partitioner};
+        let cfg = MultiKeyConfig {
+            keys: 8,
+            contention: 1.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let t = random_multikey_kv_trace(&cfg);
+        assert!(t
+            .iter()
+            .all(|a| KvKeyPartitioner.key_of(a.input()) == Some(1)));
+    }
+
+    #[test]
+    fn skew_concentrates_traffic_on_low_keys() {
+        use slin_adt::{KvKeyPartitioner, Partitioner};
+        let count_key1 = |skew: f64| -> usize {
+            (0..20)
+                .map(|seed| {
+                    let cfg = MultiKeyConfig {
+                        keys: 8,
+                        skew,
+                        steps: 30,
+                        seed,
+                        ..Default::default()
+                    };
+                    random_multikey_kv_trace(&cfg)
+                        .iter()
+                        .filter(|a| KvKeyPartitioner.key_of(a.input()) == Some(1))
+                        .count()
+                })
+                .sum()
+        };
+        assert!(count_key1(2.0) > count_key1(0.0), "skew should bias key 1");
+    }
+
+    #[test]
+    fn multikey_linearizable_traces_pass_the_checker() {
+        for seed in 0..10 {
+            let cfg = MultiKeyConfig {
+                keys: 4,
+                steps: 18,
+                seed,
+                ..Default::default()
+            };
+            let t = random_multikey_kv_trace(&cfg);
+            assert!(LinChecker::new(&KvStore).check(&t).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multikey_perturbation_produces_some_violations() {
+        let mut violations = 0;
+        for seed in 0..30 {
+            let cfg = MultiKeyConfig {
+                keys: 3,
+                steps: 18,
+                error_prob: 0.5,
+                seed,
+                ..Default::default()
+            };
+            let t = random_multikey_kv_trace(&cfg);
+            if LinChecker::new(&KvStore).check(&t).is_err() {
+                violations += 1;
+            }
+        }
+        assert!(violations > 0, "expected at least one violation");
+    }
+
+    #[test]
+    fn multikey_generation_is_deterministic_in_the_seed() {
+        let cfg = MultiKeyConfig {
+            keys: 5,
+            skew: 1.2,
+            contention: 0.2,
+            seed: 17,
+            ..Default::default()
+        };
+        assert_eq!(
+            random_multikey_kv_trace(&cfg),
+            random_multikey_kv_trace(&cfg)
+        );
+        assert_eq!(
+            random_multikey_set_trace(&cfg),
+            random_multikey_set_trace(&cfg)
+        );
     }
 
     #[test]

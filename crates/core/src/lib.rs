@@ -22,6 +22,10 @@
 //!   consensus mapping of Section 2.4);
 //! * [`invariants`] — the paper's invariants **I1–I5** for consensus
 //!   speculation phases, as executable trace predicates;
+//! * [`partition`] — **P-compositional checking**: splitting a trace into
+//!   independent sub-histories along a [`slin_adt::Partitioner`], fanning
+//!   the sub-searches out across threads, and merging witnesses so the
+//!   result is byte-identical to the monolithic path;
 //! * [`compose`] — phase projection and the apparatus of the
 //!   **intra-object composition theorem** (Theorems 2, 3 and 5);
 //! * [`gen`] — seeded random generators of well-formed (and adversarial)
@@ -60,12 +64,14 @@ pub mod initrel;
 pub mod invariants;
 pub mod lin;
 pub mod ops;
+pub mod partition;
 pub mod slin;
 
 pub use classical::ClassicalChecker;
 pub use engine::{CheckerEngine, EngineError, SearchBudget, SearchStats};
 pub use initrel::{ConsensusInit, ExactInit, InitRelation};
 pub use lin::{LinChecker, LinError, LinWitness};
+pub use partition::{split_trace, PartitionReport, SplitOutcome, TracePartition};
 pub use slin::{SlinChecker, SlinError, SlinWitness};
 
 use slin_adt::Adt;

@@ -11,7 +11,7 @@
 //!   prefix order.
 //!
 //! [`LinChecker`] decides the existential as a thin frontend over the
-//! shared [`CheckerEngine`](crate::engine::CheckerEngine): the chain of
+//! shared [`crate::engine::CheckerEngine`]: the chain of
 //! commit histories grows one element at a time, memoised on the reached
 //! ADT state and the multiset of consumed inputs. Because the chain can
 //! interleave *extra* inputs (inputs whose responses never commit, or
@@ -21,8 +21,9 @@
 
 use crate::engine::{CheckerEngine, EngineError, SearchBudget, SearchSeed, SearchStats};
 use crate::ops;
+use crate::partition::{self, PartitionReport};
 use crate::ObjAction;
-use slin_adt::Adt;
+use slin_adt::{Adt, Partitioner};
 use slin_trace::wf::{self, WellFormednessError};
 use slin_trace::{Multiset, Trace};
 use std::error::Error;
@@ -181,6 +182,8 @@ pub fn witness_is_valid<T: Adt, V>(
 pub struct LinChecker<'a, T> {
     adt: &'a T,
     budget: usize,
+    /// Worker threads for partition fan-out (0 = one per core).
+    threads: usize,
 }
 
 impl<'a, T: Adt> LinChecker<'a, T>
@@ -192,13 +195,34 @@ where
         LinChecker {
             adt,
             budget: DEFAULT_BUDGET,
+            threads: 0,
         }
     }
 
-    /// Overrides the search node budget.
+    /// Overrides the search node budget (per partition on the partitioned
+    /// path).
     pub fn with_budget(mut self, budget: usize) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Overrides the number of worker threads used by
+    /// [`LinChecker::check_partitioned`] to fan partitions out (0 = one per
+    /// available core; 1 = sequential). Verdicts and witnesses are
+    /// byte-identical at every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
     }
 
     /// Checks the trace and returns a witness linearization function.
@@ -235,6 +259,18 @@ where
         if let Err(e) = wf::check_well_formed(t) {
             return (Err(e.into()), SearchStats::default());
         }
+        self.engine_search(t)
+    }
+
+    /// The chain search on an already-validated (well-formed, switch-free)
+    /// trace — the per-partition unit of work of the partitioned path.
+    fn engine_search<V>(
+        &self,
+        t: &Trace<ObjAction<T, V>>,
+    ) -> (Result<LinWitness<T::Input>, LinError>, SearchStats)
+    where
+        V: Clone + PartialEq,
+    {
         let commits = ops::commits::<T, V>(t);
         let input_ms = ops::input_multisets::<T, V>(t);
         let total_inputs = input_ms.last().cloned().unwrap_or_else(Multiset::new);
@@ -269,6 +305,110 @@ where
         V: Clone + PartialEq,
     {
         self.check(t).is_ok()
+    }
+
+    /// P-compositional form of [`LinChecker::check`]: splits the trace into
+    /// independent sub-histories along `partitioner`, checks them across
+    /// scoped worker threads, and merges the results.
+    ///
+    /// Verdicts and witnesses are **byte-identical** to [`LinChecker::check`]
+    /// (see [`crate::partition`] for the argument), while the expanded node
+    /// count drops from the product to the sum of the per-partition search
+    /// spaces. The one caveat is [`LinError::BudgetExhausted`]: the node
+    /// budget applies per partition, so a trace the monolithic search gives
+    /// up on may well be decided here (that is the point).
+    pub fn check_partitioned<V, P>(
+        &self,
+        partitioner: &P,
+        t: &Trace<ObjAction<T, V>>,
+    ) -> Result<LinWitness<T::Input>, LinError>
+    where
+        V: Clone + PartialEq + Sync,
+        P: Partitioner<T>,
+        T: Sync,
+        T::Input: Send + Sync,
+        T::Output: Sync,
+    {
+        self.check_partitioned_with_report(partitioner, t).0
+    }
+
+    /// Like [`LinChecker::check_partitioned`], also reporting the
+    /// [`PartitionReport`] (partition count, fallback engagement, merged
+    /// [`SearchStats`]).
+    pub fn check_partitioned_with_report<V, P>(
+        &self,
+        partitioner: &P,
+        t: &Trace<ObjAction<T, V>>,
+    ) -> (Result<LinWitness<T::Input>, LinError>, PartitionReport)
+    where
+        V: Clone + PartialEq + Sync,
+        P: Partitioner<T>,
+        T: Sync,
+        T::Input: Send + Sync,
+        T::Output: Sync,
+    {
+        if let Some(index) = t.iter().position(|a| a.is_switch()) {
+            return (
+                Err(LinError::SwitchAction { index }),
+                PartitionReport {
+                    partitions: 0,
+                    fallback: true,
+                    remerged: false,
+                    stats: SearchStats::default(),
+                },
+            );
+        }
+        if let Err(e) = wf::check_well_formed(t) {
+            return (
+                Err(e.into()),
+                PartitionReport {
+                    partitions: 0,
+                    fallback: true,
+                    remerged: false,
+                    stats: SearchStats::default(),
+                },
+            );
+        }
+        let split = partition::split_trace(partitioner, t);
+        if split.parts.len() <= 1 {
+            let (verdict, stats) = self.engine_search(t);
+            return (
+                verdict,
+                PartitionReport {
+                    partitions: split.parts.len(),
+                    fallback: split.fallback,
+                    remerged: false,
+                    stats,
+                },
+            );
+        }
+
+        let threads = self.effective_threads().min(split.parts.len());
+        let bounds = ops::input_multisets::<T, V>(t);
+        let (merged, mut report) = partition::search_partitions(
+            &split.parts,
+            threads,
+            &bounds,
+            |sub| self.engine_search(sub),
+            |(verdict, stats)| match verdict {
+                Ok(w) => (*stats, Ok(w.assignments())),
+                Err(e) => (*stats, Err(e)),
+            },
+        );
+        match merged {
+            Err(e) => (Err(e), report),
+            Ok(Some(assignments)) => (Ok(LinWitness { assignments }), report),
+            Ok(None) => {
+                // A cross-partition bound blocked a partition's next step:
+                // the monolithic first witness is not predictable from the
+                // partition witnesses, so re-derive it (the verdict — all
+                // partitions linearizable — is already decided).
+                let (verdict, rerun_stats) = self.engine_search(t);
+                report.remerged = true;
+                report.stats.absorb(&rerun_stats);
+                (verdict, report)
+            }
+        }
     }
 }
 

@@ -39,6 +39,19 @@ pub fn input_multisets<T: Adt, V>(t: &Trace<ObjAction<T, V>>) -> Vec<Multiset<T:
     out
 }
 
+/// The multiset of **all** inputs invoked anywhere in the trace — the last
+/// element of [`input_multisets`], computed without materialising the
+/// per-index prefix multisets (the checkers' extra-input pool).
+pub fn total_inputs<T: Adt, V>(t: &Trace<ObjAction<T, V>>) -> Multiset<T::Input> {
+    let mut out: Multiset<T::Input> = Multiset::new();
+    for a in t.iter() {
+        if let Action::Invoke { input, .. } = a {
+            out.insert(input.clone());
+        }
+    }
+    out
+}
+
 /// A commit index of a trace: a response event (Definition 8 / 22).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Commit<T: Adt> {

@@ -1,0 +1,631 @@
+//! P-compositional (partition-aware) checking.
+//!
+//! A [`Partitioner`] classifies every input of a trace into an independence
+//! class; this module splits the trace into one sub-trace per class
+//! ([`split_trace`]), fans the per-partition searches out over scoped worker
+//! threads (`fan_out`, the same machinery the speculative checker uses for
+//! init-interpretation enumeration), and **merges the per-partition
+//! witnesses back into the exact witness the monolithic search would have
+//! produced** (`merge_partition_chains`).
+//!
+//! # Why the merge is exact
+//!
+//! The shared engine's search order is a pure function of its inputs:
+//! commit moves are tried in ascending trace-index order before extra-input
+//! moves in ascending input order, and a node is pruned as soon as the
+//! consumed inputs escape any remaining commit's validity bound. For a
+//! partitionable trace (the [`Partitioner`] soundness contract makes the
+//! ADT a product over keys), a step is viable in the monolithic search iff
+//!
+//! 1. it is the *next step of its partition's own first witness* (any other
+//!    same-partition step fails for purely local reasons, which the product
+//!    structure preserves globally), and
+//! 2. consuming its input keeps the merged consumed-input multiset inside
+//!    the validity bound of **every** remaining commit of every partition
+//!    (otherwise the engine's prune kills the child node immediately).
+//!
+//! Replaying exactly that rule over the per-partition witness step queues
+//! (commits first by ascending original index, then extras by ascending
+//! input, each guarded by the cross-partition bound check) therefore
+//! reconstructs the monolithic first witness — verdicts *and* witnesses are
+//! byte-identical to the monolithic path, while the nodes expanded drop
+//! from the product to the sum of the per-partition search spaces. The
+//! `partition_differential` suite in `tests/` pins this equivalence over
+//! the multi-key generators.
+//!
+//! There is one situation the replay cannot predict without searching:
+//! when a partition's *own* next step is cross-blocked (its input escapes
+//! another partition's remaining bound), the monolithic engine may
+//! interleave pool extras that appear in **no** per-partition witness
+//! before the block clears. `merge_partition_chains` detects any blocked
+//! head and bails out (`None`); the checkers then re-derive the witness
+//! with one monolithic search — the verdict is already decided by the
+//! partition verdicts, so byte-identity still holds unconditionally, at
+//! the price of the reconstruction speedup on such traces
+//! ([`PartitionReport::remerged`] reports the event).
+//!
+//! Traces containing **switch actions**, and traces with any input the
+//! partitioner declines to classify, fall back to a single identity
+//! partition (monolithic checking); [`SplitOutcome::fallback`] reports the
+//! engagement of that fallback.
+
+use crate::engine::{Chain, SearchStats};
+use crate::ObjAction;
+use slin_adt::{Adt, Partitioner};
+use slin_trace::{Multiset, Trace};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One independent sub-history of a trace: the actions of a single
+/// independence class, in trace order.
+#[derive(Debug, Clone)]
+pub struct TracePartition<T: Adt, V, K> {
+    /// The class key, or `None` for the identity (fallback) partition.
+    pub key: Option<K>,
+    /// The class's actions, in original trace order.
+    pub trace: Trace<ObjAction<T, V>>,
+    /// For every sub-trace index, the index of the action in the original
+    /// trace (used to remap witness commit indices).
+    pub index_map: Vec<usize>,
+}
+
+/// The result of splitting a trace along a [`Partitioner`].
+#[derive(Debug, Clone)]
+pub struct SplitOutcome<T: Adt, V, K> {
+    /// The partitions, ordered by ascending key (deterministic, so merged
+    /// statistics are a pure function of the trace).
+    pub parts: Vec<TracePartition<T, V, K>>,
+    /// Whether the identity fallback engaged: a switch action or an
+    /// unclassifiable input forced the whole trace into one partition.
+    pub fallback: bool,
+}
+
+/// Aggregate outcome of a partitioned check, alongside the verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionReport {
+    /// Number of partitions checked (1 when the fallback engaged).
+    pub partitions: usize,
+    /// Whether the identity fallback engaged (see [`SplitOutcome::fallback`]).
+    pub fallback: bool,
+    /// Whether witness reconstruction had to re-run one monolithic search
+    /// because a cross-partition bound blocked a partition's next step (see
+    /// the [module docs](self)); the re-run's counters are absorbed into
+    /// [`PartitionReport::stats`].
+    pub remerged: bool,
+    /// Engine counters absorbed over all partitions in key order. Each
+    /// partition contributes `interpretations >= 1`, so this counts
+    /// partition-searches, not init interpretations, on the partitioned
+    /// path.
+    pub stats: SearchStats,
+}
+
+/// Splits `t` into one sub-trace per independence class of `p`, in
+/// ascending key order.
+///
+/// The identity fallback (one partition holding the whole trace,
+/// `fallback = true`) engages when any action is a switch action — switch
+/// values are interpreted through the common relation `rinit`, whose
+/// candidate histories may mix classes — or when `p` returns `None` for
+/// any input.
+pub fn split_trace<T, V, P>(p: &P, t: &Trace<ObjAction<T, V>>) -> SplitOutcome<T, V, P::Key>
+where
+    T: Adt,
+    V: Clone,
+    P: Partitioner<T>,
+{
+    let mut keys: Vec<P::Key> = Vec::with_capacity(t.len());
+    for a in t.iter() {
+        if a.is_switch() {
+            return identity_split(t);
+        }
+        match p.key_of(a.input()) {
+            Some(k) => keys.push(k),
+            None => return identity_split(t),
+        }
+    }
+    // Per key: the actions of the class plus their original indices.
+    type Group<A> = (Vec<A>, Vec<usize>);
+    let mut groups: BTreeMap<P::Key, Group<ObjAction<T, V>>> = BTreeMap::new();
+    for (i, (a, k)) in t.iter().zip(keys).enumerate() {
+        let entry = groups.entry(k).or_default();
+        entry.0.push(a.clone());
+        entry.1.push(i);
+    }
+    SplitOutcome {
+        parts: groups
+            .into_iter()
+            .map(|(k, (actions, index_map))| TracePartition {
+                key: Some(k),
+                trace: Trace::from_actions(actions),
+                index_map,
+            })
+            .collect(),
+        fallback: false,
+    }
+}
+
+fn identity_split<T: Adt, V: Clone, K>(t: &Trace<ObjAction<T, V>>) -> SplitOutcome<T, V, K> {
+    SplitOutcome {
+        parts: vec![TracePartition {
+            key: None,
+            trace: t.clone(),
+            index_map: (0..t.len()).collect(),
+        }],
+        fallback: true,
+    }
+}
+
+/// Runs `run(0..count)` across `threads` scoped workers (worker `w` takes
+/// indices `w, w + threads, …` — the init-interpretation fan-out pattern)
+/// and returns the results in index order. With `threads <= 1` the calls
+/// run inline.
+pub(crate) fn fan_out<R, F>(count: usize, threads: usize, run: &F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(run).collect();
+    }
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(count).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = w;
+                    while i < count {
+                        out.push((i, run(i)));
+                        i += threads;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("partition worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("every partition index visited"))
+        .collect()
+}
+
+/// The verdict of [`search_partitions`]: the merged chain, `None` when the
+/// merge bailed (re-derive monolithically), or the first partition error.
+pub(crate) type SearchVerdict<I, E> = Result<Option<Chain<I>>, E>;
+
+/// Fans `search` out over `parts` across `threads` scoped workers, absorbs
+/// every partition's counters in key order, resolves the verdict exactly
+/// like a sequential partition loop would (the first failing partition in
+/// key order wins), and merges the partition witnesses in engine order —
+/// the orchestration shared by `LinChecker::check_partitioned` and
+/// `SlinChecker::check_partitioned`.
+///
+/// `finding` projects one per-partition result onto the engine counters
+/// plus either the commit chain (in sub-trace indices) or the partition's
+/// error. Returns, alongside the [`PartitionReport`]:
+///
+/// * `Ok(Some(chain))` — the merged witness chain (original trace
+///   indices);
+/// * `Ok(None)` — every partition passed but the merge bailed; the caller
+///   must re-derive the witness monolithically and set
+///   [`PartitionReport::remerged`];
+/// * `Err(e)` — the first failing partition's error.
+pub(crate) fn search_partitions<T, V, K, R, E, F, X>(
+    parts: &[TracePartition<T, V, K>],
+    threads: usize,
+    bounds: &[Multiset<T::Input>],
+    search: F,
+    finding: X,
+) -> (SearchVerdict<T::Input, E>, PartitionReport)
+where
+    T: Adt,
+    T::Input: Ord + Sync,
+    T::Output: Sync,
+    V: Sync,
+    K: Sync,
+    R: Send,
+    E: Clone,
+    F: Fn(&Trace<ObjAction<T, V>>) -> R + Sync,
+    X: for<'r> Fn(&'r R) -> (SearchStats, Result<&'r [(usize, Vec<T::Input>)], &'r E>),
+{
+    let results = fan_out(parts.len(), threads, &|i| search(&parts[i].trace));
+    let mut stats = SearchStats::default();
+    let mut queues = Vec::with_capacity(parts.len());
+    let mut first_error: Option<E> = None;
+    for (part, result) in parts.iter().zip(&results) {
+        let (part_stats, chain) = finding(result);
+        stats.absorb(&part_stats);
+        match chain {
+            Ok(c) => queues.push((
+                witness_steps(c, &part.index_map),
+                crate::ops::total_inputs::<T, V>(&part.trace),
+            )),
+            Err(e) => {
+                if first_error.is_none() {
+                    first_error = Some(e.clone());
+                }
+            }
+        }
+    }
+    let report = PartitionReport {
+        partitions: parts.len(),
+        fallback: false,
+        remerged: false,
+        stats,
+    };
+    match first_error {
+        Some(e) => (Err(e), report),
+        None => (Ok(merge_partition_chains(bounds, queues)), report),
+    }
+}
+
+/// One step of a witness chain, recovered from the accumulated commit
+/// histories: either an interleaved extra input or a commit (with its
+/// original trace index and the committed input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Step<I> {
+    /// An extra input interleaved before the next commit.
+    Extra(I),
+    /// A commit: `(original trace index, committed input)`.
+    Commit(usize, I),
+}
+
+/// Decomposes a partition witness chain (whose histories accumulate) into
+/// its step sequence, remapping commit indices through `index_map`.
+pub(crate) fn witness_steps<I: Clone>(
+    chain: &[(usize, Vec<I>)],
+    index_map: &[usize],
+) -> VecDeque<Step<I>> {
+    let mut steps = VecDeque::new();
+    let mut prev_len = 0usize;
+    for (sub_idx, h) in chain {
+        debug_assert!(h.len() > prev_len, "chain histories strictly extend");
+        for e in &h[prev_len..h.len() - 1] {
+            steps.push_back(Step::Extra(e.clone()));
+        }
+        steps.push_back(Step::Commit(
+            index_map[*sub_idx],
+            h.last().expect("commit histories are non-empty").clone(),
+        ));
+        prev_len = h.len();
+    }
+    steps
+}
+
+/// Merges per-partition witness step queues into the chain the monolithic
+/// engine finds first, replaying the engine's deterministic search order
+/// (see the [module docs](self) for the argument):
+///
+/// * commits before extras, commits by ascending original trace index,
+///   extras by ascending input;
+/// * a step is viable only if consuming its input keeps the merged
+///   consumed-input multiset inside the validity bound of every remaining
+///   commit (`bounds` are the full trace's per-index bounds);
+/// * at every extras node, the **leftover pool inputs of partitions whose
+///   queue is exhausted** compete with the queue heads: the engine
+///   greedily consumes such inputs (they are no-ops for every remaining
+///   commit — their partition has none) whenever they sort below the
+///   needed extra and the bounds admit them, and they end up in the
+///   witness histories. Each element of `parts` therefore carries the
+///   partition's total input pool next to its step queue. Unfinished
+///   partitions cannot leak extras this way: their smaller pool inputs
+///   already failed their own local search, and a commit-headed partition
+///   at an extras node means a blocked head (which bails).
+///
+/// Returns `None` when any partition's head step is cross-blocked — the
+/// one state in which the monolithic first witness may deviate from every
+/// per-partition witness, so the caller must re-derive it monolithically.
+pub(crate) fn merge_partition_chains<I: Clone + Ord + std::hash::Hash>(
+    bounds: &[Multiset<I>],
+    parts: Vec<(VecDeque<Step<I>>, Multiset<I>)>,
+) -> Option<Chain<I>> {
+    let (mut queues, pools): (Vec<VecDeque<Step<I>>>, Vec<Multiset<I>>) = parts.into_iter().unzip();
+    // All remaining commits, across every queue: `(original index, input)`.
+    let mut remaining: Vec<(usize, I)> = queues
+        .iter()
+        .flat_map(|q| q.iter())
+        .filter_map(|s| match s {
+            Step::Commit(idx, input) => Some((*idx, input.clone())),
+            Step::Extra(_) => None,
+        })
+        .collect();
+    remaining.sort_by_key(|(idx, _)| *idx);
+
+    let mut used: Multiset<I> = Multiset::new();
+    let mut hist: Vec<I> = Vec::new();
+    let mut chain: Chain<I> = Vec::new();
+
+    // `input` stays within every remaining commit's bound after one more
+    // occurrence is consumed (the monolithic prune admits the child node).
+    // `except` skips the commit being placed itself.
+    let viable =
+        |used: &Multiset<I>, input: &I, except: Option<usize>, remaining: &[(usize, I)]| {
+            remaining
+                .iter()
+                .filter(|(idx, _)| Some(*idx) != except)
+                .all(|(idx, _)| used.count(input) < bounds[*idx].count(input))
+        };
+
+    loop {
+        let mut commit_choice: Option<(usize, usize)> = None; // (orig idx, queue)
+        let mut extra_choice: Option<(I, Option<usize>)> = None;
+        let mut any_head = false;
+        let mut any_blocked = false;
+        let mut blocked_commits: Vec<usize> = Vec::new(); // queue indices
+        for (qi, q) in queues.iter().enumerate() {
+            match q.front() {
+                Some(Step::Commit(idx, input)) => {
+                    any_head = true;
+                    if used.count(input) >= bounds[*idx].count(input)
+                        || !viable(&used, input, Some(*idx), &remaining)
+                    {
+                        any_blocked = true;
+                        blocked_commits.push(qi);
+                    } else if commit_choice.is_none_or(|(best, _)| *idx < best) {
+                        commit_choice = Some((*idx, qi));
+                    }
+                }
+                Some(Step::Extra(input)) => {
+                    any_head = true;
+                    if !viable(&used, input, None, &remaining) {
+                        any_blocked = true;
+                    } else if extra_choice.as_ref().is_none_or(|(best, _)| input < best) {
+                        extra_choice = Some((input.clone(), Some(qi)));
+                    }
+                }
+                None => {}
+            }
+        }
+        if !any_head {
+            break;
+        }
+        // Any blocked head with no viable commit to hide behind: the
+        // engine falls through to moves (later same-partition commits,
+        // pool extras) the partition's local search never explored — bail
+        // and let the caller re-derive monolithically.
+        if commit_choice.is_none() && any_blocked {
+            return None;
+        }
+        // With a viable commit at index `best`, blocked heads are skipped
+        // by the engine — harmless — *unless* a blocked-head partition has
+        // a later queued commit below `best`: the engine (trying commits
+        // in ascending index order) would attempt that commit next, an
+        // order the partition's local witness never explored.
+        if let Some((best, _)) = commit_choice {
+            for &qi in &blocked_commits {
+                let head_idx = match queues[qi].front() {
+                    Some(Step::Commit(idx, _)) => *idx,
+                    _ => unreachable!("blocked_commits holds commit-headed queues"),
+                };
+                let deviates = queues[qi].iter().skip(1).any(|s| match s {
+                    Step::Commit(idx, _) => *idx > head_idx && *idx < best,
+                    Step::Extra(_) => false,
+                });
+                if deviates {
+                    return None;
+                }
+            }
+        }
+        // Move 1 (commits, ascending trace index) before move 2 (extras,
+        // ascending input) — the engine's child order.
+        if let Some((idx, qi)) = commit_choice {
+            let Some(Step::Commit(_, input)) = queues[qi].pop_front() else {
+                unreachable!("head re-read");
+            };
+            used.insert(input.clone());
+            hist.push(input);
+            chain.push((idx, hist.clone()));
+            remaining.retain(|(i, _)| *i != idx);
+            continue;
+        }
+        // Finished partitions' leftover pool inputs compete with the head
+        // extras: the engine consumes them greedily in sorted order (their
+        // partition has no remaining commit to break) whenever the bounds
+        // admit them.
+        for (qi, q) in queues.iter().enumerate() {
+            if !q.is_empty() {
+                continue;
+            }
+            for (input, cap) in pools[qi].iter() {
+                if used.count(input) < cap
+                    && viable(&used, input, None, &remaining)
+                    && extra_choice.as_ref().is_none_or(|(best, _)| input < best)
+                {
+                    extra_choice = Some((input.clone(), None));
+                }
+            }
+        }
+        let (input, qi) = extra_choice.expect("some head exists and none is a commit");
+        if let Some(qi) = qi {
+            queues[qi].pop_front();
+        }
+        used.insert(input.clone());
+        hist.push(input);
+    }
+    Some(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slin_adt::{IdentityPartitioner, KvInput, KvKeyPartitioner, KvOutput, KvStore};
+    use slin_trace::{Action, ClientId, PhaseId};
+
+    type KA = ObjAction<KvStore, ()>;
+
+    fn c(n: u32) -> ClientId {
+        ClientId::new(n)
+    }
+    fn ph() -> PhaseId {
+        PhaseId::FIRST
+    }
+
+    fn two_key_trace() -> Trace<KA> {
+        Trace::from_actions(vec![
+            Action::invoke(c(1), ph(), KvInput::Put(1, 5)),
+            Action::invoke(c(2), ph(), KvInput::Put(2, 6)),
+            Action::respond(c(2), ph(), KvInput::Put(2, 6), KvOutput::Ack),
+            Action::respond(c(1), ph(), KvInput::Put(1, 5), KvOutput::Ack),
+        ])
+    }
+
+    #[test]
+    fn split_groups_by_key_in_key_order() {
+        let s = split_trace(&KvKeyPartitioner, &two_key_trace());
+        assert!(!s.fallback);
+        assert_eq!(s.parts.len(), 2);
+        assert_eq!(s.parts[0].key, Some(1));
+        assert_eq!(s.parts[0].index_map, vec![0, 3]);
+        assert_eq!(s.parts[1].key, Some(2));
+        assert_eq!(s.parts[1].index_map, vec![1, 2]);
+        assert_eq!(s.parts[0].trace.len() + s.parts[1].trace.len(), 4);
+    }
+
+    #[test]
+    fn identity_partitioner_forces_fallback() {
+        let s: SplitOutcome<KvStore, (), u8> = split_trace(&IdentityPartitioner, &two_key_trace());
+        assert!(s.fallback);
+        assert_eq!(s.parts.len(), 1);
+        assert_eq!(s.parts[0].key, None);
+        assert_eq!(s.parts[0].trace.len(), 4);
+        assert_eq!(s.parts[0].index_map, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn switch_actions_force_fallback() {
+        let t: Trace<ObjAction<KvStore, u8>> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(), KvInput::Put(1, 5)),
+            Action::switch(c(1), PhaseId::new(2), KvInput::Put(1, 5), 0),
+        ]);
+        let s = split_trace(&KvKeyPartitioner, &t);
+        assert!(s.fallback);
+        assert_eq!(s.parts.len(), 1);
+    }
+
+    #[test]
+    fn witness_steps_recover_extras_and_commits() {
+        // Chain histories [a], [a, x, b]: steps are Commit(a), Extra(x),
+        // Commit(b), with indices remapped.
+        let chain = vec![(0usize, vec!["a"]), (1usize, vec!["a", "x", "b"])];
+        let steps = witness_steps(&chain, &[4, 9]);
+        assert_eq!(
+            steps.into_iter().collect::<Vec<_>>(),
+            vec![Step::Commit(4, "a"), Step::Extra("x"), Step::Commit(9, "b"),]
+        );
+    }
+
+    #[test]
+    fn fan_out_preserves_index_order() {
+        for threads in [1, 2, 5] {
+            let out = fan_out(7, threads, &|i| i * i);
+            assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36]);
+        }
+    }
+
+    #[test]
+    fn merge_prefers_commits_by_index_then_extras_by_input() {
+        // Bounds admit two occurrences of everything everywhere.
+        let mut everything = Multiset::new();
+        for x in ["a", "b", "x", "y"] {
+            everything.insert(x);
+            everything.insert(x);
+        }
+        let bounds = vec![everything; 8];
+        let qa = VecDeque::from(vec![
+            Step::Commit(3, "a"),
+            Step::Extra("y"),
+            Step::Commit(7, "a"),
+        ]);
+        let qb = VecDeque::from(vec![
+            Step::Commit(1, "b"),
+            Step::Extra("x"),
+            Step::Commit(5, "b"),
+        ]);
+        let pa = Multiset::elems(&["a", "y", "a"]);
+        let pb = Multiset::elems(&["b", "x", "b"]);
+        let chain =
+            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)]).expect("no head blocked");
+        let picks: Vec<usize> = chain.iter().map(|(i, _)| *i).collect();
+        // Commits by ascending index (1 then 3); at the all-extras node the
+        // smaller extra x goes first, which unblocks commit 5 before y.
+        assert_eq!(picks, vec![1, 3, 5, 7]);
+        assert_eq!(chain[3].1, vec!["b", "a", "x", "b", "y", "a"]);
+    }
+
+    #[test]
+    fn merge_bails_when_an_extra_move_races_a_blocked_head() {
+        // Partition A's head Extra("a0") escapes commit 1's bound while no
+        // commit head is viable behind it: the monolithic engine could
+        // interleave extras outside every partition witness, so the merge
+        // must refuse to guess.
+        let mut b1 = Multiset::new();
+        b1.insert("b");
+        let mut all = Multiset::new();
+        for x in ["a0", "a", "b", "b0"] {
+            all.insert(x);
+        }
+        let bounds = vec![b1.clone(), b1, all.clone(), all.clone(), all];
+        let qa = VecDeque::from(vec![Step::Extra("a0"), Step::Commit(3, "a")]);
+        let qb = VecDeque::from(vec![Step::Extra("b0"), Step::Commit(1, "b")]);
+        let pa = Multiset::elems(&["a0", "a"]);
+        let pb = Multiset::elems(&["b0", "b"]);
+        assert_eq!(
+            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)]),
+            None
+        );
+    }
+
+    #[test]
+    fn merge_ignores_blocked_heads_while_a_commit_is_viable() {
+        // Partition A's head extra escapes commit 1's bound, but B's
+        // commit 1 itself is viable: move 1 fires first, clearing the
+        // block — no bail, and the commit order matches the engine's.
+        let mut b1 = Multiset::new();
+        b1.insert("b");
+        let mut all = Multiset::new();
+        for x in ["a0", "a", "b"] {
+            all.insert(x);
+        }
+        let bounds = vec![b1.clone(), b1, all.clone(), all];
+        let qa = VecDeque::from(vec![Step::Extra("a0"), Step::Commit(3, "a")]);
+        let qb = VecDeque::from(vec![Step::Commit(1, "b")]);
+        let pa = Multiset::elems(&["a0", "a"]);
+        let pb = Multiset::elems(&["b"]);
+        let chain =
+            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)]).expect("commit clears block");
+        let picks: Vec<usize> = chain.iter().map(|(i, _)| *i).collect();
+        assert_eq!(picks, vec![1, 3]);
+        assert_eq!(chain[1].1, vec!["b", "a0", "a"]);
+    }
+
+    #[test]
+    fn merge_interleaves_finished_partitions_leftover_extras() {
+        // Partition B finishes at commit 1 with a leftover pool input "b0"
+        // that sorts below partition A's needed extra "x": the engine
+        // consumes the harmless leftover first, so the merge must too.
+        let mut all = Multiset::new();
+        for x in ["a", "a", "b", "b0", "x"] {
+            all.insert(x);
+        }
+        let bounds = vec![all.clone(); 5];
+        let qa = VecDeque::from(vec![
+            Step::Commit(0, "a"),
+            Step::Extra("x"),
+            Step::Commit(4, "a"),
+        ]);
+        let qb = VecDeque::from(vec![Step::Commit(1, "b")]);
+        let pa = Multiset::elems(&["a", "x", "a"]);
+        let pb = Multiset::elems(&["b", "b0"]);
+        let chain =
+            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)]).expect("no head blocked");
+        let picks: Vec<usize> = chain.iter().map(|(i, _)| *i).collect();
+        assert_eq!(picks, vec![0, 1, 4]);
+        // After both early commits, the extras node consumes b0 < x, then
+        // x, then the final commit.
+        assert_eq!(chain[2].1, vec!["a", "b", "b0", "x", "a"]);
+    }
+}

@@ -23,7 +23,7 @@
 //! finite candidate interpretations provided by the [`InitRelation`]
 //! (exact for the Section 6 singleton relation, bounded-adversarial for the
 //! consensus mapping) and running, for each, the same
-//! [`CheckerEngine`](crate::engine::CheckerEngine) chain search as the plain
+//! [`crate::engine::CheckerEngine`] chain search as the plain
 //! linearizability checker — seeded with the longest common prefix of the
 //! init histories and extended with abort feasibility at the leaves.
 //!
@@ -37,8 +37,9 @@
 use crate::engine::{Chain, CheckerEngine, EngineError, SearchBudget, SearchSeed, SearchStats};
 use crate::initrel::{CandidateContext, InitRelation};
 use crate::ops::{self, Commit, SwitchEvent};
+use crate::partition::{self, PartitionReport};
 use crate::ObjAction;
-use slin_adt::Adt;
+use slin_adt::{Adt, Partitioner};
 use slin_trace::seq;
 use slin_trace::wf::{self, WellFormednessError};
 use slin_trace::{Multiset, PhaseId, Trace};
@@ -293,6 +294,141 @@ where
         R::Value: Sync,
     {
         self.check(t).is_ok()
+    }
+
+    /// P-compositional form of [`SlinChecker::check`]: splits the trace
+    /// into independent sub-histories along `partitioner`, checks them
+    /// across scoped worker threads, and merges the results.
+    ///
+    /// Any trace containing a **switch action** engages the identity
+    /// fallback (one monolithic check): switch values are interpreted
+    /// through the common relation `rinit`, whose candidate histories may
+    /// couple independence classes. On switch-free traces — where the
+    /// speculative search coincides with the plain one (Theorem 2) —
+    /// verdicts and witnesses are byte-identical to [`SlinChecker::check`];
+    /// see [`crate::partition`] for the argument. `interpretations_checked`
+    /// and [`SlinReport::stats`] measure *work*, which partitioning reduces
+    /// by design, so they differ from the monolithic path.
+    pub fn check_partitioned<P>(
+        &self,
+        partitioner: &P,
+        t: &Trace<ObjAction<T, R::Value>>,
+    ) -> Result<SlinReport<T::Input>, SlinError>
+    where
+        P: Partitioner<T>,
+        T: Sync,
+        T::Input: Send + Sync,
+        T::Output: Sync,
+        R: Sync,
+        R::Value: Sync,
+    {
+        self.check_partitioned_with_report(partitioner, t).0
+    }
+
+    /// Like [`SlinChecker::check_partitioned`], also reporting the
+    /// [`PartitionReport`] (partition count, fallback engagement, merged
+    /// [`SearchStats`]). One asymmetry with the plain checker's report:
+    /// when the single-partition fallback path *fails*, the report's
+    /// counters are zero — [`SlinError`] carries no counters to recover
+    /// them from.
+    pub fn check_partitioned_with_report<P>(
+        &self,
+        partitioner: &P,
+        t: &Trace<ObjAction<T, R::Value>>,
+    ) -> (Result<SlinReport<T::Input>, SlinError>, PartitionReport)
+    where
+        P: Partitioner<T>,
+        T: Sync,
+        T::Input: Send + Sync,
+        T::Output: Sync,
+        R: Sync,
+        R::Value: Sync,
+    {
+        let split = partition::split_trace(partitioner, t);
+        if split.parts.len() <= 1 {
+            let verdict = self.check(t);
+            let stats = verdict.as_ref().map(|r| r.stats).unwrap_or_default();
+            return (
+                verdict,
+                PartitionReport {
+                    partitions: split.parts.len(),
+                    fallback: split.fallback,
+                    remerged: false,
+                    stats,
+                },
+            );
+        }
+
+        // Multi-partition implies switch-free: validate the whole trace
+        // against the phase signature once (sub-traces of a well-formed
+        // trace are well-formed, but the error indices must be the
+        // monolithic ones).
+        if let Err(e) = self.prepare(t) {
+            return (
+                Err(e),
+                PartitionReport {
+                    partitions: split.parts.len(),
+                    fallback: false,
+                    remerged: false,
+                    stats: SearchStats::default(),
+                },
+            );
+        }
+
+        let threads = self.effective_threads().min(split.parts.len());
+        // Switch-free: the valid-input bounds vi reduce to the plain input
+        // multisets (no init actions contribute).
+        let bounds = ops::input_multisets::<T, R::Value>(t);
+        let (merged, mut report) = partition::search_partitions(
+            &split.parts,
+            threads,
+            &bounds,
+            |sub| self.check_sequential(sub),
+            |verdict| match verdict {
+                Ok(rep) => (rep.stats, Ok(rep.witness.commit_histories.as_slice())),
+                Err(e) => (SearchStats::default(), Err(e)),
+            },
+        );
+        // Every enumerated interpretation contributes 1 to the absorbed
+        // `interpretations` counter, so the partition sum is recoverable
+        // from the merged stats (captured before any re-run is absorbed).
+        let interpretations_checked = report.stats.interpretations;
+        let witness = |commit_histories| SlinWitness {
+            init_histories: Vec::new(),
+            commit_histories,
+            abort_histories: Vec::new(),
+        };
+        match merged {
+            Err(e) => (Err(e), report),
+            Ok(Some(chain)) => (
+                Ok(SlinReport {
+                    interpretations_checked,
+                    witness: witness(chain),
+                    stats: report.stats,
+                }),
+                report,
+            ),
+            Ok(None) => {
+                // Cross-partition bound coupling: re-derive the witness
+                // monolithically (the verdict is already decided).
+                let rerun = self.check_sequential(t);
+                report.remerged = true;
+                match rerun {
+                    Ok(mono) => {
+                        report.stats.absorb(&mono.stats);
+                        (
+                            Ok(SlinReport {
+                                interpretations_checked,
+                                witness: mono.witness,
+                                stats: report.stats,
+                            }),
+                            report,
+                        )
+                    }
+                    Err(e) => (Err(e), report),
+                }
+            }
+        }
     }
 
     /// Validates the trace against the phase signature and well-formedness,
