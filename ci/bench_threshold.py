@@ -1,18 +1,34 @@
 #!/usr/bin/env python3
-"""Fail CI when partitioned checking regresses against the committed baseline.
+"""Fail CI when the bench report regresses against the committed baseline.
 
 Usage: bench_threshold.py <baseline.json> <current.json>
 
-Both files are `slin-bench/v1` reports (see `cargo bench -p slin-bench
---bench report -- --json`). The B5 rows are a pure function of the code
-under measurement (pinned seeds, node counts — no timing), so regressions
-are deterministic, not flaky:
+Both files are `slin-bench/v2` reports (see `cargo bench -p slin-bench
+--bench report -- --json`, which writes BENCH_PR3.json). Three sections are
+checked:
 
-  * every B5 row must keep byte-identical partitioned/monolithic verdicts;
-  * every B5 row present in the baseline must keep at least 80% of its
-    baseline node-count reduction ratio (i.e. fail on a >20% regression);
-  * rows new to the current report are allowed (they become the baseline
-    once committed).
+B5 (partition speedups) — pure node counts (pinned seeds, no timing), so
+regressions are deterministic, not flaky:
+  * every row must keep byte-identical partitioned/monolithic verdicts;
+  * every baseline row must keep at least 80% of its baseline node-count
+    reduction ratio (fail on a >20% regression);
+  * rows new to the current report are allowed.
+
+B4c (engine counters) — memoisation effectiveness is tracked per scenario:
+  memo_hits / memo_entries deltas are printed, and a scenario whose
+  memo_hits fall below 80% of a non-zero baseline fails the build (the
+  memo stopped firing).
+
+B6 (streaming monitor throughput) — events/sec is wall-clock and varies
+across machines, so rows are compared *normalised by the report's own
+fastest row*: the keys × skew shape of the throughput curve is
+machine-independent to first order. A row fails the build only when BOTH
+its normalised share AND its absolute events/sec fall below 80% of the
+baseline (the second condition keeps a genuine speedup in the fastest row
+— which lowers every other row's share — from reading as a regression),
+and whenever its streams stopped verifying (`ok = false`). The
+deterministic B6 columns (fallback_searches, retired_events) are printed
+for trend visibility.
 """
 
 import json
@@ -21,21 +37,13 @@ import sys
 ALLOWED_REGRESSION = 0.20
 
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__.strip())
-        return 2
-    with open(sys.argv[1]) as f:
-        baseline = json.load(f)
-    with open(sys.argv[2]) as f:
-        current = json.load(f)
-
-    failures = []
+def check_b5(baseline, current, failures):
     base_rows = {row["scenario"]: row for row in baseline.get("b5_partition", [])}
     cur_rows = current.get("b5_partition", [])
     if not cur_rows:
         failures.append("current report has no b5_partition rows")
 
+    print("B5 — partition node-ratio check")
     for row in cur_rows:
         name = row["scenario"]
         if not row.get("verdicts_agree", False):
@@ -59,7 +67,109 @@ def main() -> int:
 
     dropped = sorted(set(base_rows) - {row["scenario"] for row in cur_rows})
     for name in dropped:
-        failures.append(f"baseline row disappeared: {name}")
+        failures.append(f"b5 baseline row disappeared: {name}")
+
+
+def check_b4c(baseline, current, failures):
+    base_rows = {row["scenario"]: row for row in baseline.get("b4c_checker_stats", [])}
+    cur_rows = current.get("b4c_checker_stats", [])
+    print("B4c — engine counter tracking (memo_hits / memo_entries / nodes)")
+    for row in cur_rows:
+        name = row["scenario"]
+        stats = row["stats"]
+        base = base_rows.get(name)
+        if base is None:
+            print(
+                f"  new row (no baseline): {name}: "
+                f"hits {stats['memo_hits']} entries {stats['memo_entries']}"
+            )
+            continue
+        bstats = base["stats"]
+        print(
+            f"  {name}: hits {bstats['memo_hits']} -> {stats['memo_hits']}, "
+            f"entries {bstats['memo_entries']} -> {stats['memo_entries']}, "
+            f"nodes {bstats['nodes']} -> {stats['nodes']}"
+        )
+        if not row.get("ok", False):
+            failures.append(f"{name}: b4c scenario no longer verifies")
+        if bstats["memo_hits"] > 0:
+            floor = (1.0 - ALLOWED_REGRESSION) * bstats["memo_hits"]
+            if stats["memo_hits"] < floor:
+                failures.append(
+                    f"{name}: memo_hits {stats['memo_hits']} fell below "
+                    f"{floor:.0f} (baseline {bstats['memo_hits']}, "
+                    f">{ALLOWED_REGRESSION:.0%} memoisation regression)"
+                )
+    dropped = sorted(set(base_rows) - {row["scenario"] for row in cur_rows})
+    for name in dropped:
+        failures.append(f"b4c baseline row disappeared: {name}")
+
+
+def normalised_throughput(rows):
+    top = max((row["events_per_sec"] for row in rows), default=0.0)
+    if top <= 0.0:
+        return {}
+    return {row["scenario"]: row["events_per_sec"] / top for row in rows}
+
+
+def check_b6(baseline, current, failures):
+    base_rows = baseline.get("b6_streaming", [])
+    cur_rows = current.get("b6_streaming", [])
+    if not cur_rows:
+        failures.append("current report has no b6_streaming rows")
+        return
+    base_norm = normalised_throughput(base_rows)
+    cur_norm = normalised_throughput(cur_rows)
+    base_abs = {row["scenario"]: row["events_per_sec"] for row in base_rows}
+
+    print("B6 — streaming sustained-throughput check (normalised to fastest row)")
+    for row in cur_rows:
+        name = row["scenario"]
+        if not row.get("ok", False):
+            failures.append(f"{name}: streaming verdicts stopped verifying")
+        cur = cur_norm.get(name, 0.0)
+        base = base_norm.get(name)
+        det = f"fallbacks {row['fallback_searches']}, retired {row['retired_events']}"
+        if base is None:
+            print(f"  new row (no baseline): {name}: share {cur:.3f} ({det})")
+            continue
+        floor = (1.0 - ALLOWED_REGRESSION) * base
+        abs_floor = (1.0 - ALLOWED_REGRESSION) * base_abs[name]
+        # Both signals must drop: the share alone also falls when a
+        # *different* row genuinely speeds up, and the absolute number
+        # alone also falls on a uniformly slower machine.
+        regressed = cur < floor and row["events_per_sec"] < abs_floor
+        status = "REGRESSED" if regressed else "ok"
+        print(
+            f"  {name}: share {cur:.3f} (baseline {base:.3f}, floor {floor:.3f}) "
+            f"{status} ({det})"
+        )
+        if regressed:
+            failures.append(
+                f"{name}: sustained throughput fell >{ALLOWED_REGRESSION:.0%} in "
+                f"both normalised share ({cur:.3f} < {floor:.3f}) and absolute "
+                f"events/sec ({row['events_per_sec']:.0f} < {abs_floor:.0f})"
+            )
+    dropped = sorted(
+        {row["scenario"] for row in base_rows} - {row["scenario"] for row in cur_rows}
+    )
+    for name in dropped:
+        failures.append(f"b6 baseline row disappeared: {name}")
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip())
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+
+    failures = []
+    check_b5(baseline, current, failures)
+    check_b4c(baseline, current, failures)
+    check_b6(baseline, current, failures)
 
     if failures:
         print("\nbench threshold check FAILED:")

@@ -1,0 +1,233 @@
+//! Composite (product) ADTs: arrays of registers and vectors of counters.
+//!
+//! Each input names the cell it touches, and cells never interact — the
+//! structural property the [`crate::Partitioner`] soundness contract
+//! demands. These ADTs exist to exercise partition-aware and streaming
+//! checking on objects whose *state* is a genuine product over keys (unlike
+//! [`crate::KvStore`], whose product structure lives in the dictionary),
+//! and they back ROADMAP open item 3 ("more partitionable ADTs").
+//!
+//! * [`RegisterArray`] — an unbounded array of independent read/write
+//!   registers, addressed by cell index ([`crate::RegArrayPartitioner`] keys on
+//!   it);
+//! * [`CounterVector`] — an unbounded vector of independent monotone
+//!   counters ([`crate::CounterVecPartitioner`] keys on the slot).
+
+use crate::counter::CounterOutput;
+use crate::register::RegOutput;
+use crate::Adt;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An input of the [`RegisterArray`] ADT: every operation names its cell.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegArrayInput {
+    /// Overwrite cell `.0` with value `.1`.
+    Write(u32, u64),
+    /// Read cell `.0`.
+    Read(u32),
+}
+
+impl RegArrayInput {
+    /// The cell this input touches.
+    pub fn cell(&self) -> u32 {
+        match self {
+            RegArrayInput::Write(k, _) => *k,
+            RegArrayInput::Read(k) => *k,
+        }
+    }
+}
+
+impl fmt::Debug for RegArrayInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegArrayInput::Write(k, v) => write!(f, "wr[{k}]({v})"),
+            RegArrayInput::Read(k) => write!(f, "rd[{k}]"),
+        }
+    }
+}
+
+/// An unbounded array of independent read/write registers, all initially
+/// unwritten. Outputs reuse [`RegOutput`].
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Adt, RegArrayInput, RegOutput, RegisterArray};
+/// let r = RegisterArray::new();
+/// let h = [
+///     RegArrayInput::Write(3, 7),
+///     RegArrayInput::Write(4, 9),
+///     RegArrayInput::Read(3),
+/// ];
+/// assert_eq!(r.output(&h), Some(RegOutput::Value(Some(7))));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct RegisterArray;
+
+impl RegisterArray {
+    /// Creates the register-array ADT.
+    pub fn new() -> Self {
+        RegisterArray
+    }
+}
+
+impl Adt for RegisterArray {
+    type Input = RegArrayInput;
+    type Output = RegOutput;
+    type State = BTreeMap<u32, u64>;
+
+    fn initial(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn apply(&self, state: &Self::State, input: &Self::Input) -> (Self::State, Self::Output) {
+        match input {
+            RegArrayInput::Write(k, v) => {
+                let mut next = state.clone();
+                next.insert(*k, *v);
+                (next, RegOutput::Ack)
+            }
+            RegArrayInput::Read(k) => (state.clone(), RegOutput::Value(state.get(k).copied())),
+        }
+    }
+}
+
+/// An input of the [`CounterVector`] ADT: every operation names its slot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CounterVecInput {
+    /// Add one to slot `.0`.
+    Increment(u32),
+    /// Read slot `.0`.
+    Read(u32),
+}
+
+impl CounterVecInput {
+    /// The slot this input touches.
+    pub fn slot(&self) -> u32 {
+        match self {
+            CounterVecInput::Increment(k) => *k,
+            CounterVecInput::Read(k) => *k,
+        }
+    }
+}
+
+impl fmt::Debug for CounterVecInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterVecInput::Increment(k) => write!(f, "inc[{k}]"),
+            CounterVecInput::Read(k) => write!(f, "get[{k}]"),
+        }
+    }
+}
+
+/// An unbounded vector of independent monotone counters, all initially
+/// zero. Outputs reuse [`CounterOutput`].
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{Adt, CounterOutput, CounterVecInput, CounterVector};
+/// let c = CounterVector::new();
+/// let h = [
+///     CounterVecInput::Increment(2),
+///     CounterVecInput::Increment(2),
+///     CounterVecInput::Increment(5),
+///     CounterVecInput::Read(2),
+/// ];
+/// assert_eq!(c.output(&h), Some(CounterOutput::Count(2)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct CounterVector;
+
+impl CounterVector {
+    /// Creates the counter-vector ADT.
+    pub fn new() -> Self {
+        CounterVector
+    }
+}
+
+impl Adt for CounterVector {
+    type Input = CounterVecInput;
+    type Output = CounterOutput;
+    type State = BTreeMap<u32, u64>;
+
+    fn initial(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn apply(&self, state: &Self::State, input: &Self::Input) -> (Self::State, Self::Output) {
+        match input {
+            CounterVecInput::Increment(k) => {
+                let mut next = state.clone();
+                *next.entry(*k).or_insert(0) += 1;
+                (next, CounterOutput::Ack)
+            }
+            CounterVecInput::Read(k) => (
+                state.clone(),
+                CounterOutput::Count(state.get(k).copied().unwrap_or(0)),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_cells_are_independent() {
+        let r = RegisterArray::new();
+        let h = [
+            RegArrayInput::Write(1, 5),
+            RegArrayInput::Write(2, 6),
+            RegArrayInput::Read(1),
+        ];
+        assert_eq!(r.output(&h), Some(RegOutput::Value(Some(5))));
+        assert_eq!(
+            r.output(&[RegArrayInput::Read(9)]),
+            Some(RegOutput::Value(None))
+        );
+    }
+
+    #[test]
+    fn last_write_per_cell_wins() {
+        let r = RegisterArray::new();
+        let h = [
+            RegArrayInput::Write(1, 5),
+            RegArrayInput::Write(2, 8),
+            RegArrayInput::Write(1, 7),
+            RegArrayInput::Read(1),
+        ];
+        assert_eq!(r.output(&h), Some(RegOutput::Value(Some(7))));
+    }
+
+    #[test]
+    fn counter_slots_accumulate_independently() {
+        let c = CounterVector::new();
+        let h = [
+            CounterVecInput::Increment(1),
+            CounterVecInput::Increment(2),
+            CounterVecInput::Increment(1),
+            CounterVecInput::Read(1),
+        ];
+        assert_eq!(c.output(&h), Some(CounterOutput::Count(2)));
+        assert_eq!(
+            c.output(&[CounterVecInput::Read(3)]),
+            Some(CounterOutput::Count(0))
+        );
+    }
+
+    #[test]
+    fn composite_states_are_products_over_cells() {
+        // Removing other-cell inputs never changes a cell's reached state.
+        let r = RegisterArray::new();
+        let h = [
+            RegArrayInput::Write(1, 5),
+            RegArrayInput::Write(2, 6),
+            RegArrayInput::Write(1, 7),
+        ];
+        let only1: Vec<_> = h.iter().copied().filter(|i| i.cell() == 1).collect();
+        assert_eq!(r.run(&h).get(&1), r.run(&only1).get(&1));
+    }
+}

@@ -16,7 +16,9 @@
 //! * [`Queue`] — a FIFO queue;
 //! * [`KvStore`] — a small key–value store;
 //! * [`Universal`] — the universal ADT of Section 6, whose output is the full
-//!   input history (the basis for generic state-machine replication).
+//!   input history (the basis for generic state-machine replication);
+//! * [`RegisterArray`] / [`CounterVector`] — composite (product) ADTs whose
+//!   cells never interact, built for partition-aware and streaming checking.
 //!
 //! The [`partition`] module classifies inputs into independence classes
 //! ([`Partitioner`]) so the checkers can split multi-key histories into
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod array;
 pub mod consensus;
 pub mod counter;
 pub mod equiv;
@@ -48,11 +51,15 @@ pub mod stack;
 pub mod stamped;
 pub mod universal;
 
+pub use array::{CounterVecInput, CounterVector, RegArrayInput, RegisterArray};
 pub use consensus::{ConsInput, ConsOutput, Consensus, Value};
 pub use counter::{Counter, CounterInput, CounterOutput};
 pub use equiv::{histories_equivalent, reachable_state};
 pub use kv::{KvInput, KvOutput, KvStore};
-pub use partition::{IdentityPartitioner, KvKeyPartitioner, Partitioner, SetElemPartitioner};
+pub use partition::{
+    CounterVecPartitioner, IdentityPartitioner, KvKeyPartitioner, Partitioner, RegArrayPartitioner,
+    SetElemPartitioner,
+};
 pub use queue::{Queue, QueueInput, QueueOutput};
 pub use register::{RegInput, RegOutput, Register};
 pub use set::{Set, SetInput, SetOutput};

@@ -36,9 +36,10 @@
 //! assert_eq!(p.key_of(&KvInput::Get(4)), Some(4));
 //! ```
 
+use crate::array::{CounterVecInput, RegArrayInput};
 use crate::kv::KvInput;
 use crate::set::SetInput;
-use crate::{Adt, KvStore, Set};
+use crate::{Adt, CounterVector, KvStore, RegisterArray, Set};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -106,6 +107,33 @@ impl Partitioner<Set> for SetElemPartitioner {
     }
 }
 
+/// Per-cell partitioner for the composite [`RegisterArray`] ADT: every
+/// input names the one register cell it reads or overwrites, so the ADT is
+/// a product over cell indices by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegArrayPartitioner;
+
+impl Partitioner<RegisterArray> for RegArrayPartitioner {
+    type Key = u32;
+
+    fn key_of(&self, input: &RegArrayInput) -> Option<u32> {
+        Some(input.cell())
+    }
+}
+
+/// Per-slot partitioner for the composite [`CounterVector`] ADT: increments
+/// and reads touch exactly the slot they name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterVecPartitioner;
+
+impl Partitioner<CounterVector> for CounterVecPartitioner {
+    type Key = u32;
+
+    fn key_of(&self, input: &CounterVecInput) -> Option<u32> {
+        Some(input.slot())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +163,23 @@ mod tests {
             None
         );
         assert_eq!(Partitioner::<KvStore>::key_of(&p, &KvInput::Get(1)), None);
+    }
+
+    #[test]
+    fn composite_inputs_key_on_their_cell() {
+        assert_eq!(
+            RegArrayPartitioner.key_of(&RegArrayInput::Write(3, 9)),
+            Some(3)
+        );
+        assert_eq!(RegArrayPartitioner.key_of(&RegArrayInput::Read(4)), Some(4));
+        assert_eq!(
+            CounterVecPartitioner.key_of(&CounterVecInput::Increment(5)),
+            Some(5)
+        );
+        assert_eq!(
+            CounterVecPartitioner.key_of(&CounterVecInput::Read(6)),
+            Some(6)
+        );
     }
 
     /// The product-ADT contract behind `KvKeyPartitioner`: removing

@@ -1,0 +1,17 @@
+//! B6 — the online monitor's streaming load table.
+//!
+//! `cargo bench -p slin-bench --bench streaming` drives bounded-window
+//! `LinMonitor`s over multi-key KV event streams (keys × skew, plus a
+//! hot-key control) and prints sustained events/sec, p99 ingest latency,
+//! and the deterministic fallback/GC columns.
+
+use slin_bench::{render_table, streaming_rows, STREAMING_HEADER, STREAMING_SEEDS};
+
+fn main() {
+    let rows: Vec<Vec<String>> = streaming_rows(&STREAMING_SEEDS)
+        .iter()
+        .map(|r| r.cells())
+        .collect();
+    println!("\nB6 — online monitor streaming load (events/sec, p99 ingest latency)");
+    println!("{}", render_table(&STREAMING_HEADER, &rows));
+}

@@ -21,13 +21,16 @@
 //!   P-compositional (partitioned) checking over multi-key workloads,
 //!   from partition-hostile (1 key, or full contention) to
 //!   partition-friendly (8 spread keys);
+//! * [`streaming_rows`] — **B6**: the online monitor's sustained ingest
+//!   throughput (events/sec) and p99 per-event ingest latency across
+//!   keys × skew grids — the live-traffic load driver;
 //! * checker scaling data for **B4** lives in the `checkers` bench.
 //!
 //! Every function returns plain rows so the experiment tables can be
 //! regenerated (`cargo bench -p slin-bench`) and asserted on in tests.
 //! [`bench_report_json`] assembles every B-series table into one
 //! machine-readable artifact (`cargo bench -p slin-bench --bench report --
-//! --json` writes it to `BENCH_PR2.json` at the repo root) so CI can track
+//! --json` writes it to `BENCH_PR3.json` at the repo root) so CI can track
 //! the numbers across commits.
 
 #![forbid(unsafe_code)]
@@ -41,6 +44,7 @@ use slin_consensus::harness::{run_scenario, verify_run, Scenario};
 use slin_core::engine::SearchStats;
 use slin_core::gen::{random_multikey_kv_trace, random_multikey_set_trace, MultiKeyConfig};
 use slin_core::lin::LinChecker;
+use slin_monitor::{LinMonitor, MonitorConfig, MonitorStatus};
 use slin_sim::Time;
 
 /// One row of the fast-path latency table (B1).
@@ -431,6 +435,159 @@ pub fn partition_speedup_rows(seeds: &[u64]) -> Vec<PartitionRow> {
     ]
 }
 
+/// One row of the streaming-monitor load table (B6): sustained ingest
+/// throughput and tail latency of the online monitor on one keys × skew
+/// workload family, aggregated over seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingRow {
+    /// Human-readable workload label (stable: the JSON baseline matcher
+    /// keys on it).
+    pub scenario: String,
+    /// Number of distinct keys in the workload.
+    pub keys: u32,
+    /// Zipf skew exponent of the workload.
+    pub skew: f64,
+    /// Events ingested across all seeds.
+    pub events: usize,
+    /// Shards the monitor ended with (max over seeds).
+    pub shards: usize,
+    /// Sustained ingest throughput, events per second (wall clock).
+    pub events_per_sec: f64,
+    /// 99th-percentile single-event ingest latency, microseconds.
+    pub p99_ingest_us: f64,
+    /// Bounded re-searches the shard frontiers forced (deterministic).
+    pub fallback_searches: usize,
+    /// Events retired by bounded-window GC (deterministic).
+    pub retired_events: usize,
+    /// Whether every seed's stream stayed linearizable (they are
+    /// linearizable by construction).
+    pub ok: bool,
+}
+
+impl StreamingRow {
+    /// The table cells printed by the `streaming` bench.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.scenario.clone(),
+            self.keys.to_string(),
+            format!("{:.1}", self.skew),
+            self.events.to_string(),
+            self.shards.to_string(),
+            format!("{:.0}", self.events_per_sec),
+            format!("{:.1}", self.p99_ingest_us),
+            self.fallback_searches.to_string(),
+            self.retired_events.to_string(),
+            if self.ok { "ok" } else { "FAIL" }.to_string(),
+        ]
+    }
+}
+
+/// The header matching [`StreamingRow::cells`].
+pub const STREAMING_HEADER: [&str; 10] = [
+    "scenario",
+    "keys",
+    "skew",
+    "events",
+    "shards",
+    "ev/s",
+    "p99_us",
+    "fallbacks",
+    "retired",
+    "ok",
+];
+
+/// The seeds every B6 row aggregates over.
+pub const STREAMING_SEEDS: [u64; 3] = [0, 1, 2];
+
+/// Events per seed in the B6 load driver.
+const STREAMING_STEPS: usize = 1600;
+
+fn streaming_row(
+    scenario: &str,
+    keys: u32,
+    skew: f64,
+    contention: f64,
+    seeds: &[u64],
+    steps: usize,
+) -> StreamingRow {
+    let mut row = StreamingRow {
+        scenario: scenario.to_string(),
+        keys,
+        skew,
+        events: 0,
+        shards: 0,
+        events_per_sec: 0.0,
+        p99_ingest_us: 0.0,
+        fallback_searches: 0,
+        retired_events: 0,
+        ok: true,
+    };
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let mut total_secs = 0.0f64;
+    for &seed in seeds {
+        let cfg = MultiKeyConfig {
+            // Few enough clients that shard-quiescent points (the GC's
+            // safe retirement cuts) recur regularly even on one key.
+            clients: 3,
+            steps,
+            keys,
+            skew,
+            contention,
+            error_prob: 0.0,
+            seed,
+        };
+        let t = random_multikey_kv_trace(&cfg);
+        let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> = LinMonitor::with_config(
+            &KvStore,
+            KvKeyPartitioner,
+            MonitorConfig {
+                window: Some(48),
+                ..Default::default()
+            },
+        );
+        let run_start = std::time::Instant::now();
+        for a in t.iter() {
+            let start = std::time::Instant::now();
+            let outcome = mon.ingest(a.clone());
+            latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+            row.ok &= outcome.status == MonitorStatus::Ok;
+        }
+        total_secs += run_start.elapsed().as_secs_f64();
+        row.events += t.len();
+        row.shards = row.shards.max(mon.shards());
+        let report = mon.report();
+        row.fallback_searches += report.shard.fallback_searches;
+        row.retired_events += report.shard.retired_events;
+    }
+    row.events_per_sec = row.events as f64 / total_secs.max(1e-9);
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p99 = ((latencies_us.len() as f64 * 0.99) as usize).min(latencies_us.len() - 1);
+    row.p99_ingest_us = latencies_us[p99];
+    row
+}
+
+/// B6: the online monitor's sustained events/sec and p99 ingest latency
+/// across keys × skew (plus one hot-key contention control), on
+/// bounded-window (O(window)-memory) monitors over linearizable-by-
+/// construction multi-key KV streams. The verdict/fallback/GC columns are
+/// deterministic in the seeds; the throughput and latency columns measure
+/// wall clock.
+pub fn streaming_rows(seeds: &[u64]) -> Vec<StreamingRow> {
+    streaming_rows_with(seeds, STREAMING_STEPS)
+}
+
+/// [`streaming_rows`] with an explicit per-seed stream length (the crate
+/// tests use short streams so debug-mode `cargo test` stays fast).
+pub fn streaming_rows_with(seeds: &[u64], steps: usize) -> Vec<StreamingRow> {
+    vec![
+        streaming_row("stream kv keys=1 skew=0", 1, 0.0, 0.0, seeds, steps),
+        streaming_row("stream kv keys=4 skew=0.6", 4, 0.6, 0.0, seeds, steps),
+        streaming_row("stream kv keys=16 skew=0.6", 16, 0.6, 0.0, seeds, steps),
+        streaming_row("stream kv keys=16 skew=1.4", 16, 1.4, 0.0, seeds, steps),
+        streaming_row("stream kv keys=16 hot-key", 16, 0.6, 0.9, seeds, steps),
+    ]
+}
+
 fn stats_json(s: &SearchStats) -> Json {
     Json::Obj(vec![
         ("nodes", Json::count(s.nodes)),
@@ -447,11 +604,20 @@ fn time_json(t: Option<Time>) -> Json {
 }
 
 /// Assembles every B-series table into one machine-readable JSON artifact
-/// (schema `slin-bench/v1`). All inputs are pinned (seeds, scenario
-/// parameters), so the artifact is a pure function of the code under
-/// measurement: CI diffs it against the committed baseline to catch
-/// regressions in the partition speedup and the engine counters.
+/// (schema `slin-bench/v2`), measuring the B6 streaming rows afresh.
+///
+/// Every section except B6's throughput/latency columns is a pure
+/// function of the code under measurement (pinned seeds, node counts): CI
+/// diffs the artifact against the committed baseline to catch regressions
+/// in the partition speedup, the engine counters, and the (normalised)
+/// streaming throughput — see `ci/bench_threshold.py`.
 pub fn bench_report_json() -> String {
+    bench_report_json_with(&streaming_rows(&STREAMING_SEEDS))
+}
+
+/// [`bench_report_json`] over pre-measured B6 rows (lets tests check the
+/// deterministic sections for bit-reproducibility).
+pub fn bench_report_json_with(b6_rows: &[StreamingRow]) -> String {
     let b1 = latency_rows(&[3, 5, 7])
         .into_iter()
         .map(|r| {
@@ -515,8 +681,25 @@ pub fn bench_report_json() -> String {
             ])
         })
         .collect();
+    let b6 = b6_rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("scenario", Json::Str(r.scenario.clone())),
+                ("keys", Json::Int(r.keys as i64)),
+                ("skew", Json::Float(r.skew)),
+                ("events", Json::count(r.events)),
+                ("shards", Json::count(r.shards)),
+                ("events_per_sec", Json::Float(r.events_per_sec)),
+                ("p99_ingest_us", Json::Float(r.p99_ingest_us)),
+                ("fallback_searches", Json::count(r.fallback_searches)),
+                ("retired_events", Json::count(r.retired_events)),
+                ("ok", Json::Bool(r.ok)),
+            ])
+        })
+        .collect();
     Json::Obj(vec![
-        ("schema", Json::Str("slin-bench/v1".into())),
+        ("schema", Json::Str("slin-bench/v2".into())),
         ("b1_latency", Json::Arr(b1)),
         (
             "b2_crossover",
@@ -526,6 +709,7 @@ pub fn bench_report_json() -> String {
         ("b4b_phase_chain", Json::Arr(b4b)),
         ("b4c_checker_stats", Json::Arr(b4c)),
         ("b5_partition", Json::Arr(b5)),
+        ("b6_streaming", Json::Arr(b6)),
     ])
     .render()
 }
@@ -655,22 +839,49 @@ mod tests {
 
     #[test]
     fn json_report_is_deterministic_and_covers_all_b_series() {
-        let a = bench_report_json();
-        assert_eq!(a, bench_report_json(), "artifact must be reproducible");
+        // B6's wall-clock columns vary run to run; with the rows fixed,
+        // everything else must be bit-reproducible.
+        let b6 = streaming_rows_with(&[0], 200);
+        let a = bench_report_json_with(&b6);
+        assert_eq!(
+            a,
+            bench_report_json_with(&b6),
+            "artifact must be reproducible"
+        );
         for key in [
-            "\"schema\": \"slin-bench/v1\"",
+            "\"schema\": \"slin-bench/v2\"",
             "\"b1_latency\"",
             "\"b2_crossover\"",
             "\"b2b_contention\"",
             "\"b4b_phase_chain\"",
             "\"b4c_checker_stats\"",
             "\"b5_partition\"",
+            "\"b6_streaming\"",
             "\"memo_hits\"",
             "\"memo_entries\"",
             "\"node_ratio\"",
+            "\"events_per_sec\"",
+            "\"p99_ingest_us\"",
         ] {
             assert!(a.contains(key), "missing {key} in artifact");
         }
+    }
+
+    #[test]
+    fn b6_streams_stay_linearizable_and_report_load_shape() {
+        let rows = streaming_rows_with(&[0], 300);
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(row.ok, "{row:?}");
+            assert!(row.events > 0 && row.events_per_sec > 0.0, "{row:?}");
+            assert!(row.p99_ingest_us >= 0.0, "{row:?}");
+            assert_eq!(row.cells().len(), STREAMING_HEADER.len());
+        }
+        // Shard counts follow the key space; bounded-window GC engages on
+        // the single-key (window-saturating) workload.
+        assert_eq!(rows[0].shards, 1);
+        assert!(rows[2].shards > rows[1].shards, "{rows:?}");
+        assert!(rows[0].retired_events > 0, "{rows:?}");
     }
 
     #[test]

@@ -42,9 +42,86 @@ use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
-/// The widest commit set the engine can track (one bit per commit in the
-/// `remaining` word).
-pub const MAX_TRACKED_COMMITS: usize = 64;
+/// A set of commit indices, one bit per commit.
+///
+/// Traces of at most 64 commits — the overwhelmingly common case — stay on
+/// a single machine word ([`CommitMask::Small`]); wider traces spill into a
+/// little-endian word vector ([`CommitMask::Large`]). There is no ceiling:
+/// any commit count is representable, so the engine never refuses a trace
+/// up front (the former `MAX_TRACKED_COMMITS = 64` bound is gone).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CommitMask {
+    /// At most 64 commits: one machine word.
+    Small(u64),
+    /// More than 64 commits: bit `k` lives in word `k / 64`.
+    Large(Vec<u64>),
+}
+
+impl CommitMask {
+    /// The mask with bits `0..n` set — "all `n` commits remaining".
+    pub fn full(n: usize) -> Self {
+        if n <= 64 {
+            CommitMask::Small(full_word(n))
+        } else {
+            let mut words = vec![u64::MAX; n / 64];
+            let rem = n % 64;
+            if rem > 0 {
+                words.push(full_word(rem));
+            }
+            CommitMask::Large(words)
+        }
+    }
+
+    /// Whether no bit is set (every commit placed).
+    pub fn is_empty(&self) -> bool {
+        match self {
+            CommitMask::Small(w) => *w == 0,
+            CommitMask::Large(ws) => ws.iter().all(|w| *w == 0),
+        }
+    }
+
+    /// Whether bit `k` is set.
+    pub fn contains(&self, k: usize) -> bool {
+        match self {
+            CommitMask::Small(w) => k < 64 && w & (1 << k) != 0,
+            CommitMask::Large(ws) => ws.get(k / 64).is_some_and(|w| w & (1 << (k % 64)) != 0),
+        }
+    }
+
+    /// The mask with bit `k` cleared (the child node's remaining set).
+    pub fn without(&self, k: usize) -> Self {
+        let mut out = self.clone();
+        match &mut out {
+            CommitMask::Small(w) => {
+                debug_assert!(k < 64, "bit outside a small mask");
+                *w &= !(1 << k);
+            }
+            CommitMask::Large(ws) => {
+                if let Some(w) = ws.get_mut(k / 64) {
+                    *w &= !(1 << (k % 64));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        match self {
+            CommitMask::Small(w) => w.count_ones() as usize,
+            CommitMask::Large(ws) => ws.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+}
+
+/// The word with its lowest `n <= 64` bits set.
+fn full_word(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
 
 /// Explicit resource bounds on one chain search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,12 +190,6 @@ pub enum EngineError {
         /// Nodes expanded when the budget tripped.
         nodes: usize,
     },
-    /// The trace has more commits than [`MAX_TRACKED_COMMITS`], so the
-    /// search was refused up front.
-    TooManyCommits {
-        /// The number of commits in the trace.
-        commits: usize,
-    },
 }
 
 impl fmt::Display for EngineError {
@@ -126,12 +197,6 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::BudgetExhausted { nodes } => {
                 write!(f, "search budget exhausted after {nodes} nodes")
-            }
-            EngineError::TooManyCommits { commits } => {
-                write!(
-                    f,
-                    "{commits} commits exceed the engine's {MAX_TRACKED_COMMITS}-commit bound"
-                )
             }
         }
     }
@@ -168,7 +233,7 @@ pub type LeafOracle<'a, I, W> = dyn FnMut(&Chain<I>, &[I]) -> Option<W> + 'a;
 
 /// Where the search starts: a (possibly non-empty) history prefix with its
 /// replayed ADT state and consumed-input multiset.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SearchSeed<T: Adt> {
     /// The history every chain element must extend.
     pub history: Vec<T::Input>,
@@ -176,6 +241,18 @@ pub struct SearchSeed<T: Adt> {
     pub state: T::State,
     /// The multiset of inputs consumed by `history`.
     pub used: Multiset<T::Input>,
+}
+
+// Manual impl: the derive would demand `T: Clone`, but only the input and
+// state types are cloned.
+impl<T: Adt> Clone for SearchSeed<T> {
+    fn clone(&self) -> Self {
+        SearchSeed {
+            history: self.history.clone(),
+            state: self.state.clone(),
+            used: self.used.clone(),
+        }
+    }
 }
 
 impl<T: Adt> SearchSeed<T> {
@@ -228,38 +305,33 @@ pub struct CheckerEngine<'s, T: Adt> {
 }
 
 /// Memoisation key: committed set, ADT state, consumed inputs (sorted).
-type MemoKey<T> = (u64, <T as Adt>::State, Vec<(<T as Adt>::Input, usize)>);
+type MemoKey<T> = (
+    CommitMask,
+    <T as Adt>::State,
+    Vec<(<T as Adt>::Input, usize)>,
+);
 
 impl<'s, T: Adt> CheckerEngine<'s, T>
 where
     T::Input: Ord,
 {
-    /// Creates an engine over the given commits and validity bounds.
-    ///
-    /// # Errors
-    ///
-    /// [`EngineError::TooManyCommits`] when the commit set does not fit the
-    /// engine's 64-bit tracking word.
+    /// Creates an engine over the given commits and validity bounds. Any
+    /// commit count is accepted ([`CommitMask`] has no ceiling).
     pub fn new(
         adt: &'s T,
         commits: &'s [Commit<T>],
         bounds: &'s [Multiset<T::Input>],
         pool: Multiset<T::Input>,
         budget: SearchBudget,
-    ) -> Result<Self, EngineError> {
-        if commits.len() > MAX_TRACKED_COMMITS {
-            return Err(EngineError::TooManyCommits {
-                commits: commits.len(),
-            });
-        }
-        Ok(CheckerEngine {
+    ) -> Self {
+        CheckerEngine {
             adt,
             commits,
             bounds,
             pool,
             extra_cap: None,
             budget,
-        })
+        }
     }
 
     /// Caps the total history length reachable by extra-input moves.
@@ -281,7 +353,7 @@ where
         seed: SearchSeed<T>,
         leaf: &mut LeafOracle<'_, T::Input, W>,
     ) -> Result<SearchOutcome<T::Input, W>, EngineError> {
-        let remaining: u64 = (0..self.commits.len()).fold(0u64, |m, i| m | (1 << i));
+        let remaining = CommitMask::full(self.commits.len());
         let mut dfs = Dfs {
             engine: self,
             seed_history: seed.history.clone(),
@@ -315,10 +387,15 @@ impl<T: Adt, W> Dfs<'_, '_, T, W>
 where
     T::Input: Ord,
 {
-    fn memo_key(&self, remaining: u64, state: &T::State, used: &Multiset<T::Input>) -> MemoKey<T> {
+    fn memo_key(
+        &self,
+        remaining: &CommitMask,
+        state: &T::State,
+        used: &Multiset<T::Input>,
+    ) -> MemoKey<T> {
         let mut u: Vec<(T::Input, usize)> = used.iter().map(|(e, c)| (e.clone(), c)).collect();
         u.sort();
-        (remaining, state.clone(), u)
+        (remaining.clone(), state.clone(), u)
     }
 
     fn dfs(
@@ -326,12 +403,12 @@ where
         state: T::State,
         used: Multiset<T::Input>,
         hist: &mut Vec<T::Input>,
-        remaining: u64,
+        remaining: CommitMask,
         chain: &mut Chain<T::Input>,
     ) -> Result<Option<W>, EngineError> {
         let eng = self.engine;
         self.stats.max_history_len = self.stats.max_history_len.max(hist.len());
-        if remaining == 0 {
+        if remaining.is_empty() {
             // Every commit is placed: consult the leaf oracle with the
             // longest history on the chain (the seed history when the trace
             // has no commits at all).
@@ -348,7 +425,7 @@ where
                 nodes: self.stats.nodes,
             });
         }
-        let key = self.memo_key(remaining, &state, &used);
+        let key = self.memo_key(&remaining, &state, &used);
         if self.memo.contains(&key) {
             self.stats.memo_hits += 1;
             return Ok(None);
@@ -357,7 +434,7 @@ where
         // Prune: a remaining commit whose validity bound no longer contains
         // the consumed inputs can never be committed from here.
         for (k, c) in eng.commits.iter().enumerate() {
-            if remaining & (1 << k) != 0 && !used.is_subset_of(&eng.bounds[c.index]) {
+            if remaining.contains(k) && !used.is_subset_of(&eng.bounds[c.index]) {
                 self.memo.insert(key);
                 return Ok(None);
             }
@@ -365,7 +442,7 @@ where
 
         // Move 1: commit one of the remaining responses next on the chain.
         for (k, c) in eng.commits.iter().enumerate() {
-            if remaining & (1 << k) == 0 {
+            if !remaining.contains(k) {
                 continue;
             }
             let mut used2 = used.clone();
@@ -379,7 +456,7 @@ where
             }
             hist.push(c.input.clone());
             chain.push((c.index, hist.clone()));
-            let r = self.dfs(state2, used2, hist, remaining & !(1 << k), chain)?;
+            let r = self.dfs(state2, used2, hist, remaining.without(k), chain)?;
             if r.is_some() {
                 return Ok(r);
             }
@@ -405,7 +482,7 @@ where
                 used2.insert(e.clone());
                 let (state2, _) = eng.adt.apply(&state, &e);
                 hist.push(e);
-                let r = self.dfs(state2, used2, hist, remaining, chain)?;
+                let r = self.dfs(state2, used2, hist, remaining.clone(), chain)?;
                 if r.is_some() {
                     return Ok(r);
                 }
@@ -455,7 +532,6 @@ mod tests {
         let pool = bounds.last().cloned().unwrap();
         let engine =
             CheckerEngine::new(&Consensus, &commits, &bounds, pool, SearchBudget::default())
-                .unwrap()
                 .with_extra_cap(t.len());
         let out = engine
             .run(SearchSeed::initial(&Consensus), &mut |_, _| Some(()))
@@ -475,7 +551,6 @@ mod tests {
         let pool = bounds.last().cloned().unwrap();
         let engine =
             CheckerEngine::new(&Consensus, &commits, &bounds, pool, SearchBudget::default())
-                .unwrap()
                 .with_extra_cap(t.len());
         let out = engine
             .run(SearchSeed::initial(&Consensus), &mut |_, _| {
@@ -493,7 +568,6 @@ mod tests {
         let bounds = ops::input_multisets::<Consensus, ()>(&t);
         let pool = bounds.last().cloned().unwrap();
         let engine = CheckerEngine::new(&Consensus, &commits, &bounds, pool, SearchBudget::new(1))
-            .unwrap()
             .with_extra_cap(t.len());
         let err = engine
             .run(SearchSeed::initial(&Consensus), &mut |_, _| Some(()))
@@ -502,9 +576,30 @@ mod tests {
     }
 
     #[test]
-    fn too_many_commits_is_refused_up_front() {
+    fn commit_mask_small_and_large_agree() {
+        for n in [0usize, 1, 7, 63, 64, 65, 130, 200] {
+            let full = CommitMask::full(n);
+            assert_eq!(full.count(), n, "n={n}");
+            assert_eq!(full.is_empty(), n == 0, "n={n}");
+            for k in 0..n {
+                assert!(full.contains(k), "n={n} k={k}");
+                let cleared = full.without(k);
+                assert!(!cleared.contains(k), "n={n} k={k}");
+                assert_eq!(cleared.count(), n - 1, "n={n} k={k}");
+                assert!((0..n).filter(|&j| j != k).all(|j| cleared.contains(j)));
+            }
+            assert!(!full.contains(n), "one past the end is clear");
+        }
+        assert!(matches!(CommitMask::full(64), CommitMask::Small(u64::MAX)));
+        assert!(matches!(CommitMask::full(65), CommitMask::Large(_)));
+    }
+
+    #[test]
+    fn more_than_64_commits_are_searched_not_refused() {
+        // 70 sequential propose(1)/decide(1) pairs: the former 64-commit
+        // ceiling would have refused this trace up front.
         let mut actions = Vec::new();
-        for k in 0..65u32 {
+        for k in 0..70u32 {
             let c = ClientId::new(k + 1);
             actions.push(Action::invoke(c, PhaseId::FIRST, ConsInput::propose(1)));
             actions.push(Action::respond(
@@ -518,10 +613,15 @@ mod tests {
         let commits = ops::commits::<Consensus, ()>(&t);
         let bounds = ops::input_multisets::<Consensus, ()>(&t);
         let pool = bounds.last().cloned().unwrap();
-        let err = CheckerEngine::new(&Consensus, &commits, &bounds, pool, SearchBudget::default())
-            .map(|_| ())
-            .unwrap_err();
-        assert_eq!(err, EngineError::TooManyCommits { commits: 65 });
+        let engine =
+            CheckerEngine::new(&Consensus, &commits, &bounds, pool, SearchBudget::default())
+                .with_extra_cap(t.len());
+        let out = engine
+            .run(SearchSeed::initial(&Consensus), &mut |_, _| Some(()))
+            .unwrap();
+        let (chain, ()) = out.solution.expect("70 chained decisions linearize");
+        assert_eq!(chain.len(), 70);
+        assert_eq!(chain.last().unwrap().1.len(), 70);
     }
 
     #[test]
@@ -544,8 +644,7 @@ mod tests {
         }
         let pool = bounds.last().cloned().unwrap();
         let engine =
-            CheckerEngine::new(&Consensus, &commits, &bounds, pool, SearchBudget::default())
-                .unwrap();
+            CheckerEngine::new(&Consensus, &commits, &bounds, pool, SearchBudget::default());
         let seed = SearchSeed::from_history(&Consensus, vec![ConsInput::propose(2)]);
         let out = engine.run(seed, &mut |_, _| Some(())).unwrap();
         let (chain, ()) = out.solution.expect("explained by the seeded history");

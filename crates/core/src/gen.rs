@@ -9,7 +9,10 @@
 use crate::ObjAction;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use slin_adt::{Adt, KvInput, KvStore, Set, SetInput};
+use slin_adt::{
+    Adt, CounterVecInput, CounterVector, KvInput, KvStore, RegArrayInput, RegisterArray, Set,
+    SetInput,
+};
 use slin_trace::{Action, ClientId, PhaseId, Trace};
 
 /// Configuration of the random trace generators.
@@ -287,6 +290,38 @@ pub fn random_multikey_set_trace(cfg: &MultiKeyConfig) -> Trace<ObjAction<Set, (
     })
 }
 
+/// Generates a well-formed multi-cell [`RegisterArray`] trace over the
+/// cells `1..=keys` (reads and writes equally likely).
+///
+/// With `error_prob = 0.0` the trace is linearizable by construction.
+pub fn random_multikey_reg_array_trace(
+    cfg: &MultiKeyConfig,
+) -> Trace<ObjAction<RegisterArray, ()>> {
+    multikey_trace(&RegisterArray, cfg, |rng, key| {
+        if rng.gen_bool(0.5) {
+            RegArrayInput::Write(key, rng.gen_range(1..5u64))
+        } else {
+            RegArrayInput::Read(key)
+        }
+    })
+}
+
+/// Generates a well-formed multi-slot [`CounterVector`] trace over the
+/// slots `1..=keys` (increments and reads equally likely).
+///
+/// With `error_prob = 0.0` the trace is linearizable by construction.
+pub fn random_multikey_counter_vec_trace(
+    cfg: &MultiKeyConfig,
+) -> Trace<ObjAction<CounterVector, ()>> {
+    multikey_trace(&CounterVector, cfg, |rng, key| {
+        if rng.gen_bool(0.5) {
+            CounterVecInput::Increment(key)
+        } else {
+            CounterVecInput::Read(key)
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +482,30 @@ mod tests {
             }
         }
         assert!(violations > 0, "expected at least one violation");
+    }
+
+    #[test]
+    fn composite_adt_generators_produce_checkable_traces() {
+        for seed in 0..8 {
+            let cfg = MultiKeyConfig {
+                keys: 4,
+                steps: 16,
+                seed,
+                ..Default::default()
+            };
+            let r = random_multikey_reg_array_trace(&cfg);
+            assert!(wf::is_well_formed(&r), "seed {seed}");
+            assert!(
+                LinChecker::new(&RegisterArray).check(&r).is_ok(),
+                "seed {seed}"
+            );
+            let c = random_multikey_counter_vec_trace(&cfg);
+            assert!(wf::is_well_formed(&c), "seed {seed}");
+            assert!(
+                LinChecker::new(&CounterVector).check(&c).is_ok(),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

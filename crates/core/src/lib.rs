@@ -68,7 +68,7 @@ pub mod partition;
 pub mod slin;
 
 pub use classical::ClassicalChecker;
-pub use engine::{CheckerEngine, EngineError, SearchBudget, SearchStats};
+pub use engine::{CheckerEngine, CommitMask, EngineError, SearchBudget, SearchStats};
 pub use initrel::{ConsensusInit, ExactInit, InitRelation};
 pub use lin::{LinChecker, LinError, LinWitness};
 pub use partition::{split_trace, PartitionReport, SplitOutcome, TracePartition};

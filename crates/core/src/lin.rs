@@ -47,9 +47,6 @@ pub enum LinError {
     /// No linearization function exists: the trace is not linearizable.
     NotLinearizable,
     /// The search exceeded its node budget before reaching a verdict.
-    ///
-    /// `nodes == 0` means the search was refused up front (more than
-    /// [`crate::engine::MAX_TRACKED_COMMITS`] commits).
     BudgetExhausted {
         /// Search nodes expanded when the budget tripped.
         nodes: usize,
@@ -90,7 +87,6 @@ impl From<EngineError> for LinError {
     fn from(e: EngineError) -> Self {
         match e {
             EngineError::BudgetExhausted { nodes } => LinError::BudgetExhausted { nodes },
-            EngineError::TooManyCommits { .. } => LinError::BudgetExhausted { nodes: 0 },
         }
     }
 }
@@ -103,6 +99,13 @@ pub struct LinWitness<I> {
 }
 
 impl<I> LinWitness<I> {
+    /// Assembles a witness from `(commit index, history)` pairs in chain
+    /// order — how the online monitor (`slin-monitor`) packages its
+    /// window-relative merged chains.
+    pub fn from_assignments(assignments: Vec<(usize, Vec<I>)>) -> Self {
+        LinWitness { assignments }
+    }
+
     /// The `(commit index, commit history)` pairs in chain (prefix) order.
     pub fn assignments(&self) -> &[(usize, Vec<I>)] {
         &self.assignments
@@ -274,16 +277,14 @@ where
         let commits = ops::commits::<T, V>(t);
         let input_ms = ops::input_multisets::<T, V>(t);
         let total_inputs = input_ms.last().cloned().unwrap_or_else(Multiset::new);
-        let engine = match CheckerEngine::new(
+        let engine = CheckerEngine::new(
             self.adt,
             &commits,
             &input_ms,
             total_inputs,
             SearchBudget::new(self.budget),
-        ) {
-            Ok(engine) => engine.with_extra_cap(t.len()),
-            Err(e) => return (Err(e.into()), SearchStats::default()),
-        };
+        )
+        .with_extra_cap(t.len());
         // The leaf oracle is trivial: a completed chain *is* a linearization
         // function (speculative checking grafts abort feasibility here).
         match engine.run(SearchSeed::initial(self.adt), &mut |_, _| Some(())) {
@@ -347,6 +348,31 @@ where
         T::Input: Send + Sync,
         T::Output: Sync,
     {
+        let split = partition::split_trace(partitioner, t);
+        self.check_split_with_report(&split, t)
+    }
+
+    /// Like [`LinChecker::check_partitioned_with_report`], but over an
+    /// already-computed [`partition::SplitOutcome`] — the entry point for callers (the
+    /// online monitor in `slin-monitor`) that maintain the split
+    /// incrementally instead of recomputing it from a partitioner.
+    ///
+    /// `split.parts` must be a partition of `t`'s actions in trace order
+    /// with correct `index_map`s, exactly as [`partition::split_trace`]
+    /// produces; verdicts and witnesses are then byte-identical to
+    /// [`LinChecker::check`].
+    pub fn check_split_with_report<V, K>(
+        &self,
+        split: &partition::SplitOutcome<T, V, K>,
+        t: &Trace<ObjAction<T, V>>,
+    ) -> (Result<LinWitness<T::Input>, LinError>, PartitionReport)
+    where
+        V: Clone + PartialEq + Sync,
+        K: Sync,
+        T: Sync,
+        T::Input: Send + Sync,
+        T::Output: Sync,
+    {
         if let Some(index) = t.iter().position(|a| a.is_switch()) {
             return (
                 Err(LinError::SwitchAction { index }),
@@ -369,7 +395,6 @@ where
                 },
             );
         }
-        let split = partition::split_trace(partitioner, t);
         if split.parts.len() <= 1 {
             let (verdict, stats) = self.engine_search(t);
             return (

@@ -53,7 +53,7 @@ pub fn total_inputs<T: Adt, V>(t: &Trace<ObjAction<T, V>>) -> Multiset<T::Input>
 }
 
 /// A commit index of a trace: a response event (Definition 8 / 22).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Commit<T: Adt> {
     /// Position of the response in the trace (0-based).
     pub index: usize,
@@ -64,6 +64,19 @@ pub struct Commit<T: Adt> {
     pub input: T::Input,
     /// The output returned (what the commit history must *explain*).
     pub output: T::Output,
+}
+
+// Manual impl: the derive would demand `T: Clone`, but only the input and
+// output types are cloned.
+impl<T: Adt> Clone for Commit<T> {
+    fn clone(&self) -> Self {
+        Commit {
+            index: self.index,
+            client: self.client,
+            input: self.input.clone(),
+            output: self.output.clone(),
+        }
+    }
 }
 
 /// Collects the commit indices of a trace in order.

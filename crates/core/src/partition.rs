@@ -259,15 +259,21 @@ where
     };
     match first_error {
         Some(e) => (Err(e), report),
-        None => (Ok(merge_partition_chains(bounds, queues)), report),
+        None => (
+            Ok(merge_partition_chains(bounds, queues, Multiset::new())),
+            report,
+        ),
     }
 }
 
 /// One step of a witness chain, recovered from the accumulated commit
 /// histories: either an interleaved extra input or a commit (with its
 /// original trace index and the committed input).
+///
+/// Public for the online monitor (`slin-monitor`), which replays the same
+/// merge over its shard witnesses.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum Step<I> {
+pub enum Step<I> {
     /// An extra input interleaved before the next commit.
     Extra(I),
     /// A commit: `(original trace index, committed input)`.
@@ -276,7 +282,7 @@ pub(crate) enum Step<I> {
 
 /// Decomposes a partition witness chain (whose histories accumulate) into
 /// its step sequence, remapping commit indices through `index_map`.
-pub(crate) fn witness_steps<I: Clone>(
+pub fn witness_steps<I: Clone>(
     chain: &[(usize, Vec<I>)],
     index_map: &[usize],
 ) -> VecDeque<Step<I>> {
@@ -319,9 +325,16 @@ pub(crate) fn witness_steps<I: Clone>(
 /// Returns `None` when any partition's head step is cross-blocked — the
 /// one state in which the monolithic first witness may deviate from every
 /// per-partition witness, so the caller must re-derive it monolithically.
-pub(crate) fn merge_partition_chains<I: Clone + Ord + std::hash::Hash>(
+///
+/// `seed_used` pre-populates the consumed-input multiset (the monitor
+/// passes its garbage-collected prefix summary, whose retained inputs
+/// count against the bounds but whose history is dropped; the batch
+/// checkers pass an empty multiset). `bounds` must account for the seed's
+/// consumed inputs.
+pub fn merge_partition_chains<I: Clone + Ord + std::hash::Hash>(
     bounds: &[Multiset<I>],
     parts: Vec<(VecDeque<Step<I>>, Multiset<I>)>,
+    seed_used: Multiset<I>,
 ) -> Option<Chain<I>> {
     let (mut queues, pools): (Vec<VecDeque<Step<I>>>, Vec<Multiset<I>>) = parts.into_iter().unzip();
     // All remaining commits, across every queue: `(original index, input)`.
@@ -335,7 +348,7 @@ pub(crate) fn merge_partition_chains<I: Clone + Ord + std::hash::Hash>(
         .collect();
     remaining.sort_by_key(|(idx, _)| *idx);
 
-    let mut used: Multiset<I> = Multiset::new();
+    let mut used: Multiset<I> = seed_used;
     let mut hist: Vec<I> = Vec::new();
     let mut chain: Chain<I> = Vec::new();
 
@@ -547,8 +560,8 @@ mod tests {
         ]);
         let pa = Multiset::elems(&["a", "y", "a"]);
         let pb = Multiset::elems(&["b", "x", "b"]);
-        let chain =
-            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)]).expect("no head blocked");
+        let chain = merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)], Multiset::new())
+            .expect("no head blocked");
         let picks: Vec<usize> = chain.iter().map(|(i, _)| *i).collect();
         // Commits by ascending index (1 then 3); at the all-extras node the
         // smaller extra x goes first, which unblocks commit 5 before y.
@@ -574,7 +587,7 @@ mod tests {
         let pa = Multiset::elems(&["a0", "a"]);
         let pb = Multiset::elems(&["b0", "b"]);
         assert_eq!(
-            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)]),
+            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)], Multiset::new()),
             None
         );
     }
@@ -595,8 +608,8 @@ mod tests {
         let qb = VecDeque::from(vec![Step::Commit(1, "b")]);
         let pa = Multiset::elems(&["a0", "a"]);
         let pb = Multiset::elems(&["b"]);
-        let chain =
-            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)]).expect("commit clears block");
+        let chain = merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)], Multiset::new())
+            .expect("commit clears block");
         let picks: Vec<usize> = chain.iter().map(|(i, _)| *i).collect();
         assert_eq!(picks, vec![1, 3]);
         assert_eq!(chain[1].1, vec!["b", "a0", "a"]);
@@ -620,8 +633,8 @@ mod tests {
         let qb = VecDeque::from(vec![Step::Commit(1, "b")]);
         let pa = Multiset::elems(&["a", "x", "a"]);
         let pb = Multiset::elems(&["b", "b0"]);
-        let chain =
-            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)]).expect("no head blocked");
+        let chain = merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)], Multiset::new())
+            .expect("no head blocked");
         let picks: Vec<usize> = chain.iter().map(|(i, _)| *i).collect();
         assert_eq!(picks, vec![0, 1, 4]);
         // After both early commits, the extras node consumes b0 < x, then

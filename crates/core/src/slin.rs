@@ -71,9 +71,6 @@ pub enum SlinError {
         interpretation: Vec<(usize, Vec<String>)>,
     },
     /// The search exceeded its node budget before reaching a verdict.
-    ///
-    /// `nodes == 0` means the search was refused up front (more than
-    /// [`crate::engine::MAX_TRACKED_COMMITS`] commits).
     BudgetExhausted {
         /// Search nodes expanded (in the exhausting interpretation's
         /// search) when the budget tripped.
@@ -127,7 +124,6 @@ impl From<EngineError> for SlinError {
     fn from(e: EngineError) -> Self {
         match e {
             EngineError::BudgetExhausted { nodes } => SlinError::BudgetExhausted { nodes },
-            EngineError::TooManyCommits { .. } => SlinError::BudgetExhausted { nodes: 0 },
         }
     }
 }
@@ -345,6 +341,30 @@ where
         R::Value: Sync,
     {
         let split = partition::split_trace(partitioner, t);
+        self.check_split_with_report(&split, t)
+    }
+
+    /// Like [`SlinChecker::check_partitioned_with_report`], but over an
+    /// already-computed [`partition::SplitOutcome`] — the entry point for
+    /// callers (the online monitor in `slin-monitor`) that maintain the
+    /// split incrementally instead of recomputing it from a partitioner.
+    ///
+    /// `split.parts` must be a partition of `t`'s actions in trace order
+    /// with correct `index_map`s, exactly as [`partition::split_trace`]
+    /// produces.
+    pub fn check_split_with_report<K>(
+        &self,
+        split: &partition::SplitOutcome<T, R::Value, K>,
+        t: &Trace<ObjAction<T, R::Value>>,
+    ) -> (Result<SlinReport<T::Input>, SlinError>, PartitionReport)
+    where
+        K: Sync,
+        T: Sync,
+        T::Input: Send + Sync,
+        T::Output: Sync,
+        R: Sync,
+        R::Value: Sync,
+    {
         if split.parts.len() <= 1 {
             let verdict = self.check(t);
             let stats = verdict.as_ref().map(|r| r.stats).unwrap_or_default();
@@ -449,9 +469,6 @@ where
         wf::check_phase_well_formed(t, self.m, self.n)?;
 
         let commits = ops::commits::<T, R::Value>(t);
-        if commits.len() > crate::engine::MAX_TRACKED_COMMITS {
-            return Err(SlinError::BudgetExhausted { nodes: 0 });
-        }
         let inits = ops::switches::<T, R::Value>(t, self.m);
         let aborts = ops::switches::<T, R::Value>(t, self.n);
         let input_ms = ops::input_multisets::<T, R::Value>(t);
@@ -690,7 +707,7 @@ where
             &vi,
             pool,
             SearchBudget::new(self.budget),
-        )?;
+        );
         // The leaf oracle grafts the ∃ fabort side onto the shared chain
         // search: aborts must extend the longest commit history (or the LCP
         // when there were no commits).

@@ -1,0 +1,1022 @@
+//! The sharded monitors: [`LinMonitor`] and [`SlinMonitor`].
+//!
+//! Both wrap the same [`Core`]: a router that classifies every ingested
+//! action through a [`Partitioner`] and feeds it to the per-key
+//! [`ShardState`] incremental engines, while tracking the stream-global
+//! facts the batch checkers derive from the closed trace (well-formedness,
+//! switch actions, input multisets). The wrappers differ exactly where the
+//! batch checkers differ: what a switch action means, and which batch
+//! entry point the final report must be byte-identical to.
+
+use crate::shard::{ShardConfig, ShardState, ShardStatus};
+use crate::wf::WfTracker;
+use crate::{IngestOutcome, MonitorConfig, MonitorReport, MonitorStatus, ShardSummary};
+use slin_adt::{Adt, Partitioner};
+use slin_core::engine::{EngineError, SearchSeed, SearchStats};
+use slin_core::initrel::InitRelation;
+use slin_core::lin::{LinChecker, LinError, LinWitness};
+use slin_core::partition::{
+    merge_partition_chains, witness_steps, SplitOutcome, Step, TracePartition,
+};
+use slin_core::slin::{SlinChecker, SlinError, SlinReport, SlinWitness};
+use slin_core::ObjAction;
+use slin_trace::{Action, Multiset, PhaseId, Trace};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A report cached per stream version (`events` at computation time).
+type CachedReport<W, E> = Option<(usize, MonitorReport<W, E>)>;
+
+/// The shared router + shard table behind both monitors.
+pub(crate) struct Core<'a, T: Adt, V, K: Ord> {
+    adt: &'a T,
+    shard_cfg: ShardConfig,
+    window: Option<usize>,
+    /// Shards by class key; the identity shard (engaged by unclassifiable
+    /// inputs) lives under `None` and is always alone.
+    pub shards: BTreeMap<Option<K>, ShardState<'a, T, V>>,
+    /// Stream length so far (the next action's global index).
+    pub events: usize,
+    /// The closed-trace buffer; `None` when a bounded window is configured
+    /// (memory stays O(window)) until something forces reconstruction.
+    buffer: Option<Trace<ObjAction<T, V>>>,
+    /// First switch action's global index, if any.
+    pub first_switch: Option<usize>,
+    wf: WfTracker<T::Input, T::Output, V>,
+    /// All inputs invoked so far (any shard) — the global extra pool.
+    invoked: Multiset<T::Input>,
+    /// Global validity-bound snapshot per commit index (window mode only;
+    /// trimmed as prefixes retire).
+    commit_bounds: BTreeMap<usize, Multiset<T::Input>>,
+    /// Whether any shard has retired a prefix (reports become
+    /// window-relative).
+    pub prefix_committed: bool,
+    /// Whether identity routing engaged (mirrors `SplitOutcome::fallback`).
+    pub fallback: bool,
+}
+
+impl<'a, T, V, K> Core<'a, T, V, K>
+where
+    T: Adt,
+    T::Input: Ord,
+    V: Clone + PartialEq,
+    K: Ord + Clone,
+{
+    fn new(adt: &'a T, config: &MonitorConfig, phase_bounds: Option<(PhaseId, PhaseId)>) -> Self {
+        Core {
+            adt,
+            shard_cfg: ShardConfig {
+                budget: config.budget,
+                frontier_cap: config.frontier_cap,
+                extension_budget: config.extension_budget,
+            },
+            window: config.window,
+            shards: BTreeMap::new(),
+            events: 0,
+            buffer: if config.window.is_none() {
+                Some(Trace::new())
+            } else {
+                None
+            },
+            first_switch: None,
+            wf: WfTracker::new(phase_bounds),
+            invoked: Multiset::new(),
+            commit_bounds: BTreeMap::new(),
+            prefix_committed: false,
+            fallback: false,
+        }
+    }
+
+    /// Stream-global bookkeeping every event goes through, regardless of
+    /// routing. Returns the event's global index.
+    fn observe(&mut self, action: &ObjAction<T, V>) -> usize {
+        let index = self.events;
+        self.events += 1;
+        self.wf.observe(action, index);
+        match action {
+            Action::Invoke { input, .. } => self.invoked.insert(input.clone()),
+            Action::Respond { .. } => {
+                if self.window.is_some() {
+                    self.commit_bounds.insert(index, self.invoked.clone());
+                }
+            }
+            Action::Switch { .. } => {
+                if self.first_switch.is_none() {
+                    self.first_switch = Some(index);
+                }
+            }
+        }
+        if let Some(buffer) = &mut self.buffer {
+            buffer.push(action.clone());
+        }
+        index
+    }
+
+    /// Routes a (non-switch) action into its shard, creating the shard on
+    /// first contact, and applies bounded-window GC afterwards.
+    fn route(&mut self, key: Option<K>, action: ObjAction<T, V>, index: usize) -> (usize, bool) {
+        let key = if self.fallback { None } else { key };
+        let window = self.window;
+        let adt = self.adt;
+        let shard_cfg = self.shard_cfg;
+        let shard = self
+            .shards
+            .entry(key)
+            .or_insert_with(|| ShardState::new(adt, shard_cfg));
+        let out = shard.ingest(action, index);
+        if let Some(window) = window {
+            if let Some(retired) = shard.maybe_retire(window) {
+                self.prefix_committed = true;
+                for idx in retired {
+                    self.commit_bounds.remove(&idx);
+                }
+            }
+        }
+        out
+    }
+
+    /// Engages identity routing: rebuilds one fallback shard holding the
+    /// whole retained stream (from the buffer when present, otherwise from
+    /// the shard windows seeded with their retired prefixes) and drops the
+    /// per-key shards. Mirrors `split_trace`'s identity fallback.
+    fn collapse_to_identity(&mut self) {
+        self.fallback = true;
+        let mut identity = match &self.buffer {
+            Some(buffer) => {
+                // Closed-trace mode: replay the whole stream so far into
+                // one fresh shard — exactly `split_trace`'s identity
+                // partition.
+                let mut shard = ShardState::new(self.adt, self.shard_cfg);
+                for (i, a) in buffer.iter().enumerate() {
+                    if !a.is_switch() {
+                        shard.ingest(a.clone(), i);
+                    }
+                }
+                shard
+            }
+            None => {
+                // Window mode: retired per-shard prefixes cannot be
+                // combined into one identity state for an input that
+                // touches every class, so the identity shard restarts from
+                // the retained windows, treated as a fresh stream (the
+                // documented bounded-window trade for partitioners that
+                // decline inputs mid-stream).
+                let mut shard = ShardState::new(self.adt, self.shard_cfg);
+                for (i, a) in self.window_events() {
+                    shard.ingest(a, i);
+                }
+                shard
+            }
+        };
+        identity.counters.retired_events += self
+            .shards
+            .values()
+            .map(|s| s.counters.retired_events)
+            .sum::<usize>();
+        self.shards.clear();
+        self.shards.insert(None, identity);
+    }
+
+    /// The retained window events of every shard, merged back into global
+    /// stream order.
+    fn window_events(&self) -> Vec<(usize, ObjAction<T, V>)> {
+        let mut all: Vec<(usize, ObjAction<T, V>)> = self
+            .shards
+            .values()
+            .flat_map(|s| s.index_map.iter().copied().zip(s.sub.iter().cloned()))
+            .collect();
+        all.sort_by_key(|(i, _)| *i);
+        all
+    }
+
+    /// Aggregated rolling shard verdict (worst wins).
+    fn shard_status(&self) -> MonitorStatus {
+        let mut status = MonitorStatus::Ok;
+        for shard in self.shards.values() {
+            match shard.status() {
+                ShardStatus::Violated => return MonitorStatus::Violation,
+                ShardStatus::BudgetExhausted => status = MonitorStatus::Unknown,
+                ShardStatus::Ok => {}
+            }
+        }
+        status
+    }
+
+    fn summary(&self) -> ShardSummary {
+        let mut out = ShardSummary::default();
+        for shard in self.shards.values() {
+            out.extension_searches += shard.counters.extension_searches;
+            out.fallback_searches += shard.counters.fallback_searches;
+            out.frontier_peak = out.frontier_peak.max(shard.counters.frontier_peak);
+            out.retired_events += shard.counters.retired_events;
+        }
+        out
+    }
+
+    /// The split the batch checkers would compute on the closed trace —
+    /// rebuilt from the live shard table.
+    fn split(&self) -> SplitOutcome<T, V, K> {
+        SplitOutcome {
+            parts: self
+                .shards
+                .iter()
+                .map(|(key, shard)| TracePartition {
+                    key: key.clone(),
+                    trace: shard.sub.clone(),
+                    index_map: shard.index_map.clone(),
+                })
+                .collect(),
+            fallback: self.fallback,
+        }
+    }
+
+    /// The window-relative search + merge used when no closed-trace buffer
+    /// exists (bounded-window mode). Returns the merged commit chain in
+    /// *global* indices, or the first failing shard's engine outcome, plus
+    /// the absorbed stats and whether a monolithic re-derivation ran.
+    ///
+    /// `key_of` classifies inputs (the wrapper's partitioner) — needed only
+    /// on the rare merge-bail path, where the per-shard seed states are
+    /// assembled into one product state for a monolithic window search.
+    #[allow(clippy::type_complexity)]
+    fn window_verdict(
+        &self,
+        key_of: &dyn Fn(&T::Input) -> Option<K>,
+    ) -> (
+        Result<Vec<(usize, Vec<T::Input>)>, WindowError>,
+        SearchStats,
+        bool,
+    )
+    where
+        K: std::hash::Hash + std::fmt::Debug,
+    {
+        let mut stats = SearchStats::default();
+        let mut chains: Vec<(
+            &Option<K>,
+            &ShardState<'a, T, V>,
+            usize,
+            Vec<(usize, Vec<T::Input>)>,
+        )> = Vec::new();
+        let mut first_error: Option<WindowError> = None;
+        for (key, shard) in self.shards.iter() {
+            let (result, shard_stats) = shard.window_search();
+            stats.absorb(&shard_stats);
+            match result {
+                Ok(Some((seed_index, chain))) => chains.push((key, shard, seed_index, chain)),
+                Ok(None) => {
+                    if first_error.is_none() {
+                        first_error = Some(WindowError::NotLinearizable);
+                    }
+                }
+                Err(EngineError::BudgetExhausted { nodes }) => {
+                    if first_error.is_none() {
+                        first_error = Some(WindowError::BudgetExhausted { nodes });
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return (Err(e), stats, false);
+        }
+        if chains.len() <= 1 {
+            let merged = chains
+                .pop()
+                .map(|(_, shard, _, chain)| remap_chain(chain, &shard.index_map))
+                .unwrap_or_default();
+            return (Ok(merged), stats, false);
+        }
+
+        // Rank-compact the global commit indices so the merge machinery can
+        // index bounds densely (memory stays O(window)).
+        let mut commit_indices: Vec<usize> = self.commit_bounds.keys().copied().collect();
+        commit_indices.sort_unstable();
+        let bounds_by_rank: Vec<Multiset<T::Input>> = commit_indices
+            .iter()
+            .map(|i| self.commit_bounds[i].clone())
+            .collect();
+        let mut parts: Vec<(VecDeque<Step<T::Input>>, Multiset<T::Input>)> = Vec::new();
+        let mut seed_used: Multiset<T::Input> = Multiset::new();
+        for (_, shard, seed_index, chain) in &chains {
+            let ranks: Vec<usize> = shard
+                .index_map
+                .iter()
+                .map(|&global| commit_indices.binary_search(&global).unwrap_or(usize::MAX))
+                .collect();
+            parts.push((witness_steps(chain, &ranks), shard.pool().clone()));
+            seed_used = seed_used.sum(&shard.seed(*seed_index).used);
+        }
+        if let Some(chain) = merge_partition_chains(&bounds_by_rank, parts, seed_used.clone()) {
+            let merged = chain
+                .into_iter()
+                .map(|(rank, h)| (commit_indices[rank], h))
+                .collect();
+            return (Ok(merged), stats, false);
+        }
+
+        // Merge bailed (cross-bound coupling): re-derive monolithically
+        // over the combined window. The retired prefixes have no histories
+        // left, so the monolithic state is assembled as a *product* over
+        // the shard keys (sound exactly because multi-shard mode implies
+        // every input classifies — the Partitioner product contract).
+        // Fixing each shard to the seed its own window_search picked is
+        // complete, not a guess: inputs of distinct shards are disjoint,
+        // so interleaving the per-shard chains in global commit order
+        // satisfies every (monotone, per-input) bound the shards already
+        // satisfied locally — a completion from exactly these seeds is
+        // guaranteed to exist, and the engine's exhaustive search finds
+        // one (only a budget trip, reported as such, can stop it).
+        let product = ProductAdt {
+            adt: self.adt,
+            key_of,
+        };
+        let mut state: std::collections::BTreeMap<K, T::State> = std::collections::BTreeMap::new();
+        for (key, shard, seed_index, _) in &chains {
+            let key = key
+                .as_ref()
+                .expect("multi-shard mode classifies every input");
+            state.insert(key.clone(), shard.seed(*seed_index).state.clone());
+        }
+        let events = self.window_events();
+        let trace: Vec<ObjAction<T, V>> = events.iter().map(|(_, a)| a.clone()).collect();
+        let globals: Vec<usize> = events.iter().map(|(i, _)| *i).collect();
+        let commits: Vec<slin_core::ops::Commit<ProductAdt<'_, 'a, T, K>>> = trace
+            .iter()
+            .enumerate()
+            .filter_map(|(p, a)| match a {
+                Action::Respond {
+                    client,
+                    input,
+                    output,
+                    ..
+                } => Some(slin_core::ops::Commit {
+                    index: p,
+                    client: *client,
+                    input: input.clone(),
+                    output: output.clone(),
+                }),
+                _ => None,
+            })
+            .collect();
+        let empty = Multiset::new();
+        let bounds: Vec<Multiset<T::Input>> = (0..=trace.len())
+            .map(|p| {
+                if p < trace.len() && trace[p].is_respond() {
+                    self.commit_bounds[&globals[p]].clone()
+                } else {
+                    empty.clone()
+                }
+            })
+            .collect();
+        let engine = slin_core::engine::CheckerEngine::new(
+            &product,
+            &commits,
+            &bounds,
+            self.invoked.clone(),
+            slin_core::engine::SearchBudget::new(self.shard_cfg.budget),
+        )
+        .with_extra_cap(trace.len());
+        let seed = SearchSeed::<ProductAdt<'_, 'a, T, K>> {
+            history: Vec::new(),
+            state,
+            used: seed_used,
+        };
+        match engine.run(seed, &mut |_, _| Some(())) {
+            Ok(outcome) => {
+                stats.absorb(&outcome.stats);
+                match outcome.solution {
+                    Some((chain, ())) => (Ok(remap_chain(chain, &globals)), stats, true),
+                    None => (Err(WindowError::NotLinearizable), stats, true),
+                }
+            }
+            Err(EngineError::BudgetExhausted { nodes }) => {
+                (Err(WindowError::BudgetExhausted { nodes }), stats, true)
+            }
+        }
+    }
+}
+
+/// The product ADT over shard keys: routes every input to its class's
+/// component state. Sound exactly where it is used — multi-shard merges,
+/// where the [`Partitioner`] contract makes the monitored ADT a product
+/// over the keys it emits.
+struct ProductAdt<'x, 'a, T: Adt, K> {
+    adt: &'a T,
+    key_of: &'x dyn Fn(&T::Input) -> Option<K>,
+}
+
+impl<T, K> Adt for ProductAdt<'_, '_, T, K>
+where
+    T: Adt,
+    K: Ord + Clone + std::hash::Hash + std::fmt::Debug,
+{
+    type Input = T::Input;
+    type Output = T::Output;
+    type State = std::collections::BTreeMap<K, T::State>;
+
+    fn initial(&self) -> Self::State {
+        std::collections::BTreeMap::new()
+    }
+
+    fn apply(&self, state: &Self::State, input: &Self::Input) -> (Self::State, Self::Output) {
+        let key = (self.key_of)(input).expect("multi-shard mode classifies every input");
+        let component = state
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| self.adt.initial());
+        let (next, out) = self.adt.apply(&component, input);
+        let mut map = state.clone();
+        map.insert(key, next);
+        (map, out)
+    }
+}
+
+/// Window-mode failure, mapped onto each checker's error type by the
+/// wrappers.
+enum WindowError {
+    NotLinearizable,
+    BudgetExhausted { nodes: usize },
+}
+
+fn remap_chain<I>(chain: Vec<(usize, Vec<I>)>, index_map: &[usize]) -> Vec<(usize, Vec<I>)> {
+    chain
+        .into_iter()
+        .map(|(sub, h)| (index_map[sub], h))
+        .collect()
+}
+
+/// Online monitor for the paper's (plain) linearizability over a live
+/// stream of actions. See the crate docs for the architecture and the
+/// exactness guarantees.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{KvInput, KvKeyPartitioner, KvOutput, KvStore};
+/// use slin_monitor::{LinMonitor, MonitorStatus};
+/// use slin_trace::{Action, ClientId, PhaseId, Trace};
+///
+/// let (c1, ph) = (ClientId::new(1), PhaseId::FIRST);
+/// let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> =
+///     LinMonitor::new(&KvStore, KvKeyPartitioner);
+/// mon.ingest(Action::invoke(c1, ph, KvInput::Put(1, 5)));
+/// mon.ingest(Action::respond(c1, ph, KvInput::Put(1, 5), KvOutput::Ack));
+/// assert_eq!(mon.status(), MonitorStatus::Ok);
+/// let report = mon.report();
+/// assert!(report.verdict.is_ok());
+/// ```
+pub struct LinMonitor<'a, T: Adt, P: Partitioner<T>, V = ()> {
+    pub(crate) core: Core<'a, T, V, P::Key>,
+    partitioner: P,
+    config: MonitorConfig,
+    cached: CachedReport<LinWitness<T::Input>, LinError>,
+}
+
+impl<'a, T, P, V> LinMonitor<'a, T, P, V>
+where
+    T: Adt,
+    T::Input: Ord,
+    P: Partitioner<T>,
+    V: Clone + PartialEq,
+{
+    /// Creates a monitor with the default configuration.
+    pub fn new(adt: &'a T, partitioner: P) -> Self {
+        Self::with_config(adt, partitioner, MonitorConfig::default())
+    }
+
+    /// Creates a monitor with an explicit configuration.
+    pub fn with_config(adt: &'a T, partitioner: P, config: MonitorConfig) -> Self {
+        LinMonitor {
+            core: Core::new(adt, &config, None),
+            partitioner,
+            config,
+            cached: None,
+        }
+    }
+
+    /// Ingests the next event of the live stream; O(shard work) — no
+    /// re-check of the growing prefix.
+    pub fn ingest(&mut self, action: ObjAction<T, V>) -> IngestOutcome {
+        self.cached = None;
+        let index = self.core.observe(&action);
+        let (frontier_len, fell_back) = if action.is_switch() {
+            // The verdict is decided (`LinError::SwitchAction` — plain
+            // linearizability has no switch actions); shards go quiet.
+            (0, false)
+        } else if self.core.first_switch.is_some() {
+            (0, false)
+        } else {
+            let key = self.partitioner.key_of(action.input());
+            if key.is_none() && !self.core.fallback {
+                self.core.collapse_to_identity();
+            }
+            self.core.route(key, action, index)
+        };
+        IngestOutcome {
+            index,
+            frontier_len,
+            fell_back,
+            status: self.status(),
+        }
+    }
+
+    /// The exact rolling verdict, O(#shards).
+    pub fn status(&self) -> MonitorStatus {
+        if self.core.first_switch.is_some() {
+            return MonitorStatus::SwitchSeen;
+        }
+        if self.core.wf.has_violation() {
+            return MonitorStatus::IllFormed;
+        }
+        self.core.shard_status()
+    }
+
+    /// Number of events ingested so far.
+    pub fn events(&self) -> usize {
+        self.core.events
+    }
+
+    /// Number of live shards.
+    pub fn shards(&self) -> usize {
+        self.core.shards.len()
+    }
+
+    /// The full forensic report. With an unbounded window this is
+    /// **byte-identical** to [`LinChecker::check`] on the closed trace
+    /// (witness included); with a bounded window it is window-relative
+    /// (see the crate docs) and flagged by
+    /// [`MonitorReport::prefix_committed`].
+    pub fn report(&mut self) -> MonitorReport<LinWitness<T::Input>, LinError>
+    where
+        T: Sync,
+        T::Input: Send + Sync,
+        T::Output: Sync,
+        V: Sync,
+        P::Key: Sync,
+    {
+        if let Some((at, report)) = &self.cached {
+            if *at == self.core.events {
+                return report.clone();
+            }
+        }
+        let report = self.compute_report();
+        self.cached = Some((self.core.events, report.clone()));
+        report
+    }
+
+    fn compute_report(&self) -> MonitorReport<LinWitness<T::Input>, LinError>
+    where
+        T: Sync,
+        T::Input: Send + Sync,
+        T::Output: Sync,
+        V: Sync,
+        P::Key: Sync,
+    {
+        let core = &self.core;
+        let base = MonitorReport {
+            verdict: Err(LinError::NotLinearizable),
+            events: core.events,
+            shards: core.shards.len(),
+            fallback: core.fallback || core.first_switch.is_some(),
+            remerged: false,
+            prefix_committed: core.prefix_committed,
+            stats: SearchStats::default(),
+            shard: core.summary(),
+        };
+        if let Some(buffer) = &core.buffer {
+            // Closed-trace mode: delegate to the batch split checker — the
+            // proven-identical partitioned path over the live shard table.
+            let checker = LinChecker::new(core.adt)
+                .with_budget(self.config.budget)
+                .with_threads(self.config.threads);
+            let split = if core.first_switch.is_some() {
+                SplitOutcome {
+                    parts: vec![TracePartition {
+                        key: None,
+                        trace: buffer.clone(),
+                        index_map: (0..buffer.len()).collect(),
+                    }],
+                    fallback: true,
+                }
+            } else {
+                core.split()
+            };
+            let (verdict, part_report) = checker.check_split_with_report(&split, buffer);
+            return MonitorReport {
+                verdict,
+                remerged: part_report.remerged,
+                stats: part_report.stats,
+                ..base
+            };
+        }
+        // Window mode: batch precedence (switch, well-formedness, search)
+        // over the retained window.
+        if let Some(index) = core.first_switch {
+            return MonitorReport {
+                verdict: Err(LinError::SwitchAction { index }),
+                ..base
+            };
+        }
+        if let Some(e) = core.wf.first_error() {
+            return MonitorReport {
+                verdict: Err(LinError::IllFormed(e)),
+                ..base
+            };
+        }
+        let (merged, stats, remerged) = core.window_verdict(&|i| self.partitioner.key_of(i));
+        let verdict = match merged {
+            Ok(assignments) => Ok(LinWitness::from_assignments(assignments)),
+            Err(WindowError::NotLinearizable) => Err(LinError::NotLinearizable),
+            Err(WindowError::BudgetExhausted { nodes }) => Err(LinError::BudgetExhausted { nodes }),
+        };
+        MonitorReport {
+            verdict,
+            remerged,
+            stats,
+            ..base
+        }
+    }
+
+    /// Drains a stream sequentially; returns the final rolling status.
+    pub fn drive<S: crate::EventStream<ObjAction<T, V>>>(
+        &mut self,
+        mut stream: S,
+    ) -> MonitorStatus {
+        while let Some(action) = stream.next_event() {
+            self.ingest(action);
+        }
+        self.status()
+    }
+
+    /// Drains a stream through **per-key shard workers**: the router (this
+    /// thread) classifies each event and hands it to the worker owning its
+    /// shard over a channel; workers run the incremental shard engines in
+    /// parallel and are merged back at stream end. Final states, statuses
+    /// and reports are identical to [`LinMonitor::drive`] at every thread
+    /// count (each shard's state is a pure function of its own event
+    /// subsequence, which routing preserves in order).
+    ///
+    /// An event the shard workers cannot own — a switch action or an
+    /// unclassifiable input — drains and merges the workers, then the rest
+    /// of the stream runs inline.
+    pub fn drive_parallel<S>(&mut self, mut stream: S) -> MonitorStatus
+    where
+        S: crate::EventStream<ObjAction<T, V>>,
+        T: Sync,
+        T::Input: Send + Sync,
+        T::Output: Send + Sync,
+        T::State: Send,
+        V: Send + Sync,
+        P::Key: Send,
+    {
+        let threads = if self.config.threads > 0 {
+            self.config.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        if threads <= 1 || self.core.fallback || self.core.first_switch.is_some() {
+            return self.drive(stream);
+        }
+
+        enum WorkerMsg<'a, T: Adt, V, K> {
+            /// An existing shard moves to the worker that now owns its key.
+            Adopt(K, Box<ShardState<'a, T, V>>),
+            Event(usize, K, ObjAction<T, V>),
+        }
+
+        let adt = self.core.adt;
+        let shard_cfg = self.core.shard_cfg;
+        let window = self.core.window;
+        let mut assignment: BTreeMap<P::Key, usize> = BTreeMap::new();
+        let mut next_worker = 0usize;
+        let mut leftover: Option<ObjAction<T, V>> = None;
+
+        let core = &mut self.core;
+        let partitioner = &self.partitioner;
+        let (maps, retired) = std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(threads);
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let (tx, rx) = std::sync::mpsc::channel::<WorkerMsg<'a, T, V, P::Key>>();
+                senders.push(tx);
+                handles.push(scope.spawn(move || {
+                    let mut shards: BTreeMap<P::Key, ShardState<'a, T, V>> = BTreeMap::new();
+                    let mut retired: Vec<usize> = Vec::new();
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            WorkerMsg::Adopt(key, shard) => {
+                                shards.insert(key, *shard);
+                            }
+                            WorkerMsg::Event(index, key, action) => {
+                                let shard = shards
+                                    .entry(key)
+                                    .or_insert_with(|| ShardState::new(adt, shard_cfg));
+                                shard.ingest(action, index);
+                                if let Some(w) = window {
+                                    if let Some(r) = shard.maybe_retire(w) {
+                                        retired.extend(r);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    (shards, retired)
+                }));
+            }
+            while let Some(action) = stream.next_event() {
+                if action.is_switch() {
+                    leftover = Some(action);
+                    break;
+                }
+                let Some(key) = partitioner.key_of(action.input()) else {
+                    leftover = Some(action);
+                    break;
+                };
+                let index = core.observe(&action);
+                let worker = *assignment.entry(key.clone()).or_insert_with(|| {
+                    let w = next_worker % threads;
+                    next_worker += 1;
+                    w
+                });
+                if let Some(existing) = core.shards.remove(&Some(key.clone())) {
+                    senders[worker]
+                        .send(WorkerMsg::Adopt(key.clone(), Box::new(existing)))
+                        .expect("worker alive");
+                }
+                senders[worker]
+                    .send(WorkerMsg::Event(index, key, action))
+                    .expect("worker alive");
+            }
+            drop(senders);
+            let mut maps = Vec::new();
+            let mut retired_all = Vec::new();
+            for h in handles {
+                let (m, r) = h.join().expect("shard worker panicked");
+                maps.push(m);
+                retired_all.extend(r);
+            }
+            (maps, retired_all)
+        });
+        for map in maps {
+            for (key, shard) in map {
+                self.core.shards.insert(Some(key), shard);
+            }
+        }
+        if !retired.is_empty() {
+            self.core.prefix_committed = true;
+            for index in retired {
+                self.core.commit_bounds.remove(&index);
+            }
+        }
+        if let Some(action) = leftover {
+            self.ingest(action);
+        }
+        self.drive(stream)
+    }
+}
+
+/// Online monitor for `(m, n)`-speculative linearizability.
+///
+/// Switch-free streams run on the same incremental shard machinery as
+/// [`LinMonitor`] (Theorem 2 equates the two criteria there). The first
+/// switch action sends the monitor into **speculative mode**: the shard
+/// engines go quiet and the rolling verdict is recomputed lazily — and
+/// cached per stream version — by the batch [`SlinChecker`], mirroring the
+/// partitioned checker's own monolithic fallback on phase traces.
+pub struct SlinMonitor<'a, T: Adt, R: InitRelation<T::Input>, P: Partitioner<T>> {
+    pub(crate) core: Core<'a, T, R::Value, P::Key>,
+    checker: SlinChecker<'a, T, R>,
+    partitioner: P,
+    speculative: bool,
+    cached_status: Option<(usize, MonitorStatus)>,
+    cached: CachedReport<SlinReport<T::Input>, SlinError>,
+}
+
+impl<'a, T, R, P> SlinMonitor<'a, T, R, P>
+where
+    T: Adt + Sync,
+    T::Input: Ord + Send + Sync,
+    T::Output: Sync,
+    R: InitRelation<T::Input> + Sync,
+    R::Value: Clone + PartialEq + Sync,
+    P: Partitioner<T>,
+{
+    /// Creates a monitor around a configured batch checker for phase
+    /// `(m, n)`.
+    pub fn new(
+        checker: SlinChecker<'a, T, R>,
+        adt: &'a T,
+        m: PhaseId,
+        n: PhaseId,
+        partitioner: P,
+        config: MonitorConfig,
+    ) -> Self {
+        SlinMonitor {
+            core: Core::new(adt, &config, Some((m, n))),
+            checker,
+            partitioner,
+            speculative: false,
+            cached_status: None,
+            cached: None,
+        }
+    }
+
+    /// Ingests the next event of the live stream.
+    pub fn ingest(&mut self, action: ObjAction<T, R::Value>) -> IngestOutcome {
+        self.cached = None;
+        self.cached_status = None;
+        let index = self.core.observe(&action);
+        let (frontier_len, fell_back) = if action.is_switch() && !self.speculative {
+            self.enter_speculative_mode(action);
+            (0, false)
+        } else if self.speculative {
+            // `observe` already appended the event to the (reconstructed)
+            // buffer; the shard machinery is retired.
+            (0, false)
+        } else {
+            let key = self.partitioner.key_of(action.input());
+            if key.is_none() && !self.core.fallback {
+                self.core.collapse_to_identity();
+            }
+            self.core.route(key, action, index)
+        };
+        IngestOutcome {
+            index,
+            frontier_len,
+            fell_back,
+            status: self.quick_status(),
+        }
+    }
+
+    /// Switch actions couple independence classes through `rinit`: retire
+    /// the shard machinery and fall back to lazy batch checking over the
+    /// retained trace (mirroring `check_partitioned`'s identity fallback).
+    fn enter_speculative_mode(&mut self, action: ObjAction<T, R::Value>) {
+        self.speculative = true;
+        if self.core.buffer.is_none() {
+            // Window mode: reconstruct what is still retained. If a prefix
+            // was already retired the verdict becomes window-relative (the
+            // documented bounded-window trade).
+            let mut actions: Vec<ObjAction<T, R::Value>> = self
+                .core
+                .window_events()
+                .into_iter()
+                .map(|(_, a)| a)
+                .collect();
+            actions.push(action);
+            self.core.buffer = Some(Trace::from_actions(actions));
+        }
+    }
+
+    /// O(1) status that reports [`MonitorStatus::Deferred`] in speculative
+    /// mode instead of forcing a batch re-check; [`SlinMonitor::status`]
+    /// resolves it.
+    pub fn quick_status(&self) -> MonitorStatus {
+        if self.speculative {
+            if let Some((at, s)) = self.cached_status {
+                if at == self.core.events {
+                    return s;
+                }
+            }
+            return MonitorStatus::Deferred;
+        }
+        if self.core.wf.first_foreign.is_some() || self.core.wf.has_violation() {
+            return MonitorStatus::IllFormed;
+        }
+        self.core.shard_status()
+    }
+
+    /// The exact rolling verdict. Cheap on switch-free streams; in
+    /// speculative mode it runs (and caches per stream version) one batch
+    /// check of the retained trace.
+    pub fn status(&mut self) -> MonitorStatus {
+        let quick = self.quick_status();
+        if quick != MonitorStatus::Deferred {
+            return quick;
+        }
+        let buffer = self.core.buffer.as_ref().expect("speculative mode buffers");
+        let status = match self.checker.check(buffer) {
+            Ok(_) => MonitorStatus::Ok,
+            Err(SlinError::NotSpeculativelyLinearizable { .. }) => MonitorStatus::Violation,
+            Err(SlinError::IllFormed(_)) | Err(SlinError::ForeignAction { .. }) => {
+                MonitorStatus::IllFormed
+            }
+            Err(SlinError::BudgetExhausted { .. })
+            | Err(SlinError::TooManyInterpretations { .. }) => MonitorStatus::Unknown,
+        };
+        self.cached_status = Some((self.core.events, status));
+        status
+    }
+
+    /// Number of events ingested so far.
+    pub fn events(&self) -> usize {
+        self.core.events
+    }
+
+    /// Number of live shards.
+    pub fn shards(&self) -> usize {
+        self.core.shards.len()
+    }
+
+    /// The full forensic report; byte-identical to
+    /// [`SlinChecker::check_partitioned_with_report`] on the closed trace
+    /// when the window is unbounded (and therefore, on the witness and
+    /// error, to [`SlinChecker::check`] — the PR 2 differential contract).
+    pub fn report(&mut self) -> MonitorReport<SlinReport<T::Input>, SlinError> {
+        if let Some((at, report)) = &self.cached {
+            if *at == self.core.events {
+                return report.clone();
+            }
+        }
+        let report = self.compute_report();
+        self.cached = Some((self.core.events, report.clone()));
+        report
+    }
+
+    fn compute_report(&self) -> MonitorReport<SlinReport<T::Input>, SlinError> {
+        let core = &self.core;
+        let base = MonitorReport {
+            verdict: Err(SlinError::NotSpeculativelyLinearizable {
+                interpretation: Vec::new(),
+            }),
+            events: core.events,
+            shards: core.shards.len(),
+            fallback: core.fallback || self.speculative,
+            remerged: false,
+            prefix_committed: core.prefix_committed,
+            stats: SearchStats::default(),
+            shard: core.summary(),
+        };
+        if let Some(buffer) = &core.buffer {
+            let split = if self.speculative {
+                SplitOutcome {
+                    parts: vec![TracePartition {
+                        key: None,
+                        trace: buffer.clone(),
+                        index_map: (0..buffer.len()).collect(),
+                    }],
+                    fallback: true,
+                }
+            } else {
+                core.split()
+            };
+            let (verdict, part_report) = self.checker.check_split_with_report(&split, buffer);
+            return MonitorReport {
+                verdict,
+                remerged: part_report.remerged,
+                stats: part_report.stats,
+                ..base
+            };
+        }
+        // Window mode, switch-free: Theorem 2 lets the lin window verdict
+        // stand for the speculative one.
+        if let Some(index) = core.wf.first_foreign {
+            return MonitorReport {
+                verdict: Err(SlinError::ForeignAction { index }),
+                ..base
+            };
+        }
+        if let Some(e) = core.wf.first_error() {
+            return MonitorReport {
+                verdict: Err(SlinError::IllFormed(e)),
+                ..base
+            };
+        }
+        let (merged, stats, remerged) = core.window_verdict(&|i| self.partitioner.key_of(i));
+        let verdict = match merged {
+            Ok(chain) => Ok(SlinReport {
+                interpretations_checked: stats.interpretations,
+                witness: SlinWitness {
+                    init_histories: Vec::new(),
+                    commit_histories: chain,
+                    abort_histories: Vec::new(),
+                },
+                stats,
+            }),
+            Err(WindowError::NotLinearizable) => Err(SlinError::NotSpeculativelyLinearizable {
+                interpretation: Vec::new(),
+            }),
+            Err(WindowError::BudgetExhausted { nodes }) => {
+                Err(SlinError::BudgetExhausted { nodes })
+            }
+        };
+        MonitorReport {
+            verdict,
+            remerged,
+            stats,
+            ..base
+        }
+    }
+
+    /// Drains a stream sequentially; returns the final rolling status
+    /// (resolving speculative deferral).
+    pub fn drive<S: crate::EventStream<ObjAction<T, R::Value>>>(
+        &mut self,
+        mut stream: S,
+    ) -> MonitorStatus {
+        while let Some(action) = stream.next_event() {
+            self.ingest(action);
+        }
+        self.status()
+    }
+}

@@ -1,0 +1,633 @@
+//! Per-shard incremental engine state.
+//!
+//! A [`ShardState`] owns one independence class of the stream (or the whole
+//! stream, for the identity shard) and keeps the check *incremental*: the
+//! key data structure is the **frontier** — a bounded, deterministic set of
+//! complete chain-search configurations, each one a genuine witness that
+//! the shard's sub-trace ingested so far is linearizable. Events update the
+//! frontier instead of re-running [`CheckerEngine::run`] on the growing
+//! prefix:
+//!
+//! * an **invocation** only widens future validity bounds, so every
+//!   frontier configuration stays complete — O(1);
+//! * a **response** (a new commit) extends each configuration *at the tail*
+//!   of its chain: a direct-commit pass first (the common case), then a
+//!   bounded search interleaving extra inputs from the pool, collecting the
+//!   surviving configurations deduplicated on the engine's own memo key —
+//!   reached ADT state plus consumed-input multiset — so interchangeable
+//!   configurations never crowd the frontier.
+//!
+//! Tail extension is *sound* (a surviving configuration is a witness) but
+//! deliberately not complete: the first monolithic witness of the longer
+//! prefix may place the new commit *earlier* in the chain than every
+//! configuration the frontier kept, and the frontier is capped
+//! ([`ShardConfig::frontier_cap`]). Whenever the frontier prunes empty, the
+//! shard falls back to one **bounded re-search** — fresh
+//! [`CheckerEngine`] runs over the retained window from the retained seeds
+//! — which either refills the frontier (the exact rolling verdict stays
+//! "ok") or proves the violation. The re-search *enumerates* terminal
+//! configurations (the leaf oracle vetoes early leaves), so the refilled
+//! frontier is diverse and the next commits extend cheaply again. This
+//! frontier-plus-fallback loop is what makes every rolling verdict exact
+//! while keeping the common case (append-only growth) cheap.
+//!
+//! # Bounded-window GC and why it stays exact
+//!
+//! [`ShardState::maybe_retire`] retires a window once it exceeds the
+//! configured size *and* the shard is quiescent (every invocation
+//! responded). The engine's memoisation argument says a configuration's
+//! entire future depends only on its `(state, consumed-input multiset)`
+//! key — so the **complete set** of reachable terminal keys is a lossless
+//! summary of the retired prefix. Retirement therefore runs one complete
+//! enumeration (cheap at a quiescent cut: every invocation is consumed by
+//! its own commit, so no spare pool occurrences exist and the set is
+//! small) and keeps **all** enumerated configurations as search seeds; if
+//! the enumeration is truncated (more than [`ShardConfig::frontier_cap`]
+//! configurations, or a budget trip), retirement is *skipped* rather than
+//! allowed to lose information. Verdicts after GC thus remain exact;
+//! only the *witness histories* become window-relative (the retired
+//! prefix's events are dropped, which is what bounds memory by the window
+//! and the input alphabet — O(window · alphabet) worst case for the
+//! per-index bound snapshots, like the batch checkers — independent of
+//! stream length).
+
+use slin_adt::Adt;
+use slin_core::engine::{Chain, CheckerEngine, EngineError, SearchBudget, SearchSeed, SearchStats};
+use slin_core::ops::Commit;
+use slin_core::ObjAction;
+use slin_trace::{Action, Multiset, Trace};
+use std::collections::HashSet;
+
+/// Deduplication set over the engine's memo key data: reached ADT state
+/// plus sorted consumed-input multiset.
+type MemoKeySet<T> = HashSet<(<T as Adt>::State, Vec<(<T as Adt>::Input, usize)>)>;
+
+/// Per-shard tuning knobs (copied out of the monitor's configuration).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardConfig {
+    /// Node budget of a fallback re-search (the engine's budget unit).
+    pub budget: usize,
+    /// Maximum number of frontier configurations retained per shard.
+    pub frontier_cap: usize,
+    /// Node budget of one tail-extension pass (all configurations
+    /// together); exhausting it forces a fallback re-search.
+    pub extension_budget: usize,
+}
+
+/// Rolling verdict of one shard, exact at every event (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShardStatus {
+    /// Every ingested prefix of this shard is linearizable.
+    Ok,
+    /// The shard's sub-trace is not linearizable (permanent: violations
+    /// survive arbitrary extensions of the trace).
+    Violated,
+    /// A fallback re-search exhausted its node budget; the rolling verdict
+    /// is unknown until a later search succeeds (re-attempted at quiescent
+    /// points, not on every commit).
+    BudgetExhausted,
+}
+
+/// Counters aggregated into [`crate::ShardSummary`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ShardCounters {
+    pub events: usize,
+    pub commits: usize,
+    pub extension_searches: usize,
+    pub fallback_searches: usize,
+    pub frontier_peak: usize,
+    pub retired_events: usize,
+}
+
+/// One complete chain-search configuration: the terminal history of a
+/// witness chain for everything committed so far (window-relative), with
+/// its replayed ADT state and consumed-input multiset (the engine's memo
+/// key data).
+#[derive(Debug)]
+struct FrontierCfg<T: Adt> {
+    hist: Vec<T::Input>,
+    state: T::State,
+    used: Multiset<T::Input>,
+}
+
+// Manual impl: the derive would demand `T: Clone`.
+impl<T: Adt> Clone for FrontierCfg<T> {
+    fn clone(&self) -> Self {
+        FrontierCfg {
+            hist: self.hist.clone(),
+            state: self.state.clone(),
+            used: self.used.clone(),
+        }
+    }
+}
+
+impl<T: Adt> FrontierCfg<T> {
+    fn from_seed(seed: &SearchSeed<T>) -> Self {
+        FrontierCfg {
+            hist: seed.history.clone(),
+            state: seed.state.clone(),
+            used: seed.used.clone(),
+        }
+    }
+
+    /// The deduplication key: two configurations agreeing on it are
+    /// interchangeable for every future event (the engine memoises on
+    /// exactly this data).
+    fn memo_key(&self) -> (T::State, Vec<(T::Input, usize)>)
+    where
+        T::Input: Ord,
+    {
+        let mut used: Vec<(T::Input, usize)> =
+            self.used.iter().map(|(e, c)| (e.clone(), c)).collect();
+        used.sort();
+        (self.state.clone(), used)
+    }
+}
+
+/// The incremental per-shard checker state. See the module docs.
+pub(crate) struct ShardState<'a, T: Adt, V> {
+    adt: &'a T,
+    cfg: ShardConfig,
+    /// The retained window of the shard's sub-trace (everything since the
+    /// last GC retirement).
+    pub sub: Trace<ObjAction<T, V>>,
+    /// Global stream index of each window action.
+    pub index_map: Vec<usize>,
+    /// Cumulative input multisets per window index (length `sub.len() + 1`),
+    /// every entry including the retired base inputs.
+    input_ms: Vec<Multiset<T::Input>>,
+    /// Window commits; `Commit::index` is the *window* sub-trace index.
+    commits: Vec<Commit<T>>,
+    /// The retained summary of the retired prefix: the complete set of
+    /// terminal configurations at the last retirement cut (one empty seed
+    /// before any retirement). Seed histories are always empty — the
+    /// retired events are dropped; only `(state, used)` survives.
+    seeds: Vec<SearchSeed<T>>,
+    frontier: Vec<FrontierCfg<T>>,
+    status: ShardStatus,
+    /// Window invocations still awaiting a response (GC quiescence gate).
+    pending: usize,
+    pub counters: ShardCounters,
+}
+
+impl<'a, T, V> ShardState<'a, T, V>
+where
+    T: Adt,
+    T::Input: Ord,
+    V: Clone + PartialEq,
+{
+    pub fn new(adt: &'a T, cfg: ShardConfig) -> Self {
+        Self::with_seeds(adt, cfg, vec![SearchSeed::initial(adt)], Multiset::new())
+    }
+
+    /// Rebuilds a shard from retained seeds and a base input multiset —
+    /// how the monitor restarts shards after a collapse.
+    pub fn with_seeds(
+        adt: &'a T,
+        cfg: ShardConfig,
+        seeds: Vec<SearchSeed<T>>,
+        base: Multiset<T::Input>,
+    ) -> Self {
+        assert!(!seeds.is_empty(), "a shard needs at least one seed");
+        ShardState {
+            adt,
+            cfg,
+            sub: Trace::new(),
+            index_map: Vec::new(),
+            input_ms: vec![base],
+            commits: Vec::new(),
+            frontier: seeds.iter().map(FrontierCfg::from_seed).collect(),
+            seeds,
+            status: ShardStatus::Ok,
+            pending: 0,
+            counters: ShardCounters::default(),
+        }
+    }
+
+    pub fn status(&self) -> ShardStatus {
+        self.status
+    }
+
+    /// The shard's total input pool (base plus window invocations).
+    pub fn pool(&self) -> &Multiset<T::Input> {
+        self.input_ms.last().expect("input_ms is never empty")
+    }
+
+    /// Ingests the next action of this shard's class. Returns
+    /// `(frontier length after the event, whether a fallback re-search ran)`.
+    pub fn ingest(&mut self, action: ObjAction<T, V>, global_index: usize) -> (usize, bool) {
+        self.counters.events += 1;
+        let window_index = self.sub.len();
+        let mut next_ms = self.input_ms.last().expect("nonempty").clone();
+        let mut fell_back = false;
+        match &action {
+            Action::Invoke { input, .. } => {
+                next_ms.insert(input.clone());
+                self.pending += 1;
+            }
+            Action::Respond {
+                client,
+                input,
+                output,
+                ..
+            } => {
+                self.pending = self.pending.saturating_sub(1);
+                self.commits.push(Commit {
+                    index: window_index,
+                    client: *client,
+                    input: input.clone(),
+                    output: output.clone(),
+                });
+                self.counters.commits += 1;
+            }
+            Action::Switch { .. } => {
+                // Switch actions reach a shard only inside an identity
+                // partition whose verdict is already decided (lin) — they
+                // are inert for the frontier machinery.
+            }
+        }
+        self.sub.push(action);
+        self.index_map.push(global_index);
+        self.input_ms.push(next_ms);
+
+        if self.sub[window_index].is_respond() && self.status != ShardStatus::Violated {
+            fell_back = self.commit_arrived(window_index);
+        }
+        self.counters.frontier_peak = self.counters.frontier_peak.max(self.frontier.len());
+        (self.frontier.len(), fell_back)
+    }
+
+    /// Extends the frontier past the commit at `window_index`; falls back
+    /// to a bounded re-search when tail extension prunes the frontier
+    /// empty. Returns whether the fallback ran.
+    fn commit_arrived(&mut self, window_index: usize) -> bool {
+        if self.status == ShardStatus::BudgetExhausted {
+            // A previous re-search ran out of budget: retrying on every
+            // commit would sink unbounded time into an intractable window.
+            // Re-attempt only at quiescent points.
+            if self.pending == 0 {
+                self.fallback_research();
+                return true;
+            }
+            return false;
+        }
+        self.counters.extension_searches += 1;
+        let commit = self.commits.last().expect("just pushed").clone();
+        debug_assert_eq!(commit.index, window_index);
+        let bound = self.input_ms[window_index].clone();
+        let pool = self.pool().clone();
+        let hist_cap = self.sub.len();
+
+        let mut next: Vec<FrontierCfg<T>> = Vec::new();
+        let mut seen: MemoKeySet<T> = HashSet::new();
+        let mut exhausted = false;
+        // Pass 1 — the common case: the new response commits directly at
+        // every configuration's tail, no extras needed. O(frontier).
+        for cfg in &self.frontier {
+            let mut used2 = cfg.used.clone();
+            used2.insert(commit.input.clone());
+            if !used2.is_subset_of(&bound) {
+                continue;
+            }
+            let (state2, output) = self.adt.apply(&cfg.state, &commit.input);
+            if output != commit.output {
+                continue;
+            }
+            let mut hist = cfg.hist.clone();
+            hist.push(commit.input.clone());
+            let done = FrontierCfg {
+                hist,
+                state: state2,
+                used: used2,
+            };
+            if seen.insert(done.memo_key()) {
+                next.push(done);
+            }
+            if next.len() >= self.cfg.frontier_cap {
+                break;
+            }
+        }
+        // Pass 2 — only when no tail commits directly: interleave extras
+        // from the pool under the bounded extension budget.
+        if next.is_empty() {
+            let mut nodes_left = self.cfg.extension_budget;
+            for cfg in &self.frontier {
+                if !extend_tail(
+                    self.adt,
+                    cfg,
+                    &commit,
+                    &bound,
+                    &pool,
+                    hist_cap,
+                    &mut nodes_left,
+                    &mut next,
+                    &mut seen,
+                    self.cfg.frontier_cap,
+                ) {
+                    exhausted = true;
+                    break;
+                }
+                if next.len() >= self.cfg.frontier_cap {
+                    break;
+                }
+            }
+        }
+        // Deterministic frontier order: lexicographic by history.
+        next.sort_by(|a, b| a.hist.cmp(&b.hist));
+        next.truncate(self.cfg.frontier_cap);
+
+        if next.is_empty() || exhausted {
+            self.fallback_research();
+            return true;
+        }
+        self.frontier = next;
+        self.status = ShardStatus::Ok;
+        false
+    }
+
+    /// Enumerates terminal configurations of the retained window from the
+    /// retained seeds: the leaf oracle vetoes every leaf until `cap` are
+    /// collected, so one engine run per seed yields up to `cap` distinct
+    /// terminal memo keys. Returns the collected configurations plus
+    /// whether any run tripped its budget.
+    fn enumerate_completions(&self, cap: usize) -> (Vec<FrontierCfg<T>>, bool) {
+        let mut out: Vec<FrontierCfg<T>> = Vec::new();
+        let mut seen: MemoKeySet<T> = HashSet::new();
+        let mut budget_tripped = false;
+        for seed in &self.seeds {
+            let engine = CheckerEngine::new(
+                self.adt,
+                &self.commits,
+                &self.input_ms,
+                self.pool().clone(),
+                SearchBudget::new(self.cfg.budget),
+            )
+            .with_extra_cap(self.sub.len());
+            let adt = self.adt;
+            let mut leaf = |_chain: &Chain<T::Input>, longest: &[T::Input]| {
+                // Deduplicate on the memo key *before* counting toward the
+                // cap: the engine never memoises terminal nodes, so
+                // commuting chains revisit the same terminal key, and a
+                // count of raw leaf visits would let `maybe_retire` stop
+                // early and mistake a truncated enumeration for a complete
+                // one (a lossy retirement).
+                let mut state = seed.state.clone();
+                let mut used = seed.used.clone();
+                for input in longest {
+                    state = adt.apply(&state, input).0;
+                    used.insert(input.clone());
+                }
+                let cfg = FrontierCfg {
+                    hist: longest.to_vec(),
+                    state,
+                    used,
+                };
+                if seen.insert(cfg.memo_key()) {
+                    out.push(cfg);
+                }
+                if out.len() >= cap {
+                    Some(())
+                } else {
+                    None
+                }
+            };
+            let result = engine.run(seed.clone(), &mut leaf);
+            budget_tripped |= matches!(result, Err(EngineError::BudgetExhausted { .. }));
+            if out.len() >= cap {
+                break;
+            }
+        }
+        out.sort_by(|a, b| a.hist.cmp(&b.hist));
+        (out, budget_tripped)
+    }
+
+    /// The documented fallback: bounded re-searches of the retained window
+    /// from the retained seeds, deciding the rolling verdict exactly and
+    /// refilling a **diverse** frontier (a single-configuration frontier
+    /// would re-fall-back on almost every next commit).
+    fn fallback_research(&mut self) {
+        self.counters.fallback_searches += 1;
+        let (configs, budget_tripped) = self.enumerate_completions(self.cfg.frontier_cap);
+        if !configs.is_empty() {
+            // Every collected configuration is a genuine witness (a budget
+            // trip mid-enumeration does not taint the earlier ones).
+            self.frontier = configs;
+            self.status = ShardStatus::Ok;
+        } else if budget_tripped {
+            self.frontier.clear();
+            self.status = ShardStatus::BudgetExhausted;
+        } else {
+            self.frontier.clear();
+            self.status = ShardStatus::Violated;
+        }
+    }
+
+    /// One full engine run over the retained window for the monitor's
+    /// final report: seeds are tried in order and the first one admitting
+    /// a completion wins (deterministic). Returns the winning seed's index
+    /// and chain.
+    #[allow(clippy::type_complexity)]
+    pub fn window_search(
+        &self,
+    ) -> (
+        Result<Option<(usize, Chain<T::Input>)>, EngineError>,
+        SearchStats,
+    ) {
+        let mut stats = SearchStats::default();
+        let mut budget_error: Option<EngineError> = None;
+        for (k, seed) in self.seeds.iter().enumerate() {
+            let engine = CheckerEngine::new(
+                self.adt,
+                &self.commits,
+                &self.input_ms,
+                self.pool().clone(),
+                SearchBudget::new(self.cfg.budget),
+            )
+            .with_extra_cap(self.sub.len());
+            match engine.run(seed.clone(), &mut |_, _| Some(())) {
+                Ok(outcome) => {
+                    stats.absorb(&outcome.stats);
+                    if let Some((chain, ())) = outcome.solution {
+                        return (Ok(Some((k, chain))), stats);
+                    }
+                }
+                Err(e) => {
+                    if budget_error.is_none() {
+                        budget_error = Some(e);
+                    }
+                }
+            }
+        }
+        match budget_error {
+            Some(e) => (Err(e), stats),
+            None => (Ok(None), stats),
+        }
+    }
+
+    /// The seed the reported window chain extends (see
+    /// [`ShardState::window_search`]).
+    pub fn seed(&self, index: usize) -> &SearchSeed<T> {
+        &self.seeds[index]
+    }
+
+    /// Bounded-window GC: when the retained window has grown past `window`
+    /// events and is quiescent, enumerate the window's **complete**
+    /// terminal-configuration set and retire the window into those seeds.
+    /// Retirement is skipped — never lossy — when the enumeration is
+    /// truncated (budget trip, or more than `frontier_cap`
+    /// configurations). Returns the global indices of the retired events.
+    pub fn maybe_retire(&mut self, window: usize) -> Option<Vec<usize>> {
+        if self.sub.len() < window
+            || self.pending != 0
+            || self.status != ShardStatus::Ok
+            || self.commits.is_empty()
+        {
+            return None;
+        }
+        // `cap + 1` detects truncation: exactly `cap + 1` collected means
+        // the true set may be larger than what we would retain.
+        let (configs, budget_tripped) = self.enumerate_completions(self.cfg.frontier_cap + 1);
+        if budget_tripped || configs.is_empty() || configs.len() > self.cfg.frontier_cap {
+            return None;
+        }
+        self.counters.retired_events += self.sub.len();
+        let retired = std::mem::take(&mut self.index_map);
+        self.sub = Trace::new();
+        self.commits.clear();
+        let base = self.input_ms.pop().expect("nonempty");
+        self.input_ms = vec![base];
+        // Retired histories are dropped (memory stays O(window + alphabet));
+        // the seeds keep only the state and consumed-input multiset, which
+        // is all the engine's moves and bounds consult.
+        self.seeds = configs
+            .iter()
+            .map(|cfg| SearchSeed {
+                history: Vec::new(),
+                state: cfg.state.clone(),
+                used: cfg.used.clone(),
+            })
+            .collect();
+        self.frontier = self.seeds.iter().map(FrontierCfg::from_seed).collect();
+        Some(retired)
+    }
+}
+
+/// Tail extension of one configuration past a new commit: interleave extra
+/// inputs (ascending, the engine's move order) and place the commit,
+/// collecting every distinct surviving configuration. Returns `false` when
+/// the node budget ran dry (the caller must fall back).
+#[allow(clippy::too_many_arguments)]
+fn extend_tail<T: Adt>(
+    adt: &T,
+    cfg: &FrontierCfg<T>,
+    commit: &Commit<T>,
+    bound: &Multiset<T::Input>,
+    pool: &Multiset<T::Input>,
+    hist_cap: usize,
+    nodes_left: &mut usize,
+    out: &mut Vec<FrontierCfg<T>>,
+    seen: &mut MemoKeySet<T>,
+    cap: usize,
+) -> bool
+where
+    T::Input: Ord,
+{
+    let mut extras: Vec<T::Input> = Vec::new();
+    extend_dfs(
+        adt,
+        cfg,
+        &mut extras,
+        &cfg.state.clone(),
+        &cfg.used.clone(),
+        commit,
+        bound,
+        pool,
+        hist_cap,
+        nodes_left,
+        out,
+        seen,
+        cap,
+    )
+}
+
+/// The recursive worker behind [`extend_tail`]: `extras` accumulates the
+/// interleaved inputs in place (histories are materialised only for the
+/// configurations that actually survive, keeping per-node work
+/// history-length-free).
+#[allow(clippy::too_many_arguments)]
+fn extend_dfs<T: Adt>(
+    adt: &T,
+    base: &FrontierCfg<T>,
+    extras: &mut Vec<T::Input>,
+    state: &T::State,
+    used: &Multiset<T::Input>,
+    commit: &Commit<T>,
+    bound: &Multiset<T::Input>,
+    pool: &Multiset<T::Input>,
+    hist_cap: usize,
+    nodes_left: &mut usize,
+    out: &mut Vec<FrontierCfg<T>>,
+    seen: &mut MemoKeySet<T>,
+    cap: usize,
+) -> bool
+where
+    T::Input: Ord,
+{
+    if *nodes_left == 0 {
+        return false;
+    }
+    *nodes_left -= 1;
+    if out.len() >= cap {
+        return true;
+    }
+
+    // Move 1: place the commit now.
+    let mut used2 = used.clone();
+    used2.insert(commit.input.clone());
+    if used2.is_subset_of(bound) {
+        let (state2, output) = adt.apply(state, &commit.input);
+        if output == commit.output {
+            let done = FrontierCfg {
+                hist: Vec::new(),
+                state: state2,
+                used: used2,
+            };
+            if seen.insert(done.memo_key()) {
+                let mut hist = base.hist.clone();
+                hist.extend(extras.iter().cloned());
+                hist.push(commit.input.clone());
+                out.push(FrontierCfg { hist, ..done });
+            }
+        }
+    }
+
+    // Move 2: interleave an extra input first. Extras escaping the new
+    // commit's bound are pruned (the commit could never be placed after
+    // them — the engine's own prune).
+    if base.hist.len() + extras.len() < hist_cap {
+        let mut candidates: Vec<T::Input> = pool
+            .iter()
+            .filter(|(e, c)| used.count(e) < *c)
+            .map(|(e, _)| e.clone())
+            .collect();
+        candidates.sort();
+        for e in candidates {
+            let mut used2 = used.clone();
+            used2.insert(e.clone());
+            if !used2.is_subset_of(bound) {
+                continue;
+            }
+            let (state2, _) = adt.apply(state, &e);
+            extras.push(e);
+            let alive = extend_dfs(
+                adt, base, extras, &state2, &used2, commit, bound, pool, hist_cap, nodes_left, out,
+                seen, cap,
+            );
+            extras.pop();
+            if !alive {
+                return false;
+            }
+        }
+    }
+    true
+}

@@ -1,0 +1,16 @@
+//! Event streams: the monitor's ingestion interface.
+
+/// A pull-based stream of actions. Blanket-implemented for every
+/// [`Iterator`], so `trace.into_iter()`, channels drained through
+/// `try_iter()`, and custom sources all plug straight into
+/// [`crate::LinMonitor::drive`] / [`crate::LinMonitor::drive_parallel`].
+pub trait EventStream<A> {
+    /// The next event, or `None` when the stream is (currently) drained.
+    fn next_event(&mut self) -> Option<A>;
+}
+
+impl<A, I: Iterator<Item = A>> EventStream<A> for I {
+    fn next_event(&mut self) -> Option<A> {
+        self.next()
+    }
+}

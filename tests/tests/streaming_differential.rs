@@ -1,0 +1,352 @@
+//! Streaming-vs-batch differential proptests (pinned seeds).
+//!
+//! The acceptance contract of the online monitor: feeding a trace's events
+//! **one at a time** into `slin-monitor` and then asking for the report
+//! yields the *same verdict and witness* as the batch checker on the
+//! closed trace — for both checkers, across the multi-key workload
+//! generators from friendly to hostile, linearizable and perturbed, and
+//! including traces with **more than 64 commits** (which the batch path
+//! must now also accept, the former `MAX_TRACKED_COMMITS` ceiling being
+//! gone). Together the suites below drain well over 1000 generated
+//! streams per `cargo test` run, all derived from the pinned proptest
+//! seed.
+
+use proptest::prelude::*;
+use slin_adt::{ConsInput, ConsOutput, Consensus, Value};
+use slin_adt::{
+    CounterVecPartitioner, CounterVector, KvInput, KvKeyPartitioner, KvStore, RegArrayPartitioner,
+    RegisterArray, Set, SetElemPartitioner,
+};
+use slin_core::gen::{
+    random_multikey_counter_vec_trace, random_multikey_kv_trace, random_multikey_reg_array_trace,
+    random_multikey_set_trace, MultiKeyConfig,
+};
+use slin_core::initrel::{ConsensusInit, ExactInit};
+use slin_core::lin::{witness_is_valid, LinChecker};
+use slin_core::slin::SlinChecker;
+use slin_core::ObjAction;
+use slin_monitor::{LinMonitor, MonitorConfig, SlinMonitor};
+use slin_trace::{Action, ClientId, PhaseId, Trace};
+
+/// Generator parameters swept by the differential suites (mirrors the
+/// partition_differential sweep: friendly through hostile, linearizable
+/// and perturbed).
+fn configs() -> impl Strategy<Value = MultiKeyConfig> {
+    (
+        1..=6u32,      // keys
+        2..=4u32,      // clients
+        8..=26usize,   // steps
+        0..=2u8,       // contention tier
+        0..=1u8,       // perturbation tier
+        0..=10_000u64, // seed
+    )
+        .prop_map(
+            |(keys, clients, steps, contention, error, seed)| MultiKeyConfig {
+                clients,
+                steps,
+                keys,
+                skew: 0.7,
+                contention: [0.0, 0.3, 1.0][contention as usize],
+                error_prob: [0.0, 0.35][error as usize],
+                seed,
+            },
+        )
+}
+
+/// Wide multi-key configurations whose traces carry more than 64 commits.
+fn big_configs() -> impl Strategy<Value = MultiKeyConfig> {
+    (6..=10u32, 3..=5u32, 230..=280usize, 0..=4_000u64).prop_map(|(keys, clients, steps, seed)| {
+        MultiKeyConfig {
+            clients,
+            steps,
+            keys,
+            skew: 0.2,
+            contention: 0.0,
+            error_prob: 0.0,
+            seed,
+        }
+    })
+}
+
+fn retag<V: Clone + PartialEq>(t: &Trace<ObjAction<KvStore, ()>>) -> Trace<ObjAction<KvStore, V>> {
+    Trace::from_actions(
+        t.iter()
+            .map(|a| match a {
+                Action::Invoke {
+                    client,
+                    phase,
+                    input,
+                } => Action::invoke(*client, *phase, *input),
+                Action::Respond {
+                    client,
+                    phase,
+                    input,
+                    output,
+                } => Action::respond(*client, *phase, *input, *output),
+                Action::Switch { .. } => unreachable!("generated traces are switch-free"),
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    /// Plain checker, `KvStore`: the drained monitor's verdict and witness
+    /// are byte-identical to `check()` on the closed trace.
+    #[test]
+    fn kv_stream_matches_batch(cfg in configs()) {
+        let t = random_multikey_kv_trace(&cfg);
+        let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> =
+            LinMonitor::new(&KvStore, KvKeyPartitioner);
+        for a in t.iter() {
+            mon.ingest(a.clone());
+        }
+        let report = mon.report();
+        let batch = LinChecker::new(&KvStore).check(&t);
+        prop_assert_eq!(&report.verdict, &batch, "cfg {:?}", cfg);
+        prop_assert_eq!(format!("{:?}", report.verdict), format!("{batch:?}"));
+        if let Ok(w) = &report.verdict {
+            prop_assert!(witness_is_valid(&KvStore, &t, w), "cfg {:?}", cfg);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Plain checker, `Set`: same contract on the commuting-element ADT.
+    #[test]
+    fn set_stream_matches_batch(cfg in configs()) {
+        let t = random_multikey_set_trace(&cfg);
+        let mut mon: LinMonitor<'_, Set, SetElemPartitioner> =
+            LinMonitor::new(&Set, SetElemPartitioner);
+        for a in t.iter() {
+            mon.ingest(a.clone());
+        }
+        prop_assert_eq!(
+            mon.report().verdict,
+            LinChecker::new(&Set).check(&t),
+            "cfg {:?}", cfg
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(130))]
+
+    /// Composite ADTs stream through their per-cell partitioners.
+    #[test]
+    fn reg_array_stream_matches_batch(cfg in configs()) {
+        let t = random_multikey_reg_array_trace(&cfg);
+        let mut mon: LinMonitor<'_, RegisterArray, RegArrayPartitioner> =
+            LinMonitor::new(&RegisterArray, RegArrayPartitioner);
+        for a in t.iter() {
+            mon.ingest(a.clone());
+        }
+        prop_assert_eq!(
+            mon.report().verdict,
+            LinChecker::new(&RegisterArray).check(&t),
+            "cfg {:?}", cfg
+        );
+    }
+
+    #[test]
+    fn counter_vector_stream_matches_batch(cfg in configs()) {
+        let t = random_multikey_counter_vec_trace(&cfg);
+        let mut mon: LinMonitor<'_, CounterVector, CounterVecPartitioner> =
+            LinMonitor::new(&CounterVector, CounterVecPartitioner);
+        for a in t.iter() {
+            mon.ingest(a.clone());
+        }
+        prop_assert_eq!(
+            mon.report().verdict,
+            LinChecker::new(&CounterVector).check(&t),
+            "cfg {:?}", cfg
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    /// Speculative checker on switch-free phase streams: witness and error
+    /// byte-identical to the partitioned batch path, and (per Theorem 2 /
+    /// the PR 2 differential contract) to `check()` on witness and error.
+    #[test]
+    fn slin_stream_matches_batch_on_switch_free_traces(cfg in configs()) {
+        let t: Trace<ObjAction<KvStore, Vec<KvInput>>> =
+            retag(&random_multikey_kv_trace(&cfg));
+        let chk = SlinChecker::new(&KvStore, ExactInit::new(), PhaseId::new(1), PhaseId::new(2));
+        let mut mon = SlinMonitor::new(
+            chk.clone(),
+            &KvStore,
+            PhaseId::new(1),
+            PhaseId::new(2),
+            KvKeyPartitioner,
+            MonitorConfig::default(),
+        );
+        for a in t.iter() {
+            mon.ingest(a.clone());
+        }
+        let report = mon.report();
+        let partitioned = chk.check_partitioned(&KvKeyPartitioner, &t);
+        prop_assert_eq!(&report.verdict, &partitioned, "cfg {:?}", cfg);
+        let mono = chk.check(&t);
+        prop_assert_eq!(
+            report.verdict.as_ref().map(|r| &r.witness),
+            mono.as_ref().map(|r| &r.witness),
+            "cfg {:?}", cfg
+        );
+        prop_assert_eq!(report.verdict.as_ref().err(), mono.as_ref().err(), "cfg {:?}", cfg);
+    }
+}
+
+/// Random consensus speculation-phase streams (switch actions included):
+/// the monitor's speculative mode must reproduce `check()` byte for byte.
+fn phase_trace_strategy() -> impl Strategy<Value = Trace<ObjAction<Consensus, Value>>> {
+    (
+        1..=3u32, // clients
+        0..=2u8,  // decider tier: which client (if any) decides
+        1..=3u64, // decided/switched value
+        0..=1u8,  // switch value matches decision?
+        0..=1u8,  // trailing pending proposal?
+    )
+        .prop_map(|(clients, decider, value, matches, pending)| {
+            let ph1 = PhaseId::new(1);
+            let mut actions: Vec<ObjAction<Consensus, Value>> = Vec::new();
+            for k in 1..=clients {
+                actions.push(Action::invoke(
+                    ClientId::new(k),
+                    ph1,
+                    ConsInput::propose(k as u64),
+                ));
+            }
+            if decider > 0 && decider <= clients as u8 {
+                let d = ClientId::new(decider as u32);
+                actions.push(Action::respond(
+                    d,
+                    ph1,
+                    ConsInput::propose(decider as u64),
+                    ConsOutput::decide(value),
+                ));
+            }
+            // Every other client switches; one may stay pending.
+            for k in 1..=clients {
+                if decider as u32 == k {
+                    continue;
+                }
+                if pending == 1 && k == clients {
+                    continue;
+                }
+                let v = if matches == 1 { value } else { (value % 3) + 1 };
+                actions.push(Action::switch(
+                    ClientId::new(k),
+                    PhaseId::new(2),
+                    ConsInput::propose(k as u64),
+                    Value::new(v),
+                ));
+            }
+            Trace::from_actions(actions)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn speculative_stream_matches_batch_on_phase_traces(t in phase_trace_strategy()) {
+        let chk = SlinChecker::new(&Consensus, ConsensusInit::new(), PhaseId::new(1), PhaseId::new(2));
+        let mut mon = SlinMonitor::new(
+            chk.clone(),
+            &Consensus,
+            PhaseId::new(1),
+            PhaseId::new(2),
+            slin_adt::IdentityPartitioner,
+            MonitorConfig::default(),
+        );
+        for a in t.iter() {
+            mon.ingest(a.clone());
+        }
+        prop_assert_eq!(mon.report().verdict, chk.check(&t), "{:?}", t);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The >64-commit acceptance case: wide linearizable streams whose
+    /// commit count exceeds the old engine ceiling, checked by both the
+    /// monitor and the (now unbounded) batch path.
+    #[test]
+    fn streams_with_more_than_64_commits_match_batch(cfg in big_configs()) {
+        let t = random_multikey_kv_trace(&cfg);
+        let commits = t.iter().filter(|a| a.is_respond()).count();
+        let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> =
+            LinMonitor::new(&KvStore, KvKeyPartitioner);
+        for a in t.iter() {
+            mon.ingest(a.clone());
+        }
+        let report = mon.report();
+        let batch = LinChecker::new(&KvStore).check(&t);
+        prop_assert_eq!(&report.verdict, &batch, "cfg {:?} ({commits} commits)", cfg);
+        if let Ok(w) = &report.verdict {
+            prop_assert!(witness_is_valid(&KvStore, &t, w));
+        }
+    }
+}
+
+/// At least one generated big stream really does exceed 64 commits (the
+/// proptest above would be vacuous otherwise), and the batch path accepts
+/// it.
+#[test]
+fn big_streams_do_exceed_64_commits() {
+    let cfg = MultiKeyConfig {
+        clients: 4,
+        steps: 260,
+        keys: 8,
+        skew: 0.2,
+        contention: 0.0,
+        error_prob: 0.0,
+        seed: 12,
+    };
+    let t = random_multikey_kv_trace(&cfg);
+    let commits = t.iter().filter(|a| a.is_respond()).count();
+    assert!(commits > 64, "only {commits} commits — widen the config");
+    let batch = LinChecker::new(&KvStore).check(&t);
+    assert!(batch.is_ok(), "{batch:?}");
+    let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> =
+        LinMonitor::new(&KvStore, KvKeyPartitioner);
+    for a in t.iter() {
+        mon.ingest(a.clone());
+    }
+    assert_eq!(mon.report().verdict, batch);
+}
+
+/// Perturbed wide streams: violations past the old ceiling are detected
+/// identically by both paths.
+#[test]
+fn perturbed_big_streams_match_batch() {
+    for seed in [3u64, 31] {
+        let cfg = MultiKeyConfig {
+            clients: 4,
+            steps: 240,
+            keys: 8,
+            skew: 0.2,
+            contention: 0.0,
+            error_prob: 0.2,
+            seed,
+        };
+        let t = random_multikey_kv_trace(&cfg);
+        let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> =
+            LinMonitor::new(&KvStore, KvKeyPartitioner);
+        for a in t.iter() {
+            mon.ingest(a.clone());
+        }
+        assert_eq!(
+            mon.report().verdict,
+            LinChecker::new(&KvStore).check(&t),
+            "seed {seed}"
+        );
+    }
+}
