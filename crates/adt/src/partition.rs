@@ -59,6 +59,17 @@ pub trait Partitioner<T: Adt> {
     fn key_of(&self, input: &T::Input) -> Option<Self::Key>;
 }
 
+/// Borrowed partitioners classify exactly like their referent, so APIs
+/// taking a partitioner by value (the `slin-core` session builder) also
+/// accept `&P`.
+impl<T: Adt, P: Partitioner<T>> Partitioner<T> for &P {
+    type Key = P::Key;
+
+    fn key_of(&self, input: &T::Input) -> Option<Self::Key> {
+        (*self).key_of(input)
+    }
+}
+
 /// The trivial partitioner: classifies nothing, so every trace stays in
 /// one partition and partitioned checking degenerates to the monolithic
 /// path. Sound for **every** ADT.

@@ -44,6 +44,7 @@ use slin_consensus::harness::{run_scenario, verify_run, Scenario};
 use slin_core::engine::SearchStats;
 use slin_core::gen::{random_multikey_kv_trace, random_multikey_set_trace, MultiKeyConfig};
 use slin_core::lin::LinChecker;
+use slin_core::session::{Checker, Strategy};
 use slin_monitor::{LinMonitor, MonitorConfig, MonitorStatus};
 use slin_sim::Time;
 
@@ -361,7 +362,13 @@ where
     P: slin_adt::Partitioner<T>,
     G: Fn(&MultiKeyConfig) -> slin_trace::Trace<slin_core::ObjAction<T, ()>>,
 {
-    let chk = LinChecker::new(adt);
+    let mut mono_session = Checker::builder(LinChecker::new(adt))
+        .strategy(Strategy::Monolithic)
+        .build();
+    let mut part_session = Checker::builder(LinChecker::new(adt))
+        .partitioner(partitioner)
+        .strategy(Strategy::Partitioned)
+        .build();
     let mut row = PartitionRow {
         scenario: scenario.to_string(),
         keys: base.keys,
@@ -374,13 +381,14 @@ where
     };
     for &seed in seeds {
         let t = generate(&MultiKeyConfig { seed, ..base });
-        let (mono, mono_stats) = chk.check_with_stats(&t);
-        let (part, report) = chk.check_partitioned_with_report(partitioner, &t);
-        row.mono.absorb(&mono_stats);
+        let mono = mono_session.check(&t);
+        let part = part_session.check(&t);
+        let report = part.partition.expect("partitioned strategy reports");
+        row.mono.absorb(&mono.stats);
         row.part.absorb(&report.stats);
         row.partitions = row.partitions.max(report.partitions);
         row.remerged += report.remerged as usize;
-        row.verdicts_agree &= part == mono;
+        row.verdicts_agree &= part.outcome == mono.outcome;
     }
     row.node_ratio = row.mono.nodes as f64 / row.part.nodes.max(1) as f64;
     row

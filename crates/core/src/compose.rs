@@ -256,7 +256,7 @@ where
     let obj = project_object::<T, R::Value>(t);
     let (lin_verdict, lin_stats) = LinChecker::new(adt)
         .with_budget(budget.max_nodes)
-        .check_with_stats(&obj);
+        .check_with_stats_impl(&obj);
     stats.absorb(&lin_stats);
     PhaseChainVerification {
         phases,

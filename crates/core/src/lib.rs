@@ -26,6 +26,19 @@
 //!   independent sub-histories along a [`slin_adt::Partitioner`], fanning
 //!   the sub-searches out across threads, and merging witnesses so the
 //!   result is byte-identical to the monolithic path;
+//! * [`model`] — the **[`ConsistencyModel`] abstraction**: what either
+//!   criterion needs from the chain-search machinery, making `lin`,
+//!   `slin`, and the streaming monitor thin instantiations of one generic
+//!   code path;
+//! * [`session`] — the **unified checker surface**: a builder
+//!   ([`session::Checker::builder`]) where strategy (monolithic /
+//!   partitioned / streaming) is configuration, yielding a
+//!   [`session::Session`] with `check(&trace)` and `ingest(action)` and
+//!   one [`session::Verdict`] report type;
+//! * [`stream`] — the **online streaming monitor**: per-key sharded
+//!   incremental checking of live event streams, generic over any
+//!   [`ConsistencyModel`] (re-exported by the `slin-monitor` facade
+//!   crate);
 //! * [`compose`] — phase projection and the apparatus of the
 //!   **intra-object composition theorem** (Theorems 2, 3 and 5);
 //! * [`gen`] — seeded random generators of well-formed (and adversarial)
@@ -36,6 +49,7 @@
 //! ```
 //! use slin_adt::{Consensus, ConsInput, ConsOutput};
 //! use slin_core::lin::LinChecker;
+//! use slin_core::session::Checker;
 //! use slin_trace::{Action, ClientId, PhaseId, Trace};
 //!
 //! // The linearizable trace from Section 2.2 of the paper:
@@ -49,8 +63,8 @@
 //!     Action::respond(c1, ph, ConsInput::propose(1), ConsOutput::decide(2)),
 //! ]);
 //! let cons = Consensus::new();
-//! let checker = LinChecker::new(&cons);
-//! assert!(checker.check(&t).is_ok());
+//! let mut session = Checker::builder(LinChecker::new(&cons)).build();
+//! assert!(session.check(&t).is_ok());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -63,15 +77,20 @@ pub mod gen;
 pub mod initrel;
 pub mod invariants;
 pub mod lin;
+pub mod model;
 pub mod ops;
 pub mod partition;
+pub mod session;
 pub mod slin;
+pub mod stream;
 
 pub use classical::ClassicalChecker;
 pub use engine::{CheckerEngine, CommitMask, EngineError, SearchBudget, SearchStats};
 pub use initrel::{ConsensusInit, ExactInit, InitRelation};
 pub use lin::{LinChecker, LinError, LinWitness};
+pub use model::{ConsistencyModel, SplitVerdict};
 pub use partition::{split_trace, PartitionReport, SplitOutcome, TracePartition};
+pub use session::{Checker, Session, SessionBuilder, Strategy, StrategyUsed, Verdict};
 pub use slin::{SlinChecker, SlinError, SlinWitness};
 
 use slin_adt::Adt;

@@ -19,13 +19,14 @@
 //! alternates "append an extra input" and "commit a response" moves; see
 //! [`crate::engine`] for the search itself.
 
-use crate::engine::{CheckerEngine, EngineError, SearchBudget, SearchSeed, SearchStats};
-use crate::ops;
+use crate::engine::{Chain, CheckerEngine, EngineError, SearchBudget, SearchSeed, SearchStats};
+use crate::model::{self, ConsistencyModel};
 use crate::partition::{self, PartitionReport};
-use crate::ObjAction;
+use crate::stream::{MonitorStatus, StreamFailure, StreamModel};
+use crate::{ops, ObjAction};
 use slin_adt::{Adt, Partitioner};
 use slin_trace::wf::{self, WellFormednessError};
-use slin_trace::{Multiset, Trace};
+use slin_trace::{Multiset, PhaseId, Trace};
 use std::error::Error;
 use std::fmt;
 
@@ -218,17 +219,11 @@ where
         self
     }
 
-    fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
-    }
-
     /// Checks the trace and returns a witness linearization function.
+    ///
+    /// This is the simple direct entry point; the full-featured surface
+    /// (partitioning, streaming, budgets as configuration) is the
+    /// [`crate::session`] builder.
     ///
     /// # Errors
     ///
@@ -240,12 +235,17 @@ where
     where
         V: Clone + PartialEq,
     {
-        self.check_with_stats(t).0
+        self.check_with_stats_impl(t).0
     }
 
     /// Like [`LinChecker::check`], also reporting the engine's
     /// [`SearchStats`] (all-zero when the trace is rejected before the
     /// search starts).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `Session` facade: `Checker::builder(model).build().check(&t)` \
+                returns a `Verdict` carrying the stats — see `slin_core::session`"
+    )]
     pub fn check_with_stats<V>(
         &self,
         t: &Trace<ObjAction<T, V>>,
@@ -253,14 +253,20 @@ where
     where
         V: Clone + PartialEq,
     {
-        if let Some(index) = t.iter().position(|a| a.is_switch()) {
-            return (
-                Err(LinError::SwitchAction { index }),
-                SearchStats::default(),
-            );
-        }
-        if let Err(e) = wf::check_well_formed(t) {
-            return (Err(e.into()), SearchStats::default());
+        self.check_with_stats_impl(t)
+    }
+
+    /// The monolithic check: signature gate, well-formedness, engine
+    /// search (the body every public entry point ends up in).
+    pub(crate) fn check_with_stats_impl<V>(
+        &self,
+        t: &Trace<ObjAction<T, V>>,
+    ) -> (Result<LinWitness<T::Input>, LinError>, SearchStats)
+    where
+        V: Clone + PartialEq,
+    {
+        if let Err(e) = self.validate(t) {
+            return (Err(e), SearchStats::default());
         }
         self.engine_search(t)
     }
@@ -318,6 +324,11 @@ where
     /// spaces. The one caveat is [`LinError::BudgetExhausted`]: the node
     /// budget applies per partition, so a trace the monolithic search gives
     /// up on may well be decided here (that is the point).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `Session` facade: `Checker::builder(model).partitioner(p).build()` \
+                — see `slin_core::session`"
+    )]
     pub fn check_partitioned<V, P>(
         &self,
         partitioner: &P,
@@ -330,12 +341,23 @@ where
         T::Input: Send + Sync,
         T::Output: Sync,
     {
-        self.check_partitioned_with_report(partitioner, t).0
+        model::check_partitioned(self, partitioner, t).verdict
     }
 
     /// Like [`LinChecker::check_partitioned`], also reporting the
     /// [`PartitionReport`] (partition count, fallback engagement, merged
     /// [`SearchStats`]).
+    ///
+    /// One report-shape change versus the historical implementation: on a
+    /// trace rejected before the search (switch action, ill-formed), the
+    /// report now carries the split's actual `partitions`/`fallback`
+    /// values instead of the former `partitions: 0, fallback: true`
+    /// placeholder. Verdicts and witnesses are unchanged.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `Session` facade: the returned `Verdict` carries the \
+                `PartitionReport` — see `slin_core::session`"
+    )]
     pub fn check_partitioned_with_report<V, P>(
         &self,
         partitioner: &P,
@@ -348,19 +370,19 @@ where
         T::Input: Send + Sync,
         T::Output: Sync,
     {
-        let split = partition::split_trace(partitioner, t);
-        self.check_split_with_report(&split, t)
+        let sv = model::check_partitioned(self, partitioner, t);
+        (sv.verdict, sv.report)
     }
 
     /// Like [`LinChecker::check_partitioned_with_report`], but over an
-    /// already-computed [`partition::SplitOutcome`] — the entry point for callers (the
-    /// online monitor in `slin-monitor`) that maintain the split
-    /// incrementally instead of recomputing it from a partitioner.
-    ///
-    /// `split.parts` must be a partition of `t`'s actions in trace order
-    /// with correct `index_map`s, exactly as [`partition::split_trace`]
-    /// produces; verdicts and witnesses are then byte-identical to
-    /// [`LinChecker::check`].
+    /// already-computed [`partition::SplitOutcome`] maintained incrementally
+    /// by the caller. (Same pre-search report-shape change as that
+    /// method.)
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the generic `slin_core::model::check_split` — one code path \
+                for every `ConsistencyModel`"
+    )]
     pub fn check_split_with_report<V, K>(
         &self,
         split: &partition::SplitOutcome<T, V, K>,
@@ -373,66 +395,129 @@ where
         T::Input: Send + Sync,
         T::Output: Sync,
     {
-        if let Some(index) = t.iter().position(|a| a.is_switch()) {
-            return (
-                Err(LinError::SwitchAction { index }),
-                PartitionReport {
-                    partitions: 0,
-                    fallback: true,
-                    remerged: false,
-                    stats: SearchStats::default(),
-                },
-            );
-        }
-        if let Err(e) = wf::check_well_formed(t) {
-            return (
-                Err(e.into()),
-                PartitionReport {
-                    partitions: 0,
-                    fallback: true,
-                    remerged: false,
-                    stats: SearchStats::default(),
-                },
-            );
-        }
-        if split.parts.len() <= 1 {
-            let (verdict, stats) = self.engine_search(t);
-            return (
-                verdict,
-                PartitionReport {
-                    partitions: split.parts.len(),
-                    fallback: split.fallback,
-                    remerged: false,
-                    stats,
-                },
-            );
-        }
+        let sv = model::check_split(self, split, t);
+        (sv.verdict, sv.report)
+    }
+}
 
-        let threads = self.effective_threads().min(split.parts.len());
-        let bounds = ops::input_multisets::<T, V>(t);
-        let (merged, mut report) = partition::search_partitions(
-            &split.parts,
-            threads,
-            &bounds,
-            |sub| self.engine_search(sub),
-            |(verdict, stats)| match verdict {
-                Ok(w) => (*stats, Ok(w.assignments())),
-                Err(e) => (*stats, Err(e)),
-            },
-        );
-        match merged {
-            Err(e) => (Err(e), report),
-            Ok(Some(assignments)) => (Ok(LinWitness { assignments }), report),
-            Ok(None) => {
-                // A cross-partition bound blocked a partition's next step:
-                // the monolithic first witness is not predictable from the
-                // partition witnesses, so re-derive it (the verdict — all
-                // partitions linearizable — is already decided).
-                let (verdict, rerun_stats) = self.engine_search(t);
-                report.remerged = true;
-                report.stats.absorb(&rerun_stats);
-                (verdict, report)
+impl<'a, T, V> ConsistencyModel<'a, V> for LinChecker<'a, T>
+where
+    T: Adt,
+    T::Input: Ord,
+    V: Clone + PartialEq,
+{
+    type Adt = T;
+    type Witness = LinWitness<T::Input>;
+    type Error = LinError;
+
+    fn adt(&self) -> &'a T {
+        self.adt
+    }
+
+    fn budget(&self) -> usize {
+        self.budget
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn set_budget(&mut self, budget: usize) {
+        self.budget = budget;
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    fn phase_bounds(&self) -> Option<(PhaseId, PhaseId)> {
+        None
+    }
+
+    fn validate(&self, t: &Trace<ObjAction<T, V>>) -> Result<(), LinError> {
+        if let Some(index) = t.iter().position(|a| a.is_switch()) {
+            return Err(LinError::SwitchAction { index });
+        }
+        wf::check_well_formed(t)?;
+        Ok(())
+    }
+
+    fn check_monolithic(
+        &self,
+        t: &Trace<ObjAction<T, V>>,
+    ) -> (Result<LinWitness<T::Input>, LinError>, SearchStats) {
+        self.check_with_stats_impl(t)
+    }
+
+    fn check_partition(
+        &self,
+        sub: &Trace<ObjAction<T, V>>,
+    ) -> (Result<LinWitness<T::Input>, LinError>, SearchStats) {
+        self.engine_search(sub)
+    }
+
+    fn check_remerge(
+        &self,
+        t: &Trace<ObjAction<T, V>>,
+    ) -> (Result<LinWitness<T::Input>, LinError>, SearchStats) {
+        self.engine_search(t)
+    }
+
+    fn commit_chain(w: &LinWitness<T::Input>) -> &[(usize, Vec<T::Input>)] {
+        w.assignments()
+    }
+
+    fn witness_from_chain(
+        &self,
+        chain: Chain<T::Input>,
+        _report: &PartitionReport,
+    ) -> LinWitness<T::Input> {
+        LinWitness { assignments: chain }
+    }
+
+    fn witness_from_remerge(
+        &self,
+        mono: LinWitness<T::Input>,
+        _interpretations_pre: usize,
+        _report: &PartitionReport,
+    ) -> LinWitness<T::Input> {
+        mono
+    }
+}
+
+impl<'a, T, V> StreamModel<'a, V> for LinChecker<'a, T>
+where
+    T: Adt,
+    T::Input: Ord,
+    V: Clone + PartialEq,
+{
+    /// A switch action decides a plain-linearizability stream's verdict.
+    const QUIET_STATUS: MonitorStatus = MonitorStatus::SwitchSeen;
+    /// No lazy re-check is needed after a switch: the shards go quiet.
+    const BUFFERS_ON_SWITCH: bool = false;
+
+    fn status_of_error(e: &LinError) -> MonitorStatus {
+        match e {
+            LinError::NotLinearizable => MonitorStatus::Violation,
+            LinError::IllFormed(_) => MonitorStatus::IllFormed,
+            LinError::SwitchAction { .. } => MonitorStatus::SwitchSeen,
+            LinError::BudgetExhausted { .. } => MonitorStatus::Unknown,
+        }
+    }
+
+    fn stream_witness(&self, chain: Chain<T::Input>, _stats: &SearchStats) -> LinWitness<T::Input> {
+        LinWitness::from_assignments(chain)
+    }
+
+    fn stream_error(&self, failure: StreamFailure) -> LinError {
+        match failure {
+            StreamFailure::Switch { index } => LinError::SwitchAction { index },
+            StreamFailure::Foreign { .. } => {
+                unreachable!("object streams have no phase signature")
             }
+            StreamFailure::IllFormed(e) => LinError::IllFormed(e),
+            StreamFailure::NotSatisfied => LinError::NotLinearizable,
+            StreamFailure::BudgetExhausted { nodes } => LinError::BudgetExhausted { nodes },
         }
     }
 }

@@ -143,7 +143,9 @@ where
     }
 }
 
-fn identity_split<T: Adt, V: Clone, K>(t: &Trace<ObjAction<T, V>>) -> SplitOutcome<T, V, K> {
+pub(crate) fn identity_split<T: Adt, V: Clone, K>(
+    t: &Trace<ObjAction<T, V>>,
+) -> SplitOutcome<T, V, K> {
     SplitOutcome {
         parts: vec![TracePartition {
             key: None,

@@ -1,0 +1,392 @@
+//! The unified checker surface: one builder, one [`Session`], one
+//! [`Verdict`] — strategy is configuration, not a method-name matrix.
+//!
+//! Three PRs of growth scattered the checking surface over
+//! `check`/`check_with_stats`/`check_sequential`/`check_partitioned{,_with_report}`/
+//! `check_split_with_report` — twice, once per checker — plus a separate
+//! monitor pair. This module replaces that matrix with a builder-style
+//! facade over any [`ConsistencyModel`]: pick a [`Strategy`], get a
+//! [`Session`], call [`Session::check`] for closed traces or
+//! [`Session::ingest`] for live streams, and read one [`Verdict`] type
+//! either way.
+//!
+//! * [`Strategy::Monolithic`] — one chain search over the whole trace;
+//! * [`Strategy::Partitioned`] — P-compositional checking along the
+//!   supplied [`Partitioner`] (byte-identical verdicts and witnesses,
+//!   fewer nodes — see [`crate::partition`]);
+//! * [`Strategy::Streaming`] — the sharded incremental monitor of
+//!   [`crate::stream`], with an optional bounded GC window;
+//! * [`Strategy::Auto`] (the default) — partitioned exactly when a
+//!   partitioner was supplied and the trace has no switch actions,
+//!   monolithic otherwise.
+//!
+//! # Example
+//!
+//! ```
+//! use slin_adt::{KvInput, KvKeyPartitioner, KvOutput, KvStore};
+//! use slin_core::lin::LinChecker;
+//! use slin_core::session::{Checker, Strategy, StrategyUsed};
+//! use slin_trace::{Action, ClientId, PhaseId, Trace};
+//!
+//! let (c1, c2, ph) = (ClientId::new(1), ClientId::new(2), PhaseId::FIRST);
+//! let t: Trace<Action<KvInput, KvOutput, ()>> = Trace::from_actions(vec![
+//!     Action::invoke(c1, ph, KvInput::Put(1, 5)),
+//!     Action::invoke(c2, ph, KvInput::Put(2, 6)),
+//!     Action::respond(c2, ph, KvInput::Put(2, 6), KvOutput::Ack),
+//!     Action::respond(c1, ph, KvInput::Put(1, 5), KvOutput::Ack),
+//! ]);
+//!
+//! // Batch: Auto picks the partitioned path (partitioner + switch-free).
+//! let mut session = Checker::builder(LinChecker::new(&KvStore))
+//!     .partitioner(KvKeyPartitioner)
+//!     .build();
+//! let verdict = session.check(&t);
+//! assert!(verdict.outcome.is_ok());
+//! assert_eq!(verdict.strategy, StrategyUsed::Partitioned);
+//!
+//! // Streaming: the same builder, one event at a time.
+//! let mut live = Checker::builder(LinChecker::new(&KvStore))
+//!     .partitioner(KvKeyPartitioner)
+//!     .strategy(Strategy::Streaming { window: None })
+//!     .build();
+//! for a in t.iter() {
+//!     live.ingest(a.clone());
+//! }
+//! let verdict = live.check(&Trace::new()); // drain + report
+//! assert!(verdict.outcome.is_ok());
+//! assert_eq!(verdict.strategy, StrategyUsed::Streaming);
+//! ```
+
+use crate::engine::SearchStats;
+use crate::model::{self, ConsistencyModel};
+use crate::partition::{self, PartitionReport};
+use crate::stream::{
+    IngestOutcome, Monitor, MonitorConfig, MonitorReport, MonitorStatus, StreamModel,
+};
+use crate::ObjAction;
+use slin_adt::{Adt, IdentityPartitioner, Partitioner};
+use slin_trace::Trace;
+use std::marker::PhantomData;
+
+/// How a [`Session`] decides a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Partitioned when a sound [`Partitioner`] was supplied and the trace
+    /// has no switch actions; monolithic otherwise.
+    #[default]
+    Auto,
+    /// One chain search over the whole trace.
+    Monolithic,
+    /// P-compositional checking along the supplied partitioner (identity
+    /// fallback when none was supplied or the trace is partition-hostile).
+    Partitioned,
+    /// The sharded incremental monitor: [`Session::ingest`] events live,
+    /// [`Session::check`] drains a trace and reports.
+    Streaming {
+        /// Bounded-window GC: retire quiescent prefixes past this many
+        /// events per shard (`None` keeps reports byte-identical to the
+        /// batch path).
+        window: Option<usize>,
+    },
+}
+
+/// Which concrete code path a [`Verdict`] came from (what
+/// [`Strategy::Auto`] resolved to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyUsed {
+    /// One monolithic chain search ran.
+    Monolithic,
+    /// The partitioned fan-out ran (possibly on one identity partition).
+    Partitioned,
+    /// The streaming monitor produced the verdict.
+    Streaming,
+}
+
+/// The one report type of the unified surface: verdict + witness +
+/// [`SearchStats`] + [`PartitionReport`] when applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict<W, E> {
+    /// The model's verdict: a witness, or why the check failed.
+    pub outcome: Result<W, E>,
+    /// Engine counters absorbed over the whole check.
+    pub stats: SearchStats,
+    /// Partition accounting, when the partitioned path ran.
+    pub partition: Option<PartitionReport>,
+    /// The concrete code path that produced this verdict.
+    pub strategy: StrategyUsed,
+}
+
+impl<W, E> Verdict<W, E> {
+    /// Whether the trace satisfies the model's criterion.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// The witness, when the check succeeded.
+    pub fn witness(&self) -> Option<&W> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+/// Entry point of the unified surface: `Checker::builder(model)`.
+///
+/// The type parameter is the [`ConsistencyModel`]
+/// ([`crate::lin::LinChecker`] or [`crate::slin::SlinChecker`]) and is
+/// inferred from the builder argument.
+pub struct Checker<M> {
+    _model: PhantomData<M>,
+}
+
+impl<M> Checker<M> {
+    /// Starts a [`SessionBuilder`] around a model. Strategy defaults to
+    /// [`Strategy::Auto`] with no partitioner (monolithic checking).
+    pub fn builder(model: M) -> SessionBuilder<M, IdentityPartitioner> {
+        SessionBuilder {
+            model,
+            partitioner: None,
+            strategy: Strategy::Auto,
+            budget: None,
+            threads: None,
+        }
+    }
+}
+
+/// Configures and builds a [`Session`]. See the [module docs](self).
+pub struct SessionBuilder<M, P> {
+    model: M,
+    partitioner: Option<P>,
+    strategy: Strategy,
+    budget: Option<usize>,
+    threads: Option<usize>,
+}
+
+impl<M, P> SessionBuilder<M, P> {
+    /// Overrides the model's search node budget (per partition /
+    /// interpretation).
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Overrides the model's worker-thread count (0 = one per core,
+    /// 1 = sequential).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Picks the checking [`Strategy`] (default: [`Strategy::Auto`]).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Supplies a [`Partitioner`], enabling the partitioned path (and
+    /// per-key sharding on the streaming path). The partitioner must
+    /// uphold the soundness contract documented in [`slin_adt::partition`].
+    pub fn partitioner<Q>(self, partitioner: Q) -> SessionBuilder<M, Q> {
+        SessionBuilder {
+            model: self.model,
+            partitioner: Some(partitioner),
+            strategy: self.strategy,
+            budget: self.budget,
+            threads: self.threads,
+        }
+    }
+
+    /// Builds the [`Session`].
+    pub fn build<'a, V>(mut self) -> Session<'a, M, V, P>
+    where
+        M: StreamModel<'a, V>,
+        <M::Adt as Adt>::Input: Ord,
+        V: Clone + PartialEq,
+        P: Partitioner<M::Adt>,
+    {
+        if let Some(budget) = self.budget {
+            self.model.set_budget(budget);
+        }
+        if let Some(threads) = self.threads {
+            self.model.set_threads(threads);
+        }
+        let strategy = self.strategy;
+        let mode = match strategy {
+            Strategy::Streaming { window } => Mode::Streaming(Box::new(Self::monitor(
+                self.model,
+                self.partitioner,
+                window,
+            ))),
+            _ => Mode::Batch {
+                model: self.model,
+                partitioner: self.partitioner,
+            },
+        };
+        Session { mode, strategy }
+    }
+
+    fn monitor<'a, V>(
+        model: M,
+        partitioner: Option<P>,
+        window: Option<usize>,
+    ) -> Monitor<'a, M, V, P>
+    where
+        M: StreamModel<'a, V>,
+        <M::Adt as Adt>::Input: Ord,
+        V: Clone + PartialEq,
+        P: Partitioner<M::Adt>,
+    {
+        let config = MonitorConfig {
+            budget: model.budget(),
+            threads: model.threads(),
+            window,
+            ..MonitorConfig::default()
+        };
+        Monitor::from_model(model, partitioner, config)
+    }
+}
+
+/// The session's execution state: configured batch checking, or a live
+/// streaming monitor.
+enum Mode<'a, M, V, P>
+where
+    M: ConsistencyModel<'a, V>,
+    P: Partitioner<M::Adt>,
+{
+    Batch {
+        model: M,
+        partitioner: Option<P>,
+    },
+    Streaming(Box<Monitor<'a, M, V, P>>),
+    /// Transient placeholder during the batch → streaming upgrade; never
+    /// observable.
+    Transitioning,
+}
+
+/// A configured checking session over one [`ConsistencyModel`]: the
+/// unified entry point for monolithic, partitioned, and streaming
+/// checking. Built by [`Checker::builder`]; see the [module docs](self)
+/// for an example.
+pub struct Session<'a, M, V, P>
+where
+    M: ConsistencyModel<'a, V>,
+    P: Partitioner<M::Adt>,
+{
+    mode: Mode<'a, M, V, P>,
+    strategy: Strategy,
+}
+
+impl<'a, M, V, P> Session<'a, M, V, P>
+where
+    M: StreamModel<'a, V> + Sync,
+    M::Adt: Sync,
+    <M::Adt as Adt>::Input: Ord + Send + Sync,
+    <M::Adt as Adt>::Output: Sync,
+    M::Witness: Send,
+    M::Error: Send,
+    V: Clone + PartialEq + Sync,
+    P: Partitioner<M::Adt>,
+{
+    /// Checks a closed trace under the configured strategy.
+    ///
+    /// On a batch session this runs the monolithic or partitioned search
+    /// ([`Strategy::Auto`] resolves per trace); verdicts and witnesses are
+    /// byte-identical across all three batch resolutions. On a streaming
+    /// session this ingests the trace's events after anything already
+    /// ingested and reports on the combined stream.
+    pub fn check(&mut self, t: &Trace<ObjAction<M::Adt, V>>) -> Verdict<M::Witness, M::Error> {
+        match &mut self.mode {
+            Mode::Batch { model, partitioner } => {
+                let partitioned = match self.strategy {
+                    Strategy::Monolithic => false,
+                    Strategy::Partitioned => true,
+                    // Auto: partitioned exactly when a partitioner was
+                    // supplied and the trace has no switch actions (switch
+                    // values may couple independence classes through
+                    // `rinit`, and the split would only fall back).
+                    _ => partitioner.is_some() && !t.iter().any(|a| a.is_switch()),
+                };
+                if !partitioned {
+                    let (outcome, stats) = model.check_monolithic(t);
+                    return Verdict {
+                        outcome,
+                        stats,
+                        partition: None,
+                        strategy: StrategyUsed::Monolithic,
+                    };
+                }
+                let split = match partitioner {
+                    Some(p) => partition::split_trace(p, t),
+                    None => partition::identity_split(t),
+                };
+                let sv = model::check_split(model, &split, t);
+                Verdict {
+                    outcome: sv.verdict,
+                    stats: sv.report.stats,
+                    partition: Some(sv.report),
+                    strategy: StrategyUsed::Partitioned,
+                }
+            }
+            Mode::Streaming(monitor) => {
+                for action in t.iter() {
+                    monitor.ingest(action.clone());
+                }
+                let report = monitor.report();
+                Verdict {
+                    outcome: report.verdict,
+                    stats: report.stats,
+                    partition: None,
+                    strategy: StrategyUsed::Streaming,
+                }
+            }
+            Mode::Transitioning => unreachable!("transient mode is never observable"),
+        }
+    }
+
+    /// Ingests one live event. A batch session upgrades to streaming mode
+    /// (unbounded window) on the first call; [`Strategy::Streaming`]
+    /// sessions are born streaming, with their configured window.
+    pub fn ingest(&mut self, action: ObjAction<M::Adt, V>) -> IngestOutcome {
+        self.ensure_streaming().ingest(action)
+    }
+
+    /// The exact rolling status of a streaming session (`None` before any
+    /// event was ingested on a batch-built session).
+    pub fn status(&self) -> Option<MonitorStatus> {
+        match &self.mode {
+            Mode::Streaming(monitor) => Some(monitor.status()),
+            _ => None,
+        }
+    }
+
+    /// The streaming session's full forensic report (`None` before any
+    /// event was ingested on a batch-built session).
+    pub fn report(&mut self) -> Option<MonitorReport<M::Witness, M::Error>> {
+        match &mut self.mode {
+            Mode::Streaming(monitor) => Some(monitor.report()),
+            _ => None,
+        }
+    }
+
+    /// The underlying monitor, upgrading a batch session in place.
+    fn ensure_streaming(&mut self) -> &mut Monitor<'a, M, V, P> {
+        if let Mode::Batch { .. } = &self.mode {
+            let window = match self.strategy {
+                Strategy::Streaming { window } => window,
+                _ => None,
+            };
+            let Mode::Batch { model, partitioner } =
+                std::mem::replace(&mut self.mode, Mode::Transitioning)
+            else {
+                unreachable!("checked above");
+            };
+            self.mode = Mode::Streaming(Box::new(SessionBuilder::<M, P>::monitor(
+                model,
+                partitioner,
+                window,
+            )));
+        }
+        match &mut self.mode {
+            Mode::Streaming(monitor) => monitor,
+            _ => unreachable!("upgraded above"),
+        }
+    }
+}

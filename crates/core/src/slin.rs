@@ -36,8 +36,10 @@
 
 use crate::engine::{Chain, CheckerEngine, EngineError, SearchBudget, SearchSeed, SearchStats};
 use crate::initrel::{CandidateContext, InitRelation};
+use crate::model::{self, ConsistencyModel};
 use crate::ops::{self, Commit, SwitchEvent};
 use crate::partition::{self, PartitionReport};
+use crate::stream::{MonitorStatus, StreamFailure, StreamModel};
 use crate::ObjAction;
 use slin_adt::{Adt, Partitioner};
 use slin_trace::seq;
@@ -233,16 +235,6 @@ where
         self
     }
 
-    fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
-    }
-
     /// Checks `(m, n)`-speculative linearizability of the trace.
     ///
     /// # Errors
@@ -272,7 +264,20 @@ where
 
     /// Single-threaded form of [`SlinChecker::check`]; byte-identical
     /// verdicts (the parallel path resolves races by enumeration order).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `Session` facade with `.threads(1)` — see `slin_core::session`"
+    )]
     pub fn check_sequential(
+        &self,
+        t: &Trace<ObjAction<T, R::Value>>,
+    ) -> Result<SlinReport<T::Input>, SlinError> {
+        self.check_sequential_impl(t)
+    }
+
+    /// The single-threaded enumeration loop (the partitioned path's
+    /// per-partition unit of work, and the merge-bail re-derivation).
+    fn check_sequential_impl(
         &self,
         t: &Trace<ObjAction<T, R::Value>>,
     ) -> Result<SlinReport<T::Input>, SlinError> {
@@ -305,6 +310,11 @@ where
     /// see [`crate::partition`] for the argument. `interpretations_checked`
     /// and [`SlinReport::stats`] measure *work*, which partitioning reduces
     /// by design, so they differ from the monolithic path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `Session` facade: `Checker::builder(model).partitioner(p).build()` \
+                — see `slin_core::session`"
+    )]
     pub fn check_partitioned<P>(
         &self,
         partitioner: &P,
@@ -318,7 +328,7 @@ where
         R: Sync,
         R::Value: Sync,
     {
-        self.check_partitioned_with_report(partitioner, t).0
+        model::check_partitioned(self, partitioner, t).verdict
     }
 
     /// Like [`SlinChecker::check_partitioned`], also reporting the
@@ -327,6 +337,11 @@ where
     /// when the single-partition fallback path *fails*, the report's
     /// counters are zero — [`SlinError`] carries no counters to recover
     /// them from.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `Session` facade: the returned `Verdict` carries the \
+                `PartitionReport` — see `slin_core::session`"
+    )]
     pub fn check_partitioned_with_report<P>(
         &self,
         partitioner: &P,
@@ -340,18 +355,18 @@ where
         R: Sync,
         R::Value: Sync,
     {
-        let split = partition::split_trace(partitioner, t);
-        self.check_split_with_report(&split, t)
+        let sv = model::check_partitioned(self, partitioner, t);
+        (sv.verdict, sv.report)
     }
 
     /// Like [`SlinChecker::check_partitioned_with_report`], but over an
-    /// already-computed [`partition::SplitOutcome`] — the entry point for
-    /// callers (the online monitor in `slin-monitor`) that maintain the
-    /// split incrementally instead of recomputing it from a partitioner.
-    ///
-    /// `split.parts` must be a partition of `t`'s actions in trace order
-    /// with correct `index_map`s, exactly as [`partition::split_trace`]
-    /// produces.
+    /// already-computed [`partition::SplitOutcome`] maintained incrementally
+    /// by the caller.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the generic `slin_core::model::check_split` — one code path \
+                for every `ConsistencyModel`"
+    )]
     pub fn check_split_with_report<K>(
         &self,
         split: &partition::SplitOutcome<T, R::Value, K>,
@@ -365,90 +380,8 @@ where
         R: Sync,
         R::Value: Sync,
     {
-        if split.parts.len() <= 1 {
-            let verdict = self.check(t);
-            let stats = verdict.as_ref().map(|r| r.stats).unwrap_or_default();
-            return (
-                verdict,
-                PartitionReport {
-                    partitions: split.parts.len(),
-                    fallback: split.fallback,
-                    remerged: false,
-                    stats,
-                },
-            );
-        }
-
-        // Multi-partition implies switch-free: validate the whole trace
-        // against the phase signature once (sub-traces of a well-formed
-        // trace are well-formed, but the error indices must be the
-        // monolithic ones).
-        if let Err(e) = self.prepare(t) {
-            return (
-                Err(e),
-                PartitionReport {
-                    partitions: split.parts.len(),
-                    fallback: false,
-                    remerged: false,
-                    stats: SearchStats::default(),
-                },
-            );
-        }
-
-        let threads = self.effective_threads().min(split.parts.len());
-        // Switch-free: the valid-input bounds vi reduce to the plain input
-        // multisets (no init actions contribute).
-        let bounds = ops::input_multisets::<T, R::Value>(t);
-        let (merged, mut report) = partition::search_partitions(
-            &split.parts,
-            threads,
-            &bounds,
-            |sub| self.check_sequential(sub),
-            |verdict| match verdict {
-                Ok(rep) => (rep.stats, Ok(rep.witness.commit_histories.as_slice())),
-                Err(e) => (SearchStats::default(), Err(e)),
-            },
-        );
-        // Every enumerated interpretation contributes 1 to the absorbed
-        // `interpretations` counter, so the partition sum is recoverable
-        // from the merged stats (captured before any re-run is absorbed).
-        let interpretations_checked = report.stats.interpretations;
-        let witness = |commit_histories| SlinWitness {
-            init_histories: Vec::new(),
-            commit_histories,
-            abort_histories: Vec::new(),
-        };
-        match merged {
-            Err(e) => (Err(e), report),
-            Ok(Some(chain)) => (
-                Ok(SlinReport {
-                    interpretations_checked,
-                    witness: witness(chain),
-                    stats: report.stats,
-                }),
-                report,
-            ),
-            Ok(None) => {
-                // Cross-partition bound coupling: re-derive the witness
-                // monolithically (the verdict is already decided).
-                let rerun = self.check_sequential(t);
-                report.remerged = true;
-                match rerun {
-                    Ok(mono) => {
-                        report.stats.absorb(&mono.stats);
-                        (
-                            Ok(SlinReport {
-                                interpretations_checked,
-                                witness: mono.witness,
-                                stats: report.stats,
-                            }),
-                            report,
-                        )
-                    }
-                    Err(e) => (Err(e), report),
-                }
-            }
-        }
+        let sv = model::check_split(self, split, t);
+        (sv.verdict, sv.report)
     }
 
     /// Validates the trace against the phase signature and well-formedness,
@@ -735,6 +668,179 @@ where
     }
 }
 
+impl<'a, T, R> ConsistencyModel<'a, R::Value> for SlinChecker<'a, T, R>
+where
+    T: Adt + Sync,
+    T::Input: Ord + Send + Sync,
+    T::Output: Sync,
+    R: InitRelation<T::Input> + Sync,
+    R::Value: Clone + PartialEq + Sync,
+{
+    type Adt = T;
+    type Witness = SlinReport<T::Input>;
+    type Error = SlinError;
+
+    fn adt(&self) -> &'a T {
+        self.adt
+    }
+
+    fn budget(&self) -> usize {
+        self.budget
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn set_budget(&mut self, budget: usize) {
+        self.budget = budget;
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    fn phase_bounds(&self) -> Option<(PhaseId, PhaseId)> {
+        Some((self.m, self.n))
+    }
+
+    fn validate(&self, t: &Trace<ObjAction<T, R::Value>>) -> Result<(), SlinError> {
+        self.prepare(t).map(|_| ())
+    }
+
+    fn check_monolithic(
+        &self,
+        t: &Trace<ObjAction<T, R::Value>>,
+    ) -> (Result<SlinReport<T::Input>, SlinError>, SearchStats) {
+        // [`SlinError`] carries no counters, so a failing check reports
+        // zero stats (the historical `check_partitioned_with_report`
+        // asymmetry).
+        match self.check(t) {
+            Ok(rep) => {
+                let stats = rep.stats;
+                (Ok(rep), stats)
+            }
+            Err(e) => (Err(e), SearchStats::default()),
+        }
+    }
+
+    fn check_partition(
+        &self,
+        sub: &Trace<ObjAction<T, R::Value>>,
+    ) -> (Result<SlinReport<T::Input>, SlinError>, SearchStats) {
+        match self.check_sequential_impl(sub) {
+            Ok(rep) => {
+                let stats = rep.stats;
+                (Ok(rep), stats)
+            }
+            Err(e) => (Err(e), SearchStats::default()),
+        }
+    }
+
+    fn check_remerge(
+        &self,
+        t: &Trace<ObjAction<T, R::Value>>,
+    ) -> (Result<SlinReport<T::Input>, SlinError>, SearchStats) {
+        match self.check_sequential_impl(t) {
+            Ok(rep) => {
+                let stats = rep.stats;
+                (Ok(rep), stats)
+            }
+            Err(e) => (Err(e), SearchStats::default()),
+        }
+    }
+
+    fn commit_chain(w: &SlinReport<T::Input>) -> &[(usize, Vec<T::Input>)] {
+        w.witness.commit_histories.as_slice()
+    }
+
+    fn witness_from_chain(
+        &self,
+        chain: Chain<T::Input>,
+        report: &PartitionReport,
+    ) -> SlinReport<T::Input> {
+        // Every enumerated interpretation contributes 1 to the absorbed
+        // `interpretations` counter, so the partition sum is recoverable
+        // from the merged stats. On switch-free traces (the only ones that
+        // multi-partition) no init actions exist, so the merged witness
+        // has empty init/abort interpretations.
+        SlinReport {
+            interpretations_checked: report.stats.interpretations,
+            witness: SlinWitness {
+                init_histories: Vec::new(),
+                commit_histories: chain,
+                abort_histories: Vec::new(),
+            },
+            stats: report.stats,
+        }
+    }
+
+    fn witness_from_remerge(
+        &self,
+        mono: SlinReport<T::Input>,
+        interpretations_pre: usize,
+        report: &PartitionReport,
+    ) -> SlinReport<T::Input> {
+        SlinReport {
+            interpretations_checked: interpretations_pre,
+            witness: mono.witness,
+            stats: report.stats,
+        }
+    }
+}
+
+impl<'a, T, R> StreamModel<'a, R::Value> for SlinChecker<'a, T, R>
+where
+    T: Adt + Sync,
+    T::Input: Ord + Send + Sync,
+    T::Output: Sync,
+    R: InitRelation<T::Input> + Sync,
+    R::Value: Clone + PartialEq + Sync,
+{
+    /// A switch action sends the stream into speculative mode: the rolling
+    /// verdict defers to a lazy (cached) batch re-check.
+    const QUIET_STATUS: MonitorStatus = MonitorStatus::Deferred;
+    /// Speculative mode re-checks the retained trace, so the monitor must
+    /// buffer it from the first switch on.
+    const BUFFERS_ON_SWITCH: bool = true;
+
+    fn status_of_error(e: &SlinError) -> MonitorStatus {
+        match e {
+            SlinError::NotSpeculativelyLinearizable { .. } => MonitorStatus::Violation,
+            SlinError::IllFormed(_) | SlinError::ForeignAction { .. } => MonitorStatus::IllFormed,
+            SlinError::BudgetExhausted { .. } | SlinError::TooManyInterpretations { .. } => {
+                MonitorStatus::Unknown
+            }
+        }
+    }
+
+    fn stream_witness(&self, chain: Chain<T::Input>, stats: &SearchStats) -> SlinReport<T::Input> {
+        SlinReport {
+            interpretations_checked: stats.interpretations,
+            witness: SlinWitness {
+                init_histories: Vec::new(),
+                commit_histories: chain,
+                abort_histories: Vec::new(),
+            },
+            stats: *stats,
+        }
+    }
+
+    fn stream_error(&self, failure: StreamFailure) -> SlinError {
+        match failure {
+            StreamFailure::Switch { .. } => {
+                unreachable!("speculative streams buffer from the first switch on")
+            }
+            StreamFailure::Foreign { index } => SlinError::ForeignAction { index },
+            StreamFailure::IllFormed(e) => SlinError::IllFormed(e),
+            StreamFailure::NotSatisfied => SlinError::NotSpeculativelyLinearizable {
+                interpretation: Vec::new(),
+            },
+            StreamFailure::BudgetExhausted { nodes } => SlinError::BudgetExhausted { nodes },
+        }
+    }
+}
+
 /// The validated trace summary and interpretation space shared by the
 /// sequential and parallel enumeration paths.
 struct Prepared<T: Adt, V> {
@@ -995,6 +1101,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // compat: the deprecated sequential wrapper is the differential oracle
     fn parallel_and_sequential_verdicts_are_identical() {
         // Every test trace in this module, under forced multi-threading:
         // the parallel enumeration must reproduce the sequential verdict
@@ -1039,6 +1146,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // compat: the deprecated sequential wrapper is the differential oracle
     fn backup_parallel_enumeration_matches_interpretation_count() {
         // The backup phase enumerates > 1 interpretation (adversarial
         // candidate sets); parallel and sequential must count identically.
@@ -1059,6 +1167,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // compat: the deprecated sequential wrapper is the differential oracle
     fn budget_exhaustion_reports_node_count() {
         let t: Trace<CA> = Trace::from_actions(vec![
             Action::invoke(c(1), ph(1), p(1)),

@@ -1,0 +1,245 @@
+//! Online streaming checking: the sharded incremental monitor, generic
+//! over any [`ConsistencyModel`].
+//!
+//! The batch checkers need the whole trace before `check()` runs. This
+//! module adds the layer between the trace model and those checkers that
+//! the ROADMAP's live-traffic north star needs: a [`Monitor`] that
+//! **ingests one action at a time** and maintains a rolling verdict
+//! without re-checking the growing prefix.
+//!
+//! ```text
+//!                        ┌───────────────────────────────┐
+//!   live event stream ──▶│ router (Partitioner::key_of)  │
+//!                        └──┬──────────┬──────────┬──────┘
+//!                key 1 ─────▼──  key 2 ▼   …  key k ▼        unclassifiable /
+//!                   ┌─────────┐ ┌─────────┐ ┌─────────┐      switch action
+//!                   │ shard 1 │ │ shard 2 │ │ shard k │   ──▶ identity shard /
+//!                   │frontier │ │frontier │ │frontier │       speculative mode
+//!                   └────┬────┘ └────┬────┘ └────┬────┘
+//!                        └─────── merged verdict ┴──▶ status() / report()
+//! ```
+//!
+//! There is **one** monitor: [`Monitor`] is parameterized by a
+//! [`StreamModel`] (the [`ConsistencyModel`] sub-trait adding the few
+//! stream-specific hooks — what a switch action means, and how window
+//! verdicts map onto the model's witness/error types). The historical
+//! `LinMonitor`/`SlinMonitor` pair are type aliases instantiating it with
+//! [`crate::lin::LinChecker`] and [`crate::slin::SlinChecker`]; the
+//! `slin-monitor` crate re-exports this module unchanged.
+//!
+//! # Architecture
+//!
+//! * **Routing** — every action is classified by the
+//!   [`slin_adt::Partitioner`]; each independence class gets its own shard
+//!   with its own incremental engine state. The identity fallback
+//!   (unclassifiable inputs) collapses everything into one shard, so
+//!   non-partitionable ADTs still stream.
+//! * **Incremental engine state** — each shard persists a **frontier** of
+//!   complete chain-search configurations between events (each one a
+//!   genuine witness for the shard's prefix); see `stream/shard.rs`.
+//! * **Bounded-window GC** — with [`MonitorConfig::window`] set, quiescent
+//!   fully-committed prefixes retire into their complete terminal-
+//!   configuration summary: verdicts stay exact, witnesses become
+//!   window-relative, memory stays O(window · alphabet).
+//! * **Batch-identical reports** — with the default unbounded window,
+//!   [`Monitor::report`] is byte-identical (verdict *and* witness) to the
+//!   model's batch check on the closed trace; the `streaming_differential`
+//!   suite in `tests/` pins this over the multi-key generators.
+
+#![allow(clippy::module_inception)]
+
+mod monitor;
+mod shard;
+mod wf;
+
+pub use monitor::{LinMonitor, Monitor, SlinMonitor};
+
+use crate::engine::{Chain, SearchStats};
+use crate::model::ConsistencyModel;
+use slin_adt::Adt;
+use slin_trace::wf::WellFormednessError;
+
+/// A pull-based stream of actions. Blanket-implemented for every
+/// [`Iterator`], so `trace.into_iter()`, channels drained through
+/// `try_iter()`, and custom sources all plug straight into
+/// [`Monitor::drive`] / [`Monitor::drive_parallel`].
+pub trait EventStream<A> {
+    /// The next event, or `None` when the stream is (currently) drained.
+    fn next_event(&mut self) -> Option<A>;
+}
+
+impl<A, I: Iterator<Item = A>> EventStream<A> for I {
+    fn next_event(&mut self) -> Option<A> {
+        self.next()
+    }
+}
+
+/// Why a window-mode stream check failed, before it is mapped onto the
+/// model's error type by [`StreamModel::stream_error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamFailure {
+    /// A switch action appeared in a stream whose model rejects them
+    /// (plain linearizability).
+    Switch {
+        /// The switch action's global stream index.
+        index: usize,
+    },
+    /// An action's phase label lies outside the model's phase signature.
+    Foreign {
+        /// The foreign action's global stream index.
+        index: usize,
+    },
+    /// The stream is not well-formed.
+    IllFormed(WellFormednessError),
+    /// No witness exists for the retained window.
+    NotSatisfied,
+    /// The window search exhausted its node budget.
+    BudgetExhausted {
+        /// Nodes expanded when the budget tripped.
+        nodes: usize,
+    },
+}
+
+/// The streaming face of a [`ConsistencyModel`]: the handful of hooks the
+/// generic [`Monitor`] needs beyond the batch checking surface.
+pub trait StreamModel<'a, V>: ConsistencyModel<'a, V> {
+    /// The rolling status once the stream has gone quiet on a switch
+    /// action: terminal ([`MonitorStatus::SwitchSeen`], plain
+    /// linearizability) or deferred to a lazy batch re-check
+    /// ([`MonitorStatus::Deferred`], speculative linearizability).
+    const QUIET_STATUS: MonitorStatus;
+
+    /// Whether the monitor must keep (or reconstruct) a trace buffer from
+    /// the first switch action on, so deferred statuses and reports can
+    /// batch-re-check the retained trace.
+    const BUFFERS_ON_SWITCH: bool;
+
+    /// Maps a batch-check failure onto the rolling [`MonitorStatus`]
+    /// (used to resolve [`MonitorStatus::Deferred`]).
+    fn status_of_error(e: &Self::Error) -> MonitorStatus;
+
+    /// Wraps a window-mode merged commit chain (global stream indices)
+    /// into the model's witness type; `stats` are the absorbed window
+    /// search counters.
+    fn stream_witness(
+        &self,
+        chain: Chain<<Self::Adt as Adt>::Input>,
+        stats: &SearchStats,
+    ) -> Self::Witness;
+
+    /// Maps a window-mode failure onto the model's error type.
+    fn stream_error(&self, failure: StreamFailure) -> Self::Error;
+}
+
+/// Tuning knobs of a monitor.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Node budget of every full engine search (fallback re-searches,
+    /// final report derivations). Matches the batch checkers' default.
+    pub budget: usize,
+    /// Maximum frontier configurations retained per shard. Larger values
+    /// survive more reorderings without falling back; smaller values bound
+    /// per-event work tighter.
+    pub frontier_cap: usize,
+    /// Node budget of one frontier tail-extension pass; exhausting it
+    /// forces a fallback re-search (exactness is never lost).
+    pub extension_budget: usize,
+    /// Bounded-window GC: retire quiescent, fully-committed prefixes once
+    /// a shard's window exceeds this many events. `None` (default) retains
+    /// everything and keeps reports byte-identical to the batch checkers.
+    pub window: Option<usize>,
+    /// Worker threads for the final report's partition fan-out and for
+    /// [`Monitor::drive_parallel`] (0 = one per core).
+    pub threads: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            budget: crate::lin::DEFAULT_BUDGET,
+            frontier_cap: 32,
+            extension_budget: 4096,
+            window: None,
+            threads: 0,
+        }
+    }
+}
+
+/// The rolling verdict of a monitor (exact at every event — see the
+/// module docs for the one bounded-window caveat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorStatus {
+    /// Every ingested prefix satisfies the monitored criterion.
+    Ok,
+    /// The stream violates the criterion (permanent).
+    Violation,
+    /// The stream is not well-formed (or, for the speculative monitor, an
+    /// action lies outside the phase signature).
+    IllFormed,
+    /// A switch action appeared in a plain-linearizability stream: the
+    /// verdict is decided (`LinError::SwitchAction`).
+    SwitchSeen,
+    /// A search exhausted its node budget; the verdict is unknown until a
+    /// later search succeeds.
+    Unknown,
+    /// Speculative mode defers the verdict to the next [`Monitor::status`]
+    /// call (which runs and caches a batch check).
+    Deferred,
+}
+
+/// Per-event feedback from [`Monitor::ingest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// The event's global stream index.
+    pub index: usize,
+    /// The target shard's frontier size after the event (0 for events that
+    /// bypass the shard machinery).
+    pub frontier_len: usize,
+    /// Whether the event forced a bounded re-search (frontier pruned
+    /// empty or the extension budget tripped).
+    pub fell_back: bool,
+    /// The rolling verdict after the event.
+    pub status: MonitorStatus,
+}
+
+/// Aggregated shard-machinery counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Frontier tail-extension passes run (one per commit event).
+    pub extension_searches: usize,
+    /// Bounded re-searches run (the documented fallback).
+    pub fallback_searches: usize,
+    /// Largest frontier any shard ever held.
+    pub frontier_peak: usize,
+    /// Events retired by bounded-window GC across all shards.
+    pub retired_events: usize,
+}
+
+/// The monitor's full forensic report.
+///
+/// `W`/`E` are the wrapped model's witness and error types; with an
+/// unbounded window `verdict` is byte-identical to that model's batch
+/// check on the closed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorReport<W, E> {
+    /// The verdict (witness or error) for the retained trace.
+    pub verdict: Result<W, E>,
+    /// Events ingested.
+    pub events: usize,
+    /// Live shards.
+    pub shards: usize,
+    /// Whether identity routing engaged (unclassifiable input, switch
+    /// action, or speculative mode) — mirrors `SplitOutcome::fallback`.
+    pub fallback: bool,
+    /// Whether the final witness needed a monolithic re-derivation
+    /// (cross-partition bound coupling) — mirrors
+    /// `PartitionReport::remerged`.
+    pub remerged: bool,
+    /// Whether bounded-window GC retired a prefix: the verdict is
+    /// window-relative.
+    pub prefix_committed: bool,
+    /// Engine counters absorbed over the report derivation.
+    pub stats: SearchStats,
+    /// Aggregated shard-machinery counters.
+    pub shard: ShardSummary,
+}

@@ -1,32 +1,37 @@
-//! The sharded monitors: [`LinMonitor`] and [`SlinMonitor`].
+//! The generic sharded monitor: one [`Monitor`] over any [`StreamModel`].
 //!
-//! Both wrap the same [`Core`]: a router that classifies every ingested
-//! action through a [`Partitioner`] and feeds it to the per-key
-//! [`ShardState`] incremental engines, while tracking the stream-global
-//! facts the batch checkers derive from the closed trace (well-formedness,
-//! switch actions, input multisets). The wrappers differ exactly where the
-//! batch checkers differ: what a switch action means, and which batch
-//! entry point the final report must be byte-identical to.
+//! [`Core`] is the model-independent machinery — a router that classifies
+//! every ingested action through a [`Partitioner`] and feeds it to the
+//! per-key [`ShardState`] incremental engines, while tracking the
+//! stream-global facts the batch checkers derive from the closed trace
+//! (well-formedness, switch actions, input multisets). What a switch
+//! action *means*, and how window verdicts map onto witness/error types,
+//! comes from the [`StreamModel`] hooks; [`LinMonitor`] and
+//! [`SlinMonitor`] are type aliases instantiating the one generic monitor
+//! with the two shipped models.
 
-use crate::shard::{ShardConfig, ShardState, ShardStatus};
-use crate::wf::WfTracker;
-use crate::{IngestOutcome, MonitorConfig, MonitorReport, MonitorStatus, ShardSummary};
-use slin_adt::{Adt, Partitioner};
-use slin_core::engine::{EngineError, SearchSeed, SearchStats};
-use slin_core::initrel::InitRelation;
-use slin_core::lin::{LinChecker, LinError, LinWitness};
-use slin_core::partition::{
-    merge_partition_chains, witness_steps, SplitOutcome, Step, TracePartition,
+use super::shard::{ShardConfig, ShardState, ShardStatus};
+use super::wf::WfTracker;
+use super::{
+    EventStream, IngestOutcome, MonitorConfig, MonitorReport, MonitorStatus, ShardSummary,
+    StreamFailure, StreamModel,
 };
-use slin_core::slin::{SlinChecker, SlinError, SlinReport, SlinWitness};
-use slin_core::ObjAction;
+use crate::engine::{Chain, EngineError, SearchSeed, SearchStats};
+use crate::initrel::InitRelation;
+use crate::lin::LinChecker;
+use crate::model::{self, ConsistencyModel};
+use crate::partition::{merge_partition_chains, witness_steps, SplitOutcome, Step, TracePartition};
+use crate::slin::SlinChecker;
+use crate::ObjAction;
+use slin_adt::{Adt, Partitioner};
 use slin_trace::{Action, Multiset, PhaseId, Trace};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
 
 /// A report cached per stream version (`events` at computation time).
 type CachedReport<W, E> = Option<(usize, MonitorReport<W, E>)>;
 
-/// The shared router + shard table behind both monitors.
+/// The shared router + shard table behind the monitor.
 pub(crate) struct Core<'a, T: Adt, V, K: Ord> {
     adt: &'a T,
     shard_cfg: ShardConfig,
@@ -38,10 +43,10 @@ pub(crate) struct Core<'a, T: Adt, V, K: Ord> {
     pub events: usize,
     /// The closed-trace buffer; `None` when a bounded window is configured
     /// (memory stays O(window)) until something forces reconstruction.
-    buffer: Option<Trace<ObjAction<T, V>>>,
+    pub buffer: Option<Trace<ObjAction<T, V>>>,
     /// First switch action's global index, if any.
     pub first_switch: Option<usize>,
-    wf: WfTracker<T::Input, T::Output, V>,
+    pub wf: WfTracker<T::Input, T::Output, V>,
     /// All inputs invoked so far (any shard) — the global extra pool.
     invoked: Multiset<T::Input>,
     /// Global validity-bound snapshot per commit index (window mode only;
@@ -109,6 +114,22 @@ where
             buffer.push(action.clone());
         }
         index
+    }
+
+    /// Reconstructs the closed-trace buffer from the retained windows when
+    /// a model that lazily re-checks on switch actions
+    /// ([`StreamModel::BUFFERS_ON_SWITCH`]) sees its first switch in
+    /// bounded-window mode. If a prefix was already retired the verdict
+    /// becomes window-relative (the documented bounded-window trade).
+    fn buffer_window_with(&mut self, action: ObjAction<T, V>) {
+        if self.buffer.is_some() {
+            // Closed-trace mode: `observe` already appended the action.
+            return;
+        }
+        let mut actions: Vec<ObjAction<T, V>> =
+            self.window_events().into_iter().map(|(_, a)| a).collect();
+        actions.push(action);
+        self.buffer = Some(Trace::from_actions(actions));
     }
 
     /// Routes a (non-switch) action into its shard, creating the shard on
@@ -234,18 +255,14 @@ where
     /// *global* indices, or the first failing shard's engine outcome, plus
     /// the absorbed stats and whether a monolithic re-derivation ran.
     ///
-    /// `key_of` classifies inputs (the wrapper's partitioner) — needed only
+    /// `key_of` classifies inputs (the monitor's partitioner) — needed only
     /// on the rare merge-bail path, where the per-shard seed states are
     /// assembled into one product state for a monolithic window search.
     #[allow(clippy::type_complexity)]
     fn window_verdict(
         &self,
         key_of: &dyn Fn(&T::Input) -> Option<K>,
-    ) -> (
-        Result<Vec<(usize, Vec<T::Input>)>, WindowError>,
-        SearchStats,
-        bool,
-    )
+    ) -> (Result<Chain<T::Input>, StreamFailure>, SearchStats, bool)
     where
         K: std::hash::Hash + std::fmt::Debug,
     {
@@ -256,7 +273,7 @@ where
             usize,
             Vec<(usize, Vec<T::Input>)>,
         )> = Vec::new();
-        let mut first_error: Option<WindowError> = None;
+        let mut first_error: Option<StreamFailure> = None;
         for (key, shard) in self.shards.iter() {
             let (result, shard_stats) = shard.window_search();
             stats.absorb(&shard_stats);
@@ -264,12 +281,12 @@ where
                 Ok(Some((seed_index, chain))) => chains.push((key, shard, seed_index, chain)),
                 Ok(None) => {
                     if first_error.is_none() {
-                        first_error = Some(WindowError::NotLinearizable);
+                        first_error = Some(StreamFailure::NotSatisfied);
                     }
                 }
                 Err(EngineError::BudgetExhausted { nodes }) => {
                     if first_error.is_none() {
-                        first_error = Some(WindowError::BudgetExhausted { nodes });
+                        first_error = Some(StreamFailure::BudgetExhausted { nodes });
                     }
                 }
             }
@@ -338,7 +355,7 @@ where
         let events = self.window_events();
         let trace: Vec<ObjAction<T, V>> = events.iter().map(|(_, a)| a.clone()).collect();
         let globals: Vec<usize> = events.iter().map(|(i, _)| *i).collect();
-        let commits: Vec<slin_core::ops::Commit<ProductAdt<'_, 'a, T, K>>> = trace
+        let commits: Vec<crate::ops::Commit<ProductAdt<'_, 'a, T, K>>> = trace
             .iter()
             .enumerate()
             .filter_map(|(p, a)| match a {
@@ -347,7 +364,7 @@ where
                     input,
                     output,
                     ..
-                } => Some(slin_core::ops::Commit {
+                } => Some(crate::ops::Commit {
                     index: p,
                     client: *client,
                     input: input.clone(),
@@ -366,12 +383,12 @@ where
                 }
             })
             .collect();
-        let engine = slin_core::engine::CheckerEngine::new(
+        let engine = crate::engine::CheckerEngine::new(
             &product,
             &commits,
             &bounds,
             self.invoked.clone(),
-            slin_core::engine::SearchBudget::new(self.shard_cfg.budget),
+            crate::engine::SearchBudget::new(self.shard_cfg.budget),
         )
         .with_extra_cap(trace.len());
         let seed = SearchSeed::<ProductAdt<'_, 'a, T, K>> {
@@ -384,11 +401,11 @@ where
                 stats.absorb(&outcome.stats);
                 match outcome.solution {
                     Some((chain, ())) => (Ok(remap_chain(chain, &globals)), stats, true),
-                    None => (Err(WindowError::NotLinearizable), stats, true),
+                    None => (Err(StreamFailure::NotSatisfied), stats, true),
                 }
             }
             Err(EngineError::BudgetExhausted { nodes }) => {
-                (Err(WindowError::BudgetExhausted { nodes }), stats, true)
+                (Err(StreamFailure::BudgetExhausted { nodes }), stats, true)
             }
         }
     }
@@ -429,13 +446,6 @@ where
     }
 }
 
-/// Window-mode failure, mapped onto each checker's error type by the
-/// wrappers.
-enum WindowError {
-    NotLinearizable,
-    BudgetExhausted { nodes: usize },
-}
-
 fn remap_chain<I>(chain: Vec<(usize, Vec<I>)>, index_map: &[usize]) -> Vec<(usize, Vec<I>)> {
     chain
         .into_iter()
@@ -443,15 +453,16 @@ fn remap_chain<I>(chain: Vec<(usize, Vec<I>)>, index_map: &[usize]) -> Vec<(usiz
         .collect()
 }
 
-/// Online monitor for the paper's (plain) linearizability over a live
-/// stream of actions. See the crate docs for the architecture and the
-/// exactness guarantees.
+/// Online monitor for any [`StreamModel`] over a live stream of actions.
+/// See the [module docs](crate::stream) for the architecture and the
+/// exactness guarantees; [`LinMonitor`] and [`SlinMonitor`] are the two
+/// shipped instantiations.
 ///
 /// # Example
 ///
 /// ```
 /// use slin_adt::{KvInput, KvKeyPartitioner, KvOutput, KvStore};
-/// use slin_monitor::{LinMonitor, MonitorStatus};
+/// use slin_core::stream::{LinMonitor, MonitorStatus};
 /// use slin_trace::{Action, ClientId, PhaseId, Trace};
 ///
 /// let (c1, ph) = (ClientId::new(1), PhaseId::FIRST);
@@ -463,48 +474,84 @@ fn remap_chain<I>(chain: Vec<(usize, Vec<I>)>, index_map: &[usize]) -> Vec<(usiz
 /// let report = mon.report();
 /// assert!(report.verdict.is_ok());
 /// ```
-pub struct LinMonitor<'a, T: Adt, P: Partitioner<T>, V = ()> {
-    pub(crate) core: Core<'a, T, V, P::Key>,
-    partitioner: P,
+pub struct Monitor<'a, M, V, P>
+where
+    M: ConsistencyModel<'a, V>,
+    P: Partitioner<M::Adt>,
+{
+    model: M,
+    partitioner: Option<P>,
     config: MonitorConfig,
-    cached: CachedReport<LinWitness<T::Input>, LinError>,
+    pub(crate) core: Core<'a, M::Adt, V, P::Key>,
+    /// Lazily-resolved deferred status, cached per stream version so
+    /// [`Monitor::status`] can take `&self` on every model.
+    status_cache: Mutex<Option<(usize, MonitorStatus)>>,
+    cached: CachedReport<M::Witness, M::Error>,
 }
 
-impl<'a, T, P, V> LinMonitor<'a, T, P, V>
-where
-    T: Adt,
-    T::Input: Ord,
-    P: Partitioner<T>,
-    V: Clone + PartialEq,
-{
-    /// Creates a monitor with the default configuration.
-    pub fn new(adt: &'a T, partitioner: P) -> Self {
-        Self::with_config(adt, partitioner, MonitorConfig::default())
-    }
+/// Online monitor for the paper's (plain) linearizability: the generic
+/// [`Monitor`] instantiated with [`LinChecker`].
+pub type LinMonitor<'a, T, P, V = ()> = Monitor<'a, LinChecker<'a, T>, V, P>;
 
-    /// Creates a monitor with an explicit configuration.
-    pub fn with_config(adt: &'a T, partitioner: P, config: MonitorConfig) -> Self {
-        LinMonitor {
-            core: Core::new(adt, &config, None),
+/// Online monitor for `(m, n)`-speculative linearizability: the generic
+/// [`Monitor`] instantiated with [`SlinChecker`].
+///
+/// Switch-free streams run on the same incremental shard machinery as
+/// [`LinMonitor`] (Theorem 2 equates the two criteria there). The first
+/// switch action sends the monitor into **speculative mode**: the shard
+/// engines go quiet and the rolling verdict is recomputed lazily — and
+/// cached per stream version — by the batch [`SlinChecker`], mirroring the
+/// partitioned checker's own monolithic fallback on phase traces.
+pub type SlinMonitor<'a, T, R, P> =
+    Monitor<'a, SlinChecker<'a, T, R>, <R as InitRelation<<T as Adt>::Input>>::Value, P>;
+
+impl<'a, M, V, P> Monitor<'a, M, V, P>
+where
+    M: StreamModel<'a, V>,
+    <M::Adt as Adt>::Input: Ord,
+    V: Clone + PartialEq,
+    P: Partitioner<M::Adt>,
+{
+    /// Creates a monitor around a configured model. `None` for the
+    /// partitioner routes every event to the identity shard
+    /// (non-partitionable ADTs still stream).
+    pub fn from_model(model: M, partitioner: Option<P>, config: MonitorConfig) -> Self {
+        let core = Core::new(model.adt(), &config, model.phase_bounds());
+        Monitor {
+            model,
             partitioner,
             config,
+            core,
+            status_cache: Mutex::new(None),
             cached: None,
         }
     }
 
+    fn key_of(&self, input: &<M::Adt as Adt>::Input) -> Option<P::Key> {
+        self.partitioner.as_ref().and_then(|p| p.key_of(input))
+    }
+
     /// Ingests the next event of the live stream; O(shard work) — no
     /// re-check of the growing prefix.
-    pub fn ingest(&mut self, action: ObjAction<T, V>) -> IngestOutcome {
+    pub fn ingest(&mut self, action: ObjAction<M::Adt, V>) -> IngestOutcome {
         self.cached = None;
+        *self
+            .status_cache
+            .get_mut()
+            .expect("status cache lock poisoned") = None;
+        let was_quiet = self.core.first_switch.is_some();
         let index = self.core.observe(&action);
-        let (frontier_len, fell_back) = if action.is_switch() {
-            // The verdict is decided (`LinError::SwitchAction` — plain
-            // linearizability has no switch actions); shards go quiet.
+        let (frontier_len, fell_back) = if was_quiet {
+            // The stream's verdict is decided (lin) or deferred to lazy
+            // batch re-checks over the buffer (slin): shards stay quiet.
             (0, false)
-        } else if self.core.first_switch.is_some() {
+        } else if action.is_switch() {
+            if M::BUFFERS_ON_SWITCH {
+                self.core.buffer_window_with(action);
+            }
             (0, false)
         } else {
-            let key = self.partitioner.key_of(action.input());
+            let key = self.key_of(action.input());
             if key.is_none() && !self.core.fallback {
                 self.core.collapse_to_identity();
             }
@@ -514,19 +561,56 @@ where
             index,
             frontier_len,
             fell_back,
-            status: self.status(),
+            status: self.quick_status(),
         }
     }
 
-    /// The exact rolling verdict, O(#shards).
-    pub fn status(&self) -> MonitorStatus {
+    /// O(1) rolling status. For models that defer on switch actions
+    /// (speculative mode) this reports [`MonitorStatus::Deferred`] instead
+    /// of forcing a batch re-check; [`Monitor::status`] resolves it.
+    pub fn quick_status(&self) -> MonitorStatus {
         if self.core.first_switch.is_some() {
-            return MonitorStatus::SwitchSeen;
+            if M::QUIET_STATUS == MonitorStatus::Deferred {
+                if let Some((at, status)) = *self
+                    .status_cache
+                    .lock()
+                    .expect("status cache lock poisoned")
+                {
+                    if at == self.core.events {
+                        return status;
+                    }
+                }
+            }
+            return M::QUIET_STATUS;
         }
-        if self.core.wf.has_violation() {
+        if self.core.wf.first_foreign.is_some() || self.core.wf.has_violation() {
             return MonitorStatus::IllFormed;
         }
         self.core.shard_status()
+    }
+
+    /// The exact rolling verdict. Cheap on switch-free streams; in
+    /// speculative mode it runs (and caches per stream version) one batch
+    /// check of the retained trace.
+    pub fn status(&self) -> MonitorStatus {
+        let quick = self.quick_status();
+        if quick != MonitorStatus::Deferred {
+            return quick;
+        }
+        let buffer = self
+            .core
+            .buffer
+            .as_ref()
+            .expect("deferred statuses buffer the stream");
+        let status = match self.model.check_monolithic(buffer).0 {
+            Ok(_) => MonitorStatus::Ok,
+            Err(e) => M::status_of_error(&e),
+        };
+        *self
+            .status_cache
+            .lock()
+            .expect("status cache lock poisoned") = Some((self.core.events, status));
+        status
     }
 
     /// Number of events ingested so far.
@@ -539,19 +623,33 @@ where
         self.core.shards.len()
     }
 
+    /// Drains a stream sequentially; returns the final rolling status
+    /// (resolving speculative deferral).
+    pub fn drive<S: EventStream<ObjAction<M::Adt, V>>>(&mut self, mut stream: S) -> MonitorStatus {
+        while let Some(action) = stream.next_event() {
+            self.ingest(action);
+        }
+        self.status()
+    }
+}
+
+impl<'a, M, V, P> Monitor<'a, M, V, P>
+where
+    M: StreamModel<'a, V> + Sync,
+    M::Adt: Sync,
+    <M::Adt as Adt>::Input: Ord + Send + Sync,
+    <M::Adt as Adt>::Output: Sync,
+    M::Witness: Send,
+    M::Error: Send,
+    V: Clone + PartialEq + Sync,
+    P: Partitioner<M::Adt>,
+{
     /// The full forensic report. With an unbounded window this is
-    /// **byte-identical** to [`LinChecker::check`] on the closed trace
+    /// **byte-identical** to the model's batch check on the closed trace
     /// (witness included); with a bounded window it is window-relative
-    /// (see the crate docs) and flagged by
+    /// (see the [module docs](crate::stream)) and flagged by
     /// [`MonitorReport::prefix_committed`].
-    pub fn report(&mut self) -> MonitorReport<LinWitness<T::Input>, LinError>
-    where
-        T: Sync,
-        T::Input: Send + Sync,
-        T::Output: Sync,
-        V: Sync,
-        P::Key: Sync,
-    {
+    pub fn report(&mut self) -> MonitorReport<M::Witness, M::Error> {
         if let Some((at, report)) = &self.cached {
             if *at == self.core.events {
                 return report.clone();
@@ -562,32 +660,24 @@ where
         report
     }
 
-    fn compute_report(&self) -> MonitorReport<LinWitness<T::Input>, LinError>
-    where
-        T: Sync,
-        T::Input: Send + Sync,
-        T::Output: Sync,
-        V: Sync,
-        P::Key: Sync,
-    {
+    fn compute_report(&self) -> MonitorReport<M::Witness, M::Error> {
         let core = &self.core;
+        let quiet = core.first_switch.is_some();
         let base = MonitorReport {
-            verdict: Err(LinError::NotLinearizable),
+            verdict: Err(self.model.stream_error(StreamFailure::NotSatisfied)),
             events: core.events,
             shards: core.shards.len(),
-            fallback: core.fallback || core.first_switch.is_some(),
+            fallback: core.fallback || quiet,
             remerged: false,
             prefix_committed: core.prefix_committed,
             stats: SearchStats::default(),
             shard: core.summary(),
         };
         if let Some(buffer) = &core.buffer {
-            // Closed-trace mode: delegate to the batch split checker — the
-            // proven-identical partitioned path over the live shard table.
-            let checker = LinChecker::new(core.adt)
-                .with_budget(self.config.budget)
-                .with_threads(self.config.threads);
-            let split = if core.first_switch.is_some() {
+            // Closed-trace mode: delegate to the generic split checker —
+            // the proven-identical partitioned path over the live shard
+            // table (one identity partition once the stream went quiet).
+            let split = if quiet {
                 SplitOutcome {
                     parts: vec![TracePartition {
                         key: None,
@@ -599,33 +689,38 @@ where
             } else {
                 core.split()
             };
-            let (verdict, part_report) = checker.check_split_with_report(&split, buffer);
+            let sv = model::check_split(&self.model, &split, buffer);
             return MonitorReport {
-                verdict,
-                remerged: part_report.remerged,
-                stats: part_report.stats,
+                verdict: sv.verdict,
+                remerged: sv.report.remerged,
+                stats: sv.report.stats,
                 ..base
             };
         }
-        // Window mode: batch precedence (switch, well-formedness, search)
-        // over the retained window.
+        // Window mode: batch precedence (switch / signature,
+        // well-formedness, search) over the retained window.
         if let Some(index) = core.first_switch {
             return MonitorReport {
-                verdict: Err(LinError::SwitchAction { index }),
+                verdict: Err(self.model.stream_error(StreamFailure::Switch { index })),
+                ..base
+            };
+        }
+        if let Some(index) = core.wf.first_foreign {
+            return MonitorReport {
+                verdict: Err(self.model.stream_error(StreamFailure::Foreign { index })),
                 ..base
             };
         }
         if let Some(e) = core.wf.first_error() {
             return MonitorReport {
-                verdict: Err(LinError::IllFormed(e)),
+                verdict: Err(self.model.stream_error(StreamFailure::IllFormed(e))),
                 ..base
             };
         }
-        let (merged, stats, remerged) = core.window_verdict(&|i| self.partitioner.key_of(i));
+        let (merged, stats, remerged) = core.window_verdict(&|i| self.key_of(i));
         let verdict = match merged {
-            Ok(assignments) => Ok(LinWitness::from_assignments(assignments)),
-            Err(WindowError::NotLinearizable) => Err(LinError::NotLinearizable),
-            Err(WindowError::BudgetExhausted { nodes }) => Err(LinError::BudgetExhausted { nodes }),
+            Ok(chain) => Ok(self.model.stream_witness(chain, &stats)),
+            Err(failure) => Err(self.model.stream_error(failure)),
         };
         MonitorReport {
             verdict,
@@ -635,22 +730,11 @@ where
         }
     }
 
-    /// Drains a stream sequentially; returns the final rolling status.
-    pub fn drive<S: crate::EventStream<ObjAction<T, V>>>(
-        &mut self,
-        mut stream: S,
-    ) -> MonitorStatus {
-        while let Some(action) = stream.next_event() {
-            self.ingest(action);
-        }
-        self.status()
-    }
-
     /// Drains a stream through **per-key shard workers**: the router (this
     /// thread) classifies each event and hands it to the worker owning its
     /// shard over a channel; workers run the incremental shard engines in
     /// parallel and are merged back at stream end. Final states, statuses
-    /// and reports are identical to [`LinMonitor::drive`] at every thread
+    /// and reports are identical to [`Monitor::drive`] at every thread
     /// count (each shard's state is a pure function of its own event
     /// subsequence, which routing preserves in order).
     ///
@@ -659,13 +743,10 @@ where
     /// of the stream runs inline.
     pub fn drive_parallel<S>(&mut self, mut stream: S) -> MonitorStatus
     where
-        S: crate::EventStream<ObjAction<T, V>>,
-        T: Sync,
-        T::Input: Send + Sync,
-        T::Output: Send + Sync,
-        T::State: Send,
-        V: Send + Sync,
-        P::Key: Send,
+        S: EventStream<ObjAction<M::Adt, V>>,
+        <M::Adt as Adt>::Output: Send,
+        <M::Adt as Adt>::State: Send,
+        V: Send,
     {
         let threads = if self.config.threads > 0 {
             self.config.threads
@@ -673,6 +754,9 @@ where
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
+        };
+        let Some(partitioner) = &self.partitioner else {
+            return self.drive(stream);
         };
         if threads <= 1 || self.core.fallback || self.core.first_switch.is_some() {
             return self.drive(stream);
@@ -689,18 +773,17 @@ where
         let window = self.core.window;
         let mut assignment: BTreeMap<P::Key, usize> = BTreeMap::new();
         let mut next_worker = 0usize;
-        let mut leftover: Option<ObjAction<T, V>> = None;
+        let mut leftover: Option<ObjAction<M::Adt, V>> = None;
 
         let core = &mut self.core;
-        let partitioner = &self.partitioner;
         let (maps, retired) = std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(threads);
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
-                let (tx, rx) = std::sync::mpsc::channel::<WorkerMsg<'a, T, V, P::Key>>();
+                let (tx, rx) = std::sync::mpsc::channel::<WorkerMsg<'a, M::Adt, V, P::Key>>();
                 senders.push(tx);
                 handles.push(scope.spawn(move || {
-                    let mut shards: BTreeMap<P::Key, ShardState<'a, T, V>> = BTreeMap::new();
+                    let mut shards: BTreeMap<P::Key, ShardState<'a, M::Adt, V>> = BTreeMap::new();
                     let mut retired: Vec<usize> = Vec::new();
                     while let Ok(msg) = rx.recv() {
                         match msg {
@@ -775,24 +858,31 @@ where
     }
 }
 
-/// Online monitor for `(m, n)`-speculative linearizability.
-///
-/// Switch-free streams run on the same incremental shard machinery as
-/// [`LinMonitor`] (Theorem 2 equates the two criteria there). The first
-/// switch action sends the monitor into **speculative mode**: the shard
-/// engines go quiet and the rolling verdict is recomputed lazily — and
-/// cached per stream version — by the batch [`SlinChecker`], mirroring the
-/// partitioned checker's own monolithic fallback on phase traces.
-pub struct SlinMonitor<'a, T: Adt, R: InitRelation<T::Input>, P: Partitioner<T>> {
-    pub(crate) core: Core<'a, T, R::Value, P::Key>,
-    checker: SlinChecker<'a, T, R>,
-    partitioner: P,
-    speculative: bool,
-    cached_status: Option<(usize, MonitorStatus)>,
-    cached: CachedReport<SlinReport<T::Input>, SlinError>,
+impl<'a, T, V, P> Monitor<'a, LinChecker<'a, T>, V, P>
+where
+    T: Adt,
+    T::Input: Ord,
+    V: Clone + PartialEq,
+    P: Partitioner<T>,
+{
+    /// Creates a plain-linearizability monitor with the default
+    /// configuration.
+    pub fn new(adt: &'a T, partitioner: P) -> Self {
+        Self::with_config(adt, partitioner, MonitorConfig::default())
+    }
+
+    /// Creates a plain-linearizability monitor with an explicit
+    /// configuration (the config's budget and threads configure the
+    /// report-time batch checks too).
+    pub fn with_config(adt: &'a T, partitioner: P, config: MonitorConfig) -> Self {
+        let model = LinChecker::new(adt)
+            .with_budget(config.budget)
+            .with_threads(config.threads);
+        Monitor::from_model(model, Some(partitioner), config)
+    }
 }
 
-impl<'a, T, R, P> SlinMonitor<'a, T, R, P>
+impl<'a, T, R, P> Monitor<'a, SlinChecker<'a, T, R>, R::Value, P>
 where
     T: Adt + Sync,
     T::Input: Ord + Send + Sync,
@@ -801,222 +891,31 @@ where
     R::Value: Clone + PartialEq + Sync,
     P: Partitioner<T>,
 {
-    /// Creates a monitor around a configured batch checker for phase
-    /// `(m, n)`.
+    /// Creates a speculative-linearizability monitor around a configured
+    /// batch checker for phase `(m, n)`.
+    ///
+    /// The `adt` and `(m, n)` arguments are redundant with the checker's
+    /// own configuration (kept for signature compatibility); mismatched
+    /// phase bounds panic rather than silently letting the checker's
+    /// bounds win.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(m, n)` differs from the checker's configured phase
+    /// bounds.
     pub fn new(
         checker: SlinChecker<'a, T, R>,
-        adt: &'a T,
+        _adt: &'a T,
         m: PhaseId,
         n: PhaseId,
         partitioner: P,
         config: MonitorConfig,
     ) -> Self {
-        SlinMonitor {
-            core: Core::new(adt, &config, Some((m, n))),
-            checker,
-            partitioner,
-            speculative: false,
-            cached_status: None,
-            cached: None,
-        }
-    }
-
-    /// Ingests the next event of the live stream.
-    pub fn ingest(&mut self, action: ObjAction<T, R::Value>) -> IngestOutcome {
-        self.cached = None;
-        self.cached_status = None;
-        let index = self.core.observe(&action);
-        let (frontier_len, fell_back) = if action.is_switch() && !self.speculative {
-            self.enter_speculative_mode(action);
-            (0, false)
-        } else if self.speculative {
-            // `observe` already appended the event to the (reconstructed)
-            // buffer; the shard machinery is retired.
-            (0, false)
-        } else {
-            let key = self.partitioner.key_of(action.input());
-            if key.is_none() && !self.core.fallback {
-                self.core.collapse_to_identity();
-            }
-            self.core.route(key, action, index)
-        };
-        IngestOutcome {
-            index,
-            frontier_len,
-            fell_back,
-            status: self.quick_status(),
-        }
-    }
-
-    /// Switch actions couple independence classes through `rinit`: retire
-    /// the shard machinery and fall back to lazy batch checking over the
-    /// retained trace (mirroring `check_partitioned`'s identity fallback).
-    fn enter_speculative_mode(&mut self, action: ObjAction<T, R::Value>) {
-        self.speculative = true;
-        if self.core.buffer.is_none() {
-            // Window mode: reconstruct what is still retained. If a prefix
-            // was already retired the verdict becomes window-relative (the
-            // documented bounded-window trade).
-            let mut actions: Vec<ObjAction<T, R::Value>> = self
-                .core
-                .window_events()
-                .into_iter()
-                .map(|(_, a)| a)
-                .collect();
-            actions.push(action);
-            self.core.buffer = Some(Trace::from_actions(actions));
-        }
-    }
-
-    /// O(1) status that reports [`MonitorStatus::Deferred`] in speculative
-    /// mode instead of forcing a batch re-check; [`SlinMonitor::status`]
-    /// resolves it.
-    pub fn quick_status(&self) -> MonitorStatus {
-        if self.speculative {
-            if let Some((at, s)) = self.cached_status {
-                if at == self.core.events {
-                    return s;
-                }
-            }
-            return MonitorStatus::Deferred;
-        }
-        if self.core.wf.first_foreign.is_some() || self.core.wf.has_violation() {
-            return MonitorStatus::IllFormed;
-        }
-        self.core.shard_status()
-    }
-
-    /// The exact rolling verdict. Cheap on switch-free streams; in
-    /// speculative mode it runs (and caches per stream version) one batch
-    /// check of the retained trace.
-    pub fn status(&mut self) -> MonitorStatus {
-        let quick = self.quick_status();
-        if quick != MonitorStatus::Deferred {
-            return quick;
-        }
-        let buffer = self.core.buffer.as_ref().expect("speculative mode buffers");
-        let status = match self.checker.check(buffer) {
-            Ok(_) => MonitorStatus::Ok,
-            Err(SlinError::NotSpeculativelyLinearizable { .. }) => MonitorStatus::Violation,
-            Err(SlinError::IllFormed(_)) | Err(SlinError::ForeignAction { .. }) => {
-                MonitorStatus::IllFormed
-            }
-            Err(SlinError::BudgetExhausted { .. })
-            | Err(SlinError::TooManyInterpretations { .. }) => MonitorStatus::Unknown,
-        };
-        self.cached_status = Some((self.core.events, status));
-        status
-    }
-
-    /// Number of events ingested so far.
-    pub fn events(&self) -> usize {
-        self.core.events
-    }
-
-    /// Number of live shards.
-    pub fn shards(&self) -> usize {
-        self.core.shards.len()
-    }
-
-    /// The full forensic report; byte-identical to
-    /// [`SlinChecker::check_partitioned_with_report`] on the closed trace
-    /// when the window is unbounded (and therefore, on the witness and
-    /// error, to [`SlinChecker::check`] — the PR 2 differential contract).
-    pub fn report(&mut self) -> MonitorReport<SlinReport<T::Input>, SlinError> {
-        if let Some((at, report)) = &self.cached {
-            if *at == self.core.events {
-                return report.clone();
-            }
-        }
-        let report = self.compute_report();
-        self.cached = Some((self.core.events, report.clone()));
-        report
-    }
-
-    fn compute_report(&self) -> MonitorReport<SlinReport<T::Input>, SlinError> {
-        let core = &self.core;
-        let base = MonitorReport {
-            verdict: Err(SlinError::NotSpeculativelyLinearizable {
-                interpretation: Vec::new(),
-            }),
-            events: core.events,
-            shards: core.shards.len(),
-            fallback: core.fallback || self.speculative,
-            remerged: false,
-            prefix_committed: core.prefix_committed,
-            stats: SearchStats::default(),
-            shard: core.summary(),
-        };
-        if let Some(buffer) = &core.buffer {
-            let split = if self.speculative {
-                SplitOutcome {
-                    parts: vec![TracePartition {
-                        key: None,
-                        trace: buffer.clone(),
-                        index_map: (0..buffer.len()).collect(),
-                    }],
-                    fallback: true,
-                }
-            } else {
-                core.split()
-            };
-            let (verdict, part_report) = self.checker.check_split_with_report(&split, buffer);
-            return MonitorReport {
-                verdict,
-                remerged: part_report.remerged,
-                stats: part_report.stats,
-                ..base
-            };
-        }
-        // Window mode, switch-free: Theorem 2 lets the lin window verdict
-        // stand for the speculative one.
-        if let Some(index) = core.wf.first_foreign {
-            return MonitorReport {
-                verdict: Err(SlinError::ForeignAction { index }),
-                ..base
-            };
-        }
-        if let Some(e) = core.wf.first_error() {
-            return MonitorReport {
-                verdict: Err(SlinError::IllFormed(e)),
-                ..base
-            };
-        }
-        let (merged, stats, remerged) = core.window_verdict(&|i| self.partitioner.key_of(i));
-        let verdict = match merged {
-            Ok(chain) => Ok(SlinReport {
-                interpretations_checked: stats.interpretations,
-                witness: SlinWitness {
-                    init_histories: Vec::new(),
-                    commit_histories: chain,
-                    abort_histories: Vec::new(),
-                },
-                stats,
-            }),
-            Err(WindowError::NotLinearizable) => Err(SlinError::NotSpeculativelyLinearizable {
-                interpretation: Vec::new(),
-            }),
-            Err(WindowError::BudgetExhausted { nodes }) => {
-                Err(SlinError::BudgetExhausted { nodes })
-            }
-        };
-        MonitorReport {
-            verdict,
-            remerged,
-            stats,
-            ..base
-        }
-    }
-
-    /// Drains a stream sequentially; returns the final rolling status
-    /// (resolving speculative deferral).
-    pub fn drive<S: crate::EventStream<ObjAction<T, R::Value>>>(
-        &mut self,
-        mut stream: S,
-    ) -> MonitorStatus {
-        while let Some(action) = stream.next_event() {
-            self.ingest(action);
-        }
-        self.status()
+        assert_eq!(
+            checker.phase_bounds(),
+            Some((m, n)),
+            "the monitor's phase bounds come from the checker"
+        );
+        Monitor::from_model(checker, Some(partitioner), config)
     }
 }

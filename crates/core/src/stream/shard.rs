@@ -51,10 +51,10 @@
 //! per-index bound snapshots, like the batch checkers — independent of
 //! stream length).
 
+use crate::engine::{Chain, CheckerEngine, EngineError, SearchBudget, SearchSeed, SearchStats};
+use crate::ops::Commit;
+use crate::ObjAction;
 use slin_adt::Adt;
-use slin_core::engine::{Chain, CheckerEngine, EngineError, SearchBudget, SearchSeed, SearchStats};
-use slin_core::ops::Commit;
-use slin_core::ObjAction;
 use slin_trace::{Action, Multiset, Trace};
 use std::collections::HashSet;
 
@@ -88,7 +88,7 @@ pub(crate) enum ShardStatus {
     BudgetExhausted,
 }
 
-/// Counters aggregated into [`crate::ShardSummary`].
+/// Counters aggregated into [`super::ShardSummary`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub(crate) struct ShardCounters {
     pub events: usize,

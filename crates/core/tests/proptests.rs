@@ -173,6 +173,7 @@ proptest! {
     /// stats, and error payloads) to a single-threaded run, on both the
     /// first-phase and backup-phase checkers.
     #[test]
+    #[allow(deprecated)] // compat: the deprecated sequential wrapper is the differential oracle
     fn parallel_slin_matches_sequential(t in phase_trace()) {
         for (m, n) in [(1u32, 2u32), (2, 3)] {
             let chk = SlinChecker::new(
@@ -188,6 +189,7 @@ proptest! {
     /// Successful checks aggregate engine stats over exactly the enumerated
     /// interpretations, identically on both execution paths.
     #[test]
+    #[allow(deprecated)] // compat: the deprecated sequential wrapper is the differential oracle
     fn slin_stats_cover_all_interpretations(t in phase_trace()) {
         let chk = SlinChecker::new(
             &Consensus, ConsensusInit::new(), PhaseId::new(1), PhaseId::new(2),

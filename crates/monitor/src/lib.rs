@@ -1,11 +1,15 @@
 //! Online streaming monitor: sharded incremental (s)linearizability
 //! checking over live event streams.
 //!
-//! The batch checkers in `slin-core` need the whole trace before
-//! `check()` runs. This crate adds the layer between the trace model and
-//! those checkers that the ROADMAP's live-traffic north star needs: a
-//! monitor that **ingests one action at a time** and maintains a rolling
-//! verdict without re-checking the growing prefix.
+//! The machinery behind this crate moved into [`slin_core::stream`] when
+//! the checker surface was unified behind the
+//! [`slin_core::model::ConsistencyModel`] trait: there is now **one**
+//! generic [`Monitor`], and [`LinMonitor`]/[`SlinMonitor`] are its two
+//! shipped instantiations. This crate re-exports that module unchanged so
+//! existing consumers keep working; new code can depend on `slin-core`
+//! alone and reach the same types through the
+//! [`slin_core::session::Checker`] builder
+//! (`Strategy::Streaming { window }`).
 //!
 //! ```text
 //!                        ┌───────────────────────────────┐
@@ -19,39 +23,9 @@
 //!                        └─────── merged verdict ┴──▶ status() / report()
 //! ```
 //!
-//! # Architecture
-//!
-//! * **Routing** — every action is classified by the existing
-//!   [`slin_adt::Partitioner`]; each independence class gets its own
-//!   shard with its own incremental engine state. The identity fallback
-//!   (unclassifiable inputs) collapses everything into one shard, so
-//!   non-partitionable ADTs still stream.
-//! * **Incremental engine state** — each shard persists a **frontier** of
-//!   complete chain-search configurations between events (each one a
-//!   genuine witness for the shard's prefix). Invocations are O(1);
-//!   responses extend the frontier at the chain tail. When the frontier
-//!   prunes empty the shard runs the documented fallback: one **bounded
-//!   re-search** of the retained window, which decides the rolling verdict
-//!   exactly. Rolling "ok" therefore always carries a witness, and rolling
-//!   "violation" is never spurious before any garbage collection.
-//! * **Bounded-window GC** — with [`MonitorConfig::window`] set, a shard
-//!   that grows past the window while quiescent retires its
-//!   fully-committed prefix into the *complete* set of terminal search
-//!   configurations — a lossless summary (the engine's future depends
-//!   only on reached state + consumed inputs), so verdicts stay exact;
-//!   retirement is skipped whenever the summary would be truncated.
-//!   Memory stays bounded by the window and the input alphabet
-//!   (O(window · alphabet) worst case — per-index bound snapshots, the
-//!   same shape the batch checkers materialise), independent of stream
-//!   length. [`MonitorReport::prefix_committed`] flags engaged GC;
-//!   reported *witness histories* become window-relative (the retired
-//!   events are gone).
-//! * **Batch-identical reports** — with the default unbounded window,
-//!   [`LinMonitor::report`] is byte-identical (verdict *and* witness) to
-//!   [`slin_core::lin::LinChecker::check`] on the closed trace, and
-//!   [`SlinMonitor::report`] to the speculative partitioned checker; the
-//!   `streaming_differential` suite in `tests/` pins this over the
-//!   multi-key generators, including traces with more than 64 commits.
+//! See [`slin_core::stream`] for the architecture (routing, incremental
+//! frontier engines, bounded-window GC) and the exactness guarantees
+//! (batch-identical reports with the default unbounded window).
 //!
 //! # Quickstart
 //!
@@ -73,125 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod monitor;
-mod shard;
-mod stream;
-mod wf;
-
-pub use monitor::{LinMonitor, SlinMonitor};
-pub use stream::EventStream;
-
-use slin_core::engine::SearchStats;
-
-/// Tuning knobs of a monitor.
-#[derive(Debug, Clone, Copy)]
-pub struct MonitorConfig {
-    /// Node budget of every full engine search (fallback re-searches,
-    /// final report derivations). Matches the batch checkers' default.
-    pub budget: usize,
-    /// Maximum frontier configurations retained per shard. Larger values
-    /// survive more reorderings without falling back; smaller values bound
-    /// per-event work tighter.
-    pub frontier_cap: usize,
-    /// Node budget of one frontier tail-extension pass; exhausting it
-    /// forces a fallback re-search (exactness is never lost).
-    pub extension_budget: usize,
-    /// Bounded-window GC: retire quiescent, fully-committed prefixes once
-    /// a shard's window exceeds this many events. `None` (default) retains
-    /// everything and keeps reports byte-identical to the batch checkers.
-    pub window: Option<usize>,
-    /// Worker threads for the final report's partition fan-out and for
-    /// [`LinMonitor::drive_parallel`] (0 = one per core).
-    pub threads: usize,
-}
-
-impl Default for MonitorConfig {
-    fn default() -> Self {
-        MonitorConfig {
-            budget: slin_core::lin::DEFAULT_BUDGET,
-            frontier_cap: 32,
-            extension_budget: 4096,
-            window: None,
-            threads: 0,
-        }
-    }
-}
-
-/// The rolling verdict of a monitor (exact at every event — see the crate
-/// docs for the one bounded-window caveat).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MonitorStatus {
-    /// Every ingested prefix satisfies the monitored criterion.
-    Ok,
-    /// The stream violates the criterion (permanent).
-    Violation,
-    /// The stream is not well-formed (or, for the speculative monitor, an
-    /// action lies outside the phase signature).
-    IllFormed,
-    /// A switch action appeared in a plain-linearizability stream: the
-    /// verdict is decided (`LinError::SwitchAction`).
-    SwitchSeen,
-    /// A search exhausted its node budget; the verdict is unknown until a
-    /// later search succeeds.
-    Unknown,
-    /// Speculative mode defers the verdict to the next
-    /// [`SlinMonitor::status`] call (which runs and caches a batch check).
-    Deferred,
-}
-
-/// Per-event feedback from [`LinMonitor::ingest`] / [`SlinMonitor::ingest`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct IngestOutcome {
-    /// The event's global stream index.
-    pub index: usize,
-    /// The target shard's frontier size after the event (0 for events that
-    /// bypass the shard machinery).
-    pub frontier_len: usize,
-    /// Whether the event forced a bounded re-search (frontier pruned
-    /// empty or the extension budget tripped).
-    pub fell_back: bool,
-    /// The rolling verdict after the event.
-    pub status: MonitorStatus,
-}
-
-/// Aggregated shard-machinery counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ShardSummary {
-    /// Frontier tail-extension passes run (one per commit event).
-    pub extension_searches: usize,
-    /// Bounded re-searches run (the documented fallback).
-    pub fallback_searches: usize,
-    /// Largest frontier any shard ever held.
-    pub frontier_peak: usize,
-    /// Events retired by bounded-window GC across all shards.
-    pub retired_events: usize,
-}
-
-/// The monitor's full forensic report.
-///
-/// `W`/`E` are the wrapped batch checker's witness and error types; with
-/// an unbounded window `verdict` is byte-identical to that checker's
-/// output on the closed trace.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MonitorReport<W, E> {
-    /// The verdict (witness or error) for the retained trace.
-    pub verdict: Result<W, E>,
-    /// Events ingested.
-    pub events: usize,
-    /// Live shards.
-    pub shards: usize,
-    /// Whether identity routing engaged (unclassifiable input, switch
-    /// action, or speculative mode) — mirrors `SplitOutcome::fallback`.
-    pub fallback: bool,
-    /// Whether the final witness needed a monolithic re-derivation
-    /// (cross-partition bound coupling) — mirrors
-    /// `PartitionReport::remerged`.
-    pub remerged: bool,
-    /// Whether bounded-window GC retired a prefix: the verdict is
-    /// window-relative.
-    pub prefix_committed: bool,
-    /// Engine counters absorbed over the report derivation.
-    pub stats: SearchStats,
-    /// Aggregated shard-machinery counters.
-    pub shard: ShardSummary,
-}
+pub use slin_core::stream::{
+    EventStream, IngestOutcome, LinMonitor, Monitor, MonitorConfig, MonitorReport, MonitorStatus,
+    ShardSummary, SlinMonitor, StreamFailure, StreamModel,
+};

@@ -221,6 +221,7 @@ fn violations_are_still_caught_after_gc() {
 }
 
 #[test]
+#[allow(deprecated)] // compat: the deprecated partitioned wrapper is the differential oracle
 fn slin_monitor_matches_partitioned_checker_on_switch_free_streams() {
     let chk = SlinChecker::new(
         &KvStore,

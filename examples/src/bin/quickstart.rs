@@ -15,11 +15,13 @@ use slin_core::classical::ClassicalChecker;
 use slin_core::compose::{check_composition, CompositionOutcome};
 use slin_core::initrel::ConsensusInit;
 use slin_core::lin::LinChecker;
+use slin_core::session::{Checker, Strategy, StrategyUsed};
 use slin_trace::{Action, ClientId, PhaseId, Trace};
 
 fn main() {
     let cons = Consensus::new();
-    let lin = LinChecker::new(&cons);
+    // The unified surface: one builder, strategy as configuration.
+    let mut lin = Checker::builder(LinChecker::new(&cons)).build();
     let classical = ClassicalChecker::new(&cons);
     let (c1, c2) = (ClientId::new(1), ClientId::new(2));
     let ph = PhaseId::FIRST;
@@ -33,7 +35,7 @@ fn main() {
         Action::respond(c2, ph, p(2), d(2)),
         Action::respond(c1, ph, p(1), d(2)),
     ]);
-    let w = lin.check(&good).expect("linearizable");
+    let w = lin.check(&good).outcome.expect("linearizable");
     println!("linearizable: {good:?}");
     println!("  witness linearization: {:?}", w.full_history());
     assert!(classical.check(&good).is_ok());
@@ -46,9 +48,26 @@ fn main() {
     ]);
     println!(
         "split decision rejected: {:?}",
-        lin.check(&bad).unwrap_err()
+        lin.check(&bad).outcome.unwrap_err()
     );
     assert!(classical.check(&bad).is_err());
+
+    // The same judgment, streamed one event at a time: a session built
+    // with Strategy::Streaming ingests live and reports identically.
+    let mut live = Checker::builder(LinChecker::new(&cons))
+        .strategy(Strategy::Streaming { window: None })
+        .build();
+    for a in good.iter() {
+        live.ingest(a.clone());
+    }
+    let streamed = live.check(&Trace::new());
+    assert_eq!(streamed.strategy, StrategyUsed::Streaming);
+    assert_eq!(
+        streamed.outcome.expect("streamed verdict").full_history(),
+        w.full_history(),
+        "streaming report is byte-identical to the batch witness"
+    );
+    println!("  streaming session agrees, event by event ✓");
 
     println!("\n== 2. Quorum + Backup over the simulated network ==");
     let fast = run_scenario(&Scenario::fault_free(3, &[(7, 0)]));

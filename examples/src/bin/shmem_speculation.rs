@@ -11,6 +11,7 @@ use slin_adt::Consensus;
 use slin_core::compose::project_object;
 use slin_core::invariants;
 use slin_core::lin::LinChecker;
+use slin_core::session::Checker;
 use slin_shmem::harness::{run_concurrent, Workload};
 
 fn main() {
@@ -27,7 +28,9 @@ fn main() {
     println!("\n== concurrent proposals (chaotic interleaving) ==");
     let mut fast = 0;
     let mut fallback = 0;
-    let lin = LinChecker::new(&Consensus);
+    // Consensus is non-partitionable, so Strategy::Auto resolves to one
+    // monolithic chain search per trace.
+    let mut lin = Checker::builder(LinChecker::new(&Consensus)).build();
     for round in 0..200 {
         let out = run_concurrent(&Workload::concurrent(4));
         assert!(out.agreement(), "round {round}: split decision!");

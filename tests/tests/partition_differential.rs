@@ -7,6 +7,12 @@
 //! plain and the speculative checker, and prove the identity fallback
 //! engages on partition-hostile traces (switch actions, unclassifiable
 //! inputs).
+//!
+//! This is a **compat suite**: the deprecated `check_*` wrappers are the
+//! differential oracles here (the `session_differential` suite covers the
+//! builder facade), so the deprecation lint is allowed file-wide.
+
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use slin_adt::{

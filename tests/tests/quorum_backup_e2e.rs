@@ -145,6 +145,7 @@ fn longer_fast_chains_preserve_everything() {
 }
 
 #[test]
+#[allow(deprecated)] // compat: the deprecated sequential wrapper is the differential oracle
 fn harness_engine_verification_matches_direct_checks() {
     // The harness-level engine API agrees with constructing the checkers by
     // hand, and the parallel enumeration inside it agrees with a

@@ -1,0 +1,368 @@
+//! Session-facade differential tests (pinned seeds).
+//!
+//! The API-unification contract: a [`slin_core::session::Session`] built
+//! with **every** [`SessionStrategy`] returns byte-identical verdicts AND
+//! witnesses to the corresponding legacy `check_*` entry point — across
+//! the kv / set / composite (register-array, counter-vector) / slin /
+//! phase corpora — plus a unit check that [`SessionStrategy::Auto`] selects the
+//! partitioned path exactly when a partitioner is present and the trace is
+//! switch-free.
+//!
+//! This is a **compat suite**: the deprecated `check_*` wrappers are the
+//! oracles, so the deprecation lint is allowed file-wide.
+
+#![allow(deprecated)]
+
+use proptest::prelude::*;
+use slin_adt::{
+    Adt, ConsInput, ConsOutput, Consensus, CounterVecPartitioner, CounterVector, KvInput,
+    KvKeyPartitioner, KvOutput, KvStore, Partitioner, RegArrayPartitioner, RegisterArray, Set,
+    SetElemPartitioner, Value,
+};
+use slin_core::gen::{
+    random_multikey_counter_vec_trace, random_multikey_kv_trace, random_multikey_reg_array_trace,
+    random_multikey_set_trace, MultiKeyConfig,
+};
+use slin_core::initrel::{ConsensusInit, ExactInit};
+use slin_core::lin::LinChecker;
+use slin_core::session::{Checker, Strategy as SessionStrategy, StrategyUsed};
+use slin_core::slin::SlinChecker;
+use slin_core::ObjAction;
+use slin_trace::{Action, ClientId, PhaseId, Trace};
+
+fn c(n: u32) -> ClientId {
+    ClientId::new(n)
+}
+
+/// Generator parameters swept by the differential suites: friendly
+/// (many keys, spread) through hostile (one key, or full contention),
+/// linearizable and perturbed.
+fn configs() -> impl Strategy<Value = MultiKeyConfig> {
+    (
+        1..=6u32,      // keys
+        2..=4u32,      // clients
+        8..=24usize,   // steps
+        0..=2u8,       // contention tier
+        0..=1u8,       // perturbation tier
+        0..=10_000u64, // seed
+    )
+        .prop_map(
+            |(keys, clients, steps, contention, error, seed)| MultiKeyConfig {
+                clients,
+                steps,
+                keys,
+                skew: 0.7,
+                contention: [0.0, 0.3, 1.0][contention as usize],
+                error_prob: [0.0, 0.35][error as usize],
+                seed,
+            },
+        )
+}
+
+/// Runs the full strategy sweep for one plain-linearizability workload:
+/// every batch strategy plus the unbounded-window streaming session must
+/// reproduce the legacy verdicts (and witnesses) byte for byte.
+fn assert_lin_session_parity<T, P>(
+    adt: &'static T,
+    partitioner: P,
+    t: &Trace<ObjAction<T, ()>>,
+    ctx: &MultiKeyConfig,
+) -> Result<(), TestCaseError>
+where
+    T: Adt + Sync,
+    T::Input: Ord + Send + Sync,
+    T::Output: Sync,
+    P: Partitioner<T> + Copy,
+{
+    let chk = LinChecker::new(adt).with_threads(4);
+    let (legacy_mono, legacy_stats) = chk.check_with_stats(t);
+    let (legacy_part, legacy_report) = chk.check_partitioned_with_report(&partitioner, t);
+
+    let mut mono = Checker::builder(LinChecker::new(adt).with_threads(4))
+        .strategy(SessionStrategy::Monolithic)
+        .build();
+    let vm = mono.check(t);
+    prop_assert_eq!(vm.strategy, StrategyUsed::Monolithic);
+    prop_assert_eq!(&vm.outcome, &legacy_mono, "monolithic, cfg {:?}", ctx);
+    prop_assert_eq!(vm.stats, legacy_stats, "monolithic stats, cfg {:?}", ctx);
+    prop_assert_eq!(vm.partition, None);
+
+    let mut part = Checker::builder(LinChecker::new(adt).with_threads(4))
+        .partitioner(partitioner)
+        .strategy(SessionStrategy::Partitioned)
+        .build();
+    let vp = part.check(t);
+    prop_assert_eq!(vp.strategy, StrategyUsed::Partitioned);
+    prop_assert_eq!(&vp.outcome, &legacy_part, "partitioned, cfg {:?}", ctx);
+    prop_assert_eq!(vp.partition, Some(legacy_report), "report, cfg {:?}", ctx);
+    prop_assert_eq!(vp.stats, legacy_report.stats);
+
+    // Auto resolves to partitioned here (partitioner + switch-free traces).
+    let mut auto = Checker::builder(LinChecker::new(adt).with_threads(4))
+        .partitioner(partitioner)
+        .build();
+    let va = auto.check(t);
+    prop_assert_eq!(va.strategy, StrategyUsed::Partitioned);
+    prop_assert_eq!(&va.outcome, &legacy_part, "auto, cfg {:?}", ctx);
+
+    // Streaming, unbounded window: ingest event by event, report at the
+    // end — the monitor contract makes this byte-identical too.
+    let mut live = Checker::builder(LinChecker::new(adt).with_threads(4))
+        .partitioner(partitioner)
+        .strategy(SessionStrategy::Streaming { window: None })
+        .build();
+    for a in t.iter() {
+        live.ingest(a.clone());
+    }
+    let vs = live.check(&Trace::new());
+    prop_assert_eq!(vs.strategy, StrategyUsed::Streaming);
+    prop_assert_eq!(&vs.outcome, &legacy_part, "streaming, cfg {:?}", ctx);
+    Ok(())
+}
+
+/// Relabels a switch-free object trace's value type (the speculative
+/// checker's trace type carries the `rinit` value even when no switch
+/// occurs).
+fn retag<V: Clone + PartialEq>(t: &Trace<ObjAction<KvStore, ()>>) -> Trace<ObjAction<KvStore, V>> {
+    Trace::from_actions(
+        t.iter()
+            .map(|a| match a {
+                Action::Invoke {
+                    client,
+                    phase,
+                    input,
+                } => Action::invoke(*client, *phase, *input),
+                Action::Respond {
+                    client,
+                    phase,
+                    input,
+                    output,
+                } => Action::respond(*client, *phase, *input, *output),
+                Action::Switch { .. } => unreachable!("generated traces are switch-free"),
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// KV corpus: all four strategies against the legacy entry points.
+    #[test]
+    fn kv_session_strategies_match_legacy(cfg in configs()) {
+        let t = random_multikey_kv_trace(&cfg);
+        assert_lin_session_parity(&KvStore, KvKeyPartitioner, &t, &cfg)?;
+    }
+
+    /// Set corpus: the commuting-element ADT.
+    #[test]
+    fn set_session_strategies_match_legacy(cfg in configs()) {
+        let t = random_multikey_set_trace(&cfg);
+        assert_lin_session_parity(&Set, SetElemPartitioner, &t, &cfg)?;
+    }
+
+    /// Composite corpora: per-cell register arrays and per-slot counter
+    /// vectors.
+    #[test]
+    fn composite_session_strategies_match_legacy(cfg in configs()) {
+        let ra = random_multikey_reg_array_trace(&cfg);
+        assert_lin_session_parity(&RegisterArray, RegArrayPartitioner, &ra, &cfg)?;
+        let cv = random_multikey_counter_vec_trace(&cfg);
+        assert_lin_session_parity(&CounterVector, CounterVecPartitioner, &cv, &cfg)?;
+    }
+
+    /// Slin corpus (switch-free phase traces, where SLin coincides with
+    /// Lin): every strategy matches the legacy speculative entry points,
+    /// witness included.
+    #[test]
+    fn slin_session_strategies_match_legacy(cfg in configs()) {
+        let t: Trace<ObjAction<KvStore, Vec<KvInput>>> =
+            retag(&random_multikey_kv_trace(&cfg));
+        let model = || SlinChecker::new(
+            &KvStore, ExactInit::new(), PhaseId::new(1), PhaseId::new(2),
+        ).with_threads(4);
+        let chk = model();
+        let legacy_mono = chk.check(&t);
+        let (legacy_part, legacy_report) =
+            chk.check_partitioned_with_report(&KvKeyPartitioner, &t);
+
+        let mut mono = Checker::builder(model()).strategy(SessionStrategy::Monolithic).build();
+        let vm = mono.check(&t);
+        prop_assert_eq!(&vm.outcome, &legacy_mono, "monolithic, cfg {:?}", cfg);
+
+        let mut part = Checker::builder(model())
+            .partitioner(KvKeyPartitioner)
+            .strategy(SessionStrategy::Partitioned)
+            .build();
+        let vp = part.check(&t);
+        prop_assert_eq!(&vp.outcome, &legacy_part, "partitioned, cfg {:?}", cfg);
+        prop_assert_eq!(vp.partition, Some(legacy_report), "report, cfg {:?}", cfg);
+
+        let mut auto = Checker::builder(model()).partitioner(KvKeyPartitioner).build();
+        let va = auto.check(&t);
+        prop_assert_eq!(va.strategy, StrategyUsed::Partitioned);
+        prop_assert_eq!(&va.outcome, &legacy_part, "auto, cfg {:?}", cfg);
+
+        let mut live = Checker::builder(model())
+            .partitioner(KvKeyPartitioner)
+            .strategy(SessionStrategy::Streaming { window: None })
+            .build();
+        for a in t.iter() {
+            live.ingest(a.clone());
+        }
+        let vs = live.check(&Trace::new());
+        prop_assert_eq!(&vs.outcome, &legacy_part, "streaming, cfg {:?}", cfg);
+    }
+}
+
+/// The hand-built consensus phase corpus: init/abort switch actions,
+/// satisfied and violated, quorum and backup phases.
+fn phase_corpus() -> Vec<Trace<ObjAction<Consensus, Value>>> {
+    let p = ConsInput::propose;
+    let d = ConsOutput::decide;
+    vec![
+        // Quorum phase: decide 1, switch with 1 (satisfied).
+        Trace::from_actions(vec![
+            Action::invoke(c(1), PhaseId::new(1), p(1)),
+            Action::invoke(c(2), PhaseId::new(1), p(2)),
+            Action::respond(c(1), PhaseId::new(1), p(1), d(1)),
+            Action::switch(c(2), PhaseId::new(2), p(2), Value::new(1)),
+        ]),
+        // Quorum phase: decide 1, switch with 2 (violated).
+        Trace::from_actions(vec![
+            Action::invoke(c(1), PhaseId::new(1), p(1)),
+            Action::invoke(c(2), PhaseId::new(1), p(2)),
+            Action::respond(c(1), PhaseId::new(1), p(1), d(1)),
+            Action::switch(c(2), PhaseId::new(2), p(2), Value::new(2)),
+        ]),
+        // No decisions: diverging switches are allowed.
+        Trace::from_actions(vec![
+            Action::invoke(c(1), PhaseId::new(1), p(1)),
+            Action::invoke(c(2), PhaseId::new(1), p(2)),
+            Action::switch(c(1), PhaseId::new(2), p(1), Value::new(2)),
+            Action::switch(c(2), PhaseId::new(2), p(2), Value::new(1)),
+        ]),
+    ]
+}
+
+/// Phase corpus (switch actions present): every strategy agrees with the
+/// legacy monolithic check — Auto must resolve to monolithic, and the
+/// streaming session must go speculative and still report identically.
+#[test]
+fn phase_corpus_session_strategies_match_legacy() {
+    let model = || {
+        SlinChecker::new(
+            &Consensus,
+            ConsensusInit::new(),
+            PhaseId::new(1),
+            PhaseId::new(2),
+        )
+        .with_threads(4)
+    };
+    for t in &phase_corpus() {
+        let legacy = model().check(t);
+        let (legacy_part, legacy_report) =
+            model().check_partitioned_with_report(&slin_adt::IdentityPartitioner, t);
+        assert_eq!(
+            legacy_part, legacy,
+            "the identity fallback is the monolithic path"
+        );
+
+        let mut auto = Checker::builder(model()).build();
+        let va = auto.check(t);
+        assert_eq!(va.strategy, StrategyUsed::Monolithic, "{t:?}");
+        assert_eq!(va.outcome, legacy, "{t:?}");
+
+        let mut part = Checker::builder(model())
+            .strategy(SessionStrategy::Partitioned)
+            .build();
+        let vp = part.check(t);
+        assert_eq!(vp.outcome, legacy, "{t:?}");
+        assert_eq!(vp.partition, Some(legacy_report), "{t:?}");
+
+        let mut live = Checker::builder(model())
+            .strategy(SessionStrategy::Streaming { window: None })
+            .build();
+        for a in t.iter() {
+            live.ingest(a.clone());
+        }
+        let vs = live.check(&Trace::new());
+        assert_eq!(vs.outcome, legacy, "{t:?}");
+    }
+}
+
+/// The [`SessionStrategy::Auto`] selection rule, pinned: partitioned exactly when
+/// a partitioner is present AND the trace is switch-free.
+#[test]
+fn auto_selects_partitioned_exactly_when_partitioner_and_switch_free() {
+    let ph1 = PhaseId::FIRST;
+    let switch_free: Trace<ObjAction<KvStore, ()>> = Trace::from_actions(vec![
+        Action::invoke(c(1), ph1, KvInput::Put(1, 5)),
+        Action::respond(c(1), ph1, KvInput::Put(1, 5), KvOutput::Ack),
+    ]);
+    let with_switch: Trace<ObjAction<KvStore, ()>> = Trace::from_actions(vec![
+        Action::invoke(c(1), ph1, KvInput::Put(1, 5)),
+        Action::switch(c(1), PhaseId::new(2), KvInput::Put(1, 5), ()),
+    ]);
+
+    // Partitioner + switch-free => partitioned.
+    let mut s = Checker::builder(LinChecker::new(&KvStore))
+        .partitioner(KvKeyPartitioner)
+        .build();
+    assert_eq!(s.check(&switch_free).strategy, StrategyUsed::Partitioned);
+
+    // Partitioner + switch action => monolithic.
+    assert_eq!(s.check(&with_switch).strategy, StrategyUsed::Monolithic);
+
+    // No partitioner => monolithic, even on switch-free traces.
+    let mut bare = Checker::builder(LinChecker::new(&KvStore)).build();
+    assert_eq!(bare.check(&switch_free).strategy, StrategyUsed::Monolithic);
+
+    // Explicit strategies are never overridden by Auto's rule.
+    let mut forced = Checker::builder(LinChecker::new(&KvStore))
+        .strategy(SessionStrategy::Partitioned)
+        .build();
+    assert_eq!(
+        forced.check(&with_switch).strategy,
+        StrategyUsed::Partitioned
+    );
+}
+
+/// Builder knobs reach the model: a one-node budget trips exactly like the
+/// legacy `with_budget` path, and `threads(1)` matches the deprecated
+/// sequential entry point byte for byte.
+#[test]
+fn builder_budget_and_threads_reach_the_model() {
+    let t: Trace<ObjAction<Consensus, Value>> = Trace::from_actions(vec![
+        Action::invoke(c(1), PhaseId::new(1), ConsInput::propose(1)),
+        Action::invoke(c(2), PhaseId::new(1), ConsInput::propose(2)),
+        Action::respond(
+            c(1),
+            PhaseId::new(1),
+            ConsInput::propose(1),
+            ConsOutput::decide(1),
+        ),
+        Action::respond(
+            c(2),
+            PhaseId::new(1),
+            ConsInput::propose(2),
+            ConsOutput::decide(1),
+        ),
+    ]);
+    let model = || {
+        SlinChecker::new(
+            &Consensus,
+            ConsensusInit::new(),
+            PhaseId::new(1),
+            PhaseId::new(2),
+        )
+    };
+
+    let legacy_budget = model().with_budget(1).check(&t);
+    let mut tight = Checker::builder(model()).budget(1).build();
+    assert_eq!(tight.check(&t).outcome, legacy_budget);
+
+    let legacy_seq = model().check_sequential(&t);
+    let mut seq = Checker::builder(model()).threads(1).build();
+    assert_eq!(seq.check(&t).outcome, legacy_seq);
+}

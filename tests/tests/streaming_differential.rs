@@ -10,6 +10,12 @@
 //! gone). Together the suites below drain well over 1000 generated
 //! streams per `cargo test` run, all derived from the pinned proptest
 //! seed.
+//!
+//! This is a **compat suite**: one oracle below is the deprecated
+//! `check_partitioned` wrapper, so the deprecation lint is allowed
+//! file-wide.
+
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use slin_adt::{ConsInput, ConsOutput, Consensus, Value};
