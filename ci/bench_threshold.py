@@ -29,6 +29,22 @@ baseline (the second condition keeps a genuine speedup in the fastest row
 and whenever its streams stopped verifying (`ok = false`). The
 deterministic B6 columns (fallback_searches, retired_events) are printed
 for trend visibility.
+
+B6h (epoch-GC monitor on hostile never-quiescent streams) — the window
+sweep's work and memory columns are deterministic under the pinned seeds,
+so they are gated hard:
+  * every row must verify (`ok`), with zero lossy cuts and a non-zero
+    epoch-cut / retirement count (the never-quiescent GC actually ran);
+  * amortised work must stay bounded: search_nodes per event is capped
+    absolutely, and the largest window's per-event work may exceed the
+    smallest's by at most a fixed factor (the flat-in-window-size check —
+    a stalled GC shows up as runaway nodes at the big windows);
+  * the retained-memory proxy (peak_multiset_nodes) must stay linear in
+    the window across the sweep (O(window + alphabet) memory);
+  * against a baseline that has B6h rows, search_nodes and
+    peak_multiset_nodes may regress by at most 20% per row;
+  * p99 ingest latency is wall-clock, so it is only sanity-capped, far
+    above normal jitter.
 """
 
 import json
@@ -157,6 +173,94 @@ def check_b6(baseline, current, failures):
         failures.append(f"b6 baseline row disappeared: {name}")
 
 
+# B6h bounds, calibrated on the committed BENCH_PR6.json (max observed:
+# ~830 nodes/event, 7.6x small->large window work growth, 1.1x memory
+# growth, 63ms p99): generous enough for machine jitter and bench
+# retuning, tight enough that a stalled epoch GC (which showed up as
+# ~19k nodes/event and multi-second p99s during development) fails.
+B6H_MAX_NODES_PER_EVENT = 2500.0
+B6H_FLATNESS_FACTOR = 12.0
+B6H_MEMORY_SLACK = 1.5
+B6H_ALPHABET_SLACK = 16.0
+B6H_MAX_P99_US = 500_000.0
+
+
+def check_b6h(baseline, current, failures):
+    base_rows = {row["scenario"]: row for row in baseline.get("b6h_hostile", [])}
+    cur_rows = current.get("b6h_hostile", [])
+    if not cur_rows:
+        failures.append("current report has no b6h_hostile rows")
+        return
+
+    print("B6h — hostile-stream epoch-GC check (deterministic work/memory columns)")
+    families = {}
+    for row in cur_rows:
+        name = row["scenario"]
+        events = max(row["events"], 1)
+        per_event = row["search_nodes"] / events
+        families.setdefault(name.rsplit(" w=", 1)[0], []).append(row)
+        print(
+            f"  {name}: {per_event:.0f} nodes/event, cuts {row['epoch_cuts']}, "
+            f"retired {row['retired_events']}/{row['events']}, "
+            f"ms_nodes {row['peak_multiset_nodes']}, "
+            f"p99 {row['p99_ingest_us'] / 1000:.1f}ms"
+        )
+        if not row.get("ok", False):
+            failures.append(f"{name}: hostile stream stopped verifying")
+        if row["lossy_cuts"] != 0:
+            failures.append(f"{name}: exact mode took {row['lossy_cuts']} lossy cuts")
+        if row["epoch_cuts"] == 0 or row["retired_events"] == 0:
+            failures.append(f"{name}: epoch GC never fired (vacuous hostile row)")
+        if per_event > B6H_MAX_NODES_PER_EVENT:
+            failures.append(
+                f"{name}: {per_event:.0f} search nodes/event exceeds the "
+                f"{B6H_MAX_NODES_PER_EVENT:.0f} amortised-ingest cap"
+            )
+        if row["p99_ingest_us"] > B6H_MAX_P99_US:
+            failures.append(
+                f"{name}: p99 ingest {row['p99_ingest_us'] / 1000:.0f}ms exceeds "
+                f"the {B6H_MAX_P99_US / 1000:.0f}ms sanity cap"
+            )
+        base = base_rows.get(name)
+        if base is not None:
+            for col in ("search_nodes", "peak_multiset_nodes"):
+                ceiling = (1.0 + ALLOWED_REGRESSION) * base[col]
+                if base[col] > 0 and row[col] > ceiling:
+                    failures.append(
+                        f"{name}: {col} {row[col]} exceeds {ceiling:.0f} "
+                        f"(baseline {base[col]}, >{ALLOWED_REGRESSION:.0%} "
+                        f"regression)"
+                    )
+
+    # Flatness in window size, per workload family: amortised work and the
+    # memory proxy at the largest window vs the smallest.
+    for family, rows in families.items():
+        rows = sorted(rows, key=lambda r: r["window"])
+        small, large = rows[0], rows[-1]
+        if small is large:
+            continue
+        work = lambda r: r["search_nodes"] / max(r["events"], 1)  # noqa: E731
+        if work(small) > 0 and work(large) > B6H_FLATNESS_FACTOR * work(small):
+            failures.append(
+                f"{family}: per-event work grew {work(large) / work(small):.1f}x "
+                f"from w={small['window']} to w={large['window']} "
+                f"(flatness cap {B6H_FLATNESS_FACTOR:.0f}x)"
+            )
+        linear = (large["window"] + B6H_ALPHABET_SLACK) / (
+            small["window"] + B6H_ALPHABET_SLACK
+        )
+        growth = large["peak_multiset_nodes"] / max(small["peak_multiset_nodes"], 1)
+        if growth > linear * B6H_MEMORY_SLACK:
+            failures.append(
+                f"{family}: retained memory grew {growth:.2f}x across the window "
+                f"sweep vs a linear {linear:.2f}x (O(window + alphabet) violated)"
+            )
+
+    dropped = sorted(set(base_rows) - {row["scenario"] for row in cur_rows})
+    for name in dropped:
+        failures.append(f"b6h baseline row disappeared: {name}")
+
+
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__.strip())
@@ -170,6 +274,7 @@ def main() -> int:
     check_b5(baseline, current, failures)
     check_b4c(baseline, current, failures)
     check_b6(baseline, current, failures)
+    check_b6h(baseline, current, failures)
 
     if failures:
         print("\nbench threshold check FAILED:")

@@ -20,7 +20,11 @@ throughput *shape* move?). Three tables are printed:
   (deterministic);
 * **B6** — streaming throughput per scenario per PR, normalised to each
   report's own fastest row (the machine-independent shape), plus the
-  deterministic fallback/GC columns.
+  deterministic fallback/GC columns;
+* **B6h** — the epoch-GC monitor on hostile never-quiescent streams:
+  the retained-memory proxy (peak multiset nodes / peak live configs,
+  deterministic) and p99 ingest latency (wall-clock, indicative) per
+  window size per PR, from PR 6 onward.
 
 Exit status is 0 unless a snapshot cannot be parsed.
 """
@@ -147,6 +151,38 @@ def b6_table(snaps):
     )
 
 
+def b6h_table(snaps):
+    withb6h = [(n, s) for n, s in snaps if s.get("b6h_hostile")]
+    if not withb6h:
+        print("\nB6h — no hostile-stream rows in any snapshot yet")
+        return
+    names = [name for name, _ in withb6h]
+    rows = []
+    for scenario in scenario_sweep(withb6h, "b6h_hostile"):
+        cells = [scenario]
+        for _, snap in withb6h:
+            row = by_scenario(snap, "b6h_hostile").get(scenario)
+            if row is None:
+                cells.extend(["-", "-"])
+            else:
+                cells.append(f"{row['peak_multiset_nodes']}/{row['peak_live_configs']}")
+                cells.append(f"{row['p99_ingest_us'] / 1000:.1f}")
+        latest = by_scenario(withb6h[-1][1], "b6h_hostile").get(scenario)
+        cells.append(fmt(latest and latest["epoch_cuts"], "d"))
+        cells.append(fmt(latest and latest["lossy_cuts"], "d"))
+        rows.append(cells)
+    header = ["scenario"]
+    for n in names:
+        header.extend([f"{n} mem (ms/cfg)", f"{n} p99 ms"])
+    header.extend(["cuts (latest)", "lossy (latest)"])
+    table(
+        "B6h — hostile never-quiescent stream trajectory (memory proxy is "
+        "deterministic; p99 is wall-clock)",
+        header,
+        rows,
+    )
+
+
 def main() -> int:
     paths = sys.argv[1:]
     if not paths:
@@ -167,6 +203,7 @@ def main() -> int:
     b5_table(snaps)
     b4c_table(snaps)
     b6_table(snaps)
+    b6h_table(snaps)
     print("\n(non-gating report; regression gating lives in ci/bench_threshold.py)")
     return 0
 

@@ -5,7 +5,9 @@
 //! hot-key control) and prints sustained events/sec, p99 ingest latency,
 //! and the deterministic fallback/GC columns.
 
-use slin_bench::{render_table, streaming_rows, STREAMING_HEADER, STREAMING_SEEDS};
+use slin_bench::{
+    hostile_rows, render_table, streaming_rows, HOSTILE_HEADER, STREAMING_HEADER, STREAMING_SEEDS,
+};
 
 fn main() {
     let rows: Vec<Vec<String>> = streaming_rows(&STREAMING_SEEDS)
@@ -14,4 +16,10 @@ fn main() {
         .collect();
     println!("\nB6 — online monitor streaming load (events/sec, p99 ingest latency)");
     println!("{}", render_table(&STREAMING_HEADER, &rows));
+    let rows: Vec<Vec<String>> = hostile_rows(&STREAMING_SEEDS)
+        .iter()
+        .map(|r| r.cells())
+        .collect();
+    println!("B6h — epoch-GC monitor on hostile never-quiescent streams (vs window size)");
+    println!("{}", render_table(&HOSTILE_HEADER, &rows));
 }

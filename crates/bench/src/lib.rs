@@ -42,7 +42,10 @@ use json::Json;
 use slin_adt::{KvKeyPartitioner, KvStore, Set, SetElemPartitioner};
 use slin_consensus::harness::{run_scenario, verify_run, Scenario};
 use slin_core::engine::SearchStats;
-use slin_core::gen::{random_multikey_kv_trace, random_multikey_set_trace, MultiKeyConfig};
+use slin_core::gen::{
+    random_hostile_kv_trace, random_multikey_kv_trace, random_multikey_set_trace, HostileConfig,
+    MultiKeyConfig,
+};
 use slin_core::lin::LinChecker;
 use slin_core::session::{Checker, Strategy};
 use slin_monitor::{LinMonitor, MonitorConfig, MonitorStatus};
@@ -596,6 +599,236 @@ pub fn streaming_rows_with(seeds: &[u64], steps: usize) -> Vec<StreamingRow> {
     ]
 }
 
+/// One row of the hostile never-quiescent streaming table (B6h): the
+/// epoch-GC monitor's ingest tail latency and retained-memory proxy as
+/// the window size grows, on streams that never quiesce (permanently
+/// pending invocations and/or Zipf-tailed response delays straddling many
+/// windows). Every column except the two wall-clock ones is a pure
+/// function of the pinned seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostileRow {
+    /// Human-readable workload label (stable: the JSON baseline matcher
+    /// keys on it, and it encodes the window size).
+    pub scenario: String,
+    /// The monitor's GC window size.
+    pub window: usize,
+    /// Events ingested across all seeds.
+    pub events: usize,
+    /// Sustained ingest throughput, events per second (wall clock).
+    pub events_per_sec: f64,
+    /// 99th-percentile single-event ingest latency, microseconds (wall
+    /// clock).
+    pub p99_ingest_us: f64,
+    /// Whether every seed's stream stayed linearizable (they are
+    /// linearizable by construction).
+    pub ok: bool,
+    /// Events retired by window GC (deterministic).
+    pub retired_events: usize,
+    /// Non-quiescent epoch cuts taken (deterministic).
+    pub epoch_cuts: usize,
+    /// Forced lossy cuts (deterministic; expected 0 — `epoch_force` off).
+    pub lossy_cuts: usize,
+    /// Enumeration/extension nodes expanded — the deterministic work
+    /// proxy behind the wall-clock latency columns.
+    pub search_nodes: usize,
+    /// Peak retained configurations (frontiers + seeds) over the sampled
+    /// stream positions (deterministic memory proxy, state component).
+    pub peak_live_configs: usize,
+    /// Peak pointer-distinct persistent-multiset trie nodes reachable from
+    /// the monitor (deterministic memory proxy, bound-snapshot component).
+    pub peak_multiset_nodes: usize,
+    /// Peak events retained in shard windows (deterministic; bounded-GC
+    /// health — grows without bound if cuts stop firing).
+    pub peak_window_events: usize,
+}
+
+impl HostileRow {
+    /// The table cells printed by the `streaming` bench.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.scenario.clone(),
+            self.window.to_string(),
+            self.events.to_string(),
+            format!("{:.0}", self.events_per_sec),
+            format!("{:.1}", self.p99_ingest_us),
+            self.retired_events.to_string(),
+            self.epoch_cuts.to_string(),
+            self.lossy_cuts.to_string(),
+            self.search_nodes.to_string(),
+            self.peak_live_configs.to_string(),
+            self.peak_multiset_nodes.to_string(),
+            self.peak_window_events.to_string(),
+            if self.ok { "ok" } else { "FAIL" }.to_string(),
+        ]
+    }
+}
+
+/// The header matching [`HostileRow::cells`].
+pub const HOSTILE_HEADER: [&str; 13] = [
+    "scenario",
+    "window",
+    "events",
+    "ev/s",
+    "p99_us",
+    "retired",
+    "epoch_cuts",
+    "lossy",
+    "search_nodes",
+    "peak_cfgs",
+    "peak_ms_nodes",
+    "peak_win_ev",
+    "ok",
+];
+
+/// The window-size sweep of the B6h table. Exact epoch cuts re-enumerate
+/// the retained window at each cut, so their cost grows with the window:
+/// the sweep covers the bounded-window regime the exact mode targets
+/// (larger windows on hostile streams are `epoch_force` territory).
+pub const HOSTILE_WINDOWS: [usize; 4] = [8, 12, 16, 24];
+
+/// Events per seed in the B6h load driver.
+const HOSTILE_STEPS: usize = 1200;
+
+/// Stream positions between memory-proxy samples (deterministic, so the
+/// peak columns are too).
+const HOSTILE_SAMPLE_EVERY: usize = 64;
+
+fn hostile_row(
+    scenario: &str,
+    base: HostileConfig,
+    window: usize,
+    seeds: &[u64],
+    steps: usize,
+) -> HostileRow {
+    let mut row = HostileRow {
+        scenario: format!("{scenario} w={window}"),
+        window,
+        events: 0,
+        events_per_sec: 0.0,
+        p99_ingest_us: 0.0,
+        ok: true,
+        retired_events: 0,
+        epoch_cuts: 0,
+        lossy_cuts: 0,
+        search_nodes: 0,
+        peak_live_configs: 0,
+        peak_multiset_nodes: 0,
+        peak_window_events: 0,
+    };
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let mut total_secs = 0.0f64;
+    for &seed in seeds {
+        let cfg = HostileConfig {
+            steps,
+            seed,
+            ..base
+        };
+        let t = random_hostile_kv_trace(&cfg);
+        let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> = LinMonitor::with_config(
+            &KvStore,
+            KvKeyPartitioner,
+            MonitorConfig {
+                window: Some(window),
+                ..Default::default()
+            },
+        );
+        let run_start = std::time::Instant::now();
+        for (i, a) in t.iter().enumerate() {
+            let start = std::time::Instant::now();
+            let outcome = mon.ingest(a.clone());
+            latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+            row.ok &= outcome.status == MonitorStatus::Ok;
+            if (i + 1) % HOSTILE_SAMPLE_EVERY == 0 {
+                let s = mon.shard_summary();
+                row.peak_live_configs = row.peak_live_configs.max(s.live_configs);
+                row.peak_multiset_nodes = row.peak_multiset_nodes.max(s.multiset_nodes);
+                row.peak_window_events = row.peak_window_events.max(s.window_events);
+            }
+        }
+        total_secs += run_start.elapsed().as_secs_f64();
+        row.events += t.len();
+        let s = mon.shard_summary();
+        row.retired_events += s.retired_events;
+        row.epoch_cuts += s.epoch_cuts;
+        row.lossy_cuts += s.lossy_cuts;
+        row.search_nodes += s.search_nodes;
+        row.peak_live_configs = row.peak_live_configs.max(s.live_configs);
+        row.peak_multiset_nodes = row.peak_multiset_nodes.max(s.multiset_nodes);
+        row.peak_window_events = row.peak_window_events.max(s.window_events);
+    }
+    row.events_per_sec = row.events as f64 / total_secs.max(1e-9);
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p99 = ((latencies_us.len() as f64 * 0.99) as usize).min(latencies_us.len() - 1);
+    row.p99_ingest_us = latencies_us[p99];
+    row
+}
+
+/// The never-quiescent workload families swept by B6h.
+fn hostile_bases() -> Vec<(&'static str, HostileConfig)> {
+    vec![
+        (
+            // Every invocation eventually responds, but the Zipf delay
+            // tail keeps operations pending across many windows: the
+            // stream is never quiescent at cut points, and late responses
+            // exercise symbolic-completion absorption. Concurrency stays
+            // bounded (few clients, short tail) — the regime exact epoch
+            // cuts target; wider pending sets need `epoch_force`.
+            "hostile zipf-delay",
+            HostileConfig {
+                clients: 5,
+                keys: 2,
+                skew: 0.7,
+                never_frac: 0.0,
+                stuck_applies: true,
+                delay_zipf: 1.1,
+                max_delay: 24,
+                error_prob: 0.0,
+                steps: 0, // per-row
+                seed: 0,  // per-seed
+            },
+        ),
+        (
+            // A straggler fraction never responds at all: those clients
+            // wedge permanently, so quiescence never returns and every cut
+            // from then on is an epoch cut.
+            "hostile stragglers",
+            HostileConfig {
+                clients: 4,
+                keys: 1,
+                skew: 0.7,
+                never_frac: 0.0025,
+                stuck_applies: true,
+                delay_zipf: 1.3,
+                max_delay: 12,
+                error_prob: 0.0,
+                steps: 0,
+                seed: 0,
+            },
+        ),
+    ]
+}
+
+/// B6h: p99 ingest latency and the retained-memory proxy versus window
+/// size on hostile never-quiescent streams — the O(1)-amortized-ingest /
+/// O(window + alphabet)-memory acceptance table. The work and memory
+/// columns are deterministic in the seeds; CI gates them (flatness in
+/// window size, regression vs baseline) in `ci/bench_threshold.py`.
+pub fn hostile_rows(seeds: &[u64]) -> Vec<HostileRow> {
+    hostile_rows_with(seeds, HOSTILE_STEPS)
+}
+
+/// [`hostile_rows`] with an explicit per-seed stream length (the crate
+/// tests use short streams so debug-mode `cargo test` stays fast).
+pub fn hostile_rows_with(seeds: &[u64], steps: usize) -> Vec<HostileRow> {
+    let mut rows = Vec::new();
+    for (scenario, base) in hostile_bases() {
+        for &window in &HOSTILE_WINDOWS {
+            rows.push(hostile_row(scenario, base, window, seeds, steps));
+        }
+    }
+    rows
+}
+
 fn stats_json(s: &SearchStats) -> Json {
     Json::Obj(vec![
         ("nodes", Json::count(s.nodes)),
@@ -620,12 +853,15 @@ fn time_json(t: Option<Time>) -> Json {
 /// in the partition speedup, the engine counters, and the (normalised)
 /// streaming throughput — see `ci/bench_threshold.py`.
 pub fn bench_report_json() -> String {
-    bench_report_json_with(&streaming_rows(&STREAMING_SEEDS))
+    bench_report_json_with(
+        &streaming_rows(&STREAMING_SEEDS),
+        &hostile_rows(&STREAMING_SEEDS),
+    )
 }
 
-/// [`bench_report_json`] over pre-measured B6 rows (lets tests check the
-/// deterministic sections for bit-reproducibility).
-pub fn bench_report_json_with(b6_rows: &[StreamingRow]) -> String {
+/// [`bench_report_json`] over pre-measured B6/B6h rows (lets tests check
+/// the deterministic sections for bit-reproducibility).
+pub fn bench_report_json_with(b6_rows: &[StreamingRow], b6h_rows: &[HostileRow]) -> String {
     let b1 = latency_rows(&[3, 5, 7])
         .into_iter()
         .map(|r| {
@@ -706,6 +942,26 @@ pub fn bench_report_json_with(b6_rows: &[StreamingRow]) -> String {
             ])
         })
         .collect();
+    let b6h = b6h_rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("scenario", Json::Str(r.scenario.clone())),
+                ("window", Json::count(r.window)),
+                ("events", Json::count(r.events)),
+                ("events_per_sec", Json::Float(r.events_per_sec)),
+                ("p99_ingest_us", Json::Float(r.p99_ingest_us)),
+                ("ok", Json::Bool(r.ok)),
+                ("retired_events", Json::count(r.retired_events)),
+                ("epoch_cuts", Json::count(r.epoch_cuts)),
+                ("lossy_cuts", Json::count(r.lossy_cuts)),
+                ("search_nodes", Json::count(r.search_nodes)),
+                ("peak_live_configs", Json::count(r.peak_live_configs)),
+                ("peak_multiset_nodes", Json::count(r.peak_multiset_nodes)),
+                ("peak_window_events", Json::count(r.peak_window_events)),
+            ])
+        })
+        .collect();
     Json::Obj(vec![
         ("schema", Json::Str("slin-bench/v2".into())),
         ("b1_latency", Json::Arr(b1)),
@@ -718,6 +974,7 @@ pub fn bench_report_json_with(b6_rows: &[StreamingRow]) -> String {
         ("b4c_checker_stats", Json::Arr(b4c)),
         ("b5_partition", Json::Arr(b5)),
         ("b6_streaming", Json::Arr(b6)),
+        ("b6h_hostile", Json::Arr(b6h)),
     ])
     .render()
 }
@@ -847,13 +1104,14 @@ mod tests {
 
     #[test]
     fn json_report_is_deterministic_and_covers_all_b_series() {
-        // B6's wall-clock columns vary run to run; with the rows fixed,
-        // everything else must be bit-reproducible.
+        // B6/B6h's wall-clock columns vary run to run; with the rows
+        // fixed, everything else must be bit-reproducible.
         let b6 = streaming_rows_with(&[0], 200);
-        let a = bench_report_json_with(&b6);
+        let b6h = hostile_rows_with(&[0], 200);
+        let a = bench_report_json_with(&b6, &b6h);
         assert_eq!(
             a,
-            bench_report_json_with(&b6),
+            bench_report_json_with(&b6, &b6h),
             "artifact must be reproducible"
         );
         for key in [
@@ -865,13 +1123,66 @@ mod tests {
             "\"b4c_checker_stats\"",
             "\"b5_partition\"",
             "\"b6_streaming\"",
+            "\"b6h_hostile\"",
             "\"memo_hits\"",
             "\"memo_entries\"",
             "\"node_ratio\"",
             "\"events_per_sec\"",
             "\"p99_ingest_us\"",
+            "\"epoch_cuts\"",
+            "\"peak_multiset_nodes\"",
         ] {
             assert!(a.contains(key), "missing {key} in artifact");
+        }
+    }
+
+    #[test]
+    fn b6h_hostile_rows_stay_exact_and_bounded() {
+        let steps = 420;
+        let rows = hostile_rows_with(&[0], steps);
+        assert_eq!(rows.len(), 2 * HOSTILE_WINDOWS.len());
+        for row in &rows {
+            assert!(row.ok, "{row:?}");
+            assert!(row.events > 0, "{row:?}");
+            assert_eq!(row.lossy_cuts, 0, "exact mode must never go lossy: {row:?}");
+            assert_eq!(row.cells().len(), HOSTILE_HEADER.len());
+        }
+        // The streams are genuinely never-quiescent: non-quiescent epoch
+        // cuts fire, and events retire, in every row of the sweep.
+        for row in &rows {
+            assert!(row.epoch_cuts > 0, "no epoch cut: {row:?}");
+            assert!(row.retired_events > 0, "nothing retired: {row:?}");
+        }
+        // Deterministic in the seeds: the work/memory columns reproduce.
+        let again = hostile_rows_with(&[0], steps);
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.search_nodes, b.search_nodes, "{:?}", a.scenario);
+            assert_eq!(a.peak_multiset_nodes, b.peak_multiset_nodes);
+            assert_eq!(a.peak_live_configs, b.peak_live_configs);
+            assert_eq!(a.retired_events, b.retired_events);
+            assert_eq!(a.epoch_cuts, b.epoch_cuts);
+        }
+        // The memory proxy is O(window + alphabet): growing the window
+        // across the sweep must not grow the retained state more than
+        // linearly.
+        for (scenario, _) in super::hostile_bases() {
+            let of = |w: usize| {
+                rows.iter()
+                    .find(|r| r.window == w && r.scenario.starts_with(scenario))
+                    .expect("swept window")
+            };
+            let (small, large) = (of(HOSTILE_WINDOWS[0]), of(*HOSTILE_WINDOWS.last().unwrap()));
+            let growth = large.peak_multiset_nodes as f64 / small.peak_multiset_nodes.max(1) as f64;
+            // The KV alphabet of these streams is ~12 distinct inputs; 16
+            // is the additive slack of the linear reference.
+            let linear = (large.window as f64 + 16.0) / (small.window as f64 + 16.0);
+            assert!(
+                growth <= linear * 1.5,
+                "{scenario}: memory grew superlinearly in the window \
+                 ({} -> {} nodes, {growth:.2}x vs linear {linear:.2}x)",
+                small.peak_multiset_nodes,
+                large.peak_multiset_nodes,
+            );
         }
     }
 

@@ -37,7 +37,7 @@
 
 use crate::ops::Commit;
 use slin_adt::Adt;
-use slin_trace::Multiset;
+use slin_trace::PersistentMultiset;
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
@@ -239,8 +239,9 @@ pub struct SearchSeed<T: Adt> {
     pub history: Vec<T::Input>,
     /// The ADT state reached by `history`.
     pub state: T::State,
-    /// The multiset of inputs consumed by `history`.
-    pub used: Multiset<T::Input>,
+    /// The multiset of inputs consumed by `history` (persistent: cloning a
+    /// seed, or folding it into a memo key, is O(1)).
+    pub used: PersistentMultiset<T::Input>,
 }
 
 // Manual impl: the derive would demand `T: Clone`, but only the input and
@@ -261,7 +262,7 @@ impl<T: Adt> SearchSeed<T> {
         SearchSeed {
             history: Vec::new(),
             state: adt.initial(),
-            used: Multiset::new(),
+            used: PersistentMultiset::new(),
         }
     }
 
@@ -269,7 +270,7 @@ impl<T: Adt> SearchSeed<T> {
     /// how the speculative checker plants the init-interpretation LCP.
     pub fn from_history(adt: &T, history: Vec<T::Input>) -> Self {
         let state = adt.run(&history);
-        let used = Multiset::elems(&history);
+        let used = PersistentMultiset::elems(&history);
         SearchSeed {
             history,
             state,
@@ -295,20 +296,25 @@ pub struct CheckerEngine<'s, T: Adt> {
     commits: &'s [Commit<T>],
     /// Per-trace-index multiset bound on the inputs a history reaching that
     /// index may consume (`elems(inputs(t, i))` for `lin`, `vi` for `slin`).
-    bounds: &'s [Multiset<T::Input>],
+    bounds: &'s [PersistentMultiset<T::Input>],
     /// Pool bounding the extra inputs the chain may interleave.
-    pool: Multiset<T::Input>,
+    pool: PersistentMultiset<T::Input>,
     /// Cap on the total history length when interleaving extras (`None`:
     /// pool-bounded only).
     extra_cap: Option<usize>,
     budget: SearchBudget,
 }
 
-/// Memoisation key: committed set, ADT state, consumed inputs (sorted).
+/// Memoisation key: committed set, ADT state, consumed-input multiset.
+///
+/// [`PersistentMultiset`] hashes through its incrementally-maintained
+/// commutative fingerprint and clones in O(1), so building this key is
+/// O(1) — the former representation re-collected and re-sorted the full
+/// multiset into a canonical `Vec` on every node.
 type MemoKey<T> = (
     CommitMask,
     <T as Adt>::State,
-    Vec<(<T as Adt>::Input, usize)>,
+    PersistentMultiset<<T as Adt>::Input>,
 );
 
 impl<'s, T: Adt> CheckerEngine<'s, T>
@@ -320,8 +326,8 @@ where
     pub fn new(
         adt: &'s T,
         commits: &'s [Commit<T>],
-        bounds: &'s [Multiset<T::Input>],
-        pool: Multiset<T::Input>,
+        bounds: &'s [PersistentMultiset<T::Input>],
+        pool: PersistentMultiset<T::Input>,
         budget: SearchBudget,
     ) -> Self {
         CheckerEngine {
@@ -391,17 +397,15 @@ where
         &self,
         remaining: &CommitMask,
         state: &T::State,
-        used: &Multiset<T::Input>,
+        used: &PersistentMultiset<T::Input>,
     ) -> MemoKey<T> {
-        let mut u: Vec<(T::Input, usize)> = used.iter().map(|(e, c)| (e.clone(), c)).collect();
-        u.sort();
-        (remaining.clone(), state.clone(), u)
+        (remaining.clone(), state.clone(), used.clone())
     }
 
     fn dfs(
         &mut self,
         state: T::State,
-        used: Multiset<T::Input>,
+        used: PersistentMultiset<T::Input>,
         hist: &mut Vec<T::Input>,
         remaining: CommitMask,
         chain: &mut Chain<T::Input>,

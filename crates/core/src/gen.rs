@@ -322,6 +322,216 @@ pub fn random_multikey_counter_vec_trace(
     })
 }
 
+/// Configuration of the **hostile never-quiescent** stream generator.
+///
+/// Produces workloads on which quiescence-gated window GC starves: a
+/// configurable fraction of invocations *never responds* (the stream never
+/// quiesces), and the rest respond after Zipf-distributed delays (a heavy
+/// tail of long-pending operations straddling many windows). Everything is
+/// deterministic in the seed.
+#[derive(Debug, Clone, Copy)]
+pub struct HostileConfig {
+    /// Number of concurrent clients.
+    pub clients: u32,
+    /// Number of generation steps (each step emits at most one event;
+    /// steps where every client is busy and nothing is due emit none).
+    pub steps: usize,
+    /// Number of distinct keys, numbered `1..=keys`.
+    pub keys: u32,
+    /// Zipf-style skew exponent over the key space (as in
+    /// [`MultiKeyConfig::skew`]).
+    pub skew: f64,
+    /// Fraction of invocations that never respond — their clients stay
+    /// stuck forever, so any positive value makes the stream
+    /// never-quiescent.
+    pub never_frac: f64,
+    /// Whether never-responding operations still reach their linearization
+    /// point: `true` (the hostile default) means their effects are visible
+    /// to later operations even though no response ever confirms them —
+    /// the case that forces symbolic straggler completion at epoch cuts.
+    pub stuck_applies: bool,
+    /// Zipf exponent over response delays: delay `d` is drawn with weight
+    /// `d^-delay_zipf` from `1..=max_delay`. Smaller exponents fatten the
+    /// tail of long-pending operations.
+    pub delay_zipf: f64,
+    /// Maximum response delay, in generation steps.
+    pub max_delay: usize,
+    /// Probability that an operation's output is perturbed as in
+    /// [`random_perturbed_trace`]; `0.0` generates traces linearizable by
+    /// construction.
+    pub error_prob: f64,
+    /// RNG seed: equal seeds give equal traces.
+    pub seed: u64,
+}
+
+impl Default for HostileConfig {
+    fn default() -> Self {
+        HostileConfig {
+            clients: 6,
+            steps: 400,
+            keys: 4,
+            skew: 0.6,
+            never_frac: 0.05,
+            stuck_applies: true,
+            delay_zipf: 1.1,
+            max_delay: 40,
+            error_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Draws an index under cumulative weights (the shared Zipf sampler).
+fn sample_cumulative(rng: &mut StdRng, cumulative: &[f64]) -> usize {
+    let total = *cumulative.last().expect("nonempty weights");
+    let r = (rng.gen_range(0..1u64 << 53) as f64) / (1u64 << 53) as f64 * total;
+    cumulative.partition_point(|&c| c <= r)
+}
+
+/// The cumulative Zipf weights `sum_{j<=k} j^-exponent` for `k` in `1..=n`.
+fn zipf_cumulative(n: usize, exponent: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    (1..=n.max(1))
+        .map(|k| {
+            acc += f64::powf(k as f64, -exponent);
+            acc
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+enum HostileClient<I, O> {
+    Idle,
+    /// Invoked; reaches its linearization point at step `apply_at` and
+    /// responds at step `respond_at` (`None`: never).
+    Waiting {
+        input: I,
+        apply_at: usize,
+        respond_at: Option<usize>,
+    },
+    /// Linearization point reached; the output is fixed.
+    Applied {
+        input: I,
+        out: O,
+        respond_at: Option<usize>,
+    },
+}
+
+/// Generates a hostile never-quiescent trace (see [`HostileConfig`]):
+/// linearizable by construction when `error_prob = 0.0` — the generator
+/// plays an atomic object and every operation that reaches its
+/// linearization point does so between its invocation and (absent or
+/// delayed) response.
+///
+/// The scheduler is deterministic given the RNG stream: at every step,
+/// due responders go first (lowest client id), then due linearization
+/// points fire (internal, no event), then a random idle client invokes.
+pub fn random_hostile_trace<T, F>(
+    adt: &T,
+    cfg: &HostileConfig,
+    mut sample_input: F,
+) -> Trace<ObjAction<T, ()>>
+where
+    T: Adt,
+    F: FnMut(&mut StdRng) -> T::Input,
+{
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let delay_weights = zipf_cumulative(cfg.max_delay.max(1), cfg.delay_zipf);
+    let mut t = Trace::new();
+    let mut state = adt.initial();
+    let mut clients: Vec<HostileClient<T::Input, T::Output>> =
+        (0..cfg.clients).map(|_| HostileClient::Idle).collect();
+    for step in 0..cfg.steps {
+        // Fire every due linearization point, in client order (internal:
+        // no event is emitted, but outputs are fixed against the evolving
+        // atomic state — this is what keeps the trace linearizable).
+        for client in clients.iter_mut() {
+            if let HostileClient::Waiting {
+                input,
+                apply_at,
+                respond_at,
+            } = client.clone()
+            {
+                if apply_at <= step {
+                    let (next, out) = adt.apply(&state, &input);
+                    let out = if cfg.error_prob > 0.0 && rng.gen_bool(cfg.error_prob) {
+                        adt.apply(&adt.initial(), &input).1
+                    } else {
+                        state = next;
+                        out
+                    };
+                    *client = HostileClient::Applied {
+                        input,
+                        out,
+                        respond_at,
+                    };
+                }
+            }
+        }
+        // A due responder (lowest client id) emits its response.
+        if let Some(k) = clients.iter().position(
+            |c| matches!(c, HostileClient::Applied { respond_at: Some(r), .. } if *r <= step),
+        ) {
+            if let HostileClient::Applied { input, out, .. } = clients[k].clone() {
+                t.push(Action::respond(
+                    ClientId::new(k as u32 + 1),
+                    PhaseId::FIRST,
+                    input,
+                    out,
+                ));
+                clients[k] = HostileClient::Idle;
+            }
+            continue;
+        }
+        // Otherwise a random idle client invokes (none: time just passes).
+        let idle: Vec<usize> = clients
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c, HostileClient::Idle))
+            .map(|(k, _)| k)
+            .collect();
+        let Some(&k) = idle.get(rng.gen_range(0..idle.len().max(1))).or(None) else {
+            continue;
+        };
+        let input = sample_input(&mut rng);
+        let never = cfg.never_frac > 0.0 && rng.gen_bool(cfg.never_frac);
+        let delay = sample_cumulative(&mut rng, &delay_weights) + 1;
+        let respond_at = if never { None } else { Some(step + delay) };
+        let apply_at = if never && !cfg.stuck_applies {
+            usize::MAX
+        } else {
+            step + 1 + rng.gen_range(0..delay)
+        };
+        t.push(Action::invoke(
+            ClientId::new(k as u32 + 1),
+            PhaseId::FIRST,
+            input.clone(),
+        ));
+        clients[k] = HostileClient::Waiting {
+            input,
+            apply_at,
+            respond_at,
+        };
+    }
+    t
+}
+
+/// Generates a hostile never-quiescent multi-key [`KvStore`] trace (keys
+/// drawn under the configured skew, gets twice as likely as either
+/// write). See [`HostileConfig`]; linearizable by construction when
+/// `error_prob = 0.0`.
+pub fn random_hostile_kv_trace(cfg: &HostileConfig) -> Trace<ObjAction<KvStore, ()>> {
+    let key_weights = zipf_cumulative(cfg.keys.max(1) as usize, cfg.skew);
+    random_hostile_trace(&KvStore, cfg, |rng| {
+        let key = sample_cumulative(rng, &key_weights) as u32 + 1;
+        match rng.gen_range(0..4u8) {
+            0 => KvInput::Put(key, rng.gen_range(1..5u64)),
+            1 | 2 => KvInput::Get(key),
+            _ => KvInput::Delete(key),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,5 +747,100 @@ mod tests {
         let a = random_linearizable_trace(&Consensus, cfg, cons_input);
         let b = random_linearizable_trace(&Consensus, cfg, cons_input);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hostile_traces_are_well_formed_and_linearizable() {
+        // Small enough for the batch checker: long Zipf delays make the
+        // whole trace one dense concurrency window, so monolithic batch
+        // checking is exponential in it (the very pathology the epoch-GC
+        // monitor exists for — the streaming differential suite covers
+        // large hostile streams through the windowed monitor instead).
+        for seed in 0..12 {
+            let cfg = HostileConfig {
+                clients: 4,
+                steps: 48,
+                never_frac: 0.1,
+                max_delay: 8,
+                seed,
+                ..Default::default()
+            };
+            let t = random_hostile_kv_trace(&cfg);
+            assert!(wf::is_well_formed(&t), "seed {seed}");
+            assert!(LinChecker::new(&KvStore).check(&t).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hostile_traces_never_quiesce() {
+        let mut stuck_total = 0;
+        for seed in 0..10 {
+            let cfg = HostileConfig {
+                steps: 300,
+                never_frac: 0.15,
+                seed,
+                ..Default::default()
+            };
+            let t = random_hostile_kv_trace(&cfg);
+            let invokes = t.iter().filter(|a| a.is_invoke()).count();
+            let responds = t.iter().filter(|a| a.is_respond()).count();
+            assert!(invokes > responds, "seed {seed}: stream quiesced");
+            stuck_total += invokes - responds;
+        }
+        assert!(stuck_total >= 10, "never-responding fraction too thin");
+    }
+
+    #[test]
+    fn hostile_delays_straddle_many_events() {
+        // The Zipf delay tail must actually produce long-pending
+        // operations: some response arrives many events after its invoke.
+        let cfg = HostileConfig {
+            steps: 400,
+            never_frac: 0.0,
+            delay_zipf: 0.8,
+            ..Default::default()
+        };
+        let t = random_hostile_kv_trace(&cfg);
+        let mut max_span = 0;
+        let mut open: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for (i, a) in t.iter().enumerate() {
+            if a.is_invoke() {
+                open.insert(a.client().value(), i);
+            } else if let Some(j) = open.remove(&a.client().value()) {
+                max_span = max_span.max(i - j);
+            }
+        }
+        assert!(max_span >= 12, "longest pending span only {max_span}");
+    }
+
+    #[test]
+    fn hostile_generation_is_deterministic_in_the_seed() {
+        let cfg = HostileConfig {
+            steps: 200,
+            seed: 23,
+            ..Default::default()
+        };
+        assert_eq!(random_hostile_kv_trace(&cfg), random_hostile_kv_trace(&cfg));
+    }
+
+    #[test]
+    fn hostile_perturbation_yields_violations() {
+        let mut violations = 0;
+        for seed in 0..12 {
+            let cfg = HostileConfig {
+                clients: 4,
+                steps: 36,
+                max_delay: 6,
+                error_prob: 0.3,
+                seed,
+                ..Default::default()
+            };
+            let t = random_hostile_kv_trace(&cfg);
+            assert!(wf::is_well_formed(&t), "seed {seed}");
+            if LinChecker::new(&KvStore).check(&t).is_err() {
+                violations += 1;
+            }
+        }
+        assert!(violations > 0, "expected at least one violation");
     }
 }

@@ -26,7 +26,7 @@ use crate::stream::{MonitorStatus, StreamFailure, StreamModel};
 use crate::{ops, ObjAction};
 use slin_adt::{Adt, Partitioner};
 use slin_trace::wf::{self, WellFormednessError};
-use slin_trace::{Multiset, PhaseId, Trace};
+use slin_trace::{PersistentMultiset, PhaseId, Trace};
 use std::error::Error;
 use std::fmt;
 
@@ -144,7 +144,7 @@ pub fn witness_is_valid<T: Adt, V>(
         if h.last() != Some(&c.input) {
             return false;
         }
-        if !Multiset::elems(h).is_subset_of(&input_ms[*idx]) {
+        if !PersistentMultiset::elems(h).is_subset_of(&input_ms[*idx]) {
             return false;
         }
     }
@@ -282,7 +282,10 @@ where
     {
         let commits = ops::commits::<T, V>(t);
         let input_ms = ops::input_multisets::<T, V>(t);
-        let total_inputs = input_ms.last().cloned().unwrap_or_else(Multiset::new);
+        let total_inputs = input_ms
+            .last()
+            .cloned()
+            .unwrap_or_else(PersistentMultiset::new);
         let engine = CheckerEngine::new(
             self.adt,
             &commits,

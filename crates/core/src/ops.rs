@@ -7,7 +7,7 @@
 
 use crate::ObjAction;
 use slin_adt::Adt;
-use slin_trace::{Action, ClientId, Multiset, PhaseId, Trace};
+use slin_trace::{Action, ClientId, PersistentMultiset, PhaseId, Trace};
 
 /// The sequence of previous inputs `inputs(t, i)`: all inputs *invoked*
 /// strictly before index `i` (0-based), in trace order.
@@ -26,9 +26,14 @@ pub fn inputs_before<T: Adt, V>(t: &Trace<ObjAction<T, V>>, i: usize) -> Vec<T::
 
 /// For every index `i`, the multiset of inputs invoked strictly before `i`
 /// (the `elems(inputs(t, i))` of Definition 10), computed incrementally.
-pub fn input_multisets<T: Adt, V>(t: &Trace<ObjAction<T, V>>) -> Vec<Multiset<T::Input>> {
+///
+/// The snapshots are [`PersistentMultiset`]s sharing structure with their
+/// neighbours, so materialising all `n + 1` of them costs O(n) — pushing
+/// one more snapshot is an O(1) clone plus an O(log alphabet) insert, not
+/// an O(alphabet) deep copy.
+pub fn input_multisets<T: Adt, V>(t: &Trace<ObjAction<T, V>>) -> Vec<PersistentMultiset<T::Input>> {
     let mut out = Vec::with_capacity(t.len() + 1);
-    let mut cur: Multiset<T::Input> = Multiset::new();
+    let mut cur: PersistentMultiset<T::Input> = PersistentMultiset::new();
     out.push(cur.clone());
     for a in t.iter() {
         if let Action::Invoke { input, .. } = a {
@@ -42,8 +47,8 @@ pub fn input_multisets<T: Adt, V>(t: &Trace<ObjAction<T, V>>) -> Vec<Multiset<T:
 /// The multiset of **all** inputs invoked anywhere in the trace — the last
 /// element of [`input_multisets`], computed without materialising the
 /// per-index prefix multisets (the checkers' extra-input pool).
-pub fn total_inputs<T: Adt, V>(t: &Trace<ObjAction<T, V>>) -> Multiset<T::Input> {
-    let mut out: Multiset<T::Input> = Multiset::new();
+pub fn total_inputs<T: Adt, V>(t: &Trace<ObjAction<T, V>>) -> PersistentMultiset<T::Input> {
+    let mut out: PersistentMultiset<T::Input> = PersistentMultiset::new();
     for a in t.iter() {
         if let Action::Invoke { input, .. } = a {
             out.insert(input.clone());

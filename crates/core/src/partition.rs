@@ -52,7 +52,7 @@
 use crate::engine::{Chain, SearchStats};
 use crate::ObjAction;
 use slin_adt::{Adt, Partitioner};
-use slin_trace::{Multiset, Trace};
+use slin_trace::{PersistentMultiset, Trace};
 use std::collections::{BTreeMap, VecDeque};
 
 /// One independent sub-history of a trace: the actions of a single
@@ -219,7 +219,7 @@ pub(crate) type SearchVerdict<I, E> = Result<Option<Chain<I>>, E>;
 pub(crate) fn search_partitions<T, V, K, R, E, F, X>(
     parts: &[TracePartition<T, V, K>],
     threads: usize,
-    bounds: &[Multiset<T::Input>],
+    bounds: &[PersistentMultiset<T::Input>],
     search: F,
     finding: X,
 ) -> (SearchVerdict<T::Input, E>, PartitionReport)
@@ -262,7 +262,11 @@ where
     match first_error {
         Some(e) => (Err(e), report),
         None => (
-            Ok(merge_partition_chains(bounds, queues, Multiset::new())),
+            Ok(merge_partition_chains(
+                bounds,
+                queues,
+                PersistentMultiset::new(),
+            )),
             report,
         ),
     }
@@ -334,11 +338,12 @@ pub fn witness_steps<I: Clone>(
 /// checkers pass an empty multiset). `bounds` must account for the seed's
 /// consumed inputs.
 pub fn merge_partition_chains<I: Clone + Ord + std::hash::Hash>(
-    bounds: &[Multiset<I>],
-    parts: Vec<(VecDeque<Step<I>>, Multiset<I>)>,
-    seed_used: Multiset<I>,
+    bounds: &[PersistentMultiset<I>],
+    parts: Vec<(VecDeque<Step<I>>, PersistentMultiset<I>)>,
+    seed_used: PersistentMultiset<I>,
 ) -> Option<Chain<I>> {
-    let (mut queues, pools): (Vec<VecDeque<Step<I>>>, Vec<Multiset<I>>) = parts.into_iter().unzip();
+    let (mut queues, pools): (Vec<VecDeque<Step<I>>>, Vec<PersistentMultiset<I>>) =
+        parts.into_iter().unzip();
     // All remaining commits, across every queue: `(original index, input)`.
     let mut remaining: Vec<(usize, I)> = queues
         .iter()
@@ -350,20 +355,22 @@ pub fn merge_partition_chains<I: Clone + Ord + std::hash::Hash>(
         .collect();
     remaining.sort_by_key(|(idx, _)| *idx);
 
-    let mut used: Multiset<I> = seed_used;
+    let mut used: PersistentMultiset<I> = seed_used;
     let mut hist: Vec<I> = Vec::new();
     let mut chain: Chain<I> = Vec::new();
 
     // `input` stays within every remaining commit's bound after one more
     // occurrence is consumed (the monolithic prune admits the child node).
     // `except` skips the commit being placed itself.
-    let viable =
-        |used: &Multiset<I>, input: &I, except: Option<usize>, remaining: &[(usize, I)]| {
-            remaining
-                .iter()
-                .filter(|(idx, _)| Some(*idx) != except)
-                .all(|(idx, _)| used.count(input) < bounds[*idx].count(input))
-        };
+    let viable = |used: &PersistentMultiset<I>,
+                  input: &I,
+                  except: Option<usize>,
+                  remaining: &[(usize, I)]| {
+        remaining
+            .iter()
+            .filter(|(idx, _)| Some(*idx) != except)
+            .all(|(idx, _)| used.count(input) < bounds[*idx].count(input))
+    };
 
     loop {
         let mut commit_choice: Option<(usize, usize)> = None; // (orig idx, queue)
@@ -544,7 +551,7 @@ mod tests {
     #[test]
     fn merge_prefers_commits_by_index_then_extras_by_input() {
         // Bounds admit two occurrences of everything everywhere.
-        let mut everything = Multiset::new();
+        let mut everything = PersistentMultiset::new();
         for x in ["a", "b", "x", "y"] {
             everything.insert(x);
             everything.insert(x);
@@ -560,10 +567,11 @@ mod tests {
             Step::Extra("x"),
             Step::Commit(5, "b"),
         ]);
-        let pa = Multiset::elems(&["a", "y", "a"]);
-        let pb = Multiset::elems(&["b", "x", "b"]);
-        let chain = merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)], Multiset::new())
-            .expect("no head blocked");
+        let pa = PersistentMultiset::elems(&["a", "y", "a"]);
+        let pb = PersistentMultiset::elems(&["b", "x", "b"]);
+        let chain =
+            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)], PersistentMultiset::new())
+                .expect("no head blocked");
         let picks: Vec<usize> = chain.iter().map(|(i, _)| *i).collect();
         // Commits by ascending index (1 then 3); at the all-extras node the
         // smaller extra x goes first, which unblocks commit 5 before y.
@@ -577,19 +585,19 @@ mod tests {
         // commit head is viable behind it: the monolithic engine could
         // interleave extras outside every partition witness, so the merge
         // must refuse to guess.
-        let mut b1 = Multiset::new();
+        let mut b1 = PersistentMultiset::new();
         b1.insert("b");
-        let mut all = Multiset::new();
+        let mut all = PersistentMultiset::new();
         for x in ["a0", "a", "b", "b0"] {
             all.insert(x);
         }
         let bounds = vec![b1.clone(), b1, all.clone(), all.clone(), all];
         let qa = VecDeque::from(vec![Step::Extra("a0"), Step::Commit(3, "a")]);
         let qb = VecDeque::from(vec![Step::Extra("b0"), Step::Commit(1, "b")]);
-        let pa = Multiset::elems(&["a0", "a"]);
-        let pb = Multiset::elems(&["b0", "b"]);
+        let pa = PersistentMultiset::elems(&["a0", "a"]);
+        let pb = PersistentMultiset::elems(&["b0", "b"]);
         assert_eq!(
-            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)], Multiset::new()),
+            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)], PersistentMultiset::new()),
             None
         );
     }
@@ -599,19 +607,20 @@ mod tests {
         // Partition A's head extra escapes commit 1's bound, but B's
         // commit 1 itself is viable: move 1 fires first, clearing the
         // block — no bail, and the commit order matches the engine's.
-        let mut b1 = Multiset::new();
+        let mut b1 = PersistentMultiset::new();
         b1.insert("b");
-        let mut all = Multiset::new();
+        let mut all = PersistentMultiset::new();
         for x in ["a0", "a", "b"] {
             all.insert(x);
         }
         let bounds = vec![b1.clone(), b1, all.clone(), all];
         let qa = VecDeque::from(vec![Step::Extra("a0"), Step::Commit(3, "a")]);
         let qb = VecDeque::from(vec![Step::Commit(1, "b")]);
-        let pa = Multiset::elems(&["a0", "a"]);
-        let pb = Multiset::elems(&["b"]);
-        let chain = merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)], Multiset::new())
-            .expect("commit clears block");
+        let pa = PersistentMultiset::elems(&["a0", "a"]);
+        let pb = PersistentMultiset::elems(&["b"]);
+        let chain =
+            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)], PersistentMultiset::new())
+                .expect("commit clears block");
         let picks: Vec<usize> = chain.iter().map(|(i, _)| *i).collect();
         assert_eq!(picks, vec![1, 3]);
         assert_eq!(chain[1].1, vec!["b", "a0", "a"]);
@@ -622,7 +631,7 @@ mod tests {
         // Partition B finishes at commit 1 with a leftover pool input "b0"
         // that sorts below partition A's needed extra "x": the engine
         // consumes the harmless leftover first, so the merge must too.
-        let mut all = Multiset::new();
+        let mut all = PersistentMultiset::new();
         for x in ["a", "a", "b", "b0", "x"] {
             all.insert(x);
         }
@@ -633,10 +642,11 @@ mod tests {
             Step::Commit(4, "a"),
         ]);
         let qb = VecDeque::from(vec![Step::Commit(1, "b")]);
-        let pa = Multiset::elems(&["a", "x", "a"]);
-        let pb = Multiset::elems(&["b", "b0"]);
-        let chain = merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)], Multiset::new())
-            .expect("no head blocked");
+        let pa = PersistentMultiset::elems(&["a", "x", "a"]);
+        let pb = PersistentMultiset::elems(&["b", "b0"]);
+        let chain =
+            merge_partition_chains(&bounds, vec![(qa, pa), (qb, pb)], PersistentMultiset::new())
+                .expect("no head blocked");
         let picks: Vec<usize> = chain.iter().map(|(i, _)| *i).collect();
         assert_eq!(picks, vec![0, 1, 4]);
         // After both early commits, the extras node consumes b0 < x, then

@@ -44,7 +44,7 @@ use crate::ObjAction;
 use slin_adt::{Adt, Partitioner};
 use slin_trace::seq;
 use slin_trace::wf::{self, WellFormednessError};
-use slin_trace::{Multiset, PhaseId, Trace};
+use slin_trace::{PersistentMultiset, PhaseId, Trace};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -593,10 +593,10 @@ where
         // phase and is therefore ⊎-summed — this is what makes the paper's
         // own Backup construction (h ::: pending inputs, Section 2.4) valid
         // when a pending value collides with an init-history element.
-        let mut ivi: Vec<Multiset<T::Input>> = Vec::with_capacity(prep.t_len + 1);
-        let mut hist_elems: Multiset<T::Input> = Multiset::new();
-        let mut pending_sum: Multiset<T::Input> = Multiset::new();
-        ivi.push(Multiset::new());
+        let mut ivi: Vec<PersistentMultiset<T::Input>> = Vec::with_capacity(prep.t_len + 1);
+        let mut hist_elems: PersistentMultiset<T::Input> = PersistentMultiset::new();
+        let mut pending_sum: PersistentMultiset<T::Input> = PersistentMultiset::new();
+        ivi.push(PersistentMultiset::new());
         for i in 0..prep.t_len {
             if let Some((_, h)) = finit.iter().find(|(j, _)| *j == i) {
                 let init_input = prep
@@ -605,13 +605,13 @@ where
                     .find(|s| s.index == i)
                     .map(|s| s.input.clone())
                     .expect("finit indices come from inits");
-                hist_elems = hist_elems.union_max(&Multiset::elems(h));
+                hist_elems = hist_elems.union_max(&PersistentMultiset::elems(h));
                 pending_sum.insert(init_input);
             }
             ivi.push(hist_elems.sum(&pending_sum));
         }
         // vi (Definition 26): ivi(i) ⊎ elems(inputs(t, i)).
-        let vi: Vec<Multiset<T::Input>> = ivi
+        let vi: Vec<PersistentMultiset<T::Input>> = ivi
             .iter()
             .zip(prep.input_ms.iter())
             .map(|(a, b)| a.sum(b))
@@ -633,7 +633,7 @@ where
         let extend =
             |value: &R::Value, prefix: &[T::Input]| self.rinit.extensions(value, prefix, &prep.ctx);
 
-        let pool = vi.last().cloned().unwrap_or_else(Multiset::new);
+        let pool = vi.last().cloned().unwrap_or_else(PersistentMultiset::new);
         let engine = CheckerEngine::new(
             self.adt,
             &prep.commits,
@@ -848,7 +848,7 @@ struct Prepared<T: Adt, V> {
     commits: Vec<Commit<T>>,
     inits: Vec<SwitchEvent<T::Input, V>>,
     aborts: Vec<SwitchEvent<T::Input, V>>,
-    input_ms: Vec<Multiset<T::Input>>,
+    input_ms: Vec<PersistentMultiset<T::Input>>,
     ctx: CandidateContext<T::Input>,
     per_init: Vec<Vec<Vec<T::Input>>>,
     combos: usize,
@@ -881,7 +881,7 @@ fn aborts_feasible<T: Adt, V>(
     longest_commit: &[T::Input],
     lcp: &[T::Input],
     constrain_init_order: bool,
-    vi: &[Multiset<T::Input>],
+    vi: &[PersistentMultiset<T::Input>],
     extend: &ExtendFn<'_, T::Input, V>,
 ) -> Option<AbortWitness<T>> {
     let mut chosen = Vec::with_capacity(abort_events.len());
@@ -889,8 +889,8 @@ fn aborts_feasible<T: Adt, V>(
         let cands = extend(value, longest_commit);
         let ok = cands.into_iter().find(|a| {
             (!constrain_init_order || seq::is_prefix(lcp, a))
-                && Multiset::elems(a)
-                    .union_max(&Multiset::elems(std::slice::from_ref(input)))
+                && PersistentMultiset::elems(a)
+                    .union_max(&PersistentMultiset::elems(std::slice::from_ref(input)))
                     .is_subset_of(&vi[*index])
         });
         match ok {

@@ -148,6 +148,16 @@ pub struct MonitorConfig {
     /// a shard's window exceeds this many events. `None` (default) retains
     /// everything and keeps reports byte-identical to the batch checkers.
     pub window: Option<usize>,
+    /// Epoch GC (default `true`): also retire windows that never quiesce —
+    /// cuts happen at window multiples even with invocations still
+    /// pending, completing stragglers symbolically so verdicts stay exact
+    /// (see `stream/shard.rs`). Requires `window`.
+    pub epoch_cuts: bool,
+    /// Force truncated epoch cuts through anyway (default `false`): memory
+    /// stays bounded on hostile windows whose summary outgrows the
+    /// frontier cap, at the price of exactness — later would-be violation
+    /// verdicts downgrade to [`MonitorStatus::Unknown`].
+    pub epoch_force: bool,
     /// Worker threads for the final report's partition fan-out and for
     /// [`Monitor::drive_parallel`] (0 = one per core).
     pub threads: usize,
@@ -160,6 +170,8 @@ impl Default for MonitorConfig {
             frontier_cap: 32,
             extension_budget: 4096,
             window: None,
+            epoch_cuts: true,
+            epoch_force: false,
             threads: 0,
         }
     }
@@ -213,6 +225,22 @@ pub struct ShardSummary {
     pub frontier_peak: usize,
     /// Events retired by bounded-window GC across all shards.
     pub retired_events: usize,
+    /// Non-quiescent (epoch) retirement cuts across all shards.
+    pub epoch_cuts: usize,
+    /// Forced lossy cuts (truncated summaries retired anyway).
+    pub lossy_cuts: usize,
+    /// Enumeration/extension search nodes expanded — a deterministic
+    /// per-stream work proxy, unlike wall-clock time.
+    pub search_nodes: usize,
+    /// Currently retained configurations (frontiers plus seeds) — the
+    /// live-state component of the memory proxy.
+    pub live_configs: usize,
+    /// Distinct persistent-multiset trie nodes currently reachable from
+    /// the monitor (pointer-deduplicated across structure sharing) — the
+    /// retained-memory proxy for the bound snapshots.
+    pub multiset_nodes: usize,
+    /// Events currently retained in shard windows (not yet retired).
+    pub window_events: usize,
 }
 
 /// The monitor's full forensic report.

@@ -24,8 +24,8 @@ use crate::partition::{merge_partition_chains, witness_steps, SplitOutcome, Step
 use crate::slin::SlinChecker;
 use crate::ObjAction;
 use slin_adt::{Adt, Partitioner};
-use slin_trace::{Action, Multiset, PhaseId, Trace};
-use std::collections::{BTreeMap, VecDeque};
+use slin_trace::{Action, PersistentMultiset, PhaseId, Trace};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Mutex;
 
 /// A report cached per stream version (`events` at computation time).
@@ -48,10 +48,11 @@ pub(crate) struct Core<'a, T: Adt, V, K: Ord> {
     pub first_switch: Option<usize>,
     pub wf: WfTracker<T::Input, T::Output, V>,
     /// All inputs invoked so far (any shard) — the global extra pool.
-    invoked: Multiset<T::Input>,
+    invoked: PersistentMultiset<T::Input>,
     /// Global validity-bound snapshot per commit index (window mode only;
-    /// trimmed as prefixes retire).
-    commit_bounds: BTreeMap<usize, Multiset<T::Input>>,
+    /// trimmed as prefixes retire). Persistent: one snapshot is an O(1)
+    /// structure-sharing clone of `invoked`, not an O(alphabet) deep copy.
+    commit_bounds: BTreeMap<usize, PersistentMultiset<T::Input>>,
     /// Whether any shard has retired a prefix (reports become
     /// window-relative).
     pub prefix_committed: bool,
@@ -73,6 +74,8 @@ where
                 budget: config.budget,
                 frontier_cap: config.frontier_cap,
                 extension_budget: config.extension_budget,
+                epoch_cuts: config.epoch_cuts,
+                epoch_force: config.epoch_force,
             },
             window: config.window,
             shards: BTreeMap::new(),
@@ -84,7 +87,7 @@ where
             },
             first_switch: None,
             wf: WfTracker::new(phase_bounds),
-            invoked: Multiset::new(),
+            invoked: PersistentMultiset::new(),
             commit_bounds: BTreeMap::new(),
             prefix_committed: false,
             fallback: false,
@@ -224,12 +227,24 @@ where
 
     fn summary(&self) -> ShardSummary {
         let mut out = ShardSummary::default();
+        let mut nodes: HashSet<usize> = HashSet::new();
         for shard in self.shards.values() {
             out.extension_searches += shard.counters.extension_searches;
             out.fallback_searches += shard.counters.fallback_searches;
             out.frontier_peak = out.frontier_peak.max(shard.counters.frontier_peak);
             out.retired_events += shard.counters.retired_events;
+            out.epoch_cuts += shard.counters.epoch_cuts;
+            out.lossy_cuts += shard.counters.lossy_cuts;
+            out.search_nodes += shard.counters.search_nodes;
+            out.live_configs += shard.live_configs();
+            out.window_events += shard.sub.len();
+            shard.mark_multiset_nodes(&mut nodes);
         }
+        self.invoked.mark_nodes(&mut nodes);
+        for bound in self.commit_bounds.values() {
+            bound.mark_nodes(&mut nodes);
+        }
+        out.multiset_nodes = nodes.len();
         out
     }
 
@@ -267,21 +282,32 @@ where
         K: std::hash::Hash + std::fmt::Debug,
     {
         let mut stats = SearchStats::default();
+        #[allow(clippy::type_complexity)]
         let mut chains: Vec<(
             &Option<K>,
             &ShardState<'a, T, V>,
             usize,
             Vec<(usize, Vec<T::Input>)>,
+            Vec<usize>,
         )> = Vec::new();
         let mut first_error: Option<StreamFailure> = None;
         for (key, shard) in self.shards.iter() {
             let (result, shard_stats) = shard.window_search();
             stats.absorb(&shard_stats);
             match result {
-                Ok(Some((seed_index, chain))) => chains.push((key, shard, seed_index, chain)),
+                Ok(Some((seed_index, chain, absorbed))) => {
+                    chains.push((key, shard, seed_index, chain, absorbed))
+                }
                 Ok(None) => {
                     if first_error.is_none() {
-                        first_error = Some(StreamFailure::NotSatisfied);
+                        // After a lossy epoch cut, an exhausted search
+                        // space proves nothing: the dropped summary
+                        // configurations may have completed.
+                        first_error = Some(if shard.lossy() {
+                            StreamFailure::BudgetExhausted { nodes: 0 }
+                        } else {
+                            StreamFailure::NotSatisfied
+                        });
                     }
                 }
                 Err(EngineError::BudgetExhausted { nodes }) => {
@@ -297,7 +323,7 @@ where
         if chains.len() <= 1 {
             let merged = chains
                 .pop()
-                .map(|(_, shard, _, chain)| remap_chain(chain, &shard.index_map))
+                .map(|(_, shard, _, chain, _)| remap_chain(chain, &shard.index_map))
                 .unwrap_or_default();
             return (Ok(merged), stats, false);
         }
@@ -306,13 +332,13 @@ where
         // index bounds densely (memory stays O(window)).
         let mut commit_indices: Vec<usize> = self.commit_bounds.keys().copied().collect();
         commit_indices.sort_unstable();
-        let bounds_by_rank: Vec<Multiset<T::Input>> = commit_indices
+        let bounds_by_rank: Vec<PersistentMultiset<T::Input>> = commit_indices
             .iter()
             .map(|i| self.commit_bounds[i].clone())
             .collect();
-        let mut parts: Vec<(VecDeque<Step<T::Input>>, Multiset<T::Input>)> = Vec::new();
-        let mut seed_used: Multiset<T::Input> = Multiset::new();
-        for (_, shard, seed_index, chain) in &chains {
+        let mut parts: Vec<(VecDeque<Step<T::Input>>, PersistentMultiset<T::Input>)> = Vec::new();
+        let mut seed_used: PersistentMultiset<T::Input> = PersistentMultiset::new();
+        for (_, shard, seed_index, chain, _) in &chains {
             let ranks: Vec<usize> = shard
                 .index_map
                 .iter()
@@ -346,11 +372,19 @@ where
             key_of,
         };
         let mut state: std::collections::BTreeMap<K, T::State> = std::collections::BTreeMap::new();
-        for (key, shard, seed_index, _) in &chains {
+        let mut absorbed_globals: HashSet<usize> = HashSet::new();
+        for (key, shard, seed_index, _, absorbed) in &chains {
             let key = key
                 .as_ref()
                 .expect("multi-shard mode classifies every input");
             state.insert(key.clone(), shard.seed(*seed_index).state.clone());
+            // A commit absorbed by the chosen seed's symbolic completions
+            // is already explained (and its input already consumed) by
+            // that seed's state — the product search must not place it
+            // again.
+            for &w in absorbed {
+                absorbed_globals.insert(shard.index_map[w]);
+            }
         }
         let events = self.window_events();
         let trace: Vec<ObjAction<T, V>> = events.iter().map(|(_, a)| a.clone()).collect();
@@ -358,6 +392,7 @@ where
         let commits: Vec<crate::ops::Commit<ProductAdt<'_, 'a, T, K>>> = trace
             .iter()
             .enumerate()
+            .filter(|(p, _)| !absorbed_globals.contains(&globals[*p]))
             .filter_map(|(p, a)| match a {
                 Action::Respond {
                     client,
@@ -373,8 +408,8 @@ where
                 _ => None,
             })
             .collect();
-        let empty = Multiset::new();
-        let bounds: Vec<Multiset<T::Input>> = (0..=trace.len())
+        let empty = PersistentMultiset::new();
+        let bounds: Vec<PersistentMultiset<T::Input>> = (0..=trace.len())
             .map(|p| {
                 if p < trace.len() && trace[p].is_respond() {
                     self.commit_bounds[&globals[p]].clone()
@@ -621,6 +656,14 @@ where
     /// Number of live shards.
     pub fn shards(&self) -> usize {
         self.core.shards.len()
+    }
+
+    /// Aggregated shard-machinery counters at the current stream position
+    /// (the same [`ShardSummary`] the final report carries) — lets load
+    /// drivers sample the retained-memory proxy mid-stream without paying
+    /// for a report derivation.
+    pub fn shard_summary(&self) -> ShardSummary {
+        self.core.summary()
     }
 
     /// Drains a stream sequentially; returns the final rolling status

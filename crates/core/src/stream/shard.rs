@@ -9,58 +9,107 @@
 //! prefix:
 //!
 //! * an **invocation** only widens future validity bounds, so every
-//!   frontier configuration stays complete — O(1);
-//! * a **response** (a new commit) extends each configuration *at the tail*
-//!   of its chain: a direct-commit pass first (the common case), then a
-//!   bounded search interleaving extra inputs from the pool, collecting the
-//!   surviving configurations deduplicated on the engine's own memo key —
-//!   reached ADT state plus consumed-input multiset — so interchangeable
-//!   configurations never crowd the frontier.
+//!   frontier configuration stays complete — O(1) (the cumulative bound
+//!   snapshot is a [`PersistentMultiset`], so "snapshot per index" is one
+//!   O(1) structure-sharing clone, not an O(alphabet) deep copy);
+//! * a **response** (a new commit) either is **absorbed** by a matching
+//!   symbolic straggler completion recorded at an earlier epoch cut (see
+//!   below) or extends each configuration *at the tail* of its chain: a
+//!   direct-commit pass first (the common case), then a bounded search
+//!   interleaving extra inputs from the pool, collecting the surviving
+//!   configurations deduplicated on the engine's own memo key — reached
+//!   ADT state, consumed-input multiset and remaining symbolic completions
+//!   — so interchangeable configurations never crowd the frontier.
 //!
 //! Tail extension is *sound* (a surviving configuration is a witness) but
 //! deliberately not complete: the first monolithic witness of the longer
 //! prefix may place the new commit *earlier* in the chain than every
 //! configuration the frontier kept, and the frontier is capped
 //! ([`ShardConfig::frontier_cap`]). Whenever the frontier prunes empty, the
-//! shard falls back to one **bounded re-search** — fresh
-//! [`CheckerEngine`] runs over the retained window from the retained seeds
-//! — which either refills the frontier (the exact rolling verdict stays
-//! "ok") or proves the violation. The re-search *enumerates* terminal
-//! configurations (the leaf oracle vetoes early leaves), so the refilled
-//! frontier is diverse and the next commits extend cheaply again. This
+//! shard falls back to one **bounded re-search** over the retained window
+//! from the retained seeds — which either refills the frontier (the exact
+//! rolling verdict stays "ok") or proves the violation. The re-search
+//! *enumerates* terminal configurations, so the refilled frontier is
+//! diverse and the next commits extend cheaply again. This
 //! frontier-plus-fallback loop is what makes every rolling verdict exact
 //! while keeping the common case (append-only growth) cheap.
 //!
-//! # Bounded-window GC and why it stays exact
+//! # Epoch GC: retiring windows that never quiesce
 //!
 //! [`ShardState::maybe_retire`] retires a window once it exceeds the
-//! configured size *and* the shard is quiescent (every invocation
-//! responded). The engine's memoisation argument says a configuration's
-//! entire future depends only on its `(state, consumed-input multiset)`
-//! key — so the **complete set** of reachable terminal keys is a lossless
-//! summary of the retired prefix. Retirement therefore runs one complete
-//! enumeration (cheap at a quiescent cut: every invocation is consumed by
-//! its own commit, so no spare pool occurrences exist and the set is
-//! small) and keeps **all** enumerated configurations as search seeds; if
+//! configured size. The engine's memoisation argument says a
+//! configuration's entire future depends only on its `(state,
+//! consumed-input multiset)` key — so the **complete set** of reachable
+//! terminal keys is a lossless summary of the retired prefix. Retirement
+//! runs one complete enumeration and keeps **all** enumerated
+//! configurations as search seeds.
+//!
+//! At a **quiescent** cut (every invocation responded) the summary is
+//! exactly that pair: every pool occurrence is consumed by its own commit,
+//! so terminal configurations interleave no extras and the set is small.
+//!
+//! A never-quiescent stream — one invocation that never responds is enough
+//! — used to pin the window forever. **Epoch cuts** (on by default,
+//! [`ShardConfig::epoch_cuts`]) retire anyway, at window multiples, by
+//! completing stragglers *symbolically*: the enumeration records every
+//! interleaved extra input together with the output the ADT produced for
+//! it as a **symbolic completion** `(input, output)` in the terminal
+//! configuration's `sym` multiset. A straggler's response arriving *after*
+//! the cut is then explained in O(1) — any configuration holding a
+//! matching completion absorbs the commit by designating the pre-cut extra
+//! as its commit entry (valid because the pre-cut consumed inputs are
+//! inside every post-cut validity bound, which is monotone). A straggler
+//! whose input was *not* interleaved pre-cut needs no completion at all:
+//! its pool occurrence survives into the base, and the post-cut search
+//! places the commit directly. Stragglers that never respond leave their
+//! completions unconsumed — harmless. Quiescent cuts are the degenerate
+//! case: their terminal configurations record no completions, so the
+//! pre-epoch behavior (and every existing verdict) is reproduced exactly.
+//!
+//! Re-searches from a seed carrying symbolic completions first absorb
+//! greedily: the earliest window commit matching each completion is
+//! dropped from the commit list (complete — a witness committing such a
+//! commit in-window converts into one absorbing it, with the identical
+//! terminal key, and absorbing the *earliest* match is optimal because
+//! later matches have larger bounds). The batch engine then runs unchanged
+//! on the filtered commit list.
+//!
+//! Retirement is **skipped** rather than allowed to lose information when
 //! the enumeration is truncated (more than [`ShardConfig::frontier_cap`]
-//! configurations, or a budget trip), retirement is *skipped* rather than
-//! allowed to lose information. Verdicts after GC thus remain exact;
-//! only the *witness histories* become window-relative (the retired
-//! prefix's events are dropped, which is what bounds memory by the window
-//! and the input alphabet — O(window · alphabet) worst case for the
-//! per-index bound snapshots, like the batch checkers — independent of
-//! stream length).
+//! configurations, or a budget trip) — so verdicts after GC remain exact,
+//! and only the *witness histories* become window-relative. The price on
+//! hostile streams is that a window whose summary outgrows the cap pins
+//! its memory. [`ShardConfig::epoch_force`] trades exactness for the
+//! memory bound instead: a truncated cut retires from the (incomplete)
+//! frontier, the shard is marked *lossy*, and every later would-be
+//! `Violated` verdict is downgraded to [`ShardStatus::BudgetExhausted`] —
+//! a missing completion can no longer prove a violation, only a found
+//! completion still proves "ok".
 
-use crate::engine::{Chain, CheckerEngine, EngineError, SearchBudget, SearchSeed, SearchStats};
+use crate::engine::{
+    Chain, CheckerEngine, CommitMask, EngineError, SearchBudget, SearchSeed, SearchStats,
+};
 use crate::ops::Commit;
 use crate::ObjAction;
 use slin_adt::Adt;
-use slin_trace::{Action, Multiset, Trace};
+use slin_trace::{Action, PersistentMultiset, Trace};
 use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
 
-/// Deduplication set over the engine's memo key data: reached ADT state
-/// plus sorted consumed-input multiset.
-type MemoKeySet<T> = HashSet<(<T as Adt>::State, Vec<(<T as Adt>::Input, usize)>)>;
+/// Symbolic straggler completions: the multiset of `(input, output)` pairs
+/// a configuration interleaved as extras before an epoch cut, available to
+/// absorb matching post-cut responses.
+type SymSet<T> = PersistentMultiset<(<T as Adt>::Input, <T as Adt>::Output)>;
+
+/// Deduplication set over the frontier's memo key: reached ADT state,
+/// consumed-input multiset, remaining symbolic completions. Persistent
+/// multisets hash through their cached commutative fingerprint, so one key
+/// is O(1) to build.
+type MemoKeySet<T> = HashSet<(
+    <T as Adt>::State,
+    PersistentMultiset<<T as Adt>::Input>,
+    SymSet<T>,
+)>;
 
 /// Per-shard tuning knobs (copied out of the monitor's configuration).
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +121,12 @@ pub(crate) struct ShardConfig {
     /// Node budget of one tail-extension pass (all configurations
     /// together); exhausting it forces a fallback re-search.
     pub extension_budget: usize,
+    /// Allow epoch cuts: retire windows at window multiples even when
+    /// invocations are still pending, completing stragglers symbolically.
+    pub epoch_cuts: bool,
+    /// Force a truncated epoch cut through anyway (lossy: later would-be
+    /// `Violated` verdicts downgrade to `BudgetExhausted`).
+    pub epoch_force: bool,
 }
 
 /// Rolling verdict of one shard, exact at every event (see module docs).
@@ -82,9 +137,9 @@ pub(crate) enum ShardStatus {
     /// The shard's sub-trace is not linearizable (permanent: violations
     /// survive arbitrary extensions of the trace).
     Violated,
-    /// A fallback re-search exhausted its node budget; the rolling verdict
-    /// is unknown until a later search succeeds (re-attempted at quiescent
-    /// points, not on every commit).
+    /// A fallback re-search exhausted its node budget (or a lossy epoch
+    /// cut made "no completion" inconclusive); the rolling verdict is
+    /// unknown until a later search succeeds.
     BudgetExhausted,
 }
 
@@ -97,17 +152,25 @@ pub(crate) struct ShardCounters {
     pub fallback_searches: usize,
     pub frontier_peak: usize,
     pub retired_events: usize,
+    /// Non-quiescent (epoch) retirement cuts.
+    pub epoch_cuts: usize,
+    /// Forced lossy cuts (truncated summary retired anyway).
+    pub lossy_cuts: usize,
+    /// Nodes expanded by enumeration/extension searches (a deterministic
+    /// work proxy, unlike wall-clock time).
+    pub search_nodes: usize,
 }
 
 /// One complete chain-search configuration: the terminal history of a
 /// witness chain for everything committed so far (window-relative), with
-/// its replayed ADT state and consumed-input multiset (the engine's memo
-/// key data).
+/// its replayed ADT state, consumed-input multiset and remaining symbolic
+/// completions (the memo key data).
 #[derive(Debug)]
 struct FrontierCfg<T: Adt> {
     hist: Vec<T::Input>,
     state: T::State,
-    used: Multiset<T::Input>,
+    used: PersistentMultiset<T::Input>,
+    sym: SymSet<T>,
 }
 
 // Manual impl: the derive would demand `T: Clone`.
@@ -117,31 +180,80 @@ impl<T: Adt> Clone for FrontierCfg<T> {
             hist: self.hist.clone(),
             state: self.state.clone(),
             used: self.used.clone(),
+            sym: self.sym.clone(),
         }
     }
 }
 
 impl<T: Adt> FrontierCfg<T> {
-    fn from_seed(seed: &SearchSeed<T>) -> Self {
+    fn from_seed(seed: &ShardSeed<T>) -> Self {
         FrontierCfg {
-            hist: seed.history.clone(),
-            state: seed.state.clone(),
-            used: seed.used.clone(),
+            hist: seed.seed.history.clone(),
+            state: seed.seed.state.clone(),
+            used: seed.seed.used.clone(),
+            sym: seed.sym.clone(),
         }
     }
 
     /// The deduplication key: two configurations agreeing on it are
-    /// interchangeable for every future event (the engine memoises on
-    /// exactly this data).
-    fn memo_key(&self) -> (T::State, Vec<(T::Input, usize)>)
-    where
-        T::Input: Ord,
-    {
-        let mut used: Vec<(T::Input, usize)> =
-            self.used.iter().map(|(e, c)| (e.clone(), c)).collect();
-        used.sort();
-        (self.state.clone(), used)
+    /// interchangeable for every future event. O(1) — three
+    /// structure-sharing clones (the former representation re-collected
+    /// and re-sorted the full `used` multiset per lookup).
+    fn memo_key(&self) -> (T::State, PersistentMultiset<T::Input>, SymSet<T>) {
+        (self.state.clone(), self.used.clone(), self.sym.clone())
     }
+
+    /// Deterministic order rank for configurations sharing a history
+    /// (possible since absorption leaves histories untouched): the
+    /// symbolic-completion multiset's commutative fingerprint.
+    fn sym_rank(&self) -> (usize, u64) {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.sym.hash(&mut h);
+        (self.sym.len(), h.finish())
+    }
+}
+
+/// A retained search seed: the engine seed plus the symbolic straggler
+/// completions recorded when its epoch was cut.
+pub(crate) struct ShardSeed<T: Adt> {
+    pub seed: SearchSeed<T>,
+    pub sym: SymSet<T>,
+}
+
+impl<T: Adt> Clone for ShardSeed<T> {
+    fn clone(&self) -> Self {
+        ShardSeed {
+            seed: self.seed.clone(),
+            sym: self.sym.clone(),
+        }
+    }
+}
+
+/// Greedy absorption of window commits into a seed's symbolic
+/// completions: the earliest commit matching each completion is dropped
+/// (its commit entry is the pre-cut extra). Returns the remaining commit
+/// list, the unconsumed completions, and the *window* indices of the
+/// absorbed commits.
+fn absorb_commits<T: Adt>(
+    commits: &[Commit<T>],
+    sym: &SymSet<T>,
+) -> (Vec<Commit<T>>, SymSet<T>, Vec<usize>) {
+    if sym.is_empty() {
+        return (commits.to_vec(), sym.clone(), Vec::new());
+    }
+    let mut sym = sym.clone();
+    let mut kept = Vec::with_capacity(commits.len());
+    let mut absorbed = Vec::new();
+    for c in commits {
+        let pair = (c.input.clone(), c.output.clone());
+        if sym.count(&pair) > 0 {
+            sym.remove(&pair);
+            absorbed.push(c.index);
+        } else {
+            kept.push(c.clone());
+        }
+    }
+    (kept, sym, absorbed)
 }
 
 /// The incremental per-shard checker state. See the module docs.
@@ -154,19 +266,40 @@ pub(crate) struct ShardState<'a, T: Adt, V> {
     /// Global stream index of each window action.
     pub index_map: Vec<usize>,
     /// Cumulative input multisets per window index (length `sub.len() + 1`),
-    /// every entry including the retired base inputs.
-    input_ms: Vec<Multiset<T::Input>>,
+    /// every entry including the retired base inputs. Persistent:
+    /// structure-sharing snapshots, O(1) to take, O(window + alphabet)
+    /// retained nodes in total.
+    input_ms: Vec<PersistentMultiset<T::Input>>,
     /// Window commits; `Commit::index` is the *window* sub-trace index.
     commits: Vec<Commit<T>>,
     /// The retained summary of the retired prefix: the complete set of
     /// terminal configurations at the last retirement cut (one empty seed
     /// before any retirement). Seed histories are always empty — the
-    /// retired events are dropped; only `(state, used)` survives.
-    seeds: Vec<SearchSeed<T>>,
+    /// retired events are dropped; only `(state, used, sym)` survives.
+    seeds: Vec<ShardSeed<T>>,
     frontier: Vec<FrontierCfg<T>>,
     status: ShardStatus,
-    /// Window invocations still awaiting a response (GC quiescence gate).
+    /// Invocations (ever) still awaiting a response. Unlike the window
+    /// machinery this is *not* reset at a cut: quiescence means every
+    /// invocation of the whole stream has responded.
     pending: usize,
+    /// Whether a forced lossy epoch cut happened: "no completion found"
+    /// can no longer prove a violation (see module docs).
+    lossy: bool,
+    /// An epoch boundary passed without a successful cut: keep trying
+    /// later (the damping policy below) instead of letting the window
+    /// grow untouched to the next multiple.
+    cut_due: bool,
+    /// The last cut attempt was truncated; retrying every event would
+    /// sink an enumeration per ingest, so attempts stay blocked until the
+    /// completion landscape plausibly changed: pending drops below its
+    /// value at the failed attempt (a straggler drained), the window
+    /// grows another quarter-window, or the next epoch boundary arrives.
+    cut_blocked: bool,
+    /// `pending` at the last truncated cut attempt.
+    blocked_pending: usize,
+    /// `sub.len()` at the last truncated cut attempt.
+    blocked_len: usize,
     pub counters: ShardCounters,
 }
 
@@ -177,7 +310,12 @@ where
     V: Clone + PartialEq,
 {
     pub fn new(adt: &'a T, cfg: ShardConfig) -> Self {
-        Self::with_seeds(adt, cfg, vec![SearchSeed::initial(adt)], Multiset::new())
+        Self::with_seeds(
+            adt,
+            cfg,
+            vec![SearchSeed::initial(adt)],
+            PersistentMultiset::new(),
+        )
     }
 
     /// Rebuilds a shard from retained seeds and a base input multiset —
@@ -186,9 +324,16 @@ where
         adt: &'a T,
         cfg: ShardConfig,
         seeds: Vec<SearchSeed<T>>,
-        base: Multiset<T::Input>,
+        base: PersistentMultiset<T::Input>,
     ) -> Self {
         assert!(!seeds.is_empty(), "a shard needs at least one seed");
+        let seeds: Vec<ShardSeed<T>> = seeds
+            .into_iter()
+            .map(|seed| ShardSeed {
+                seed,
+                sym: PersistentMultiset::new(),
+            })
+            .collect();
         ShardState {
             adt,
             cfg,
@@ -200,6 +345,11 @@ where
             seeds,
             status: ShardStatus::Ok,
             pending: 0,
+            lossy: false,
+            cut_due: false,
+            cut_blocked: false,
+            blocked_pending: 0,
+            blocked_len: 0,
             counters: ShardCounters::default(),
         }
     }
@@ -208,8 +358,36 @@ where
         self.status
     }
 
+    /// Whether a forced lossy epoch cut happened (verdict downgrades).
+    pub fn lossy(&self) -> bool {
+        self.lossy
+    }
+
+    /// Retained configurations (frontier plus seeds) — the live-state
+    /// component of the monitor's memory proxy.
+    pub fn live_configs(&self) -> usize {
+        self.frontier.len() + self.seeds.len()
+    }
+
+    /// Marks every persistent-multiset node reachable from this shard in
+    /// `seen` (pointer-deduplicated): the structure-sharing-aware memory
+    /// proxy behind [`super::ShardSummary::multiset_nodes`].
+    pub fn mark_multiset_nodes(&self, seen: &mut HashSet<usize>) {
+        for m in &self.input_ms {
+            m.mark_nodes(seen);
+        }
+        for cfg in &self.frontier {
+            cfg.used.mark_nodes(seen);
+            cfg.sym.mark_nodes(seen);
+        }
+        for s in &self.seeds {
+            s.seed.used.mark_nodes(seen);
+            s.sym.mark_nodes(seen);
+        }
+    }
+
     /// The shard's total input pool (base plus window invocations).
-    pub fn pool(&self) -> &Multiset<T::Input> {
+    pub fn pool(&self) -> &PersistentMultiset<T::Input> {
         self.input_ms.last().expect("input_ms is never empty")
     }
 
@@ -277,38 +455,57 @@ where
         let bound = self.input_ms[window_index].clone();
         let pool = self.pool().clone();
         let hist_cap = self.sub.len();
+        let pair = (commit.input.clone(), commit.output.clone());
 
         let mut next: Vec<FrontierCfg<T>> = Vec::new();
         let mut seen: MemoKeySet<T> = HashSet::new();
         let mut exhausted = false;
-        // Pass 1 — the common case: the new response commits directly at
-        // every configuration's tail, no extras needed. O(frontier).
+        // Pass 1 — the cheap cases, O(frontier): a configuration holding a
+        // matching symbolic completion *absorbs* the response (the pre-cut
+        // extra is its commit entry; history, state and consumed inputs
+        // are untouched), and independently the response may commit
+        // directly at the configuration's tail.
         for cfg in &self.frontier {
+            if cfg.sym.count(&pair) > 0 {
+                let mut sym2 = cfg.sym.clone();
+                sym2.remove(&pair);
+                let done = FrontierCfg {
+                    hist: cfg.hist.clone(),
+                    state: cfg.state.clone(),
+                    used: cfg.used.clone(),
+                    sym: sym2,
+                };
+                if seen.insert(done.memo_key()) {
+                    next.push(done);
+                }
+                if next.len() >= self.cfg.frontier_cap {
+                    break;
+                }
+            }
             let mut used2 = cfg.used.clone();
             used2.insert(commit.input.clone());
-            if !used2.is_subset_of(&bound) {
-                continue;
-            }
-            let (state2, output) = self.adt.apply(&cfg.state, &commit.input);
-            if output != commit.output {
-                continue;
-            }
-            let mut hist = cfg.hist.clone();
-            hist.push(commit.input.clone());
-            let done = FrontierCfg {
-                hist,
-                state: state2,
-                used: used2,
-            };
-            if seen.insert(done.memo_key()) {
-                next.push(done);
+            if used2.is_subset_of(&bound) {
+                let (state2, output) = self.adt.apply(&cfg.state, &commit.input);
+                if output == commit.output {
+                    let mut hist = cfg.hist.clone();
+                    hist.push(commit.input.clone());
+                    let done = FrontierCfg {
+                        hist,
+                        state: state2,
+                        used: used2,
+                        sym: cfg.sym.clone(),
+                    };
+                    if seen.insert(done.memo_key()) {
+                        next.push(done);
+                    }
+                }
             }
             if next.len() >= self.cfg.frontier_cap {
                 break;
             }
         }
-        // Pass 2 — only when no tail commits directly: interleave extras
-        // from the pool under the bounded extension budget.
+        // Pass 2 — only when neither cheap case survives: interleave
+        // extras from the pool under the bounded extension budget.
         if next.is_empty() {
             let mut nodes_left = self.cfg.extension_budget;
             for cfg in &self.frontier {
@@ -331,9 +528,12 @@ where
                     break;
                 }
             }
+            self.counters.search_nodes += self.cfg.extension_budget - nodes_left;
         }
-        // Deterministic frontier order: lexicographic by history.
-        next.sort_by(|a, b| a.hist.cmp(&b.hist));
+        // Deterministic frontier order: lexicographic by history, then by
+        // the symbolic-completion rank (absorption preserves histories, so
+        // histories alone no longer discriminate).
+        next.sort_by(|a, b| a.hist.cmp(&b.hist).then(a.sym_rank().cmp(&b.sym_rank())));
         next.truncate(self.cfg.frontier_cap);
 
         if next.is_empty() || exhausted {
@@ -345,60 +545,87 @@ where
         false
     }
 
-    /// Enumerates terminal configurations of the retained window from the
-    /// retained seeds: the leaf oracle vetoes every leaf until `cap` are
-    /// collected, so one engine run per seed yields up to `cap` distinct
-    /// terminal memo keys. Returns the collected configurations plus
-    /// whether any run tripped its budget.
-    fn enumerate_completions(&self, cap: usize) -> (Vec<FrontierCfg<T>>, bool) {
+    /// Enumerates the terminal configurations of the retained window from
+    /// the retained seeds (each seed's commits greedily absorbed first),
+    /// deduplicated on the memo key, up to `cap` of them. With
+    /// `record_extras`, every interleaved extra is recorded as a symbolic
+    /// completion in its configuration (epoch-cut mode). Returns the
+    /// configurations, whether any budget tripped, and the nodes expanded.
+    fn enumerate_completions(
+        &self,
+        cap: usize,
+        record_extras: bool,
+    ) -> (Vec<FrontierCfg<T>>, bool, usize) {
+        // Verdict-deciding searches give every seed the full budget (the
+        // engine's per-run unit); only opportunistic retirement shares a
+        // bounded slice across seeds.
+        self.enumerate_completions_with(cap, record_extras, None)
+    }
+
+    /// The node budget of one opportunistic retirement attempt. Cuts are
+    /// a memory optimisation, not a verdict requirement, so an attempt is
+    /// never allowed to burn the full fallback budget: it gets a slice
+    /// proportional to the retained window (enumeration work grows with
+    /// the events being summarised). An attempt that trips it skips the
+    /// cut (exactness is unaffected) and retries under the damping policy.
+    fn retire_budget(&self) -> usize {
+        self.cfg
+            .extension_budget
+            .saturating_mul(8 + self.sub.len())
+            .min(self.cfg.budget / 2)
+    }
+
+    /// [`ShardState::enumerate_completions`] under an optional shared
+    /// node budget: `Some(n)` caps the *total* nodes across all seeds
+    /// (the retirement path), `None` gives each seed the full fallback
+    /// budget (the verdict path, the engine's historical semantics).
+    fn enumerate_completions_with(
+        &self,
+        cap: usize,
+        record_extras: bool,
+        shared_budget: Option<usize>,
+    ) -> (Vec<FrontierCfg<T>>, bool, usize) {
         let mut out: Vec<FrontierCfg<T>> = Vec::new();
         let mut seen: MemoKeySet<T> = HashSet::new();
         let mut budget_tripped = false;
-        for seed in &self.seeds {
-            let engine = CheckerEngine::new(
-                self.adt,
-                &self.commits,
-                &self.input_ms,
-                self.pool().clone(),
-                SearchBudget::new(self.cfg.budget),
-            )
-            .with_extra_cap(self.sub.len());
-            let adt = self.adt;
-            let mut leaf = |_chain: &Chain<T::Input>, longest: &[T::Input]| {
-                // Deduplicate on the memo key *before* counting toward the
-                // cap: the engine never memoises terminal nodes, so
-                // commuting chains revisit the same terminal key, and a
-                // count of raw leaf visits would let `maybe_retire` stop
-                // early and mistake a truncated enumeration for a complete
-                // one (a lossy retirement).
-                let mut state = seed.state.clone();
-                let mut used = seed.used.clone();
-                for input in longest {
-                    state = adt.apply(&state, input).0;
-                    used.insert(input.clone());
-                }
-                let cfg = FrontierCfg {
-                    hist: longest.to_vec(),
-                    state,
-                    used,
-                };
-                if seen.insert(cfg.memo_key()) {
-                    out.push(cfg);
-                }
-                if out.len() >= cap {
-                    Some(())
-                } else {
-                    None
-                }
+        let mut nodes_total = 0usize;
+        for shard_seed in &self.seeds {
+            let (kept, sym, _) = absorb_commits(&self.commits, &shard_seed.sym);
+            let mut dfs = EnumDfs {
+                adt: self.adt,
+                commits: &kept,
+                bounds: &self.input_ms,
+                pool: self.pool(),
+                hist_cap: self.sub.len(),
+                record_extras,
+                cap,
+                max_nodes: match shared_budget {
+                    Some(total) => total.saturating_sub(nodes_total),
+                    None => self.cfg.budget,
+                },
+                nodes: 0,
+                memo: HashSet::new(),
+                seen: &mut seen,
+                out: &mut out,
+                budget_tripped: false,
             };
-            let result = engine.run(seed.clone(), &mut leaf);
-            budget_tripped |= matches!(result, Err(EngineError::BudgetExhausted { .. }));
+            let mut hist = shard_seed.seed.history.clone();
+            let remaining = CommitMask::full(kept.len());
+            dfs.dfs(
+                shard_seed.seed.state.clone(),
+                shard_seed.seed.used.clone(),
+                sym,
+                &mut hist,
+                remaining,
+            );
+            budget_tripped |= dfs.budget_tripped;
+            nodes_total += dfs.nodes;
             if out.len() >= cap {
                 break;
             }
         }
-        out.sort_by(|a, b| a.hist.cmp(&b.hist));
-        (out, budget_tripped)
+        out.sort_by(|a, b| a.hist.cmp(&b.hist).then(a.sym_rank().cmp(&b.sym_rank())));
+        (out, budget_tripped, nodes_total)
     }
 
     /// The documented fallback: bounded re-searches of the retained window
@@ -407,13 +634,17 @@ where
     /// would re-fall-back on almost every next commit).
     fn fallback_research(&mut self) {
         self.counters.fallback_searches += 1;
-        let (configs, budget_tripped) = self.enumerate_completions(self.cfg.frontier_cap);
+        let (configs, budget_tripped, nodes) =
+            self.enumerate_completions(self.cfg.frontier_cap, false);
+        self.counters.search_nodes += nodes;
         if !configs.is_empty() {
             // Every collected configuration is a genuine witness (a budget
             // trip mid-enumeration does not taint the earlier ones).
             self.frontier = configs;
             self.status = ShardStatus::Ok;
-        } else if budget_tripped {
+        } else if budget_tripped || self.lossy {
+            // After a lossy cut an exhausted search space proves nothing:
+            // the dropped summary configurations may have completed.
             self.frontier.clear();
             self.status = ShardStatus::BudgetExhausted;
         } else {
@@ -424,31 +655,33 @@ where
 
     /// One full engine run over the retained window for the monitor's
     /// final report: seeds are tried in order and the first one admitting
-    /// a completion wins (deterministic). Returns the winning seed's index
-    /// and chain.
+    /// a completion wins (deterministic). Returns the winning seed's
+    /// index, its chain, and the *window* indices of the commits its
+    /// symbolic completions absorbed (absent from the chain).
     #[allow(clippy::type_complexity)]
     pub fn window_search(
         &self,
     ) -> (
-        Result<Option<(usize, Chain<T::Input>)>, EngineError>,
+        Result<Option<(usize, Chain<T::Input>, Vec<usize>)>, EngineError>,
         SearchStats,
     ) {
         let mut stats = SearchStats::default();
         let mut budget_error: Option<EngineError> = None;
-        for (k, seed) in self.seeds.iter().enumerate() {
+        for (k, shard_seed) in self.seeds.iter().enumerate() {
+            let (kept, _, absorbed) = absorb_commits(&self.commits, &shard_seed.sym);
             let engine = CheckerEngine::new(
                 self.adt,
-                &self.commits,
+                &kept,
                 &self.input_ms,
                 self.pool().clone(),
                 SearchBudget::new(self.cfg.budget),
             )
             .with_extra_cap(self.sub.len());
-            match engine.run(seed.clone(), &mut |_, _| Some(())) {
+            match engine.run(shard_seed.seed.clone(), &mut |_, _| Some(())) {
                 Ok(outcome) => {
                     stats.absorb(&outcome.stats);
                     if let Some((chain, ())) = outcome.solution {
-                        return (Ok(Some((k, chain))), stats);
+                        return (Ok(Some((k, chain, absorbed))), stats);
                     }
                 }
                 Err(e) => {
@@ -467,48 +700,256 @@ where
     /// The seed the reported window chain extends (see
     /// [`ShardState::window_search`]).
     pub fn seed(&self, index: usize) -> &SearchSeed<T> {
-        &self.seeds[index]
+        &self.seeds[index].seed
     }
 
-    /// Bounded-window GC: when the retained window has grown past `window`
-    /// events and is quiescent, enumerate the window's **complete**
+    /// Bounded-window GC (see the module docs): when the retained window
+    /// has grown past `window` events, enumerate the window's **complete**
     /// terminal-configuration set and retire the window into those seeds.
-    /// Retirement is skipped — never lossy — when the enumeration is
-    /// truncated (budget trip, or more than `frontier_cap`
-    /// configurations). Returns the global indices of the retired events.
+    /// Quiescent shards cut at any size past the window; never-quiescent
+    /// shards cut at epoch boundaries (window multiples) when epoch cuts
+    /// are enabled, completing stragglers symbolically.
+    ///
+    /// Retirement is opportunistic, so it runs under its own small node
+    /// budget (a fraction of the fallback budget) and never compromises
+    /// exactness: a truncated enumeration skips the cut (never lossy
+    /// unless `epoch_force` is set). A boundary that fails to cut leaves
+    /// the cut *due*: it is retried on every later commit — a drained
+    /// response shrinks the completion space — rather than stalling GC
+    /// until the next window multiple while per-event cost balloons.
+    /// Returns the global indices of the retired events.
     pub fn maybe_retire(&mut self, window: usize) -> Option<Vec<usize>> {
-        if self.sub.len() < window
-            || self.pending != 0
-            || self.status != ShardStatus::Ok
-            || self.commits.is_empty()
-        {
+        if self.sub.len() < window || self.status != ShardStatus::Ok {
             return None;
         }
-        // `cap + 1` detects truncation: exactly `cap + 1` collected means
-        // the true set may be larger than what we would retain.
-        let (configs, budget_tripped) = self.enumerate_completions(self.cfg.frontier_cap + 1);
-        if budget_tripped || configs.is_empty() || configs.len() > self.cfg.frontier_cap {
+        if self.cfg.epoch_cuts && self.sub.len().is_multiple_of(window) {
+            self.cut_due = true;
+            self.cut_blocked = false;
+        }
+        let quiescent = self.pending == 0;
+        let epoch_due = self.cfg.epoch_cuts && self.cut_due;
+        if !quiescent && !epoch_due {
             return None;
         }
+        if self.cut_blocked {
+            // Damping: retry only once the landscape plausibly changed
+            // since the truncated attempt (see the field docs).
+            let drained = self.pending < self.blocked_pending;
+            let grown = self.sub.len() >= self.blocked_len + (window / 4).max(1);
+            if !drained && !grown {
+                return None;
+            }
+        }
+        if self.commits.is_empty() {
+            // An invocation-only window: the frontier never moved, so the
+            // seeds already summarise it — only the cumulative bound
+            // snapshots collapse into the base.
+            return Some(self.retire_window(None));
+        }
+        // The retirement seed set may hold up to twice the frontier cap —
+        // seeds are a complete summary and must not be dropped, while the
+        // frontier re-truncates to the cap at the next commit. `cap + 1`
+        // detects truncation: collecting exactly `cap + 1` means the true
+        // set may be larger than what we would retain.
+        let cap = self.cfg.frontier_cap * 2;
+        // Quiescent cuts keep the historical full per-seed budget (they
+        // are the verdict-bearing GC of drained streams); epoch attempts
+        // are opportunistic and run under the bounded retirement slice.
+        let shared = if quiescent {
+            None
+        } else {
+            Some(self.retire_budget())
+        };
+        let (configs, budget_tripped, nodes) =
+            self.enumerate_completions_with(cap + 1, true, shared);
+        self.counters.search_nodes += nodes;
+        let truncated = budget_tripped || configs.is_empty() || configs.len() > cap;
+        if !truncated {
+            return Some(self.retire_window(Some(configs)));
+        }
+        self.cut_blocked = true;
+        self.blocked_pending = self.pending;
+        self.blocked_len = self.sub.len();
+        if self.cfg.epoch_force {
+            // Lossy cut: the frontier's configurations are genuine
+            // witnesses, but possibly not all of them — record the loss
+            // and retire from the frontier anyway (memory over exactness).
+            self.lossy = true;
+            self.counters.lossy_cuts += 1;
+            let summary = self.frontier.clone();
+            return Some(self.retire_window(Some(summary)));
+        }
+        None
+    }
+
+    /// Retires the current window: drops its events, collapses the bound
+    /// snapshots into the base, and installs `summary` (when given) as the
+    /// new seed set. Returns the retired global indices.
+    fn retire_window(&mut self, summary: Option<Vec<FrontierCfg<T>>>) -> Vec<usize> {
         self.counters.retired_events += self.sub.len();
+        if self.pending > 0 {
+            self.counters.epoch_cuts += 1;
+        }
         let retired = std::mem::take(&mut self.index_map);
+        self.cut_due = false;
+        self.cut_blocked = false;
         self.sub = Trace::new();
         self.commits.clear();
         let base = self.input_ms.pop().expect("nonempty");
         self.input_ms = vec![base];
-        // Retired histories are dropped (memory stays O(window + alphabet));
-        // the seeds keep only the state and consumed-input multiset, which
-        // is all the engine's moves and bounds consult.
-        self.seeds = configs
-            .iter()
-            .map(|cfg| SearchSeed {
-                history: Vec::new(),
-                state: cfg.state.clone(),
-                used: cfg.used.clone(),
-            })
-            .collect();
-        self.frontier = self.seeds.iter().map(FrontierCfg::from_seed).collect();
-        Some(retired)
+        if let Some(configs) = summary {
+            // Retired histories are dropped (memory stays
+            // O(window + alphabet)); the seeds keep only the state, the
+            // consumed-input multiset and the symbolic completions, which
+            // is all the engine's moves and bounds consult.
+            self.seeds = configs
+                .iter()
+                .map(|cfg| ShardSeed {
+                    seed: SearchSeed {
+                        history: Vec::new(),
+                        state: cfg.state.clone(),
+                        used: cfg.used.clone(),
+                    },
+                    sym: cfg.sym.clone(),
+                })
+                .collect();
+            self.frontier = self.seeds.iter().map(FrontierCfg::from_seed).collect();
+        }
+        retired
+    }
+}
+
+/// The sym-aware enumeration worker behind
+/// [`ShardState::enumerate_completions`]: the engine's search moves
+/// (commit / interleave-extra) with dead-end memoisation on `(remaining,
+/// state, used, sym)` — the engine's own key *plus* the symbolic
+/// completions, which the engine's memo would conflate (two paths placing
+/// extras with different outputs reach the same `(state, used)` but
+/// absorb different future responses).
+struct EnumDfs<'e, T: Adt> {
+    adt: &'e T,
+    commits: &'e [Commit<T>],
+    bounds: &'e [PersistentMultiset<T::Input>],
+    pool: &'e PersistentMultiset<T::Input>,
+    hist_cap: usize,
+    record_extras: bool,
+    cap: usize,
+    max_nodes: usize,
+    nodes: usize,
+    #[allow(clippy::type_complexity)]
+    memo: HashSet<(
+        CommitMask,
+        <T as Adt>::State,
+        PersistentMultiset<<T as Adt>::Input>,
+        SymSet<T>,
+    )>,
+    seen: &'e mut MemoKeySet<T>,
+    out: &'e mut Vec<FrontierCfg<T>>,
+    budget_tripped: bool,
+}
+
+impl<T: Adt> EnumDfs<'_, T>
+where
+    T::Input: Ord,
+{
+    /// Explores every completion below the node; `false` stops the whole
+    /// enumeration (budget tripped or `cap` configurations collected).
+    fn dfs(
+        &mut self,
+        state: T::State,
+        used: PersistentMultiset<T::Input>,
+        sym: SymSet<T>,
+        hist: &mut Vec<T::Input>,
+        remaining: CommitMask,
+    ) -> bool {
+        if remaining.is_empty() {
+            // Terminal: record the configuration (deduplicated *before*
+            // counting toward the cap — commuting chains revisit the same
+            // terminal key, and counting raw visits would let a caller
+            // mistake a truncated enumeration for a complete one).
+            let cfg = FrontierCfg {
+                hist: hist.clone(),
+                state,
+                used,
+                sym,
+            };
+            if self.seen.insert(cfg.memo_key()) {
+                self.out.push(cfg);
+            }
+            return self.out.len() < self.cap;
+        }
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            self.budget_tripped = true;
+            return false;
+        }
+        let key = (remaining.clone(), state.clone(), used.clone(), sym.clone());
+        if self.memo.contains(&key) {
+            return true;
+        }
+
+        // Prune: a remaining commit whose validity bound no longer
+        // contains the consumed inputs can never be committed from here.
+        for (k, c) in self.commits.iter().enumerate() {
+            if remaining.contains(k) && !used.is_subset_of(&self.bounds[c.index]) {
+                self.memo.insert(key);
+                return true;
+            }
+        }
+
+        // Move 1: commit one of the remaining responses next on the chain.
+        for (k, c) in self.commits.iter().enumerate() {
+            if !remaining.contains(k) {
+                continue;
+            }
+            let mut used2 = used.clone();
+            used2.insert(c.input.clone());
+            if !used2.is_subset_of(&self.bounds[c.index]) {
+                continue;
+            }
+            let (state2, out) = self.adt.apply(&state, &c.input);
+            if out != c.output {
+                continue;
+            }
+            hist.push(c.input.clone());
+            let alive = self.dfs(state2, used2, sym.clone(), hist, remaining.without(k));
+            hist.pop();
+            if !alive {
+                return false;
+            }
+        }
+
+        // Move 2: interleave an extra input from the pool (sorted: the
+        // enumeration order is a pure function of the inputs). In
+        // epoch-cut mode the extra is recorded as a symbolic completion
+        // with the output the ADT produced for it.
+        if hist.len() < self.hist_cap {
+            let mut candidates: Vec<T::Input> = self
+                .pool
+                .iter()
+                .filter(|(e, c)| used.count(e) < *c)
+                .map(|(e, _)| e.clone())
+                .collect();
+            candidates.sort();
+            for e in candidates {
+                let mut used2 = used.clone();
+                used2.insert(e.clone());
+                let (state2, out) = self.adt.apply(&state, &e);
+                let mut sym2 = sym.clone();
+                if self.record_extras {
+                    sym2.insert((e.clone(), out));
+                }
+                hist.push(e);
+                let alive = self.dfs(state2, used2, sym2, hist, remaining.clone());
+                hist.pop();
+                if !alive {
+                    return false;
+                }
+            }
+        }
+
+        self.memo.insert(key);
+        true
     }
 }
 
@@ -521,8 +962,8 @@ fn extend_tail<T: Adt>(
     adt: &T,
     cfg: &FrontierCfg<T>,
     commit: &Commit<T>,
-    bound: &Multiset<T::Input>,
-    pool: &Multiset<T::Input>,
+    bound: &PersistentMultiset<T::Input>,
+    pool: &PersistentMultiset<T::Input>,
     hist_cap: usize,
     nodes_left: &mut usize,
     out: &mut Vec<FrontierCfg<T>>,
@@ -553,17 +994,19 @@ where
 /// The recursive worker behind [`extend_tail`]: `extras` accumulates the
 /// interleaved inputs in place (histories are materialised only for the
 /// configurations that actually survive, keeping per-node work
-/// history-length-free).
+/// history-length-free). In-window extras are *not* recorded as symbolic
+/// completions — the configuration's `sym` carries through unchanged;
+/// only epoch cuts record completions (see the module docs).
 #[allow(clippy::too_many_arguments)]
 fn extend_dfs<T: Adt>(
     adt: &T,
     base: &FrontierCfg<T>,
     extras: &mut Vec<T::Input>,
     state: &T::State,
-    used: &Multiset<T::Input>,
+    used: &PersistentMultiset<T::Input>,
     commit: &Commit<T>,
-    bound: &Multiset<T::Input>,
-    pool: &Multiset<T::Input>,
+    bound: &PersistentMultiset<T::Input>,
+    pool: &PersistentMultiset<T::Input>,
     hist_cap: usize,
     nodes_left: &mut usize,
     out: &mut Vec<FrontierCfg<T>>,
@@ -591,6 +1034,7 @@ where
                 hist: Vec::new(),
                 state: state2,
                 used: used2,
+                sym: base.sym.clone(),
             };
             if seen.insert(done.memo_key()) {
                 let mut hist = base.hist.clone();

@@ -208,7 +208,7 @@ proptest! {
         for i in 0..t.len() {
             prop_assert!(ms[i].is_subset_of(&ms[i + 1]));
             let seq = ops::inputs_before::<Consensus, Value>(&t, i);
-            prop_assert_eq!(slin_trace::Multiset::elems(&seq), ms[i].clone());
+            prop_assert_eq!(slin_trace::PersistentMultiset::elems(&seq), ms[i].clone());
         }
     }
 

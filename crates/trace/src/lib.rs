@@ -30,6 +30,7 @@
 
 pub mod action;
 pub mod multiset;
+pub mod pmultiset;
 pub mod prop;
 pub mod seq;
 pub mod sig;
@@ -38,6 +39,7 @@ pub mod wf;
 
 pub use action::{Action, ClientId, PhaseId};
 pub use multiset::Multiset;
+pub use pmultiset::PersistentMultiset;
 pub use prop::{Polarity, Signature, TraceProperty};
 pub use sig::PhaseSignature;
 pub use trace::Trace;

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use slin_trace::seq::{comparable, concat, is_prefix, is_strict_prefix, longest_common_prefix};
 use slin_trace::wf;
-use slin_trace::{Action, ClientId, Multiset, PhaseId, Trace};
+use slin_trace::{Action, ClientId, Multiset, PersistentMultiset, PhaseId, Trace};
 
 fn small_vec() -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(0..5u8, 0..8)
@@ -170,5 +170,144 @@ proptest! {
         let cut = cut.min(t.len());
         // A prefix of a well-formed trace is well-formed (safety property).
         prop_assert!(wf::is_well_formed(&t.truncate_to(cut)));
+    }
+}
+
+// ---- persistent multiset ≡ multiset (differential laws) ----
+//
+// `PersistentMultiset` must be observationally equal to the reference
+// `Multiset` under arbitrary operation interleavings: the checkers thread
+// the persistent form through bound snapshots, memo keys, and frontier
+// `used` sets purely for its O(1) clone and structure sharing — never for
+// different semantics.
+
+/// One step of a random multiset program.
+#[derive(Debug, Clone)]
+enum MsOp {
+    Insert(u8),
+    Remove(u8),
+    /// Replace the accumulator with `acc.union_max(elems(operand))`.
+    UnionMax(Vec<u8>),
+    /// Replace the accumulator with `acc.sum(elems(operand))`.
+    Sum(Vec<u8>),
+}
+
+fn ms_op() -> impl Strategy<Value = MsOp> {
+    // Insert- and remove-heavy mix, with occasional bulk operations.
+    (0..8u8, 0..6u8, prop::collection::vec(0..6u8, 0..5)).prop_map(|(sel, e, other)| match sel {
+        0..=2 => MsOp::Insert(e),
+        3..=5 => MsOp::Remove(e),
+        6 => MsOp::UnionMax(other),
+        _ => MsOp::Sum(other),
+    })
+}
+
+/// Checks every observation the checkers rely on.
+fn assert_agree(m: &Multiset<u8>, p: &PersistentMultiset<u8>) -> Result<(), TestCaseError> {
+    prop_assert_eq!(m.len(), p.len());
+    prop_assert_eq!(m.distinct_len(), p.distinct_len());
+    prop_assert_eq!(m.is_empty(), p.is_empty());
+    for e in 0..8u8 {
+        prop_assert_eq!(m.count(&e), p.count(&e), "count({})", e);
+        prop_assert_eq!(m.contains(&e), p.contains(&e), "contains({})", e);
+    }
+    // The iterators agree as maps (orders differ: BTreeMap vs trie).
+    let mi: std::collections::BTreeMap<u8, usize> = m.iter().map(|(e, c)| (*e, c)).collect();
+    let pi: std::collections::BTreeMap<u8, usize> = p.iter().map(|(e, c)| (*e, c)).collect();
+    prop_assert_eq!(mi, pi);
+    Ok(())
+}
+
+/// Runs one random program against both implementations, re-checking
+/// observational agreement after every step (kept outside the `proptest!`
+/// macro — its body is token-expanded and chokes on long functions).
+fn run_differential_program(init: &[u8], ops: &[MsOp]) -> Result<(), TestCaseError> {
+    let mut m = Multiset::elems(init);
+    let mut p = PersistentMultiset::elems(init);
+    assert_agree(&m, &p)?;
+    for op in ops {
+        match op {
+            MsOp::Insert(e) => {
+                m.insert(*e);
+                p.insert(*e);
+            }
+            MsOp::Remove(e) => {
+                prop_assert_eq!(m.remove(e), p.remove(e));
+            }
+            MsOp::UnionMax(other) => {
+                m = m.union_max(&Multiset::elems(other));
+                p = p.union_max(&PersistentMultiset::elems(other));
+            }
+            MsOp::Sum(other) => {
+                m = m.sum(&Multiset::elems(other));
+                p = p.sum(&PersistentMultiset::elems(other));
+            }
+        }
+        assert_agree(&m, &p)?;
+    }
+    Ok(())
+}
+
+/// Semantic equality/hash agreement for pointer-disjoint construction
+/// paths (sorted insertion order + a push/pop round-trip on one side).
+fn check_semantic_equality(a: &[u8], b: &mut [u8]) -> Result<(), TestCaseError> {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let pa = PersistentMultiset::elems(a);
+    b.sort_unstable();
+    let mut pb = PersistentMultiset::elems(&*b);
+    pb.insert(0);
+    pb.remove(&0);
+    let equal_contents = Multiset::elems(a) == Multiset::elems(b);
+    prop_assert_eq!(pa == pb, equal_contents);
+    if equal_contents {
+        let hash = |p: &PersistentMultiset<u8>| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        prop_assert_eq!(hash(&pa), hash(&pb));
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn persistent_multiset_matches_reference_under_random_programs(
+        init in small_vec(),
+        ops in prop::collection::vec(ms_op(), 0..24),
+    ) {
+        run_differential_program(&init, &ops)?;
+    }
+}
+
+proptest! {
+    #[test]
+    fn persistent_subset_matches_reference(a in small_vec(), b in small_vec()) {
+        let (ma, mb) = (Multiset::elems(&a), Multiset::elems(&b));
+        let (pa, pb) = (PersistentMultiset::elems(&a), PersistentMultiset::elems(&b));
+        prop_assert_eq!(ma.is_subset_of(&mb), pa.is_subset_of(&pb));
+        prop_assert_eq!(mb.is_subset_of(&ma), pb.is_subset_of(&pa));
+    }
+}
+
+proptest! {
+    #[test]
+    fn persistent_equality_is_semantic(a in small_vec(), b in small_vec()) {
+        let mut b = b;
+        check_semantic_equality(&a, &mut b)?;
+    }
+}
+
+proptest! {
+    #[test]
+    fn persistent_clones_share_structure_without_aliasing(init in small_vec(), e in 0..6u8) {
+        let base = PersistentMultiset::elems(&init);
+        let mut fork = base.clone();
+        fork.insert(e);
+        // The clone diverged; the original is untouched (path copying).
+        prop_assert_eq!(fork.count(&e), base.count(&e) + 1);
+        prop_assert_eq!(fork.len(), base.len() + 1);
+        prop_assert_eq!(&PersistentMultiset::elems(&init), &base);
     }
 }

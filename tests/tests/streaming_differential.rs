@@ -20,18 +20,18 @@
 use proptest::prelude::*;
 use slin_adt::{ConsInput, ConsOutput, Consensus, Value};
 use slin_adt::{
-    CounterVecPartitioner, CounterVector, KvInput, KvKeyPartitioner, KvStore, RegArrayPartitioner,
-    RegisterArray, Set, SetElemPartitioner,
+    CounterVecPartitioner, CounterVector, KvInput, KvKeyPartitioner, KvOutput, KvStore,
+    RegArrayPartitioner, RegisterArray, Set, SetElemPartitioner,
 };
 use slin_core::gen::{
-    random_multikey_counter_vec_trace, random_multikey_kv_trace, random_multikey_reg_array_trace,
-    random_multikey_set_trace, MultiKeyConfig,
+    random_hostile_kv_trace, random_multikey_counter_vec_trace, random_multikey_kv_trace,
+    random_multikey_reg_array_trace, random_multikey_set_trace, HostileConfig, MultiKeyConfig,
 };
 use slin_core::initrel::{ConsensusInit, ExactInit};
 use slin_core::lin::{witness_is_valid, LinChecker};
 use slin_core::slin::SlinChecker;
 use slin_core::ObjAction;
-use slin_monitor::{LinMonitor, MonitorConfig, SlinMonitor};
+use slin_monitor::{LinMonitor, MonitorConfig, MonitorStatus, SlinMonitor};
 use slin_trace::{Action, ClientId, PhaseId, Trace};
 
 /// Generator parameters swept by the differential suites (mirrors the
@@ -327,6 +327,173 @@ fn big_streams_do_exceed_64_commits() {
         mon.ingest(a.clone());
     }
     assert_eq!(mon.report().verdict, batch);
+}
+
+// ---- hostile never-quiescent streams (epoch GC differential) ----
+
+/// A windowed monitor with epoch cuts enabled (the default) over the
+/// hostile generator's single-shard-heavy key space.
+fn epoch_monitor(window: usize) -> LinMonitor<'static, KvStore, KvKeyPartitioner> {
+    LinMonitor::with_config(
+        &KvStore,
+        KvKeyPartitioner,
+        MonitorConfig {
+            window: Some(window),
+            ..Default::default()
+        },
+    )
+}
+
+/// Hostile sweep parameters kept small enough that the *batch* oracle
+/// stays tractable (the whole trace is one dense concurrency window).
+fn hostile_configs() -> impl Strategy<Value = HostileConfig> {
+    (
+        1..=2u32,     // keys
+        0..=1u8,      // never-responding tier
+        0..=1u8,      // perturbation tier
+        0..=4_000u64, // seed
+    )
+        .prop_map(|(keys, never, error, seed)| HostileConfig {
+            clients: 3,
+            steps: 60,
+            keys,
+            skew: 0.7,
+            never_frac: [0.08, 0.2][never as usize],
+            stuck_applies: true,
+            delay_zipf: 1.1,
+            max_delay: 8,
+            error_prob: [0.0, 0.25][error as usize],
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Epoch-GC'd monitors keep exact (window-relative) verdicts on
+    /// never-quiescent streams: the rolling status agrees with the batch
+    /// checker on the same closed trace, violation for violation.
+    #[test]
+    fn hostile_stream_status_matches_batch(cfg in hostile_configs()) {
+        let t = random_hostile_kv_trace(&cfg);
+        let mut mon = epoch_monitor(6);
+        for a in t.iter() {
+            mon.ingest(a.clone());
+        }
+        let status = mon.status();
+        let batch = LinChecker::new(&KvStore).check(&t);
+        match &batch {
+            Ok(_) => prop_assert_eq!(status, MonitorStatus::Ok, "cfg {:?}", cfg),
+            Err(_) => prop_assert_eq!(status, MonitorStatus::Violation, "cfg {:?}", cfg),
+        }
+    }
+}
+
+/// The hostile differential above is not vacuous: across a pinned seed
+/// sweep the epoch-GC machinery really does cut non-quiescent windows,
+/// retire events, and record symbolic completions — while every verdict
+/// still matches the batch oracle exactly.
+#[test]
+fn hostile_streams_exercise_epoch_cuts_non_vacuously() {
+    let mut total_retired = 0;
+    let mut total_epoch_cuts = 0;
+    for seed in 0..24 {
+        let cfg = HostileConfig {
+            clients: 3,
+            steps: 70,
+            keys: 1,
+            never_frac: 0.12,
+            max_delay: 8,
+            seed,
+            ..Default::default()
+        };
+        let t = random_hostile_kv_trace(&cfg);
+        let mut mon = epoch_monitor(6);
+        for a in t.iter() {
+            let out = mon.ingest(a.clone());
+            assert_eq!(
+                out.status,
+                MonitorStatus::Ok,
+                "seed {seed}: linearizable by construction"
+            );
+        }
+        let report = mon.report();
+        assert!(report.verdict.is_ok(), "seed {seed}: {:?}", report.verdict);
+        total_retired += report.shard.retired_events;
+        total_epoch_cuts += report.shard.epoch_cuts;
+        assert!(
+            LinChecker::new(&KvStore).check(&t).is_ok(),
+            "seed {seed}: batch oracle disagrees"
+        );
+    }
+    assert!(total_retired > 0, "no events were ever retired");
+    assert!(
+        total_epoch_cuts > 0,
+        "every cut was quiescent — the streams are not hostile enough"
+    );
+}
+
+/// Straggler absorption, positive case: an invocation left pending across
+/// several epoch cuts is later completed with an output the symbolic
+/// completion recorded — the late response is absorbed and the stream
+/// stays `Ok`.
+#[test]
+fn late_straggler_response_is_absorbed_after_epoch_cuts() {
+    let c = |k: u32| ClientId::new(k);
+    let ph = PhaseId::FIRST;
+    let mut mon = epoch_monitor(4);
+    // A committed write, so later reads are pinned to real values.
+    mon.ingest(Action::invoke(c(2), ph, KvInput::Put(1, 1)));
+    mon.ingest(Action::respond(c(2), ph, KvInput::Put(1, 1), KvOutput::Ack));
+    // The straggler: a Get that stays pending across many windows.
+    mon.ingest(Action::invoke(c(1), ph, KvInput::Get(1)));
+    // Enough committed writes to force several non-quiescent epoch cuts.
+    for v in 2..=20u64 {
+        mon.ingest(Action::invoke(c(2), ph, KvInput::Put(1, v)));
+        let out = mon.ingest(Action::respond(c(2), ph, KvInput::Put(1, v), KvOutput::Ack));
+        assert_eq!(out.status, MonitorStatus::Ok, "round {v}");
+    }
+    // The straggler finally responds with a value it could have read at
+    // some linearization point inside its (huge) pending interval.
+    let out = mon.ingest(Action::respond(
+        c(1),
+        ph,
+        KvInput::Get(1),
+        KvOutput::Found(Some(7)),
+    ));
+    assert_eq!(out.status, MonitorStatus::Ok, "absorbable straggler");
+    let report = mon.report();
+    assert!(report.verdict.is_ok());
+    assert!(report.shard.epoch_cuts > 0, "no epoch cut ever happened");
+    assert!(report.shard.retired_events > 0);
+}
+
+/// Straggler absorption, negative case: the same shape, but the late
+/// response carries an output no linearization of its pending interval
+/// allows — the epoch-GC'd monitor must still flag the violation.
+#[test]
+fn impossible_late_straggler_response_is_still_a_violation() {
+    let c = |k: u32| ClientId::new(k);
+    let ph = PhaseId::FIRST;
+    let mut mon = epoch_monitor(4);
+    mon.ingest(Action::invoke(c(2), ph, KvInput::Put(1, 1)));
+    mon.ingest(Action::respond(c(2), ph, KvInput::Put(1, 1), KvOutput::Ack));
+    // Invoked strictly after the first write committed: every possible
+    // linearization point sees *some* written value (there are no deletes).
+    mon.ingest(Action::invoke(c(1), ph, KvInput::Get(1)));
+    for v in 2..=20u64 {
+        let out = mon.ingest(Action::invoke(c(2), ph, KvInput::Put(1, v)));
+        assert_eq!(out.status, MonitorStatus::Ok);
+        mon.ingest(Action::respond(c(2), ph, KvInput::Put(1, v), KvOutput::Ack));
+    }
+    let out = mon.ingest(Action::respond(
+        c(1),
+        ph,
+        KvInput::Get(1),
+        KvOutput::Found(None), // impossible: the key was never absent
+    ));
+    assert_eq!(out.status, MonitorStatus::Violation);
+    assert!(mon.report().verdict.is_err());
 }
 
 /// Perturbed wide streams: violations past the old ceiling are detected
