@@ -45,6 +45,18 @@ so they are gated hard:
     peak_multiset_nodes may regress by at most 20% per row;
   * p99 ingest latency is wall-clock, so it is only sanity-capped, far
     above normal jitter.
+
+B8 (multi-tenant daemon pipeline) — end-to-end throughput is wall-clock,
+so it uses the same dual-condition gate as B6 (a row fails only when both
+its normalised share and its absolute events/sec fall >20% below the
+baseline). The health columns are gated hard:
+  * every row must verify (`ok` — no violations/ill-formed streams, no
+    events lost, queue bound held during the run);
+  * queue_depth_peak must never exceed the row's queue_capacity (the
+    bounded-queue invariant);
+  * the under-provisioned `daemon shed` scenario must report sheds > 0
+    (backpressure stays observable), and the provisioned scenarios must
+    report sheds == 0 (no spurious shedding).
 """
 
 import json
@@ -261,6 +273,67 @@ def check_b6h(baseline, current, failures):
         failures.append(f"b6h baseline row disappeared: {name}")
 
 
+def check_b8(baseline, current, failures):
+    base_rows = baseline.get("b8_multitenant", [])
+    cur_rows = current.get("b8_multitenant", [])
+    if not cur_rows:
+        failures.append("current report has no b8_multitenant rows")
+        return
+    base_norm = normalised_throughput(base_rows)
+    cur_norm = normalised_throughput(cur_rows)
+    base_abs = {row["scenario"]: row["events_per_sec"] for row in base_rows}
+
+    print("B8 — multi-tenant daemon check (normalised throughput + queue/shed health)")
+    for row in cur_rows:
+        name = row["scenario"]
+        if not row.get("ok", False):
+            failures.append(f"{name}: daemon run stopped verifying")
+        if row["queue_depth_peak"] > row["queue_capacity"]:
+            failures.append(
+                f"{name}: queue depth peaked at {row['queue_depth_peak']} "
+                f"over the {row['queue_capacity']}-event bound"
+            )
+        if "shed" in name:
+            if row["sheds"] == 0:
+                failures.append(
+                    f"{name}: saturating scenario never shed "
+                    f"(backpressure no longer observable)"
+                )
+        elif row["sheds"] != 0:
+            failures.append(
+                f"{name}: provisioned scenario shed {row['sheds']} times "
+                f"(spurious backpressure)"
+            )
+        cur = cur_norm.get(name, 0.0)
+        base = base_norm.get(name)
+        det = (
+            f"peak_q {row['queue_depth_peak']}/{row['queue_capacity']}, "
+            f"sheds {row['sheds']}, shed_tenants {row['shed_tenants']}"
+        )
+        if base is None:
+            print(f"  new row (no baseline): {name}: share {cur:.3f} ({det})")
+            continue
+        floor = (1.0 - ALLOWED_REGRESSION) * base
+        abs_floor = (1.0 - ALLOWED_REGRESSION) * base_abs[name]
+        regressed = cur < floor and row["events_per_sec"] < abs_floor
+        status = "REGRESSED" if regressed else "ok"
+        print(
+            f"  {name}: share {cur:.3f} (baseline {base:.3f}, floor {floor:.3f}) "
+            f"{status} ({det})"
+        )
+        if regressed:
+            failures.append(
+                f"{name}: daemon throughput fell >{ALLOWED_REGRESSION:.0%} in "
+                f"both normalised share ({cur:.3f} < {floor:.3f}) and absolute "
+                f"events/sec ({row['events_per_sec']:.0f} < {abs_floor:.0f})"
+            )
+    dropped = sorted(
+        {row["scenario"] for row in base_rows} - {row["scenario"] for row in cur_rows}
+    )
+    for name in dropped:
+        failures.append(f"b8 baseline row disappeared: {name}")
+
+
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__.strip())
@@ -275,6 +348,7 @@ def main() -> int:
     check_b4c(baseline, current, failures)
     check_b6(baseline, current, failures)
     check_b6h(baseline, current, failures)
+    check_b8(baseline, current, failures)
 
     if failures:
         print("\nbench threshold check FAILED:")

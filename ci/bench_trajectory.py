@@ -12,7 +12,7 @@ Unlike `bench_threshold.py` — which *gates* a build against the latest
 committed baseline — this report is **non-gating**: it exists to make the
 across-PR trend visible (did the partition speedups keep their ratio as
 the engine grew? did memoisation keep firing? how did the streaming
-throughput *shape* move?). Three tables are printed:
+throughput *shape* move?). Five tables are printed:
 
 * **B5** — partitioned/monolithic node-count ratios per scenario per PR
   (pinned seeds, deterministic);
@@ -24,7 +24,11 @@ throughput *shape* move?). Three tables are printed:
 * **B6h** — the epoch-GC monitor on hostile never-quiescent streams:
   the retained-memory proxy (peak multiset nodes / peak live configs,
   deterministic) and p99 ingest latency (wall-clock, indicative) per
-  window size per PR, from PR 6 onward.
+  window size per PR, from PR 6 onward;
+* **B8** — the multi-tenant daemon pipeline: throughput share per
+  scenario per PR (normalised to each report's fastest B8 row), plus the
+  latest queue-depth peak vs the configured bound and shed counters,
+  from PR 7 onward.
 
 Exit status is 0 unless a snapshot cannot be parsed.
 """
@@ -183,6 +187,43 @@ def b6h_table(snaps):
     )
 
 
+def b8_table(snaps):
+    withb8 = [(n, s) for n, s in snaps if s.get("b8_multitenant")]
+    if not withb8:
+        print("\nB8 — no multi-tenant daemon rows in any snapshot yet")
+        return
+    names = [name for name, _ in withb8]
+    rows = []
+    for scenario in scenario_sweep(withb8, "b8_multitenant"):
+        cells = [scenario]
+        for _, snap in withb8:
+            b8 = snap["b8_multitenant"]
+            top = max((r["events_per_sec"] for r in b8), default=0.0)
+            row = by_scenario(snap, "b8_multitenant").get(scenario)
+            if row is None or top <= 0.0:
+                cells.append("-")
+            else:
+                share = row["events_per_sec"] / top
+                cells.append(f"{share:.3f}")
+        latest = by_scenario(withb8[-1][1], "b8_multitenant").get(scenario)
+        if latest is None:
+            cells.extend(["-", "-", "-"])
+        else:
+            cells.append(f"{latest['queue_depth_peak']}/{latest['queue_capacity']}")
+            cells.append(fmt(latest["sheds"], "d"))
+            ok = "yes" if latest.get("ok") else "NO"
+            cells.append(ok)
+        rows.append(cells)
+    table(
+        "B8 — multi-tenant daemon throughput-share trajectory (events/sec "
+        "normalised to each report's fastest row)",
+        ["scenario"]
+        + [f"{n} share" for n in names]
+        + ["peak q/cap (latest)", "sheds (latest)", "ok (latest)"],
+        rows,
+    )
+
+
 def main() -> int:
     paths = sys.argv[1:]
     if not paths:
@@ -204,6 +245,7 @@ def main() -> int:
     b4c_table(snaps)
     b6_table(snaps)
     b6h_table(snaps)
+    b8_table(snaps)
     print("\n(non-gating report; regression gating lives in ci/bench_threshold.py)")
     return 0
 

@@ -52,7 +52,7 @@ fn bench_checkers(c: &mut Criterion) {
             ConsInput::propose(rng.gen_range(1..4u64))
         });
         group.bench_with_input(BenchmarkId::new("new_definition", steps), &t, |b, t| {
-            b.iter(|| LinChecker::new(&Consensus).check(t).is_ok())
+            b.iter(|| LinChecker::owned(Consensus).check(t).is_ok())
         });
         group.bench_with_input(BenchmarkId::new("classical", steps), &t, |b, t| {
             b.iter(|| ClassicalChecker::new(&Consensus).check(t).is_ok())
@@ -69,8 +69,8 @@ fn bench_checkers(c: &mut Criterion) {
         let t12 = project_phase::<Consensus, _>(&out.trace, PhaseId::new(1), PhaseId::new(2));
         let t23 = project_phase::<Consensus, _>(&out.trace, PhaseId::new(2), PhaseId::new(3));
         group.bench_with_input(BenchmarkId::new("first_phase", seed), &t12, |b, t| {
-            let chk = SlinChecker::new(
-                &Consensus,
+            let chk = SlinChecker::owned(
+                Consensus,
                 ConsensusInit::new(),
                 PhaseId::new(1),
                 PhaseId::new(2),
@@ -78,8 +78,8 @@ fn bench_checkers(c: &mut Criterion) {
             b.iter(|| chk.check(t).is_ok())
         });
         group.bench_with_input(BenchmarkId::new("second_phase", seed), &t23, |b, t| {
-            let chk = SlinChecker::new(
-                &Consensus,
+            let chk = SlinChecker::owned(
+                Consensus,
                 ConsensusInit::new(),
                 PhaseId::new(2),
                 PhaseId::new(3),

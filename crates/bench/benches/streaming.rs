@@ -6,7 +6,8 @@
 //! and the deterministic fallback/GC columns.
 
 use slin_bench::{
-    hostile_rows, render_table, streaming_rows, HOSTILE_HEADER, STREAMING_HEADER, STREAMING_SEEDS,
+    hostile_rows, multitenant_rows, render_table, streaming_rows, HOSTILE_HEADER,
+    MULTITENANT_HEADER, STREAMING_HEADER, STREAMING_SEEDS,
 };
 
 fn main() {
@@ -22,4 +23,10 @@ fn main() {
         .collect();
     println!("B6h — epoch-GC monitor on hostile never-quiescent streams (vs window size)");
     println!("{}", render_table(&HOSTILE_HEADER, &rows));
+    let rows: Vec<Vec<String>> = multitenant_rows(&STREAMING_SEEDS)
+        .iter()
+        .map(|r| r.cells())
+        .collect();
+    println!("B8 — multi-tenant daemon pipeline under Zipf tenant skew");
+    println!("{}", render_table(&MULTITENANT_HEADER, &rows));
 }

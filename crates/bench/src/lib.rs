@@ -24,6 +24,10 @@
 //! * [`streaming_rows`] — **B6**: the online monitor's sustained ingest
 //!   throughput (events/sec) and p99 per-event ingest latency across
 //!   keys × skew grids — the live-traffic load driver;
+//! * [`multitenant_rows`] — **B8**: the `slin-daemon` multi-tenant
+//!   pipeline (wire decode → bounded queues → lane pool) under Zipf
+//!   tenant skew — end-to-end events/sec, per-chunk p99, and the
+//!   bounded-queue/shed health columns;
 //! * checker scaling data for **B4** lives in the `checkers` bench.
 //!
 //! Every function returns plain rows so the experiment tables can be
@@ -48,6 +52,7 @@ use slin_core::gen::{
 };
 use slin_core::lin::LinChecker;
 use slin_core::session::{Checker, Strategy};
+use slin_daemon::{Daemon, DaemonConfig, LoadConfig, TenantPolicy};
 use slin_monitor::{LinMonitor, MonitorConfig, MonitorStatus};
 use slin_sim::Time;
 
@@ -359,16 +364,16 @@ fn partition_row<T, P, G>(
     seeds: &[u64],
 ) -> PartitionRow
 where
-    T: slin_adt::Adt + Sync,
+    T: slin_adt::Adt + Clone + Send + Sync,
     T::Input: Ord + Send + Sync,
     T::Output: Sync,
     P: slin_adt::Partitioner<T>,
     G: Fn(&MultiKeyConfig) -> slin_trace::Trace<slin_core::ObjAction<T, ()>>,
 {
-    let mut mono_session = Checker::builder(LinChecker::new(adt))
+    let mut mono_session = Checker::builder(LinChecker::owned(adt.clone()))
         .strategy(Strategy::Monolithic)
         .build();
-    let mut part_session = Checker::builder(LinChecker::new(adt))
+    let mut part_session = Checker::builder(LinChecker::owned(adt.clone()))
         .partitioner(partitioner)
         .strategy(Strategy::Partitioned)
         .build();
@@ -548,8 +553,8 @@ fn streaming_row(
             seed,
         };
         let t = random_multikey_kv_trace(&cfg);
-        let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> = LinMonitor::with_config(
-            &KvStore,
+        let mut mon: LinMonitor<KvStore, KvKeyPartitioner> = LinMonitor::owned_with_config(
+            KvStore,
             KvKeyPartitioner,
             MonitorConfig {
                 window: Some(48),
@@ -724,8 +729,8 @@ fn hostile_row(
             ..base
         };
         let t = random_hostile_kv_trace(&cfg);
-        let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> = LinMonitor::with_config(
-            &KvStore,
+        let mut mon: LinMonitor<KvStore, KvKeyPartitioner> = LinMonitor::owned_with_config(
+            KvStore,
             KvKeyPartitioner,
             MonitorConfig {
                 window: Some(window),
@@ -829,6 +834,216 @@ pub fn hostile_rows_with(seeds: &[u64], steps: usize) -> Vec<HostileRow> {
     rows
 }
 
+/// One row of the multi-tenant daemon table (B8): the `slin-daemon`
+/// pipeline's sustained throughput and ingest tail latency under Zipf
+/// tenant skew — wire decode + per-tenant routing + bounded queues +
+/// lane-pool checking, end to end over the in-process transport.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTenantRow {
+    /// Human-readable workload label (stable: the JSON baseline matcher
+    /// keys on it).
+    pub scenario: String,
+    /// Tenant count of the workload.
+    pub tenants: u64,
+    /// Zipf exponent of the tenant interleave.
+    pub skew: f64,
+    /// Per-tenant queue high-water mark in force.
+    pub queue_capacity: usize,
+    /// Events checked across all seeds.
+    pub events: usize,
+    /// Sustained end-to-end throughput, checked events per second (wall
+    /// clock).
+    pub events_per_sec: f64,
+    /// 99th-percentile per-chunk ingest latency, microseconds (wall
+    /// clock), worst seed.
+    pub p99_ingest_us: f64,
+    /// Deepest per-tenant queue observed, worst seed (bounded-queue
+    /// health: must never exceed `queue_capacity`).
+    pub queue_depth_peak: usize,
+    /// Shed activations across all seeds (the saturating scenario must
+    /// shed; the provisioned ones must not).
+    pub sheds: u64,
+    /// Tenants left in the lossy-shed state, worst seed.
+    pub shed_tenants: usize,
+    /// Whether no tenant reported a violation or ill-formed stream (the
+    /// workloads are linearizable by construction; shedding may downgrade
+    /// to Unknown, never to a false verdict).
+    pub ok: bool,
+}
+
+impl MultiTenantRow {
+    /// The table cells printed by the `streaming` bench.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.scenario.clone(),
+            self.tenants.to_string(),
+            format!("{:.1}", self.skew),
+            self.queue_capacity.to_string(),
+            self.events.to_string(),
+            format!("{:.0}", self.events_per_sec),
+            format!("{:.1}", self.p99_ingest_us),
+            self.queue_depth_peak.to_string(),
+            self.sheds.to_string(),
+            self.shed_tenants.to_string(),
+            if self.ok { "ok" } else { "FAIL" }.to_string(),
+        ]
+    }
+}
+
+/// The header matching [`MultiTenantRow::cells`].
+pub const MULTITENANT_HEADER: [&str; 11] = [
+    "scenario", "tenants", "skew", "queue", "events", "ev/s", "p99_us", "peak_q", "sheds",
+    "shed_ten", "ok",
+];
+
+/// Generation steps per tenant in the B8 load driver.
+const MULTITENANT_STEPS: usize = 120;
+
+/// The B8 workload families: provisioned daemons (uniform and skewed
+/// tenant traffic, queues never saturate, worker lanes pump between
+/// chunks) and a deliberately under-provisioned one (tiny queues, hot
+/// tenants, no pumping — the backpressure shed must engage). The last
+/// tuple slot is the pump-between-chunks flag.
+fn multitenant_bases() -> Vec<(&'static str, LoadConfig, TenantPolicy, bool)> {
+    vec![
+        (
+            "daemon uniform",
+            LoadConfig {
+                tenants: 64,
+                clients: 3,
+                keys: 3,
+                tenant_skew: 0.0,
+                chunk_frames: 256,
+                ..LoadConfig::default()
+            },
+            TenantPolicy {
+                queue_capacity: 4096,
+                window: Some(32),
+                shed_lossy: true,
+                ..TenantPolicy::default()
+            },
+            true,
+        ),
+        (
+            "daemon zipf",
+            LoadConfig {
+                tenants: 128,
+                clients: 3,
+                keys: 3,
+                tenant_skew: 1.2,
+                chunk_frames: 256,
+                ..LoadConfig::default()
+            },
+            TenantPolicy {
+                queue_capacity: 4096,
+                window: Some(32),
+                shed_lossy: true,
+                ..TenantPolicy::default()
+            },
+            true,
+        ),
+        (
+            // Tiny queues and hot tenants: the ingest path saturates the
+            // high-water mark and the lossy shed engages (no pump between
+            // chunks — ingest must drain inline).
+            "daemon shed",
+            LoadConfig {
+                tenants: 16,
+                clients: 4,
+                keys: 2,
+                tenant_skew: 1.5,
+                chunk_frames: 512,
+                ..LoadConfig::default()
+            },
+            TenantPolicy {
+                queue_capacity: 8,
+                window: Some(16),
+                shed_lossy: true,
+                ..TenantPolicy::default()
+            },
+            false,
+        ),
+    ]
+}
+
+fn multitenant_row(
+    scenario: &str,
+    base: LoadConfig,
+    policy: TenantPolicy,
+    pump_between_chunks: bool,
+    seeds: &[u64],
+    steps: usize,
+) -> MultiTenantRow {
+    let mut row = MultiTenantRow {
+        scenario: scenario.to_string(),
+        tenants: base.tenants,
+        skew: base.tenant_skew,
+        queue_capacity: policy.queue_capacity,
+        events: 0,
+        events_per_sec: 0.0,
+        p99_ingest_us: 0.0,
+        queue_depth_peak: 0,
+        sheds: 0,
+        shed_tenants: 0,
+        ok: true,
+    };
+    let mut total_secs = 0.0f64;
+    for &seed in seeds {
+        let cfg = LoadConfig {
+            steps_per_tenant: steps,
+            seed,
+            ..base
+        };
+        let workload = slin_daemon::generate(&cfg);
+        let mut daemon = Daemon::new(DaemonConfig {
+            workers: 4,
+            default_policy: policy,
+        });
+        let (rx, producer) = slin_daemon::transport(workload.chunks, 8);
+        let run_start = std::time::Instant::now();
+        for chunk in rx.iter() {
+            daemon.ingest_bytes(&chunk).expect("well-formed workload");
+            if pump_between_chunks {
+                daemon.pump();
+            }
+        }
+        daemon.pump();
+        total_secs += run_start.elapsed().as_secs_f64();
+        producer.join().expect("producer thread");
+        let counts = daemon.poll_verdicts();
+        let m = daemon.metrics();
+        row.events += m.events as usize;
+        row.p99_ingest_us = row.p99_ingest_us.max(m.p99_ingest_us as f64);
+        row.queue_depth_peak = row.queue_depth_peak.max(m.queue_depth_peak);
+        row.sheds += m.sheds;
+        row.shed_tenants = row.shed_tenants.max(m.shed_tenants);
+        row.ok &= counts.violation == 0 && counts.ill_formed == 0;
+        row.ok &= m.queue_depth_peak <= policy.queue_capacity;
+        row.ok &= m.events == workload.frames as u64;
+    }
+    row.events_per_sec = row.events as f64 / total_secs.max(1e-9);
+    row
+}
+
+/// B8: end-to-end multi-tenant daemon throughput and tail latency under
+/// tenant skew, plus bounded-queue and shed-observability health columns.
+/// CI gates the (normalised) throughput and the queue bound in
+/// `ci/bench_threshold.py`.
+pub fn multitenant_rows(seeds: &[u64]) -> Vec<MultiTenantRow> {
+    multitenant_rows_with(seeds, MULTITENANT_STEPS)
+}
+
+/// [`multitenant_rows`] with an explicit per-tenant stream length (the
+/// crate tests use short streams so debug-mode `cargo test` stays fast).
+pub fn multitenant_rows_with(seeds: &[u64], steps: usize) -> Vec<MultiTenantRow> {
+    multitenant_bases()
+        .into_iter()
+        .map(|(scenario, base, policy, pump)| {
+            multitenant_row(scenario, base, policy, pump, seeds, steps)
+        })
+        .collect()
+}
+
 fn stats_json(s: &SearchStats) -> Json {
     Json::Obj(vec![
         ("nodes", Json::count(s.nodes)),
@@ -856,12 +1071,17 @@ pub fn bench_report_json() -> String {
     bench_report_json_with(
         &streaming_rows(&STREAMING_SEEDS),
         &hostile_rows(&STREAMING_SEEDS),
+        &multitenant_rows(&STREAMING_SEEDS),
     )
 }
 
-/// [`bench_report_json`] over pre-measured B6/B6h rows (lets tests check
-/// the deterministic sections for bit-reproducibility).
-pub fn bench_report_json_with(b6_rows: &[StreamingRow], b6h_rows: &[HostileRow]) -> String {
+/// [`bench_report_json`] over pre-measured B6/B6h/B8 rows (lets tests
+/// check the deterministic sections for bit-reproducibility).
+pub fn bench_report_json_with(
+    b6_rows: &[StreamingRow],
+    b6h_rows: &[HostileRow],
+    b8_rows: &[MultiTenantRow],
+) -> String {
     let b1 = latency_rows(&[3, 5, 7])
         .into_iter()
         .map(|r| {
@@ -962,6 +1182,24 @@ pub fn bench_report_json_with(b6_rows: &[StreamingRow], b6h_rows: &[HostileRow])
             ])
         })
         .collect();
+    let b8 = b8_rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("scenario", Json::Str(r.scenario.clone())),
+                ("tenants", Json::Int(r.tenants as i64)),
+                ("skew", Json::Float(r.skew)),
+                ("queue_capacity", Json::count(r.queue_capacity)),
+                ("events", Json::count(r.events)),
+                ("events_per_sec", Json::Float(r.events_per_sec)),
+                ("p99_ingest_us", Json::Float(r.p99_ingest_us)),
+                ("queue_depth_peak", Json::count(r.queue_depth_peak)),
+                ("sheds", Json::Int(r.sheds as i64)),
+                ("shed_tenants", Json::count(r.shed_tenants)),
+                ("ok", Json::Bool(r.ok)),
+            ])
+        })
+        .collect();
     Json::Obj(vec![
         ("schema", Json::Str("slin-bench/v2".into())),
         ("b1_latency", Json::Arr(b1)),
@@ -975,6 +1213,7 @@ pub fn bench_report_json_with(b6_rows: &[StreamingRow], b6h_rows: &[HostileRow])
         ("b5_partition", Json::Arr(b5)),
         ("b6_streaming", Json::Arr(b6)),
         ("b6h_hostile", Json::Arr(b6h)),
+        ("b8_multitenant", Json::Arr(b8)),
     ])
     .render()
 }
@@ -1108,10 +1347,11 @@ mod tests {
         // fixed, everything else must be bit-reproducible.
         let b6 = streaming_rows_with(&[0], 200);
         let b6h = hostile_rows_with(&[0], 200);
-        let a = bench_report_json_with(&b6, &b6h);
+        let b8 = multitenant_rows_with(&[0], 20);
+        let a = bench_report_json_with(&b6, &b6h, &b8);
         assert_eq!(
             a,
-            bench_report_json_with(&b6, &b6h),
+            bench_report_json_with(&b6, &b6h, &b8),
             "artifact must be reproducible"
         );
         for key in [
@@ -1124,6 +1364,9 @@ mod tests {
             "\"b5_partition\"",
             "\"b6_streaming\"",
             "\"b6h_hostile\"",
+            "\"b8_multitenant\"",
+            "\"queue_depth_peak\"",
+            "\"sheds\"",
             "\"memo_hits\"",
             "\"memo_entries\"",
             "\"node_ratio\"",
@@ -1201,6 +1444,26 @@ mod tests {
         assert_eq!(rows[0].shards, 1);
         assert!(rows[2].shards > rows[1].shards, "{rows:?}");
         assert!(rows[0].retired_events > 0, "{rows:?}");
+    }
+
+    #[test]
+    fn b8_daemon_rows_shed_only_when_under_provisioned() {
+        let rows = multitenant_rows_with(&[0], 25);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.ok, "{row:?}");
+            assert!(row.events > 0 && row.events_per_sec > 0.0, "{row:?}");
+            assert!(
+                row.queue_depth_peak <= row.queue_capacity,
+                "queue bound violated: {row:?}"
+            );
+            assert_eq!(row.cells().len(), MULTITENANT_HEADER.len());
+        }
+        // Provisioned daemons never shed; the under-provisioned one must.
+        assert_eq!(rows[0].sheds, 0, "{:?}", rows[0]);
+        assert_eq!(rows[1].sheds, 0, "{:?}", rows[1]);
+        assert!(rows[2].sheds > 0, "saturation must shed: {:?}", rows[2]);
+        assert!(rows[2].shed_tenants > 0);
     }
 
     #[test]

@@ -106,7 +106,7 @@ pub fn check_composition<T, R>(
     o: PhaseId,
 ) -> CompositionOutcome
 where
-    T: Adt + Sync,
+    T: Adt + Clone + Send + Sync,
     T::Input: Ord + Send + Sync,
     T::Output: Sync,
     R: InitRelation<T::Input> + Clone + Sync,
@@ -115,13 +115,13 @@ where
     assert!(m < n && n < o, "phases must be ordered m < n < o");
     let t_mn = project_phase::<T, R::Value>(t, m, n);
     let t_no = project_phase::<T, R::Value>(t, n, o);
-    if let Err(error) = SlinChecker::new(adt, rinit.clone(), m, n).check(&t_mn) {
+    if let Err(error) = SlinChecker::owned(adt.clone(), rinit.clone(), m, n).check(&t_mn) {
         return CompositionOutcome::PremiseFailed { phase: 1, error };
     }
-    if let Err(error) = SlinChecker::new(adt, rinit.clone(), n, o).check(&t_no) {
+    if let Err(error) = SlinChecker::owned(adt.clone(), rinit.clone(), n, o).check(&t_no) {
         return CompositionOutcome::PremiseFailed { phase: 2, error };
     }
-    match SlinChecker::new(adt, rinit, m, o).check(t) {
+    match SlinChecker::owned(adt.clone(), rinit, m, o).check(t) {
         Ok(_) => CompositionOutcome::Holds,
         Err(error) => CompositionOutcome::TheoremViolated(error),
     }
@@ -206,7 +206,7 @@ pub fn verify_phase_chain<T, R>(
     last: u32,
 ) -> PhaseChainVerification
 where
-    T: Adt + Sync,
+    T: Adt + Clone + Send + Sync,
     T::Input: Ord + Send + Sync,
     T::Output: Sync,
     R: InitRelation<T::Input> + Clone + Sync,
@@ -225,7 +225,7 @@ pub fn verify_phase_chain_with_budget<T, R>(
     budget: SearchBudget,
 ) -> PhaseChainVerification
 where
-    T: Adt + Sync,
+    T: Adt + Clone + Send + Sync,
     T::Input: Ord + Send + Sync,
     T::Output: Sync,
     R: InitRelation<T::Input> + Clone + Sync,
@@ -238,7 +238,7 @@ where
     for k in first..=last {
         let (m, n) = (PhaseId::new(k), PhaseId::new(k + 1));
         let proj = project_phase::<T, R::Value>(t, m, n);
-        let ok = match SlinChecker::new(adt, rinit.clone(), m, n)
+        let ok = match SlinChecker::owned(adt.clone(), rinit.clone(), m, n)
             .with_budget(budget.max_nodes)
             .check(&proj)
         {
@@ -254,7 +254,7 @@ where
         phases.push((k, k + 1, ok));
     }
     let obj = project_object::<T, R::Value>(t);
-    let (lin_verdict, lin_stats) = LinChecker::new(adt)
+    let (lin_verdict, lin_stats) = LinChecker::owned(adt.clone())
         .with_budget(budget.max_nodes)
         .check_with_stats_impl(&obj);
     stats.absorb(&lin_stats);

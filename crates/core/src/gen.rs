@@ -63,7 +63,7 @@ enum ClientState<I, O> {
 ///     GenConfig { clients: 3, steps: 10, seed: 7 },
 ///     |rng| ConsInput::propose(rand::Rng::gen_range(rng, 1..4u64)),
 /// );
-/// assert!(LinChecker::new(&Consensus::new()).check(&t).is_ok());
+/// assert!(LinChecker::owned(Consensus::new()).check(&t).is_ok());
 /// ```
 pub fn random_linearizable_trace<T, F>(
     adt: &T,
@@ -264,7 +264,7 @@ where
 /// use slin_core::lin::LinChecker;
 ///
 /// let t = random_multikey_kv_trace(&MultiKeyConfig { keys: 8, ..Default::default() });
-/// let chk = LinChecker::new(&KvStore);
+/// let chk = LinChecker::owned(KvStore);
 /// assert_eq!(
 ///     chk.check_partitioned(&KvKeyPartitioner, &t),
 ///     chk.check(&t), // byte-identical, fewer nodes
@@ -576,7 +576,7 @@ mod tests {
                 seed,
             };
             let t = random_linearizable_trace(&Counter, cfg, counter_input);
-            assert!(LinChecker::new(&Counter).check(&t).is_ok(), "seed {seed}");
+            assert!(LinChecker::owned(Counter).check(&t).is_ok(), "seed {seed}");
             assert!(
                 ClassicalChecker::new(&Counter).check(&t).is_ok(),
                 "seed {seed}"
@@ -594,7 +594,7 @@ mod tests {
                 seed,
             };
             let t = random_perturbed_trace(&Counter, cfg, 0.5, counter_input);
-            if LinChecker::new(&Counter).check(&t).is_err() {
+            if LinChecker::owned(Counter).check(&t).is_err() {
                 violations += 1;
             }
         }
@@ -671,7 +671,7 @@ mod tests {
                 ..Default::default()
             };
             let t = random_multikey_kv_trace(&cfg);
-            assert!(LinChecker::new(&KvStore).check(&t).is_ok(), "seed {seed}");
+            assert!(LinChecker::owned(KvStore).check(&t).is_ok(), "seed {seed}");
         }
     }
 
@@ -687,7 +687,7 @@ mod tests {
                 ..Default::default()
             };
             let t = random_multikey_kv_trace(&cfg);
-            if LinChecker::new(&KvStore).check(&t).is_err() {
+            if LinChecker::owned(KvStore).check(&t).is_err() {
                 violations += 1;
             }
         }
@@ -706,13 +706,13 @@ mod tests {
             let r = random_multikey_reg_array_trace(&cfg);
             assert!(wf::is_well_formed(&r), "seed {seed}");
             assert!(
-                LinChecker::new(&RegisterArray).check(&r).is_ok(),
+                LinChecker::owned(RegisterArray).check(&r).is_ok(),
                 "seed {seed}"
             );
             let c = random_multikey_counter_vec_trace(&cfg);
             assert!(wf::is_well_formed(&c), "seed {seed}");
             assert!(
-                LinChecker::new(&CounterVector).check(&c).is_ok(),
+                LinChecker::owned(CounterVector).check(&c).is_ok(),
                 "seed {seed}"
             );
         }
@@ -767,7 +767,7 @@ mod tests {
             };
             let t = random_hostile_kv_trace(&cfg);
             assert!(wf::is_well_formed(&t), "seed {seed}");
-            assert!(LinChecker::new(&KvStore).check(&t).is_ok(), "seed {seed}");
+            assert!(LinChecker::owned(KvStore).check(&t).is_ok(), "seed {seed}");
         }
     }
 
@@ -837,7 +837,7 @@ mod tests {
             };
             let t = random_hostile_kv_trace(&cfg);
             assert!(wf::is_well_formed(&t), "seed {seed}");
-            if LinChecker::new(&KvStore).check(&t).is_err() {
+            if LinChecker::owned(KvStore).check(&t).is_err() {
                 violations += 1;
             }
         }

@@ -29,6 +29,7 @@ use slin_trace::wf::{self, WellFormednessError};
 use slin_trace::{PersistentMultiset, PhaseId, Trace};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Default node budget for the backtracking search.
 pub const DEFAULT_BUDGET: usize = SearchBudget::DEFAULT_MAX_NODES;
@@ -176,31 +177,53 @@ pub fn witness_is_valid<T: Adt, V>(
 ///     Action::invoke(c1, ph, ConsInput::propose(4)),
 ///     Action::respond(c1, ph, ConsInput::propose(4), ConsOutput::decide(4)),
 /// ]);
-/// let cons = Consensus::new();
-/// let checker = LinChecker::new(&cons);
+/// let checker = LinChecker::owned(Consensus::new());
 /// let witness = checker.check(&t)?;
 /// assert_eq!(witness.full_history(), &[ConsInput::propose(4)]);
 /// # Ok::<(), slin_core::lin::LinError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct LinChecker<'a, T> {
-    adt: &'a T,
+pub struct LinChecker<T> {
+    adt: Arc<T>,
     budget: usize,
     /// Worker threads for partition fan-out (0 = one per core).
     threads: usize,
 }
 
-impl<'a, T: Adt> LinChecker<'a, T>
+impl<T: Adt> LinChecker<T>
 where
     T::Input: Ord,
 {
-    /// Creates a checker for the given ADT with the default search budget.
-    pub fn new(adt: &'a T) -> Self {
+    /// Creates a checker owning the given ADT, with the default search
+    /// budget. The checker (and every `Session`/`Monitor` built from it)
+    /// is `'static`, so it can live in long-lived tables — the daemon
+    /// tenant-table setting.
+    pub fn owned(adt: T) -> Self {
+        Self::shared(Arc::new(adt))
+    }
+
+    /// Creates a checker over an already-shared ADT handle (many checkers
+    /// can share one allocation).
+    pub fn shared(adt: Arc<T>) -> Self {
         LinChecker {
             adt,
             budget: DEFAULT_BUDGET,
             threads: 0,
         }
+    }
+
+    /// Creates a checker for a borrowed ADT by cloning it (every repo ADT
+    /// is a zero-sized unit struct, so the clone is free).
+    #[deprecated(
+        since = "0.1.0",
+        note = "checkers own their model now: use `LinChecker::owned(adt)` \
+                (or `shared(Arc<T>)` to share one allocation)"
+    )]
+    pub fn new(adt: &T) -> Self
+    where
+        T: Clone,
+    {
+        Self::owned(adt.clone())
     }
 
     /// Overrides the search node budget (per partition on the partitioned
@@ -287,7 +310,7 @@ where
             .cloned()
             .unwrap_or_else(PersistentMultiset::new);
         let engine = CheckerEngine::new(
-            self.adt,
+            &*self.adt,
             &commits,
             &input_ms,
             total_inputs,
@@ -296,7 +319,7 @@ where
         .with_extra_cap(t.len());
         // The leaf oracle is trivial: a completed chain *is* a linearization
         // function (speculative checking grafts abort feasibility here).
-        match engine.run(SearchSeed::initial(self.adt), &mut |_, _| Some(())) {
+        match engine.run(SearchSeed::initial(&*self.adt), &mut |_, _| Some(())) {
             Ok(outcome) => {
                 let stats = outcome.stats;
                 match outcome.solution {
@@ -340,7 +363,7 @@ where
     where
         V: Clone + PartialEq + Sync,
         P: Partitioner<T>,
-        T: Sync,
+        T: Send + Sync,
         T::Input: Send + Sync,
         T::Output: Sync,
     {
@@ -369,7 +392,7 @@ where
     where
         V: Clone + PartialEq + Sync,
         P: Partitioner<T>,
-        T: Sync,
+        T: Send + Sync,
         T::Input: Send + Sync,
         T::Output: Sync,
     {
@@ -394,7 +417,7 @@ where
     where
         V: Clone + PartialEq + Sync,
         K: Sync,
-        T: Sync,
+        T: Send + Sync,
         T::Input: Send + Sync,
         T::Output: Sync,
     {
@@ -403,7 +426,7 @@ where
     }
 }
 
-impl<'a, T, V> ConsistencyModel<'a, V> for LinChecker<'a, T>
+impl<T, V> ConsistencyModel<V> for LinChecker<T>
 where
     T: Adt,
     T::Input: Ord,
@@ -413,8 +436,12 @@ where
     type Witness = LinWitness<T::Input>;
     type Error = LinError;
 
-    fn adt(&self) -> &'a T {
-        self.adt
+    fn adt(&self) -> &T {
+        &self.adt
+    }
+
+    fn adt_shared(&self) -> Arc<T> {
+        Arc::clone(&self.adt)
     }
 
     fn budget(&self) -> usize {
@@ -488,7 +515,7 @@ where
     }
 }
 
-impl<'a, T, V> StreamModel<'a, V> for LinChecker<'a, T>
+impl<T, V> StreamModel<V> for LinChecker<T>
 where
     T: Adt,
     T::Input: Ord,
@@ -546,8 +573,8 @@ mod tests {
         ConsOutput::decide(v)
     }
 
-    fn checker() -> LinChecker<'static, Consensus> {
-        LinChecker::new(&Consensus)
+    fn checker() -> LinChecker<Consensus> {
+        LinChecker::owned(Consensus)
     }
 
     #[test]
@@ -633,7 +660,7 @@ mod tests {
             Action::switch(c(1), PhaseId::new(2), p(1), 0),
         ]);
         assert_eq!(
-            LinChecker::new(&Consensus).check(&t),
+            LinChecker::owned(Consensus).check(&t),
             Err(LinError::SwitchAction { index: 1 })
         );
     }
@@ -653,8 +680,7 @@ mod tests {
 
     #[test]
     fn register_read_must_see_latest_non_overlapping_write() {
-        let r = Register::new();
-        let chk = LinChecker::new(&r);
+        let chk = LinChecker::owned(Register::new());
         // wr(1) completes, then a read returns ⊥: not linearizable.
         let t: Trace<ObjAction<Register, ()>> = Trace::from_actions(vec![
             Action::invoke(c(1), ph(), RegInput::Write(1)),
@@ -667,8 +693,7 @@ mod tests {
 
     #[test]
     fn register_overlapping_write_read_both_orders_ok() {
-        let r = Register::new();
-        let chk = LinChecker::new(&r);
+        let chk = LinChecker::owned(Register::new());
         for seen in [None, Some(3)] {
             let t: Trace<ObjAction<Register, ()>> = Trace::from_actions(vec![
                 Action::invoke(c(1), ph(), RegInput::Write(3)),

@@ -19,12 +19,17 @@
 //! [`crate::session`] facade built on top of it. The streaming-specific
 //! hooks live in the [`crate::stream::StreamModel`] sub-trait.
 //!
-//! # The lifetime parameter
+//! # Model ownership
 //!
-//! A model borrows its ADT for `'a` (checkers are thin views over an ADT
-//! the caller owns); [`ConsistencyModel::adt`] hands that borrow back at
-//! full lifetime so long-lived consumers (the monitor's shard table) can
-//! hold it without borrowing the model itself.
+//! A model **owns** its ADT behind an [`Arc`] (every repo ADT is a
+//! zero-sized unit struct, so the sharing is free): checkers, sessions
+//! and monitors are `'static` and can live in long-lived tenant tables —
+//! the daemon setting ROADMAP item 2 asks for. [`ConsistencyModel::adt`]
+//! hands a plain borrow back for transient use, and
+//! [`ConsistencyModel::adt_shared`] clones the `Arc` so long-lived
+//! consumers (the monitor's shard table) hold their own handle without
+//! borrowing the model itself. The pre-PR-7 borrow-based constructors
+//! survive as `#[deprecated]` cloning wrappers.
 
 use crate::engine::{Chain, SearchStats};
 use crate::ops;
@@ -33,6 +38,7 @@ use crate::ObjAction;
 use slin_adt::Adt;
 use slin_trace::{PhaseId, Trace};
 use std::fmt::Debug;
+use std::sync::Arc;
 
 /// A consistency criterion decided by the shared chain-search engine.
 ///
@@ -52,17 +58,22 @@ use std::fmt::Debug;
 /// [`check_monolithic`]: ConsistencyModel::check_monolithic
 /// [`check_partition`]: ConsistencyModel::check_partition
 /// [`check_remerge`]: ConsistencyModel::check_remerge
-pub trait ConsistencyModel<'a, V>: Sized {
+pub trait ConsistencyModel<V>: Sized {
     /// The abstract data type whose outputs the criterion must explain.
-    type Adt: Adt + 'a;
+    type Adt: Adt;
     /// The witness payload of a successful check (`LinWitness` /
     /// `SlinReport`).
     type Witness: Clone + PartialEq + Debug;
     /// Why a check failed (`LinError` / `SlinError`).
     type Error: Clone + PartialEq + Debug;
 
-    /// The checked ADT, at the model's borrow lifetime.
-    fn adt(&self) -> &'a Self::Adt;
+    /// The checked ADT.
+    fn adt(&self) -> &Self::Adt;
+
+    /// A shared handle on the checked ADT — what long-lived consumers
+    /// (the monitor's shard table, a daemon tenant entry) hold so they
+    /// never borrow the model itself.
+    fn adt_shared(&self) -> Arc<Self::Adt>;
 
     /// The configured search node budget (per partition / interpretation).
     fn budget(&self) -> usize;
@@ -173,13 +184,13 @@ pub struct SplitVerdict<W, E> {
 /// [`ConsistencyModel::check_monolithic`] (see [`crate::partition`] for
 /// the argument). The search node budget applies per partition, so a
 /// trace the monolithic search gives up on may well be decided here.
-pub fn check_split<'a, V, K, M>(
+pub fn check_split<V, K, M>(
     model: &M,
     split: &SplitOutcome<M::Adt, V, K>,
     t: &Trace<ObjAction<M::Adt, V>>,
 ) -> SplitVerdict<M::Witness, M::Error>
 where
-    M: ConsistencyModel<'a, V> + Sync,
+    M: ConsistencyModel<V> + Sync,
     M::Adt: Sync,
     <M::Adt as Adt>::Input: Ord + Send + Sync,
     <M::Adt as Adt>::Output: Sync,
@@ -265,13 +276,13 @@ where
 
 /// [`check_split`] over a fresh split along `partitioner` — the generic
 /// form of the legacy `check_partitioned_with_report` pair.
-pub fn check_partitioned<'a, V, M, P>(
+pub fn check_partitioned<V, M, P>(
     model: &M,
     partitioner: &P,
     t: &Trace<ObjAction<M::Adt, V>>,
 ) -> SplitVerdict<M::Witness, M::Error>
 where
-    M: ConsistencyModel<'a, V> + Sync,
+    M: ConsistencyModel<V> + Sync,
     M::Adt: Sync,
     <M::Adt as Adt>::Input: Ord + Send + Sync,
     <M::Adt as Adt>::Output: Sync,

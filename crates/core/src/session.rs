@@ -20,6 +20,10 @@
 //!   partitioner was supplied and the trace has no switch actions,
 //!   monolithic otherwise.
 //!
+//! Sessions own their model (see `crate::model` — "Model ownership"), so a
+//! built [`Session`] is `'static` and can be moved into threads, stored in
+//! tenant tables, and returned from constructors without borrowing.
+//!
 //! # Example
 //!
 //! ```
@@ -37,7 +41,7 @@
 //! ]);
 //!
 //! // Batch: Auto picks the partitioned path (partitioner + switch-free).
-//! let mut session = Checker::builder(LinChecker::new(&KvStore))
+//! let mut session = Checker::builder(LinChecker::owned(KvStore))
 //!     .partitioner(KvKeyPartitioner)
 //!     .build();
 //! let verdict = session.check(&t);
@@ -45,7 +49,7 @@
 //! assert_eq!(verdict.strategy, StrategyUsed::Partitioned);
 //!
 //! // Streaming: the same builder, one event at a time.
-//! let mut live = Checker::builder(LinChecker::new(&KvStore))
+//! let mut live = Checker::builder(LinChecker::owned(KvStore))
 //!     .partitioner(KvKeyPartitioner)
 //!     .strategy(Strategy::Streaming { window: None })
 //!     .build();
@@ -61,7 +65,7 @@ use crate::engine::SearchStats;
 use crate::model::{self, ConsistencyModel};
 use crate::partition::{self, PartitionReport};
 use crate::stream::{
-    IngestOutcome, Monitor, MonitorConfig, MonitorReport, MonitorStatus, StreamModel,
+    GcPolicy, IngestOutcome, Monitor, MonitorConfig, MonitorReport, MonitorStatus, StreamModel,
 };
 use crate::ObjAction;
 use slin_adt::{Adt, IdentityPartitioner, Partitioner};
@@ -128,6 +132,23 @@ impl<W, E> Verdict<W, E> {
     }
 }
 
+/// A cheap status delta from [`Session::poll_verdict`]: the rolling
+/// verdict plus whether it moved since the previous poll. Built for
+/// periodic snapshotting (a daemon's verdict loop) — no report is
+/// computed, no state is consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerdictDelta {
+    /// The rolling status at poll time ([`MonitorStatus::Ok`] on a batch
+    /// session that has not started streaming).
+    pub status: MonitorStatus,
+    /// Whether `status` differs from the previous poll. A fresh session
+    /// baselines at [`MonitorStatus::Ok`], so a healthy stream polls
+    /// `changed == false` from the start.
+    pub changed: bool,
+    /// Events ingested so far on the streaming path.
+    pub events: usize,
+}
+
 /// Entry point of the unified surface: `Checker::builder(model)`.
 ///
 /// The type parameter is the [`ConsistencyModel`]
@@ -147,6 +168,8 @@ impl<M> Checker<M> {
             strategy: Strategy::Auto,
             budget: None,
             threads: None,
+            window: None,
+            gc: None,
         }
     }
 }
@@ -158,6 +181,8 @@ pub struct SessionBuilder<M, P> {
     strategy: Strategy,
     budget: Option<usize>,
     threads: Option<usize>,
+    window: Option<usize>,
+    gc: Option<GcPolicy>,
 }
 
 impl<M, P> SessionBuilder<M, P> {
@@ -181,6 +206,25 @@ impl<M, P> SessionBuilder<M, P> {
         self
     }
 
+    /// Bounds the streaming GC window to `window` events per shard,
+    /// wherever this session ends up streaming — whether born with
+    /// [`Strategy::Streaming`] or upgraded on the first
+    /// [`Session::ingest`]. Takes precedence over the window embedded in
+    /// [`Strategy::Streaming`].
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Sets the streaming garbage-collection policy knobs (epoch cuts,
+    /// lossy forcing, frontier cap, retirement budgets) for this session's
+    /// monitor. See [`GcPolicy`]. Budget, threads, and window supplied on
+    /// this builder are unaffected.
+    pub fn gc_policy(mut self, gc: GcPolicy) -> Self {
+        self.gc = Some(gc);
+        self
+    }
+
     /// Supplies a [`Partitioner`], enabling the partitioned path (and
     /// per-key sharding on the streaming path). The partitioner must
     /// uphold the soundness contract documented in [`slin_adt::partition`].
@@ -191,13 +235,15 @@ impl<M, P> SessionBuilder<M, P> {
             strategy: self.strategy,
             budget: self.budget,
             threads: self.threads,
+            window: self.window,
+            gc: self.gc,
         }
     }
 
     /// Builds the [`Session`].
-    pub fn build<'a, V>(mut self) -> Session<'a, M, V, P>
+    pub fn build<V>(mut self) -> Session<M, V, P>
     where
-        M: StreamModel<'a, V>,
+        M: StreamModel<V>,
         <M::Adt as Adt>::Input: Ord,
         V: Clone + PartialEq,
         P: Partitioner<M::Adt>,
@@ -209,53 +255,69 @@ impl<M, P> SessionBuilder<M, P> {
             self.model.set_threads(threads);
         }
         let strategy = self.strategy;
+        let window = self.window.or(match strategy {
+            Strategy::Streaming { window } => window,
+            _ => None,
+        });
+        let gc = self.gc;
         let mode = match strategy {
-            Strategy::Streaming { window } => Mode::Streaming(Box::new(Self::monitor(
+            Strategy::Streaming { .. } => Mode::Streaming(Box::new(Self::monitor(
                 self.model,
                 self.partitioner,
                 window,
+                gc,
             ))),
             _ => Mode::Batch {
                 model: self.model,
                 partitioner: self.partitioner,
             },
         };
-        Session { mode, strategy }
+        Session {
+            mode,
+            strategy,
+            window,
+            gc,
+            last_polled: MonitorStatus::Ok,
+        }
     }
 
-    fn monitor<'a, V>(
+    fn monitor<V>(
         model: M,
         partitioner: Option<P>,
         window: Option<usize>,
-    ) -> Monitor<'a, M, V, P>
+        gc: Option<GcPolicy>,
+    ) -> Monitor<M, V, P>
     where
-        M: StreamModel<'a, V>,
+        M: StreamModel<V>,
         <M::Adt as Adt>::Input: Ord,
         V: Clone + PartialEq,
         P: Partitioner<M::Adt>,
     {
-        let config = MonitorConfig {
+        let mut config = MonitorConfig {
             budget: model.budget(),
             threads: model.threads(),
             window,
             ..MonitorConfig::default()
         };
+        if let Some(gc) = gc {
+            config = config.with_gc_policy(gc);
+        }
         Monitor::from_model(model, partitioner, config)
     }
 }
 
 /// The session's execution state: configured batch checking, or a live
 /// streaming monitor.
-enum Mode<'a, M, V, P>
+enum Mode<M, V, P>
 where
-    M: ConsistencyModel<'a, V>,
+    M: ConsistencyModel<V>,
     P: Partitioner<M::Adt>,
 {
     Batch {
         model: M,
         partitioner: Option<P>,
     },
-    Streaming(Box<Monitor<'a, M, V, P>>),
+    Streaming(Box<Monitor<M, V, P>>),
     /// Transient placeholder during the batch → streaming upgrade; never
     /// observable.
     Transitioning,
@@ -263,20 +325,24 @@ where
 
 /// A configured checking session over one [`ConsistencyModel`]: the
 /// unified entry point for monolithic, partitioned, and streaming
-/// checking. Built by [`Checker::builder`]; see the [module docs](self)
-/// for an example.
-pub struct Session<'a, M, V, P>
+/// checking. Owns its model, so it is free of borrows (`'static` when the
+/// type parameters are). Built by [`Checker::builder`]; see the
+/// [module docs](self) for an example.
+pub struct Session<M, V, P>
 where
-    M: ConsistencyModel<'a, V>,
+    M: ConsistencyModel<V>,
     P: Partitioner<M::Adt>,
 {
-    mode: Mode<'a, M, V, P>,
+    mode: Mode<M, V, P>,
     strategy: Strategy,
+    window: Option<usize>,
+    gc: Option<GcPolicy>,
+    last_polled: MonitorStatus,
 }
 
-impl<'a, M, V, P> Session<'a, M, V, P>
+impl<M, V, P> Session<M, V, P>
 where
-    M: StreamModel<'a, V> + Sync,
+    M: StreamModel<V> + Sync,
     M::Adt: Sync,
     <M::Adt as Adt>::Input: Ord + Send + Sync,
     <M::Adt as Adt>::Output: Sync,
@@ -342,8 +408,8 @@ where
     }
 
     /// Ingests one live event. A batch session upgrades to streaming mode
-    /// (unbounded window) on the first call; [`Strategy::Streaming`]
-    /// sessions are born streaming, with their configured window.
+    /// on the first call (keeping any builder-supplied window and GC
+    /// policy); [`Strategy::Streaming`] sessions are born streaming.
     pub fn ingest(&mut self, action: ObjAction<M::Adt, V>) -> IngestOutcome {
         self.ensure_streaming().ingest(action)
     }
@@ -357,6 +423,42 @@ where
         }
     }
 
+    /// Polls the rolling verdict without consuming anything: returns the
+    /// current status, whether it moved since the previous poll, and the
+    /// event count. Cheap enough to call per snapshot tick — it reads the
+    /// monitor's cached status rather than computing a report. On a batch
+    /// session that has not started streaming it reports
+    /// [`MonitorStatus::Ok`] with zero events.
+    pub fn poll_verdict(&mut self) -> VerdictDelta {
+        let (status, events) = match &self.mode {
+            Mode::Streaming(monitor) => (monitor.status(), monitor.events()),
+            _ => (MonitorStatus::Ok, 0),
+        };
+        let changed = status != self.last_polled;
+        self.last_polled = status;
+        VerdictDelta {
+            status,
+            changed,
+            events,
+        }
+    }
+
+    /// Flips lossy epoch forcing (`epoch_force`) on this session's
+    /// monitor — the backpressure shed: bounded memory is preserved at the
+    /// cost of possible verdict downgrades to [`MonitorStatus::Unknown`].
+    /// On a batch session the setting is remembered and applied when the
+    /// session upgrades to streaming.
+    pub fn set_lossy(&mut self, on: bool) {
+        match &mut self.mode {
+            Mode::Streaming(monitor) => monitor.set_epoch_force(on),
+            _ => {
+                let mut gc = self.gc.unwrap_or_default();
+                gc.epoch_force = on;
+                self.gc = Some(gc);
+            }
+        }
+    }
+
     /// The streaming session's full forensic report (`None` before any
     /// event was ingested on a batch-built session).
     pub fn report(&mut self) -> Option<MonitorReport<M::Witness, M::Error>> {
@@ -367,12 +469,8 @@ where
     }
 
     /// The underlying monitor, upgrading a batch session in place.
-    fn ensure_streaming(&mut self) -> &mut Monitor<'a, M, V, P> {
+    fn ensure_streaming(&mut self) -> &mut Monitor<M, V, P> {
         if let Mode::Batch { .. } = &self.mode {
-            let window = match self.strategy {
-                Strategy::Streaming { window } => window,
-                _ => None,
-            };
             let Mode::Batch { model, partitioner } =
                 std::mem::replace(&mut self.mode, Mode::Transitioning)
             else {
@@ -381,7 +479,8 @@ where
             self.mode = Mode::Streaming(Box::new(SessionBuilder::<M, P>::monitor(
                 model,
                 partitioner,
-                window,
+                self.window,
+                self.gc,
             )));
         }
         match &mut self.mode {

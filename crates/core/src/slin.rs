@@ -48,6 +48,7 @@ use slin_trace::{PersistentMultiset, PhaseId, Trace};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Default node budget for the backtracking search (per interpretation).
 pub const DEFAULT_BUDGET: usize = SearchBudget::DEFAULT_MAX_NODES;
@@ -173,14 +174,13 @@ pub struct SlinReport<I> {
 ///     Action::respond(c1, ph1, ConsInput::propose(1), ConsOutput::decide(1)),
 ///     Action::switch(c2, PhaseId::new(2), ConsInput::propose(2), Value::new(1)),
 /// ]);
-/// let cons = Consensus::new();
-/// let checker = SlinChecker::new(&cons, ConsensusInit::new(),
-///                                PhaseId::new(1), PhaseId::new(2));
+/// let checker = SlinChecker::owned(Consensus::new(), ConsensusInit::new(),
+///                                  PhaseId::new(1), PhaseId::new(2));
 /// assert!(checker.check(&t).is_ok());
 /// ```
 #[derive(Debug, Clone)]
-pub struct SlinChecker<'a, T, R> {
-    adt: &'a T,
+pub struct SlinChecker<T, R> {
+    adt: Arc<T>,
     rinit: R,
     m: PhaseId,
     n: PhaseId,
@@ -190,19 +190,29 @@ pub struct SlinChecker<'a, T, R> {
     threads: usize,
 }
 
-impl<'a, T, R> SlinChecker<'a, T, R>
+impl<T, R> SlinChecker<T, R>
 where
     T: Adt,
     T::Input: Ord,
     R: InitRelation<T::Input>,
 {
-    /// Creates a checker for speculation phase `(m, n)` over `adt` with the
-    /// common relation `rinit`.
+    /// Creates a checker owning `adt` for speculation phase `(m, n)` with
+    /// the common relation `rinit`. The checker (and every
+    /// `Session`/`Monitor` built from it) is `'static`.
     ///
     /// # Panics
     ///
     /// Panics unless `m < n`.
-    pub fn new(adt: &'a T, rinit: R, m: PhaseId, n: PhaseId) -> Self {
+    pub fn owned(adt: T, rinit: R, m: PhaseId, n: PhaseId) -> Self {
+        Self::shared(Arc::new(adt), rinit, m, n)
+    }
+
+    /// Creates a checker over an already-shared ADT handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m < n`.
+    pub fn shared(adt: Arc<T>, rinit: R, m: PhaseId, n: PhaseId) -> Self {
         assert!(m < n, "a speculation phase (m, n) requires m < n");
         SlinChecker {
             adt,
@@ -213,6 +223,24 @@ where
             max_interpretations: DEFAULT_MAX_INTERPRETATIONS,
             threads: 0,
         }
+    }
+
+    /// Creates a checker for a borrowed ADT by cloning it (every repo ADT
+    /// is a zero-sized unit struct, so the clone is free).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m < n`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "checkers own their model now: use `SlinChecker::owned(adt, rinit, m, n)` \
+                (or `shared(Arc<T>, ..)` to share one allocation)"
+    )]
+    pub fn new(adt: &T, rinit: R, m: PhaseId, n: PhaseId) -> Self
+    where
+        T: Clone,
+    {
+        Self::owned(adt.clone(), rinit, m, n)
     }
 
     /// Overrides the per-interpretation search node budget.
@@ -248,7 +276,7 @@ where
         t: &Trace<ObjAction<T, R::Value>>,
     ) -> Result<SlinReport<T::Input>, SlinError>
     where
-        T: Sync,
+        T: Send + Sync,
         T::Input: Send + Sync,
         T::Output: Sync,
         R: Sync,
@@ -288,7 +316,7 @@ where
     /// Boolean form of [`SlinChecker::check`].
     pub fn is_speculatively_linearizable(&self, t: &Trace<ObjAction<T, R::Value>>) -> bool
     where
-        T: Sync,
+        T: Send + Sync,
         T::Input: Send + Sync,
         T::Output: Sync,
         R: Sync,
@@ -322,7 +350,7 @@ where
     ) -> Result<SlinReport<T::Input>, SlinError>
     where
         P: Partitioner<T>,
-        T: Sync,
+        T: Send + Sync,
         T::Input: Send + Sync,
         T::Output: Sync,
         R: Sync,
@@ -349,7 +377,7 @@ where
     ) -> (Result<SlinReport<T::Input>, SlinError>, PartitionReport)
     where
         P: Partitioner<T>,
-        T: Sync,
+        T: Send + Sync,
         T::Input: Send + Sync,
         T::Output: Sync,
         R: Sync,
@@ -374,7 +402,7 @@ where
     ) -> (Result<SlinReport<T::Input>, SlinError>, PartitionReport)
     where
         K: Sync,
-        T: Sync,
+        T: Send + Sync,
         T::Input: Send + Sync,
         T::Output: Sync,
         R: Sync,
@@ -496,7 +524,7 @@ where
         threads: usize,
     ) -> Result<SlinReport<T::Input>, SlinError>
     where
-        T: Sync,
+        T: Send + Sync,
         T::Input: Send + Sync,
         T::Output: Sync,
         R: Sync,
@@ -635,7 +663,7 @@ where
 
         let pool = vi.last().cloned().unwrap_or_else(PersistentMultiset::new);
         let engine = CheckerEngine::new(
-            self.adt,
+            &*self.adt,
             &prep.commits,
             &vi,
             pool,
@@ -654,7 +682,7 @@ where
                 &extend,
             )
         };
-        let outcome = engine.run(SearchSeed::from_history(self.adt, lcp.clone()), &mut leaf)?;
+        let outcome = engine.run(SearchSeed::from_history(&*self.adt, lcp.clone()), &mut leaf)?;
         Ok((
             outcome
                 .solution
@@ -668,9 +696,9 @@ where
     }
 }
 
-impl<'a, T, R> ConsistencyModel<'a, R::Value> for SlinChecker<'a, T, R>
+impl<T, R> ConsistencyModel<R::Value> for SlinChecker<T, R>
 where
-    T: Adt + Sync,
+    T: Adt + Send + Sync,
     T::Input: Ord + Send + Sync,
     T::Output: Sync,
     R: InitRelation<T::Input> + Sync,
@@ -680,8 +708,12 @@ where
     type Witness = SlinReport<T::Input>;
     type Error = SlinError;
 
-    fn adt(&self) -> &'a T {
-        self.adt
+    fn adt(&self) -> &T {
+        &self.adt
+    }
+
+    fn adt_shared(&self) -> Arc<T> {
+        Arc::clone(&self.adt)
     }
 
     fn budget(&self) -> usize {
@@ -789,9 +821,9 @@ where
     }
 }
 
-impl<'a, T, R> StreamModel<'a, R::Value> for SlinChecker<'a, T, R>
+impl<T, R> StreamModel<R::Value> for SlinChecker<T, R>
 where
-    T: Adt + Sync,
+    T: Adt + Send + Sync,
     T::Input: Ord + Send + Sync,
     T::Output: Sync,
     R: InitRelation<T::Input> + Sync,
@@ -924,12 +956,12 @@ mod tests {
         ConsOutput::decide(v)
     }
 
-    fn quorum_checker() -> SlinChecker<'static, Consensus, ConsensusInit> {
-        SlinChecker::new(&Consensus, ConsensusInit::new(), ph(1), ph(2))
+    fn quorum_checker() -> SlinChecker<Consensus, ConsensusInit> {
+        SlinChecker::owned(Consensus, ConsensusInit::new(), ph(1), ph(2))
     }
 
-    fn backup_checker() -> SlinChecker<'static, Consensus, ConsensusInit> {
-        SlinChecker::new(&Consensus, ConsensusInit::new(), ph(2), ph(3))
+    fn backup_checker() -> SlinChecker<Consensus, ConsensusInit> {
+        SlinChecker::owned(Consensus, ConsensusInit::new(), ph(2), ph(3))
     }
 
     #[test]
@@ -1074,7 +1106,7 @@ mod tests {
     fn exact_relation_universal_adt_roundtrip() {
         // Section 6 setting: universal ADT, switch values are histories.
         let u: Universal<u8> = Universal::new();
-        let checker = SlinChecker::new(&u, ExactInit::new(), ph(1), ph(2));
+        let checker = SlinChecker::owned(u, ExactInit::new(), ph(1), ph(2));
         let t: Trace<ObjAction<Universal<u8>, Vec<u8>>> = Trace::from_actions(vec![
             Action::invoke(c(1), ph(1), 7u8),
             Action::respond(c(1), ph(1), 7u8, vec![7u8]),
@@ -1090,7 +1122,7 @@ mod tests {
         // c1's committed [7] must prefix every abort history; switching with
         // the history [9] alone contradicts Abort-Order.
         let u: Universal<u8> = Universal::new();
-        let checker = SlinChecker::new(&u, ExactInit::new(), ph(1), ph(2));
+        let checker = SlinChecker::owned(u, ExactInit::new(), ph(1), ph(2));
         let t: Trace<ObjAction<Universal<u8>, Vec<u8>>> = Trace::from_actions(vec![
             Action::invoke(c(1), ph(1), 7u8),
             Action::respond(c(1), ph(1), 7u8, vec![7u8]),
@@ -1135,7 +1167,7 @@ mod tests {
         ];
         for t in &traces {
             for (m, n) in [(1, 2), (2, 3)] {
-                let chk = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(m), ph(n))
+                let chk = SlinChecker::owned(Consensus, ConsensusInit::new(), ph(m), ph(n))
                     .with_threads(4);
                 let par = chk.check(t);
                 let seq = chk.check_sequential(t);
@@ -1192,7 +1224,7 @@ mod tests {
         // SLin(1, m) restricted to the object signature is Lin (Theorem 2):
         // on a switch-free trace the two checkers agree.
         use crate::lin::LinChecker;
-        let lin = LinChecker::new(&Consensus);
+        let lin = LinChecker::owned(Consensus);
         let traces: Vec<Trace<CA>> = vec![
             Trace::from_actions(vec![
                 Action::invoke(c(1), ph(1), p(1)),

@@ -102,7 +102,7 @@ pub enum StreamFailure {
 
 /// The streaming face of a [`ConsistencyModel`]: the handful of hooks the
 /// generic [`Monitor`] needs beyond the batch checking surface.
-pub trait StreamModel<'a, V>: ConsistencyModel<'a, V> {
+pub trait StreamModel<V>: ConsistencyModel<V> {
     /// The rolling status once the stream has gone quiet on a switch
     /// action: terminal ([`MonitorStatus::SwitchSeen`], plain
     /// linearizability) or deferred to a lazy batch re-check
@@ -158,6 +158,10 @@ pub struct MonitorConfig {
     /// frontier cap, at the price of exactness — later would-be violation
     /// verdicts downgrade to [`MonitorStatus::Unknown`].
     pub epoch_force: bool,
+    /// Overrides the node budget of one opportunistic (epoch) retirement
+    /// attempt. `None` (default) keeps the window-scaled formula
+    /// `extension_budget · (8 + window events), capped at budget / 2`.
+    pub retire_budget: Option<usize>,
     /// Worker threads for the final report's partition fan-out and for
     /// [`Monitor::drive_parallel`] (0 = one per core).
     pub threads: usize,
@@ -172,7 +176,68 @@ impl Default for MonitorConfig {
             window: None,
             epoch_cuts: true,
             epoch_force: false,
+            retire_budget: None,
             threads: 0,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Overwrites the GC-related knobs from a [`GcPolicy`] (the
+    /// [`crate::session::SessionBuilder::gc_policy`] hook; `budget`,
+    /// `window` and `threads` are untouched).
+    pub fn with_gc_policy(mut self, gc: GcPolicy) -> Self {
+        self.frontier_cap = gc.frontier_cap;
+        self.extension_budget = gc.extension_budget;
+        self.epoch_cuts = gc.epoch_cuts;
+        self.epoch_force = gc.epoch_force;
+        self.retire_budget = gc.retire_budget;
+        self
+    }
+}
+
+/// The garbage-collection/retirement policy of a streaming session — the
+/// first-class form of the [`MonitorConfig`] GC knobs, exposed on
+/// [`crate::session::SessionBuilder::gc_policy`] and reused verbatim as
+/// the daemon's per-tenant policy type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcPolicy {
+    /// Retire windows at window multiples even with invocations pending
+    /// (symbolic straggler completion). Default `true`.
+    pub epoch_cuts: bool,
+    /// Force truncated epoch cuts through (lossy: later would-be
+    /// violation verdicts downgrade to [`MonitorStatus::Unknown`]).
+    /// Default `false`; the daemon's backpressure shed flips this live.
+    pub epoch_force: bool,
+    /// Maximum frontier configurations retained per shard. Default 32.
+    pub frontier_cap: usize,
+    /// Node budget of one frontier tail-extension pass. Default 4096.
+    pub extension_budget: usize,
+    /// Node-budget override for one opportunistic retirement attempt
+    /// (`None` keeps the window-scaled formula).
+    pub retire_budget: Option<usize>,
+}
+
+impl Default for GcPolicy {
+    fn default() -> Self {
+        let cfg = MonitorConfig::default();
+        GcPolicy {
+            epoch_cuts: cfg.epoch_cuts,
+            epoch_force: cfg.epoch_force,
+            frontier_cap: cfg.frontier_cap,
+            extension_budget: cfg.extension_budget,
+            retire_budget: cfg.retire_budget,
+        }
+    }
+}
+
+impl GcPolicy {
+    /// A lossy, memory-first policy: epoch cuts forced through even when
+    /// truncated. What the daemon sheds overloaded tenants to.
+    pub fn lossy() -> Self {
+        GcPolicy {
+            epoch_force: true,
+            ..GcPolicy::default()
         }
     }
 }

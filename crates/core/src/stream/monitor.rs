@@ -26,19 +26,19 @@ use crate::ObjAction;
 use slin_adt::{Adt, Partitioner};
 use slin_trace::{Action, PersistentMultiset, PhaseId, Trace};
 use std::collections::{BTreeMap, HashSet, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A report cached per stream version (`events` at computation time).
 type CachedReport<W, E> = Option<(usize, MonitorReport<W, E>)>;
 
 /// The shared router + shard table behind the monitor.
-pub(crate) struct Core<'a, T: Adt, V, K: Ord> {
-    adt: &'a T,
+pub(crate) struct Core<T: Adt, V, K: Ord> {
+    adt: Arc<T>,
     shard_cfg: ShardConfig,
     window: Option<usize>,
     /// Shards by class key; the identity shard (engaged by unclassifiable
     /// inputs) lives under `None` and is always alone.
-    pub shards: BTreeMap<Option<K>, ShardState<'a, T, V>>,
+    pub shards: BTreeMap<Option<K>, ShardState<T, V>>,
     /// Stream length so far (the next action's global index).
     pub events: usize,
     /// The closed-trace buffer; `None` when a bounded window is configured
@@ -60,14 +60,14 @@ pub(crate) struct Core<'a, T: Adt, V, K: Ord> {
     pub fallback: bool,
 }
 
-impl<'a, T, V, K> Core<'a, T, V, K>
+impl<T, V, K> Core<T, V, K>
 where
     T: Adt,
     T::Input: Ord,
     V: Clone + PartialEq,
     K: Ord + Clone,
 {
-    fn new(adt: &'a T, config: &MonitorConfig, phase_bounds: Option<(PhaseId, PhaseId)>) -> Self {
+    fn new(adt: Arc<T>, config: &MonitorConfig, phase_bounds: Option<(PhaseId, PhaseId)>) -> Self {
         Core {
             adt,
             shard_cfg: ShardConfig {
@@ -76,6 +76,7 @@ where
                 extension_budget: config.extension_budget,
                 epoch_cuts: config.epoch_cuts,
                 epoch_force: config.epoch_force,
+                retire_budget: config.retire_budget,
             },
             window: config.window,
             shards: BTreeMap::new(),
@@ -140,7 +141,7 @@ where
     fn route(&mut self, key: Option<K>, action: ObjAction<T, V>, index: usize) -> (usize, bool) {
         let key = if self.fallback { None } else { key };
         let window = self.window;
-        let adt = self.adt;
+        let adt = Arc::clone(&self.adt);
         let shard_cfg = self.shard_cfg;
         let shard = self
             .shards
@@ -169,7 +170,7 @@ where
                 // Closed-trace mode: replay the whole stream so far into
                 // one fresh shard — exactly `split_trace`'s identity
                 // partition.
-                let mut shard = ShardState::new(self.adt, self.shard_cfg);
+                let mut shard = ShardState::new(Arc::clone(&self.adt), self.shard_cfg);
                 for (i, a) in buffer.iter().enumerate() {
                     if !a.is_switch() {
                         shard.ingest(a.clone(), i);
@@ -184,7 +185,7 @@ where
                 // the retained windows, treated as a fresh stream (the
                 // documented bounded-window trade for partitioners that
                 // decline inputs mid-stream).
-                let mut shard = ShardState::new(self.adt, self.shard_cfg);
+                let mut shard = ShardState::new(Arc::clone(&self.adt), self.shard_cfg);
                 for (i, a) in self.window_events() {
                     shard.ingest(a, i);
                 }
@@ -285,7 +286,7 @@ where
         #[allow(clippy::type_complexity)]
         let mut chains: Vec<(
             &Option<K>,
-            &ShardState<'a, T, V>,
+            &ShardState<T, V>,
             usize,
             Vec<(usize, Vec<T::Input>)>,
             Vec<usize>,
@@ -368,7 +369,7 @@ where
         // guaranteed to exist, and the engine's exhaustive search finds
         // one (only a budget trip, reported as such, can stop it).
         let product = ProductAdt {
-            adt: self.adt,
+            adt: &*self.adt,
             key_of,
         };
         let mut state: std::collections::BTreeMap<K, T::State> = std::collections::BTreeMap::new();
@@ -389,7 +390,7 @@ where
         let events = self.window_events();
         let trace: Vec<ObjAction<T, V>> = events.iter().map(|(_, a)| a.clone()).collect();
         let globals: Vec<usize> = events.iter().map(|(i, _)| *i).collect();
-        let commits: Vec<crate::ops::Commit<ProductAdt<'_, 'a, T, K>>> = trace
+        let commits: Vec<crate::ops::Commit<ProductAdt<'_, '_, T, K>>> = trace
             .iter()
             .enumerate()
             .filter(|(p, _)| !absorbed_globals.contains(&globals[*p]))
@@ -426,7 +427,7 @@ where
             crate::engine::SearchBudget::new(self.shard_cfg.budget),
         )
         .with_extra_cap(trace.len());
-        let seed = SearchSeed::<ProductAdt<'_, 'a, T, K>> {
+        let seed = SearchSeed::<ProductAdt<'_, '_, T, K>> {
             history: Vec::new(),
             state,
             used: seed_used,
@@ -501,23 +502,23 @@ fn remap_chain<I>(chain: Vec<(usize, Vec<I>)>, index_map: &[usize]) -> Vec<(usiz
 /// use slin_trace::{Action, ClientId, PhaseId, Trace};
 ///
 /// let (c1, ph) = (ClientId::new(1), PhaseId::FIRST);
-/// let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> =
-///     LinMonitor::new(&KvStore, KvKeyPartitioner);
+/// let mut mon: LinMonitor<KvStore, KvKeyPartitioner> =
+///     LinMonitor::owned(KvStore, KvKeyPartitioner);
 /// mon.ingest(Action::invoke(c1, ph, KvInput::Put(1, 5)));
 /// mon.ingest(Action::respond(c1, ph, KvInput::Put(1, 5), KvOutput::Ack));
 /// assert_eq!(mon.status(), MonitorStatus::Ok);
 /// let report = mon.report();
 /// assert!(report.verdict.is_ok());
 /// ```
-pub struct Monitor<'a, M, V, P>
+pub struct Monitor<M, V, P>
 where
-    M: ConsistencyModel<'a, V>,
+    M: ConsistencyModel<V>,
     P: Partitioner<M::Adt>,
 {
     model: M,
     partitioner: Option<P>,
     config: MonitorConfig,
-    pub(crate) core: Core<'a, M::Adt, V, P::Key>,
+    pub(crate) core: Core<M::Adt, V, P::Key>,
     /// Lazily-resolved deferred status, cached per stream version so
     /// [`Monitor::status`] can take `&self` on every model.
     status_cache: Mutex<Option<(usize, MonitorStatus)>>,
@@ -526,7 +527,7 @@ where
 
 /// Online monitor for the paper's (plain) linearizability: the generic
 /// [`Monitor`] instantiated with [`LinChecker`].
-pub type LinMonitor<'a, T, P, V = ()> = Monitor<'a, LinChecker<'a, T>, V, P>;
+pub type LinMonitor<T, P, V = ()> = Monitor<LinChecker<T>, V, P>;
 
 /// Online monitor for `(m, n)`-speculative linearizability: the generic
 /// [`Monitor`] instantiated with [`SlinChecker`].
@@ -537,12 +538,12 @@ pub type LinMonitor<'a, T, P, V = ()> = Monitor<'a, LinChecker<'a, T>, V, P>;
 /// engines go quiet and the rolling verdict is recomputed lazily — and
 /// cached per stream version — by the batch [`SlinChecker`], mirroring the
 /// partitioned checker's own monolithic fallback on phase traces.
-pub type SlinMonitor<'a, T, R, P> =
-    Monitor<'a, SlinChecker<'a, T, R>, <R as InitRelation<<T as Adt>::Input>>::Value, P>;
+pub type SlinMonitor<T, R, P> =
+    Monitor<SlinChecker<T, R>, <R as InitRelation<<T as Adt>::Input>>::Value, P>;
 
-impl<'a, M, V, P> Monitor<'a, M, V, P>
+impl<M, V, P> Monitor<M, V, P>
 where
-    M: StreamModel<'a, V>,
+    M: StreamModel<V>,
     <M::Adt as Adt>::Input: Ord,
     V: Clone + PartialEq,
     P: Partitioner<M::Adt>,
@@ -551,7 +552,7 @@ where
     /// partitioner routes every event to the identity shard
     /// (non-partitionable ADTs still stream).
     pub fn from_model(model: M, partitioner: Option<P>, config: MonitorConfig) -> Self {
-        let core = Core::new(model.adt(), &config, model.phase_bounds());
+        let core = Core::new(model.adt_shared(), &config, model.phase_bounds());
         Monitor {
             model,
             partitioner,
@@ -559,6 +560,19 @@ where
             core,
             status_cache: Mutex::new(None),
             cached: None,
+        }
+    }
+
+    /// Flips the forced-lossy-epoch-cut knob on the live monitor — the
+    /// daemon's backpressure shed. Turning it on lets every shard retire
+    /// truncated windows (memory over exactness: later would-be violation
+    /// verdicts downgrade to [`MonitorStatus::Unknown`]); the monitor and
+    /// all its current and future shards pick the change up immediately.
+    pub fn set_epoch_force(&mut self, on: bool) {
+        self.config.epoch_force = on;
+        self.core.shard_cfg.epoch_force = on;
+        for shard in self.core.shards.values_mut() {
+            shard.set_epoch_force(on);
         }
     }
 
@@ -676,9 +690,9 @@ where
     }
 }
 
-impl<'a, M, V, P> Monitor<'a, M, V, P>
+impl<M, V, P> Monitor<M, V, P>
 where
-    M: StreamModel<'a, V> + Sync,
+    M: StreamModel<V> + Sync,
     M::Adt: Sync,
     <M::Adt as Adt>::Input: Ord + Send + Sync,
     <M::Adt as Adt>::Output: Sync,
@@ -787,6 +801,7 @@ where
     pub fn drive_parallel<S>(&mut self, mut stream: S) -> MonitorStatus
     where
         S: EventStream<ObjAction<M::Adt, V>>,
+        M::Adt: Send,
         <M::Adt as Adt>::Output: Send,
         <M::Adt as Adt>::State: Send,
         V: Send,
@@ -805,13 +820,13 @@ where
             return self.drive(stream);
         }
 
-        enum WorkerMsg<'a, T: Adt, V, K> {
+        enum WorkerMsg<T: Adt, V, K> {
             /// An existing shard moves to the worker that now owns its key.
-            Adopt(K, Box<ShardState<'a, T, V>>),
+            Adopt(K, Box<ShardState<T, V>>),
             Event(usize, K, ObjAction<T, V>),
         }
 
-        let adt = self.core.adt;
+        let adt = Arc::clone(&self.core.adt);
         let shard_cfg = self.core.shard_cfg;
         let window = self.core.window;
         let mut assignment: BTreeMap<P::Key, usize> = BTreeMap::new();
@@ -823,10 +838,11 @@ where
             let mut senders = Vec::with_capacity(threads);
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
-                let (tx, rx) = std::sync::mpsc::channel::<WorkerMsg<'a, M::Adt, V, P::Key>>();
+                let (tx, rx) = std::sync::mpsc::channel::<WorkerMsg<M::Adt, V, P::Key>>();
                 senders.push(tx);
+                let adt = Arc::clone(&adt);
                 handles.push(scope.spawn(move || {
-                    let mut shards: BTreeMap<P::Key, ShardState<'a, M::Adt, V>> = BTreeMap::new();
+                    let mut shards: BTreeMap<P::Key, ShardState<M::Adt, V>> = BTreeMap::new();
                     let mut retired: Vec<usize> = Vec::new();
                     while let Ok(msg) = rx.recv() {
                         match msg {
@@ -834,9 +850,9 @@ where
                                 shards.insert(key, *shard);
                             }
                             WorkerMsg::Event(index, key, action) => {
-                                let shard = shards
-                                    .entry(key)
-                                    .or_insert_with(|| ShardState::new(adt, shard_cfg));
+                                let shard = shards.entry(key).or_insert_with(|| {
+                                    ShardState::new(Arc::clone(&adt), shard_cfg)
+                                });
                                 shard.ingest(action, index);
                                 if let Some(w) = window {
                                     if let Some(r) = shard.maybe_retire(w) {
@@ -901,39 +917,73 @@ where
     }
 }
 
-impl<'a, T, V, P> Monitor<'a, LinChecker<'a, T>, V, P>
+impl<T, V, P> Monitor<LinChecker<T>, V, P>
 where
     T: Adt,
     T::Input: Ord,
     V: Clone + PartialEq,
     P: Partitioner<T>,
 {
-    /// Creates a plain-linearizability monitor with the default
-    /// configuration.
-    pub fn new(adt: &'a T, partitioner: P) -> Self {
-        Self::with_config(adt, partitioner, MonitorConfig::default())
+    /// Creates a plain-linearizability monitor owning its ADT, with the
+    /// default configuration. The monitor is `'static` and can live in a
+    /// daemon tenant table.
+    pub fn owned(adt: T, partitioner: P) -> Self {
+        Self::owned_with_config(adt, partitioner, MonitorConfig::default())
     }
 
-    /// Creates a plain-linearizability monitor with an explicit
-    /// configuration (the config's budget and threads configure the
-    /// report-time batch checks too).
-    pub fn with_config(adt: &'a T, partitioner: P, config: MonitorConfig) -> Self {
-        let model = LinChecker::new(adt)
+    /// Creates a plain-linearizability monitor owning its ADT, with an
+    /// explicit configuration (the config's budget and threads configure
+    /// the report-time batch checks too).
+    pub fn owned_with_config(adt: T, partitioner: P, config: MonitorConfig) -> Self {
+        let model = LinChecker::owned(adt)
             .with_budget(config.budget)
             .with_threads(config.threads);
         Monitor::from_model(model, Some(partitioner), config)
     }
+
+    /// Creates a plain-linearizability monitor for a borrowed ADT by
+    /// cloning it, with the default configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "monitors own their model now: use `LinMonitor::owned(adt, partitioner)`"
+    )]
+    pub fn new(adt: &T, partitioner: P) -> Self
+    where
+        T: Clone,
+    {
+        Self::owned(adt.clone(), partitioner)
+    }
+
+    /// Creates a plain-linearizability monitor for a borrowed ADT by
+    /// cloning it, with an explicit configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "monitors own their model now: use \
+                `LinMonitor::owned_with_config(adt, partitioner, config)`"
+    )]
+    pub fn with_config(adt: &T, partitioner: P, config: MonitorConfig) -> Self
+    where
+        T: Clone,
+    {
+        Self::owned_with_config(adt.clone(), partitioner, config)
+    }
 }
 
-impl<'a, T, R, P> Monitor<'a, SlinChecker<'a, T, R>, R::Value, P>
+impl<T, R, P> Monitor<SlinChecker<T, R>, R::Value, P>
 where
-    T: Adt + Sync,
+    T: Adt + Send + Sync,
     T::Input: Ord + Send + Sync,
     T::Output: Sync,
     R: InitRelation<T::Input> + Sync,
     R::Value: Clone + PartialEq + Sync,
     P: Partitioner<T>,
 {
+    /// Creates a speculative-linearizability monitor around a configured
+    /// batch checker (which owns the ADT and fixes the phase bounds).
+    pub fn from_checker(checker: SlinChecker<T, R>, partitioner: P, config: MonitorConfig) -> Self {
+        Monitor::from_model(checker, Some(partitioner), config)
+    }
+
     /// Creates a speculative-linearizability monitor around a configured
     /// batch checker for phase `(m, n)`.
     ///
@@ -946,9 +996,14 @@ where
     ///
     /// Panics when `(m, n)` differs from the checker's configured phase
     /// bounds.
+    #[deprecated(
+        since = "0.1.0",
+        note = "monitors own their model now: use \
+                `SlinMonitor::from_checker(checker, partitioner, config)`"
+    )]
     pub fn new(
-        checker: SlinChecker<'a, T, R>,
-        _adt: &'a T,
+        checker: SlinChecker<T, R>,
+        _adt: &T,
         m: PhaseId,
         n: PhaseId,
         partitioner: P,
@@ -959,6 +1014,6 @@ where
             Some((m, n)),
             "the monitor's phase bounds come from the checker"
         );
-        Monitor::from_model(checker, Some(partitioner), config)
+        Self::from_checker(checker, partitioner, config)
     }
 }

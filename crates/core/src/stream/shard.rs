@@ -95,6 +95,7 @@ use slin_adt::Adt;
 use slin_trace::{Action, PersistentMultiset, Trace};
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Symbolic straggler completions: the multiset of `(input, output)` pairs
 /// a configuration interleaved as extras before an epoch cut, available to
@@ -127,6 +128,9 @@ pub(crate) struct ShardConfig {
     /// Force a truncated epoch cut through anyway (lossy: later would-be
     /// `Violated` verdicts downgrade to `BudgetExhausted`).
     pub epoch_force: bool,
+    /// Overrides the per-attempt retirement node budget (`None` keeps the
+    /// window-scaled formula).
+    pub retire_budget: Option<usize>,
 }
 
 /// Rolling verdict of one shard, exact at every event (see module docs).
@@ -257,8 +261,8 @@ fn absorb_commits<T: Adt>(
 }
 
 /// The incremental per-shard checker state. See the module docs.
-pub(crate) struct ShardState<'a, T: Adt, V> {
-    adt: &'a T,
+pub(crate) struct ShardState<T: Adt, V> {
+    adt: Arc<T>,
     cfg: ShardConfig,
     /// The retained window of the shard's sub-trace (everything since the
     /// last GC retirement).
@@ -303,25 +307,21 @@ pub(crate) struct ShardState<'a, T: Adt, V> {
     pub counters: ShardCounters,
 }
 
-impl<'a, T, V> ShardState<'a, T, V>
+impl<T, V> ShardState<T, V>
 where
     T: Adt,
     T::Input: Ord,
     V: Clone + PartialEq,
 {
-    pub fn new(adt: &'a T, cfg: ShardConfig) -> Self {
-        Self::with_seeds(
-            adt,
-            cfg,
-            vec![SearchSeed::initial(adt)],
-            PersistentMultiset::new(),
-        )
+    pub fn new(adt: Arc<T>, cfg: ShardConfig) -> Self {
+        let initial = SearchSeed::initial(&*adt);
+        Self::with_seeds(adt, cfg, vec![initial], PersistentMultiset::new())
     }
 
     /// Rebuilds a shard from retained seeds and a base input multiset —
     /// how the monitor restarts shards after a collapse.
     pub fn with_seeds(
-        adt: &'a T,
+        adt: Arc<T>,
         cfg: ShardConfig,
         seeds: Vec<SearchSeed<T>>,
         base: PersistentMultiset<T::Input>,
@@ -356,6 +356,12 @@ where
 
     pub fn status(&self) -> ShardStatus {
         self.status
+    }
+
+    /// Flips the forced-lossy-cut knob on a live shard (the daemon's
+    /// backpressure shed; see [`super::Monitor::set_epoch_force`]).
+    pub fn set_epoch_force(&mut self, on: bool) {
+        self.cfg.epoch_force = on;
     }
 
     /// Whether a forced lossy epoch cut happened (verdict downgrades).
@@ -510,7 +516,7 @@ where
             let mut nodes_left = self.cfg.extension_budget;
             for cfg in &self.frontier {
                 if !extend_tail(
-                    self.adt,
+                    &*self.adt,
                     cfg,
                     &commit,
                     &bound,
@@ -569,10 +575,14 @@ where
     /// the events being summarised). An attempt that trips it skips the
     /// cut (exactness is unaffected) and retries under the damping policy.
     fn retire_budget(&self) -> usize {
-        self.cfg
-            .extension_budget
-            .saturating_mul(8 + self.sub.len())
-            .min(self.cfg.budget / 2)
+        match self.cfg.retire_budget {
+            Some(n) => n,
+            None => self
+                .cfg
+                .extension_budget
+                .saturating_mul(8 + self.sub.len())
+                .min(self.cfg.budget / 2),
+        }
     }
 
     /// [`ShardState::enumerate_completions`] under an optional shared
@@ -592,7 +602,7 @@ where
         for shard_seed in &self.seeds {
             let (kept, sym, _) = absorb_commits(&self.commits, &shard_seed.sym);
             let mut dfs = EnumDfs {
-                adt: self.adt,
+                adt: &*self.adt,
                 commits: &kept,
                 bounds: &self.input_ms,
                 pool: self.pool(),
@@ -670,7 +680,7 @@ where
         for (k, shard_seed) in self.seeds.iter().enumerate() {
             let (kept, _, absorbed) = absorb_commits(&self.commits, &shard_seed.sym);
             let engine = CheckerEngine::new(
-                self.adt,
+                &*self.adt,
                 &kept,
                 &self.input_ms,
                 self.pool().clone(),

@@ -86,7 +86,7 @@ proptest! {
     fn specialized_consensus_checker_agrees_with_generic(t in phase_trace()) {
         let obj = project_object::<Consensus, Value>(&t);
         if slin_trace::wf::is_well_formed(&obj) {
-            let generic = LinChecker::new(&Consensus).check(&obj).is_ok();
+            let generic = LinChecker::owned(Consensus).check(&obj).is_ok();
             let fast = invariants::consensus_linearizable(&obj);
             prop_assert_eq!(generic, fast, "{:?}", obj);
         }
@@ -101,7 +101,7 @@ proptest! {
             && invariants::first_phase_invariants(&t)
             && !invariants::has_late_decide(&t)
         {
-            let chk = SlinChecker::new(&Consensus, ConsensusInit::new(), PhaseId::new(1), PhaseId::new(2));
+            let chk = SlinChecker::owned(Consensus, ConsensusInit::new(), PhaseId::new(1), PhaseId::new(2));
             prop_assert!(chk.check(&t).is_ok(), "{:?}", t);
         }
     }
@@ -110,7 +110,7 @@ proptest! {
     /// linearizable and the decisions satisfy I2 and I3.
     #[test]
     fn first_phase_slin_implies_invariants(t in phase_trace()) {
-        let chk = SlinChecker::new(&Consensus, ConsensusInit::new(), PhaseId::new(1), PhaseId::new(2));
+        let chk = SlinChecker::owned(Consensus, ConsensusInit::new(), PhaseId::new(1), PhaseId::new(2));
         if chk.check(&t).is_ok() {
             prop_assert!(invariants::i2(&t), "{:?}", t);
             prop_assert!(invariants::i3(&t), "{:?}", t);
@@ -141,7 +141,7 @@ proptest! {
             use rand::Rng;
             ConsInput::propose(rng.gen_range(1..4u64))
         });
-        let w = LinChecker::new(&Consensus).check(&t).unwrap();
+        let w = LinChecker::owned(Consensus).check(&t).unwrap();
         prop_assert!(witness_is_valid(&Consensus, &t, &w));
     }
 
@@ -160,8 +160,8 @@ proptest! {
         // stays well-formed; each definition preserves its own verdict.
         // (The two verdicts may differ on duplicate-value traces — the
         // Theorem 1 divergence — so each is guarded independently.)
-        if LinChecker::new(&Counter).check(&t).is_ok() {
-            prop_assert!(LinChecker::new(&Counter).check(&prefix).is_ok(), "{:?}", prefix);
+        if LinChecker::owned(Counter).check(&t).is_ok() {
+            prop_assert!(LinChecker::owned(Counter).check(&prefix).is_ok(), "{:?}", prefix);
         }
         if ClassicalChecker::new(&Counter).check(&t).is_ok() {
             prop_assert!(ClassicalChecker::new(&Counter).check(&prefix).is_ok(), "{:?}", prefix);

@@ -1,0 +1,590 @@
+//! The daemon proper: a tenant table of owned [`Session`]s, bounded
+//! per-tenant ingress queues with a lossy-shed high-water mark, a
+//! lane-sharded worker pool, and a metrics surface.
+//!
+//! One [`Daemon`] multiplexes many tenants — independent key-spaces, each
+//! monitored by its own streaming [`Session`] (possible precisely because
+//! sessions own their model and are `'static`). Tenants are sharded into
+//! `workers` *lanes* by `tenant_id % workers`; [`Daemon::pump`] drains
+//! every lane on its own scoped thread, so checking work parallelises
+//! across tenants while each tenant's stream stays strictly ordered.
+//!
+//! Backpressure: each tenant has a bounded ingress queue. When a decoded
+//! frame finds the queue at its high-water mark, the daemon *sheds* — it
+//! flips the tenant's session to lossy epoch forcing
+//! ([`Session::set_lossy`], i.e. [`GcPolicy::epoch_force`]) and drains the
+//! queue inline on the ingest thread. Memory stays bounded on both sides
+//! (queue depth never exceeds the capacity; the lossy monitor retires
+//! windows it could not complete), at the documented cost: a shed tenant's
+//! later would-be violations may downgrade to
+//! [`MonitorStatus::Unknown`]. Tenants whose policy disables the lossy
+//! shed still drain inline — blocking backpressure without the verdict
+//! downgrade.
+
+use crate::wire::{Decoder, Frame, KvAction, WireError};
+use slin_adt::{KvKeyPartitioner, KvStore};
+use slin_core::lin::LinChecker;
+use slin_core::model::ConsistencyModel;
+use slin_core::session::{Checker, Session, Strategy, VerdictDelta};
+use slin_core::stream::{GcPolicy, MonitorStatus};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+/// The per-tenant session type: an owned streaming linearizability
+/// monitor over the KV alphabet, sharded by key.
+pub type TenantSession = Session<LinChecker<KvStore>, (), KvKeyPartitioner>;
+
+/// The per-tenant witness type (what a successful check returns).
+pub type TenantWitness = <LinChecker<KvStore> as ConsistencyModel<()>>::Witness;
+
+/// The per-tenant error type (why a check fails).
+pub type TenantError = <LinChecker<KvStore> as ConsistencyModel<()>>::Error;
+
+/// Per-tenant ingestion policy. The GC half is the checker's own
+/// [`GcPolicy`] — the daemon adds only the queue bound and the shed
+/// decision on top.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantPolicy {
+    /// High-water mark of the tenant's ingress queue: reaching it triggers
+    /// the shed (inline drain, plus lossy forcing when
+    /// [`shed_lossy`](TenantPolicy::shed_lossy) is set).
+    pub queue_capacity: usize,
+    /// Bounded GC window per shard (`None`: retain everything — verdicts
+    /// byte-identical to batch checking).
+    pub window: Option<usize>,
+    /// The streaming GC policy, verbatim from the checker.
+    pub gc: GcPolicy,
+    /// Whether saturation flips the session to lossy epoch forcing
+    /// (verdict-downgrade shed). `false` keeps verdicts exact and sheds
+    /// only by draining inline (blocking backpressure).
+    pub shed_lossy: bool,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy {
+            queue_capacity: 256,
+            window: None,
+            gc: GcPolicy::default(),
+            shed_lossy: true,
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// Parses a policy from a `key=value` comma list, e.g.
+    /// `queue=64,window=16,lossy=true,epoch_force=false,frontier_cap=32`.
+    /// Keys: `queue`, `window` (`none` allowed), `lossy`, `epoch_cuts`,
+    /// `epoch_force`, `frontier_cap`, `extension_budget`, `retire_budget`
+    /// (`none` allowed). Unset keys keep their defaults; the GC keys write
+    /// straight into the embedded [`GcPolicy`].
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut policy = TenantPolicy::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got `{part}`"))?;
+            let bad = |e: &dyn std::fmt::Display| format!("bad value for `{key}`: {e}");
+            match key {
+                "queue" => policy.queue_capacity = value.parse().map_err(|e| bad(&e))?,
+                "window" => {
+                    policy.window = match value {
+                        "none" => None,
+                        v => Some(v.parse().map_err(|e| bad(&e))?),
+                    }
+                }
+                "lossy" => policy.shed_lossy = value.parse().map_err(|e| bad(&e))?,
+                "epoch_cuts" => policy.gc.epoch_cuts = value.parse().map_err(|e| bad(&e))?,
+                "epoch_force" => policy.gc.epoch_force = value.parse().map_err(|e| bad(&e))?,
+                "frontier_cap" => policy.gc.frontier_cap = value.parse().map_err(|e| bad(&e))?,
+                "extension_budget" => {
+                    policy.gc.extension_budget = value.parse().map_err(|e| bad(&e))?
+                }
+                "retire_budget" => {
+                    policy.gc.retire_budget = match value {
+                        "none" => None,
+                        v => Some(v.parse().map_err(|e| bad(&e))?),
+                    }
+                }
+                other => return Err(format!("unknown policy key `{other}`")),
+            }
+        }
+        Ok(policy)
+    }
+}
+
+/// Daemon-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonConfig {
+    /// Worker lanes: tenants are sharded `tenant_id % workers` and each
+    /// lane drains on its own thread in [`Daemon::pump`].
+    pub workers: usize,
+    /// Policy applied to tenants first seen on the wire (override per
+    /// tenant with [`Daemon::set_policy`]).
+    pub default_policy: TenantPolicy,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            workers: 4,
+            default_policy: TenantPolicy::default(),
+        }
+    }
+}
+
+/// One tenant: its owned session, bounded ingress queue, and counters.
+struct Tenant {
+    session: TenantSession,
+    queue: VecDeque<KvAction>,
+    policy: TenantPolicy,
+    shedding: bool,
+    sheds: u64,
+    events: u64,
+    queue_peak: usize,
+    last_status: MonitorStatus,
+}
+
+impl Tenant {
+    fn new(policy: TenantPolicy) -> Self {
+        let mut builder = Checker::builder(LinChecker::owned(KvStore))
+            .partitioner(KvKeyPartitioner)
+            .strategy(Strategy::Streaming { window: None })
+            .gc_policy(policy.gc);
+        if let Some(window) = policy.window {
+            builder = builder.window(window);
+        }
+        Tenant {
+            session: builder.build(),
+            queue: VecDeque::new(),
+            policy,
+            shedding: false,
+            sheds: 0,
+            events: 0,
+            queue_peak: 0,
+            last_status: MonitorStatus::Ok,
+        }
+    }
+
+    /// Drains the ingress queue through the session, in order.
+    fn drain(&mut self) {
+        while let Some(action) = self.queue.pop_front() {
+            let outcome = self.session.ingest(action);
+            self.last_status = outcome.status;
+            self.events += 1;
+        }
+    }
+}
+
+/// Rolled-up verdict counters from one [`Daemon::poll_verdicts`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictCounts {
+    /// Tenants whose rolling status is [`MonitorStatus::Ok`].
+    pub ok: usize,
+    /// Tenants at [`MonitorStatus::Violation`].
+    pub violation: usize,
+    /// Tenants at [`MonitorStatus::IllFormed`].
+    pub ill_formed: usize,
+    /// Tenants at [`MonitorStatus::SwitchSeen`].
+    pub switch_seen: usize,
+    /// Tenants at [`MonitorStatus::Unknown`] (budget or lossy shed).
+    pub unknown: usize,
+    /// Tenants at [`MonitorStatus::Deferred`].
+    pub deferred: usize,
+    /// Tenants whose status moved since the previous poll.
+    pub changed: usize,
+}
+
+impl VerdictCounts {
+    fn add(&mut self, delta: &VerdictDelta) {
+        match delta.status {
+            MonitorStatus::Ok => self.ok += 1,
+            MonitorStatus::Violation => self.violation += 1,
+            MonitorStatus::IllFormed => self.ill_formed += 1,
+            MonitorStatus::SwitchSeen => self.switch_seen += 1,
+            MonitorStatus::Unknown => self.unknown += 1,
+            MonitorStatus::Deferred => self.deferred += 1,
+        }
+        if delta.changed {
+            self.changed += 1;
+        }
+    }
+}
+
+/// The daemon's metrics surface (see [`Daemon::metrics`]); serialises to
+/// the repo's bench-JSON shape via [`DaemonMetrics::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonMetrics {
+    /// Live tenants.
+    pub tenants: usize,
+    /// Frames decoded off the wire.
+    pub frames: u64,
+    /// Bytes ingested off the wire.
+    pub bytes: u64,
+    /// Events checked (frames that have passed through a session).
+    pub events: u64,
+    /// Wall-clock seconds since the daemon started.
+    pub elapsed_secs: f64,
+    /// Checked events per second of wall clock.
+    pub events_per_sec: f64,
+    /// 50th-percentile [`Daemon::ingest_bytes`] latency, microseconds.
+    pub p50_ingest_us: u64,
+    /// 99th-percentile [`Daemon::ingest_bytes`] latency, microseconds.
+    pub p99_ingest_us: u64,
+    /// Deepest ingress queue ever observed, across all tenants.
+    pub queue_depth_peak: usize,
+    /// Tenants currently in the lossy-shed state.
+    pub shed_tenants: usize,
+    /// Total shed activations (a tenant saturating repeatedly counts each
+    /// time it crosses the high-water mark from below).
+    pub sheds: u64,
+    /// Verdict counters from the most recent [`Daemon::poll_verdicts`].
+    pub verdicts: VerdictCounts,
+}
+
+impl DaemonMetrics {
+    /// Renders the metrics in the repo's bench-JSON shape (2-space
+    /// indent, stable key order).
+    pub fn to_json(&self) -> String {
+        let v = &self.verdicts;
+        format!(
+            "{{\n  \"schema\": \"slin-daemon/v1\",\n  \"tenants\": {},\n  \"frames\": {},\n  \"bytes\": {},\n  \"events\": {},\n  \"elapsed_secs\": {:.6},\n  \"events_per_sec\": {:.1},\n  \"p50_ingest_us\": {},\n  \"p99_ingest_us\": {},\n  \"queue_depth_peak\": {},\n  \"shed_tenants\": {},\n  \"sheds\": {},\n  \"verdicts\": {{\n    \"ok\": {},\n    \"violation\": {},\n    \"ill_formed\": {},\n    \"switch_seen\": {},\n    \"unknown\": {},\n    \"deferred\": {},\n    \"changed\": {}\n  }}\n}}\n",
+            self.tenants,
+            self.frames,
+            self.bytes,
+            self.events,
+            self.elapsed_secs,
+            self.events_per_sec,
+            self.p50_ingest_us,
+            self.p99_ingest_us,
+            self.queue_depth_peak,
+            self.shed_tenants,
+            self.sheds,
+            v.ok,
+            v.violation,
+            v.ill_formed,
+            v.switch_seen,
+            v.unknown,
+            v.deferred,
+            v.changed,
+        )
+    }
+}
+
+/// A multi-tenant trace-ingestion daemon: decode, route, check, report.
+/// See the [module docs](self) for the architecture.
+pub struct Daemon {
+    config: DaemonConfig,
+    lanes: Vec<BTreeMap<u64, Tenant>>,
+    overrides: BTreeMap<u64, TenantPolicy>,
+    decoder: Decoder,
+    frames: u64,
+    bytes: u64,
+    ingest_us: Vec<u64>,
+    queue_depth_peak: usize,
+    last_verdicts: VerdictCounts,
+    started: Instant,
+}
+
+impl Daemon {
+    /// A daemon with no tenants yet; tenants materialise as their ids
+    /// first appear on the wire.
+    pub fn new(config: DaemonConfig) -> Self {
+        let workers = config.workers.max(1);
+        Daemon {
+            config: DaemonConfig { workers, ..config },
+            lanes: (0..workers).map(|_| BTreeMap::new()).collect(),
+            overrides: BTreeMap::new(),
+            decoder: Decoder::new(),
+            frames: 0,
+            bytes: 0,
+            ingest_us: Vec::new(),
+            queue_depth_peak: 0,
+            last_verdicts: VerdictCounts::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Sets (or replaces, for a not-yet-seen tenant) the policy one tenant
+    /// gets when it materialises. Existing tenants keep their session but
+    /// adopt the new queue bound and shed mode.
+    pub fn set_policy(&mut self, tenant: u64, policy: TenantPolicy) {
+        self.overrides.insert(tenant, policy);
+        let lane = (tenant % self.config.workers as u64) as usize;
+        if let Some(t) = self.lanes[lane].get_mut(&tenant) {
+            t.policy = policy;
+        }
+    }
+
+    /// Ingests one chunk of the wire byte stream: decodes every complete
+    /// frame, routes it to its tenant's queue, and sheds saturated tenants
+    /// inline. Returns the number of frames decoded from this chunk.
+    /// Partial frames stay buffered for the next chunk; a corrupt stream
+    /// returns the wire error (the daemon stays usable, but the byte
+    /// stream cannot be resynchronised — drop the connection).
+    pub fn ingest_bytes(&mut self, chunk: &[u8]) -> Result<usize, WireError> {
+        let t0 = Instant::now();
+        self.bytes += chunk.len() as u64;
+        self.decoder.feed(chunk);
+        let mut decoded = 0;
+        while let Some(frame) = self.decoder.next_frame()? {
+            decoded += 1;
+            self.route(frame);
+        }
+        self.frames += decoded as u64;
+        self.ingest_us
+            .push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        Ok(decoded)
+    }
+
+    fn route(&mut self, frame: Frame) {
+        let workers = self.config.workers as u64;
+        let lane = (frame.tenant % workers) as usize;
+        let tenant = self.lanes[lane].entry(frame.tenant).or_insert_with(|| {
+            let policy = self
+                .overrides
+                .get(&frame.tenant)
+                .copied()
+                .unwrap_or(self.config.default_policy);
+            Tenant::new(policy)
+        });
+        tenant.queue.push_back(frame.action);
+        tenant.queue_peak = tenant.queue_peak.max(tenant.queue.len());
+        self.queue_depth_peak = self.queue_depth_peak.max(tenant.queue.len());
+        if tenant.queue.len() >= tenant.policy.queue_capacity {
+            // High-water: shed. Lossy tenants downgrade their monitor to
+            // forced epoch cuts (bounded memory, possible Unknown);
+            // everyone drains inline, which is the backpressure — the
+            // ingest thread pays for the checking it queued.
+            if tenant.policy.shed_lossy && !tenant.shedding {
+                tenant.session.set_lossy(true);
+                tenant.shedding = true;
+            }
+            if tenant.policy.shed_lossy {
+                tenant.sheds += 1;
+            }
+            tenant.drain();
+        }
+    }
+
+    /// Drains every tenant queue, one scoped worker thread per lane.
+    /// Returns the number of events checked by this pump pass.
+    pub fn pump(&mut self) -> u64 {
+        let before: u64 = self
+            .lanes
+            .iter()
+            .flat_map(|l| l.values())
+            .map(|t| t.events)
+            .sum();
+        std::thread::scope(|scope| {
+            for lane in self.lanes.iter_mut() {
+                scope.spawn(move || {
+                    for tenant in lane.values_mut() {
+                        tenant.drain();
+                    }
+                });
+            }
+        });
+        let after: u64 = self
+            .lanes
+            .iter()
+            .flat_map(|l| l.values())
+            .map(|t| t.events)
+            .sum();
+        after - before
+    }
+
+    /// Polls every tenant's rolling verdict ([`Session::poll_verdict`] —
+    /// cheap, nothing is consumed) and rolls the counts up. The result is
+    /// also cached for [`Daemon::metrics`].
+    pub fn poll_verdicts(&mut self) -> VerdictCounts {
+        let mut counts = VerdictCounts::default();
+        for tenant in self.lanes.iter_mut().flat_map(|l| l.values_mut()) {
+            counts.add(&tenant.session.poll_verdict());
+        }
+        self.last_verdicts = counts;
+        counts
+    }
+
+    /// Live tenant count.
+    pub fn tenants(&self) -> usize {
+        self.lanes.iter().map(|l| l.len()).sum()
+    }
+
+    /// Mutable access to one tenant's session (for final reports and
+    /// differential testing). Queued events are drained first so the
+    /// session reflects everything ingested for the tenant.
+    pub fn tenant_session_mut(&mut self, tenant: u64) -> Option<&mut TenantSession> {
+        let lane = (tenant % self.config.workers as u64) as usize;
+        let t = self.lanes[lane].get_mut(&tenant)?;
+        t.drain();
+        Some(&mut t.session)
+    }
+
+    /// Every live tenant id, ascending.
+    pub fn tenant_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.lanes.iter().flat_map(|l| l.keys().copied()).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Whether a tenant is currently in the lossy-shed state.
+    pub fn is_shedding(&self, tenant: u64) -> bool {
+        let lane = (tenant % self.config.workers as u64) as usize;
+        self.lanes[lane].get(&tenant).is_some_and(|t| t.shedding)
+    }
+
+    /// The current metrics snapshot.
+    pub fn metrics(&self) -> DaemonMetrics {
+        let mut samples = self.ingest_us.clone();
+        samples.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if samples.is_empty() {
+                return 0;
+            }
+            let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+            samples[idx]
+        };
+        let events: u64 = self
+            .lanes
+            .iter()
+            .flat_map(|l| l.values())
+            .map(|t| t.events)
+            .sum();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        DaemonMetrics {
+            tenants: self.tenants(),
+            frames: self.frames,
+            bytes: self.bytes,
+            events,
+            elapsed_secs: elapsed,
+            events_per_sec: if elapsed > 0.0 {
+                events as f64 / elapsed
+            } else {
+                0.0
+            },
+            p50_ingest_us: pct(0.50),
+            p99_ingest_us: pct(0.99),
+            queue_depth_peak: self.queue_depth_peak,
+            shed_tenants: self
+                .lanes
+                .iter()
+                .flat_map(|l| l.values())
+                .filter(|t| t.shedding)
+                .count(),
+            sheds: self
+                .lanes
+                .iter()
+                .flat_map(|l| l.values())
+                .map(|t| t.sheds)
+                .sum(),
+            verdicts: self.last_verdicts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{encode_frames, Frame};
+    use slin_adt::{KvInput, KvOutput};
+    use slin_trace::{Action, ClientId, PhaseId};
+
+    fn put_round(tenant: u64, round: u64) -> [Frame; 2] {
+        let (c, p) = (ClientId::new(1), PhaseId::FIRST);
+        let input = KvInput::Put(1, round);
+        [
+            Frame {
+                tenant,
+                action: Action::invoke(c, p, input),
+            },
+            Frame {
+                tenant,
+                action: Action::respond(c, p, input, KvOutput::Ack),
+            },
+        ]
+    }
+
+    #[test]
+    fn routes_frames_to_per_tenant_sessions() {
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        let mut frames = Vec::new();
+        for tenant in 0..10u64 {
+            frames.extend(put_round(tenant, tenant + 1));
+        }
+        let bytes = encode_frames(&frames);
+        assert_eq!(daemon.ingest_bytes(&bytes).unwrap(), 20);
+        assert_eq!(daemon.tenants(), 10);
+        assert_eq!(daemon.pump(), 20);
+        let counts = daemon.poll_verdicts();
+        assert_eq!(counts.ok, 10);
+        assert_eq!(counts.violation, 0);
+        let m = daemon.metrics();
+        assert_eq!(m.events, 20);
+        assert_eq!(m.frames, 20);
+    }
+
+    #[test]
+    fn a_violating_tenant_does_not_taint_its_neighbours() {
+        let (c, p) = (ClientId::new(1), PhaseId::FIRST);
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        let mut frames: Vec<Frame> = put_round(0, 7).into();
+        // Tenant 1 reads a value nobody wrote.
+        frames.push(Frame {
+            tenant: 1,
+            action: Action::invoke(c, p, KvInput::Get(1)),
+        });
+        frames.push(Frame {
+            tenant: 1,
+            action: Action::respond(c, p, KvInput::Get(1), KvOutput::Found(Some(99))),
+        });
+        daemon.ingest_bytes(&encode_frames(&frames)).unwrap();
+        daemon.pump();
+        let counts = daemon.poll_verdicts();
+        assert_eq!(counts.ok, 1);
+        assert_eq!(counts.violation, 1);
+    }
+
+    #[test]
+    fn saturation_sheds_and_is_observable_in_metrics() {
+        let policy = TenantPolicy {
+            queue_capacity: 4,
+            window: Some(8),
+            ..TenantPolicy::default()
+        };
+        let mut daemon = Daemon::new(DaemonConfig {
+            workers: 2,
+            default_policy: policy,
+        });
+        let mut frames = Vec::new();
+        for round in 0..64u64 {
+            frames.extend(put_round(5, round + 1));
+        }
+        daemon.ingest_bytes(&encode_frames(&frames)).unwrap();
+        assert!(daemon.is_shedding(5));
+        let m = daemon.metrics();
+        assert!(m.sheds > 0, "sheds: {}", m.sheds);
+        assert_eq!(m.shed_tenants, 1);
+        // The queue bound held: depth never exceeded the high-water mark.
+        assert!(m.queue_depth_peak <= 4, "peak {}", m.queue_depth_peak);
+        daemon.pump();
+        assert_eq!(daemon.metrics().events, 128);
+    }
+
+    #[test]
+    fn policy_spec_parses_into_gc_policy() {
+        let p = TenantPolicy::parse(
+            "queue=64,window=16,lossy=false,epoch_force=true,frontier_cap=8,retire_budget=none",
+        )
+        .unwrap();
+        assert_eq!(p.queue_capacity, 64);
+        assert_eq!(p.window, Some(16));
+        assert!(!p.shed_lossy);
+        assert!(p.gc.epoch_force);
+        assert_eq!(p.gc.frontier_cap, 8);
+        assert_eq!(p.gc.retire_budget, None);
+        assert!(TenantPolicy::parse("windows=1").is_err());
+        assert!(TenantPolicy::parse("queue").is_err());
+        assert_eq!(TenantPolicy::parse("").unwrap(), TenantPolicy::default());
+    }
+}

@@ -1,0 +1,112 @@
+//! Fuzz-style wire-format properties: arbitrary frame sequences
+//! roundtrip byte-exactly under arbitrary stream chunkings, and corrupt
+//! streams produce errors rather than bogus frames or panics.
+//!
+//! Seeds are pinned by the proptest shim (`PINNED_SEED`; set
+//! `PROPTEST_RNG_SEED` to explore a different corpus).
+
+use proptest::prelude::*;
+use slin_adt::{KvInput, KvOutput};
+use slin_daemon::wire::{decode_frames, encode_frames, Decoder, Frame, KvAction, MAX_BODY_LEN};
+use slin_trace::{Action, ClientId, PhaseId};
+
+/// A strategy for arbitrary well-formed frames: any tenant id, any
+/// action kind, any opcode, boundary-heavy ids and values.
+fn frame() -> impl Strategy<Value = Frame> {
+    let ids = (1..5u32, 1..5u32);
+    let tenant = any::<u64>();
+    let input = (0..3u8, any::<u32>(), any::<u64>()).prop_map(|(op, key, value)| match op {
+        0 => KvInput::Put(key, value),
+        1 => KvInput::Get(key),
+        _ => KvInput::Delete(key),
+    });
+    let output = (0..3u8, any::<u64>()).prop_map(|(tag, value)| match tag {
+        0 => KvOutput::Ack,
+        1 => KvOutput::Found(None),
+        _ => KvOutput::Found(Some(value)),
+    });
+    (tenant, ids, 0..3u8, input, output).prop_map(|(tenant, (c, p), kind, input, output)| {
+        let (client, phase) = (ClientId::new(c), PhaseId::new(p));
+        let action: KvAction = match kind {
+            0 => Action::invoke(client, phase, input),
+            1 => Action::respond(client, phase, input, output),
+            _ => Action::switch(client, phase, input, ()),
+        };
+        Frame { tenant, action }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn encode_decode_roundtrips(frames in prop::collection::vec(frame(), 0..40)) {
+        let bytes = encode_frames(&frames);
+        prop_assert_eq!(decode_frames(&bytes).unwrap(), frames);
+    }
+
+    #[test]
+    fn roundtrips_under_arbitrary_chunking(
+        frames in prop::collection::vec(frame(), 1..25),
+        cuts in prop::collection::vec(1..64usize, 0..20),
+    ) {
+        let bytes = encode_frames(&frames);
+        let mut dec = Decoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        // Feed at the derived cut points, then the remainder.
+        for cut in cuts {
+            let end = (pos + cut).min(bytes.len());
+            dec.feed(&bytes[pos..end]);
+            got.extend(dec.drain_frames().unwrap());
+            pos = end;
+        }
+        dec.feed(&bytes[pos..]);
+        got.extend(dec.drain_frames().unwrap());
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn every_frame_is_within_the_body_cap(f in frame()) {
+        let mut bytes = Vec::new();
+        slin_daemon::wire::encode_frame(&mut bytes, &f);
+        let body = bytes.len() - 4;
+        prop_assert!(body <= MAX_BODY_LEN, "body {} > cap {}", body, MAX_BODY_LEN);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics_or_misparses_silently(
+        frames in prop::collection::vec(frame(), 1..6),
+        flip_at in any::<u32>(),
+        flip_bits in 1..=255u8,
+    ) {
+        let bytes = encode_frames(&frames);
+        let mut corrupt = bytes.clone();
+        let at = flip_at as usize % corrupt.len();
+        corrupt[at] ^= flip_bits;
+        // Decoding must terminate with frames or an error — never panic.
+        // (A flipped payload byte can still decode; equality with the
+        // original is only guaranteed for untouched bytes.)
+        let _ = decode_frames(&corrupt);
+        prop_assert_eq!(decode_frames(&bytes).unwrap(), frames);
+    }
+
+    #[test]
+    fn truncated_streams_decode_a_prefix_and_hold_the_rest(
+        frames in prop::collection::vec(frame(), 1..10),
+        cut_back in 1..20usize,
+    ) {
+        let bytes = encode_frames(&frames);
+        let keep = bytes.len().saturating_sub(cut_back);
+        let mut dec = Decoder::new();
+        dec.feed(&bytes[..keep]);
+        let got = dec.drain_frames().unwrap();
+        prop_assert!(got.len() < frames.len());
+        prop_assert_eq!(&frames[..got.len()], &got[..]);
+        // Feeding the tail completes the stream.
+        dec.feed(&bytes[keep..]);
+        let rest = dec.drain_frames().unwrap();
+        prop_assert_eq!(&frames[got.len()..], &rest[..]);
+    }
+}

@@ -35,8 +35,8 @@
 //! use slin_monitor::{LinMonitor, MonitorStatus};
 //!
 //! let trace = random_multikey_kv_trace(&MultiKeyConfig::default());
-//! let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> =
-//!     LinMonitor::new(&KvStore, KvKeyPartitioner);
+//! let mut mon: LinMonitor<KvStore, KvKeyPartitioner> =
+//!     LinMonitor::owned(KvStore, KvKeyPartitioner);
 //! for action in trace.iter() {
 //!     let outcome = mon.ingest(action.clone());
 //!     assert_eq!(outcome.status, MonitorStatus::Ok); // rolling, exact

@@ -22,13 +22,13 @@ fn ph() -> PhaseId {
     PhaseId::FIRST
 }
 
-fn kv_monitor<'a>() -> LinMonitor<'a, KvStore, KvKeyPartitioner> {
-    LinMonitor::new(&KvStore, KvKeyPartitioner)
+fn kv_monitor() -> LinMonitor<KvStore, KvKeyPartitioner> {
+    LinMonitor::owned(KvStore, KvKeyPartitioner)
 }
 
 #[test]
 fn rolling_status_is_exact_on_every_prefix() {
-    let chk = LinChecker::new(&KvStore);
+    let chk = LinChecker::owned(KvStore);
     for seed in [0u64, 3, 11, 19] {
         for error_prob in [0.0, 0.5] {
             let cfg = MultiKeyConfig {
@@ -58,7 +58,7 @@ fn rolling_status_is_exact_on_every_prefix() {
 
 #[test]
 fn report_is_byte_identical_to_batch_check() {
-    let chk = LinChecker::new(&KvStore);
+    let chk = LinChecker::owned(KvStore);
     for seed in [1u64, 5, 8, 21] {
         for error_prob in [0.0, 0.4] {
             let cfg = MultiKeyConfig {
@@ -98,8 +98,8 @@ fn parallel_drive_matches_sequential_drive() {
         let t = random_multikey_kv_trace(&cfg);
         let mut seq = kv_monitor();
         let seq_status = seq.drive(t.iter().cloned());
-        let mut par: LinMonitor<'_, KvStore, KvKeyPartitioner> = LinMonitor::with_config(
-            &KvStore,
+        let mut par: LinMonitor<KvStore, KvKeyPartitioner> = LinMonitor::owned_with_config(
+            KvStore,
             KvKeyPartitioner,
             MonitorConfig {
                 threads: 4,
@@ -121,19 +121,19 @@ fn identity_partitioner_collapses_to_one_shard_and_stays_exact() {
         ..Default::default()
     };
     let t = random_multikey_kv_trace(&cfg);
-    let mut mon: LinMonitor<'_, KvStore, IdentityPartitioner> =
-        LinMonitor::new(&KvStore, IdentityPartitioner);
+    let mut mon: LinMonitor<KvStore, IdentityPartitioner> =
+        LinMonitor::owned(KvStore, IdentityPartitioner);
     mon.drive(t.iter().cloned());
     assert_eq!(mon.shards(), 1);
     let report = mon.report();
     assert!(report.fallback);
-    assert_eq!(report.verdict, LinChecker::new(&KvStore).check(&t));
+    assert_eq!(report.verdict, LinChecker::owned(KvStore).check(&t));
 }
 
 #[test]
 fn switch_action_decides_the_lin_verdict() {
-    let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner, u8> =
-        LinMonitor::new(&KvStore, KvKeyPartitioner);
+    let mut mon: LinMonitor<KvStore, KvKeyPartitioner, u8> =
+        LinMonitor::owned(KvStore, KvKeyPartitioner);
     mon.ingest(Action::invoke(c(1), ph(), KvInput::Put(1, 5)));
     let out = mon.ingest(Action::switch(c(1), PhaseId::new(2), KvInput::Put(1, 5), 0));
     assert_eq!(out.status, MonitorStatus::SwitchSeen);
@@ -153,7 +153,7 @@ fn ill_formed_stream_matches_batch_error() {
     let mut mon = kv_monitor();
     let status = mon.drive(t.iter().cloned());
     assert_eq!(status, MonitorStatus::IllFormed);
-    assert_eq!(mon.report().verdict, LinChecker::new(&KvStore).check(&t));
+    assert_eq!(mon.report().verdict, LinChecker::owned(KvStore).check(&t));
 }
 
 #[test]
@@ -166,8 +166,8 @@ fn bounded_window_gc_retires_prefixes_and_keeps_the_verdict() {
         ..Default::default()
     };
     let t = random_multikey_kv_trace(&cfg);
-    let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> = LinMonitor::with_config(
-        &KvStore,
+    let mut mon: LinMonitor<KvStore, KvKeyPartitioner> = LinMonitor::owned_with_config(
+        KvStore,
         KvKeyPartitioner,
         MonitorConfig {
             window: Some(8),
@@ -190,8 +190,8 @@ fn bounded_window_gc_retires_prefixes_and_keeps_the_verdict() {
 
 #[test]
 fn violations_are_still_caught_after_gc() {
-    let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> = LinMonitor::with_config(
-        &KvStore,
+    let mut mon: LinMonitor<KvStore, KvKeyPartitioner> = LinMonitor::owned_with_config(
+        KvStore,
         KvKeyPartitioner,
         MonitorConfig {
             window: Some(4),
@@ -274,8 +274,8 @@ fn slin_monitor_matches_partitioned_checker_on_switch_free_streams() {
 
 #[test]
 fn slin_monitor_goes_speculative_on_switches_and_stays_exact() {
-    let chk = SlinChecker::new(
-        &Consensus,
+    let chk = SlinChecker::owned(
+        Consensus,
         ConsensusInit::new(),
         PhaseId::new(1),
         PhaseId::new(2),
@@ -297,14 +297,8 @@ fn slin_monitor_goes_speculative_on_switches_and_stays_exact() {
         ]),
     ];
     for t in &traces {
-        let mut mon = SlinMonitor::new(
-            chk.clone(),
-            &Consensus,
-            PhaseId::new(1),
-            PhaseId::new(2),
-            IdentityPartitioner,
-            MonitorConfig::default(),
-        );
+        let mut mon =
+            SlinMonitor::from_checker(chk.clone(), IdentityPartitioner, MonitorConfig::default());
         let status = mon.drive(t.iter().cloned());
         let batch = chk.check(t);
         assert_eq!(status == MonitorStatus::Ok, batch.is_ok(), "{t:?}");
@@ -332,7 +326,7 @@ fn more_than_64_commits_stream_and_check() {
     let status = mon.drive(t.iter().cloned());
     assert_eq!(status, MonitorStatus::Ok);
     let report = mon.report();
-    let batch = LinChecker::new(&KvStore).check(&t);
+    let batch = LinChecker::owned(KvStore).check(&t);
     assert!(batch.is_ok(), "batch path must accept > 64 commits now");
     assert_eq!(report.verdict, batch);
 }

@@ -21,7 +21,7 @@ use slin_trace::{Action, ClientId, PhaseId, Trace};
 fn main() {
     let cons = Consensus::new();
     // The unified surface: one builder, strategy as configuration.
-    let mut lin = Checker::builder(LinChecker::new(&cons)).build();
+    let mut lin = Checker::builder(LinChecker::owned(cons)).build();
     let classical = ClassicalChecker::new(&cons);
     let (c1, c2) = (ClientId::new(1), ClientId::new(2));
     let ph = PhaseId::FIRST;
@@ -54,7 +54,7 @@ fn main() {
 
     // The same judgment, streamed one event at a time: a session built
     // with Strategy::Streaming ingests live and reports identically.
-    let mut live = Checker::builder(LinChecker::new(&cons))
+    let mut live = Checker::builder(LinChecker::owned(cons))
         .strategy(Strategy::Streaming { window: None })
         .build();
     for a in good.iter() {

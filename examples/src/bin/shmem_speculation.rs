@@ -30,7 +30,7 @@ fn main() {
     let mut fallback = 0;
     // Consensus is non-partitionable, so Strategy::Auto resolves to one
     // monolithic chain search per trace.
-    let mut lin = Checker::builder(LinChecker::new(&Consensus)).build();
+    let mut lin = Checker::builder(LinChecker::owned(Consensus)).build();
     for round in 0..200 {
         let out = run_concurrent(&Workload::concurrent(4));
         assert!(out.agreement(), "round {round}: split decision!");

@@ -27,8 +27,8 @@ fn params(first: u32, last: u32, clients: u32, inputs: Vec<u8>) -> AlmParams<u8>
     }
 }
 
-fn checker(adt: &Universal<u8>, m: u32, n: u32) -> SlinChecker<'_, Universal<u8>, ExactInit> {
-    SlinChecker::new(adt, ExactInit::new(), PhaseId::new(m), PhaseId::new(n))
+fn checker(adt: &Universal<u8>, m: u32, n: u32) -> SlinChecker<Universal<u8>, ExactInit> {
+    SlinChecker::owned(*adt, ExactInit::new(), PhaseId::new(m), PhaseId::new(n))
 }
 
 #[test]

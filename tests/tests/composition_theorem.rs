@@ -108,7 +108,7 @@ fn theorem_2_composed_traces_project_to_linearizable_object_traces() {
         let out = run_scenario(&Scenario::contended(3, &[1, 2], seed));
         let obj = project_object::<Consensus, _>(&out.trace);
         if obj.len() <= 10 {
-            let lin = LinChecker::new(&Consensus);
+            let lin = LinChecker::owned(Consensus);
             assert!(lin.check(&obj).is_ok(), "seed {seed}: {obj:?}");
         }
         assert!(slin_core::invariants::consensus_linearizable(&out.trace));
@@ -125,8 +125,8 @@ fn definition_2_composition_operator_matches_premise_evaluation() {
     use slin_trace::prop::{Compose, TraceProperty};
     use slin_trace::PhaseSignature;
 
-    let q = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(1), ph(2));
-    let b = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(2), ph(3));
+    let q = SlinChecker::owned(Consensus, ConsensusInit::new(), ph(1), ph(2));
+    let b = SlinChecker::owned(Consensus, ConsensusInit::new(), ph(2), ph(3));
     let p12 = |t: &slin_trace::Trace<slin_consensus::ConsAction>| q.check(t).is_ok();
     let p23 = |t: &slin_trace::Trace<slin_consensus::ConsAction>| b.check(t).is_ok();
     let composed_property = Compose::new(
@@ -170,7 +170,7 @@ fn property_1_satisfaction_lifts_through_composition() {
     use slin_trace::prop::satisfies;
 
     let adt: Universal<u8> = Universal::new();
-    let q = SlinChecker::new(&adt, ExactInit::new(), ph(1), ph(2));
+    let q = SlinChecker::owned(adt, ExactInit::new(), ph(1), ph(2));
     let mk = |first, last| AlmParams {
         first,
         last,

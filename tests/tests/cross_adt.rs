@@ -24,7 +24,7 @@ fn ph() -> PhaseId {
 #[test]
 fn kv_store_concurrent_put_get() {
     let kv = KvStore::new();
-    let chk = LinChecker::new(&kv);
+    let chk = LinChecker::owned(kv);
     // get(1) overlaps put(1, 5): both =∅ and =5 are linearizable.
     for seen in [None, Some(5)] {
         let t: Trace<ObjAction<KvStore, ()>> = Trace::from_actions(vec![
@@ -59,7 +59,7 @@ fn kv_store_generated_traces() {
             1 => KvInput::Get(rng.gen_range(1..3)),
             _ => KvInput::Delete(rng.gen_range(1..3)),
         });
-        let w = LinChecker::new(&KvStore).check(&t).unwrap();
+        let w = LinChecker::owned(KvStore).check(&t).unwrap();
         assert!(witness_is_valid(&KvStore, &t, &w), "seed {seed}");
         assert!(ClassicalChecker::new(&KvStore).check(&t).is_ok());
     }
@@ -86,7 +86,7 @@ fn universal_adt_traces_check_against_any_derived_adt() {
             vec![ConsInput::propose(4), ConsInput::propose(9)],
         ),
     ]);
-    assert!(LinChecker::new(&u).check(&t).is_ok());
+    assert!(LinChecker::owned(u).check(&t).is_ok());
     // Deriving consensus from the returned histories gives the consensus
     // outputs that a directly-implemented consensus object would return.
     for a in t.iter() {
@@ -108,13 +108,13 @@ fn universal_adt_rejects_history_reordering() {
         Action::respond(c(1), ph(), 1u8, vec![1u8]),
         Action::respond(c(2), ph(), 2u8, vec![2u8]),
     ]);
-    assert!(LinChecker::new(&u).check(&t).is_err());
+    assert!(LinChecker::owned(u).check(&t).is_err());
     assert!(ClassicalChecker::new(&u).check(&t).is_err());
 }
 
 #[test]
 fn counter_reads_bound_increment_counts() {
-    let chk = LinChecker::new(&Counter);
+    let chk = LinChecker::owned(Counter);
     // get=2 with only one completed inc and one pending inc is fine (the
     // pending inc may have taken effect) …
     let t: Trace<ObjAction<Counter, ()>> = Trace::from_actions(vec![
@@ -138,7 +138,7 @@ fn counter_reads_bound_increment_counts() {
 
 #[test]
 fn queue_elements_are_not_duplicated() {
-    let chk = LinChecker::new(&Queue);
+    let chk = LinChecker::owned(Queue);
     // A single enqueued element cannot be dequeued twice.
     let t: Trace<ObjAction<Queue, ()>> = Trace::from_actions(vec![
         Action::invoke(c(1), ph(), QueueInput::Enqueue(5)),
@@ -165,7 +165,7 @@ fn queue_elements_are_not_duplicated() {
 fn register_new_old_inversion_rejected() {
     // The classic "new-old inversion": r1 reads the new value, then r2
     // (invoked after r1 completed) reads the old one — not linearizable.
-    let chk = LinChecker::new(&Register);
+    let chk = LinChecker::owned(Register);
     let t: Trace<ObjAction<Register, ()>> = Trace::from_actions(vec![
         Action::invoke(c(1), ph(), RegInput::Write(1)),
         Action::respond(c(1), ph(), RegInput::Write(1), RegOutput::Ack),
@@ -200,7 +200,7 @@ fn checker_verdicts_depend_on_the_adt() {
             slin_adt::ConsOutput::decide(1),
         ),
     ]);
-    assert!(LinChecker::new(&Consensus).check(&t_cons).is_ok());
+    assert!(LinChecker::owned(Consensus).check(&t_cons).is_ok());
     // A register would have to return the latest write instead.
     let t_reg: Trace<ObjAction<Register, ()>> = Trace::from_actions(vec![
         Action::invoke(c(1), ph(), RegInput::Write(1)),
@@ -208,13 +208,13 @@ fn checker_verdicts_depend_on_the_adt() {
         Action::invoke(c(2), ph(), RegInput::Read),
         Action::respond(c(2), ph(), RegInput::Read, RegOutput::Value(None)),
     ]);
-    assert!(LinChecker::new(&Register).check(&t_reg).is_err());
+    assert!(LinChecker::owned(Register).check(&t_reg).is_err());
 }
 
 #[test]
 fn stack_lifo_constraints() {
     use slin_adt::{Stack, StackInput, StackOutput};
-    let chk = LinChecker::new(&Stack);
+    let chk = LinChecker::owned(Stack);
     // Sequential push(1); push(2); pop must return 2, not 1.
     let bad: Trace<ObjAction<Stack, ()>> = Trace::from_actions(vec![
         Action::invoke(c(1), ph(), StackInput::Push(1)),
@@ -240,7 +240,7 @@ fn stack_lifo_constraints() {
 #[test]
 fn set_membership_constraints() {
     use slin_adt::{Set, SetInput, SetOutput};
-    let chk = LinChecker::new(&Set);
+    let chk = LinChecker::owned(Set);
     // add(1)=true; a concurrent add(1) by another client may see false or
     // true depending on linearization order…
     for second_saw in [true, false] {
@@ -286,7 +286,7 @@ fn stack_and_set_generated_traces_pass_both_checkers() {
                 StackInput::Pop
             }
         });
-        assert!(LinChecker::new(&Stack).check(&t).is_ok(), "seed {seed}");
+        assert!(LinChecker::owned(Stack).check(&t).is_ok(), "seed {seed}");
         assert!(
             ClassicalChecker::new(&Stack).check(&t).is_ok(),
             "seed {seed}"
@@ -296,7 +296,7 @@ fn stack_and_set_generated_traces_pass_both_checkers() {
             1 => SetInput::Remove(rng.gen_range(1..3)),
             _ => SetInput::Contains(rng.gen_range(1..3)),
         });
-        assert!(LinChecker::new(&Set).check(&t).is_ok(), "seed {seed}");
+        assert!(LinChecker::owned(Set).check(&t).is_ok(), "seed {seed}");
         assert!(ClassicalChecker::new(&Set).check(&t).is_ok(), "seed {seed}");
     }
 }

@@ -81,7 +81,7 @@ fn quorum_invariant_i1_holds_on_first_phase() {
 
 #[test]
 fn object_projection_is_linearizable_generic_checker() {
-    let lin = LinChecker::new(&Consensus);
+    let lin = LinChecker::owned(Consensus);
     let mut checked = 0;
     for seed in 0..25 {
         for (name, s) in scenarios(seed) {
@@ -98,8 +98,8 @@ fn object_projection_is_linearizable_generic_checker() {
 
 #[test]
 fn phase_projections_are_speculatively_linearizable() {
-    let q = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(1), ph(2));
-    let b = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(2), ph(3));
+    let q = SlinChecker::owned(Consensus, ConsensusInit::new(), ph(1), ph(2));
+    let b = SlinChecker::owned(Consensus, ConsensusInit::new(), ph(2), ph(3));
     let mut checked = 0;
     let mut skipped_late = 0;
     for seed in 0..25 {
@@ -150,8 +150,8 @@ fn harness_engine_verification_matches_direct_checks() {
     // The harness-level engine API agrees with constructing the checkers by
     // hand, and the parallel enumeration inside it agrees with a
     // single-threaded run, on real protocol traces.
-    let q = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(1), ph(2));
-    let b = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(2), ph(3));
+    let q = SlinChecker::owned(Consensus, ConsensusInit::new(), ph(1), ph(2));
+    let b = SlinChecker::owned(Consensus, ConsensusInit::new(), ph(2), ph(3));
     for seed in 0..10 {
         for (name, s) in scenarios(seed) {
             let out = run_scenario(&s);

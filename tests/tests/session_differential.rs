@@ -69,7 +69,7 @@ fn assert_lin_session_parity<T, P>(
     ctx: &MultiKeyConfig,
 ) -> Result<(), TestCaseError>
 where
-    T: Adt + Sync,
+    T: Adt + Clone + Send + Sync,
     T::Input: Ord + Send + Sync,
     T::Output: Sync,
     P: Partitioner<T> + Copy,
@@ -365,4 +365,134 @@ fn builder_budget_and_threads_reach_the_model() {
     let legacy_seq = model().check_sequential(&t);
     let mut seq = Checker::builder(model()).threads(1).build();
     assert_eq!(seq.check(&t).outcome, legacy_seq);
+}
+
+/// Owned-model parity: the deprecated borrow constructors (`new(&T)`)
+/// and the canonical owned/shared constructors produce byte-identical
+/// verdicts, witnesses, and stats across all strategies — the owned
+/// redesign changed ownership, never behaviour.
+#[test]
+fn owned_and_borrowed_constructors_are_byte_identical() {
+    use std::sync::Arc;
+    for seed in [0u64, 11, 23, 47] {
+        for error_prob in [0.0, 0.35] {
+            let cfg = MultiKeyConfig {
+                keys: 4,
+                clients: 3,
+                steps: 22,
+                error_prob,
+                seed,
+                ..Default::default()
+            };
+            let t = random_multikey_kv_trace(&cfg);
+            for strategy in [
+                SessionStrategy::Auto,
+                SessionStrategy::Monolithic,
+                SessionStrategy::Partitioned,
+                SessionStrategy::Streaming { window: None },
+            ] {
+                let run = |chk: LinChecker<KvStore>| {
+                    let mut s = Checker::builder(chk)
+                        .partitioner(KvKeyPartitioner)
+                        .strategy(strategy)
+                        .build();
+                    s.check(&t)
+                };
+                let borrowed = run(LinChecker::new(&KvStore));
+                let owned = run(LinChecker::owned(KvStore));
+                let shared = run(LinChecker::shared(Arc::new(KvStore)));
+                assert_eq!(
+                    borrowed.outcome, owned.outcome,
+                    "seed {seed} error {error_prob} {strategy:?}"
+                );
+                assert_eq!(borrowed.stats, owned.stats);
+                assert_eq!(borrowed.partition, owned.partition);
+                assert_eq!(owned.outcome, shared.outcome);
+                assert_eq!(owned.stats, shared.stats);
+            }
+            // The speculative checker, same contract.
+            let t2: Trace<ObjAction<KvStore, Vec<KvInput>>> = retag(&t);
+            let borrowed =
+                SlinChecker::new(&KvStore, ExactInit::new(), PhaseId::new(1), PhaseId::new(2))
+                    .check(&t2);
+            let owned =
+                SlinChecker::owned(KvStore, ExactInit::new(), PhaseId::new(1), PhaseId::new(2))
+                    .check(&t2);
+            assert_eq!(borrowed, owned, "slin seed {seed} error {error_prob}");
+        }
+    }
+}
+
+/// The poll/lossy session surface: `poll_verdict` tracks the rolling
+/// status without consuming state (and baselines at `Ok`), and the
+/// builder's `window`/`gc_policy` knobs reach the monitor.
+#[test]
+fn poll_verdict_tracks_status_without_consuming() {
+    use slin_core::stream::{GcPolicy, MonitorStatus};
+    let ph1 = PhaseId::FIRST;
+    let mut s = Checker::builder(LinChecker::owned(KvStore))
+        .partitioner(KvKeyPartitioner)
+        .strategy(SessionStrategy::Streaming { window: None })
+        .build::<()>();
+
+    // Fresh session: Ok, unchanged, zero events.
+    let d0 = s.poll_verdict();
+    assert_eq!(d0.status, MonitorStatus::Ok);
+    assert!(!d0.changed);
+    assert_eq!(d0.events, 0);
+
+    s.ingest(Action::invoke(c(1), ph1, KvInput::Put(1, 5)));
+    s.ingest(Action::respond(
+        c(1),
+        ph1,
+        KvInput::Put(1, 5),
+        KvOutput::Ack,
+    ));
+    let d1 = s.poll_verdict();
+    assert_eq!(d1.status, MonitorStatus::Ok);
+    assert!(!d1.changed, "healthy streams never report a change");
+    assert_eq!(d1.events, 2);
+
+    // A stale read flips the status exactly once.
+    s.ingest(Action::invoke(c(1), ph1, KvInput::Get(1)));
+    s.ingest(Action::respond(
+        c(1),
+        ph1,
+        KvInput::Get(1),
+        KvOutput::Found(None),
+    ));
+    let d2 = s.poll_verdict();
+    assert_eq!(d2.status, MonitorStatus::Violation);
+    assert!(d2.changed);
+    let d3 = s.poll_verdict();
+    assert_eq!(d3.status, MonitorStatus::Violation);
+    assert!(!d3.changed, "no edge on a steady status");
+
+    // Polling consumed nothing: the full report is still available and
+    // matches the batch verdict.
+    let report = s.report().expect("streaming session");
+    assert_eq!(report.events, 4);
+    assert!(report.verdict.is_err());
+
+    // Builder knobs: a windowed session with a lossy GC policy still
+    // accepts a clean stream, and `window` engages the GC.
+    let mut windowed = Checker::builder(LinChecker::owned(KvStore))
+        .partitioner(KvKeyPartitioner)
+        .window(4)
+        .gc_policy(GcPolicy::lossy())
+        .build::<()>();
+    for round in 0..40u64 {
+        windowed.ingest(Action::invoke(c(1), ph1, KvInput::Put(1, round)));
+        windowed.ingest(Action::respond(
+            c(1),
+            ph1,
+            KvInput::Put(1, round),
+            KvOutput::Ack,
+        ));
+    }
+    let delta = windowed.poll_verdict();
+    assert_eq!(delta.status, MonitorStatus::Ok);
+    assert_eq!(delta.events, 80);
+    let report = windowed.report().unwrap();
+    assert!(report.prefix_committed, "window knob reached the monitor");
 }

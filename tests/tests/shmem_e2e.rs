@@ -16,7 +16,7 @@ fn ph(n: u32) -> PhaseId {
 
 #[test]
 fn sequential_executions_use_registers_only_and_linearize() {
-    let lin = LinChecker::new(&Consensus);
+    let lin = LinChecker::owned(Consensus);
     for threads in 1..=5 {
         let out = run_concurrent(&Workload::sequential(threads));
         assert!(out.agreement());
@@ -28,7 +28,7 @@ fn sequential_executions_use_registers_only_and_linearize() {
 
 #[test]
 fn concurrent_executions_agree_and_linearize() {
-    let lin = LinChecker::new(&Consensus);
+    let lin = LinChecker::owned(Consensus);
     for round in 0..150 {
         let out = run_concurrent(&Workload::concurrent(3));
         assert!(out.agreement(), "round {round}: {:?}", out.decisions);
@@ -67,8 +67,8 @@ fn cascons_phase_satisfies_invariants_i4_i5() {
 
 #[test]
 fn phase_projections_pass_the_slin_checker() {
-    let q = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(1), ph(2));
-    let b = SlinChecker::new(&Consensus, ConsensusInit::new(), ph(2), ph(3));
+    let q = SlinChecker::owned(Consensus, ConsensusInit::new(), ph(1), ph(2));
+    let b = SlinChecker::owned(Consensus, ConsensusInit::new(), ph(2), ph(3));
     let mut switched_runs = 0;
     for round in 0..120 {
         let out = run_concurrent(&Workload::concurrent(3));

@@ -103,7 +103,7 @@ proptest! {
     #[test]
     fn kv_stream_matches_batch(cfg in configs()) {
         let t = random_multikey_kv_trace(&cfg);
-        let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> =
+        let mut mon: LinMonitor<KvStore, KvKeyPartitioner> =
             LinMonitor::new(&KvStore, KvKeyPartitioner);
         for a in t.iter() {
             mon.ingest(a.clone());
@@ -125,7 +125,7 @@ proptest! {
     #[test]
     fn set_stream_matches_batch(cfg in configs()) {
         let t = random_multikey_set_trace(&cfg);
-        let mut mon: LinMonitor<'_, Set, SetElemPartitioner> =
+        let mut mon: LinMonitor<Set, SetElemPartitioner> =
             LinMonitor::new(&Set, SetElemPartitioner);
         for a in t.iter() {
             mon.ingest(a.clone());
@@ -145,7 +145,7 @@ proptest! {
     #[test]
     fn reg_array_stream_matches_batch(cfg in configs()) {
         let t = random_multikey_reg_array_trace(&cfg);
-        let mut mon: LinMonitor<'_, RegisterArray, RegArrayPartitioner> =
+        let mut mon: LinMonitor<RegisterArray, RegArrayPartitioner> =
             LinMonitor::new(&RegisterArray, RegArrayPartitioner);
         for a in t.iter() {
             mon.ingest(a.clone());
@@ -160,7 +160,7 @@ proptest! {
     #[test]
     fn counter_vector_stream_matches_batch(cfg in configs()) {
         let t = random_multikey_counter_vec_trace(&cfg);
-        let mut mon: LinMonitor<'_, CounterVector, CounterVecPartitioner> =
+        let mut mon: LinMonitor<CounterVector, CounterVecPartitioner> =
             LinMonitor::new(&CounterVector, CounterVecPartitioner);
         for a in t.iter() {
             mon.ingest(a.clone());
@@ -288,7 +288,7 @@ proptest! {
     fn streams_with_more_than_64_commits_match_batch(cfg in big_configs()) {
         let t = random_multikey_kv_trace(&cfg);
         let commits = t.iter().filter(|a| a.is_respond()).count();
-        let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> =
+        let mut mon: LinMonitor<KvStore, KvKeyPartitioner> =
             LinMonitor::new(&KvStore, KvKeyPartitioner);
         for a in t.iter() {
             mon.ingest(a.clone());
@@ -321,7 +321,7 @@ fn big_streams_do_exceed_64_commits() {
     assert!(commits > 64, "only {commits} commits — widen the config");
     let batch = LinChecker::new(&KvStore).check(&t);
     assert!(batch.is_ok(), "{batch:?}");
-    let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> =
+    let mut mon: LinMonitor<KvStore, KvKeyPartitioner> =
         LinMonitor::new(&KvStore, KvKeyPartitioner);
     for a in t.iter() {
         mon.ingest(a.clone());
@@ -333,7 +333,7 @@ fn big_streams_do_exceed_64_commits() {
 
 /// A windowed monitor with epoch cuts enabled (the default) over the
 /// hostile generator's single-shard-heavy key space.
-fn epoch_monitor(window: usize) -> LinMonitor<'static, KvStore, KvKeyPartitioner> {
+fn epoch_monitor(window: usize) -> LinMonitor<KvStore, KvKeyPartitioner> {
     LinMonitor::with_config(
         &KvStore,
         KvKeyPartitioner,
@@ -511,7 +511,7 @@ fn perturbed_big_streams_match_batch() {
             seed,
         };
         let t = random_multikey_kv_trace(&cfg);
-        let mut mon: LinMonitor<'_, KvStore, KvKeyPartitioner> =
+        let mut mon: LinMonitor<KvStore, KvKeyPartitioner> =
             LinMonitor::new(&KvStore, KvKeyPartitioner);
         for a in t.iter() {
             mon.ingest(a.clone());

@@ -27,11 +27,11 @@ use slin_core::ObjAction;
 use slin_trace::{Action, ClientId, PhaseId, Trace};
 
 /// Both checkers agree exactly (used on unique-input traces).
-fn agree<T: Adt>(adt: &T, t: &Trace<ObjAction<T, ()>>) -> bool
+fn agree<T: Adt + Clone>(adt: &T, t: &Trace<ObjAction<T, ()>>) -> bool
 where
     T::Input: Ord,
 {
-    let new_def = LinChecker::new(adt).check(t);
+    let new_def = LinChecker::owned(adt.clone()).check(t);
     let classical = ClassicalChecker::new(adt).check(t);
     match (&new_def, &classical) {
         (Ok(w), Ok(())) => witness_is_valid(adt, t, w),
@@ -43,12 +43,12 @@ where
 
 /// classical-linearizable ⇒ new-definition-linearizable (holds even with
 /// repeated events).
-fn classical_implies_new<T: Adt>(adt: &T, t: &Trace<ObjAction<T, ()>>) -> bool
+fn classical_implies_new<T: Adt + Clone>(adt: &T, t: &Trace<ObjAction<T, ()>>) -> bool
 where
     T::Input: Ord,
 {
     match ClassicalChecker::new(adt).check(t) {
-        Ok(()) => LinChecker::new(adt).check(t).is_ok(),
+        Ok(()) => LinChecker::owned(adt.clone()).check(t).is_ok(),
         Err(_) => true,
     }
 }
@@ -165,7 +165,7 @@ fn repeated_events_divergence() {
         Action::respond(c3, ph, inc, ok),
         Action::respond(c2, ph, get, CounterOutput::Count(0)),
     ]);
-    let new_def = LinChecker::new(&Counter).check(&t);
+    let new_def = LinChecker::owned(Counter).check(&t);
     let classical = ClassicalChecker::new(&Counter).check(&t);
     assert!(new_def.is_ok(), "new definition should accept: {new_def:?}");
     assert_eq!(classical, Err(LinError::NotLinearizable));
@@ -182,7 +182,7 @@ fn repeated_events_divergence() {
         Action::respond(c2, ph, (3, get), CounterOutput::Count(0)),
     ]);
     assert_eq!(
-        LinChecker::new(&s).check(&ts).map(|_| ()),
+        LinChecker::owned(s).check(&ts).map(|_| ()),
         Err(LinError::NotLinearizable)
     );
     assert_eq!(
