@@ -57,6 +57,20 @@ baseline). The health columns are gated hard:
   * the under-provisioned `daemon shed` scenario must report sheds > 0
     (backpressure stays observable), and the provisioned scenarios must
     report sheds == 0 (no spurious shedding).
+
+B9 (observability tax + witness-archive bound) — each row reports the
+wall-clock ratio of an instrumented (full StackObserver) ingest loop to a
+no-op-observer loop over identical pinned streams, as the median of
+adjacently-paired per-rep ratios (pairing cancels clock drift, the median
+kills scheduler outliers), so the ratio is machine-independent to first
+order:
+  * overhead_frac must stay at or below the 5% zero-cost budget on every
+    row (the observer hooks must stay out of the hot path's way);
+  * rows with archival off must report no archived events and no
+    reconstruction (archival really is opt-in);
+  * the archival row must reconstruct (the deep archive held every
+    retired window) while keeping archived_events inside the
+    O(shards · depth · window) event bound.
 """
 
 import json
@@ -334,6 +348,59 @@ def check_b8(baseline, current, failures):
         failures.append(f"b8 baseline row disappeared: {name}")
 
 
+# The observer-overhead budget: instrumented ingest may cost at most 5%
+# over the no-op loop. The rows report the median of paired per-rep
+# ratios, which filters drift and scheduler noise; anything past 5%
+# means the hooks left the cold path.
+B9_MAX_OVERHEAD = 0.05
+
+
+def check_b9(baseline, current, failures):
+    cur_rows = current.get("b9_observability", [])
+    if not cur_rows:
+        failures.append("current report has no b9_observability rows")
+        return
+
+    print("B9 — observer overhead (median paired ratio) + witness-archive bound")
+    for row in cur_rows:
+        name = row["scenario"]
+        print(
+            f"  {name}: overhead {row['overhead_frac']:+.2%}, "
+            f"archived {row['archived_events']}/{row['archive_event_bound']} "
+            f"(depth {row['archive_windows']}), "
+            f"reconstructed {row['reconstructed']}"
+        )
+        if not row.get("ok", False):
+            failures.append(f"{name}: instrumented streams stopped verifying")
+        if row["overhead_frac"] > B9_MAX_OVERHEAD:
+            failures.append(
+                f"{name}: observer overhead {row['overhead_frac']:.2%} exceeds "
+                f"the {B9_MAX_OVERHEAD:.0%} zero-cost budget"
+            )
+        if row["archive_windows"] == 0:
+            if row["reconstructed"] or row["archived_events"] != 0:
+                failures.append(
+                    f"{name}: archival activity without archive_windows "
+                    f"(archived {row['archived_events']}, "
+                    f"reconstructed {row['reconstructed']})"
+                )
+        else:
+            if not row["reconstructed"]:
+                failures.append(f"{name}: deep archive failed to reconstruct")
+            if row["archived_events"] == 0:
+                failures.append(f"{name}: archive never captured a retired window")
+            if row["archived_events"] > row["archive_event_bound"]:
+                failures.append(
+                    f"{name}: archived {row['archived_events']} events over the "
+                    f"O(shards·depth·window) bound {row['archive_event_bound']}"
+                )
+
+    base_names = {row["scenario"] for row in baseline.get("b9_observability", [])}
+    dropped = sorted(base_names - {row["scenario"] for row in cur_rows})
+    for name in dropped:
+        failures.append(f"b9 baseline row disappeared: {name}")
+
+
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__.strip())
@@ -349,6 +416,7 @@ def main() -> int:
     check_b6(baseline, current, failures)
     check_b6h(baseline, current, failures)
     check_b8(baseline, current, failures)
+    check_b9(baseline, current, failures)
 
     if failures:
         print("\nbench threshold check FAILED:")

@@ -6,8 +6,8 @@
 //! and the deterministic fallback/GC columns.
 
 use slin_bench::{
-    hostile_rows, multitenant_rows, render_table, streaming_rows, HOSTILE_HEADER,
-    MULTITENANT_HEADER, STREAMING_HEADER, STREAMING_SEEDS,
+    hostile_rows, multitenant_rows, obs_rows, render_table, streaming_rows, HOSTILE_HEADER,
+    MULTITENANT_HEADER, OBS_HEADER, STREAMING_HEADER, STREAMING_SEEDS,
 };
 
 fn main() {
@@ -29,4 +29,10 @@ fn main() {
         .collect();
     println!("B8 — multi-tenant daemon pipeline under Zipf tenant skew");
     println!("{}", render_table(&MULTITENANT_HEADER, &rows));
+    let rows: Vec<Vec<String>> = obs_rows(&STREAMING_SEEDS)
+        .iter()
+        .map(|r| r.cells())
+        .collect();
+    println!("B9 — observer overhead (noop vs instrumented) and witness-archive bound");
+    println!("{}", render_table(&OBS_HEADER, &rows));
 }

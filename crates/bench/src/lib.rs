@@ -28,13 +28,16 @@
 //!   pipeline (wire decode → bounded queues → lane pool) under Zipf
 //!   tenant skew — end-to-end events/sec, per-chunk p99, and the
 //!   bounded-queue/shed health columns;
+//! * [`obs_rows`] — **B9**: the observability tax (no-op vs fully
+//!   instrumented monitors over identical pinned streams, min-of-reps)
+//!   and the witness-archive memory/reconstruction columns;
 //! * checker scaling data for **B4** lives in the `checkers` bench.
 //!
 //! Every function returns plain rows so the experiment tables can be
 //! regenerated (`cargo bench -p slin-bench`) and asserted on in tests.
 //! [`bench_report_json`] assembles every B-series table into one
 //! machine-readable artifact (`cargo bench -p slin-bench --bench report --
-//! --json` writes it to `BENCH_PR3.json` at the repo root) so CI can track
+//! --json` writes it to `BENCH_PR8.json` at the repo root) so CI can track
 //! the numbers across commits.
 
 #![forbid(unsafe_code)]
@@ -53,7 +56,7 @@ use slin_core::gen::{
 use slin_core::lin::LinChecker;
 use slin_core::session::{Checker, Strategy};
 use slin_daemon::{Daemon, DaemonConfig, LoadConfig, TenantPolicy};
-use slin_monitor::{LinMonitor, MonitorConfig, MonitorStatus};
+use slin_monitor::{LinMonitor, MonitorConfig, MonitorStatus, Obs, StackObserver};
 use slin_sim::Time;
 
 /// One row of the fast-path latency table (B1).
@@ -1044,6 +1047,200 @@ pub fn multitenant_rows_with(seeds: &[u64], steps: usize) -> Vec<MultiTenantRow>
         .collect()
 }
 
+/// One row of the observability-overhead table (B9): the same pinned
+/// B6-style streams ingested through two monitors per rep — one with the
+/// default no-op observer, one with a full [`StackObserver`] (metrics
+/// registry + span ring) installed — run back to back so each rep yields
+/// one paired instrumented/noop wall-time ratio. `overhead_frac` is the
+/// **median** of those paired ratios minus one: pairing cancels slow
+/// clock-frequency drift, the median kills scheduler outliers, and the
+/// ratio itself is machine-independent to first order (both loops run
+/// identical code on identical data in the same process). The archival
+/// scenario additionally reports the witness-archive accounting columns
+/// against its O(shards · depth · window) memory bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsRow {
+    /// Human-readable scenario label (stable: the JSON baseline matcher
+    /// keys on it).
+    pub scenario: String,
+    /// Events ingested per rep (all seeds).
+    pub events: usize,
+    /// Best-of-reps ingest throughput with the no-op observer, events/sec.
+    pub noop_events_per_sec: f64,
+    /// Best-of-reps ingest throughput with the full observer, events/sec.
+    pub instrumented_events_per_sec: f64,
+    /// Observer slowdown: the median over reps of the paired
+    /// `instrumented_secs / noop_secs` wall-time ratio, minus one (small
+    /// negative values are measurement noise).
+    pub overhead_frac: f64,
+    /// Configured witness-archive depth, retired windows per shard
+    /// (`0` — archival off, the pure-overhead rows).
+    pub archive_windows: usize,
+    /// Peak GC-retired events held in the witness archives at report time
+    /// (deterministic in the seeds).
+    pub archived_events: usize,
+    /// The archive memory bound: shards × archive_windows × window events
+    /// (deterministic).
+    pub archive_event_bound: usize,
+    /// Whether the final report reconstructed the closed trace from the
+    /// archive (expected: exactly the archival scenario).
+    pub reconstructed: bool,
+    /// Whether every stream stayed linearizable under both observers.
+    pub ok: bool,
+}
+
+impl ObsRow {
+    /// The table cells printed by the `streaming` bench.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.scenario.clone(),
+            self.events.to_string(),
+            format!("{:.0}", self.noop_events_per_sec),
+            format!("{:.0}", self.instrumented_events_per_sec),
+            format!("{:+.1}%", self.overhead_frac * 100.0),
+            self.archive_windows.to_string(),
+            self.archived_events.to_string(),
+            if self.reconstructed { "yes" } else { "no" }.to_string(),
+            if self.ok { "ok" } else { "FAIL" }.to_string(),
+        ]
+    }
+}
+
+/// The header matching [`ObsRow::cells`].
+pub const OBS_HEADER: [&str; 9] = [
+    "scenario",
+    "events",
+    "noop_ev/s",
+    "inst_ev/s",
+    "overhead",
+    "archive",
+    "archived",
+    "reconstructed",
+    "ok",
+];
+
+/// Paired noop/instrumented reps per row: the throughput columns keep the
+/// per-mode minimum, the overhead column the median paired ratio.
+const OBS_REPS: usize = 5;
+
+fn obs_row(
+    scenario: &str,
+    keys: u32,
+    skew: f64,
+    window: usize,
+    archive_windows: usize,
+    seeds: &[u64],
+    steps: usize,
+) -> ObsRow {
+    let traces: Vec<_> = seeds
+        .iter()
+        .map(|&seed| {
+            random_multikey_kv_trace(&MultiKeyConfig {
+                clients: 3,
+                steps,
+                keys,
+                skew,
+                contention: 0.0,
+                error_prob: 0.0,
+                seed,
+            })
+        })
+        .collect();
+    let config = MonitorConfig {
+        window: Some(window),
+        archive_windows,
+        ..Default::default()
+    };
+    // One rep of one mode: ingest every seed's stream (timed), then
+    // report (untimed — reporting is not the hot path being measured).
+    let run = |obs: Obs| -> (f64, bool, usize, usize, bool) {
+        let (mut ok, mut archived, mut shards, mut reconstructed) = (true, 0usize, 0usize, true);
+        let mut ingest_secs = 0.0f64;
+        for t in &traces {
+            let mut mon: LinMonitor<KvStore, KvKeyPartitioner> =
+                LinMonitor::owned_with_config(KvStore, KvKeyPartitioner, config)
+                    .with_observer(obs.clone());
+            let start = std::time::Instant::now();
+            for a in t.iter() {
+                ok &= mon.ingest(a.clone()).status == MonitorStatus::Ok;
+            }
+            ingest_secs += start.elapsed().as_secs_f64();
+            shards = shards.max(mon.shards());
+            let report = mon.report();
+            ok &= report.verdict.is_ok();
+            archived = archived.max(report.shard.archived_events);
+            reconstructed &= report.reconstructed;
+        }
+        (ingest_secs, ok, archived, shards, reconstructed)
+    };
+    let instrumented = Obs::new(std::sync::Arc::new(StackObserver::with_tracing(1 << 12)));
+    // Warm-up pass (untimed): populate allocator arenas, caches, and
+    // branch predictors so the first timed pair is not systematically
+    // slower on whichever mode happens to run it first.
+    run(Obs::noop());
+    let (mut noop_best, mut inst_best) = (f64::INFINITY, f64::INFINITY);
+    let mut ratios = Vec::with_capacity(OBS_REPS);
+    let (mut ok, mut archived, mut shards, mut reconstructed) = (true, 0usize, 0usize, true);
+    for _ in 0..OBS_REPS {
+        let (noop_secs, run_ok, _, _, _) = run(Obs::noop());
+        noop_best = noop_best.min(noop_secs);
+        ok &= run_ok;
+        let (inst_secs, run_ok, a, s, r) = run(instrumented.clone());
+        inst_best = inst_best.min(inst_secs);
+        ok &= run_ok;
+        archived = archived.max(a);
+        shards = shards.max(s);
+        reconstructed &= r;
+        ratios.push(inst_secs / noop_secs.max(1e-12));
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    let events: usize = traces.iter().map(|t| t.len()).sum();
+    ObsRow {
+        scenario: scenario.to_string(),
+        events,
+        noop_events_per_sec: events as f64 / noop_best.max(1e-9),
+        instrumented_events_per_sec: events as f64 / inst_best.max(1e-9),
+        overhead_frac: ratios[ratios.len() / 2] - 1.0,
+        archive_windows,
+        archived_events: archived,
+        archive_event_bound: shards * archive_windows * window,
+        reconstructed,
+        ok,
+    }
+}
+
+/// B9: the observability tax and the witness-archive bound. Two rows
+/// re-run B6-shaped workloads with and without a full [`StackObserver`]
+/// (the ≤5% overhead gate in `ci/bench_threshold.py` keys on their
+/// `overhead_frac`); the third drives a small window with a deep witness
+/// archive, checking that reconstruction fires and the archive stays
+/// inside its O(shards · depth · window) event bound.
+pub fn obs_rows(seeds: &[u64]) -> Vec<ObsRow> {
+    obs_rows_with(seeds, STREAMING_STEPS)
+}
+
+/// [`obs_rows`] with an explicit per-seed stream length (the crate tests
+/// use short streams so debug-mode `cargo test` stays fast).
+pub fn obs_rows_with(seeds: &[u64], steps: usize) -> Vec<ObsRow> {
+    vec![
+        obs_row("obs kv keys=4 skew=0.6", 4, 0.6, 48, 0, seeds, steps),
+        obs_row("obs kv keys=16 skew=1.4", 16, 1.4, 48, 0, seeds, steps),
+        // Reconstruction re-runs the monolithic batch check on the
+        // *closed* trace, whose single-key search cost grows with stream
+        // length: capped so the re-check stays inside the default node
+        // budget and the row's verdict exercises the `Ok` path.
+        obs_row(
+            "obs archive kv keys=1 w=8",
+            1,
+            0.0,
+            8,
+            4096,
+            seeds,
+            steps.min(300),
+        ),
+    ]
+}
+
 fn stats_json(s: &SearchStats) -> Json {
     Json::Obj(vec![
         ("nodes", Json::count(s.nodes)),
@@ -1072,15 +1269,17 @@ pub fn bench_report_json() -> String {
         &streaming_rows(&STREAMING_SEEDS),
         &hostile_rows(&STREAMING_SEEDS),
         &multitenant_rows(&STREAMING_SEEDS),
+        &obs_rows(&STREAMING_SEEDS),
     )
 }
 
-/// [`bench_report_json`] over pre-measured B6/B6h/B8 rows (lets tests
+/// [`bench_report_json`] over pre-measured B6/B6h/B8/B9 rows (lets tests
 /// check the deterministic sections for bit-reproducibility).
 pub fn bench_report_json_with(
     b6_rows: &[StreamingRow],
     b6h_rows: &[HostileRow],
     b8_rows: &[MultiTenantRow],
+    b9_rows: &[ObsRow],
 ) -> String {
     let b1 = latency_rows(&[3, 5, 7])
         .into_iter()
@@ -1200,6 +1399,26 @@ pub fn bench_report_json_with(
             ])
         })
         .collect();
+    let b9 = b9_rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("scenario", Json::Str(r.scenario.clone())),
+                ("events", Json::count(r.events)),
+                ("noop_events_per_sec", Json::Float(r.noop_events_per_sec)),
+                (
+                    "instrumented_events_per_sec",
+                    Json::Float(r.instrumented_events_per_sec),
+                ),
+                ("overhead_frac", Json::Float(r.overhead_frac)),
+                ("archive_windows", Json::count(r.archive_windows)),
+                ("archived_events", Json::count(r.archived_events)),
+                ("archive_event_bound", Json::count(r.archive_event_bound)),
+                ("reconstructed", Json::Bool(r.reconstructed)),
+                ("ok", Json::Bool(r.ok)),
+            ])
+        })
+        .collect();
     Json::Obj(vec![
         ("schema", Json::Str("slin-bench/v2".into())),
         ("b1_latency", Json::Arr(b1)),
@@ -1214,6 +1433,7 @@ pub fn bench_report_json_with(
         ("b6_streaming", Json::Arr(b6)),
         ("b6h_hostile", Json::Arr(b6h)),
         ("b8_multitenant", Json::Arr(b8)),
+        ("b9_observability", Json::Arr(b9)),
     ])
     .render()
 }
@@ -1348,10 +1568,11 @@ mod tests {
         let b6 = streaming_rows_with(&[0], 200);
         let b6h = hostile_rows_with(&[0], 200);
         let b8 = multitenant_rows_with(&[0], 20);
-        let a = bench_report_json_with(&b6, &b6h, &b8);
+        let b9 = obs_rows_with(&[0], 120);
+        let a = bench_report_json_with(&b6, &b6h, &b8, &b9);
         assert_eq!(
             a,
-            bench_report_json_with(&b6, &b6h, &b8),
+            bench_report_json_with(&b6, &b6h, &b8, &b9),
             "artifact must be reproducible"
         );
         for key in [
@@ -1365,6 +1586,9 @@ mod tests {
             "\"b6_streaming\"",
             "\"b6h_hostile\"",
             "\"b8_multitenant\"",
+            "\"b9_observability\"",
+            "\"overhead_frac\"",
+            "\"archive_event_bound\"",
             "\"queue_depth_peak\"",
             "\"sheds\"",
             "\"memo_hits\"",
@@ -1464,6 +1688,41 @@ mod tests {
         assert_eq!(rows[1].sheds, 0, "{:?}", rows[1]);
         assert!(rows[2].sheds > 0, "saturation must shed: {:?}", rows[2]);
         assert!(rows[2].shed_tenants > 0);
+    }
+
+    #[test]
+    fn b9_obs_rows_report_overhead_and_bound_the_archive() {
+        let rows = obs_rows_with(&[0], 300);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.ok, "{row:?}");
+            assert!(row.events > 0, "{row:?}");
+            assert!(row.noop_events_per_sec > 0.0, "{row:?}");
+            assert!(row.instrumented_events_per_sec > 0.0, "{row:?}");
+            // The 5% gate lives in ci/bench_threshold.py against the
+            // release-mode artifact; debug mode only sanity-bounds the
+            // ratio (finite, not a multiple of the noop time).
+            assert!(row.overhead_frac.is_finite(), "{row:?}");
+            assert!(row.overhead_frac < 3.0, "{row:?}");
+            assert_eq!(row.cells().len(), OBS_HEADER.len());
+        }
+        // The pure-overhead rows keep archival fully off…
+        for row in rows.iter().filter(|r| r.archive_windows == 0) {
+            assert!(!row.reconstructed, "{row:?}");
+            assert_eq!(row.archived_events, 0, "{row:?}");
+            assert_eq!(row.archive_event_bound, 0, "{row:?}");
+        }
+        // …and the archival row reconstructs within its memory bound.
+        let archive = rows
+            .iter()
+            .find(|r| r.archive_windows > 0)
+            .expect("archival row");
+        assert!(archive.reconstructed, "{archive:?}");
+        assert!(archive.archived_events > 0, "{archive:?}");
+        assert!(
+            archive.archived_events <= archive.archive_event_bound,
+            "archive bound violated: {archive:?}"
+        );
     }
 
     #[test]

@@ -69,6 +69,7 @@ use crate::stream::{
 };
 use crate::ObjAction;
 use slin_adt::{Adt, IdentityPartitioner, Partitioner};
+use slin_obs::{EngineSearchEvent, Obs};
 use slin_trace::Trace;
 use std::marker::PhantomData;
 
@@ -170,6 +171,7 @@ impl<M> Checker<M> {
             threads: None,
             window: None,
             gc: None,
+            obs: Obs::noop(),
         }
     }
 }
@@ -183,6 +185,7 @@ pub struct SessionBuilder<M, P> {
     threads: Option<usize>,
     window: Option<usize>,
     gc: Option<GcPolicy>,
+    obs: Obs,
 }
 
 impl<M, P> SessionBuilder<M, P> {
@@ -225,6 +228,16 @@ impl<M, P> SessionBuilder<M, P> {
         self
     }
 
+    /// Installs an observer handle ([`slin_obs::Obs`]): the session's
+    /// batch checks and its streaming monitor (current or future — the
+    /// handle survives the batch → streaming upgrade) report engine
+    /// searches, shard ingests, and GC cuts through it. The default noop
+    /// handle keeps every instrumentation site a single pointer test.
+    pub fn observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Supplies a [`Partitioner`], enabling the partitioned path (and
     /// per-key sharding on the streaming path). The partitioner must
     /// uphold the soundness contract documented in [`slin_adt::partition`].
@@ -237,6 +250,7 @@ impl<M, P> SessionBuilder<M, P> {
             threads: self.threads,
             window: self.window,
             gc: self.gc,
+            obs: self.obs,
         }
     }
 
@@ -260,12 +274,14 @@ impl<M, P> SessionBuilder<M, P> {
             _ => None,
         });
         let gc = self.gc;
+        let obs = self.obs;
         let mode = match strategy {
             Strategy::Streaming { .. } => Mode::Streaming(Box::new(Self::monitor(
                 self.model,
                 self.partitioner,
                 window,
                 gc,
+                obs.clone(),
             ))),
             _ => Mode::Batch {
                 model: self.model,
@@ -277,6 +293,7 @@ impl<M, P> SessionBuilder<M, P> {
             strategy,
             window,
             gc,
+            obs,
             last_polled: MonitorStatus::Ok,
         }
     }
@@ -286,6 +303,7 @@ impl<M, P> SessionBuilder<M, P> {
         partitioner: Option<P>,
         window: Option<usize>,
         gc: Option<GcPolicy>,
+        obs: Obs,
     ) -> Monitor<M, V, P>
     where
         M: StreamModel<V>,
@@ -302,7 +320,7 @@ impl<M, P> SessionBuilder<M, P> {
         if let Some(gc) = gc {
             config = config.with_gc_policy(gc);
         }
-        Monitor::from_model(model, partitioner, config)
+        Monitor::from_model(model, partitioner, config).with_observer(obs)
     }
 }
 
@@ -337,6 +355,7 @@ where
     strategy: Strategy,
     window: Option<usize>,
     gc: Option<GcPolicy>,
+    obs: Obs,
     last_polled: MonitorStatus,
 }
 
@@ -361,6 +380,7 @@ where
     pub fn check(&mut self, t: &Trace<ObjAction<M::Adt, V>>) -> Verdict<M::Witness, M::Error> {
         match &mut self.mode {
             Mode::Batch { model, partitioner } => {
+                let t0 = self.obs.t0();
                 let partitioned = match self.strategy {
                     Strategy::Monolithic => false,
                     Strategy::Partitioned => true,
@@ -372,6 +392,13 @@ where
                 };
                 if !partitioned {
                     let (outcome, stats) = model.check_monolithic(t);
+                    self.obs.engine_search(EngineSearchEvent {
+                        site: "session.check",
+                        nodes: stats.nodes as u64,
+                        memo_hits: stats.memo_hits as u64,
+                        budget_exhausted: outcome.is_err() && stats.nodes >= model.budget(),
+                        t0,
+                    });
                     return Verdict {
                         outcome,
                         stats,
@@ -384,6 +411,13 @@ where
                     None => partition::identity_split(t),
                 };
                 let sv = model::check_split(model, &split, t);
+                self.obs.engine_search(EngineSearchEvent {
+                    site: "session.check",
+                    nodes: sv.report.stats.nodes as u64,
+                    memo_hits: sv.report.stats.memo_hits as u64,
+                    budget_exhausted: false,
+                    t0,
+                });
                 Verdict {
                     outcome: sv.verdict,
                     stats: sv.report.stats,
@@ -481,6 +515,7 @@ where
                 partitioner,
                 self.window,
                 self.gc,
+                self.obs.clone(),
             )));
         }
         match &mut self.mode {

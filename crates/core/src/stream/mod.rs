@@ -162,6 +162,13 @@ pub struct MonitorConfig {
     /// attempt. `None` (default) keeps the window-scaled formula
     /// `extension_budget · (8 + window events), capped at budget / 2`.
     pub retire_budget: Option<usize>,
+    /// Witness archival: keep the raw events of up to this many GC-retired
+    /// windows per shard, so [`Monitor::report`] can reconstruct **full**
+    /// forensic witnesses (byte-identical to an unGC'd monitor's) for
+    /// verdicts inside the archive depth instead of window-relative stubs.
+    /// `0` (default) disables archival and keeps memory O(window);
+    /// `K` bounds the extra retention at O(K · window) events per shard.
+    pub archive_windows: usize,
     /// Worker threads for the final report's partition fan-out and for
     /// [`Monitor::drive_parallel`] (0 = one per core).
     pub threads: usize,
@@ -177,6 +184,7 @@ impl Default for MonitorConfig {
             epoch_cuts: true,
             epoch_force: false,
             retire_budget: None,
+            archive_windows: 0,
             threads: 0,
         }
     }
@@ -192,6 +200,7 @@ impl MonitorConfig {
         self.epoch_cuts = gc.epoch_cuts;
         self.epoch_force = gc.epoch_force;
         self.retire_budget = gc.retire_budget;
+        self.archive_windows = gc.archive_windows;
         self
     }
 }
@@ -216,6 +225,10 @@ pub struct GcPolicy {
     /// Node-budget override for one opportunistic retirement attempt
     /// (`None` keeps the window-scaled formula).
     pub retire_budget: Option<usize>,
+    /// Witness archival depth: GC-retired windows retained per shard for
+    /// full forensic witness reconstruction (0 = off, the default). See
+    /// [`MonitorConfig::archive_windows`].
+    pub archive_windows: usize,
 }
 
 impl Default for GcPolicy {
@@ -227,6 +240,7 @@ impl Default for GcPolicy {
             frontier_cap: cfg.frontier_cap,
             extension_budget: cfg.extension_budget,
             retire_budget: cfg.retire_budget,
+            archive_windows: cfg.archive_windows,
         }
     }
 }
@@ -306,6 +320,10 @@ pub struct ShardSummary {
     pub multiset_nodes: usize,
     /// Events currently retained in shard windows (not yet retired).
     pub window_events: usize,
+    /// GC-retired events currently held in the witness archives (bounded
+    /// by `archive_windows · window` per shard) — the archival component
+    /// of the memory proxy.
+    pub archived_events: usize,
 }
 
 /// The monitor's full forensic report.
@@ -329,8 +347,13 @@ pub struct MonitorReport<W, E> {
     /// `PartitionReport::remerged`.
     pub remerged: bool,
     /// Whether bounded-window GC retired a prefix: the verdict is
-    /// window-relative.
+    /// window-relative — unless `reconstructed` is also set.
     pub prefix_committed: bool,
+    /// Whether the verdict was reconstructed from the witness archive:
+    /// every retired event was still archived, so despite
+    /// `prefix_committed` this verdict (witness included) is byte-identical
+    /// to an unGC'd monitor's batch report on the closed trace.
+    pub reconstructed: bool,
     /// Engine counters absorbed over the report derivation.
     pub stats: SearchStats,
     /// Aggregated shard-machinery counters.

@@ -10,7 +10,7 @@
 //! [`SlinMonitor`] are type aliases instantiating the one generic monitor
 //! with the two shipped models.
 
-use super::shard::{ShardConfig, ShardState, ShardStatus};
+use super::shard::{ArchivedWindow, ShardConfig, ShardState, ShardStatus};
 use super::wf::WfTracker;
 use super::{
     EventStream, IngestOutcome, MonitorConfig, MonitorReport, MonitorStatus, ShardSummary,
@@ -24,6 +24,7 @@ use crate::partition::{merge_partition_chains, witness_steps, SplitOutcome, Step
 use crate::slin::SlinChecker;
 use crate::ObjAction;
 use slin_adt::{Adt, Partitioner};
+use slin_obs::Obs;
 use slin_trace::{Action, PersistentMultiset, PhaseId, Trace};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -77,6 +78,8 @@ where
                 epoch_cuts: config.epoch_cuts,
                 epoch_force: config.epoch_force,
                 retire_budget: config.retire_budget,
+                archive_windows: config.archive_windows,
+                obs: Obs::noop(),
             },
             window: config.window,
             shards: BTreeMap::new(),
@@ -142,7 +145,7 @@ where
         let key = if self.fallback { None } else { key };
         let window = self.window;
         let adt = Arc::clone(&self.adt);
-        let shard_cfg = self.shard_cfg;
+        let shard_cfg = self.shard_cfg.clone();
         let shard = self
             .shards
             .entry(key)
@@ -170,7 +173,7 @@ where
                 // Closed-trace mode: replay the whole stream so far into
                 // one fresh shard — exactly `split_trace`'s identity
                 // partition.
-                let mut shard = ShardState::new(Arc::clone(&self.adt), self.shard_cfg);
+                let mut shard = ShardState::new(Arc::clone(&self.adt), self.shard_cfg.clone());
                 for (i, a) in buffer.iter().enumerate() {
                     if !a.is_switch() {
                         shard.ingest(a.clone(), i);
@@ -185,7 +188,7 @@ where
                 // the retained windows, treated as a fresh stream (the
                 // documented bounded-window trade for partitioners that
                 // decline inputs mid-stream).
-                let mut shard = ShardState::new(Arc::clone(&self.adt), self.shard_cfg);
+                let mut shard = ShardState::new(Arc::clone(&self.adt), self.shard_cfg.clone());
                 for (i, a) in self.window_events() {
                     shard.ingest(a, i);
                 }
@@ -197,6 +200,19 @@ where
             .values()
             .map(|s| s.counters.retired_events)
             .sum::<usize>();
+        // The identity shard inherits the per-key witness archives: the
+        // archived events are raw (index, action) pairs, so reconstruction
+        // keeps working across the collapse.
+        let mut adopted: VecDeque<ArchivedWindow<T, V>> = VecDeque::new();
+        let mut truncated = false;
+        for shard in self.shards.values_mut() {
+            let (arch, trunc) = shard.take_archive();
+            adopted.extend(arch);
+            truncated |= trunc;
+        }
+        if !adopted.is_empty() || truncated {
+            identity.install_archive(adopted, truncated);
+        }
         self.shards.clear();
         self.shards.insert(None, identity);
     }
@@ -239,6 +255,7 @@ where
             out.search_nodes += shard.counters.search_nodes;
             out.live_configs += shard.live_configs();
             out.window_events += shard.sub.len();
+            out.archived_events += shard.archived_len();
             shard.mark_multiset_nodes(&mut nodes);
         }
         self.invoked.mark_nodes(&mut nodes);
@@ -247,6 +264,71 @@ where
         }
         out.multiset_nodes = nodes.len();
         out
+    }
+
+    /// Rebuilds the closed trace and its shard split from the witness
+    /// archives plus the live windows — possible exactly when every
+    /// GC-retired event is still archived (archival enabled since the
+    /// shard's birth, no ring eviction). Returns `None` when nothing was
+    /// retired, when any archive is truncated, or (defensively) when the
+    /// assembled events do not cover the stream exactly.
+    ///
+    /// The returned pair feeds the same deterministic
+    /// [`model::check_split`] the unbounded-window report runs, so the
+    /// resulting verdict — witness included — is byte-identical to an
+    /// unGC'd monitor's batch report.
+    #[allow(clippy::type_complexity)]
+    fn reconstruct_archive(&self) -> Option<(Trace<ObjAction<T, V>>, SplitOutcome<T, V, K>)> {
+        if !self.prefix_committed || self.shards.is_empty() {
+            return None;
+        }
+        if self.shards.values().any(|s| s.archive_truncated()) {
+            return None;
+        }
+        let mut parts_events: Vec<(Option<K>, Vec<(usize, ObjAction<T, V>)>)> = Vec::new();
+        let mut total = 0usize;
+        for (key, shard) in &self.shards {
+            let mut events = shard.archived_events();
+            events.extend(
+                shard
+                    .index_map
+                    .iter()
+                    .copied()
+                    .zip(shard.sub.iter().cloned()),
+            );
+            total += events.len();
+            parts_events.push((key.clone(), events));
+        }
+        if total != self.events {
+            return None;
+        }
+        let mut all: Vec<(usize, ObjAction<T, V>)> = parts_events
+            .iter()
+            .flat_map(|(_, ev)| ev.iter().cloned())
+            .collect();
+        all.sort_by_key(|(i, _)| *i);
+        if all.iter().enumerate().any(|(p, (i, _))| p != *i) {
+            return None;
+        }
+        let buffer = Trace::from_actions(all.into_iter().map(|(_, a)| a).collect());
+        let parts = parts_events
+            .into_iter()
+            .map(|(key, ev)| {
+                let index_map: Vec<usize> = ev.iter().map(|(i, _)| *i).collect();
+                TracePartition {
+                    key,
+                    trace: Trace::from_actions(ev.into_iter().map(|(_, a)| a).collect()),
+                    index_map,
+                }
+            })
+            .collect();
+        Some((
+            buffer,
+            SplitOutcome {
+                parts,
+                fallback: self.fallback,
+            },
+        ))
     }
 
     /// The split the batch checkers would compute on the closed trace —
@@ -576,6 +658,23 @@ where
         }
     }
 
+    /// Installs an [`Obs`] observer handle on the live monitor: every
+    /// current and future shard reports its ingests, engine searches, and
+    /// GC cuts through it. The default noop handle keeps instrumentation
+    /// zero-cost; see the `slin-obs` crate.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.core.shard_cfg.obs = obs.clone();
+        for shard in self.core.shards.values_mut() {
+            shard.set_observer(obs.clone());
+        }
+    }
+
+    /// Builder-style form of [`Monitor::set_observer`].
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.set_observer(obs);
+        self
+    }
+
     fn key_of(&self, input: &<M::Adt as Adt>::Input) -> Option<P::Key> {
         self.partitioner.as_ref().and_then(|p| p.key_of(input))
     }
@@ -727,6 +826,7 @@ where
             fallback: core.fallback || quiet,
             remerged: false,
             prefix_committed: core.prefix_committed,
+            reconstructed: false,
             stats: SearchStats::default(),
             shard: core.summary(),
         };
@@ -771,6 +871,21 @@ where
         if let Some(e) = core.wf.first_error() {
             return MonitorReport {
                 verdict: Err(self.model.stream_error(StreamFailure::IllFormed(e))),
+                ..base
+            };
+        }
+        // Witness archival: when every retired event is still archived,
+        // rebuild the closed trace and run the exact batch-identical split
+        // check the unbounded monitor would run — the verdict (witness
+        // included) stops being window-relative.
+        if let Some((buffer, split)) = core.reconstruct_archive() {
+            core.shard_cfg.obs.archive_reconstruction();
+            let sv = model::check_split(&self.model, &split, &buffer);
+            return MonitorReport {
+                verdict: sv.verdict,
+                remerged: sv.report.remerged,
+                reconstructed: true,
+                stats: sv.report.stats,
                 ..base
             };
         }
@@ -827,7 +942,7 @@ where
         }
 
         let adt = Arc::clone(&self.core.adt);
-        let shard_cfg = self.core.shard_cfg;
+        let shard_cfg = self.core.shard_cfg.clone();
         let window = self.core.window;
         let mut assignment: BTreeMap<P::Key, usize> = BTreeMap::new();
         let mut next_worker = 0usize;
@@ -841,6 +956,7 @@ where
                 let (tx, rx) = std::sync::mpsc::channel::<WorkerMsg<M::Adt, V, P::Key>>();
                 senders.push(tx);
                 let adt = Arc::clone(&adt);
+                let shard_cfg = shard_cfg.clone();
                 handles.push(scope.spawn(move || {
                     let mut shards: BTreeMap<P::Key, ShardState<M::Adt, V>> = BTreeMap::new();
                     let mut retired: Vec<usize> = Vec::new();
@@ -851,7 +967,7 @@ where
                             }
                             WorkerMsg::Event(index, key, action) => {
                                 let shard = shards.entry(key).or_insert_with(|| {
-                                    ShardState::new(Arc::clone(&adt), shard_cfg)
+                                    ShardState::new(Arc::clone(&adt), shard_cfg.clone())
                                 });
                                 shard.ingest(action, index);
                                 if let Some(w) = window {

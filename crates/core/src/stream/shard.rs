@@ -92,8 +92,9 @@ use crate::engine::{
 use crate::ops::Commit;
 use crate::ObjAction;
 use slin_adt::Adt;
+use slin_obs::{CutOutcome, GcCutEvent, Obs, ShardIngestEvent};
 use slin_trace::{Action, PersistentMultiset, Trace};
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -112,8 +113,12 @@ type MemoKeySet<T> = HashSet<(
     SymSet<T>,
 )>;
 
-/// Per-shard tuning knobs (copied out of the monitor's configuration).
-#[derive(Debug, Clone, Copy)]
+/// The raw events (global index, action) of one GC-retired window, kept
+/// for forensic witness reconstruction.
+pub(crate) type ArchivedWindow<T, V> = Vec<(usize, ObjAction<T, V>)>;
+
+/// Per-shard tuning knobs (cloned out of the monitor's configuration).
+#[derive(Debug, Clone)]
 pub(crate) struct ShardConfig {
     /// Node budget of a fallback re-search (the engine's budget unit).
     pub budget: usize,
@@ -131,6 +136,12 @@ pub(crate) struct ShardConfig {
     /// Overrides the per-attempt retirement node budget (`None` keeps the
     /// window-scaled formula).
     pub retire_budget: Option<usize>,
+    /// Witness archival depth: GC-retired windows whose raw events are
+    /// retained for forensic reconstruction (0 = off).
+    pub archive_windows: usize,
+    /// Observer handle; the default noop handle makes every report a
+    /// single pointer test.
+    pub obs: Obs,
 }
 
 /// Rolling verdict of one shard, exact at every event (see module docs).
@@ -304,6 +315,13 @@ pub(crate) struct ShardState<T: Adt, V> {
     blocked_pending: usize,
     /// `sub.len()` at the last truncated cut attempt.
     blocked_len: usize,
+    /// Witness archive: the raw events of the last `archive_windows`
+    /// retired windows, oldest first (empty when archival is off).
+    archive: VecDeque<ArchivedWindow<T, V>>,
+    /// Whether any retired event is *not* in the archive (archival off, a
+    /// window evicted, or this shard inherited a truncated archive):
+    /// reconstruction of the full stream is no longer possible.
+    archive_truncated: bool,
     pub counters: ShardCounters,
 }
 
@@ -350,6 +368,8 @@ where
             cut_blocked: false,
             blocked_pending: 0,
             blocked_len: 0,
+            archive: VecDeque::new(),
+            archive_truncated: false,
             counters: ShardCounters::default(),
         }
     }
@@ -362,6 +382,48 @@ where
     /// backpressure shed; see [`super::Monitor::set_epoch_force`]).
     pub fn set_epoch_force(&mut self, on: bool) {
         self.cfg.epoch_force = on;
+    }
+
+    /// Installs an observer handle on a live shard (see
+    /// [`super::Monitor::set_observer`]).
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.cfg.obs = obs;
+    }
+
+    /// Whether any retired event is missing from the witness archive (so
+    /// full-stream reconstruction is impossible).
+    pub fn archive_truncated(&self) -> bool {
+        self.archive_truncated
+    }
+
+    /// Events currently held in the witness archive.
+    pub fn archived_len(&self) -> usize {
+        self.archive.iter().map(Vec::len).sum()
+    }
+
+    /// The archived retired events, flattened in retirement order (within
+    /// and across windows the global indices ascend).
+    pub fn archived_events(&self) -> Vec<(usize, ObjAction<T, V>)> {
+        self.archive.iter().flatten().cloned().collect()
+    }
+
+    /// Moves the archive out (collapse-to-identity hands per-key archives
+    /// to the new identity shard).
+    pub fn take_archive(&mut self) -> (VecDeque<ArchivedWindow<T, V>>, bool) {
+        (
+            std::mem::take(&mut self.archive),
+            std::mem::replace(&mut self.archive_truncated, true),
+        )
+    }
+
+    /// Installs an inherited archive (the receiving end of
+    /// [`ShardState::take_archive`]). Inherited windows do not count
+    /// against this shard's own depth — they are already bounded by the
+    /// donors' rings.
+    pub fn install_archive(&mut self, windows: VecDeque<ArchivedWindow<T, V>>, truncated: bool) {
+        debug_assert!(self.archive.is_empty(), "install only on fresh shards");
+        self.archive = windows;
+        self.archive_truncated = truncated;
     }
 
     /// Whether a forced lossy epoch cut happened (verdict downgrades).
@@ -400,6 +462,7 @@ where
     /// Ingests the next action of this shard's class. Returns
     /// `(frontier length after the event, whether a fallback re-search ran)`.
     pub fn ingest(&mut self, action: ObjAction<T, V>, global_index: usize) -> (usize, bool) {
+        let t0 = self.cfg.obs.t0();
         self.counters.events += 1;
         let window_index = self.sub.len();
         let mut next_ms = self.input_ms.last().expect("nonempty").clone();
@@ -438,6 +501,12 @@ where
             fell_back = self.commit_arrived(window_index);
         }
         self.counters.frontier_peak = self.counters.frontier_peak.max(self.frontier.len());
+        self.cfg.obs.shard_ingest(ShardIngestEvent {
+            index: global_index as u64,
+            frontier_len: self.frontier.len() as u64,
+            fell_back,
+            t0,
+        });
         (self.frontier.len(), fell_back)
     }
 
@@ -471,8 +540,10 @@ where
         // extra is its commit entry; history, state and consumed inputs
         // are untouched), and independently the response may commit
         // directly at the configuration's tail.
+        let mut absorbed_any = false;
         for cfg in &self.frontier {
             if cfg.sym.count(&pair) > 0 {
+                absorbed_any = true;
                 let mut sym2 = cfg.sym.clone();
                 sym2.remove(&pair);
                 let done = FrontierCfg {
@@ -535,6 +606,9 @@ where
                 }
             }
             self.counters.search_nodes += self.cfg.extension_budget - nodes_left;
+        }
+        if absorbed_any {
+            self.cfg.obs.gc_absorption();
         }
         // Deterministic frontier order: lexicographic by history, then by
         // the symbolic-completion rank (absorption preserves histories, so
@@ -644,9 +718,17 @@ where
     /// would re-fall-back on almost every next commit).
     fn fallback_research(&mut self) {
         self.counters.fallback_searches += 1;
+        let t0 = self.cfg.obs.t0();
         let (configs, budget_tripped, nodes) =
             self.enumerate_completions(self.cfg.frontier_cap, false);
         self.counters.search_nodes += nodes;
+        self.cfg.obs.engine_search(slin_obs::EngineSearchEvent {
+            site: "shard.fallback",
+            nodes: nodes as u64,
+            memo_hits: 0,
+            budget_exhausted: budget_tripped,
+            t0,
+        });
         if !configs.is_empty() {
             // Every collected configuration is a genuine witness (a budget
             // trip mid-enumeration does not taint the earlier ones).
@@ -676,6 +758,7 @@ where
         SearchStats,
     ) {
         let mut stats = SearchStats::default();
+        let t0 = self.cfg.obs.t0();
         let mut budget_error: Option<EngineError> = None;
         for (k, shard_seed) in self.seeds.iter().enumerate() {
             let (kept, _, absorbed) = absorb_commits(&self.commits, &shard_seed.sym);
@@ -691,6 +774,7 @@ where
                 Ok(outcome) => {
                     stats.absorb(&outcome.stats);
                     if let Some((chain, ())) = outcome.solution {
+                        self.report_window_search(&stats, false, t0);
                         return (Ok(Some((k, chain, absorbed))), stats);
                     }
                 }
@@ -701,10 +785,27 @@ where
                 }
             }
         }
+        self.report_window_search(&stats, budget_error.is_some(), t0);
         match budget_error {
             Some(e) => (Err(e), stats),
             None => (Ok(None), stats),
         }
+    }
+
+    /// Reports one [`ShardState::window_search`] run to the observer.
+    fn report_window_search(
+        &self,
+        stats: &SearchStats,
+        budget_exhausted: bool,
+        t0: Option<std::time::Instant>,
+    ) {
+        self.cfg.obs.engine_search(slin_obs::EngineSearchEvent {
+            site: "shard.window_search",
+            nodes: stats.nodes as u64,
+            memo_hits: stats.memo_hits as u64,
+            budget_exhausted,
+            t0,
+        });
     }
 
     /// The seed the reported window chain extends (see
@@ -754,8 +855,17 @@ where
             // An invocation-only window: the frontier never moved, so the
             // seeds already summarise it — only the cumulative bound
             // snapshots collapse into the base.
-            return Some(self.retire_window(None));
+            let t0 = self.cfg.obs.t0();
+            let window_events = self.sub.len() as u64;
+            let retired = self.retire_window(None);
+            self.cfg.obs.gc_cut(GcCutEvent {
+                outcome: CutOutcome::RetiredInvokeOnly,
+                window_events,
+                t0,
+            });
+            return Some(retired);
         }
+        let t0 = self.cfg.obs.t0();
         // The retirement seed set may hold up to twice the frontier cap —
         // seeds are a complete summary and must not be dropped, while the
         // frontier re-truncates to the cap at the next commit. `cap + 1`
@@ -773,9 +883,16 @@ where
         let (configs, budget_tripped, nodes) =
             self.enumerate_completions_with(cap + 1, true, shared);
         self.counters.search_nodes += nodes;
+        let window_events = self.sub.len() as u64;
         let truncated = budget_tripped || configs.is_empty() || configs.len() > cap;
         if !truncated {
-            return Some(self.retire_window(Some(configs)));
+            let retired = self.retire_window(Some(configs));
+            self.cfg.obs.gc_cut(GcCutEvent {
+                outcome: CutOutcome::Retired,
+                window_events,
+                t0,
+            });
+            return Some(retired);
         }
         self.cut_blocked = true;
         self.blocked_pending = self.pending;
@@ -787,8 +904,19 @@ where
             self.lossy = true;
             self.counters.lossy_cuts += 1;
             let summary = self.frontier.clone();
-            return Some(self.retire_window(Some(summary)));
+            let retired = self.retire_window(Some(summary));
+            self.cfg.obs.gc_cut(GcCutEvent {
+                outcome: CutOutcome::RetiredLossy,
+                window_events,
+                t0,
+            });
+            return Some(retired);
         }
+        self.cfg.obs.gc_cut(GcCutEvent {
+            outcome: CutOutcome::Blocked,
+            window_events,
+            t0,
+        });
         None
     }
 
@@ -799,6 +927,27 @@ where
         self.counters.retired_events += self.sub.len();
         if self.pending > 0 {
             self.counters.epoch_cuts += 1;
+        }
+        // Witness archival: keep the retired window's raw events (even on a
+        // lossy cut — the archive is summary-independent) so the monitor
+        // can rebuild full forensic witnesses while every retired event is
+        // still within the archive depth.
+        if self.cfg.archive_windows > 0 {
+            let events: ArchivedWindow<T, V> = self
+                .index_map
+                .iter()
+                .copied()
+                .zip(self.sub.iter().cloned())
+                .collect();
+            self.cfg.obs.archive_window(events.len() as u64);
+            self.archive.push_back(events);
+            if self.archive.len() > self.cfg.archive_windows {
+                self.archive.pop_front();
+                self.archive_truncated = true;
+                self.cfg.obs.archive_eviction();
+            }
+        } else {
+            self.archive_truncated = true;
         }
         let retired = std::mem::take(&mut self.index_map);
         self.cut_due = false;

@@ -6,19 +6,36 @@
 //! slin-daemon [--tenants N] [--steps N] [--clients N] [--keys N]
 //!             [--skew F] [--error-prob F] [--chunk-frames N] [--seed N]
 //!             [--workers N] [--policy SPEC] [--snapshot-every N]
+//!             [--metrics v1|json|prom] [--trace PATH]
 //! ```
 //!
 //! `--policy` takes the `key=value` comma list of
 //! [`slin_daemon::TenantPolicy::parse`], e.g.
 //! `--policy queue=64,window=16,lossy=true`.
+//!
+//! `--metrics` picks the final exposition format: `v1` (the legacy
+//! `slin-daemon/v1` JSON, the default), `json` (the registry's
+//! `slin-obs/v1` snapshot), or `prom` (Prometheus text format).
+//! `--trace PATH` enables span tracing and writes a Chrome trace-event
+//! file loadable in Perfetto / `chrome://tracing`.
 
 use slin_daemon::{generate, transport, Daemon, DaemonConfig, LoadConfig, TenantPolicy};
+use slin_obs::StackObserver;
+use std::sync::Arc;
+
+enum MetricsFormat {
+    V1,
+    Json,
+    Prom,
+}
 
 struct Args {
     load: LoadConfig,
     workers: usize,
     policy: TenantPolicy,
     snapshot_every: usize,
+    metrics: MetricsFormat,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         policy: TenantPolicy::default(),
         snapshot_every: 16,
+        metrics: MetricsFormat::V1,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -47,6 +66,15 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => args.workers = num(&flag, &value(&flag)?)?,
             "--snapshot-every" => args.snapshot_every = num(&flag, &value(&flag)?)?,
             "--policy" => args.policy = TenantPolicy::parse(&value(&flag)?)?,
+            "--metrics" => {
+                args.metrics = match value(&flag)?.as_str() {
+                    "v1" => MetricsFormat::V1,
+                    "json" => MetricsFormat::Json,
+                    "prom" => MetricsFormat::Prom,
+                    other => return Err(format!("bad value for --metrics: {other}")),
+                }
+            }
+            "--trace" => args.trace = Some(value(&flag)?),
             "--help" | "-h" => {
                 println!("{}", HELP);
                 std::process::exit(0);
@@ -79,8 +107,14 @@ const HELP: &str = "slin-daemon: multi-tenant streaming linearizability monitor
   --workers N         worker lanes (default 4)
   --policy SPEC       default tenant policy, key=value comma list
                       (queue, window, lossy, epoch_cuts, epoch_force,
-                       frontier_cap, extension_budget, retire_budget)
-  --snapshot-every N  verdict-snapshot period, in chunks (default 16)";
+                       frontier_cap, extension_budget, retire_budget,
+                       archive)
+  --snapshot-every N  verdict-snapshot period, in chunks (default 16)
+  --metrics FORMAT    final metrics exposition: v1 (legacy slin-daemon/v1
+                      JSON, default), json (slin-obs/v1 registry
+                      snapshot), prom (Prometheus text format)
+  --trace PATH        collect spans and write a Chrome trace-event file
+                      (open in Perfetto or chrome://tracing)";
 
 fn main() {
     let args = match parse_args() {
@@ -98,10 +132,15 @@ fn main() {
         workload.chunks.len()
     );
     let (rx, producer) = transport(workload.chunks, 8);
-    let mut daemon = Daemon::new(DaemonConfig {
+    let config = DaemonConfig {
         workers: args.workers,
         default_policy: args.policy,
-    });
+    };
+    let mut daemon = if args.trace.is_some() {
+        Daemon::with_observer(config, Arc::new(StackObserver::with_tracing(1 << 16)))
+    } else {
+        Daemon::new(config)
+    };
     let mut chunks = 0usize;
     for chunk in rx.iter() {
         if let Err(e) = daemon.ingest_bytes(&chunk) {
@@ -121,5 +160,17 @@ fn main() {
     producer.join().expect("producer thread");
     daemon.pump();
     daemon.poll_verdicts();
-    print!("{}", daemon.metrics().to_json());
+    if let Some(path) = &args.trace {
+        let trace = daemon.chrome_trace_json().expect("tracing enabled");
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("slin-daemon: cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("slin-daemon: wrote Chrome trace to {path}");
+    }
+    match args.metrics {
+        MetricsFormat::V1 => print!("{}", daemon.metrics().to_json()),
+        MetricsFormat::Json => print!("{}", daemon.obs_snapshot_json()),
+        MetricsFormat::Prom => print!("{}", daemon.render_prometheus()),
+    }
 }

@@ -27,7 +27,9 @@ use slin_core::lin::LinChecker;
 use slin_core::model::ConsistencyModel;
 use slin_core::session::{Checker, Session, Strategy, VerdictDelta};
 use slin_core::stream::{GcPolicy, MonitorStatus};
+use slin_obs::{Counter, Gauge, Histogram, LanePumpEvent, Obs, StackObserver};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The per-tenant session type: an owned streaming linearizability
@@ -76,8 +78,9 @@ impl TenantPolicy {
     /// `queue=64,window=16,lossy=true,epoch_force=false,frontier_cap=32`.
     /// Keys: `queue`, `window` (`none` allowed), `lossy`, `epoch_cuts`,
     /// `epoch_force`, `frontier_cap`, `extension_budget`, `retire_budget`
-    /// (`none` allowed). Unset keys keep their defaults; the GC keys write
-    /// straight into the embedded [`GcPolicy`].
+    /// (`none` allowed), `archive` (witness-archive depth in retired
+    /// windows; `0` disables). Unset keys keep their defaults; the GC keys
+    /// write straight into the embedded [`GcPolicy`].
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut policy = TenantPolicy::default();
         for part in spec.split(',').filter(|p| !p.is_empty()) {
@@ -106,6 +109,7 @@ impl TenantPolicy {
                         v => Some(v.parse().map_err(|e| bad(&e))?),
                     }
                 }
+                "archive" => policy.gc.archive_windows = value.parse().map_err(|e| bad(&e))?,
                 other => return Err(format!("unknown policy key `{other}`")),
             }
         }
@@ -141,16 +145,19 @@ struct Tenant {
     shedding: bool,
     sheds: u64,
     events: u64,
+    /// Registry mirror of `events`, labelled `{tenant="<id>"}`.
+    events_metric: Counter,
     queue_peak: usize,
     last_status: MonitorStatus,
 }
 
 impl Tenant {
-    fn new(policy: TenantPolicy) -> Self {
+    fn new(policy: TenantPolicy, obs: Obs, events_metric: Counter) -> Self {
         let mut builder = Checker::builder(LinChecker::owned(KvStore))
             .partitioner(KvKeyPartitioner)
             .strategy(Strategy::Streaming { window: None })
-            .gc_policy(policy.gc);
+            .gc_policy(policy.gc)
+            .observer(obs);
         if let Some(window) = policy.window {
             builder = builder.window(window);
         }
@@ -161,18 +168,24 @@ impl Tenant {
             shedding: false,
             sheds: 0,
             events: 0,
+            events_metric,
             queue_peak: 0,
             last_status: MonitorStatus::Ok,
         }
     }
 
-    /// Drains the ingress queue through the session, in order.
-    fn drain(&mut self) {
+    /// Drains the ingress queue through the session, in order. Returns the
+    /// number of events checked.
+    fn drain(&mut self) -> u64 {
+        let mut drained = 0u64;
         while let Some(action) = self.queue.pop_front() {
             let outcome = self.session.ingest(action);
             self.last_status = outcome.status;
             self.events += 1;
+            drained += 1;
         }
+        self.events_metric.add(drained);
+        drained
     }
 }
 
@@ -227,9 +240,12 @@ pub struct DaemonMetrics {
     pub elapsed_secs: f64,
     /// Checked events per second of wall clock.
     pub events_per_sec: f64,
-    /// 50th-percentile [`Daemon::ingest_bytes`] latency, microseconds.
+    /// 50th-percentile [`Daemon::ingest_bytes`] latency in microseconds,
+    /// read from a fixed-memory log-scale histogram (the value is the
+    /// upper bound of the bucket holding the quantile).
     pub p50_ingest_us: u64,
-    /// 99th-percentile [`Daemon::ingest_bytes`] latency, microseconds.
+    /// 99th-percentile [`Daemon::ingest_bytes`] latency, microseconds
+    /// (same log-bucket resolution as `p50_ingest_us`).
     pub p99_ingest_us: u64,
     /// Deepest ingress queue ever observed, across all tenants.
     pub queue_depth_peak: usize,
@@ -243,8 +259,11 @@ pub struct DaemonMetrics {
 }
 
 impl DaemonMetrics {
-    /// Renders the metrics in the repo's bench-JSON shape (2-space
-    /// indent, stable key order).
+    /// Renders the metrics in the legacy `slin-daemon/v1` bench-JSON shape
+    /// (2-space indent, stable key order). Kept byte-compatible for
+    /// existing scrapers; new consumers should read the richer
+    /// [`Daemon::obs_snapshot_json`] (`slin-obs/v1`), which subsumes every
+    /// field here.
     pub fn to_json(&self) -> String {
         let v = &self.verdicts;
         format!(
@@ -271,8 +290,54 @@ impl DaemonMetrics {
     }
 }
 
+/// Registry handles for the daemon's own series, resolved once at
+/// construction (the per-tenant labelled counters resolve lazily, as
+/// tenants materialise).
+struct DaemonStats {
+    frames: Counter,
+    bytes: Counter,
+    ingest_us: Histogram,
+    queue_depth_peak: Gauge,
+    tenants: Gauge,
+    verdicts: [(&'static str, Gauge); 7],
+}
+
+impl DaemonStats {
+    fn resolve(stack: &StackObserver) -> Self {
+        let r = stack.registry();
+        let verdict = |status: &'static str| {
+            (
+                status,
+                r.gauge("slin_daemon_verdicts", &[("status", status.to_string())]),
+            )
+        };
+        DaemonStats {
+            frames: r.counter("slin_daemon_frames_total", &[]),
+            bytes: r.counter("slin_daemon_bytes_total", &[]),
+            ingest_us: r.histogram("slin_daemon_ingest_us", &[]),
+            queue_depth_peak: r.gauge("slin_daemon_queue_depth_peak", &[]),
+            tenants: r.gauge("slin_daemon_tenants", &[]),
+            verdicts: [
+                verdict("ok"),
+                verdict("violation"),
+                verdict("ill_formed"),
+                verdict("switch_seen"),
+                verdict("unknown"),
+                verdict("deferred"),
+                verdict("changed"),
+            ],
+        }
+    }
+}
+
 /// A multi-tenant trace-ingestion daemon: decode, route, check, report.
 /// See the [module docs](self) for the architecture.
+///
+/// Every daemon owns a [`StackObserver`]: its own counters (frames, bytes,
+/// sheds, per-tenant events), the fixed-memory ingest-latency histogram,
+/// and all engine/monitor/GC metrics from the tenant sessions land in one
+/// [`slin_obs::Registry`], exposed via [`Daemon::render_prometheus`] and
+/// [`Daemon::obs_snapshot_json`].
 pub struct Daemon {
     config: DaemonConfig,
     lanes: Vec<BTreeMap<u64, Tenant>>,
@@ -280,7 +345,9 @@ pub struct Daemon {
     decoder: Decoder,
     frames: u64,
     bytes: u64,
-    ingest_us: Vec<u64>,
+    stack: Arc<StackObserver>,
+    obs: Obs,
+    stats: DaemonStats,
     queue_depth_peak: usize,
     last_verdicts: VerdictCounts,
     started: Instant,
@@ -288,9 +355,19 @@ pub struct Daemon {
 
 impl Daemon {
     /// A daemon with no tenants yet; tenants materialise as their ids
-    /// first appear on the wire.
+    /// first appear on the wire. Owns a metrics-only [`StackObserver`];
+    /// use [`Daemon::with_observer`] to enable span tracing.
     pub fn new(config: DaemonConfig) -> Self {
+        Self::with_observer(config, Arc::new(StackObserver::new()))
+    }
+
+    /// A daemon reporting into a caller-supplied [`StackObserver`] —
+    /// construct it [`StackObserver::with_tracing`] to collect Perfetto
+    /// spans alongside the metrics.
+    pub fn with_observer(config: DaemonConfig, stack: Arc<StackObserver>) -> Self {
         let workers = config.workers.max(1);
+        let stats = DaemonStats::resolve(&stack);
+        let obs = Obs::new(stack.clone());
         Daemon {
             config: DaemonConfig { workers, ..config },
             lanes: (0..workers).map(|_| BTreeMap::new()).collect(),
@@ -298,11 +375,48 @@ impl Daemon {
             decoder: Decoder::new(),
             frames: 0,
             bytes: 0,
-            ingest_us: Vec::new(),
+            stack,
+            obs,
+            stats,
             queue_depth_peak: 0,
             last_verdicts: VerdictCounts::default(),
             started: Instant::now(),
         }
+    }
+
+    /// The daemon's observer — registry exposition and, when constructed
+    /// with tracing, the span collector.
+    pub fn observer(&self) -> &Arc<StackObserver> {
+        &self.stack
+    }
+
+    /// Renders the full metrics registry as a Prometheus text-format page.
+    pub fn render_prometheus(&self) -> String {
+        self.stack.registry().render_prometheus()
+    }
+
+    /// Renders the full metrics registry as a versioned `slin-obs/v1` JSON
+    /// snapshot. Subsumes the legacy `slin-daemon/v1` surface.
+    pub fn obs_snapshot_json(&self) -> String {
+        self.stack.registry().snapshot_json()
+    }
+
+    /// Renders the collected spans as Chrome trace-event JSON (loadable in
+    /// Perfetto / `chrome://tracing`), or `None` when the daemon's observer
+    /// was built without tracing.
+    pub fn chrome_trace_json(&self) -> Option<String> {
+        self.stack.chrome_trace_json()
+    }
+
+    /// The legacy `slin-daemon/v1` metrics JSON, byte-compatible with what
+    /// pre-registry daemons printed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "superseded by `obs_snapshot_json` (schema slin-obs/v1); this shim keeps the \
+                slin-daemon/v1 byte format for existing scrapers"
+    )]
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
     }
 
     /// Sets (or replaces, for a not-yet-seen tenant) the policy one tenant
@@ -325,6 +439,7 @@ impl Daemon {
     pub fn ingest_bytes(&mut self, chunk: &[u8]) -> Result<usize, WireError> {
         let t0 = Instant::now();
         self.bytes += chunk.len() as u64;
+        self.stats.bytes.add(chunk.len() as u64);
         self.decoder.feed(chunk);
         let mut decoded = 0;
         while let Some(frame) = self.decoder.next_frame()? {
@@ -332,25 +447,38 @@ impl Daemon {
             self.route(frame);
         }
         self.frames += decoded as u64;
-        self.ingest_us
-            .push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        self.stats.frames.add(decoded as u64);
+        // Fixed-memory latency record: the histogram's 520 bytes replace
+        // the old unbounded `Vec<u64>` of per-chunk samples, which grew
+        // without bound on long-lived daemons.
+        self.stats
+            .ingest_us
+            .record(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
         Ok(decoded)
     }
 
     fn route(&mut self, frame: Frame) {
         let workers = self.config.workers as u64;
         let lane = (frame.tenant % workers) as usize;
+        let (overrides, config, stack, obs) =
+            (&self.overrides, &self.config, &self.stack, &self.obs);
         let tenant = self.lanes[lane].entry(frame.tenant).or_insert_with(|| {
-            let policy = self
-                .overrides
+            let policy = overrides
                 .get(&frame.tenant)
                 .copied()
-                .unwrap_or(self.config.default_policy);
-            Tenant::new(policy)
+                .unwrap_or(config.default_policy);
+            let events_metric = stack.registry().counter(
+                "slin_daemon_tenant_events_total",
+                &[("tenant", frame.tenant.to_string())],
+            );
+            Tenant::new(policy, obs.clone(), events_metric)
         });
         tenant.queue.push_back(frame.action);
         tenant.queue_peak = tenant.queue_peak.max(tenant.queue.len());
         self.queue_depth_peak = self.queue_depth_peak.max(tenant.queue.len());
+        self.stats
+            .queue_depth_peak
+            .set_max(self.queue_depth_peak as i64);
         if tenant.queue.len() >= tenant.policy.queue_capacity {
             // High-water: shed. Lossy tenants downgrade their monitor to
             // forced epoch cuts (bounded memory, possible Unknown);
@@ -362,6 +490,7 @@ impl Daemon {
             }
             if tenant.policy.shed_lossy {
                 tenant.sheds += 1;
+                self.obs.shed(frame.tenant);
             }
             tenant.drain();
         }
@@ -370,28 +499,29 @@ impl Daemon {
     /// Drains every tenant queue, one scoped worker thread per lane.
     /// Returns the number of events checked by this pump pass.
     pub fn pump(&mut self) -> u64 {
-        let before: u64 = self
-            .lanes
-            .iter()
-            .flat_map(|l| l.values())
-            .map(|t| t.events)
-            .sum();
+        let obs = &self.obs;
+        let drained = std::sync::atomic::AtomicU64::new(0);
         std::thread::scope(|scope| {
-            for lane in self.lanes.iter_mut() {
+            for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
+                let drained = &drained;
                 scope.spawn(move || {
+                    let t0 = obs.t0();
+                    let queue_depth = lane.values().map(|t| t.queue.len()).max().unwrap_or(0);
+                    let mut lane_drained = 0u64;
                     for tenant in lane.values_mut() {
-                        tenant.drain();
+                        lane_drained += tenant.drain();
                     }
+                    obs.lane_pump(LanePumpEvent {
+                        lane: lane_idx as u64,
+                        drained: lane_drained,
+                        queue_depth: queue_depth as u64,
+                        t0,
+                    });
+                    drained.fetch_add(lane_drained, std::sync::atomic::Ordering::Relaxed);
                 });
             }
         });
-        let after: u64 = self
-            .lanes
-            .iter()
-            .flat_map(|l| l.values())
-            .map(|t| t.events)
-            .sum();
-        after - before
+        drained.into_inner()
     }
 
     /// Polls every tenant's rolling verdict ([`Session::poll_verdict`] —
@@ -403,6 +533,19 @@ impl Daemon {
             counts.add(&tenant.session.poll_verdict());
         }
         self.last_verdicts = counts;
+        self.stats.tenants.set(self.tenants() as i64);
+        for (status, gauge) in &self.stats.verdicts {
+            let v = match *status {
+                "ok" => counts.ok,
+                "violation" => counts.violation,
+                "ill_formed" => counts.ill_formed,
+                "switch_seen" => counts.switch_seen,
+                "unknown" => counts.unknown,
+                "deferred" => counts.deferred,
+                _ => counts.changed,
+            };
+            gauge.set(v as i64);
+        }
         counts
     }
 
@@ -436,14 +579,12 @@ impl Daemon {
 
     /// The current metrics snapshot.
     pub fn metrics(&self) -> DaemonMetrics {
-        let mut samples = self.ingest_us.clone();
-        samples.sort_unstable();
+        let hist = self.stats.ingest_us.inner();
         let pct = |p: f64| -> u64 {
-            if samples.is_empty() {
+            if hist.count() == 0 {
                 return 0;
             }
-            let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
-            samples[idx]
+            hist.quantile(p)
         };
         let events: u64 = self
             .lanes

@@ -48,6 +48,13 @@
 #![warn(missing_docs)]
 
 pub use slin_core::stream::{
-    EventStream, IngestOutcome, LinMonitor, Monitor, MonitorConfig, MonitorReport, MonitorStatus,
-    ShardSummary, SlinMonitor, StreamFailure, StreamModel,
+    EventStream, GcPolicy, IngestOutcome, LinMonitor, Monitor, MonitorConfig, MonitorReport,
+    MonitorStatus, ShardSummary, SlinMonitor, StreamFailure, StreamModel,
+};
+
+/// Observability surface ([`slin_obs`]): install a [`StackObserver`] via
+/// [`Monitor::with_observer`] to collect metrics (Prometheus text or JSON
+/// snapshot) and Chrome-trace spans from the monitor's ingest hot path.
+pub use slin_obs::{
+    LogHistogram, NoopObserver, Obs, Observer, Registry, StackObserver, TraceBuffer,
 };

@@ -1,0 +1,167 @@
+//! Fixed-memory log-scale histogram.
+//!
+//! [`LogHistogram`] buckets `u64` samples by bit width: bucket 0 holds the
+//! value `0` and bucket `i` (for `i >= 1`) holds values in
+//! `[2^(i-1), 2^i - 1]`. That gives a constant 65 buckets covering the full
+//! `u64` range with a worst-case relative quantile error of 2x — exactly the
+//! resolution a latency p50/p99 needs, at 520 bytes per histogram and no
+//! allocation after construction. All updates are relaxed atomic increments,
+//! so a histogram handle can be shared freely across threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit width of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Concurrent fixed-bucket log-scale histogram over `u64` samples.
+///
+/// Memory use is constant (65 buckets + count + sum) regardless of how many
+/// samples are recorded, unlike the `Vec<u64>`-of-latencies it replaces.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the bucket holding `v`: 0 for 0, otherwise the bit width of `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive `[lower, upper]` value range of bucket `i`.
+///
+/// Bucket 0 is `[0, 0]`; bucket `i >= 1` is `[2^(i-1), 2^i - 1]` (the last
+/// bucket saturates at `u64::MAX`).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        (0, 0)
+    } else {
+        let lower = 1u64 << (i - 1);
+        let upper = if i == 64 { u64::MAX } else { (1u64 << i) - 1 };
+        (lower, upper)
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts, in bucket order.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 < q <= 1.0`), or 0 if the histogram is empty.
+    ///
+    /// The exact `q`-quantile of the recorded samples is guaranteed to lie in
+    /// `[lower, upper]` of the returned bucket, so the reported value
+    /// overestimates by at most 2x.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the q-quantile among the sorted samples, 1-based.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(BUCKETS - 1).1
+    }
+}
+
+impl Clone for LogHistogram {
+    fn clone(&self) -> Self {
+        let out = Self::new();
+        for (slot, bucket) in out.buckets.iter().zip(self.buckets.iter()) {
+            slot.store(bucket.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        out.count.store(self.count(), Ordering::Relaxed);
+        out.sum.store(self.sum(), Ordering::Relaxed);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_the_exact_value() {
+        let h = LogHistogram::new();
+        let samples: Vec<u64> = (0..1000).map(|i| i * i % 7919).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let exact =
+                sorted[((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1];
+            let upper = h.quantile(q);
+            assert!(exact <= upper, "q={q}: exact {exact} > reported {upper}");
+            let (lo, _) = bucket_bounds(bucket_index(upper));
+            assert!(lo <= exact, "q={q}: exact {exact} below bucket lower {lo}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Property suite for the observability primitives.
+//!
+//! The histogram is checked against an **exact sorted reference**: for any
+//! sample multiset and quantile, the reported value must be precisely the
+//! upper bound of the bucket holding the exact rank-order statistic (hence
+//! within 2x above it, never below). The trace exporter is checked against
+//! a real JSON grammar (a self-contained recursive-descent validator —
+//! no serde in this workspace) plus the format's own invariants: monotone
+//! timestamps, complete (`ph: "X"`) events, bounded ring.
+
+use proptest::prelude::*;
+use slin_obs::{bucket_bounds, bucket_index, LogHistogram, SpanEvent, TraceBuffer, BUCKETS};
+
+// ---- JSON validator (grammar only, values discarded) ----
+
+struct Json<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Json<'a> {
+    fn validate(s: &'a str) -> Result<(), String> {
+        let mut p = Json {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at {}", p.pos));
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, String> {
+        let b = self.peek().ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.bump()?;
+        if got != b {
+            return Err(format!(
+                "expected {} at {}, got {}",
+                b as char, self.pos, got as char
+            ));
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string(),
+            b't' => self.literal("true"),
+            b'f' => self.literal("false"),
+            b'n' => self.literal("null"),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!("unexpected byte {} at {}", other as char, self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        for &b in lit.as_bytes() {
+            self.expect(b)?;
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Ok(()),
+                other => return Err(format!("bad object separator {}", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Ok(()),
+                other => return Err(format!("bad array separator {}", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(()),
+                b'\\' => match self.bump()? {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                    b'u' => {
+                        for _ in 0..4 {
+                            let h = self.bump()?;
+                            if !h.is_ascii_hexdigit() {
+                                return Err("bad \\u escape".into());
+                            }
+                        }
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                },
+                b if b < 0x20 => return Err("raw control character in string".into()),
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err("number with no digits".into());
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---- histogram properties ----
+
+/// Samples spanning the whole u64 range, heavy near the small values a
+/// latency histogram actually sees (tier 0–3: small, medium, huge, full).
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((0u8..7, 0u64..=u64::MAX), 1..200).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(tier, raw)| match tier {
+                0..=3 => raw % 2_000,
+                4 | 5 => raw % 2_000_000,
+                _ => raw,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Buckets tile the u64 range contiguously and `bucket_index` is
+    /// monotone: ordered values never land in decreasing buckets.
+    #[test]
+    fn buckets_are_contiguous_and_monotone(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        for i in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            prop_assert_eq!(hi + 1, lo_next, "gap after bucket {}", i);
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        let (blo, bhi) = bucket_bounds(bucket_index(a));
+        prop_assert!(blo <= a && a <= bhi);
+    }
+
+    /// Against the exact sorted reference: the reported quantile is
+    /// *precisely* the upper bound of the bucket holding the exact
+    /// rank-order statistic — never below it, at most 2x above.
+    #[test]
+    fn quantile_brackets_exact_reference(samples in samples(), q_pct in 1u32..=100) {
+        let q = q_pct as f64 / 100.0;
+        let h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let exact = sorted[rank - 1];
+        let got = h.quantile(q);
+        prop_assert_eq!(got, bucket_bounds(bucket_index(exact)).1);
+        prop_assert!(got >= exact);
+        if exact > 0 {
+            prop_assert!(got <= exact.saturating_mul(2), "{} > 2*{}", got, exact);
+        }
+        prop_assert_eq!(h.count(), n as u64);
+        let want_sum = samples.iter().fold(0u64, |acc, &s| acc.wrapping_add(s));
+        prop_assert_eq!(h.sum(), want_sum);
+    }
+
+    /// Bucket counts account for every sample exactly once.
+    #[test]
+    fn bucket_counts_partition_the_samples(samples in samples()) {
+        let h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let counts = h.bucket_counts();
+        prop_assert_eq!(counts.iter().sum::<u64>(), samples.len() as u64);
+        for (i, &c) in counts.iter().enumerate() {
+            let want = samples.iter().filter(|&&s| bucket_index(s) == i).count() as u64;
+            prop_assert_eq!(c, want, "bucket {}", i);
+        }
+    }
+}
+
+// ---- trace exporter properties ----
+
+fn span_events() -> impl Strategy<Value = Vec<SpanEvent>> {
+    const NAMES: [&str; 4] = [
+        "engine.search",
+        "monitor.ingest",
+        "gc.cut",
+        "weird \"name\"\\with\nescapes",
+    ];
+    prop::collection::vec(
+        (0u8..4, 0u64..1_000_000, 0u64..10_000, 1u64..8, 0u8..3),
+        1..60,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(name, ts_us, dur_us, tid, nargs)| SpanEvent {
+                name: NAMES[name as usize],
+                cat: "test",
+                ts_us,
+                dur_us,
+                tid,
+                args: (0..nargs as u64).map(|i| ("nodes", ts_us ^ i)).collect(),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The exporter always emits grammatically valid JSON with timestamps
+    /// in non-decreasing order, regardless of insertion order or content
+    /// (including names that need escaping).
+    #[test]
+    fn chrome_trace_is_valid_json_with_monotone_timestamps(events in span_events()) {
+        let buf = TraceBuffer::new(events.len());
+        for ev in &events {
+            buf.push(ev.clone());
+        }
+        let json = buf.chrome_trace_json();
+        if let Err(e) = Json::validate(&json) {
+            prop_assert!(false, "invalid JSON ({}):\n{}", e, json);
+        }
+        let ts: Vec<u64> = json
+            .lines()
+            .filter_map(|l| {
+                let at = l.find("\"ts\": ")? + "\"ts\": ".len();
+                l[at..].split(',').next()?.trim().parse().ok()
+            })
+            .collect();
+        prop_assert_eq!(ts.len(), events.len());
+        prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]), "timestamps out of order: {:?}", ts);
+    }
+
+    /// The ring keeps exactly the newest `capacity` spans and counts the
+    /// rest as dropped.
+    #[test]
+    fn ring_bound_holds_under_any_load(events in span_events(), cap in 1usize..16) {
+        let buf = TraceBuffer::new(cap);
+        for ev in &events {
+            buf.push(ev.clone());
+        }
+        let kept = buf.events();
+        prop_assert!(kept.len() <= cap);
+        prop_assert_eq!(kept.len() + buf.dropped() as usize, events.len());
+        // The survivors are exactly the newest events, in order.
+        let want: Vec<u64> = events[events.len() - kept.len()..].iter().map(|e| e.ts_us).collect();
+        let got: Vec<u64> = kept.iter().map(|e| e.ts_us).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,280 @@
+//! Witness-archival differential suite.
+//!
+//! The archival contract: a bounded-window (GC'd) monitor whose witness
+//! archive is **deep enough** (no ring eviction) produces reports —
+//! verdict *and* witness/error, byte for byte — identical to an
+//! **unbounded** monitor on the same stream, because `report()`
+//! reconstructs the closed trace from the archived `(index, action)`
+//! pairs and re-runs the very same deterministic split check. When the
+//! archive is **too shallow** (ring evicted) or **disabled**, the report
+//! degrades to the plain window-relative GC verdict — also checked
+//! differentially, against a no-archive monitor with the same GC policy.
+//!
+//! Corpora: the pinned-seed friendly/perturbed multi-key sweep (violations
+//! included via `error_prob`) and the hostile never-quiescent generator.
+
+use proptest::prelude::*;
+use slin_adt::{KvInput, KvOutput};
+use slin_adt::{KvKeyPartitioner, KvStore};
+use slin_core::gen::{
+    random_hostile_kv_trace, random_multikey_kv_trace, HostileConfig, MultiKeyConfig,
+};
+use slin_core::lin::LinChecker;
+use slin_monitor::{LinMonitor, MonitorConfig};
+use slin_trace::{Action, ClientId, PhaseId};
+
+/// A bounded-window monitor with an archive of `depth` retired windows
+/// (`0` disables archival — the plain GC monitor).
+fn gc_monitor(window: usize, depth: usize) -> LinMonitor<KvStore, KvKeyPartitioner> {
+    LinMonitor::owned_with_config(
+        KvStore,
+        KvKeyPartitioner,
+        MonitorConfig {
+            window: Some(window),
+            archive_windows: depth,
+            ..Default::default()
+        },
+    )
+}
+
+/// An unbounded monitor — the byte-identity oracle.
+fn unbounded_monitor() -> LinMonitor<KvStore, KvKeyPartitioner> {
+    LinMonitor::owned(KvStore, KvKeyPartitioner)
+}
+
+fn configs() -> impl Strategy<Value = MultiKeyConfig> {
+    (
+        1..=4u32,     // keys
+        2..=4u32,     // clients
+        30..=90usize, // steps — long enough that small windows really retire
+        0..=1u8,      // perturbation tier (violations included)
+        0..=6_000u64, // seed
+    )
+        .prop_map(|(keys, clients, steps, error, seed)| MultiKeyConfig {
+            clients,
+            steps,
+            keys,
+            skew: 0.7,
+            contention: 0.3,
+            error_prob: [0.0, 0.3][error as usize],
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Deep archive ⇒ the GC'd monitor's report is byte-identical to the
+    /// unbounded monitor's (and hence to the batch checker's), violations
+    /// and witnesses included; the report says so via `reconstructed`.
+    #[test]
+    fn deep_archive_reconstructs_unbounded_report(cfg in configs()) {
+        let t = random_multikey_kv_trace(&cfg);
+        let mut archived = gc_monitor(8, 1024); // never evicts at this size
+        let mut oracle = unbounded_monitor();
+        for a in t.iter() {
+            archived.ingest(a.clone());
+            oracle.ingest(a.clone());
+        }
+        let got = archived.report();
+        let want = oracle.report();
+        prop_assert_eq!(
+            format!("{:?}", got.verdict),
+            format!("{:?}", want.verdict),
+            "cfg {:?}", cfg
+        );
+        prop_assert_eq!(
+            format!("{:?}", got.verdict),
+            format!("{:?}", LinChecker::owned(KvStore).check(&t)),
+            "cfg {:?}", cfg
+        );
+        // Reconstruction fires exactly when GC retired something.
+        prop_assert_eq!(got.reconstructed, got.prefix_committed, "cfg {:?}", cfg);
+        // Memory bound: everything retired is archived, nothing more.
+        prop_assert_eq!(
+            got.shard.archived_events,
+            got.shard.retired_events,
+            "cfg {:?}", cfg
+        );
+    }
+
+    /// Shallow archive (ring evicts) ⇒ reconstruction refuses and the
+    /// report degrades to exactly the plain GC'd (no-archive) monitor's
+    /// window-relative verdict.
+    #[test]
+    fn shallow_archive_degrades_to_window_relative(cfg in configs()) {
+        let t = random_multikey_kv_trace(&cfg);
+        let mut shallow = gc_monitor(4, 1);
+        let mut plain = gc_monitor(4, 0);
+        for a in t.iter() {
+            shallow.ingest(a.clone());
+            plain.ingest(a.clone());
+        }
+        let got = shallow.report();
+        let want = plain.report();
+        // Degradation happens only when a second window actually retired;
+        // either way the two reports must agree whenever `shallow` did not
+        // manage a reconstruction.
+        if !got.reconstructed {
+            prop_assert_eq!(
+                format!("{:?}", got.verdict),
+                format!("{:?}", want.verdict),
+                "cfg {:?}", cfg
+            );
+        }
+        // The ring bound holds: at most one retired window per shard stays
+        // archived.
+        prop_assert!(
+            got.shard.archived_events <= got.shard.retired_events,
+            "cfg {:?}", cfg
+        );
+    }
+}
+
+/// Hostile never-quiescent streams: whichever path `report()` takes, it
+/// must match the matching oracle — the unbounded monitor when it
+/// reconstructed, the plain GC monitor when it did not.
+fn hostile_configs() -> impl Strategy<Value = HostileConfig> {
+    (
+        1..=2u32,     // keys
+        0..=1u8,      // never-responding tier
+        0..=1u8,      // perturbation tier
+        0..=3_000u64, // seed
+    )
+        .prop_map(|(keys, never, error, seed)| HostileConfig {
+            clients: 3,
+            steps: 60,
+            keys,
+            skew: 0.7,
+            never_frac: [0.08, 0.2][never as usize],
+            stuck_applies: true,
+            delay_zipf: 1.1,
+            max_delay: 8,
+            error_prob: [0.0, 0.25][error as usize],
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn hostile_streams_match_their_oracle(cfg in hostile_configs()) {
+        let t = random_hostile_kv_trace(&cfg);
+        let mut archived = gc_monitor(6, 1024);
+        let mut plain = gc_monitor(6, 0);
+        let mut oracle = unbounded_monitor();
+        for a in t.iter() {
+            archived.ingest(a.clone());
+            plain.ingest(a.clone());
+            oracle.ingest(a.clone());
+        }
+        let got = archived.report();
+        let want = if got.reconstructed {
+            oracle.report()
+        } else {
+            plain.report()
+        };
+        prop_assert_eq!(
+            format!("{:?}", got.verdict),
+            format!("{:?}", want.verdict),
+            "cfg {:?} (reconstructed: {})", cfg, got.reconstructed
+        );
+    }
+}
+
+/// A long linearizable run on one key, so a small window retires many
+/// times before the trailing violation arrives.
+fn violating_single_key_actions(rounds: u64) -> Vec<slin_core::ObjAction<KvStore, ()>> {
+    let (c, p) = (ClientId::new(1), PhaseId::FIRST);
+    let mut actions = Vec::new();
+    for round in 0..rounds {
+        let input = KvInput::Put(1, round);
+        actions.push(Action::invoke(c, p, input));
+        actions.push(Action::respond(c, p, input, KvOutput::Ack));
+    }
+    // The forensic event: a read of a value nobody ever wrote.
+    actions.push(Action::invoke(c, p, KvInput::Get(1)));
+    actions.push(Action::respond(
+        c,
+        p,
+        KvInput::Get(1),
+        KvOutput::Found(Some(9999)),
+    ));
+    actions
+}
+
+/// The acceptance case spelled out: a violation arriving long after GC
+/// retired the history is reported with the **full** forensic error of an
+/// unGC'd monitor — byte-identical — because the archive still holds every
+/// retired window.
+#[test]
+fn violation_after_gc_reconstructs_full_forensics() {
+    let actions = violating_single_key_actions(40);
+    let mut archived = gc_monitor(8, 64);
+    let mut plain = gc_monitor(8, 0);
+    let mut oracle = unbounded_monitor();
+    for a in &actions {
+        archived.ingest(a.clone());
+        plain.ingest(a.clone());
+        oracle.ingest(a.clone());
+    }
+    let got = archived.report();
+    let want = oracle.report();
+    assert!(got.prefix_committed, "GC never retired — widen the run");
+    assert!(got.reconstructed);
+    assert!(got.verdict.is_err());
+    assert_eq!(
+        format!("{:?}", got.verdict),
+        format!("{:?}", want.verdict),
+        "archived forensics must equal the unGC'd monitor's"
+    );
+    // And the plain GC monitor genuinely lost the early history: its
+    // window-relative report has no access to the retired events.
+    let degraded = plain.report();
+    assert!(degraded.verdict.is_err());
+    assert_eq!(degraded.shard.archived_events, 0);
+}
+
+/// With archival off (the default), nothing is retained beyond the live
+/// window and reports never claim reconstruction.
+#[test]
+fn archival_off_is_the_default_and_archives_nothing() {
+    assert_eq!(MonitorConfig::default().archive_windows, 0);
+    let actions = violating_single_key_actions(40);
+    let mut mon = gc_monitor(8, 0);
+    for a in &actions {
+        mon.ingest(a.clone());
+    }
+    let report = mon.report();
+    assert!(!report.reconstructed);
+    assert_eq!(report.shard.archived_events, 0);
+}
+
+/// Determinism: two identically-configured archived monitors over the same
+/// stream render byte-identical reports (pinned end-to-end).
+#[test]
+fn archived_reports_are_deterministic() {
+    let cfg = MultiKeyConfig {
+        clients: 3,
+        steps: 80,
+        keys: 3,
+        skew: 0.7,
+        contention: 0.3,
+        error_prob: 0.25,
+        seed: 1729,
+    };
+    let t = random_multikey_kv_trace(&cfg);
+    let render = || {
+        let mut mon = gc_monitor(8, 256);
+        for a in t.iter() {
+            mon.ingest(a.clone());
+        }
+        let r = mon.report();
+        format!(
+            "{:?} {} {}",
+            r.verdict, r.reconstructed, r.shard.archived_events
+        )
+    };
+    assert_eq!(render(), render());
+}
