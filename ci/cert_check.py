@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate the committed partitioner certificates in analysis/certs/.
+
+Two layers of defence, independent of the Rust toolchain:
+
+1. Integrity: every committed certificate parses, matches the
+   slin-cert/v1 schema, is named `<adt>__<partitioner>.json`, and its
+   content_hash re-derives from the other fields (FNV-1a 64 over the
+   canonical `|`-joined string — mirrored from crates/analysis/src/cert.rs,
+   so a hand-edited certificate fails here without running cargo).
+2. Coverage: the expected (adt, partitioner) pairs are all present and
+   nothing unexpected is committed.
+
+Freshness against the analyzer itself (certificates byte-identical to a
+regeneration at the committed depth) is checked separately in CI by
+`slin-analyze --all --check`; this script is the cheap, toolchain-free
+gate that also protects local workflows.
+
+Usage: python3 ci/cert_check.py [certs_dir]
+Exit status: 0 clean, 1 on any violation.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA = "slin-cert/v1"
+
+EXPECTED_PAIRS = {
+    ("KvStore", "KvKeyPartitioner"),
+    ("Set", "SetElemPartitioner"),
+    ("RegisterArray", "RegArrayPartitioner"),
+    ("CounterVector", "CounterVecPartitioner"),
+}
+
+FIELDS = [
+    "schema",
+    "adt",
+    "partitioner",
+    "depth",
+    "alphabet",
+    "classified",
+    "keys",
+    "states",
+    "projection_checks",
+    "commutation_checks",
+    "content_hash",
+]
+
+INT_FIELDS = FIELDS[3:-1]
+
+MIN_DEPTH = 4
+
+
+def fnv1a64(data: bytes) -> int:
+    h = 0xCBF29CE484222325
+    for b in data:
+        h ^= b
+        h = (h * 0x00000100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def content_hash(cert: dict) -> str:
+    canon = "|".join(
+        str(cert[f]) for f in FIELDS[:-1]
+    )
+    return f"fnv1a64:{fnv1a64(canon.encode()):016x}"
+
+
+def check_cert(path: str, errors: list) -> tuple:
+    name = os.path.basename(path)
+    with open(path, encoding="utf-8") as fh:
+        try:
+            cert = json.load(fh)
+        except json.JSONDecodeError as e:
+            errors.append(f"{name}: invalid JSON: {e}")
+            return None
+
+    missing = [f for f in FIELDS if f not in cert]
+    extra = [k for k in cert if k not in FIELDS]
+    if missing:
+        errors.append(f"{name}: missing fields {missing}")
+        return None
+    if extra:
+        errors.append(f"{name}: unexpected fields {extra}")
+    if cert["schema"] != SCHEMA:
+        errors.append(f"{name}: schema {cert['schema']!r}, expected {SCHEMA!r}")
+    for f in INT_FIELDS:
+        if not isinstance(cert[f], int) or cert[f] < 0:
+            errors.append(f"{name}: field {f!r} must be a non-negative integer")
+            return None
+    if cert["depth"] < MIN_DEPTH:
+        errors.append(f"{name}: depth {cert['depth']} below the floor {MIN_DEPTH}")
+    if cert["classified"] == 0 or cert["keys"] < 2:
+        errors.append(
+            f"{name}: degenerate domain (classified={cert['classified']}, "
+            f"keys={cert['keys']}) certifies nothing"
+        )
+    want = f"{cert['adt']}__{cert['partitioner']}.json"
+    if name != want:
+        errors.append(f"{name}: filename should be {want}")
+    derived = content_hash(cert)
+    if cert["content_hash"] != derived:
+        errors.append(
+            f"{name}: content_hash {cert['content_hash']} does not re-derive "
+            f"({derived}) — certificate was edited by hand or is stale"
+        )
+    return (cert["adt"], cert["partitioner"])
+
+
+def main() -> int:
+    certs_dir = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "analysis",
+        "certs",
+    )
+    if not os.path.isdir(certs_dir):
+        print(f"cert_check: no such directory: {certs_dir}")
+        return 1
+
+    errors: list = []
+    seen = set()
+    for name in sorted(os.listdir(certs_dir)):
+        if not name.endswith(".json"):
+            errors.append(f"{name}: stray non-certificate file in {certs_dir}")
+            continue
+        pair = check_cert(os.path.join(certs_dir, name), errors)
+        if pair is not None:
+            seen.add(pair)
+
+    for pair in sorted(EXPECTED_PAIRS - seen):
+        errors.append(f"missing certificate for {pair[0]} / {pair[1]}")
+    for pair in sorted(seen - EXPECTED_PAIRS):
+        errors.append(
+            f"unexpected certificate {pair[0]} / {pair[1]} — "
+            "update EXPECTED_PAIRS in ci/cert_check.py if intentional"
+        )
+
+    if errors:
+        print(f"cert_check: {len(errors)} problem(s):")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    print(f"cert_check: {len(seen)} certificate(s) OK in {certs_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,312 @@
+//! Enumerable input domains for bounded symbolic analysis and seeded
+//! generation.
+//!
+//! The static analyzer in `slin-analysis` certifies a
+//! [`Partitioner`](crate::Partitioner) by *exhaustively* replaying
+//! [`Adt::apply`] over every history it can build from a small,
+//! representative input alphabet. That alphabet is what [`DomainSpec`]
+//! describes: a finite set of inputs that exercises at least two
+//! independence classes and every operation shape of the ADT, so the two
+//! contract obligations (same-key output projection, cross-key transition
+//! commutation) are checked over the full bounded state space rather than
+//! a random sample.
+//!
+//! Product ADTs additionally implement [`KeyedDomain`], which exposes the
+//! *per-key* input constructors as a weighted op table ([`KeyedOp`]). The
+//! same table drives two consumers that used to hand-roll it separately:
+//!
+//! * the analyzer's enumerable alphabet ([`KeyedDomain::inputs_for_key`]),
+//! * the seeded multi-key trace generators in `slin-core::gen`
+//!   (weight-respecting random draws).
+//!
+//! Non-partitionable ADTs ([`Queue`], [`Stack`], [`Consensus`]) implement
+//! only [`DomainSpec`]: they serve as negative fixtures — any partitioner
+//! that claims independence classes for them must be rejected by the
+//! analyzer with a counterexample.
+
+use crate::array::{CounterVecInput, RegArrayInput};
+use crate::counter::CounterInput;
+use crate::kv::KvInput;
+use crate::queue::QueueInput;
+use crate::register::RegInput;
+use crate::set::SetInput;
+use crate::stack::StackInput;
+use crate::{
+    Adt, ConsInput, Consensus, Counter, CounterVector, KvStore, Queue, Register, RegisterArray,
+    Set, Stack,
+};
+
+/// How many independence classes the default [`DomainSpec::input_domain`]
+/// of a [`KeyedDomain`] ADT spans. Two classes suffice: every contract
+/// obligation relates at most two keys (a projection victim and the
+/// removed other-key input, or a commuting pair).
+pub const DOMAIN_KEYS: u32 = 2;
+
+/// How many distinct payload values the default domain draws per valued
+/// operation. Two values distinguish "overwritten" from "never written"
+/// and "mine" from "yours" everywhere it matters.
+pub const DOMAIN_VALS: u64 = 2;
+
+/// An ADT with a small enumerable input alphabet for bounded exhaustive
+/// exploration.
+///
+/// Implementations must keep the domain *small* (a handful of inputs): the
+/// analyzer explores every reachable `(state, projections)` signature over
+/// histories drawn from it, so the alphabet size is the branching factor.
+/// The domain must cover every input constructor of the ADT and, for
+/// partitionable ADTs, at least [`DOMAIN_KEYS`] independence classes.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{DomainSpec, KvStore};
+/// let domain = KvStore.input_domain();
+/// assert_eq!(domain.len(), 8); // {put(v1), put(v2), get, del} × keys {1, 2}
+/// ```
+pub trait DomainSpec: Adt {
+    /// The enumerable input alphabet explored by the analyzer.
+    fn input_domain(&self) -> Vec<Self::Input>;
+}
+
+/// One weighted per-key input constructor of a product ADT.
+///
+/// `make(key, v)` builds the input for independence class `key`; `v` is
+/// drawn from `1..=vals` when `vals` is `Some`, and passed as `0` (and
+/// ignored by `make`) otherwise. `weight` is the draw weight the seeded
+/// generators honour — kept here so the generator op mix is part of the
+/// ADT's one domain description instead of being re-hand-rolled per call
+/// site.
+pub struct KeyedOp<I> {
+    /// Relative draw weight in the seeded generators.
+    pub weight: u8,
+    /// Payload range `1..=vals`, or `None` for payload-free operations.
+    pub vals: Option<u64>,
+    /// Constructor from `(key, payload)`.
+    pub make: fn(u32, u64) -> I,
+}
+
+/// A product ADT whose inputs are enumerable *per independence class*.
+///
+/// The op table is the single source of truth for what an operation on
+/// class `key` looks like; [`DomainSpec`] falls out of it by enumerating
+/// [`DOMAIN_KEYS`] classes × [`DOMAIN_VALS`] payloads.
+pub trait KeyedDomain: Adt {
+    /// The per-key input constructors, in a fixed documented order (the
+    /// analyzer's exploration order and the generators' draw order).
+    fn keyed_ops() -> Vec<KeyedOp<Self::Input>>;
+
+    /// Every input touching class `key`, payloads drawn from `1..=vals`.
+    fn inputs_for_key(key: u32, vals: u64) -> Vec<Self::Input> {
+        let mut inputs = Vec::new();
+        for op in Self::keyed_ops() {
+            match op.vals {
+                Some(_) => inputs.extend((1..=vals).map(|v| (op.make)(key, v))),
+                None => inputs.push((op.make)(key, 0)),
+            }
+        }
+        inputs
+    }
+}
+
+/// The default bounded alphabet of a keyed ADT: [`DOMAIN_KEYS`] classes ×
+/// the per-key ops with [`DOMAIN_VALS`] payloads.
+fn keyed_domain<T: KeyedDomain>() -> Vec<T::Input> {
+    (1..=DOMAIN_KEYS)
+        .flat_map(|k| T::inputs_for_key(k, DOMAIN_VALS))
+        .collect()
+}
+
+impl KeyedDomain for KvStore {
+    fn keyed_ops() -> Vec<KeyedOp<KvInput>> {
+        vec![
+            KeyedOp {
+                weight: 1,
+                vals: Some(4),
+                make: |k, v| KvInput::Put(k, v),
+            },
+            KeyedOp {
+                weight: 2,
+                vals: None,
+                make: |k, _| KvInput::Get(k),
+            },
+            KeyedOp {
+                weight: 1,
+                vals: None,
+                make: |k, _| KvInput::Delete(k),
+            },
+        ]
+    }
+}
+
+impl DomainSpec for KvStore {
+    fn input_domain(&self) -> Vec<KvInput> {
+        keyed_domain::<KvStore>()
+    }
+}
+
+impl KeyedDomain for Set {
+    fn keyed_ops() -> Vec<KeyedOp<SetInput>> {
+        vec![
+            KeyedOp {
+                weight: 2,
+                vals: None,
+                make: |k, _| SetInput::Add(k as u64),
+            },
+            KeyedOp {
+                weight: 2,
+                vals: None,
+                make: |k, _| SetInput::Contains(k as u64),
+            },
+            KeyedOp {
+                weight: 1,
+                vals: None,
+                make: |k, _| SetInput::Remove(k as u64),
+            },
+        ]
+    }
+}
+
+impl DomainSpec for Set {
+    fn input_domain(&self) -> Vec<SetInput> {
+        keyed_domain::<Set>()
+    }
+}
+
+impl KeyedDomain for RegisterArray {
+    fn keyed_ops() -> Vec<KeyedOp<RegArrayInput>> {
+        vec![
+            KeyedOp {
+                weight: 1,
+                vals: Some(4),
+                make: RegArrayInput::Write,
+            },
+            KeyedOp {
+                weight: 1,
+                vals: None,
+                make: |k, _| RegArrayInput::Read(k),
+            },
+        ]
+    }
+}
+
+impl DomainSpec for RegisterArray {
+    fn input_domain(&self) -> Vec<RegArrayInput> {
+        keyed_domain::<RegisterArray>()
+    }
+}
+
+impl KeyedDomain for CounterVector {
+    fn keyed_ops() -> Vec<KeyedOp<CounterVecInput>> {
+        vec![
+            KeyedOp {
+                weight: 1,
+                vals: None,
+                make: |k, _| CounterVecInput::Increment(k),
+            },
+            KeyedOp {
+                weight: 1,
+                vals: None,
+                make: |k, _| CounterVecInput::Read(k),
+            },
+        ]
+    }
+}
+
+impl DomainSpec for CounterVector {
+    fn input_domain(&self) -> Vec<CounterVecInput> {
+        keyed_domain::<CounterVector>()
+    }
+}
+
+impl DomainSpec for Counter {
+    fn input_domain(&self) -> Vec<CounterInput> {
+        vec![CounterInput::Increment, CounterInput::Read]
+    }
+}
+
+impl DomainSpec for Register {
+    fn input_domain(&self) -> Vec<RegInput> {
+        (1..=DOMAIN_VALS)
+            .map(RegInput::Write)
+            .chain([RegInput::Read])
+            .collect()
+    }
+}
+
+impl DomainSpec for Queue {
+    fn input_domain(&self) -> Vec<QueueInput> {
+        (1..=DOMAIN_VALS)
+            .map(QueueInput::Enqueue)
+            .chain([QueueInput::Dequeue])
+            .collect()
+    }
+}
+
+impl DomainSpec for Stack {
+    fn input_domain(&self) -> Vec<StackInput> {
+        (1..=DOMAIN_VALS)
+            .map(StackInput::Push)
+            .chain([StackInput::Pop])
+            .collect()
+    }
+}
+
+impl DomainSpec for Consensus {
+    fn input_domain(&self) -> Vec<ConsInput> {
+        (1..=DOMAIN_VALS).map(ConsInput::propose).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KvKeyPartitioner, Partitioner};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn keyed_domains_cover_every_constructor_and_two_classes() {
+        let kv = KvStore.input_domain();
+        assert!(kv.contains(&KvInput::Put(1, 1)));
+        assert!(kv.contains(&KvInput::Get(2)));
+        assert!(kv.contains(&KvInput::Delete(1)));
+        let keys: BTreeSet<u32> = kv
+            .iter()
+            .filter_map(|i| KvKeyPartitioner.key_of(i))
+            .collect();
+        assert_eq!(keys, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn domains_are_deterministic_and_duplicate_free() {
+        assert_eq!(KvStore.input_domain(), KvStore.input_domain());
+        let set = Set.input_domain();
+        let dedup: BTreeSet<_> = set.iter().collect();
+        assert_eq!(dedup.len(), set.len(), "duplicate inputs in domain");
+        let kv = KvStore.input_domain();
+        let dedup: BTreeSet<_> = kv.iter().collect();
+        assert_eq!(dedup.len(), kv.len(), "duplicate inputs in domain");
+    }
+
+    #[test]
+    fn inputs_for_key_respects_payload_range() {
+        let inputs = KvStore::inputs_for_key(3, 2);
+        assert_eq!(
+            inputs,
+            vec![
+                KvInput::Put(3, 1),
+                KvInput::Put(3, 2),
+                KvInput::Get(3),
+                KvInput::Delete(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn non_partitionable_domains_are_enumerable() {
+        assert_eq!(Queue.input_domain().len(), 3);
+        assert_eq!(Stack.input_domain().len(), 3);
+        assert_eq!(Consensus.input_domain().len(), 2);
+        assert_eq!(Counter.input_domain().len(), 2);
+        assert_eq!(Register.input_domain().len(), 3);
+    }
+}

@@ -22,7 +22,10 @@
 //!
 //! The [`partition`] module classifies inputs into independence classes
 //! ([`Partitioner`]) so the checkers can split multi-key histories into
-//! independent sub-histories and check them in parallel.
+//! independent sub-histories and check them in parallel. The [`domain`]
+//! module describes each ADT's enumerable input alphabet ([`DomainSpec`],
+//! [`KeyedDomain`]), which the `slin-analysis` crate explores exhaustively
+//! to *certify* that a partitioner upholds the soundness contract.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@
 pub mod array;
 pub mod consensus;
 pub mod counter;
+pub mod domain;
 pub mod equiv;
 pub mod kv;
 pub mod partition;
@@ -54,6 +58,7 @@ pub mod universal;
 pub use array::{CounterVecInput, CounterVector, RegArrayInput, RegisterArray};
 pub use consensus::{ConsInput, ConsOutput, Consensus, Value};
 pub use counter::{Counter, CounterInput, CounterOutput};
+pub use domain::{DomainSpec, KeyedDomain, KeyedOp, DOMAIN_KEYS, DOMAIN_VALS};
 pub use equiv::{histories_equivalent, reachable_state};
 pub use kv::{KvInput, KvOutput, KvStore};
 pub use partition::{

@@ -27,6 +27,25 @@
 //! correct (trivial) partitioner for non-partitionable ADTs such as
 //! [`Consensus`](crate::Consensus) or [`Queue`](crate::Queue).
 //!
+//! ## Machine-checking the contract
+//!
+//! The contract is not just prose: for any ADT that also implements
+//! [`DomainSpec`](crate::DomainSpec), the `slin-analysis` crate discharges
+//! both obligations by bounded exhaustive exploration — `certify(&adt,
+//! &partitioner, &config)` returns either a deterministic, content-hashed
+//! `Certificate` (JSON, committed under `analysis/certs/` and kept fresh
+//! by CI) or a shrunk counterexample that replays as a real
+//! partitioned-vs-monolithic checker divergence. Run it with
+//!
+//! ```text
+//! cargo run -p slin-analysis --bin slin-analyze -- --all
+//! ```
+//!
+//! and install the proof at session-build time with
+//! `SessionBuilder::partitioner_certified` / `cert_store` in `slin-core`
+//! (policy knob: `CertPolicy`). New partitioners should ship with a
+//! `DomainSpec` and a committed certificate.
+//!
 //! # Example
 //!
 //! ```

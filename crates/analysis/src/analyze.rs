@@ -1,0 +1,496 @@
+//! Bounded symbolic certification of partitioner soundness.
+//!
+//! The soundness contract in `slin_adt::partition` has two obligations for
+//! every input a partitioner classifies:
+//!
+//! 1. **Same-key output projection** — the output of a classified input
+//!    after any history equals its output after the same-key projection of
+//!    that history (`f_T(h ::: i) = f_T(h|k ::: i)`);
+//! 2. **Cross-key transition commutation** — two classified inputs with
+//!    distinct keys commute as state transitions, and neither changes the
+//!    other's output when reordered.
+//!
+//! [`certify`] discharges both *exhaustively* over the ADT's enumerable
+//! input alphabet ([`DomainSpec`]) for every history up to a configured
+//! depth. Exploration is a breadth-first walk over histories of classified
+//! inputs, memoized on the **signature** `(full state, per-key projected
+//! states)`: both obligations at a node depend only on that signature, so
+//! visiting each signature once is exhaustive up to the depth bound while
+//! keeping the walk polynomial in the reachable quotient graph rather than
+//! exponential in the alphabet.
+//!
+//! On success the run is summarized as a [`Certificate`]; on failure the
+//! offending history is greedily shrunk and returned as a replayable
+//! [`Counterexample`] whose [`Counterexample::to_trace`] diverges under
+//! partitioned vs monolithic checking.
+
+use crate::cert::{short_type_name, Certificate};
+use slin_adt::{Adt, DomainSpec, Partitioner};
+use slin_trace::{Action, ClientId, PhaseId, Trace};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::fmt::Write as _;
+
+/// Bounds for one [`certify`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzeConfig {
+    /// Maximum history length explored (every obligation is additionally
+    /// probed with 1–2 extra inputs beyond the history).
+    pub depth: usize,
+    /// Abort ceiling on distinct `(state, projections)` signatures.
+    pub max_states: usize,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig {
+            depth: 4,
+            max_states: 1 << 18,
+        }
+    }
+}
+
+/// Which contract obligation a counterexample violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Obligation {
+    /// Same-key output projection (`f_T(h ::: i) ≠ f_T(h|k ::: i)`).
+    Projection,
+    /// Cross-key transition commutation.
+    Commutation,
+}
+
+/// A concrete, minimal-by-greedy-shrinking violation of the contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample<T: Adt> {
+    /// Which obligation failed.
+    pub obligation: Obligation,
+    /// The history after which the obligation fails (classified inputs).
+    pub history: Vec<T::Input>,
+    /// The classified probe input whose behaviour the history corrupts.
+    pub probe: T::Input,
+    /// For [`Obligation::Commutation`]: the other-key input that fails to
+    /// commute with `probe` after `history`.
+    pub partner: Option<T::Input>,
+    /// Human-readable rendering of the disagreeing observations.
+    pub detail: String,
+}
+
+impl<T: Adt> Counterexample<T> {
+    /// Total number of inputs in the replayable history (history + probe
+    /// + partner).
+    pub fn len(&self) -> usize {
+        self.history.len() + 1 + usize::from(self.partner.is_some())
+    }
+
+    /// Counterexamples always contain at least the probe.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The full input sequence the counterexample replays.
+    pub fn inputs(&self) -> Vec<T::Input> {
+        let mut seq = self.history.clone();
+        seq.push(self.probe.clone());
+        seq.extend(self.partner.clone());
+        seq
+    }
+
+    /// Replays the counterexample as a *sequential* trace (each input
+    /// invoked and answered in order, outputs from a monolithic replay).
+    ///
+    /// The trace is linearizable by construction, so a monolithic check
+    /// accepts it; a partitioned check under the rejected partitioner
+    /// projects per key and — for projection violations — sees outputs no
+    /// same-key sequential replay can explain, yielding the verdict
+    /// divergence the certificate refusal predicts.
+    pub fn to_trace(&self, adt: &T) -> Trace<Action<T::Input, T::Output, ()>> {
+        let client = ClientId::new(1);
+        let mut state = adt.initial();
+        let mut trace = Trace::new();
+        for input in self.inputs() {
+            let (next, out) = adt.apply(&state, &input);
+            state = next;
+            trace.push(Action::invoke(client, PhaseId::FIRST, input.clone()));
+            trace.push(Action::respond(client, PhaseId::FIRST, input, out));
+        }
+        trace
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let what = match self.obligation {
+            Obligation::Projection => "same-key output projection",
+            Obligation::Commutation => "cross-key transition commutation",
+        };
+        let _ = writeln!(s, "contract violation: {what}");
+        let _ = writeln!(s, "  history: {:?}", self.history);
+        let _ = writeln!(s, "  probe:   {:?}", self.probe);
+        if let Some(p) = &self.partner {
+            let _ = writeln!(s, "  partner: {p:?}");
+        }
+        let _ = write!(s, "  {}", self.detail);
+        s
+    }
+}
+
+/// Why [`certify`] did not produce a certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeFailure<T: Adt> {
+    /// The partitioner violates the contract; here is a minimal replay.
+    Unsound(Counterexample<T>),
+    /// The quotient state space outgrew [`AnalyzeConfig::max_states`]
+    /// before the depth bound — no verdict either way.
+    StateSpaceExceeded {
+        /// Signatures explored before aborting.
+        explored: usize,
+    },
+}
+
+/// One BFS node: a concrete history with its replayed full state and
+/// per-key projected states.
+struct Node<T: Adt, K> {
+    history: Vec<T::Input>,
+    state: T::State,
+    proj: BTreeMap<K, T::State>,
+}
+
+/// Exhaustively checks both contract obligations for `partitioner` over
+/// `adt`'s enumerable domain, up to `cfg.depth`-length histories.
+///
+/// Unclassified domain inputs (key `None`) are excluded from exploration:
+/// the checkers fall back to monolithic checking whenever a trace contains
+/// one, so the contract only constrains classified inputs.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{KvKeyPartitioner, KvStore};
+/// use slin_analysis::{certify, AnalyzeConfig};
+/// let cert = certify(&KvStore, &KvKeyPartitioner, &AnalyzeConfig::default()).unwrap();
+/// assert_eq!(cert.adt, "KvStore");
+/// assert!(cert.verify());
+/// ```
+pub fn certify<T, P>(
+    adt: &T,
+    partitioner: &P,
+    cfg: &AnalyzeConfig,
+) -> Result<Certificate, AnalyzeFailure<T>>
+where
+    T: DomainSpec,
+    P: Partitioner<T>,
+{
+    let domain = adt.input_domain();
+    let classified: Vec<(T::Input, P::Key)> = domain
+        .iter()
+        .filter_map(|i| partitioner.key_of(i).map(|k| (i.clone(), k)))
+        .collect();
+    let keys: BTreeSet<P::Key> = classified.iter().map(|(_, k)| k.clone()).collect();
+
+    let mut projection_checks = 0u64;
+    let mut commutation_checks = 0u64;
+    let mut visited: HashSet<Signature<T, P::Key>> = HashSet::new();
+    let mut queue: VecDeque<Node<T, P::Key>> = VecDeque::new();
+
+    let root = Node {
+        history: Vec::new(),
+        state: adt.initial(),
+        proj: BTreeMap::new(),
+    };
+    visited.insert(signature(&root));
+    queue.push_back(root);
+
+    while let Some(node) = queue.pop_front() {
+        // Obligation 1: every classified probe answers identically after
+        // the full history and after its same-key projection.
+        for (input, key) in &classified {
+            projection_checks += 1;
+            let full_out = adt.apply(&node.state, input).1;
+            let proj_state = node.proj.get(key).cloned().unwrap_or_else(|| adt.initial());
+            let proj_out = adt.apply(&proj_state, input).1;
+            if full_out != proj_out {
+                return Err(AnalyzeFailure::Unsound(shrink_projection(
+                    adt,
+                    partitioner,
+                    node.history,
+                    input.clone(),
+                )));
+            }
+        }
+        // Obligation 2: distinct-key classified pairs commute as
+        // transitions and preserve each other's outputs.
+        for a in 0..classified.len() {
+            for b in (a + 1)..classified.len() {
+                let (i, ki) = &classified[a];
+                let (j, kj) = &classified[b];
+                if ki == kj {
+                    continue;
+                }
+                commutation_checks += 1;
+                if commutation_violation(adt, &node.state, i, j).is_some() {
+                    return Err(AnalyzeFailure::Unsound(shrink_commutation(
+                        adt,
+                        node.history,
+                        i.clone(),
+                        j.clone(),
+                    )));
+                }
+            }
+        }
+        // Expand by one more classified input, up to the depth bound.
+        if node.history.len() >= cfg.depth {
+            continue;
+        }
+        for (input, key) in &classified {
+            let next_state = adt.apply(&node.state, input).0;
+            let mut proj = node.proj.clone();
+            let entry = proj.entry(key.clone()).or_insert_with(|| adt.initial());
+            *entry = adt.apply(entry, input).0;
+            let mut history = node.history.clone();
+            history.push(input.clone());
+            let next = Node {
+                history,
+                state: next_state,
+                proj,
+            };
+            if visited.insert(signature(&next)) {
+                if visited.len() > cfg.max_states {
+                    return Err(AnalyzeFailure::StateSpaceExceeded {
+                        explored: visited.len(),
+                    });
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+
+    Ok(Certificate {
+        adt: short_type_name::<T>().to_string(),
+        partitioner: short_type_name::<P>().to_string(),
+        depth: cfg.depth,
+        alphabet: domain.len(),
+        classified: classified.len(),
+        keys: keys.len(),
+        states: visited.len(),
+        projection_checks,
+        commutation_checks,
+        content_hash: String::new(),
+    }
+    .sealed())
+}
+
+/// The memo key of a search node: full state plus every per-key
+/// projected state. All contract obligations at a node are functions of
+/// this signature alone, so quotienting the BFS on it is exhaustive.
+type Signature<T, K> = (<T as Adt>::State, Vec<(K, <T as Adt>::State)>);
+
+fn signature<T: Adt, K: Clone + Ord>(node: &Node<T, K>) -> Signature<T, K> {
+    (
+        node.state.clone(),
+        node.proj
+            .iter()
+            .map(|(k, s)| (k.clone(), s.clone()))
+            .collect(),
+    )
+}
+
+/// Checks the commutation obligation for `(i, j)` at `state`; returns the
+/// disagreement rendering on violation.
+fn commutation_violation<T: Adt>(
+    adt: &T,
+    state: &T::State,
+    i: &T::Input,
+    j: &T::Input,
+) -> Option<String> {
+    let (s_i, out_i) = adt.apply(state, i);
+    let (s_ij, out_j_after_i) = adt.apply(&s_i, j);
+    let (s_j, out_j) = adt.apply(state, j);
+    let (s_ji, out_i_after_j) = adt.apply(&s_j, i);
+    if s_ij != s_ji {
+        Some(format!(
+            "states diverge: {i:?};{j:?} reaches {s_ij:?} but {j:?};{i:?} reaches {s_ji:?}"
+        ))
+    } else if out_i != out_i_after_j {
+        Some(format!(
+            "output of {i:?} changes across reorder: {out_i:?} vs {out_i_after_j:?}"
+        ))
+    } else if out_j != out_j_after_i {
+        Some(format!(
+            "output of {j:?} changes across reorder: {out_j:?} vs {out_j_after_i:?}"
+        ))
+    } else {
+        None
+    }
+}
+
+/// Does the projection obligation fail for `(history, probe)`? Returns the
+/// disagreement rendering if so.
+fn projection_violation<T, P>(
+    adt: &T,
+    partitioner: &P,
+    history: &[T::Input],
+    probe: &T::Input,
+) -> Option<String>
+where
+    T: Adt,
+    P: Partitioner<T>,
+{
+    let key = partitioner.key_of(probe)?;
+    let full_out = adt.apply(&adt.run(history), probe).1;
+    let projected: Vec<T::Input> = history
+        .iter()
+        .filter(|i| partitioner.key_of(i).as_ref() == Some(&key))
+        .cloned()
+        .collect();
+    let proj_out = adt.apply(&adt.run(&projected), probe).1;
+    (full_out != proj_out).then(|| {
+        format!(
+            "full history answers {full_out:?}, same-key projection {projected:?} \
+             answers {proj_out:?}"
+        )
+    })
+}
+
+/// Greedily drops history inputs while the projection violation persists.
+fn shrink_projection<T, P>(
+    adt: &T,
+    partitioner: &P,
+    mut history: Vec<T::Input>,
+    probe: T::Input,
+) -> Counterexample<T>
+where
+    T: Adt,
+    P: Partitioner<T>,
+{
+    loop {
+        let mut shrunk = false;
+        for idx in 0..history.len() {
+            let mut candidate = history.clone();
+            candidate.remove(idx);
+            if projection_violation(adt, partitioner, &candidate, &probe).is_some() {
+                history = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    let detail = projection_violation(adt, partitioner, &history, &probe)
+        .expect("shrinking preserves the violation");
+    Counterexample {
+        obligation: Obligation::Projection,
+        history,
+        probe,
+        partner: None,
+        detail,
+    }
+}
+
+/// Greedily drops history inputs while the commutation violation persists.
+fn shrink_commutation<T: Adt>(
+    adt: &T,
+    mut history: Vec<T::Input>,
+    i: T::Input,
+    j: T::Input,
+) -> Counterexample<T> {
+    loop {
+        let mut shrunk = false;
+        for idx in 0..history.len() {
+            let mut candidate = history.clone();
+            candidate.remove(idx);
+            if commutation_violation(adt, &adt.run(&candidate), &i, &j).is_some() {
+                history = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    let detail = commutation_violation(adt, &adt.run(&history), &i, &j)
+        .expect("shrinking preserves the violation");
+    Counterexample {
+        obligation: Obligation::Commutation,
+        history,
+        probe: i,
+        partner: Some(j),
+        detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::BogusCounterPartitioner;
+    use slin_adt::{
+        Counter, CounterVecPartitioner, CounterVector, KvKeyPartitioner, KvStore,
+        RegArrayPartitioner, RegisterArray, Set, SetElemPartitioner,
+    };
+
+    #[test]
+    fn shipped_partitioners_certify_at_default_depth() {
+        let cfg = AnalyzeConfig::default();
+        assert!(certify(&KvStore, &KvKeyPartitioner, &cfg).is_ok());
+        assert!(certify(&Set, &SetElemPartitioner, &cfg).is_ok());
+        assert!(certify(&RegisterArray, &RegArrayPartitioner, &cfg).is_ok());
+        assert!(certify(&CounterVector, &CounterVecPartitioner, &cfg).is_ok());
+    }
+
+    #[test]
+    fn certificates_carry_run_statistics() {
+        let cert = certify(&KvStore, &KvKeyPartitioner, &AnalyzeConfig::default()).unwrap();
+        assert_eq!(cert.adt, "KvStore");
+        assert_eq!(cert.partitioner, "KvKeyPartitioner");
+        assert_eq!(cert.depth, 4);
+        assert_eq!(cert.alphabet, 8);
+        assert_eq!(cert.classified, 8);
+        assert_eq!(cert.keys, 2);
+        assert!(cert.states > 1);
+        assert!(cert.projection_checks >= cert.states as u64);
+        assert!(cert.verify());
+    }
+
+    #[test]
+    fn bogus_counter_partitioner_is_rejected_with_a_short_replay() {
+        let failure = certify(
+            &Counter,
+            &BogusCounterPartitioner,
+            &AnalyzeConfig::default(),
+        )
+        .unwrap_err();
+        let AnalyzeFailure::Unsound(cex) = failure else {
+            panic!("expected a counterexample");
+        };
+        assert!(cex.len() <= 4, "counterexample too long: {}", cex.len());
+        let trace = cex.to_trace(&Counter);
+        assert_eq!(trace.len(), cex.len() * 2);
+    }
+
+    #[test]
+    fn state_space_ceiling_aborts_without_a_verdict() {
+        let cfg = AnalyzeConfig {
+            depth: 4,
+            max_states: 4,
+        };
+        assert!(matches!(
+            certify(&KvStore, &KvKeyPartitioner, &cfg),
+            Err(AnalyzeFailure::StateSpaceExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn depth_zero_still_checks_commutation_at_the_initial_state() {
+        let cfg = AnalyzeConfig {
+            depth: 0,
+            max_states: 1 << 10,
+        };
+        // The bogus partitioner already fails at the initial state: the
+        // increment/read pair it splits across keys does not commute.
+        assert!(matches!(
+            certify(&Counter, &BogusCounterPartitioner, &cfg),
+            Err(AnalyzeFailure::Unsound(_))
+        ));
+    }
+}

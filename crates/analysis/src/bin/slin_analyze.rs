@@ -1,0 +1,286 @@
+//! `slin-analyze` — certify shipped partitioners and lint the workspace.
+//!
+//! ```text
+//! slin-analyze --all                 # certify shipped pairs, write analysis/certs/
+//! slin-analyze --all --check        # regenerate and compare, no writes
+//! slin-analyze --lint-src            # run the concurrency lint
+//! slin-analyze --all --lint-src      # what CI runs (blocking)
+//! ```
+//!
+//! Options: `--depth N` (exploration depth, default 4), `--out DIR`
+//! (certificate directory, default `<root>/analysis/certs`), `--root DIR`
+//! (workspace root, default inferred from the crate location).
+//!
+//! Exit status is non-zero if any shipped partitioner fails to certify,
+//! any negative fixture is *not* rejected, a `--check` comparison drifts,
+//! or the lint reports a hit.
+
+use slin_adt::{
+    CounterVecPartitioner, CounterVector, KvKeyPartitioner, KvStore, RegArrayPartitioner,
+    RegisterArray, Set, SetElemPartitioner,
+};
+use slin_analysis::fixtures::{
+    BogusCounterPartitioner, ConsProposalPartitioner, QueueValuePartitioner, StackValuePartitioner,
+};
+use slin_analysis::{certify, lint_workspace, AnalyzeConfig, AnalyzeFailure, Certificate, RULES};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    all: bool,
+    lint_src: bool,
+    check: bool,
+    depth: usize,
+    out: Option<PathBuf>,
+    root: PathBuf,
+}
+
+fn default_root() -> PathBuf {
+    // <root>/crates/analysis -> <root>
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        all: false,
+        lint_src: false,
+        check: false,
+        depth: AnalyzeConfig::default().depth,
+        out: None,
+        root: default_root(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--all" => opts.all = true,
+            "--lint-src" => opts.lint_src = true,
+            "--check" => opts.check = true,
+            "--depth" => {
+                let v = args.next().ok_or("--depth needs a value")?;
+                opts.depth = v.parse().map_err(|_| format!("bad depth `{v}`"))?;
+            }
+            "--out" => opts.out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--root" => opts.root = PathBuf::from(args.next().ok_or("--root needs a value")?),
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if !opts.all && !opts.lint_src {
+        return Err("nothing to do: pass --all and/or --lint-src (try --help)".to_string());
+    }
+    Ok(opts)
+}
+
+fn print_help() {
+    println!("slin-analyze: partitioner certification + workspace concurrency lint");
+    println!();
+    println!("  --all        certify shipped partitioners, reject negative fixtures,");
+    println!("               write certificates to the --out directory");
+    println!("  --check      with --all: compare regenerated certificates against the");
+    println!("               committed ones instead of writing");
+    println!("  --lint-src   lint crates/ for the repo concurrency policy");
+    println!("  --depth N    exploration depth (default 4)");
+    println!("  --out DIR    certificate directory (default <root>/analysis/certs)");
+    println!("  --root DIR   workspace root (default: inferred)");
+    println!();
+    println!("lint rules:");
+    for (rule, desc) in RULES {
+        println!("  {rule:<18} {desc}");
+    }
+}
+
+/// Runs one positive certification, returning the certificate on success.
+fn positive<T, P>(adt: &T, p: &P, cfg: &AnalyzeConfig, failures: &mut u32) -> Option<Certificate>
+where
+    T: slin_adt::DomainSpec,
+    P: slin_adt::Partitioner<T>,
+{
+    match certify(adt, p, cfg) {
+        Ok(cert) => {
+            println!(
+                "  certified {} / {} (depth {}, {} states, {} checks) {}",
+                cert.adt,
+                cert.partitioner,
+                cert.depth,
+                cert.states,
+                cert.projection_checks + cert.commutation_checks,
+                cert.content_hash,
+            );
+            Some(cert)
+        }
+        Err(AnalyzeFailure::Unsound(cex)) => {
+            *failures += 1;
+            eprintln!("  FAILED to certify: {}", cex.render());
+            None
+        }
+        Err(AnalyzeFailure::StateSpaceExceeded { explored }) => {
+            *failures += 1;
+            eprintln!("  FAILED to certify: state space exceeded ({explored} signatures)");
+            None
+        }
+    }
+}
+
+/// Runs one negative fixture, which must be rejected.
+fn negative<T, P>(adt: &T, p: &P, cfg: &AnalyzeConfig, failures: &mut u32)
+where
+    T: slin_adt::DomainSpec,
+    P: slin_adt::Partitioner<T>,
+{
+    use slin_analysis::short_type_name;
+    match certify(adt, p, cfg) {
+        Err(AnalyzeFailure::Unsound(cex)) => {
+            println!(
+                "  rejected  {} / {} (counterexample of {} inputs)",
+                short_type_name::<T>(),
+                short_type_name::<P>(),
+                cex.len(),
+            );
+        }
+        Ok(_) => {
+            *failures += 1;
+            eprintln!(
+                "  FAILED: unsound fixture {} / {} was certified",
+                short_type_name::<T>(),
+                short_type_name::<P>(),
+            );
+        }
+        Err(AnalyzeFailure::StateSpaceExceeded { explored }) => {
+            *failures += 1;
+            eprintln!(
+                "  FAILED: fixture {} / {} exceeded the state space ({explored}) before \
+                 a counterexample",
+                short_type_name::<T>(),
+                short_type_name::<P>(),
+            );
+        }
+    }
+}
+
+fn run_all(opts: &Options) -> Result<u32, std::io::Error> {
+    let cfg = AnalyzeConfig {
+        depth: opts.depth,
+        ..AnalyzeConfig::default()
+    };
+    let mut failures = 0u32;
+
+    println!("certifying shipped partitioners (depth {}):", cfg.depth);
+    let certs: Vec<Certificate> = [
+        positive(&KvStore, &KvKeyPartitioner, &cfg, &mut failures),
+        positive(&Set, &SetElemPartitioner, &cfg, &mut failures),
+        positive(&RegisterArray, &RegArrayPartitioner, &cfg, &mut failures),
+        positive(&CounterVector, &CounterVecPartitioner, &cfg, &mut failures),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+
+    println!("rejecting negative fixtures:");
+    negative(
+        &slin_adt::Counter,
+        &BogusCounterPartitioner,
+        &cfg,
+        &mut failures,
+    );
+    negative(
+        &slin_adt::Queue,
+        &QueueValuePartitioner,
+        &cfg,
+        &mut failures,
+    );
+    negative(
+        &slin_adt::Stack,
+        &StackValuePartitioner,
+        &cfg,
+        &mut failures,
+    );
+    negative(
+        &slin_adt::Consensus,
+        &ConsProposalPartitioner,
+        &cfg,
+        &mut failures,
+    );
+
+    let out_dir = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| opts.root.join("analysis").join("certs"));
+    if opts.check {
+        for cert in &certs {
+            let path = out_dir.join(cert.file_name());
+            let committed = std::fs::read_to_string(&path).unwrap_or_default();
+            if committed != cert.to_json() {
+                failures += 1;
+                eprintln!(
+                    "  STALE certificate {}: regenerate with `slin-analyze --all`",
+                    path.display()
+                );
+            }
+        }
+        if failures == 0 {
+            println!("committed certificates are fresh ({})", out_dir.display());
+        }
+    } else {
+        std::fs::create_dir_all(&out_dir)?;
+        for cert in &certs {
+            std::fs::write(out_dir.join(cert.file_name()), cert.to_json())?;
+        }
+        println!(
+            "wrote {} certificates to {}",
+            certs.len(),
+            out_dir.display()
+        );
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("slin-analyze: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0u32;
+    if opts.all {
+        match run_all(&opts) {
+            Ok(n) => failures += n,
+            Err(e) => {
+                eprintln!("slin-analyze: i/o error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if opts.lint_src {
+        match lint_workspace(&opts.root) {
+            Ok(hits) if hits.is_empty() => {
+                println!("srclint: clean ({} rules)", RULES.len());
+            }
+            Ok(hits) => {
+                for hit in &hits {
+                    eprintln!("srclint: {hit}");
+                }
+                failures += hits.len() as u32;
+            }
+            Err(e) => {
+                eprintln!("slin-analyze: lint i/o error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("slin-analyze: {failures} failure(s)");
+        ExitCode::FAILURE
+    }
+}

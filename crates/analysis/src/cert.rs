@@ -1,0 +1,279 @@
+//! Machine-readable certificates of partitioner soundness.
+//!
+//! A [`Certificate`] records that the bounded symbolic exploration in
+//! [`crate::analyze`] discharged both contract obligations of a
+//! `(Adt, Partitioner)` pair up to a depth, together with the state-space
+//! statistics of the run and a content hash over all of it. Certificates
+//! are serialized as stable, hand-built JSON (no timestamps, no map
+//! iteration order) so regenerating one from the same source tree yields
+//! the same bytes — CI commits them under `analysis/certs/` and rejects
+//! drift.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Certificate schema identifier, bumped on any field change.
+pub const CERT_SCHEMA: &str = "slin-cert/v1";
+
+/// The last path segment of `std::any::type_name::<T>()` — the canonical
+/// short name certificates use for ADTs and partitioners.
+pub fn short_type_name<T: ?Sized>() -> &'static str {
+    let full = std::any::type_name::<T>();
+    full.rsplit("::").next().unwrap_or(full)
+}
+
+/// A successful bounded-exploration run: the named partitioner upholds the
+/// soundness contract for the named ADT over every history of classified
+/// domain inputs up to `depth`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Short type name of the certified ADT (e.g. `KvStore`).
+    pub adt: String,
+    /// Short type name of the certified partitioner.
+    pub partitioner: String,
+    /// Exploration depth (maximum history length).
+    pub depth: usize,
+    /// Size of the ADT's enumerable input alphabet.
+    pub alphabet: usize,
+    /// How many alphabet inputs the partitioner classified (`Some` key).
+    pub classified: usize,
+    /// Distinct independence classes among the classified inputs.
+    pub keys: usize,
+    /// Distinct `(state, projections)` signatures explored.
+    pub states: usize,
+    /// Same-key output-projection obligations checked.
+    pub projection_checks: u64,
+    /// Cross-key transition-commutation obligations checked.
+    pub commutation_checks: u64,
+    /// FNV-1a 64-bit hash (hex) over every field above, in order.
+    pub content_hash: String,
+}
+
+impl Certificate {
+    /// Computes the content hash for the non-hash fields.
+    pub fn compute_hash(&self) -> String {
+        let canon = format!(
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+            CERT_SCHEMA,
+            self.adt,
+            self.partitioner,
+            self.depth,
+            self.alphabet,
+            self.classified,
+            self.keys,
+            self.states,
+            self.projection_checks,
+            self.commutation_checks,
+        );
+        format!("fnv1a64:{:016x}", fnv1a64(canon.as_bytes()))
+    }
+
+    /// Fills in `content_hash` from the other fields.
+    pub fn sealed(mut self) -> Certificate {
+        self.content_hash = self.compute_hash();
+        self
+    }
+
+    /// Whether `content_hash` matches the other fields.
+    pub fn verify(&self) -> bool {
+        self.content_hash == self.compute_hash()
+    }
+
+    /// Stable JSON rendering (2-space indent, fixed field order, trailing
+    /// newline) — the exact bytes committed under `analysis/certs/`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"adt\": \"{}\",\n  \"partitioner\": \"{}\",\n  \
+             \"depth\": {},\n  \"alphabet\": {},\n  \"classified\": {},\n  \"keys\": {},\n  \
+             \"states\": {},\n  \"projection_checks\": {},\n  \"commutation_checks\": {},\n  \
+             \"content_hash\": \"{}\"\n}}\n",
+            CERT_SCHEMA,
+            json_escape(&self.adt),
+            json_escape(&self.partitioner),
+            self.depth,
+            self.alphabet,
+            self.classified,
+            self.keys,
+            self.states,
+            self.projection_checks,
+            self.commutation_checks,
+            json_escape(&self.content_hash),
+        )
+    }
+
+    /// The committed filename for this certificate.
+    pub fn file_name(&self) -> String {
+        format!("{}__{}.json", self.adt, self.partitioner)
+    }
+}
+
+/// FNV-1a 64-bit — tiny, dependency-free, and stable across platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Why a certificate was rejected when threading it through a session
+/// builder (see `SessionBuilder::partitioner_certified` in `slin-core`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertError {
+    /// The certificate's content hash does not match its fields.
+    BadHash,
+    /// The certificate names a different ADT than the session model's.
+    AdtMismatch {
+        /// ADT name the session model replays.
+        expected: String,
+        /// ADT name the certificate was issued for.
+        found: String,
+    },
+    /// The certificate names a different partitioner type.
+    PartitionerMismatch {
+        /// Partitioner type handed to the builder.
+        expected: String,
+        /// Partitioner name the certificate was issued for.
+        found: String,
+    },
+    /// No certificate covers this `(ADT, partitioner)` pair and the policy
+    /// requires one.
+    Uncertified {
+        /// ADT name of the session model.
+        adt: String,
+        /// Partitioner type handed to the builder.
+        partitioner: String,
+    },
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::BadHash => write!(f, "certificate content hash does not match its fields"),
+            CertError::AdtMismatch { expected, found } => write!(
+                f,
+                "certificate is for ADT `{found}`, session model replays `{expected}`"
+            ),
+            CertError::PartitionerMismatch { expected, found } => write!(
+                f,
+                "certificate is for partitioner `{found}`, builder was given `{expected}`"
+            ),
+            CertError::Uncertified { adt, partitioner } => write!(
+                f,
+                "no certificate for partitioner `{partitioner}` over ADT `{adt}` \
+                 (run `slin-analyze --all`, or relax the cert policy)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// An in-memory registry of verified certificates, keyed by
+/// `(adt, partitioner)` short names.
+///
+/// `Strategy::Auto` in `slin-core` consults one of these (when installed)
+/// to decide whether a partitioner may be trusted; the daemon keeps a
+/// process-wide store for its shipped pairs.
+#[derive(Debug, Clone, Default)]
+pub struct CertStore {
+    certs: BTreeMap<(String, String), Certificate>,
+}
+
+impl CertStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        CertStore::default()
+    }
+
+    /// Verifies and registers a certificate. Rejects hash mismatches.
+    pub fn register(&mut self, cert: Certificate) -> Result<(), CertError> {
+        if !cert.verify() {
+            return Err(CertError::BadHash);
+        }
+        self.certs
+            .insert((cert.adt.clone(), cert.partitioner.clone()), cert);
+        Ok(())
+    }
+
+    /// Looks up the certificate for an `(adt, partitioner)` pair.
+    pub fn get(&self, adt: &str, partitioner: &str) -> Option<&Certificate> {
+        self.certs.get(&(adt.to_string(), partitioner.to_string()))
+    }
+
+    /// Whether the pair is certified.
+    pub fn is_certified(&self, adt: &str, partitioner: &str) -> bool {
+        self.get(adt, partitioner).is_some()
+    }
+
+    /// Number of registered certificates.
+    pub fn len(&self) -> usize {
+        self.certs.len()
+    }
+
+    /// Whether the store holds no certificates.
+    pub fn is_empty(&self) -> bool {
+        self.certs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Certificate {
+        Certificate {
+            adt: "KvStore".into(),
+            partitioner: "KvKeyPartitioner".into(),
+            depth: 4,
+            alphabet: 8,
+            classified: 8,
+            keys: 2,
+            states: 100,
+            projection_checks: 800,
+            commutation_checks: 1600,
+            content_hash: String::new(),
+        }
+        .sealed()
+    }
+
+    #[test]
+    fn sealed_certificates_verify_and_tampering_breaks_them() {
+        let cert = sample();
+        assert!(cert.verify());
+        let mut bad = cert.clone();
+        bad.depth = 5;
+        assert!(!bad.verify());
+    }
+
+    #[test]
+    fn json_is_stable_and_roundtrips_the_hash() {
+        let cert = sample();
+        assert_eq!(cert.to_json(), cert.to_json());
+        assert!(cert.to_json().contains(&cert.content_hash));
+        assert!(cert.to_json().ends_with("}\n"));
+    }
+
+    #[test]
+    fn store_rejects_tampered_certs_and_answers_lookups() {
+        let mut store = CertStore::new();
+        let cert = sample();
+        store.register(cert.clone()).unwrap();
+        assert!(store.is_certified("KvStore", "KvKeyPartitioner"));
+        assert!(!store.is_certified("KvStore", "SetElemPartitioner"));
+        let mut bad = cert;
+        bad.states = 1;
+        assert_eq!(store.register(bad), Err(CertError::BadHash));
+    }
+
+    #[test]
+    fn short_type_name_takes_last_segment() {
+        assert_eq!(short_type_name::<Certificate>(), "Certificate");
+        assert_eq!(short_type_name::<u32>(), "u32");
+    }
+}

@@ -1,0 +1,100 @@
+//! Deliberately unsound partitioners — negative fixtures for the analyzer.
+//!
+//! Each fixture claims independence classes for an ADT that does **not**
+//! factor as a product over them, so [`crate::certify`] must reject every
+//! one with a concrete counterexample. They double as the discriminators
+//! the sampled proptest in `tests/tests/partitioner_contract.rs` uses to
+//! prove the contract checker has teeth.
+
+use slin_adt::{
+    ConsInput, Consensus, Counter, CounterInput, Partitioner, Queue, QueueInput, Stack, StackInput,
+};
+
+/// Splits the (monolithic) [`Counter`] by operation kind: increments to
+/// key 0, reads to key 1. Unsound — a read's output depends on every
+/// increment, so the classes interact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BogusCounterPartitioner;
+
+impl Partitioner<Counter> for BogusCounterPartitioner {
+    type Key = u8;
+
+    fn key_of(&self, input: &CounterInput) -> Option<u8> {
+        Some(match input {
+            CounterInput::Increment => 0,
+            CounterInput::Read => 1,
+        })
+    }
+}
+
+/// Keys [`Queue`] inputs by enqueued value (dequeues to key 0). Unsound —
+/// FIFO order couples every element.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueValuePartitioner;
+
+impl Partitioner<Queue> for QueueValuePartitioner {
+    type Key = u64;
+
+    fn key_of(&self, input: &QueueInput) -> Option<u64> {
+        Some(match input {
+            QueueInput::Enqueue(v) => *v,
+            QueueInput::Dequeue => 0,
+        })
+    }
+}
+
+/// Keys [`Stack`] inputs by pushed value (pops to key 0). Unsound — LIFO
+/// order couples every element.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackValuePartitioner;
+
+impl Partitioner<Stack> for StackValuePartitioner {
+    type Key = u64;
+
+    fn key_of(&self, input: &StackInput) -> Option<u64> {
+        Some(match input {
+            StackInput::Push(v) => *v,
+            StackInput::Pop => 0,
+        })
+    }
+}
+
+/// Keys [`Consensus`] proposals by proposed value. Unsound — the first
+/// proposal decides for everyone, the canonical non-local ADT (paper
+/// Figure 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConsProposalPartitioner;
+
+impl Partitioner<Consensus> for ConsProposalPartitioner {
+    type Key = u64;
+
+    fn key_of(&self, input: &ConsInput) -> Option<u64> {
+        Some(input.value().get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{certify, AnalyzeConfig, AnalyzeFailure};
+    use slin_adt::{Queue, Stack};
+
+    fn rejected<T, P>(adt: &T, p: &P) -> usize
+    where
+        T: slin_adt::DomainSpec + std::fmt::Debug,
+        P: Partitioner<T>,
+    {
+        match certify(adt, p, &AnalyzeConfig::default()) {
+            Err(AnalyzeFailure::Unsound(cex)) => cex.len(),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_fixture_is_rejected_with_a_short_counterexample() {
+        assert!(rejected(&Counter, &BogusCounterPartitioner) <= 4);
+        assert!(rejected(&Queue, &QueueValuePartitioner) <= 4);
+        assert!(rejected(&Stack, &StackValuePartitioner) <= 4);
+        assert!(rejected(&Consensus, &ConsProposalPartitioner) <= 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! Static certification of partitioner soundness, plus a workspace
+//! concurrency lint — the `slin-analyze` toolchain.
+//!
+//! The partitioned and streaming fast paths in `slin-core` are sound only
+//! if the user's [`Partitioner`](slin_adt::Partitioner) upholds the
+//! product-factoring contract documented in `slin_adt::partition`. This
+//! crate turns that prose contract into a decision procedure:
+//!
+//! * [`certify`] exhaustively explores every history over an ADT's
+//!   enumerable input domain ([`slin_adt::DomainSpec`]) up to a depth
+//!   bound, discharging both contract obligations, and returns either a
+//!   machine-readable [`Certificate`] or a shrunk, replayable
+//!   [`Counterexample`];
+//! * [`CertStore`] registers verified certificates for the session layer
+//!   (`SessionBuilder::partitioner_certified`, daemon `require_cert`);
+//! * [`lint_workspace`] enforces the repo concurrency policy on the
+//!   source tree (`slin-analyze --lint-src`);
+//! * [`fixtures`] holds deliberately unsound partitioners the analyzer
+//!   must reject — the negative half of the test suite.
+//!
+//! The `slin-analyze` binary drives all of it; CI commits the resulting
+//! `analysis/certs/*.json` and fails on drift (see `ci/cert_check.py`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod cert;
+pub mod fixtures;
+pub mod srclint;
+
+pub use analyze::{certify, AnalyzeConfig, AnalyzeFailure, Counterexample, Obligation};
+pub use cert::{short_type_name, CertError, CertStore, Certificate, CERT_SCHEMA};
+pub use srclint::{lint_workspace, LintHit, RULES};

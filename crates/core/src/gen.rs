@@ -9,10 +9,7 @@
 use crate::ObjAction;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use slin_adt::{
-    Adt, CounterVecInput, CounterVector, KvInput, KvStore, RegArrayInput, RegisterArray, Set,
-    SetInput,
-};
+use slin_adt::{Adt, CounterVector, KeyedDomain, KvStore, RegisterArray, Set};
 use slin_trace::{Action, ClientId, PhaseId, Trace};
 
 /// Configuration of the random trace generators.
@@ -233,6 +230,41 @@ impl MultiKeyConfig {
     }
 }
 
+/// Draws one weighted per-key operation from `T`'s [`KeyedDomain`] op
+/// table — the one place the generator op mixes live, shared with the
+/// `slin-analysis` input domains.
+///
+/// The RNG stream reproduces the historical hand-rolled closures
+/// byte-for-byte (committed bench baselines pin node counts on these
+/// seeds): a two-op table of total weight 2 draws `gen_bool(0.5)` with
+/// `true` selecting the first op, any other table draws one
+/// `gen_range(0..total)` selector mapped through cumulative weights, and
+/// only the selected op draws its payload (`1..=vals`).
+fn sample_keyed<T: KeyedDomain>(rng: &mut StdRng, key: u32) -> T::Input {
+    let ops = T::keyed_ops();
+    let total: u8 = ops.iter().map(|op| op.weight).sum();
+    let idx = if ops.len() == 2 && total == 2 {
+        usize::from(!rng.gen_bool(0.5))
+    } else {
+        let r = rng.gen_range(0..total);
+        let mut acc = 0u8;
+        ops.iter()
+            .position(|op| {
+                acc += op.weight;
+                r < acc
+            })
+            .expect("cumulative weights cover every selector draw")
+    };
+    let op = &ops[idx];
+    match op.vals {
+        Some(vals) => {
+            let v = rng.gen_range(1..vals + 1);
+            (op.make)(key, v)
+        }
+        None => (op.make)(key, 0),
+    }
+}
+
 fn multikey_trace<T, F>(adt: &T, cfg: &MultiKeyConfig, mut op: F) -> Trace<ObjAction<T, ()>>
 where
     T: Adt,
@@ -271,11 +303,7 @@ where
 /// );
 /// ```
 pub fn random_multikey_kv_trace(cfg: &MultiKeyConfig) -> Trace<ObjAction<KvStore, ()>> {
-    multikey_trace(&KvStore, cfg, |rng, key| match rng.gen_range(0..4u8) {
-        0 => KvInput::Put(key, rng.gen_range(1..5u64)),
-        1 | 2 => KvInput::Get(key),
-        _ => KvInput::Delete(key),
-    })
+    multikey_trace(&KvStore, cfg, sample_keyed::<KvStore>)
 }
 
 /// Generates a well-formed multi-key [`Set`] trace over the elements
@@ -283,11 +311,7 @@ pub fn random_multikey_kv_trace(cfg: &MultiKeyConfig) -> Trace<ObjAction<KvStore
 ///
 /// With `error_prob = 0.0` the trace is linearizable by construction.
 pub fn random_multikey_set_trace(cfg: &MultiKeyConfig) -> Trace<ObjAction<Set, ()>> {
-    multikey_trace(&Set, cfg, |rng, key| match rng.gen_range(0..5u8) {
-        0 | 1 => SetInput::Add(key as u64),
-        2 | 3 => SetInput::Contains(key as u64),
-        _ => SetInput::Remove(key as u64),
-    })
+    multikey_trace(&Set, cfg, sample_keyed::<Set>)
 }
 
 /// Generates a well-formed multi-cell [`RegisterArray`] trace over the
@@ -297,13 +321,7 @@ pub fn random_multikey_set_trace(cfg: &MultiKeyConfig) -> Trace<ObjAction<Set, (
 pub fn random_multikey_reg_array_trace(
     cfg: &MultiKeyConfig,
 ) -> Trace<ObjAction<RegisterArray, ()>> {
-    multikey_trace(&RegisterArray, cfg, |rng, key| {
-        if rng.gen_bool(0.5) {
-            RegArrayInput::Write(key, rng.gen_range(1..5u64))
-        } else {
-            RegArrayInput::Read(key)
-        }
-    })
+    multikey_trace(&RegisterArray, cfg, sample_keyed::<RegisterArray>)
 }
 
 /// Generates a well-formed multi-slot [`CounterVector`] trace over the
@@ -313,13 +331,7 @@ pub fn random_multikey_reg_array_trace(
 pub fn random_multikey_counter_vec_trace(
     cfg: &MultiKeyConfig,
 ) -> Trace<ObjAction<CounterVector, ()>> {
-    multikey_trace(&CounterVector, cfg, |rng, key| {
-        if rng.gen_bool(0.5) {
-            CounterVecInput::Increment(key)
-        } else {
-            CounterVecInput::Read(key)
-        }
-    })
+    multikey_trace(&CounterVector, cfg, sample_keyed::<CounterVector>)
 }
 
 /// Configuration of the **hostile never-quiescent** stream generator.
@@ -524,11 +536,7 @@ pub fn random_hostile_kv_trace(cfg: &HostileConfig) -> Trace<ObjAction<KvStore, 
     let key_weights = zipf_cumulative(cfg.keys.max(1) as usize, cfg.skew);
     random_hostile_trace(&KvStore, cfg, |rng| {
         let key = sample_cumulative(rng, &key_weights) as u32 + 1;
-        match rng.gen_range(0..4u8) {
-            0 => KvInput::Put(key, rng.gen_range(1..5u64)),
-            1 | 2 => KvInput::Get(key),
-            _ => KvInput::Delete(key),
-        }
+        sample_keyed::<KvStore>(rng, key)
     })
 }
 

@@ -69,6 +69,7 @@ use crate::stream::{
 };
 use crate::ObjAction;
 use slin_adt::{Adt, IdentityPartitioner, Partitioner};
+use slin_analysis::{short_type_name, CertError, CertStore, Certificate};
 use slin_obs::{EngineSearchEvent, Obs};
 use slin_trace::Trace;
 use std::marker::PhantomData;
@@ -95,6 +96,27 @@ pub enum Strategy {
     },
 }
 
+/// What a session does with a partitioner that carries no soundness
+/// certificate (see `slin-analysis`: `slin-analyze --all` certifies the
+/// shipped partitioners, [`SessionBuilder::partitioner_certified`] and
+/// [`SessionBuilder::cert_store`] install the proof).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CertPolicy {
+    /// Trust the caller (the historical behaviour): the partitioner is
+    /// used as supplied. The soundness contract is still binding — it is
+    /// just not machine-checked at build time.
+    #[default]
+    Trust,
+    /// Keep the session but drop the uncertified partitioner: checking
+    /// falls back to the monolithic path and every [`Verdict`] carries
+    /// [`Verdict::cert_downgraded`] so the degradation is observable.
+    WarnMonolithic,
+    /// Refuse to build: [`SessionBuilder::try_build`] returns
+    /// [`CertError::Uncertified`]. The daemon's `require_cert` tenant
+    /// policy builds with this.
+    Require,
+}
+
 /// Which concrete code path a [`Verdict`] came from (what
 /// [`Strategy::Auto`] resolved to).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +141,10 @@ pub struct Verdict<W, E> {
     pub partition: Option<PartitionReport>,
     /// The concrete code path that produced this verdict.
     pub strategy: StrategyUsed,
+    /// Whether [`CertPolicy::WarnMonolithic`] dropped an uncertified
+    /// partitioner when this session was built — the verdict is sound but
+    /// came from the slower monolithic path.
+    pub cert_downgraded: bool,
 }
 
 impl<W, E> Verdict<W, E> {
@@ -172,6 +198,9 @@ impl<M> Checker<M> {
             window: None,
             gc: None,
             obs: Obs::noop(),
+            cert: None,
+            cert_store: None,
+            cert_policy: CertPolicy::Trust,
         }
     }
 }
@@ -186,6 +215,12 @@ pub struct SessionBuilder<M, P> {
     window: Option<usize>,
     gc: Option<GcPolicy>,
     obs: Obs,
+    /// Explicit certificate from [`SessionBuilder::partitioner_certified`]
+    /// (hash and partitioner name already verified; the ADT name is
+    /// checked at build time, when `M::Adt` is nameable).
+    cert: Option<Certificate>,
+    cert_store: Option<CertStore>,
+    cert_policy: CertPolicy,
 }
 
 impl<M, P> SessionBuilder<M, P> {
@@ -240,7 +275,11 @@ impl<M, P> SessionBuilder<M, P> {
 
     /// Supplies a [`Partitioner`], enabling the partitioned path (and
     /// per-key sharding on the streaming path). The partitioner must
-    /// uphold the soundness contract documented in [`slin_adt::partition`].
+    /// uphold the soundness contract documented in [`slin_adt::partition`];
+    /// to have that contract machine-checked instead of trusted, pass the
+    /// analyzer's proof via [`SessionBuilder::partitioner_certified`] (or
+    /// register it in a [`SessionBuilder::cert_store`]) — `slin-analyze
+    /// --all` produces certificates for every shipped partitioner.
     pub fn partitioner<Q>(self, partitioner: Q) -> SessionBuilder<M, Q> {
         SessionBuilder {
             model: self.model,
@@ -251,17 +290,131 @@ impl<M, P> SessionBuilder<M, P> {
             window: self.window,
             gc: self.gc,
             obs: self.obs,
+            // A fresh partitioner invalidates any explicit certificate;
+            // the store (keyed by type names) remains authoritative.
+            cert: None,
+            cert_store: self.cert_store,
+            cert_policy: self.cert_policy,
         }
     }
 
-    /// Builds the [`Session`].
-    pub fn build<V>(mut self) -> Session<M, V, P>
+    /// Supplies a [`Partitioner`] together with its soundness
+    /// [`Certificate`] (produced by `slin_analysis::certify` or read back
+    /// from `analysis/certs/`). The certificate's content hash and
+    /// partitioner name are verified here; its ADT name is verified at
+    /// [`SessionBuilder::try_build`], where the model's ADT is nameable.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use slin_adt::{KvKeyPartitioner, KvStore};
+    /// use slin_analysis::{certify, AnalyzeConfig};
+    /// use slin_core::lin::LinChecker;
+    /// use slin_core::session::Checker;
+    ///
+    /// let cert = certify(&KvStore, &KvKeyPartitioner, &AnalyzeConfig::default()).unwrap();
+    /// let mut session = Checker::builder(LinChecker::owned(KvStore))
+    ///     .partitioner_certified(KvKeyPartitioner, &cert)
+    ///     .unwrap()
+    ///     .build::<()>();
+    /// ```
+    pub fn partitioner_certified<Q>(
+        self,
+        partitioner: Q,
+        cert: &Certificate,
+    ) -> Result<SessionBuilder<M, Q>, CertError> {
+        if !cert.verify() {
+            return Err(CertError::BadHash);
+        }
+        let expected = short_type_name::<Q>();
+        if cert.partitioner != expected {
+            return Err(CertError::PartitionerMismatch {
+                expected: expected.to_string(),
+                found: cert.partitioner.clone(),
+            });
+        }
+        let mut next = self.partitioner(partitioner);
+        next.cert = Some(cert.clone());
+        Ok(next)
+    }
+
+    /// Installs a [`CertStore`]: at build time the `(ADT, partitioner)`
+    /// pair is looked up by type name, and an absent certificate is
+    /// handled per [`SessionBuilder::cert_policy`].
+    pub fn cert_store(mut self, store: CertStore) -> Self {
+        self.cert_store = Some(store);
+        self
+    }
+
+    /// What to do when the partitioner has no verified certificate
+    /// (default: [`CertPolicy::Trust`], the historical behaviour).
+    pub fn cert_policy(mut self, policy: CertPolicy) -> Self {
+        self.cert_policy = policy;
+        self
+    }
+
+    /// Builds the [`Session`], panicking if the certification policy
+    /// rejects the partitioner — use [`SessionBuilder::try_build`] to
+    /// handle [`CertError`]s. Infallible under the default
+    /// [`CertPolicy::Trust`] with no explicit certificate.
+    pub fn build<V>(self) -> Session<M, V, P>
     where
         M: StreamModel<V>,
         <M::Adt as Adt>::Input: Ord,
         V: Clone + PartialEq,
         P: Partitioner<M::Adt>,
     {
+        self.try_build()
+            .expect("certification policy rejected the partitioner")
+    }
+
+    /// Builds the [`Session`], applying the certification policy.
+    ///
+    /// Fails with [`CertError::BadHash`] / [`CertError::AdtMismatch`] /
+    /// [`CertError::PartitionerMismatch`] when an installed certificate
+    /// does not cover this session's `(ADT, partitioner)` pair, and with
+    /// [`CertError::Uncertified`] when no certificate exists under
+    /// [`CertPolicy::Require`]. Under [`CertPolicy::WarnMonolithic`] an
+    /// uncertified partitioner is dropped instead: the session builds,
+    /// checks monolithically, and flags [`Verdict::cert_downgraded`].
+    pub fn try_build<V>(mut self) -> Result<Session<M, V, P>, CertError>
+    where
+        M: StreamModel<V>,
+        <M::Adt as Adt>::Input: Ord,
+        V: Clone + PartialEq,
+        P: Partitioner<M::Adt>,
+    {
+        let adt_name = short_type_name::<M::Adt>();
+        let certified = if let Some(cert) = &self.cert {
+            // Hash and partitioner name were verified on install.
+            if cert.adt != adt_name {
+                return Err(CertError::AdtMismatch {
+                    expected: adt_name.to_string(),
+                    found: cert.adt.clone(),
+                });
+            }
+            true
+        } else {
+            self.cert_store
+                .as_ref()
+                .is_some_and(|store| store.is_certified(adt_name, short_type_name::<P>()))
+        };
+        let mut cert_downgraded = false;
+        if self.partitioner.is_some() && !certified {
+            match self.cert_policy {
+                CertPolicy::Trust => {}
+                CertPolicy::WarnMonolithic => {
+                    self.partitioner = None;
+                    cert_downgraded = true;
+                }
+                CertPolicy::Require => {
+                    return Err(CertError::Uncertified {
+                        adt: adt_name.to_string(),
+                        partitioner: short_type_name::<P>().to_string(),
+                    });
+                }
+            }
+        }
         if let Some(budget) = self.budget {
             self.model.set_budget(budget);
         }
@@ -288,14 +441,15 @@ impl<M, P> SessionBuilder<M, P> {
                 partitioner: self.partitioner,
             },
         };
-        Session {
+        Ok(Session {
             mode,
             strategy,
             window,
             gc,
             obs,
+            cert_downgraded,
             last_polled: MonitorStatus::Ok,
-        }
+        })
     }
 
     fn monitor<V>(
@@ -356,6 +510,9 @@ where
     window: Option<usize>,
     gc: Option<GcPolicy>,
     obs: Obs,
+    /// [`CertPolicy::WarnMonolithic`] dropped an uncertified partitioner
+    /// at build time; every verdict reports it.
+    cert_downgraded: bool,
     last_polled: MonitorStatus,
 }
 
@@ -404,6 +561,7 @@ where
                         stats,
                         partition: None,
                         strategy: StrategyUsed::Monolithic,
+                        cert_downgraded: self.cert_downgraded,
                     };
                 }
                 let split = match partitioner {
@@ -423,6 +581,7 @@ where
                     stats: sv.report.stats,
                     partition: Some(sv.report),
                     strategy: StrategyUsed::Partitioned,
+                    cert_downgraded: self.cert_downgraded,
                 }
             }
             Mode::Streaming(monitor) => {
@@ -435,6 +594,7 @@ where
                     stats: report.stats,
                     partition: None,
                     strategy: StrategyUsed::Streaming,
+                    cert_downgraded: self.cert_downgraded,
                 }
             }
             Mode::Transitioning => unreachable!("transient mode is never observable"),

@@ -23,9 +23,10 @@
 
 use crate::wire::{Decoder, Frame, KvAction, WireError};
 use slin_adt::{KvKeyPartitioner, KvStore};
+use slin_analysis::{certify, AnalyzeConfig, Certificate};
 use slin_core::lin::LinChecker;
 use slin_core::model::ConsistencyModel;
-use slin_core::session::{Checker, Session, Strategy, VerdictDelta};
+use slin_core::session::{CertPolicy, Checker, Session, Strategy, VerdictDelta};
 use slin_core::stream::{GcPolicy, MonitorStatus};
 use slin_obs::{Counter, Gauge, Histogram, LanePumpEvent, Obs, StackObserver};
 use std::collections::{BTreeMap, VecDeque};
@@ -60,6 +61,12 @@ pub struct TenantPolicy {
     /// (verdict-downgrade shed). `false` keeps verdicts exact and sheds
     /// only by draining inline (blocking backpressure).
     pub shed_lossy: bool,
+    /// Build the tenant's session under [`CertPolicy::Require`], against
+    /// the daemon's own `slin-analyze` certificate for the shipped
+    /// `(KvStore, KvKeyPartitioner)` pair. Costs one lazy certification
+    /// run per process; guarantees the per-key sharding this daemon
+    /// relies on is machine-proven sound, not just documented.
+    pub require_cert: bool,
 }
 
 impl Default for TenantPolicy {
@@ -69,6 +76,7 @@ impl Default for TenantPolicy {
             window: None,
             gc: GcPolicy::default(),
             shed_lossy: true,
+            require_cert: false,
         }
     }
 }
@@ -76,11 +84,11 @@ impl Default for TenantPolicy {
 impl TenantPolicy {
     /// Parses a policy from a `key=value` comma list, e.g.
     /// `queue=64,window=16,lossy=true,epoch_force=false,frontier_cap=32`.
-    /// Keys: `queue`, `window` (`none` allowed), `lossy`, `epoch_cuts`,
-    /// `epoch_force`, `frontier_cap`, `extension_budget`, `retire_budget`
-    /// (`none` allowed), `archive` (witness-archive depth in retired
-    /// windows; `0` disables). Unset keys keep their defaults; the GC keys
-    /// write straight into the embedded [`GcPolicy`].
+    /// Keys: `queue`, `window` (`none` allowed), `lossy`, `require_cert`,
+    /// `epoch_cuts`, `epoch_force`, `frontier_cap`, `extension_budget`,
+    /// `retire_budget` (`none` allowed), `archive` (witness-archive depth
+    /// in retired windows; `0` disables). Unset keys keep their defaults;
+    /// the GC keys write straight into the embedded [`GcPolicy`].
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut policy = TenantPolicy::default();
         for part in spec.split(',').filter(|p| !p.is_empty()) {
@@ -97,6 +105,7 @@ impl TenantPolicy {
                     }
                 }
                 "lossy" => policy.shed_lossy = value.parse().map_err(|e| bad(&e))?,
+                "require_cert" => policy.require_cert = value.parse().map_err(|e| bad(&e))?,
                 "epoch_cuts" => policy.gc.epoch_cuts = value.parse().map_err(|e| bad(&e))?,
                 "epoch_force" => policy.gc.epoch_force = value.parse().map_err(|e| bad(&e))?,
                 "frontier_cap" => policy.gc.frontier_cap = value.parse().map_err(|e| bad(&e))?,
@@ -151,13 +160,29 @@ struct Tenant {
     last_status: MonitorStatus,
 }
 
+/// The process-wide `slin-analyze` certificate for the daemon's shipped
+/// `(KvStore, KvKeyPartitioner)` pair, certified once on first use.
+fn shipped_cert() -> &'static Certificate {
+    static CERT: std::sync::OnceLock<Certificate> = std::sync::OnceLock::new();
+    CERT.get_or_init(|| {
+        certify(&KvStore, &KvKeyPartitioner, &AnalyzeConfig::default())
+            .expect("KvKeyPartitioner is sound over KvStore")
+    })
+}
+
 impl Tenant {
     fn new(policy: TenantPolicy, obs: Obs, events_metric: Counter) -> Self {
-        let mut builder = Checker::builder(LinChecker::owned(KvStore))
-            .partitioner(KvKeyPartitioner)
-            .strategy(Strategy::Streaming { window: None })
-            .gc_policy(policy.gc)
-            .observer(obs);
+        let base = Checker::builder(LinChecker::owned(KvStore));
+        let mut builder = if policy.require_cert {
+            base.partitioner_certified(KvKeyPartitioner, shipped_cert())
+                .expect("shipped certificate names KvKeyPartitioner")
+                .cert_policy(CertPolicy::Require)
+        } else {
+            base.partitioner(KvKeyPartitioner)
+        }
+        .strategy(Strategy::Streaming { window: None })
+        .gc_policy(policy.gc)
+        .observer(obs);
         if let Some(window) = policy.window {
             builder = builder.window(window);
         }

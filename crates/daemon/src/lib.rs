@@ -25,6 +25,7 @@
 //! The binary (`slin-daemon`) wires the three together: generate or
 //! accept a workload, ingest, pump, snapshot verdicts, print metrics.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod daemon;

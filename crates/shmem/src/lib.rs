@@ -27,6 +27,7 @@
 //! assert!(outcome.agreement());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cascons;

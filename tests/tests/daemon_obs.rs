@@ -167,6 +167,7 @@ fn instrumented_thousand_tenant_run_exports_and_round_trips_witnesses() {
             ..GcPolicy::default()
         },
         shed_lossy: false,
+        require_cert: false,
     };
     let stack = Arc::new(StackObserver::with_tracing(1 << 14));
     let mut daemon = Daemon::with_observer(

@@ -120,21 +120,12 @@ proptest! {
 
 /// A deliberately unsound partitioner fails the property — the test
 /// actually discriminates (guards against a vacuously-true contract
-/// checker).
+/// checker). The discriminator is the shared `slin_analysis::fixtures`
+/// one, which the static analyzer must also reject (see
+/// `tests/tests/static_certification.rs`).
 #[test]
 fn contract_checker_rejects_an_unsound_partitioner() {
-    struct BogusCounterPartitioner;
-    impl Partitioner<slin_adt::Counter> for BogusCounterPartitioner {
-        type Key = u8;
-        fn key_of(&self, input: &slin_adt::CounterInput) -> Option<u8> {
-            // Unsound: claims increments and reads are independent classes,
-            // but reads observe increments.
-            Some(match input {
-                slin_adt::CounterInput::Increment => 0,
-                slin_adt::CounterInput::Read => 1,
-            })
-        }
-    }
+    use slin_analysis::fixtures::BogusCounterPartitioner;
     let h = [
         slin_adt::CounterInput::Increment,
         slin_adt::CounterInput::Read,

@@ -1,0 +1,285 @@
+//! End-to-end checks of the `slin-analyze` certification pipeline: the
+//! analyzer's verdicts, the replayability of its counterexamples as real
+//! checker divergences, and the session/daemon layers that consume
+//! certificates ([`CertPolicy`], `require_cert`).
+//!
+//! Positive half: every shipped per-key partitioner certifies at the
+//! default depth (≥ 4) and its certificate is byte-stable across runs —
+//! the determinism pin that lets CI commit `analysis/certs/*.json` and
+//! fail on drift. Negative half: every fixture in
+//! `slin_analysis::fixtures` is rejected with a counterexample of length
+//! ≤ 4, and the [`BogusCounterPartitioner`] one replays as an actual
+//! partitioned-vs-monolithic verdict divergence — the analyzer's
+//! rejections are about real unsoundness, not artifacts of its encoding.
+
+use slin_adt::{
+    Consensus, Counter, CounterInput, CounterVecPartitioner, CounterVector, KvInput,
+    KvKeyPartitioner, KvOutput, KvStore, Partitioner, Queue, RegArrayPartitioner, RegisterArray,
+    Set, SetElemPartitioner, Stack,
+};
+use slin_analysis::fixtures::{
+    BogusCounterPartitioner, ConsProposalPartitioner, QueueValuePartitioner, StackValuePartitioner,
+};
+use slin_analysis::{certify, AnalyzeConfig, AnalyzeFailure, CertError, CertStore, Counterexample};
+use slin_core::lin::LinChecker;
+use slin_core::session::{CertPolicy, Checker, Strategy, StrategyUsed};
+use slin_trace::{Action, ClientId, PhaseId};
+
+fn rejection<T, P>(adt: &T, p: &P) -> Counterexample<T>
+where
+    T: slin_adt::DomainSpec + std::fmt::Debug,
+    P: Partitioner<T>,
+{
+    match certify(adt, p, &AnalyzeConfig::default()) {
+        Err(AnalyzeFailure::Unsound(cex)) => cex,
+        other => panic!("expected a counterexample, got {other:?}"),
+    }
+}
+
+/// All four shipped per-key partitioners certify at depth ≥ 4, and
+/// re-running the analyzer reproduces the certificate byte-for-byte —
+/// JSON rendering included. This is the pin behind `ci/cert_check.py`.
+#[test]
+fn shipped_partitioners_certify_deterministically() {
+    let cfg = AnalyzeConfig::default();
+    assert!(cfg.depth >= 4, "default depth regressed below 4");
+
+    macro_rules! pin {
+        ($adt:expr, $p:expr) => {{
+            let a = certify(&$adt, &$p, &cfg).expect("shipped partitioner must certify");
+            let b = certify(&$adt, &$p, &cfg).expect("shipped partitioner must certify");
+            assert_eq!(a.depth, cfg.depth);
+            assert!(a.verify(), "certificate hash does not verify");
+            assert_eq!(a.to_json(), b.to_json(), "certificate is not byte-stable");
+        }};
+    }
+    pin!(KvStore, KvKeyPartitioner);
+    pin!(Set, SetElemPartitioner);
+    pin!(RegisterArray, RegArrayPartitioner);
+    pin!(CounterVector, CounterVecPartitioner);
+}
+
+/// The unsound-partitioner discriminator shared with
+/// `tests/tests/partitioner_contract.rs` is rejected with a
+/// counterexample of ≤ 4 inputs whose replay *actually diverges*: the
+/// sequential trace it builds passes the monolithic checker and fails the
+/// partitioned one under the bogus partitioner.
+#[test]
+fn bogus_counter_rejection_replays_as_a_checker_divergence() {
+    let cex = rejection(&Counter, &BogusCounterPartitioner);
+    assert!(cex.len() <= 4, "counterexample too long: {}", cex.len());
+    // The counterexample must actually exercise the cross-key interaction.
+    let inputs = cex.inputs();
+    assert!(inputs.contains(&CounterInput::Increment));
+    assert!(inputs.contains(&CounterInput::Read));
+
+    let trace = cex.to_trace(&Counter);
+    assert_eq!(trace.len(), cex.len() * 2);
+
+    let mono = Checker::builder(LinChecker::owned(Counter))
+        .strategy(Strategy::Monolithic)
+        .build::<()>()
+        .check(&trace);
+    assert!(mono.is_ok(), "replay must be monolithically linearizable");
+    assert_eq!(mono.strategy, StrategyUsed::Monolithic);
+
+    let split = Checker::builder(LinChecker::owned(Counter))
+        .partitioner(BogusCounterPartitioner)
+        .strategy(Strategy::Partitioned)
+        .build::<()>()
+        .check(&trace);
+    assert!(
+        !split.is_ok(),
+        "partitioned checking under the unsound partitioner must diverge"
+    );
+    assert_eq!(split.strategy, StrategyUsed::Partitioned);
+}
+
+/// Every negative fixture — one per coupled ADT family — is rejected
+/// with a short, shrunk counterexample.
+#[test]
+fn every_unsound_fixture_is_rejected() {
+    assert!(rejection(&Counter, &BogusCounterPartitioner).len() <= 4);
+    assert!(rejection(&Queue, &QueueValuePartitioner).len() <= 4);
+    assert!(rejection(&Stack, &StackValuePartitioner).len() <= 4);
+    assert!(rejection(&Consensus, &ConsProposalPartitioner).len() <= 4);
+}
+
+/// A certificate installed via `partitioner_certified` builds a session
+/// that really uses the partitioned path, with no downgrade flag.
+#[test]
+fn certified_partitioner_builds_and_runs_partitioned() {
+    let cert = certify(&KvStore, &KvKeyPartitioner, &AnalyzeConfig::default()).unwrap();
+    let mut session = Checker::builder(LinChecker::owned(KvStore))
+        .partitioner_certified(KvKeyPartitioner, &cert)
+        .expect("matching certificate must install")
+        .cert_policy(CertPolicy::Require)
+        .strategy(Strategy::Partitioned)
+        .build::<()>();
+    let (c, p) = (ClientId::new(1), PhaseId::FIRST);
+    let trace = slin_trace::Trace::from_actions(vec![
+        Action::invoke(c, p, KvInput::Put(1, 7)),
+        Action::respond(c, p, KvInput::Put(1, 7), KvOutput::Ack),
+        Action::invoke(c, p, KvInput::Get(1)),
+        Action::respond(c, p, KvInput::Get(1), KvOutput::Found(Some(7))),
+    ]);
+    let verdict = session.check(&trace);
+    assert!(verdict.is_ok());
+    assert_eq!(verdict.strategy, StrategyUsed::Partitioned);
+    assert!(!verdict.cert_downgraded);
+}
+
+/// [`CertPolicy::WarnMonolithic`] drops an uncertified partitioner: the
+/// session builds and answers, but monolithically, and every verdict
+/// carries the downgrade flag.
+#[test]
+fn warn_monolithic_downgrades_an_uncertified_partitioner() {
+    let mut session = Checker::builder(LinChecker::owned(KvStore))
+        .partitioner(KvKeyPartitioner)
+        .cert_policy(CertPolicy::WarnMonolithic)
+        .build::<()>();
+    let (c, p) = (ClientId::new(1), PhaseId::FIRST);
+    let trace = slin_trace::Trace::from_actions(vec![
+        Action::invoke(c, p, KvInput::Put(1, 7)),
+        Action::respond(c, p, KvInput::Put(1, 7), KvOutput::Ack),
+    ]);
+    let verdict = session.check(&trace);
+    assert!(verdict.is_ok());
+    assert_eq!(verdict.strategy, StrategyUsed::Monolithic);
+    assert!(verdict.cert_downgraded);
+}
+
+/// [`CertPolicy::Require`] refuses to build around an uncertified
+/// partitioner, and a [`CertStore`] holding the right certificate lifts
+/// the refusal.
+#[test]
+fn require_policy_demands_a_store_or_explicit_certificate() {
+    let refused = Checker::builder(LinChecker::owned(KvStore))
+        .partitioner(KvKeyPartitioner)
+        .cert_policy(CertPolicy::Require)
+        .try_build::<()>();
+    assert!(matches!(
+        refused,
+        Err(CertError::Uncertified { ref adt, ref partitioner })
+            if adt == "KvStore" && partitioner == "KvKeyPartitioner"
+    ));
+
+    let mut store = CertStore::new();
+    store
+        .register(certify(&KvStore, &KvKeyPartitioner, &AnalyzeConfig::default()).unwrap())
+        .unwrap();
+    let session = Checker::builder(LinChecker::owned(KvStore))
+        .partitioner(KvKeyPartitioner)
+        .cert_store(store)
+        .cert_policy(CertPolicy::Require)
+        .try_build::<()>();
+    assert!(session.is_ok());
+}
+
+/// Certificate misuse is caught: a tampered certificate fails the hash
+/// check, a certificate for the wrong partitioner fails at install, and
+/// a certificate for the wrong ADT fails at build.
+#[test]
+fn mismatched_certificates_are_rejected() {
+    let cert = certify(&KvStore, &KvKeyPartitioner, &AnalyzeConfig::default()).unwrap();
+
+    // Tampered content → BadHash at install.
+    let mut forged = cert.clone();
+    forged.states += 1;
+    assert!(matches!(
+        Checker::builder(LinChecker::owned(KvStore))
+            .partitioner_certified(KvKeyPartitioner, &forged),
+        Err(CertError::BadHash)
+    ));
+
+    // Wrong partitioner type → PartitionerMismatch at install.
+    assert!(matches!(
+        Checker::builder(LinChecker::owned(Set)).partitioner_certified(SetElemPartitioner, &cert),
+        Err(CertError::PartitionerMismatch { .. })
+    ));
+
+    // Right partitioner *name*, wrong ADT → AdtMismatch at build. The
+    // impostor shares the shipped partitioner's short type name (the last
+    // path segment), so the install-time name check passes and only the
+    // ADT check can save us.
+    mod impostor {
+        use slin_adt::{Counter, CounterInput, Partitioner};
+        #[derive(Debug, Clone, Copy)]
+        pub struct KvKeyPartitioner;
+        impl Partitioner<Counter> for KvKeyPartitioner {
+            type Key = u8;
+            fn key_of(&self, _input: &CounterInput) -> Option<u8> {
+                Some(0)
+            }
+        }
+    }
+    let built = Checker::builder(LinChecker::owned(Counter))
+        .partitioner_certified(impostor::KvKeyPartitioner, &cert)
+        .expect("name matches, so install succeeds")
+        .try_build::<()>();
+    assert!(matches!(
+        built,
+        Err(CertError::AdtMismatch { ref expected, ref found })
+            if expected == "Counter" && found == "KvStore"
+    ));
+}
+
+/// The repository's own source tree satisfies the concurrency lint — the
+/// in-tree pin of what `slin-analyze --lint-src` enforces blocking in CI.
+#[test]
+fn the_workspace_passes_the_source_lint() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate lives one level under the workspace root");
+    let hits = slin_analysis::lint_workspace(root).expect("workspace sources must be readable");
+    assert!(
+        hits.is_empty(),
+        "srclint violations:\n{}",
+        hits.iter()
+            .map(|h| h.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The daemon's `require_cert` tenant policy parses from the spec string
+/// and admits traffic — the shipped KvKeyPartitioner certificate is
+/// generated in-process, so certified sessions build and verdicts flow.
+#[test]
+fn daemon_require_cert_policy_parses_and_serves() {
+    use slin_daemon::{encode_frames, Daemon, DaemonConfig, Frame, TenantPolicy};
+
+    let policy = TenantPolicy::parse("require_cert=true,window=none").unwrap();
+    assert!(policy.require_cert);
+    assert!(!TenantPolicy::default().require_cert);
+
+    let mut daemon = Daemon::new(DaemonConfig {
+        workers: 2,
+        default_policy: policy,
+    });
+    let (c, p) = (ClientId::new(1), PhaseId::FIRST);
+    let mut frames = Vec::new();
+    for tenant in 0..3u64 {
+        frames.push(Frame {
+            tenant,
+            action: Action::invoke(c, p, KvInput::Put(1, tenant + 1)),
+        });
+        frames.push(Frame {
+            tenant,
+            action: Action::respond(c, p, KvInput::Put(1, tenant + 1), KvOutput::Ack),
+        });
+        frames.push(Frame {
+            tenant,
+            action: Action::invoke(c, p, KvInput::Get(1)),
+        });
+        frames.push(Frame {
+            tenant,
+            action: Action::respond(c, p, KvInput::Get(1), KvOutput::Found(Some(tenant + 1))),
+        });
+    }
+    daemon.ingest_bytes(&encode_frames(&frames)).unwrap();
+    daemon.pump();
+    let counts = daemon.poll_verdicts();
+    assert_eq!(counts.ok, 3);
+    assert_eq!(counts.violation, 0);
+}
