@@ -4,7 +4,7 @@
 Usage: bench_threshold.py <baseline.json> <current.json>
 
 Both files are `slin-bench/v2` reports (see `cargo bench -p slin-bench
---bench report -- --json`, which writes BENCH_PR3.json). Three sections are
+--bench report -- --json`, which writes BENCH_PR10.json). The sections
 checked:
 
 B5 (partition speedups) — pure node counts (pinned seeds, no timing), so
@@ -58,6 +58,18 @@ baseline). The health columns are gated hard:
     (backpressure stays observable), and the provisioned scenarios must
     report sheds == 0 (no spurious shedding).
 
+B10 (switch-certified keyed checking on phase traces) — pure node counts
+under pinned seeds, gated hard:
+  * every row must keep byte-identical keyed/monolithic verdicts, in both
+    the batch-partitioned and the sharded-streaming form;
+  * every row must report **zero fallbacks** — the `slin-cert/v2`
+    switch-independence certificate is statically proven, so the runtime
+    must never abandon the keyed decomposition on a classifiable phase
+    trace (a non-zero count means the certificate plumbing broke);
+  * every multi-key `faulty` row must keep an absolute node-count
+    reduction ratio above 2x (refutation localized to the violating
+    class), plus the same 80%-of-baseline ratio floor as B5.
+
 B9 (observability tax + witness-archive bound) — each row reports the
 wall-clock ratio of an instrumented (full StackObserver) ingest loop to a
 no-op-observer loop over identical pinned streams, as the median of
@@ -110,6 +122,62 @@ def check_b5(baseline, current, failures):
     dropped = sorted(set(base_rows) - {row["scenario"] for row in cur_rows})
     for name in dropped:
         failures.append(f"b5 baseline row disappeared: {name}")
+
+
+# The absolute B10 acceptance bar: multi-key faulty phase workloads must
+# refute at least 2x cheaper keyed than monolithic, independent of any
+# baseline drift.
+B10_MIN_FAULTY_RATIO = 2.0
+
+
+def check_b10(baseline, current, failures):
+    base_rows = {row["scenario"]: row for row in baseline.get("b10_phase_partition", [])}
+    cur_rows = current.get("b10_phase_partition", [])
+    if not cur_rows:
+        failures.append("current report has no b10_phase_partition rows")
+
+    print("B10 — switch-certified phase-trace check (node ratios + zero fallbacks)")
+    for row in cur_rows:
+        name = row["scenario"]
+        if not row.get("verdicts_agree", False):
+            failures.append(f"{name}: keyed batch verdicts diverged from monolithic")
+        if not row.get("stream_agrees", False):
+            failures.append(f"{name}: keyed streaming verdicts diverged from monolithic")
+        if row.get("fallbacks", 1) != 0:
+            failures.append(
+                f"{name}: {row['fallbacks']} fallback(s) — the certified keyed "
+                f"path abandoned a statically-proven decomposition"
+            )
+        faulty_multikey = "faulty" in name and row.get("keys", 0) > 1
+        if faulty_multikey and row["node_ratio"] <= B10_MIN_FAULTY_RATIO:
+            failures.append(
+                f"{name}: node ratio {row['node_ratio']:.2f} at or below the "
+                f"absolute {B10_MIN_FAULTY_RATIO:.0f}x refutation-speedup floor"
+            )
+        base = base_rows.get(name)
+        if base is None:
+            print(
+                f"  new row (no baseline): {name}: ratio {row['node_ratio']:.2f}, "
+                f"fallbacks {row['fallbacks']}"
+            )
+            continue
+        floor = (1.0 - ALLOWED_REGRESSION) * base["node_ratio"]
+        status = "ok" if row["node_ratio"] >= floor else "REGRESSED"
+        print(
+            f"  {name}: ratio {row['node_ratio']:.2f} "
+            f"(baseline {base['node_ratio']:.2f}, floor {floor:.2f}) "
+            f"fallbacks {row['fallbacks']} {status}"
+        )
+        if row["node_ratio"] < floor:
+            failures.append(
+                f"{name}: node ratio {row['node_ratio']:.2f} fell below "
+                f"{floor:.2f} (baseline {base['node_ratio']:.2f}, "
+                f">{ALLOWED_REGRESSION:.0%} regression)"
+            )
+
+    dropped = sorted(set(base_rows) - {row["scenario"] for row in cur_rows})
+    for name in dropped:
+        failures.append(f"b10 baseline row disappeared: {name}")
 
 
 def check_b4c(baseline, current, failures):
@@ -412,6 +480,7 @@ def main() -> int:
 
     failures = []
     check_b5(baseline, current, failures)
+    check_b10(baseline, current, failures)
     check_b4c(baseline, current, failures)
     check_b6(baseline, current, failures)
     check_b6h(baseline, current, failures)

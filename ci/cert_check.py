@@ -3,13 +3,19 @@
 
 Two layers of defence, independent of the Rust toolchain:
 
-1. Integrity: every committed certificate parses, matches the
-   slin-cert/v1 schema, is named `<adt>__<partitioner>.json`, and its
-   content_hash re-derives from the other fields (FNV-1a 64 over the
-   canonical `|`-joined string — mirrored from crates/analysis/src/cert.rs,
-   so a hand-edited certificate fails here without running cargo).
-2. Coverage: the expected (adt, partitioner) pairs are all present and
-   nothing unexpected is committed.
+1. Integrity: every committed certificate parses, matches its declared
+   schema (slin-cert/v1 partitioner soundness, or slin-cert/v2
+   switch-independence), carries the right filename
+   (`<adt>__<partitioner>.json` for v1,
+   `<adt>__<partitioner>__switch.json` for v2), and its content_hash
+   re-derives from the other fields (FNV-1a 64 over the canonical
+   `|`-joined string — mirrored from crates/analysis/src/cert.rs, so a
+   hand-edited certificate fails here without running cargo). A
+   certificate declaring any *other* schema version is an error, not a
+   skip — unknown versions must never pass silently.
+2. Coverage: the expected v1 (adt, partitioner) pairs and v2
+   (adt, partitioner, rinit) triples are all present and nothing
+   unexpected is committed.
 
 Freshness against the analyzer itself (certificates byte-identical to a
 regeneration at the committed depth) is checked separately in CI by
@@ -24,7 +30,8 @@ import json
 import os
 import sys
 
-SCHEMA = "slin-cert/v1"
+SCHEMA_V1 = "slin-cert/v1"
+SCHEMA_V2 = "slin-cert/v2"
 
 EXPECTED_PAIRS = {
     ("KvStore", "KvKeyPartitioner"),
@@ -33,7 +40,11 @@ EXPECTED_PAIRS = {
     ("CounterVector", "CounterVecPartitioner"),
 }
 
-FIELDS = [
+# Every shipped pair is certified switch-independent under the exact
+# init relation — the keyed phase-trace checking path needs the triple.
+EXPECTED_TRIPLES = {(adt, p, "ExactInit") for adt, p in EXPECTED_PAIRS}
+
+FIELDS_V1 = [
     "schema",
     "adt",
     "partitioner",
@@ -47,7 +58,24 @@ FIELDS = [
     "content_hash",
 ]
 
-INT_FIELDS = FIELDS[3:-1]
+FIELDS_V2 = [
+    "schema",
+    "adt",
+    "partitioner",
+    "rinit",
+    "depth",
+    "alphabet",
+    "switch_values",
+    "classified",
+    "keys",
+    "states",
+    "projection_checks",
+    "commutation_checks",
+    "content_hash",
+]
+
+INT_FIELDS_V1 = FIELDS_V1[3:-1]
+INT_FIELDS_V2 = FIELDS_V2[4:-1]
 
 MIN_DEPTH = 4
 
@@ -60,35 +88,26 @@ def fnv1a64(data: bytes) -> int:
     return h
 
 
-def content_hash(cert: dict) -> str:
-    canon = "|".join(
-        str(cert[f]) for f in FIELDS[:-1]
-    )
+def content_hash(cert: dict, fields: list) -> str:
+    canon = "|".join(str(cert[f]) for f in fields[:-1])
     return f"fnv1a64:{fnv1a64(canon.encode()):016x}"
 
 
-def check_cert(path: str, errors: list) -> tuple:
-    name = os.path.basename(path)
-    with open(path, encoding="utf-8") as fh:
-        try:
-            cert = json.load(fh)
-        except json.JSONDecodeError as e:
-            errors.append(f"{name}: invalid JSON: {e}")
-            return None
-
-    missing = [f for f in FIELDS if f not in cert]
-    extra = [k for k in cert if k not in FIELDS]
+def check_common(name: str, cert: dict, fields: list, int_fields: list,
+                 want_name: str, errors: list) -> bool:
+    """Field shape, integer ranges, filename, and hash re-derivation
+    shared by both schemas. Returns False if the cert is unusable."""
+    missing = [f for f in fields if f not in cert]
+    extra = [k for k in cert if k not in fields]
     if missing:
         errors.append(f"{name}: missing fields {missing}")
-        return None
+        return False
     if extra:
         errors.append(f"{name}: unexpected fields {extra}")
-    if cert["schema"] != SCHEMA:
-        errors.append(f"{name}: schema {cert['schema']!r}, expected {SCHEMA!r}")
-    for f in INT_FIELDS:
+    for f in int_fields:
         if not isinstance(cert[f], int) or cert[f] < 0:
             errors.append(f"{name}: field {f!r} must be a non-negative integer")
-            return None
+            return False
     if cert["depth"] < MIN_DEPTH:
         errors.append(f"{name}: depth {cert['depth']} below the floor {MIN_DEPTH}")
     if cert["classified"] == 0 or cert["keys"] < 2:
@@ -96,16 +115,45 @@ def check_cert(path: str, errors: list) -> tuple:
             f"{name}: degenerate domain (classified={cert['classified']}, "
             f"keys={cert['keys']}) certifies nothing"
         )
-    want = f"{cert['adt']}__{cert['partitioner']}.json"
-    if name != want:
-        errors.append(f"{name}: filename should be {want}")
-    derived = content_hash(cert)
+    if name != want_name:
+        errors.append(f"{name}: filename should be {want_name}")
+    derived = content_hash(cert, fields)
     if cert["content_hash"] != derived:
         errors.append(
             f"{name}: content_hash {cert['content_hash']} does not re-derive "
             f"({derived}) — certificate was edited by hand or is stale"
         )
-    return (cert["adt"], cert["partitioner"])
+    return True
+
+
+def check_cert(path: str, errors: list, pairs: set, triples: set) -> None:
+    name = os.path.basename(path)
+    with open(path, encoding="utf-8") as fh:
+        try:
+            cert = json.load(fh)
+        except json.JSONDecodeError as e:
+            errors.append(f"{name}: invalid JSON: {e}")
+            return
+
+    schema = cert.get("schema")
+    if schema == SCHEMA_V1:
+        want = f"{cert.get('adt')}__{cert.get('partitioner')}.json"
+        if check_common(name, cert, FIELDS_V1, INT_FIELDS_V1, want, errors):
+            pairs.add((cert["adt"], cert["partitioner"]))
+    elif schema == SCHEMA_V2:
+        want = f"{cert.get('adt')}__{cert.get('partitioner')}__switch.json"
+        if check_common(name, cert, FIELDS_V2, INT_FIELDS_V2, want, errors):
+            if cert["switch_values"] == 0:
+                errors.append(
+                    f"{name}: empty switch domain certifies no decomposition"
+                )
+            triples.add((cert["adt"], cert["partitioner"], cert["rinit"]))
+    else:
+        errors.append(
+            f"{name}: unknown schema {schema!r} — this checker accepts only "
+            f"{SCHEMA_V1!r} and {SCHEMA_V2!r}; teach it new versions "
+            "explicitly, never skip them"
+        )
 
 
 def main() -> int:
@@ -119,21 +167,29 @@ def main() -> int:
         return 1
 
     errors: list = []
-    seen = set()
+    pairs: set = set()
+    triples: set = set()
     for name in sorted(os.listdir(certs_dir)):
         if not name.endswith(".json"):
             errors.append(f"{name}: stray non-certificate file in {certs_dir}")
             continue
-        pair = check_cert(os.path.join(certs_dir, name), errors)
-        if pair is not None:
-            seen.add(pair)
+        check_cert(os.path.join(certs_dir, name), errors, pairs, triples)
 
-    for pair in sorted(EXPECTED_PAIRS - seen):
-        errors.append(f"missing certificate for {pair[0]} / {pair[1]}")
-    for pair in sorted(seen - EXPECTED_PAIRS):
+    for pair in sorted(EXPECTED_PAIRS - pairs):
+        errors.append(f"missing v1 certificate for {pair[0]} / {pair[1]}")
+    for pair in sorted(pairs - EXPECTED_PAIRS):
         errors.append(
-            f"unexpected certificate {pair[0]} / {pair[1]} — "
+            f"unexpected v1 certificate {pair[0]} / {pair[1]} — "
             "update EXPECTED_PAIRS in ci/cert_check.py if intentional"
+        )
+    for t in sorted(EXPECTED_TRIPLES - triples):
+        errors.append(
+            f"missing v2 switch certificate for {t[0]} / {t[1]} under {t[2]}"
+        )
+    for t in sorted(triples - EXPECTED_TRIPLES):
+        errors.append(
+            f"unexpected v2 switch certificate {t[0]} / {t[1]} / {t[2]} — "
+            "update EXPECTED_TRIPLES in ci/cert_check.py if intentional"
         )
 
     if errors:
@@ -141,7 +197,10 @@ def main() -> int:
         for e in errors:
             print(f"  - {e}")
         return 1
-    print(f"cert_check: {len(seen)} certificate(s) OK in {certs_dir}")
+    print(
+        f"cert_check: {len(pairs)} v1 + {len(triples)} v2 certificate(s) "
+        f"OK in {certs_dir}"
+    )
     return 0
 
 

@@ -66,6 +66,29 @@ pub const DOMAIN_VALS: u64 = 2;
 pub trait DomainSpec: Adt {
     /// The enumerable input alphabet explored by the analyzer.
     fn input_domain(&self) -> Vec<Self::Input>;
+
+    /// The enumerable **switch/phase domain**: the candidate init histories
+    /// a switch action may carry under the exact init relation, as explored
+    /// by the switch-independence analyzer (`slin-analysis`).
+    ///
+    /// The default enumerates every history of length at most two over
+    /// [`input_domain`](DomainSpec::input_domain) — empty, singletons, and
+    /// ordered pairs. Two elements suffice for the same reason
+    /// [`DOMAIN_KEYS`] is two: every decomposition obligation relates at
+    /// most two independence classes, and ordered pairs are exactly what
+    /// distinguishes a relation that factors per class from one that
+    /// couples classes through cross-key order.
+    fn switch_domain(&self) -> Vec<Vec<Self::Input>> {
+        let base = self.input_domain();
+        let mut values = vec![Vec::new()];
+        values.extend(base.iter().map(|i| vec![i.clone()]));
+        for a in &base {
+            for b in &base {
+                values.push(vec![a.clone(), b.clone()]);
+            }
+        }
+        values
+    }
 }
 
 /// One weighted per-key input constructor of a product ADT.
@@ -299,6 +322,22 @@ mod tests {
                 KvInput::Delete(3),
             ]
         );
+    }
+
+    #[test]
+    fn switch_domain_covers_empty_singleton_and_pairs() {
+        let domain = KvStore.input_domain();
+        let switches = KvStore.switch_domain();
+        assert_eq!(
+            switches.len(),
+            1 + domain.len() + domain.len() * domain.len()
+        );
+        assert!(switches.contains(&vec![]));
+        assert!(switches.contains(&vec![KvInput::Put(1, 1)]));
+        assert!(switches.contains(&vec![KvInput::Put(1, 1), KvInput::Get(2)]));
+        assert!(switches.contains(&vec![KvInput::Get(2), KvInput::Put(1, 1)]));
+        assert!(switches.iter().all(|v| v.len() <= 2));
+        assert_eq!(switches, KvStore.switch_domain(), "deterministic");
     }
 
     #[test]

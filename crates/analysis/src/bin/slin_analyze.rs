@@ -22,7 +22,10 @@ use slin_adt::{
 use slin_analysis::fixtures::{
     BogusCounterPartitioner, ConsProposalPartitioner, QueueValuePartitioner, StackValuePartitioner,
 };
-use slin_analysis::{certify, lint_workspace, AnalyzeConfig, AnalyzeFailure, Certificate, RULES};
+use slin_analysis::{
+    certify, certify_switch, lint_workspace, AnalyzeConfig, AnalyzeFailure, Certificate,
+    SwitchCert, SwitchFailure, RULES,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -164,6 +167,83 @@ where
     }
 }
 
+/// Runs one positive switch-independence certification.
+fn switch_positive<T, P>(
+    adt: &T,
+    p: &P,
+    cfg: &AnalyzeConfig,
+    failures: &mut u32,
+) -> Option<SwitchCert>
+where
+    T: slin_adt::DomainSpec + std::fmt::Debug,
+    P: slin_adt::Partitioner<T>,
+{
+    match certify_switch(adt, p, cfg) {
+        Ok(cert) => {
+            println!(
+                "  certified {} / {} / {} (depth {}, {} switch values, {} states) {}",
+                cert.adt,
+                cert.partitioner,
+                cert.rinit,
+                cert.depth,
+                cert.switch_values,
+                cert.states,
+                cert.content_hash,
+            );
+            Some(cert)
+        }
+        Err(SwitchFailure::Unsound(cex)) => {
+            *failures += 1;
+            eprintln!("  FAILED to certify switch independence: {}", cex.render());
+            None
+        }
+        Err(SwitchFailure::StateSpaceExceeded { explored }) => {
+            *failures += 1;
+            eprintln!(
+                "  FAILED to certify switch independence: state space exceeded \
+                 ({explored} signatures)"
+            );
+            None
+        }
+    }
+}
+
+/// Runs one negative switch-independence fixture, which must be rejected.
+fn switch_negative<T, P>(adt: &T, p: &P, cfg: &AnalyzeConfig, failures: &mut u32)
+where
+    T: slin_adt::DomainSpec + std::fmt::Debug,
+    P: slin_adt::Partitioner<T>,
+{
+    use slin_analysis::short_type_name;
+    match certify_switch(adt, p, cfg) {
+        Err(SwitchFailure::Unsound(cex)) => {
+            println!(
+                "  rejected  {} / {} (switch counterexample of {} inputs)",
+                short_type_name::<T>(),
+                short_type_name::<P>(),
+                cex.len(),
+            );
+        }
+        Ok(_) => {
+            *failures += 1;
+            eprintln!(
+                "  FAILED: unsound fixture {} / {} was switch-certified",
+                short_type_name::<T>(),
+                short_type_name::<P>(),
+            );
+        }
+        Err(SwitchFailure::StateSpaceExceeded { explored }) => {
+            *failures += 1;
+            eprintln!(
+                "  FAILED: fixture {} / {} exceeded the state space ({explored}) before \
+                 a switch counterexample",
+                short_type_name::<T>(),
+                short_type_name::<P>(),
+            );
+        }
+    }
+}
+
 fn run_all(opts: &Options) -> Result<u32, std::io::Error> {
     let cfg = AnalyzeConfig {
         depth: opts.depth,
@@ -177,6 +257,20 @@ fn run_all(opts: &Options) -> Result<u32, std::io::Error> {
         positive(&Set, &SetElemPartitioner, &cfg, &mut failures),
         positive(&RegisterArray, &RegArrayPartitioner, &cfg, &mut failures),
         positive(&CounterVector, &CounterVecPartitioner, &cfg, &mut failures),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+
+    println!(
+        "certifying switch independence (slin-cert/v2, depth {}):",
+        cfg.depth
+    );
+    let switch_certs: Vec<SwitchCert> = [
+        switch_positive(&KvStore, &KvKeyPartitioner, &cfg, &mut failures),
+        switch_positive(&Set, &SetElemPartitioner, &cfg, &mut failures),
+        switch_positive(&RegisterArray, &RegArrayPartitioner, &cfg, &mut failures),
+        switch_positive(&CounterVector, &CounterVecPartitioner, &cfg, &mut failures),
     ]
     .into_iter()
     .flatten()
@@ -208,15 +302,46 @@ fn run_all(opts: &Options) -> Result<u32, std::io::Error> {
         &mut failures,
     );
 
+    println!("rejecting negative switch fixtures:");
+    switch_negative(
+        &slin_adt::Counter,
+        &BogusCounterPartitioner,
+        &cfg,
+        &mut failures,
+    );
+    switch_negative(
+        &slin_adt::Queue,
+        &QueueValuePartitioner,
+        &cfg,
+        &mut failures,
+    );
+    switch_negative(
+        &slin_adt::Stack,
+        &StackValuePartitioner,
+        &cfg,
+        &mut failures,
+    );
+    switch_negative(
+        &slin_adt::Consensus,
+        &ConsProposalPartitioner,
+        &cfg,
+        &mut failures,
+    );
+
     let out_dir = opts
         .out
         .clone()
         .unwrap_or_else(|| opts.root.join("analysis").join("certs"));
+    let rendered: Vec<(String, String)> = certs
+        .iter()
+        .map(|c| (c.file_name(), c.to_json()))
+        .chain(switch_certs.iter().map(|c| (c.file_name(), c.to_json())))
+        .collect();
     if opts.check {
-        for cert in &certs {
-            let path = out_dir.join(cert.file_name());
+        for (name, json) in &rendered {
+            let path = out_dir.join(name);
             let committed = std::fs::read_to_string(&path).unwrap_or_default();
-            if committed != cert.to_json() {
+            if committed != *json {
                 failures += 1;
                 eprintln!(
                     "  STALE certificate {}: regenerate with `slin-analyze --all`",
@@ -229,12 +354,12 @@ fn run_all(opts: &Options) -> Result<u32, std::io::Error> {
         }
     } else {
         std::fs::create_dir_all(&out_dir)?;
-        for cert in &certs {
-            std::fs::write(out_dir.join(cert.file_name()), cert.to_json())?;
+        for (name, json) in &rendered {
+            std::fs::write(out_dir.join(name), json)?;
         }
         println!(
             "wrote {} certificates to {}",
-            certs.len(),
+            rendered.len(),
             out_dir.display()
         );
     }

@@ -15,6 +15,10 @@ use std::fmt;
 /// Certificate schema identifier, bumped on any field change.
 pub const CERT_SCHEMA: &str = "slin-cert/v1";
 
+/// Switch-independence certificate schema identifier (the `v2` section
+/// committed alongside the v1 partitioner certificates).
+pub const SWITCH_CERT_SCHEMA: &str = "slin-cert/v2";
+
 /// The last path segment of `std::any::type_name::<T>()` — the canonical
 /// short name certificates use for ADTs and partitioners.
 pub fn short_type_name<T: ?Sized>() -> &'static str {
@@ -107,6 +111,109 @@ impl Certificate {
     }
 }
 
+/// A successful switch-independence run: under the named init relation,
+/// every switch value in the ADT's enumerable switch domain decomposes per
+/// independence class of the named partitioner — candidate-set projection
+/// commutes with per-key projection, and switch interpretation commutes
+/// with cross-class transitions — over every history of classified domain
+/// inputs up to `depth`.
+///
+/// This is the `slin-cert/v2` schema committed alongside the v1
+/// partitioner certificates; installing one through the `slin-core`
+/// session builder unlocks keyed (per-class) checking of phase traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchCert {
+    /// Short type name of the certified ADT (e.g. `KvStore`).
+    pub adt: String,
+    /// Short type name of the certified partitioner.
+    pub partitioner: String,
+    /// Short type name of the init relation the decomposition is proved
+    /// for (e.g. `ExactInit`).
+    pub rinit: String,
+    /// Exploration depth (maximum history length).
+    pub depth: usize,
+    /// Size of the ADT's enumerable input alphabet.
+    pub alphabet: usize,
+    /// Size of the ADT's enumerable switch/phase domain.
+    pub switch_values: usize,
+    /// How many alphabet inputs the partitioner classified (`Some` key).
+    pub classified: usize,
+    /// Distinct independence classes among the classified inputs.
+    pub keys: usize,
+    /// Distinct `(state, projections)` signatures explored.
+    pub states: usize,
+    /// Init-candidate projection obligations checked.
+    pub projection_checks: u64,
+    /// Switch-interpretation/cross-class commutation obligations checked.
+    pub commutation_checks: u64,
+    /// FNV-1a 64-bit hash (hex) over every field above, in order.
+    pub content_hash: String,
+}
+
+impl SwitchCert {
+    /// Computes the content hash for the non-hash fields.
+    pub fn compute_hash(&self) -> String {
+        let canon = format!(
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+            SWITCH_CERT_SCHEMA,
+            self.adt,
+            self.partitioner,
+            self.rinit,
+            self.depth,
+            self.alphabet,
+            self.switch_values,
+            self.classified,
+            self.keys,
+            self.states,
+            self.projection_checks,
+            self.commutation_checks,
+        );
+        format!("fnv1a64:{:016x}", fnv1a64(canon.as_bytes()))
+    }
+
+    /// Fills in `content_hash` from the other fields.
+    pub fn sealed(mut self) -> SwitchCert {
+        self.content_hash = self.compute_hash();
+        self
+    }
+
+    /// Whether `content_hash` matches the other fields.
+    pub fn verify(&self) -> bool {
+        self.content_hash == self.compute_hash()
+    }
+
+    /// Stable JSON rendering (2-space indent, fixed field order, trailing
+    /// newline) — the exact bytes committed under `analysis/certs/`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"adt\": \"{}\",\n  \"partitioner\": \"{}\",\n  \
+             \"rinit\": \"{}\",\n  \"depth\": {},\n  \"alphabet\": {},\n  \
+             \"switch_values\": {},\n  \"classified\": {},\n  \"keys\": {},\n  \
+             \"states\": {},\n  \"projection_checks\": {},\n  \"commutation_checks\": {},\n  \
+             \"content_hash\": \"{}\"\n}}\n",
+            SWITCH_CERT_SCHEMA,
+            json_escape(&self.adt),
+            json_escape(&self.partitioner),
+            json_escape(&self.rinit),
+            self.depth,
+            self.alphabet,
+            self.switch_values,
+            self.classified,
+            self.keys,
+            self.states,
+            self.projection_checks,
+            self.commutation_checks,
+            json_escape(&self.content_hash),
+        )
+    }
+
+    /// The committed filename for this certificate (the `__switch` suffix
+    /// keeps it apart from the pair's v1 certificate).
+    pub fn file_name(&self) -> String {
+        format!("{}__{}__switch.json", self.adt, self.partitioner)
+    }
+}
+
 /// FNV-1a 64-bit — tiny, dependency-free, and stable across platforms.
 fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -149,6 +256,14 @@ pub enum CertError {
         /// Partitioner type handed to the builder.
         partitioner: String,
     },
+    /// The switch certificate names a different init relation than the
+    /// session model interprets switches with.
+    RelationMismatch {
+        /// Init relation name of the session model.
+        expected: String,
+        /// Init relation name the certificate was issued for.
+        found: String,
+    },
 }
 
 impl fmt::Display for CertError {
@@ -168,6 +283,11 @@ impl fmt::Display for CertError {
                 "no certificate for partitioner `{partitioner}` over ADT `{adt}` \
                  (run `slin-analyze --all`, or relax the cert policy)"
             ),
+            CertError::RelationMismatch { expected, found } => write!(
+                f,
+                "switch certificate is for init relation `{found}`, session model \
+                 interprets switches with `{expected}`"
+            ),
         }
     }
 }
@@ -183,6 +303,7 @@ impl std::error::Error for CertError {}
 #[derive(Debug, Clone, Default)]
 pub struct CertStore {
     certs: BTreeMap<(String, String), Certificate>,
+    switch_certs: BTreeMap<(String, String, String), SwitchCert>,
 }
 
 impl CertStore {
@@ -211,14 +332,48 @@ impl CertStore {
         self.get(adt, partitioner).is_some()
     }
 
+    /// Verifies and registers a switch-independence certificate. Rejects
+    /// hash mismatches.
+    pub fn register_switch(&mut self, cert: SwitchCert) -> Result<(), CertError> {
+        if !cert.verify() {
+            return Err(CertError::BadHash);
+        }
+        self.switch_certs.insert(
+            (
+                cert.adt.clone(),
+                cert.partitioner.clone(),
+                cert.rinit.clone(),
+            ),
+            cert,
+        );
+        Ok(())
+    }
+
+    /// Looks up the switch certificate for an `(adt, partitioner, rinit)`
+    /// triple.
+    pub fn get_switch(&self, adt: &str, partitioner: &str, rinit: &str) -> Option<&SwitchCert> {
+        self.switch_certs
+            .get(&(adt.to_string(), partitioner.to_string(), rinit.to_string()))
+    }
+
+    /// Whether the triple holds a switch-independence certificate.
+    pub fn is_switch_certified(&self, adt: &str, partitioner: &str, rinit: &str) -> bool {
+        self.get_switch(adt, partitioner, rinit).is_some()
+    }
+
+    /// Number of registered switch certificates.
+    pub fn switch_len(&self) -> usize {
+        self.switch_certs.len()
+    }
+
     /// Number of registered certificates.
     pub fn len(&self) -> usize {
         self.certs.len()
     }
 
-    /// Whether the store holds no certificates.
+    /// Whether the store holds no certificates of either schema.
     pub fn is_empty(&self) -> bool {
-        self.certs.is_empty()
+        self.certs.is_empty() && self.switch_certs.is_empty()
     }
 }
 
@@ -275,5 +430,53 @@ mod tests {
     fn short_type_name_takes_last_segment() {
         assert_eq!(short_type_name::<Certificate>(), "Certificate");
         assert_eq!(short_type_name::<u32>(), "u32");
+    }
+
+    fn sample_switch() -> SwitchCert {
+        SwitchCert {
+            adt: "KvStore".into(),
+            partitioner: "KvKeyPartitioner".into(),
+            rinit: "ExactInit".into(),
+            depth: 3,
+            alphabet: 8,
+            switch_values: 73,
+            classified: 8,
+            keys: 2,
+            states: 50,
+            projection_checks: 400,
+            commutation_checks: 900,
+            content_hash: String::new(),
+        }
+        .sealed()
+    }
+
+    #[test]
+    fn switch_certs_seal_verify_and_serialize_stably() {
+        let cert = sample_switch();
+        assert!(cert.verify());
+        assert!(cert.to_json().contains("\"schema\": \"slin-cert/v2\""));
+        assert!(cert.to_json().contains("\"rinit\": \"ExactInit\""));
+        assert!(cert.to_json().ends_with("}\n"));
+        assert_eq!(cert.file_name(), "KvStore__KvKeyPartitioner__switch.json");
+        let mut bad = cert;
+        bad.switch_values = 1;
+        assert!(!bad.verify());
+    }
+
+    #[test]
+    fn store_keys_switch_certs_by_relation_too() {
+        let mut store = CertStore::new();
+        store.register_switch(sample_switch()).unwrap();
+        assert!(store.is_switch_certified("KvStore", "KvKeyPartitioner", "ExactInit"));
+        assert!(!store.is_switch_certified("KvStore", "KvKeyPartitioner", "ConsensusInit"));
+        assert!(
+            !store.is_certified("KvStore", "KvKeyPartitioner"),
+            "v2 is not v1"
+        );
+        assert_eq!(store.switch_len(), 1);
+        assert!(!store.is_empty());
+        let mut bad = sample_switch();
+        bad.keys = 9;
+        assert_eq!(store.register_switch(bad), Err(CertError::BadHash));
     }
 }

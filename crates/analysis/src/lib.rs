@@ -13,6 +13,11 @@
 //!   [`Counterexample`];
 //! * [`CertStore`] registers verified certificates for the session layer
 //!   (`SessionBuilder::partitioner_certified`, daemon `require_cert`);
+//! * [`certify_switch`] does the same for the **switch/init contract**:
+//!   it proves the exact init relation decomposes per independence class
+//!   over the ADT's enumerable switch domain, emitting a
+//!   [`SwitchCert`] (`slin-cert/v2`) that unlocks keyed phase-trace
+//!   checking, or a replayable [`SwitchCounterexample`];
 //! * [`lint_workspace`] enforces the repo concurrency policy on the
 //!   source tree (`slin-analyze --lint-src`);
 //! * [`fixtures`] holds deliberately unsound partitioners the analyzer
@@ -28,7 +33,13 @@ pub mod analyze;
 pub mod cert;
 pub mod fixtures;
 pub mod srclint;
+pub mod switch;
 
 pub use analyze::{certify, AnalyzeConfig, AnalyzeFailure, Counterexample, Obligation};
-pub use cert::{short_type_name, CertError, CertStore, Certificate, CERT_SCHEMA};
+pub use cert::{
+    short_type_name, CertError, CertStore, Certificate, SwitchCert, CERT_SCHEMA, SWITCH_CERT_SCHEMA,
+};
 pub use srclint::{lint_workspace, LintHit, RULES};
+pub use switch::{
+    certify_switch, SwitchCounterexample, SwitchFailure, SwitchObligation, EXACT_RELATION,
+};

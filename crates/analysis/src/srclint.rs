@@ -20,7 +20,10 @@
 //!   introduced silently;
 //! * `deprecated-gate` — calls to the legacy `check_*`/`metrics_json`
 //!   wrapper methods outside tests must sit under an explicit
-//!   `#[allow(deprecated)]`, keeping migrations one-way.
+//!   `#[allow(deprecated)]`, keeping migrations one-way;
+//! * `no-debug-macros` — `dbg!`, `todo!`, and `unimplemented!` never ship
+//!   outside `#[cfg(test)]` regions (stderr noise in daemons; reachable
+//!   panics in checkers).
 
 use std::fs;
 use std::io;
@@ -44,7 +47,17 @@ pub const RULES: &[(&str, &str)] = &[
         "deprecated-gate",
         "legacy wrapper-method calls outside tests require #[allow(deprecated)]",
     ),
+    (
+        "no-debug-macros",
+        "dbg!/todo!/unimplemented! are banned outside #[cfg(test)] regions",
+    ),
 ];
+
+/// Development-only macros that must never ship in non-test code: `dbg`
+/// leaks stderr noise into long-running daemons, `todo`/`unimplemented`
+/// turn a reachable path into a panic. Stored without the `!` so this
+/// file's own constant does not trip the rule; matching appends it.
+const DEBUG_MACROS: &[&str] = &["dbg", "todo", "unimplemented"];
 
 /// Directories whose non-test code is an ingest hot path.
 const HOT_PATHS: &[&str] = &[
@@ -180,6 +193,31 @@ fn preprocess(source: &str) -> Vec<Line<'_>> {
     lines
 }
 
+/// Blanks the contents of string literals (escape-aware), so rules about
+/// code tokens ignore matches inside messages and doc examples.
+fn mask_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_str = false;
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' if in_str => {
+                out.push(' ');
+                if chars.next().is_some() {
+                    out.push(' ');
+                }
+            }
+            '"' => {
+                in_str = !in_str;
+                out.push('"');
+            }
+            _ if in_str => out.push(' '),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Cuts a line at the first `//` that is not inside a string literal.
 fn strip_comment(line: &str) -> String {
     let bytes = line.as_bytes();
@@ -292,6 +330,37 @@ fn lint_file(rel: &str, source: &str, hits: &mut Vec<LintHit>) {
         }
     }
 
+    // Rule: no-debug-macros — development-only macros are banned outside
+    // test regions (comments were already stripped by `preprocess`).
+    for (idx, l) in lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let masked = mask_strings(&l.code);
+        for mac in DEBUG_MACROS {
+            // Require a non-identifier character before the match so
+            // `my_dbg!` or a `dbg` path segment does not trip the rule;
+            // string-literal contents are masked out above.
+            let bang = format!("{mac}!");
+            let found = masked.match_indices(&bang).any(|(pos, _)| {
+                pos == 0
+                    || !masked[..pos]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            });
+            if found {
+                hits.push(LintHit {
+                    rule: "no-debug-macros",
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    message: format!("`{bang}` outside a #[cfg(test)] region"),
+                });
+                break; // one hit per line is enough
+            }
+        }
+    }
+
     // Rule: deprecated-gate — legacy wrapper-method calls outside tests
     // must carry #[allow(deprecated)] within the preceding lines.
     for (idx, l) in lines.iter().enumerate() {
@@ -395,6 +464,27 @@ mod tests {
         // Free functions with the same name are not the legacy methods.
         let free = "fn caller(c: &C) {\n    let v = model::check_partitioned(c, p, t);\n}\n";
         assert!(lint_str("crates/core/src/foo.rs", free).is_empty());
+    }
+
+    #[test]
+    fn debug_macros_are_banned_outside_test_regions() {
+        let bad = "fn f(x: u8) -> u8 {\n    dbg!(x);\n    todo!()\n}\n";
+        let hits = lint_str("crates/adt/src/foo.rs", bad);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().all(|h| h.rule == "no-debug-macros"));
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[1].line, 3);
+        // Test regions and comments are exempt; lookalike identifiers and
+        // other macros containing the name are not matches.
+        let ok = "fn f() {\n    // a dbg!(x) in a comment\n    my_dbg!(1);\n    \
+                  log(\"never todo!() here\");\n}\n\
+                  #[cfg(test)]\nmod tests {\n    fn g() {\n        dbg!(1);\n        \
+                  unimplemented!()\n    }\n}\n";
+        assert!(lint_str("crates/adt/src/foo.rs", ok).is_empty());
+        let unimpl = "fn f() {\n    unimplemented!(\"later\")\n}\n";
+        let hits = lint_str("crates/core/src/foo.rs", unimpl);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("unimplemented!"));
     }
 
     #[test]

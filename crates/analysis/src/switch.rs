@@ -1,0 +1,655 @@
+//! Bounded symbolic certification of **switch independence**: does the
+//! exact init relation decompose per independence class?
+//!
+//! Phase traces (speculative linearizability, Defs. 19/25–31) interpret
+//! every switch action through the init relation `rinit`: the candidate
+//! history a switch carries seeds the chain search, and its longest common
+//! prefix constrains every commit. Partitioned and streaming checking of
+//! phase traces is sound only when that interpretation *factors through
+//! the partitioner's independence classes* — otherwise a candidate history
+//! can couple two classes through cross-key order, and per-class checking
+//! diverges from the monolithic verdict.
+//!
+//! [`certify_switch`] discharges two obligations exhaustively over the
+//! ADT's enumerable [`DomainSpec::switch_domain`], at every history of
+//! classified inputs up to a configured depth:
+//!
+//! 1. **Candidate projection** — for every switch value `v`, history `h`
+//!    and classified probe `i` with key `k`, the probe answers identically
+//!    after the monolithic interpretation (`run(v ::: h)`) and after the
+//!    per-class one (`run(v|k ::: h|k)`). This is "per-key `rinit`
+//!    projection equals projection of `rinit`" made operational for the
+//!    exact relation, whose candidate set is the value itself.
+//! 2. **Interpretation commutation** — replaying `v` from any reachable
+//!    state equals replaying its per-class components grouped by ascending
+//!    key, and any two class components commute. A value that only reaches
+//!    a state through a specific cross-class interleaving does not factor,
+//!    and per-class seeding would replay it wrong.
+//!
+//! Like the v1 analyzer, exploration is a breadth-first walk memoized on
+//! the `(full state, per-key projected states)` signature — both
+//! obligations at a node are functions of that signature and the constant
+//! switch domain. Success is summarized as a content-hashed [`SwitchCert`]
+//! (`slin-cert/v2`); failure is greedily shrunk to a
+//! [`SwitchCounterexample`] whose [`SwitchCounterexample::to_trace`]
+//! replays as a real phase trace on which keyed-partitioned and monolithic
+//! speculative checking diverge.
+
+use crate::analyze::AnalyzeConfig;
+use crate::cert::{short_type_name, SwitchCert};
+use slin_adt::{Adt, DomainSpec, Partitioner};
+use slin_trace::{Action, ClientId, PhaseId, Trace};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::fmt::Write as _;
+
+/// Short name of the init relation whose decomposition [`certify_switch`]
+/// proves: the exact relation, whose candidate set is the carried history
+/// itself. Consumers match this against their relation's type name.
+pub const EXACT_RELATION: &str = "ExactInit";
+
+/// A replayable phase trace over an ADT's inputs/outputs, with switch
+/// actions carrying candidate init histories.
+pub type PhaseTrace<T> =
+    Trace<Action<<T as Adt>::Input, <T as Adt>::Output, Vec<<T as Adt>::Input>>>;
+
+/// Classifiable switch values paired with their per-class components.
+type Candidates<T, P> = Vec<(
+    Vec<<T as Adt>::Input>,
+    BTreeMap<<P as Partitioner<T>>::Key, Vec<<T as Adt>::Input>>,
+)>;
+
+/// Which switch-independence obligation a counterexample violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchObligation {
+    /// Per-class interpretation of a candidate history answers a probe
+    /// differently than the monolithic interpretation.
+    CandidateProjection,
+    /// Replaying a candidate history does not commute with grouping it
+    /// into per-class components.
+    InterpretationCommutation,
+}
+
+/// A concrete, minimal-by-greedy-shrinking switch-independence violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchCounterexample<T: Adt> {
+    /// Which obligation failed.
+    pub obligation: SwitchObligation,
+    /// Committed operations after the switch (classified inputs).
+    pub history: Vec<T::Input>,
+    /// The candidate init history the switch carries.
+    pub value: Vec<T::Input>,
+    /// The classified probe whose answer the decomposition corrupts
+    /// (`None` when only states diverge and no single probe observes it).
+    pub probe: Option<T::Input>,
+    /// Human-readable rendering of the disagreeing observations.
+    pub detail: String,
+}
+
+impl<T: Adt> SwitchCounterexample<T> {
+    /// Total number of inputs in the replayable scenario (candidate value
+    /// + committed history + probe).
+    pub fn len(&self) -> usize {
+        self.value.len() + self.history.len() + usize::from(self.probe.is_some())
+    }
+
+    /// Counterexamples always contain at least one input.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replays the counterexample as a **phase trace**: one client enters
+    /// phase 2 through an init switch carrying the candidate value, then
+    /// the history and probe commit sequentially with outputs from the
+    /// monolithic interpretation (`run(value ::: …)`).
+    ///
+    /// Under a speculative checker with the exact init relation and phase
+    /// pair `(2, 3)`, the monolithic path accepts this trace — every
+    /// output is explained by the chain `value ::: history ::: probe`. A
+    /// keyed (per-class) check under the rejected partitioner seeds each
+    /// class with the *projected* value and, for candidate-projection
+    /// violations, cannot explain the probe's output: the verdict
+    /// divergence the certificate refusal predicts.
+    pub fn to_trace(&self, adt: &T) -> PhaseTrace<T> {
+        let m = PhaseId::new(2);
+        let mut trace = Trace::new();
+        let mut state = adt.run(&self.value);
+        let mut commits: Vec<T::Input> = self.history.clone();
+        commits.extend(self.probe.clone());
+        // The switch's pending input is the first commit; any further
+        // commits are invoked (and answered) by fresh clients.
+        let mut pending = commits.into_iter();
+        let Some(first) = pending.next() else {
+            return trace;
+        };
+        trace.push(Action::switch(
+            ClientId::new(1),
+            m,
+            first.clone(),
+            self.value.clone(),
+        ));
+        let (next, out) = adt.apply(&state, &first);
+        state = next;
+        trace.push(Action::respond(ClientId::new(1), m, first, out));
+        for (n, input) in pending.enumerate() {
+            let c = ClientId::new(n as u32 + 2);
+            trace.push(Action::invoke(c, m, input.clone()));
+            let (next, out) = adt.apply(&state, &input);
+            state = next;
+            trace.push(Action::respond(c, m, input, out));
+        }
+        trace
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let what = match self.obligation {
+            SwitchObligation::CandidateProjection => "init-candidate projection",
+            SwitchObligation::InterpretationCommutation => "switch-interpretation commutation",
+        };
+        let _ = writeln!(s, "switch-independence violation: {what}");
+        let _ = writeln!(s, "  value:   {:?}", self.value);
+        let _ = writeln!(s, "  history: {:?}", self.history);
+        if let Some(p) = &self.probe {
+            let _ = writeln!(s, "  probe:   {p:?}");
+        }
+        let _ = write!(s, "  {}", self.detail);
+        s
+    }
+}
+
+/// Why [`certify_switch`] did not produce a certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchFailure<T: Adt> {
+    /// The init relation does not decompose over the partitioner's
+    /// classes; here is a minimal replay.
+    Unsound(SwitchCounterexample<T>),
+    /// The quotient state space outgrew [`AnalyzeConfig::max_states`]
+    /// before the depth bound — no verdict either way.
+    StateSpaceExceeded {
+        /// Signatures explored before aborting.
+        explored: usize,
+    },
+}
+
+/// One BFS node: a candidate value followed by a concrete post-switch
+/// history, with the monolithic replayed state and the per-key projected
+/// states (projected value, then projected history).
+struct Node<T: Adt, K> {
+    value: Vec<T::Input>,
+    history: Vec<T::Input>,
+    state: T::State,
+    proj: BTreeMap<K, T::State>,
+}
+
+/// Exhaustively checks both switch-independence obligations for
+/// `partitioner` over `adt`'s enumerable input and switch domains, up to
+/// `cfg.depth`-length post-switch histories.
+///
+/// Switch values containing an unclassified input are skipped: the keyed
+/// checker falls back to monolithic checking whenever it cannot classify a
+/// candidate element, so the certificate only speaks for classifiable
+/// values.
+///
+/// # Example
+///
+/// ```
+/// use slin_adt::{KvKeyPartitioner, KvStore};
+/// use slin_analysis::{certify_switch, AnalyzeConfig};
+/// let cert = certify_switch(&KvStore, &KvKeyPartitioner, &AnalyzeConfig::default()).unwrap();
+/// assert_eq!(cert.rinit, "ExactInit");
+/// assert!(cert.verify());
+/// ```
+pub fn certify_switch<T, P>(
+    adt: &T,
+    partitioner: &P,
+    cfg: &AnalyzeConfig,
+) -> Result<SwitchCert, SwitchFailure<T>>
+where
+    T: DomainSpec,
+    P: Partitioner<T>,
+{
+    let domain = adt.input_domain();
+    let classified: Vec<(T::Input, P::Key)> = domain
+        .iter()
+        .filter_map(|i| partitioner.key_of(i).map(|k| (i.clone(), k)))
+        .collect();
+    let keys: BTreeSet<P::Key> = classified.iter().map(|(_, k)| k.clone()).collect();
+    let switch_domain = adt.switch_domain();
+    // Candidate values with their per-class components, skipping values
+    // the partitioner cannot fully classify.
+    let candidates: Candidates<T, P> = switch_domain
+        .iter()
+        .filter_map(|v| {
+            let mut parts: BTreeMap<P::Key, Vec<T::Input>> = BTreeMap::new();
+            for i in v {
+                parts
+                    .entry(partitioner.key_of(i)?)
+                    .or_default()
+                    .push(i.clone());
+            }
+            Some((v.clone(), parts))
+        })
+        .collect();
+
+    let mut projection_checks = 0u64;
+    let mut commutation_checks = 0u64;
+    let mut visited: HashSet<Signature<T, P::Key>> = HashSet::new();
+    let mut queue: VecDeque<Node<T, P::Key>> = VecDeque::new();
+
+    // One root per candidate value: the monolithic state replays the full
+    // value, the per-key states replay its class components. Both
+    // obligations below are functions of the `(state, proj)` signature
+    // alone — the candidate and history are carried only so violations
+    // shrink into concrete replays — so quotienting the walk on the
+    // signature is exhaustive over every (value, history ≤ depth) pair.
+    for (value, parts) in &candidates {
+        let proj: BTreeMap<P::Key, T::State> = parts
+            .iter()
+            .map(|(k, component)| (k.clone(), adt.run(component)))
+            .collect();
+        let root = Node {
+            value: value.clone(),
+            history: Vec::new(),
+            state: adt.run(value),
+            proj,
+        };
+        if visited.insert(signature(&root)) {
+            if visited.len() > cfg.max_states {
+                return Err(SwitchFailure::StateSpaceExceeded {
+                    explored: visited.len(),
+                });
+            }
+            queue.push_back(root);
+        }
+    }
+
+    while let Some(node) = queue.pop_front() {
+        // Obligation 1: every classified probe answers identically after
+        // the monolithic interpretation (value, then history) and after
+        // the per-class one (projected value, then projected history).
+        for (probe, key) in &classified {
+            projection_checks += 1;
+            let full_out = adt.apply(&node.state, probe).1;
+            let class_state = node.proj.get(key).cloned().unwrap_or_else(|| adt.initial());
+            let class_out = adt.apply(&class_state, probe).1;
+            if full_out != class_out {
+                return Err(SwitchFailure::Unsound(shrink_projection(
+                    adt,
+                    partitioner,
+                    node.history,
+                    node.value,
+                    probe.clone(),
+                )));
+            }
+        }
+        // Obligation 2: at every reachable state, every multi-class
+        // candidate's interpretation factors per class — grouping by
+        // ascending key preserves the reached state, and any two class
+        // components commute.
+        for (value, parts) in &candidates {
+            if parts.len() < 2 {
+                continue;
+            }
+            commutation_checks += 1;
+            if commutation_violation::<T, P>(adt, &node.state, value, parts).is_some() {
+                let mut prefix = node.value.clone();
+                prefix.extend(node.history.iter().cloned());
+                return Err(SwitchFailure::Unsound(shrink_commutation(
+                    adt,
+                    partitioner,
+                    prefix,
+                    value.clone(),
+                )));
+            }
+        }
+        // Expand by one more classified input, up to the depth bound.
+        if node.history.len() >= cfg.depth {
+            continue;
+        }
+        for (input, key) in &classified {
+            let next_state = adt.apply(&node.state, input).0;
+            let mut proj = node.proj.clone();
+            let entry = proj.entry(key.clone()).or_insert_with(|| adt.initial());
+            *entry = adt.apply(entry, input).0;
+            let mut history = node.history.clone();
+            history.push(input.clone());
+            let next = Node {
+                value: node.value.clone(),
+                history,
+                state: next_state,
+                proj,
+            };
+            if visited.insert(signature(&next)) {
+                if visited.len() > cfg.max_states {
+                    return Err(SwitchFailure::StateSpaceExceeded {
+                        explored: visited.len(),
+                    });
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+
+    Ok(SwitchCert {
+        adt: short_type_name::<T>().to_string(),
+        partitioner: short_type_name::<P>().to_string(),
+        rinit: EXACT_RELATION.to_string(),
+        depth: cfg.depth,
+        alphabet: domain.len(),
+        switch_values: switch_domain.len(),
+        classified: classified.len(),
+        keys: keys.len(),
+        states: visited.len(),
+        projection_checks,
+        commutation_checks,
+        content_hash: String::new(),
+    }
+    .sealed())
+}
+
+/// The memo key of a search node: full replayed state plus every per-key
+/// projected state. Both obligations at a node are functions of this
+/// signature (and the constant candidate set), so quotienting the BFS on
+/// it is exhaustive.
+type Signature<T, K> = (<T as Adt>::State, Vec<(K, <T as Adt>::State)>);
+
+fn signature<T: Adt, K: Clone + Ord>(node: &Node<T, K>) -> Signature<T, K> {
+    (
+        node.state.clone(),
+        node.proj
+            .iter()
+            .map(|(k, s)| (k.clone(), s.clone()))
+            .collect(),
+    )
+}
+
+/// Does the candidate-projection obligation fail for
+/// `(history, value, probe)`? Returns the disagreement rendering if so.
+fn projection_violation<T, P>(
+    adt: &T,
+    partitioner: &P,
+    history: &[T::Input],
+    value: &[T::Input],
+    probe: &T::Input,
+) -> Option<String>
+where
+    T: Adt,
+    P: Partitioner<T>,
+{
+    let key = partitioner.key_of(probe)?;
+    let keep = |i: &&T::Input| partitioner.key_of(i).as_ref() == Some(&key);
+    let mut full = adt.run(value);
+    for h in history {
+        full = adt.apply(&full, h).0;
+    }
+    let full_out = adt.apply(&full, probe).1;
+    let projected: Vec<T::Input> = value
+        .iter()
+        .filter(keep)
+        .chain(history.iter().filter(keep))
+        .cloned()
+        .collect();
+    let proj_out = adt.apply(&adt.run(&projected), probe).1;
+    (full_out != proj_out).then(|| {
+        format!(
+            "monolithic interpretation answers {full_out:?}, per-class \
+             interpretation {projected:?} answers {proj_out:?}"
+        )
+    })
+}
+
+/// Checks the interpretation-commutation obligation for `value` at
+/// `state`; returns the disagreement rendering on violation.
+fn commutation_violation<T, P>(
+    adt: &T,
+    state: &T::State,
+    value: &[T::Input],
+    parts: &BTreeMap<P::Key, Vec<T::Input>>,
+) -> Option<String>
+where
+    T: Adt,
+    P: Partitioner<T>,
+{
+    let run_from = |start: &T::State, inputs: &[T::Input]| {
+        inputs.iter().fold(start.clone(), |s, i| adt.apply(&s, i).0)
+    };
+    let direct = run_from(state, value);
+    let grouped: Vec<T::Input> = parts.values().flatten().cloned().collect();
+    let factored = run_from(state, &grouped);
+    if direct != factored {
+        return Some(format!(
+            "replaying {value:?} reaches {direct:?}, its per-class grouping \
+             {grouped:?} reaches {factored:?}"
+        ));
+    }
+    let components: Vec<&Vec<T::Input>> = parts.values().collect();
+    for a in 0..components.len() {
+        for b in (a + 1)..components.len() {
+            let mut ab = components[a].clone();
+            ab.extend(components[b].iter().cloned());
+            let mut ba = components[b].clone();
+            ba.extend(components[a].iter().cloned());
+            let s_ab = run_from(state, &ab);
+            let s_ba = run_from(state, &ba);
+            if s_ab != s_ba {
+                return Some(format!(
+                    "class components do not commute: {ab:?} reaches {s_ab:?} \
+                     but {ba:?} reaches {s_ba:?}"
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Re-derives the per-class component map of `value` (shrinking shortens
+/// the value, so the map must follow).
+fn parts_of<T, P>(partitioner: &P, value: &[T::Input]) -> Option<BTreeMap<P::Key, Vec<T::Input>>>
+where
+    T: Adt,
+    P: Partitioner<T>,
+{
+    let mut parts: BTreeMap<P::Key, Vec<T::Input>> = BTreeMap::new();
+    for i in value {
+        parts
+            .entry(partitioner.key_of(i)?)
+            .or_default()
+            .push(i.clone());
+    }
+    Some(parts)
+}
+
+/// Greedily drops history and value inputs while the projection violation
+/// persists.
+fn shrink_projection<T, P>(
+    adt: &T,
+    partitioner: &P,
+    mut history: Vec<T::Input>,
+    mut value: Vec<T::Input>,
+    probe: T::Input,
+) -> SwitchCounterexample<T>
+where
+    T: Adt,
+    P: Partitioner<T>,
+{
+    loop {
+        let mut shrunk = false;
+        for idx in 0..history.len() {
+            let mut candidate = history.clone();
+            candidate.remove(idx);
+            if projection_violation(adt, partitioner, &candidate, &value, &probe).is_some() {
+                history = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            for idx in 0..value.len() {
+                let mut candidate = value.clone();
+                candidate.remove(idx);
+                if projection_violation(adt, partitioner, &history, &candidate, &probe).is_some() {
+                    value = candidate;
+                    shrunk = true;
+                    break;
+                }
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    let detail = projection_violation(adt, partitioner, &history, &value, &probe)
+        .expect("shrinking preserves the violation");
+    SwitchCounterexample {
+        obligation: SwitchObligation::CandidateProjection,
+        history,
+        value,
+        probe: Some(probe),
+        detail,
+    }
+}
+
+/// Greedily drops history and value inputs while the commutation
+/// violation persists, then looks for a single probe observing it.
+fn shrink_commutation<T, P>(
+    adt: &T,
+    partitioner: &P,
+    mut history: Vec<T::Input>,
+    mut value: Vec<T::Input>,
+) -> SwitchCounterexample<T>
+where
+    T: DomainSpec,
+    P: Partitioner<T>,
+{
+    let violates = |history: &[T::Input], value: &[T::Input]| {
+        parts_of::<T, P>(partitioner, value)
+            .filter(|parts| parts.len() >= 2)
+            .and_then(|parts| commutation_violation::<T, P>(adt, &adt.run(history), value, &parts))
+    };
+    loop {
+        let mut shrunk = false;
+        for idx in 0..history.len() {
+            let mut candidate = history.clone();
+            candidate.remove(idx);
+            if violates(&candidate, &value).is_some() {
+                history = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            for idx in 0..value.len() {
+                let mut candidate = value.clone();
+                candidate.remove(idx);
+                if violates(&history, &candidate).is_some() {
+                    value = candidate;
+                    shrunk = true;
+                    break;
+                }
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    let detail = violates(&history, &value).expect("shrinking preserves the violation");
+    // A probe whose output observes the divergence makes the replay a
+    // one-trace verdict divergence; without one the states alone differ.
+    let probe = adt
+        .input_domain()
+        .into_iter()
+        .find(|p| projection_violation(adt, partitioner, &history, &value, p).is_some());
+    SwitchCounterexample {
+        obligation: SwitchObligation::InterpretationCommutation,
+        history,
+        value,
+        probe,
+        detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{BogusCounterPartitioner, QueueValuePartitioner};
+    use slin_adt::{
+        Counter, CounterVecPartitioner, CounterVector, KvKeyPartitioner, KvStore, Queue,
+        RegArrayPartitioner, RegisterArray, Set, SetElemPartitioner,
+    };
+
+    #[test]
+    fn shipped_pairs_certify_switch_independence_at_default_depth() {
+        let cfg = AnalyzeConfig::default();
+        assert!(certify_switch(&KvStore, &KvKeyPartitioner, &cfg).is_ok());
+        assert!(certify_switch(&Set, &SetElemPartitioner, &cfg).is_ok());
+        assert!(certify_switch(&RegisterArray, &RegArrayPartitioner, &cfg).is_ok());
+        assert!(certify_switch(&CounterVector, &CounterVecPartitioner, &cfg).is_ok());
+    }
+
+    #[test]
+    fn switch_certs_carry_run_statistics() {
+        let cert = certify_switch(&KvStore, &KvKeyPartitioner, &AnalyzeConfig::default()).unwrap();
+        assert_eq!(cert.adt, "KvStore");
+        assert_eq!(cert.partitioner, "KvKeyPartitioner");
+        assert_eq!(cert.rinit, "ExactInit");
+        assert_eq!(cert.alphabet, 8);
+        assert_eq!(cert.switch_values, 1 + 8 + 64);
+        assert_eq!(cert.keys, 2);
+        assert!(cert.states > 1);
+        assert!(cert.projection_checks > 0);
+        assert!(cert.commutation_checks > 0);
+        assert!(cert.verify());
+    }
+
+    #[test]
+    fn bogus_init_relation_is_rejected_with_a_short_replay() {
+        let failure = certify_switch(
+            &Counter,
+            &BogusCounterPartitioner,
+            &AnalyzeConfig::default(),
+        )
+        .unwrap_err();
+        let SwitchFailure::Unsound(cex) = failure else {
+            panic!("expected a counterexample");
+        };
+        assert!(cex.len() <= 4, "counterexample too long: {}", cex.len());
+        assert!(!cex.value.is_empty(), "the violation needs a switch value");
+        let trace = cex.to_trace(&Counter);
+        assert!(
+            trace.iter().any(|a| a.is_switch()),
+            "replay is a phase trace"
+        );
+    }
+
+    #[test]
+    fn order_coupled_values_violate_interpretation_commutation() {
+        let failure =
+            certify_switch(&Queue, &QueueValuePartitioner, &AnalyzeConfig::default()).unwrap_err();
+        let SwitchFailure::Unsound(cex) = failure else {
+            panic!("expected a counterexample");
+        };
+        assert!(cex.len() <= 4, "counterexample too long: {}", cex.len());
+    }
+
+    #[test]
+    fn state_space_ceiling_aborts_without_a_verdict() {
+        let cfg = AnalyzeConfig {
+            depth: 4,
+            max_states: 4,
+        };
+        assert!(matches!(
+            certify_switch(&KvStore, &KvKeyPartitioner, &cfg),
+            Err(SwitchFailure::StateSpaceExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn certification_is_deterministic() {
+        let cfg = AnalyzeConfig::default();
+        let a = certify_switch(&KvStore, &KvKeyPartitioner, &cfg).unwrap();
+        let b = certify_switch(&KvStore, &KvKeyPartitioner, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

@@ -31,13 +31,18 @@
 //! * [`obs_rows`] — **B9**: the observability tax (no-op vs fully
 //!   instrumented monitors over identical pinned streams, min-of-reps)
 //!   and the witness-archive memory/reconstruction columns;
+//! * [`phase_partition_rows`] — **B10**: the certified keyed checking
+//!   path on *phase traces* (init and abort switches included) —
+//!   node-count reduction of switch-certified partitioned checking and
+//!   keyed sharded streaming over the monolithic chain search, with the
+//!   zero-fallback invariant the `slin-cert/v2` certificate buys;
 //! * checker scaling data for **B4** lives in the `checkers` bench.
 //!
 //! Every function returns plain rows so the experiment tables can be
 //! regenerated (`cargo bench -p slin-bench`) and asserted on in tests.
 //! [`bench_report_json`] assembles every B-series table into one
 //! machine-readable artifact (`cargo bench -p slin-bench --bench report --
-//! --json` writes it to `BENCH_PR8.json` at the repo root) so CI can track
+//! --json` writes it to `BENCH_PR10.json` at the repo root) so CI can track
 //! the numbers across commits.
 
 #![forbid(unsafe_code)]
@@ -46,17 +51,20 @@
 pub mod json;
 
 use json::Json;
-use slin_adt::{KvKeyPartitioner, KvStore, Set, SetElemPartitioner};
+use slin_adt::{KvInput, KvKeyPartitioner, KvStore, Set, SetElemPartitioner};
+use slin_analysis::{certify_switch, AnalyzeConfig, SwitchCert};
 use slin_consensus::harness::{run_scenario, verify_run, Scenario};
 use slin_core::engine::SearchStats;
 use slin_core::gen::{
-    random_hostile_kv_trace, random_multikey_kv_trace, random_multikey_set_trace, HostileConfig,
-    MultiKeyConfig,
+    phase_trace_bounds, random_hostile_kv_trace, random_multikey_kv_trace,
+    random_multikey_set_trace, random_phase_kv_trace, HostileConfig, MultiKeyConfig, PhaseConfig,
 };
+use slin_core::initrel::ExactInit;
 use slin_core::lin::LinChecker;
 use slin_core::session::{Checker, Strategy};
+use slin_core::slin::SlinChecker;
 use slin_daemon::{Daemon, DaemonConfig, LoadConfig, TenantPolicy};
-use slin_monitor::{LinMonitor, MonitorConfig, MonitorStatus, Obs, StackObserver};
+use slin_monitor::{LinMonitor, MonitorConfig, MonitorStatus, Obs, SlinMonitor, StackObserver};
 use slin_sim::Time;
 
 /// One row of the fast-path latency table (B1).
@@ -451,6 +459,190 @@ pub fn partition_speedup_rows(seeds: &[u64]) -> Vec<PartitionRow> {
             MultiKeyConfig { keys: 6, ..base },
             seeds,
         ),
+    ]
+}
+
+/// One row of the B10 phase-trace table: the switch-certified keyed
+/// checking path (batch partitioning *and* sharded streaming) against the
+/// monolithic chain search over traces that cross phase boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasePartitionRow {
+    /// Human-readable workload label (stable: the JSON baseline matcher
+    /// keys on it).
+    pub scenario: String,
+    /// Number of distinct keys (independence classes) in the workload.
+    pub keys: u32,
+    /// Largest partition count any seed produced.
+    pub partitions: usize,
+    /// Monolithic engine counters summed over the seeds.
+    pub mono: SearchStats,
+    /// Certified-partitioned engine counters summed over the seeds.
+    pub part: SearchStats,
+    /// Batch or streaming runs that abandoned the keyed path (identity
+    /// fallback engaged). The certificate's whole point: must stay 0.
+    pub fallbacks: usize,
+    /// Whether every seed's partitioned witness/error equalled the
+    /// monolithic one byte for byte.
+    pub verdicts_agree: bool,
+    /// Whether every seed's keyed *streaming* report also equalled the
+    /// monolithic batch verdict.
+    pub stream_agrees: bool,
+    /// `mono.nodes / part.nodes` — the headline node-count reduction.
+    pub node_ratio: f64,
+}
+
+impl PhasePartitionRow {
+    /// The table cells printed by the `report` bench.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.scenario.clone(),
+            self.keys.to_string(),
+            self.partitions.to_string(),
+            if self.verdicts_agree {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+            .to_string(),
+            if self.stream_agrees { "ok" } else { "MISMATCH" }.to_string(),
+            self.mono.nodes.to_string(),
+            self.part.nodes.to_string(),
+            self.fallbacks.to_string(),
+            format!("{:.2}", self.node_ratio),
+        ]
+    }
+}
+
+/// The header matching [`PhasePartitionRow::cells`].
+pub const PHASE_PARTITION_HEADER: [&str; 9] = [
+    "scenario",
+    "keys",
+    "parts",
+    "verdicts",
+    "stream",
+    "mono_nodes",
+    "part_nodes",
+    "fallbacks",
+    "ratio",
+];
+
+/// The seeds every B10 row aggregates over (pinned for the artifact).
+pub const PHASE_SEEDS: [u64; 4] = [0, 1, 2, 3];
+
+/// One B10 row: the monolithic speculative checker vs the
+/// switch-certified keyed paths (batch session + sharded monitor) over
+/// generated phase traces, aggregated over `seeds`.
+fn phase_partition_row(
+    scenario: &str,
+    cert: &SwitchCert,
+    base: PhaseConfig,
+    seeds: &[u64],
+) -> PhasePartitionRow {
+    let (m, n) = phase_trace_bounds();
+    let chk = SlinChecker::owned(KvStore, ExactInit::new(), m, n);
+    let mut mono_session = Checker::builder(chk.clone())
+        .strategy(Strategy::Monolithic)
+        .build::<Vec<KvInput>>();
+    let mut part_session = Checker::builder(chk.clone())
+        .partitioner(KvKeyPartitioner)
+        .switch_certified(cert)
+        .expect("the shipped kv partitioner is certified switch-independent")
+        .build::<Vec<KvInput>>();
+    let mut row = PhasePartitionRow {
+        scenario: scenario.to_string(),
+        keys: base.keys,
+        partitions: 0,
+        mono: SearchStats::default(),
+        part: SearchStats::default(),
+        fallbacks: 0,
+        verdicts_agree: true,
+        stream_agrees: true,
+        node_ratio: 0.0,
+    };
+    for &seed in seeds {
+        let t = random_phase_kv_trace(&PhaseConfig { seed, ..base });
+        let mono = mono_session.check(&t);
+        let part = part_session.check(&t);
+        let report = part.partition.expect("certified sessions partition");
+        row.mono.absorb(&mono.stats);
+        row.part.absorb(&report.stats);
+        row.partitions = row.partitions.max(report.partitions);
+        row.fallbacks += report.fallback.is_some() as usize;
+        // Witnesses and error variants must be byte-identical; the work
+        // counters inside the Ok report differ by design.
+        row.verdicts_agree &= part.outcome.as_ref().map(|r| &r.witness)
+            == mono.outcome.as_ref().map(|r| &r.witness)
+            && part.outcome.as_ref().err() == mono.outcome.as_ref().err();
+        // The same trace through the keyed sharded monitor, switch
+        // frames and all.
+        let mut mon = SlinMonitor::from_checker(
+            chk.clone(),
+            KvKeyPartitioner,
+            MonitorConfig {
+                keyed: true,
+                ..MonitorConfig::default()
+            },
+        );
+        for a in t.iter() {
+            mon.ingest(a.clone());
+        }
+        let streamed = mon.report();
+        row.fallbacks += streamed.fallback.is_some() as usize;
+        row.stream_agrees &= streamed.verdict.as_ref().map(|r| &r.witness)
+            == mono.outcome.as_ref().map(|r| &r.witness)
+            && streamed.verdict.as_ref().err() == mono.outcome.as_ref().err();
+    }
+    row.node_ratio = row.mono.nodes as f64 / row.part.nodes.max(1) as f64;
+    row
+}
+
+/// B10: the switch-certified keyed paths over phase traces, aggregated
+/// over `seeds` (use [`PHASE_SEEDS`] for the pinned artifact).
+///
+/// The `clean` rows are speculatively linearizable by construction: the
+/// generator's exact abort values force responses into apply order, so
+/// the monolithic chain search linearizes greedily and the keyed win
+/// there is agreement at zero fallbacks, not node counts. The `faulty`
+/// rows inject perturbed outputs — now every path must *refute*, and
+/// refutation is where partitioning pays: the monolithic search exhausts
+/// interleavings across all classes while the keyed decomposition
+/// localizes the exhaustive search to the violating class. Those rows
+/// carry the >2x node-reduction gate (`ci/bench_threshold.py`); the
+/// `keys=1` control is partition-hostile (one class, ratio ~1). Every
+/// row, clean or faulty, must show **zero fallbacks** — the static
+/// analyzer proved the decomposition, so the runtime never abandons it.
+pub fn phase_partition_rows(seeds: &[u64]) -> Vec<PhasePartitionRow> {
+    let cert = certify_switch(&KvStore, &KvKeyPartitioner, &AnalyzeConfig::default())
+        .expect("the shipped kv partitioner is switch-independent under ExactInit");
+    let base = PhaseConfig {
+        clients: 4,
+        steps: 36,
+        keys: 1,
+        skew: 0.3,
+        prefix_ops: 4,
+        aborts: 2,
+        error_prob: 0.0,
+        seed: 0,
+    };
+    let row = |scenario: &str, keys: u32, error_prob: f64| {
+        phase_partition_row(
+            scenario,
+            &cert,
+            PhaseConfig {
+                keys,
+                error_prob,
+                ..base
+            },
+            seeds,
+        )
+    };
+    vec![
+        row("phase keys=4 clean", 4, 0.0),
+        row("phase keys=8 clean", 8, 0.0),
+        row("phase keys=1 faulty (hostile)", 1, 0.4),
+        row("phase keys=2 faulty", 2, 0.4),
+        row("phase keys=4 faulty", 4, 0.4),
+        row("phase keys=8 faulty", 8, 0.4),
     ]
 }
 
@@ -1344,6 +1536,22 @@ pub fn bench_report_json_with(
             ])
         })
         .collect();
+    let b10 = phase_partition_rows(&PHASE_SEEDS)
+        .into_iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("scenario", Json::Str(r.scenario.clone())),
+                ("keys", Json::Int(r.keys as i64)),
+                ("partitions", Json::count(r.partitions)),
+                ("mono", stats_json(&r.mono)),
+                ("part", stats_json(&r.part)),
+                ("fallbacks", Json::count(r.fallbacks)),
+                ("verdicts_agree", Json::Bool(r.verdicts_agree)),
+                ("stream_agrees", Json::Bool(r.stream_agrees)),
+                ("node_ratio", Json::Float(r.node_ratio)),
+            ])
+        })
+        .collect();
     let b6 = b6_rows
         .iter()
         .map(|r| {
@@ -1434,6 +1642,7 @@ pub fn bench_report_json_with(
         ("b6h_hostile", Json::Arr(b6h)),
         ("b8_multitenant", Json::Arr(b8)),
         ("b9_observability", Json::Arr(b9)),
+        ("b10_phase_partition", Json::Arr(b10)),
     ])
     .render()
 }
@@ -1562,6 +1771,49 @@ mod tests {
     }
 
     #[test]
+    fn b10_shape_certified_keyed_paths_beat_monolithic_on_phase_traces() {
+        let rows = phase_partition_rows(&PHASE_SEEDS);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.verdicts_agree, "{row:?}");
+            assert!(row.stream_agrees, "{row:?}");
+            // The certificate's contract: the keyed runtime never
+            // abandons the decomposition the analyzer proved.
+            assert_eq!(row.fallbacks, 0, "{row:?}");
+            assert!(row.part.nodes > 0, "{row:?}");
+            assert_eq!(row.cells().len(), PHASE_PARTITION_HEADER.len());
+        }
+        // Multi-key faulty phase traces must show at least a 2x
+        // node-count reduction (refutation localizes to the violating
+        // class) — the B10 acceptance bar, also gated in release mode by
+        // ci/bench_threshold.py.
+        for row in rows
+            .iter()
+            .filter(|r| r.scenario.contains("faulty") && r.keys > 1)
+        {
+            assert!(
+                row.node_ratio > 2.0,
+                "expected > 2x node reduction: {row:?}"
+            );
+            assert!(row.partitions > 1, "{row:?}");
+        }
+        // The single-class faulty control collapses to one partition and
+        // pays (essentially) nothing.
+        let hostile = rows
+            .iter()
+            .find(|r| r.scenario.contains("hostile"))
+            .expect("hostile control row");
+        assert_eq!(hostile.partitions, 1, "{hostile:?}");
+        assert!((hostile.node_ratio - 1.0).abs() < 0.5, "{hostile:?}");
+        // Clean phase traces linearize greedily on both paths (responses
+        // are in apply order by construction): agreement is the claim
+        // there, not node counts.
+        for row in rows.iter().filter(|r| r.scenario.contains("clean")) {
+            assert!(row.mono.nodes > 0, "{row:?}");
+        }
+    }
+
+    #[test]
     fn json_report_is_deterministic_and_covers_all_b_series() {
         // B6/B6h's wall-clock columns vary run to run; with the rows
         // fixed, everything else must be bit-reproducible.
@@ -1587,6 +1839,9 @@ mod tests {
             "\"b6h_hostile\"",
             "\"b8_multitenant\"",
             "\"b9_observability\"",
+            "\"b10_phase_partition\"",
+            "\"stream_agrees\"",
+            "\"fallbacks\"",
             "\"overhead_frac\"",
             "\"archive_event_bound\"",
             "\"queue_depth_peak\"",

@@ -9,7 +9,7 @@
 use crate::ObjAction;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use slin_adt::{Adt, CounterVector, KeyedDomain, KvStore, RegisterArray, Set};
+use slin_adt::{Adt, CounterVector, KeyedDomain, KvInput, KvOutput, KvStore, RegisterArray, Set};
 use slin_trace::{Action, ClientId, PhaseId, Trace};
 
 /// Configuration of the random trace generators.
@@ -332,6 +332,175 @@ pub fn random_multikey_counter_vec_trace(
     cfg: &MultiKeyConfig,
 ) -> Trace<ObjAction<CounterVector, ()>> {
     multikey_trace(&CounterVector, cfg, sample_keyed::<CounterVector>)
+}
+
+/// Configuration of the **phase-trace** generator (see
+/// [`random_phase_kv_trace`]): a speculation-phase workload whose clients
+/// enter through init switch actions sharing one exact init history and
+/// (optionally) abort out carrying the full history — the workload shape
+/// the keyed phase-trace checking path (switch-independence certificates)
+/// exists for.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseConfig {
+    /// Number of concurrent clients (each enters via its init action).
+    pub clients: u32,
+    /// Number of in-phase generation steps (each emits at most one event).
+    pub steps: usize,
+    /// Number of distinct keys (independence classes), numbered `1..=keys`.
+    pub keys: u32,
+    /// Zipf-style skew exponent over the key space (as in
+    /// [`MultiKeyConfig::skew`]).
+    pub skew: f64,
+    /// Length of the shared previous-phase history every init switch
+    /// carries verbatim (the exact relation's single candidate).
+    pub prefix_ops: usize,
+    /// Clients that abort out of the phase at the end (clamped to
+    /// `clients`); their switch values extend the full committed history.
+    pub aborts: u32,
+    /// Probability that an in-phase response is perturbed as in
+    /// [`random_perturbed_trace`]; `0.0` generates speculatively-
+    /// linearizable traces by construction.
+    pub error_prob: f64,
+    /// RNG seed: equal seeds give equal traces.
+    pub seed: u64,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        PhaseConfig {
+            clients: 3,
+            steps: 18,
+            keys: 4,
+            skew: 0.6,
+            prefix_ops: 4,
+            aborts: 1,
+            error_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The `(m, n)` phase pair the generated phase traces inhabit: `(2, 3)` —
+/// phase 2 is checked, inits arrive from phase 1, aborts leave for phase 3.
+pub fn phase_trace_bounds() -> (PhaseId, PhaseId) {
+    (PhaseId::new(2), PhaseId::new(3))
+}
+
+/// Generates a well-formed `(2, 3)` phase trace over [`KvStore`] with
+/// [`crate::initrel::ExactInit`] switch values:
+///
+/// * a shared phase-1 history of `prefix_ops` keyed operations is drawn and
+///   applied; every client then enters phase 2 through an init switch
+///   carrying that history verbatim plus a pending input;
+/// * `steps` in-phase events follow the multi-key concurrent schedule of
+///   [`random_multikey_kv_trace`] (keys drawn under `skew`), linearizable
+///   by construction unless `error_prob` perturbs outputs;
+/// * the phase quiesces (every pending operation responds), then each
+///   aborting client invokes once more and leaves through an abort switch
+///   whose value is the full committed history — the exact init value of
+///   the next phase.
+///
+/// With `error_prob = 0.0` the trace is speculatively linearizable by
+/// construction, and every input classifies under
+/// [`slin_adt::KvKeyPartitioner`] — the certified keyed checking path
+/// splits it into per-key classes.
+pub fn random_phase_kv_trace(cfg: &PhaseConfig) -> Trace<ObjAction<KvStore, Vec<KvInput>>> {
+    let (m, n) = phase_trace_bounds();
+    let adt = KvStore;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let key_weights = zipf_cumulative(cfg.keys.max(1) as usize, cfg.skew);
+    let sample = |rng: &mut StdRng| {
+        let key = sample_cumulative(rng, &key_weights) as u32 + 1;
+        sample_keyed::<KvStore>(rng, key)
+    };
+    // The shared phase-1 history: applied to fix the phase's initial state.
+    let mut state = adt.initial();
+    let mut prefix: Vec<KvInput> = Vec::new();
+    for _ in 0..cfg.prefix_ops {
+        let input = sample(&mut rng);
+        state = adt.apply(&state, &input).0;
+        prefix.push(input);
+    }
+    let mut t = Trace::new();
+    let clients = cfg.clients.max(1);
+    let mut states: Vec<ClientState<KvInput, KvOutput>> = Vec::new();
+    for k in 0..clients {
+        let input = sample(&mut rng);
+        t.push(Action::switch(
+            ClientId::new(k + 1),
+            m,
+            input,
+            prefix.clone(),
+        ));
+        states.push(ClientState::Pending(input));
+    }
+    // The committed in-phase apply order; appended to `prefix` it is the
+    // abort switches' init value for the next phase. Responses fire in
+    // apply order (a FIFO over linearization points): the exact relation
+    // forces the abort value to *be* the chain's longest commit history,
+    // and Commit-Order ties chains to response order — letting responses
+    // overtake linearization points would demand a history no chain in
+    // response order can produce. Concurrency survives in the
+    // invoke-to-apply and apply-to-respond windows.
+    let mut apply_order: Vec<KvInput> = Vec::new();
+    let mut ready: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for _ in 0..cfg.steps {
+        let k = rng.gen_range(0..states.len());
+        let c = ClientId::new(k as u32 + 1);
+        match states[k].clone() {
+            ClientState::Idle => {
+                let input = sample(&mut rng);
+                t.push(Action::invoke(c, m, input));
+                states[k] = ClientState::Pending(input);
+            }
+            ClientState::Pending(input) => {
+                let (next, out) = adt.apply(&state, &input);
+                let out = if cfg.error_prob > 0.0 && rng.gen_bool(cfg.error_prob) {
+                    adt.apply(&adt.initial(), &input).1
+                } else {
+                    state = next;
+                    apply_order.push(input);
+                    out
+                };
+                states[k] = ClientState::Applied(input, out);
+                ready.push_back(k);
+            }
+            ClientState::Applied(input, out) => {
+                if ready.front() == Some(&k) {
+                    ready.pop_front();
+                    t.push(Action::respond(c, m, input, out));
+                    states[k] = ClientState::Idle;
+                }
+            }
+        }
+    }
+    // Quiesce the phase: the abort switches must extend a fully committed
+    // history, so every pending operation linearizes and responds first.
+    for (k, st) in states.iter_mut().enumerate() {
+        if let ClientState::Pending(input) = st.clone() {
+            let (next, out) = adt.apply(&state, &input);
+            state = next;
+            apply_order.push(input);
+            *st = ClientState::Applied(input, out);
+            ready.push_back(k);
+        }
+    }
+    while let Some(k) = ready.pop_front() {
+        if let ClientState::Applied(input, out) = states[k].clone() {
+            t.push(Action::respond(ClientId::new(k as u32 + 1), m, input, out));
+            states[k] = ClientState::Idle;
+        }
+    }
+    // Aborting clients leave for the next phase carrying the full history.
+    let mut abort_value = prefix;
+    abort_value.extend(apply_order);
+    for k in 0..cfg.aborts.min(clients) as usize {
+        let c = ClientId::new(k as u32 + 1);
+        let input = sample(&mut rng);
+        t.push(Action::invoke(c, m, input));
+        t.push(Action::switch(c, n, input, abort_value.clone()));
+    }
+    t
 }
 
 /// Configuration of the **hostile never-quiescent** stream generator.
@@ -755,6 +924,81 @@ mod tests {
         let a = random_linearizable_trace(&Consensus, cfg, cons_input);
         let b = random_linearizable_trace(&Consensus, cfg, cons_input);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phase_traces_are_well_formed_and_speculatively_linearizable() {
+        use crate::initrel::ExactInit;
+        use crate::slin::SlinChecker;
+        let (m, n) = phase_trace_bounds();
+        for seed in 0..8 {
+            let cfg = PhaseConfig {
+                seed,
+                ..Default::default()
+            };
+            let t = random_phase_kv_trace(&cfg);
+            assert!(wf::is_phase_well_formed(&t, m, n), "seed {seed}");
+            assert!(t.iter().any(|a| a.is_switch()), "seed {seed}: no switches");
+            let chk = SlinChecker::owned(KvStore, ExactInit::new(), m, n);
+            assert!(chk.check(&t).is_ok(), "seed {seed}: {:?}", chk.check(&t));
+        }
+    }
+
+    #[test]
+    fn phase_traces_spread_over_keys_and_classify() {
+        use slin_adt::{KvKeyPartitioner, Partitioner};
+        let cfg = PhaseConfig {
+            keys: 5,
+            steps: 30,
+            seed: 2,
+            ..Default::default()
+        };
+        let t = random_phase_kv_trace(&cfg);
+        let distinct: std::collections::BTreeSet<u32> = t
+            .iter()
+            .filter_map(|a| KvKeyPartitioner.key_of(a.input()))
+            .collect();
+        assert!(distinct.len() > 1, "all ops on one key");
+        assert_eq!(
+            t.iter()
+                .filter(|a| KvKeyPartitioner.key_of(a.input()).is_none())
+                .count(),
+            0,
+            "every input classifies"
+        );
+    }
+
+    #[test]
+    fn phase_generation_is_deterministic_in_the_seed() {
+        let cfg = PhaseConfig {
+            keys: 5,
+            aborts: 2,
+            seed: 11,
+            ..Default::default()
+        };
+        assert_eq!(random_phase_kv_trace(&cfg), random_phase_kv_trace(&cfg));
+    }
+
+    #[test]
+    fn phase_perturbation_yields_violations() {
+        use crate::initrel::ExactInit;
+        use crate::slin::SlinChecker;
+        let (m, n) = phase_trace_bounds();
+        let chk = SlinChecker::owned(KvStore, ExactInit::new(), m, n);
+        let mut violations = 0;
+        for seed in 0..12 {
+            let cfg = PhaseConfig {
+                error_prob: 0.5,
+                seed,
+                ..Default::default()
+            };
+            let t = random_phase_kv_trace(&cfg);
+            assert!(wf::is_phase_well_formed(&t, m, n), "seed {seed}");
+            if chk.check(&t).is_err() {
+                violations += 1;
+            }
+        }
+        assert!(violations > 0, "expected at least one violation");
     }
 
     #[test]

@@ -104,6 +104,19 @@ pub trait InitRelation<I> {
         out.dedup();
         out
     }
+
+    /// Projects a switch value onto one independence class: the value whose
+    /// interpretations vouch for exactly the `keep`-classified inputs of the
+    /// original's. `None` (the default) declares the relation un-keyed, which
+    /// disables the keyed phase-trace fast path — only relations whose
+    /// candidate sets factor per class (the switch-independence certificate's
+    /// obligation (a)) should override this. [`ExactInit`] is the repo's
+    /// keyed init relation: values are histories, so projection is history
+    /// filtering.
+    fn project_keyed(&self, value: &Self::Value, keep: &dyn Fn(&I) -> bool) -> Option<Self::Value> {
+        let _ = (value, keep);
+        None
+    }
 }
 
 /// The exact relation of the Section 6 formalization: switch values *are*
@@ -138,6 +151,10 @@ impl<I: Clone + Eq + Hash + Debug> InitRelation<I> for ExactInit {
 
     fn candidates(&self, value: &Self::Value, _ctx: &CandidateContext<I>) -> Vec<Vec<I>> {
         vec![value.clone()]
+    }
+
+    fn project_keyed(&self, value: &Self::Value, keep: &dyn Fn(&I) -> bool) -> Option<Self::Value> {
+        Some(value.iter().filter(|i| keep(i)).cloned().collect())
     }
 }
 
@@ -264,6 +281,24 @@ mod tests {
         let ctx = CandidateContext::new(vec![1u8, 2, 3]);
         assert_eq!(r.extensions(&v, &[1u8, 2], &ctx), vec![v.clone()]);
         assert!(r.extensions(&v, &[2u8], &ctx).is_empty());
+    }
+
+    #[test]
+    fn exact_projection_filters_the_history() {
+        let r = ExactInit::new();
+        let v = vec![1u8, 2, 3, 2];
+        let even = r.project_keyed(&v, &|i| i % 2 == 0).unwrap();
+        assert_eq!(even, vec![2, 2]);
+        // Projection commutes with the candidate set (certificate
+        // obligation (a), the exact case).
+        let ctx = CandidateContext::default();
+        assert_eq!(r.candidates(&even, &ctx), vec![vec![2u8, 2]]);
+    }
+
+    #[test]
+    fn consensus_relation_is_not_keyed() {
+        let r = ConsensusInit::new();
+        assert!(r.project_keyed(&Value::new(1), &|_| true).is_none());
     }
 
     #[test]

@@ -155,6 +155,43 @@ pub trait ConsistencyModel<V>: Sized {
         interpretations_pre: usize,
         report: &PartitionReport,
     ) -> Self::Witness;
+
+    /// Short type name of the init relation the model interprets switch
+    /// values with, or `None` for criteria without switches. A
+    /// switch-independence certificate (`slin-cert/v2`) must name this
+    /// relation to unlock the keyed path.
+    fn init_relation_name(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// The **keyed** check of a trace that may contain switch actions:
+    /// classifies switches per independence class (candidate values and
+    /// pending inputs both) and checks each class with its projected switch
+    /// seed, byte-identical to [`ConsistencyModel::check_monolithic`].
+    ///
+    /// Returns `None` when the model has no keyed path (plain
+    /// linearizability rejects switches outright) — the caller then uses
+    /// the identity fallback. Only sound when a verified switch certificate
+    /// covers `(adt, partitioner, init relation)`; the *session* enforces
+    /// that gate, this hook just does the work.
+    fn check_keyed<P>(
+        &self,
+        partitioner: &P,
+        t: &Trace<ObjAction<Self::Adt, V>>,
+    ) -> Option<SplitVerdict<Self::Witness, Self::Error>>
+    where
+        Self: Sync,
+        Self::Adt: Sync,
+        <Self::Adt as Adt>::Input: Ord + Send + Sync,
+        <Self::Adt as Adt>::Output: Sync,
+        Self::Witness: Send,
+        Self::Error: Send,
+        V: Clone + Sync,
+        P: slin_adt::Partitioner<Self::Adt>,
+    {
+        let _ = (partitioner, t);
+        None
+    }
 }
 
 /// The outcome of [`check_split`]: the model verdict plus the partition

@@ -55,6 +55,36 @@ use slin_adt::{Adt, Partitioner};
 use slin_trace::{PersistentMultiset, Trace};
 use std::collections::{BTreeMap, VecDeque};
 
+/// Why a trace went monolithic: the reason the identity fallback (or a
+/// keyed-path downgrade) engaged, surfaced through
+/// [`PartitionReport::fallback`] so operators can tell a policy gap
+/// (uncertified switches) from a data problem (unclassifiable inputs) from
+/// a genuinely coupled trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The trace contains switch actions and no valid switch-independence
+    /// certificate (`slin-cert/v2`) is installed for the partitioner and
+    /// init relation, so switches cannot be classified per class.
+    SwitchUncertified,
+    /// The partitioner declined to classify an input (or an element of a
+    /// switch candidate history).
+    UnclassifiableInput,
+    /// The per-class interpretation of the trace's switch values does not
+    /// decompose on this trace (cross-class coupling in the forced common
+    /// prefix), so the keyed path re-derived monolithically.
+    CrossBoundCoupled,
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FallbackReason::SwitchUncertified => "switch_uncertified",
+            FallbackReason::UnclassifiableInput => "unclassifiable_input",
+            FallbackReason::CrossBoundCoupled => "cross_bound_coupled",
+        })
+    }
+}
+
 /// One independent sub-history of a trace: the actions of a single
 /// independence class, in trace order.
 #[derive(Debug, Clone)]
@@ -74,9 +104,10 @@ pub struct SplitOutcome<T: Adt, V, K> {
     /// The partitions, ordered by ascending key (deterministic, so merged
     /// statistics are a pure function of the trace).
     pub parts: Vec<TracePartition<T, V, K>>,
-    /// Whether the identity fallback engaged: a switch action or an
-    /// unclassifiable input forced the whole trace into one partition.
-    pub fallback: bool,
+    /// Why the identity fallback engaged (a switch action without a switch
+    /// certificate, or an unclassifiable input, forced the whole trace into
+    /// one partition), or `None` for a clean split.
+    pub fallback: Option<FallbackReason>,
 }
 
 /// Aggregate outcome of a partitioned check, alongside the verdict.
@@ -84,8 +115,9 @@ pub struct SplitOutcome<T: Adt, V, K> {
 pub struct PartitionReport {
     /// Number of partitions checked (1 when the fallback engaged).
     pub partitions: usize,
-    /// Whether the identity fallback engaged (see [`SplitOutcome::fallback`]).
-    pub fallback: bool,
+    /// Why the trace went monolithic (see [`SplitOutcome::fallback`] and
+    /// [`FallbackReason`]), or `None` when the partitioned path ran.
+    pub fallback: Option<FallbackReason>,
     /// Whether witness reconstruction had to re-run one monolithic search
     /// because a cross-partition bound blocked a partition's next step (see
     /// the [module docs](self)); the re-run's counters are absorbed into
@@ -115,11 +147,11 @@ where
     let mut keys: Vec<P::Key> = Vec::with_capacity(t.len());
     for a in t.iter() {
         if a.is_switch() {
-            return identity_split(t);
+            return identity_split(t, FallbackReason::SwitchUncertified);
         }
         match p.key_of(a.input()) {
             Some(k) => keys.push(k),
-            None => return identity_split(t),
+            None => return identity_split(t, FallbackReason::UnclassifiableInput),
         }
     }
     // Per key: the actions of the class plus their original indices.
@@ -139,12 +171,56 @@ where
                 index_map,
             })
             .collect(),
-        fallback: false,
+        fallback: None,
+    }
+}
+
+/// Splits `t` like [`split_trace`], but classifies **switch actions** by
+/// the key of their pending input instead of bailing to identity — the
+/// split the keyed init relation unlocks once a switch-independence
+/// certificate (`slin-cert/v2`) vouches that candidate histories decompose
+/// per class.
+///
+/// The caller is responsible for verifying that every element of every
+/// switch's candidate value classifies (the value type is opaque here);
+/// the keyed checker falls back to the identity split with
+/// [`FallbackReason::UnclassifiableInput`] when it cannot.
+pub fn split_trace_keyed<T, V, P>(p: &P, t: &Trace<ObjAction<T, V>>) -> SplitOutcome<T, V, P::Key>
+where
+    T: Adt,
+    V: Clone,
+    P: Partitioner<T>,
+{
+    let mut keys: Vec<P::Key> = Vec::with_capacity(t.len());
+    for a in t.iter() {
+        match p.key_of(a.input()) {
+            Some(k) => keys.push(k),
+            None => return identity_split(t, FallbackReason::UnclassifiableInput),
+        }
+    }
+    type Group<A> = (Vec<A>, Vec<usize>);
+    let mut groups: BTreeMap<P::Key, Group<ObjAction<T, V>>> = BTreeMap::new();
+    for (i, (a, k)) in t.iter().zip(keys).enumerate() {
+        let entry = groups.entry(k).or_default();
+        entry.0.push(a.clone());
+        entry.1.push(i);
+    }
+    SplitOutcome {
+        parts: groups
+            .into_iter()
+            .map(|(k, (actions, index_map))| TracePartition {
+                key: Some(k),
+                trace: Trace::from_actions(actions),
+                index_map,
+            })
+            .collect(),
+        fallback: None,
     }
 }
 
 pub(crate) fn identity_split<T: Adt, V: Clone, K>(
     t: &Trace<ObjAction<T, V>>,
+    reason: FallbackReason,
 ) -> SplitOutcome<T, V, K> {
     SplitOutcome {
         parts: vec![TracePartition {
@@ -152,7 +228,7 @@ pub(crate) fn identity_split<T: Adt, V: Clone, K>(
             trace: t.clone(),
             index_map: (0..t.len()).collect(),
         }],
-        fallback: true,
+        fallback: Some(reason),
     }
 }
 
@@ -255,7 +331,7 @@ where
     }
     let report = PartitionReport {
         partitions: parts.len(),
-        fallback: false,
+        fallback: None,
         remerged: false,
         stats,
     };
@@ -498,7 +574,7 @@ mod tests {
     #[test]
     fn split_groups_by_key_in_key_order() {
         let s = split_trace(&KvKeyPartitioner, &two_key_trace());
-        assert!(!s.fallback);
+        assert!(s.fallback.is_none());
         assert_eq!(s.parts.len(), 2);
         assert_eq!(s.parts[0].key, Some(1));
         assert_eq!(s.parts[0].index_map, vec![0, 3]);
@@ -510,7 +586,7 @@ mod tests {
     #[test]
     fn identity_partitioner_forces_fallback() {
         let s: SplitOutcome<KvStore, (), u8> = split_trace(&IdentityPartitioner, &two_key_trace());
-        assert!(s.fallback);
+        assert_eq!(s.fallback, Some(FallbackReason::UnclassifiableInput));
         assert_eq!(s.parts.len(), 1);
         assert_eq!(s.parts[0].key, None);
         assert_eq!(s.parts[0].trace.len(), 4);
@@ -524,8 +600,29 @@ mod tests {
             Action::switch(c(1), PhaseId::new(2), KvInput::Put(1, 5), 0),
         ]);
         let s = split_trace(&KvKeyPartitioner, &t);
-        assert!(s.fallback);
+        assert_eq!(s.fallback, Some(FallbackReason::SwitchUncertified));
         assert_eq!(s.parts.len(), 1);
+    }
+
+    #[test]
+    fn keyed_split_classifies_switches_by_pending_input() {
+        let t: Trace<ObjAction<KvStore, u8>> = Trace::from_actions(vec![
+            Action::invoke(c(1), ph(), KvInput::Put(1, 5)),
+            Action::switch(c(2), PhaseId::new(2), KvInput::Put(2, 6), 0),
+            Action::respond(c(2), PhaseId::new(2), KvInput::Put(2, 6), KvOutput::Ack),
+            Action::respond(c(1), ph(), KvInput::Put(1, 5), KvOutput::Ack),
+        ]);
+        let s = split_trace_keyed(&KvKeyPartitioner, &t);
+        assert!(s.fallback.is_none());
+        assert_eq!(s.parts.len(), 2);
+        assert_eq!(s.parts[0].key, Some(1));
+        assert_eq!(s.parts[0].index_map, vec![0, 3]);
+        assert_eq!(s.parts[1].key, Some(2));
+        assert_eq!(s.parts[1].index_map, vec![1, 2]);
+        // An unclassifiable input still collapses the keyed split.
+        let s: SplitOutcome<KvStore, (), u8> =
+            split_trace_keyed(&IdentityPartitioner, &two_key_trace());
+        assert_eq!(s.fallback, Some(FallbackReason::UnclassifiableInput));
     }
 
     #[test]

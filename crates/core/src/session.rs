@@ -63,13 +63,14 @@
 
 use crate::engine::SearchStats;
 use crate::model::{self, ConsistencyModel};
+use crate::partition::FallbackReason;
 use crate::partition::{self, PartitionReport};
 use crate::stream::{
     GcPolicy, IngestOutcome, Monitor, MonitorConfig, MonitorReport, MonitorStatus, StreamModel,
 };
 use crate::ObjAction;
 use slin_adt::{Adt, IdentityPartitioner, Partitioner};
-use slin_analysis::{short_type_name, CertError, CertStore, Certificate};
+use slin_analysis::{short_type_name, CertError, CertStore, Certificate, SwitchCert};
 use slin_obs::{EngineSearchEvent, Obs};
 use slin_trace::Trace;
 use std::marker::PhantomData;
@@ -199,6 +200,7 @@ impl<M> Checker<M> {
             gc: None,
             obs: Obs::noop(),
             cert: None,
+            switch_cert: None,
             cert_store: None,
             cert_policy: CertPolicy::Trust,
         }
@@ -219,6 +221,11 @@ pub struct SessionBuilder<M, P> {
     /// (hash and partitioner name already verified; the ADT name is
     /// checked at build time, when `M::Adt` is nameable).
     cert: Option<Certificate>,
+    /// Explicit switch-independence certificate from
+    /// [`SessionBuilder::switch_certified`] (hash and partitioner name
+    /// already verified; ADT and init-relation names are checked at build
+    /// time).
+    switch_cert: Option<SwitchCert>,
     cert_store: Option<CertStore>,
     cert_policy: CertPolicy,
 }
@@ -293,6 +300,7 @@ impl<M, P> SessionBuilder<M, P> {
             // A fresh partitioner invalidates any explicit certificate;
             // the store (keyed by type names) remains authoritative.
             cert: None,
+            switch_cert: None,
             cert_store: self.cert_store,
             cert_policy: self.cert_policy,
         }
@@ -336,6 +344,31 @@ impl<M, P> SessionBuilder<M, P> {
         let mut next = self.partitioner(partitioner);
         next.cert = Some(cert.clone());
         Ok(next)
+    }
+
+    /// Supplies a **switch-independence certificate** (`slin-cert/v2`,
+    /// produced by `slin_analysis::certify_switch` or read back from
+    /// `analysis/certs/`) for the already-supplied partitioner: with it the
+    /// session keeps the partitioned (and per-key streaming) fast path
+    /// across **switch actions**, classifying each switch by its pending
+    /// input and its value's per-class interpretation instead of engaging
+    /// the identity fallback. The certificate's content hash and
+    /// partitioner name are verified here; its ADT and init-relation names
+    /// are verified at [`SessionBuilder::try_build`], where the model is
+    /// nameable. Call after [`SessionBuilder::partitioner`].
+    pub fn switch_certified(mut self, cert: &SwitchCert) -> Result<Self, CertError> {
+        if !cert.verify() {
+            return Err(CertError::BadHash);
+        }
+        let expected = short_type_name::<P>();
+        if cert.partitioner != expected {
+            return Err(CertError::PartitionerMismatch {
+                expected: expected.to_string(),
+                found: cert.partitioner.clone(),
+            });
+        }
+        self.switch_cert = Some(cert.clone());
+        Ok(self)
     }
 
     /// Installs a [`CertStore`]: at build time the `(ADT, partitioner)`
@@ -399,6 +432,36 @@ impl<M, P> SessionBuilder<M, P> {
                 .as_ref()
                 .is_some_and(|store| store.is_certified(adt_name, short_type_name::<P>()))
         };
+        // The keyed fast path engages only with a verified
+        // switch-independence certificate naming this exact
+        // `(ADT, partitioner, init relation)` triple.
+        let keyed = if let Some(cert) = &self.switch_cert {
+            if cert.adt != adt_name {
+                return Err(CertError::AdtMismatch {
+                    expected: adt_name.to_string(),
+                    found: cert.adt.clone(),
+                });
+            }
+            match self.model.init_relation_name() {
+                Some(rinit) if rinit == cert.rinit => self.partitioner.is_some(),
+                Some(rinit) => {
+                    return Err(CertError::RelationMismatch {
+                        expected: rinit.to_string(),
+                        found: cert.rinit.clone(),
+                    });
+                }
+                // Criteria without switches have no keyed path to unlock.
+                None => false,
+            }
+        } else {
+            self.partitioner.is_some()
+                && match (self.cert_store.as_ref(), self.model.init_relation_name()) {
+                    (Some(store), Some(rinit)) => {
+                        store.is_switch_certified(adt_name, short_type_name::<P>(), rinit)
+                    }
+                    _ => false,
+                }
+        };
         let mut cert_downgraded = false;
         if self.partitioner.is_some() && !certified {
             match self.cert_policy {
@@ -421,6 +484,9 @@ impl<M, P> SessionBuilder<M, P> {
         if let Some(threads) = self.threads {
             self.model.set_threads(threads);
         }
+        // WarnMonolithic may have dropped the partitioner above; a keyed
+        // certificate is useless without one.
+        let keyed = keyed && self.partitioner.is_some();
         let strategy = self.strategy;
         let window = self.window.or(match strategy {
             Strategy::Streaming { window } => window,
@@ -435,6 +501,7 @@ impl<M, P> SessionBuilder<M, P> {
                 window,
                 gc,
                 obs.clone(),
+                keyed,
             ))),
             _ => Mode::Batch {
                 model: self.model,
@@ -448,6 +515,7 @@ impl<M, P> SessionBuilder<M, P> {
             gc,
             obs,
             cert_downgraded,
+            keyed,
             last_polled: MonitorStatus::Ok,
         })
     }
@@ -458,6 +526,7 @@ impl<M, P> SessionBuilder<M, P> {
         window: Option<usize>,
         gc: Option<GcPolicy>,
         obs: Obs,
+        keyed: bool,
     ) -> Monitor<M, V, P>
     where
         M: StreamModel<V>,
@@ -469,6 +538,7 @@ impl<M, P> SessionBuilder<M, P> {
             budget: model.budget(),
             threads: model.threads(),
             window,
+            keyed,
             ..MonitorConfig::default()
         };
         if let Some(gc) = gc {
@@ -513,6 +583,10 @@ where
     /// [`CertPolicy::WarnMonolithic`] dropped an uncertified partitioner
     /// at build time; every verdict reports it.
     cert_downgraded: bool,
+    /// A verified switch-independence certificate covers this session's
+    /// `(ADT, partitioner, init relation)`: phase traces keep the
+    /// partitioned/streaming fast path across switch actions.
+    keyed: bool,
     last_polled: MonitorStatus,
 }
 
@@ -538,14 +612,17 @@ where
         match &mut self.mode {
             Mode::Batch { model, partitioner } => {
                 let t0 = self.obs.t0();
+                let has_switch = t.iter().any(|a| a.is_switch());
                 let partitioned = match self.strategy {
                     Strategy::Monolithic => false,
                     Strategy::Partitioned => true,
                     // Auto: partitioned exactly when a partitioner was
-                    // supplied and the trace has no switch actions (switch
-                    // values may couple independence classes through
-                    // `rinit`, and the split would only fall back).
-                    _ => partitioner.is_some() && !t.iter().any(|a| a.is_switch()),
+                    // supplied and either the trace has no switch actions
+                    // or a switch-independence certificate unlocked the
+                    // keyed path (uncertified switch values may couple
+                    // independence classes through `rinit`, and the split
+                    // would only fall back).
+                    _ => partitioner.is_some() && (!has_switch || self.keyed),
                 };
                 if !partitioned {
                     let (outcome, stats) = model.check_monolithic(t);
@@ -564,9 +641,29 @@ where
                         cert_downgraded: self.cert_downgraded,
                     };
                 }
+                // The keyed phase-trace path: certified switch
+                // classification instead of the identity fallback.
+                if has_switch && self.keyed {
+                    if let Some(sv) = partitioner.as_ref().and_then(|p| model.check_keyed(p, t)) {
+                        self.obs.engine_search(EngineSearchEvent {
+                            site: "session.check",
+                            nodes: sv.report.stats.nodes as u64,
+                            memo_hits: sv.report.stats.memo_hits as u64,
+                            budget_exhausted: false,
+                            t0,
+                        });
+                        return Verdict {
+                            outcome: sv.verdict,
+                            stats: sv.report.stats,
+                            partition: Some(sv.report),
+                            strategy: StrategyUsed::Partitioned,
+                            cert_downgraded: self.cert_downgraded,
+                        };
+                    }
+                }
                 let split = match partitioner {
                     Some(p) => partition::split_trace(p, t),
-                    None => partition::identity_split(t),
+                    None => partition::identity_split(t, FallbackReason::UnclassifiableInput),
                 };
                 let sv = model::check_split(model, &split, t);
                 self.obs.engine_search(EngineSearchEvent {
@@ -613,6 +710,17 @@ where
     pub fn status(&self) -> Option<MonitorStatus> {
         match &self.mode {
             Mode::Streaming(monitor) => Some(monitor.status()),
+            _ => None,
+        }
+    }
+
+    /// Why this session's streaming monitor left the per-key fast path
+    /// ([`FallbackReason`]), or `None` while it is still sharded — also
+    /// `None` on a session that has not started streaming. A field read,
+    /// cheap enough to poll per metrics tick.
+    pub fn fallback(&self) -> Option<FallbackReason> {
+        match &self.mode {
+            Mode::Streaming(monitor) => monitor.fallback(),
             _ => None,
         }
     }
@@ -676,6 +784,7 @@ where
                 self.window,
                 self.gc,
                 self.obs.clone(),
+                self.keyed,
             )));
         }
         match &mut self.mode {

@@ -38,7 +38,7 @@ use crate::engine::{Chain, CheckerEngine, EngineError, SearchBudget, SearchSeed,
 use crate::initrel::{CandidateContext, InitRelation};
 use crate::model::{self, ConsistencyModel};
 use crate::ops::{self, Commit, SwitchEvent};
-use crate::partition::{self, PartitionReport};
+use crate::partition::{self, FallbackReason, PartitionReport};
 use crate::stream::{MonitorStatus, StreamFailure, StreamModel};
 use crate::ObjAction;
 use slin_adt::{Adt, Partitioner};
@@ -282,7 +282,32 @@ where
         R: Sync,
         R::Value: Sync,
     {
-        let prep = self.prepare(t)?;
+        self.check_with_stats_impl(t).0
+    }
+
+    /// [`SlinChecker::check`], also reporting [`SearchStats`] on **both**
+    /// sides of the verdict (the `Session` facade's monolithic body). On
+    /// `Ok` the stats equal [`SlinReport::stats`]; on a refutation they
+    /// are the counters of the earliest failing interpretation's
+    /// (exhaustive) search — the cost of proving no chain exists,
+    /// deterministic and byte-identical between the sequential and
+    /// parallel paths. Structural rejections (ill-formed traces,
+    /// interpretation-space blowups) report zero stats: no search ran.
+    pub(crate) fn check_with_stats_impl(
+        &self,
+        t: &Trace<ObjAction<T, R::Value>>,
+    ) -> (Result<SlinReport<T::Input>, SlinError>, SearchStats)
+    where
+        T: Send + Sync,
+        T::Input: Send + Sync,
+        T::Output: Sync,
+        R: Sync,
+        R::Value: Sync,
+    {
+        let prep = match self.prepare(t) {
+            Ok(prep) => prep,
+            Err(e) => return (Err(e), SearchStats::default()),
+        };
         let threads = self.effective_threads().min(prep.combos);
         if threads <= 1 || prep.combos <= 1 {
             return self.run_sequential(&prep);
@@ -309,8 +334,19 @@ where
         &self,
         t: &Trace<ObjAction<T, R::Value>>,
     ) -> Result<SlinReport<T::Input>, SlinError> {
-        let prep = self.prepare(t)?;
-        self.run_sequential(&prep)
+        self.check_sequential_stats(t).0
+    }
+
+    /// [`SlinChecker::check_sequential_impl`] with the refutation-side
+    /// stats of `check_with_stats_impl`.
+    fn check_sequential_stats(
+        &self,
+        t: &Trace<ObjAction<T, R::Value>>,
+    ) -> (Result<SlinReport<T::Input>, SlinError>, SearchStats) {
+        match self.prepare(t) {
+            Ok(prep) => self.run_sequential(&prep),
+            Err(e) => (Err(e), SearchStats::default()),
+        }
     }
 
     /// Boolean form of [`SlinChecker::check`].
@@ -361,10 +397,9 @@ where
 
     /// Like [`SlinChecker::check_partitioned`], also reporting the
     /// [`PartitionReport`] (partition count, fallback engagement, merged
-    /// [`SearchStats`]). One asymmetry with the plain checker's report:
-    /// when the single-partition fallback path *fails*, the report's
-    /// counters are zero — [`SlinError`] carries no counters to recover
-    /// them from.
+    /// [`SearchStats`]). When the single-partition fallback path *fails*,
+    /// the report carries the refutation-side counters of the monolithic
+    /// check (the earliest failing interpretation's own search).
     #[deprecated(
         since = "0.1.0",
         note = "use the `Session` facade: the returned `Verdict` carries the \
@@ -488,29 +523,37 @@ where
     }
 
     /// The historical enumeration loop, one interpretation at a time.
+    ///
+    /// The second tuple element is the stats surface of
+    /// `check_with_stats_impl`: on `Ok` it equals the report's
+    /// absorbed counters; on a refutation it is the **failing
+    /// interpretation's own** search counters (not the absorbed prefix),
+    /// so the sequential and parallel paths report identically.
     fn run_sequential(
         &self,
         prep: &Prepared<T, R::Value>,
-    ) -> Result<SlinReport<T::Input>, SlinError> {
+    ) -> (Result<SlinReport<T::Input>, SlinError>, SearchStats) {
         let mut first_witness: Option<SlinWitness<T::Input>> = None;
         let mut stats = SearchStats::default();
         for idx in 0..prep.combos {
             let finit = self.finit_at(prep, idx);
-            match self.check_one_interpretation(prep, &finit)? {
-                (Some(w), s) => {
+            match self.check_one_interpretation(prep, &finit) {
+                Ok((Some(w), s)) => {
                     stats.absorb(&s);
                     if first_witness.is_none() {
                         first_witness = Some(w);
                     }
                 }
-                (None, _) => return Err(Self::fail_error(&finit)),
+                Ok((None, s)) => return (Err(Self::fail_error(&finit)), s),
+                Err(e) => return (Err(e), SearchStats::default()),
             }
         }
-        Ok(SlinReport {
+        let report = SlinReport {
             interpretations_checked: prep.combos,
             witness: first_witness.expect("combos >= 1: at least one interpretation checked"),
             stats,
-        })
+        };
+        (Ok(report), stats)
     }
 
     /// Fans the interpretation indices out over `threads` scoped workers
@@ -522,7 +565,7 @@ where
         &self,
         prep: &Prepared<T, R::Value>,
         threads: usize,
-    ) -> Result<SlinReport<T::Input>, SlinError>
+    ) -> (Result<SlinReport<T::Input>, SlinError>, SearchStats)
     where
         T: Send + Sync,
         T::Input: Send + Sync,
@@ -532,7 +575,7 @@ where
     {
         struct WorkerOutcome<I> {
             witness0: Option<SlinWitness<I>>,
-            abnormal: Option<(usize, SlinError)>,
+            abnormal: Option<(usize, SlinError, SearchStats)>,
             stats: SearchStats,
         }
 
@@ -562,14 +605,14 @@ where
                                         out.witness0 = Some(w);
                                     }
                                 }
-                                Ok((None, _)) => {
+                                Ok((None, s)) => {
                                     best_abnormal.fetch_min(idx, Ordering::Relaxed);
-                                    out.abnormal = Some((idx, Self::fail_error(&finit)));
+                                    out.abnormal = Some((idx, Self::fail_error(&finit), s));
                                     break;
                                 }
                                 Err(e) => {
                                     best_abnormal.fetch_min(idx, Ordering::Relaxed);
-                                    out.abnormal = Some((idx, e));
+                                    out.abnormal = Some((idx, e, SearchStats::default()));
                                     break;
                                 }
                             }
@@ -585,12 +628,15 @@ where
                 .collect()
         });
 
-        if let Some((_, error)) = worker_outcomes
+        if let Some((_, error, s)) = worker_outcomes
             .iter()
             .filter_map(|w| w.abnormal.clone())
-            .min_by_key(|(idx, _)| *idx)
+            .min_by_key(|(idx, _, _)| *idx)
         {
-            return Err(error);
+            // The earliest abnormal index is the verdict; its own search
+            // counters are the deterministic refutation cost (absorbing
+            // the racing workers' partial successes would not reproduce).
+            return (Err(error), s);
         }
         let mut stats = SearchStats::default();
         let mut witness = None;
@@ -600,19 +646,21 @@ where
                 witness = w.witness0;
             }
         }
-        Ok(SlinReport {
+        let report = SlinReport {
             interpretations_checked: prep.combos,
             witness: witness.expect("worker 0 checked interpretation 0"),
             stats,
-        })
+        };
+        (Ok(report), stats)
     }
 
-    /// Decides the existential part of Definition 19 for one fixed `finit`.
-    fn check_one_interpretation(
+    /// The *valid inputs* `vi(m, t, finit, i)` (Definition 26) per trace
+    /// index, shared by the monolithic and keyed paths.
+    fn valid_inputs(
         &self,
         prep: &Prepared<T, R::Value>,
         finit: &[(usize, &Vec<T::Input>)],
-    ) -> Result<InterpretationOutcome<T>, SlinError> {
+    ) -> Vec<PersistentMultiset<T::Input>> {
         // ivi (Definition 25): cumulative, per trace index, the inputs
         // vouched for by init actions strictly before i. The elements of the
         // interpretation histories are ∪-combined (they describe prefixes of
@@ -639,11 +687,19 @@ where
             ivi.push(hist_elems.sum(&pending_sum));
         }
         // vi (Definition 26): ivi(i) ⊎ elems(inputs(t, i)).
-        let vi: Vec<PersistentMultiset<T::Input>> = ivi
-            .iter()
+        ivi.iter()
             .zip(prep.input_ms.iter())
             .map(|(a, b)| a.sum(b))
-            .collect();
+            .collect()
+    }
+
+    /// Decides the existential part of Definition 19 for one fixed `finit`.
+    fn check_one_interpretation(
+        &self,
+        prep: &Prepared<T, R::Value>,
+        finit: &[(usize, &Vec<T::Input>)],
+    ) -> Result<InterpretationOutcome<T>, SlinError> {
+        let vi = self.valid_inputs(prep, finit);
 
         // The longest common prefix of the init histories seeds the chain.
         let lcp: Vec<T::Input> =
@@ -696,6 +752,404 @@ where
     }
 }
 
+/// Per global abort: `(trace index, its pending input when this class
+/// owns it, the class projection of its interpretation)`.
+type KeyedAborts<T> = Vec<(usize, Option<<T as Adt>::Input>, Vec<<T as Adt>::Input>)>;
+
+/// The keyed phase-trace machinery: one class's unit of work.
+struct KeyedClass<T: Adt> {
+    /// The class's commits, keeping their **original** trace indices (the
+    /// validity bounds below are indexed by them).
+    commits: Vec<Commit<T>>,
+    /// The class projection of the global valid-input bounds `vi`.
+    vi: Vec<PersistentMultiset<T::Input>>,
+    /// The class projection of the init LCP — the class search's seed.
+    lcp: Vec<T::Input>,
+    /// See [`KeyedAborts`].
+    aborts: KeyedAborts<T>,
+}
+
+impl<T, R> SlinChecker<T, R>
+where
+    T: Adt + Send + Sync,
+    T::Input: Ord + Send + Sync,
+    T::Output: Sync,
+    R: InitRelation<T::Input> + Sync,
+    R::Value: Clone + PartialEq + Sync,
+{
+    /// The keyed phase-trace check behind
+    /// [`ConsistencyModel::check_keyed`]: classifies commits, pending
+    /// inputs **and switch-value interpretations** per independence class,
+    /// runs one chain search per class seeded with the class projection of
+    /// the init LCP, and merges the per-class witnesses back into the
+    /// monolithic first witness.
+    ///
+    /// Sound when a switch-independence certificate (`slin-cert/v2`)
+    /// covers `(adt, partitioner, rinit)` — the session layer enforces
+    /// that gate. The residual per-trace conditions the certificate cannot
+    /// see downgrade to one monolithic check carrying the matching
+    /// [`FallbackReason`]:
+    ///
+    /// * a relation without [`InitRelation::project_keyed`], or with more
+    ///   than one candidate interpretation per switch —
+    ///   [`FallbackReason::SwitchUncertified`];
+    /// * an input (or interpretation element) the partitioner declines —
+    ///   [`FallbackReason::UnclassifiableInput`];
+    /// * a forced common prefix that does not decompose per class —
+    ///   [`FallbackReason::CrossBoundCoupled`].
+    ///
+    /// Verdicts and [`SlinWitness`]es are byte-identical to the monolithic
+    /// path: a failing class refutes the monolithic search (its leaf
+    /// conditions are projections of the global ones), and a merged chain
+    /// is re-checked against the global abort leaf, re-deriving
+    /// monolithically (`remerged`) when the replay cannot predict the
+    /// monolithic witness.
+    fn check_keyed_impl<P>(
+        &self,
+        partitioner: &P,
+        t: &Trace<ObjAction<T, R::Value>>,
+    ) -> model::SplitVerdict<SlinReport<T::Input>, SlinError>
+    where
+        P: Partitioner<T>,
+    {
+        // Switch-free traces partition without any of the keyed machinery.
+        if !t.iter().any(|a| a.is_switch()) {
+            return model::check_partitioned(self, partitioner, t);
+        }
+        // Full validation first: rejection errors and indices must be the
+        // monolithic ones.
+        let prep = match self.prepare(t) {
+            Ok(prep) => prep,
+            Err(e) => {
+                return model::SplitVerdict {
+                    verdict: Err(e),
+                    report: PartitionReport {
+                        partitions: 1,
+                        fallback: None,
+                        remerged: false,
+                        stats: SearchStats::default(),
+                    },
+                    interpretations_pre: 0,
+                }
+            }
+        };
+        let monolithic = |reason: FallbackReason| {
+            let (verdict, stats) = self.check_monolithic(t);
+            model::SplitVerdict {
+                verdict,
+                report: PartitionReport {
+                    partitions: 1,
+                    fallback: Some(reason),
+                    remerged: false,
+                    stats,
+                },
+                interpretations_pre: stats.interpretations,
+            }
+        };
+        // The keyed path instantiates exactly one interpretation: a
+        // relation with adversarial candidate sets has no per-class
+        // decomposition certificate to lean on.
+        if prep.combos != 1 {
+            return monolithic(FallbackReason::SwitchUncertified);
+        }
+        // Every abort value must interpret uniquely too, and every switch
+        // value must project per class (the keyed init relation).
+        let mut abort_hists: Vec<Vec<T::Input>> = Vec::with_capacity(prep.aborts.len());
+        for s in &prep.aborts {
+            let mut cands = self.rinit.candidates(&s.value, &prep.ctx);
+            if cands.len() != 1 {
+                return monolithic(FallbackReason::SwitchUncertified);
+            }
+            abort_hists.push(cands.pop().expect("length checked"));
+        }
+        if prep
+            .inits
+            .iter()
+            .chain(prep.aborts.iter())
+            .any(|s| self.rinit.project_keyed(&s.value, &|_| true).is_none())
+        {
+            return monolithic(FallbackReason::SwitchUncertified);
+        }
+        // Classify every pending input and every interpretation element;
+        // any unclassifiable one collapses the split.
+        let mut class_keys: std::collections::BTreeSet<P::Key> = std::collections::BTreeSet::new();
+        let all_classified = t
+            .iter()
+            .map(|a| a.input())
+            .chain(
+                prep.per_init
+                    .iter()
+                    .flat_map(|cands| cands.first().into_iter().flatten()),
+            )
+            .chain(abort_hists.iter().flatten())
+            .all(|i| match partitioner.key_of(i) {
+                Some(k) => {
+                    class_keys.insert(k);
+                    true
+                }
+                None => false,
+            });
+        if !all_classified {
+            return monolithic(FallbackReason::UnclassifiableInput);
+        }
+        let keys: Vec<P::Key> = class_keys.into_iter().collect();
+
+        // The single interpretation and its global bounds.
+        let finit = self.finit_at(&prep, 0);
+        let vi = self.valid_inputs(&prep, &finit);
+        let lcp: Vec<T::Input> =
+            seq::longest_common_prefix(finit.iter().map(|(_, h)| h.as_slice()));
+        let constrain_init_order = !finit.is_empty();
+
+        let key_of = |i: &T::Input| {
+            partitioner
+                .key_of(i)
+                .expect("every occurring input classified above")
+        };
+        let proj = |k: &P::Key, h: &[T::Input]| -> Vec<T::Input> {
+            h.iter().filter(|i| key_of(i) == *k).cloned().collect()
+        };
+        let proj_ms = |k: &P::Key, ms: &PersistentMultiset<T::Input>| {
+            let mut out: PersistentMultiset<T::Input> = PersistentMultiset::new();
+            for (i, n) in ms.iter() {
+                if key_of(i) == *k {
+                    out.add(i.clone(), n);
+                }
+            }
+            out
+        };
+
+        // Per-trace discharge of the decomposition the certificate vouches
+        // for in general: the forced common prefix must project per class
+        // (obligation (b) on this trace's values), and the relation's own
+        // projection must agree with history projection (obligation (a)).
+        for k in &keys {
+            let per_hist: Vec<Vec<T::Input>> = finit.iter().map(|(_, h)| proj(k, h)).collect();
+            let lcp_of_proj = seq::longest_common_prefix(per_hist.iter().map(|h| h.as_slice()));
+            if proj(k, &lcp) != lcp_of_proj {
+                return monolithic(FallbackReason::CrossBoundCoupled);
+            }
+            let switch_hists = prep
+                .inits
+                .iter()
+                .zip(prep.per_init.iter().map(|cands| cands.first()))
+                .filter_map(|(s, h)| h.map(|h| (&s.value, h)))
+                .chain(
+                    prep.aborts
+                        .iter()
+                        .zip(abort_hists.iter())
+                        .map(|(s, h)| (&s.value, h)),
+                );
+            for (value, hist) in switch_hists {
+                let keep = |i: &T::Input| key_of(i) == *k;
+                let Some(projected_value) = self.rinit.project_keyed(value, &keep) else {
+                    return monolithic(FallbackReason::SwitchUncertified);
+                };
+                if self.rinit.candidates(&projected_value, &prep.ctx) != vec![proj(k, hist)] {
+                    return monolithic(FallbackReason::CrossBoundCoupled);
+                }
+            }
+        }
+
+        let work: Vec<KeyedClass<T>> = keys
+            .iter()
+            .map(|k| KeyedClass {
+                commits: prep
+                    .commits
+                    .iter()
+                    .filter(|c| key_of(&c.input) == *k)
+                    .cloned()
+                    .collect(),
+                vi: vi.iter().map(|ms| proj_ms(k, ms)).collect(),
+                lcp: proj(k, &lcp),
+                aborts: prep
+                    .aborts
+                    .iter()
+                    .zip(abort_hists.iter())
+                    .map(|(s, h)| {
+                        let own = (key_of(&s.input) == *k).then(|| s.input.clone());
+                        (s.index, own, proj(k, h))
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        // One chain search per class, fanned out like the switch-free
+        // partitioned path. The per-class abort leaf asks each global
+        // abort's class projection to extend the class's longest commit
+        // history and LCP and to draw from the class's valid inputs — the
+        // projections of the global leaf conditions, so they hold whenever
+        // the monolithic leaf does.
+        let threads = self.effective_threads().min(work.len());
+        type ClassOutcome<I> = (Result<Option<Chain<I>>, EngineError>, SearchStats);
+        let results: Vec<ClassOutcome<T::Input>> = partition::fan_out(work.len(), threads, &|ci| {
+            let w = &work[ci];
+            let pool = w.vi.last().cloned().unwrap_or_default();
+            let engine = CheckerEngine::new(
+                &*self.adt,
+                &w.commits,
+                &w.vi,
+                pool,
+                SearchBudget::new(self.budget),
+            );
+            let mut leaf = |_chain: &Chain<T::Input>, longest: &[T::Input]| {
+                w.aborts
+                    .iter()
+                    .all(|(index, own, cand)| {
+                        seq::is_prefix(longest, cand)
+                            && (!constrain_init_order || seq::is_prefix(&w.lcp, cand))
+                            && {
+                                let mut ms = PersistentMultiset::elems(cand);
+                                if let Some(i) = own {
+                                    ms = ms.union_max(&PersistentMultiset::elems(
+                                        std::slice::from_ref(i),
+                                    ));
+                                }
+                                ms.is_subset_of(&w.vi[*index])
+                            }
+                    })
+                    .then_some(())
+            };
+            match engine.run(
+                SearchSeed::from_history(&*self.adt, w.lcp.clone()),
+                &mut leaf,
+            ) {
+                Ok(out) => (Ok(out.solution.map(|(chain, ())| chain)), out.stats),
+                Err(e) => (Err(e), SearchStats::default()),
+            }
+        });
+
+        let mut stats = SearchStats::default();
+        let mut chains: Vec<Chain<T::Input>> = Vec::with_capacity(results.len());
+        let mut refuted = false;
+        let mut exhausted = false;
+        for (outcome, s) in results {
+            stats.absorb(&s);
+            match outcome {
+                Ok(Some(chain)) => chains.push(chain),
+                Ok(None) => refuted = true,
+                Err(_) => exhausted = true,
+            }
+        }
+        if refuted {
+            // A class with no chain refutes the monolithic search too, and
+            // with one interpretation the failing `finit` is the global one
+            // — the error is byte-identical to the monolithic path's.
+            return model::SplitVerdict {
+                verdict: Err(Self::fail_error(&finit)),
+                report: PartitionReport {
+                    partitions: keys.len(),
+                    fallback: None,
+                    remerged: false,
+                    stats,
+                },
+                interpretations_pre: stats.interpretations,
+            };
+        }
+        let rederive = |mut stats: SearchStats| {
+            let interpretations_pre = stats.interpretations;
+            let (verdict, mono_stats) = self.check_monolithic(t);
+            stats.absorb(&mono_stats);
+            let report = PartitionReport {
+                partitions: keys.len(),
+                fallback: None,
+                remerged: true,
+                stats,
+            };
+            model::SplitVerdict {
+                verdict: verdict.map(|mono| SlinReport {
+                    interpretations_checked: interpretations_pre,
+                    witness: mono.witness,
+                    stats: report.stats,
+                }),
+                report,
+                interpretations_pre,
+            }
+        };
+        if exhausted {
+            // A class ran out of budget: the keyed verdict is unknown, so
+            // decide monolithically (absorbing the finished classes).
+            return rederive(stats);
+        }
+
+        // Merge the per-class chains back into the monolithic first
+        // witness: strip each class's seed prefix, replay engine order
+        // against the **global** bounds with the global LCP pre-consumed,
+        // then re-prepend the LCP.
+        let idmap: Vec<usize> = (0..prep.t_len).collect();
+        let parts: Vec<_> = chains
+            .iter()
+            .zip(work.iter())
+            .map(|(chain, w)| {
+                let stripped: Vec<(usize, Vec<T::Input>)> = chain
+                    .iter()
+                    .map(|(i, h)| (*i, h[w.lcp.len()..].to_vec()))
+                    .collect();
+                (
+                    partition::witness_steps(&stripped, &idmap),
+                    w.vi.last().cloned().unwrap_or_default(),
+                )
+            })
+            .collect();
+        let Some(merged) =
+            partition::merge_partition_chains(&vi, parts, PersistentMultiset::elems(&lcp))
+        else {
+            return rederive(stats);
+        };
+        let commit_histories: Vec<(usize, Vec<T::Input>)> = merged
+            .into_iter()
+            .map(|(i, h)| {
+                let mut full = lcp.clone();
+                full.extend(h);
+                (i, full)
+            })
+            .collect();
+        let longest: Vec<T::Input> = commit_histories
+            .last()
+            .map(|(_, h)| h.clone())
+            .unwrap_or_else(|| lcp.clone());
+        // Re-discharge the abort leaf globally on the merged chain; the
+        // off chance it fails (coupling the per-class leaves cannot see)
+        // re-derives monolithically, keeping the witness byte-identical.
+        let abort_events: Vec<(usize, T::Input, R::Value)> = prep
+            .aborts
+            .iter()
+            .map(|s| (s.index, s.input.clone(), s.value.clone()))
+            .collect();
+        let extend =
+            |value: &R::Value, prefix: &[T::Input]| self.rinit.extensions(value, prefix, &prep.ctx);
+        let Some(abort_histories) = aborts_feasible::<T, R::Value>(
+            &abort_events,
+            &longest,
+            &lcp,
+            constrain_init_order,
+            &vi,
+            &extend,
+        ) else {
+            return rederive(stats);
+        };
+        let report = PartitionReport {
+            partitions: keys.len(),
+            fallback: None,
+            remerged: false,
+            stats,
+        };
+        model::SplitVerdict {
+            verdict: Ok(SlinReport {
+                interpretations_checked: stats.interpretations,
+                witness: SlinWitness {
+                    init_histories: finit.iter().map(|(i, h)| (*i, (*h).clone())).collect(),
+                    commit_histories,
+                    abort_histories,
+                },
+                stats,
+            }),
+            report,
+            interpretations_pre: stats.interpretations,
+        }
+    }
+}
+
 impl<T, R> ConsistencyModel<R::Value> for SlinChecker<T, R>
 where
     T: Adt + Send + Sync,
@@ -744,42 +1198,23 @@ where
         &self,
         t: &Trace<ObjAction<T, R::Value>>,
     ) -> (Result<SlinReport<T::Input>, SlinError>, SearchStats) {
-        // [`SlinError`] carries no counters, so a failing check reports
-        // zero stats (the historical `check_partitioned_with_report`
-        // asymmetry).
-        match self.check(t) {
-            Ok(rep) => {
-                let stats = rep.stats;
-                (Ok(rep), stats)
-            }
-            Err(e) => (Err(e), SearchStats::default()),
-        }
+        // [`SlinError`] carries no counters, but the refutation cost is
+        // reported alongside: see `check_with_stats_impl`.
+        self.check_with_stats_impl(t)
     }
 
     fn check_partition(
         &self,
         sub: &Trace<ObjAction<T, R::Value>>,
     ) -> (Result<SlinReport<T::Input>, SlinError>, SearchStats) {
-        match self.check_sequential_impl(sub) {
-            Ok(rep) => {
-                let stats = rep.stats;
-                (Ok(rep), stats)
-            }
-            Err(e) => (Err(e), SearchStats::default()),
-        }
+        self.check_sequential_stats(sub)
     }
 
     fn check_remerge(
         &self,
         t: &Trace<ObjAction<T, R::Value>>,
     ) -> (Result<SlinReport<T::Input>, SlinError>, SearchStats) {
-        match self.check_sequential_impl(t) {
-            Ok(rep) => {
-                let stats = rep.stats;
-                (Ok(rep), stats)
-            }
-            Err(e) => (Err(e), SearchStats::default()),
-        }
+        self.check_sequential_stats(t)
     }
 
     fn commit_chain(w: &SlinReport<T::Input>) -> &[(usize, Vec<T::Input>)] {
@@ -818,6 +1253,28 @@ where
             witness: mono.witness,
             stats: report.stats,
         }
+    }
+
+    fn init_relation_name(&self) -> Option<&'static str> {
+        Some(slin_analysis::short_type_name::<R>())
+    }
+
+    fn check_keyed<P>(
+        &self,
+        partitioner: &P,
+        t: &Trace<ObjAction<T, R::Value>>,
+    ) -> Option<model::SplitVerdict<SlinReport<T::Input>, SlinError>>
+    where
+        Self: Sync,
+        T: Sync,
+        T::Input: Ord + Send + Sync,
+        T::Output: Sync,
+        SlinReport<T::Input>: Send,
+        SlinError: Send,
+        R::Value: Clone + Sync,
+        P: Partitioner<T>,
+    {
+        Some(self.check_keyed_impl(partitioner, t))
     }
 }
 

@@ -56,6 +56,7 @@ pub use monitor::{LinMonitor, Monitor, SlinMonitor};
 
 use crate::engine::{Chain, SearchStats};
 use crate::model::ConsistencyModel;
+use crate::partition::FallbackReason;
 use slin_adt::Adt;
 use slin_trace::wf::WellFormednessError;
 
@@ -172,6 +173,16 @@ pub struct MonitorConfig {
     /// Worker threads for the final report's partition fan-out and for
     /// [`Monitor::drive_parallel`] (0 = one per core).
     pub threads: usize,
+    /// Keyed phase-trace mode (default `false`): the stream's switch
+    /// actions are covered by a valid switch-independence certificate
+    /// (`slin-cert/v2`), so the monitor keeps routing events into the
+    /// per-key shards *across* switches — switch actions ride along to
+    /// their pending input's class shard — and deferred reports resolve
+    /// through the model's keyed batch check instead of engaging the
+    /// monolithic identity fallback. Set by
+    /// [`crate::session::SessionBuilder`] after certificate validation;
+    /// do not enable by hand for uncertified ADT/partitioner pairs.
+    pub keyed: bool,
 }
 
 impl Default for MonitorConfig {
@@ -186,6 +197,7 @@ impl Default for MonitorConfig {
             retire_budget: None,
             archive_windows: 0,
             threads: 0,
+            keyed: false,
         }
     }
 }
@@ -339,9 +351,10 @@ pub struct MonitorReport<W, E> {
     pub events: usize,
     /// Live shards.
     pub shards: usize,
-    /// Whether identity routing engaged (unclassifiable input, switch
-    /// action, or speculative mode) — mirrors `SplitOutcome::fallback`.
-    pub fallback: bool,
+    /// Why identity routing engaged (unclassifiable input, or a switch
+    /// action without a keyed certificate), or `None` when the stream ran
+    /// sharded end to end — mirrors `SplitOutcome::fallback`.
+    pub fallback: Option<FallbackReason>,
     /// Whether the final witness needed a monolithic re-derivation
     /// (cross-partition bound coupling) — mirrors
     /// `PartitionReport::remerged`.

@@ -20,7 +20,9 @@ use crate::engine::{Chain, EngineError, SearchSeed, SearchStats};
 use crate::initrel::InitRelation;
 use crate::lin::LinChecker;
 use crate::model::{self, ConsistencyModel};
-use crate::partition::{merge_partition_chains, witness_steps, SplitOutcome, Step, TracePartition};
+use crate::partition::{
+    merge_partition_chains, witness_steps, FallbackReason, SplitOutcome, Step, TracePartition,
+};
 use crate::slin::SlinChecker;
 use crate::ObjAction;
 use slin_adt::{Adt, Partitioner};
@@ -57,8 +59,9 @@ pub(crate) struct Core<T: Adt, V, K: Ord> {
     /// Whether any shard has retired a prefix (reports become
     /// window-relative).
     pub prefix_committed: bool,
-    /// Whether identity routing engaged (mirrors `SplitOutcome::fallback`).
-    pub fallback: bool,
+    /// Why identity routing engaged, if it did (mirrors
+    /// `SplitOutcome::fallback`).
+    pub fallback: Option<FallbackReason>,
 }
 
 impl<T, V, K> Core<T, V, K>
@@ -94,7 +97,7 @@ where
             invoked: PersistentMultiset::new(),
             commit_bounds: BTreeMap::new(),
             prefix_committed: false,
-            fallback: false,
+            fallback: None,
         }
     }
 
@@ -142,7 +145,7 @@ where
     /// Routes a (non-switch) action into its shard, creating the shard on
     /// first contact, and applies bounded-window GC afterwards.
     fn route(&mut self, key: Option<K>, action: ObjAction<T, V>, index: usize) -> (usize, bool) {
-        let key = if self.fallback { None } else { key };
+        let key = if self.fallback.is_some() { None } else { key };
         let window = self.window;
         let adt = Arc::clone(&self.adt);
         let shard_cfg = self.shard_cfg.clone();
@@ -166,8 +169,8 @@ where
     /// whole retained stream (from the buffer when present, otherwise from
     /// the shard windows seeded with their retired prefixes) and drops the
     /// per-key shards. Mirrors `split_trace`'s identity fallback.
-    fn collapse_to_identity(&mut self) {
-        self.fallback = true;
+    fn collapse_to_identity(&mut self, reason: FallbackReason) {
+        self.fallback = Some(reason);
         let mut identity = match &self.buffer {
             Some(buffer) => {
                 // Closed-trace mode: replay the whole stream so far into
@@ -675,6 +678,20 @@ where
         self
     }
 
+    /// Why this stream left the per-key fast path, or `None` while the
+    /// shard machinery is still live. Cheap (field reads — nothing is
+    /// computed), so it can be polled per metrics tick;
+    /// [`MonitorReport::fallback`] is the report-time view of the same
+    /// state. An uncertified stream counts as fallen back from its first
+    /// switch action on (the verdict defers to monolithic re-checks),
+    /// mirroring the report.
+    pub fn fallback(&self) -> Option<FallbackReason> {
+        self.core.fallback.or_else(|| {
+            (self.core.first_switch.is_some() && !self.config.keyed)
+                .then_some(FallbackReason::SwitchUncertified)
+        })
+    }
+
     fn key_of(&self, input: &<M::Adt as Adt>::Input) -> Option<P::Key> {
         self.partitioner.as_ref().and_then(|p| p.key_of(input))
     }
@@ -689,19 +706,34 @@ where
             .expect("status cache lock poisoned") = None;
         let was_quiet = self.core.first_switch.is_some();
         let index = self.core.observe(&action);
-        let (frontier_len, fell_back) = if was_quiet {
+        // Keyed phase-trace mode (a valid switch-independence certificate
+        // is installed): the shard machinery stays live across switches.
+        let keyed = self.config.keyed && self.core.fallback.is_none();
+        let (frontier_len, fell_back) = if action.is_switch() {
+            if !was_quiet && M::BUFFERS_ON_SWITCH {
+                self.core.buffer_window_with(action.clone());
+            }
+            if keyed {
+                // The switch rides along (inert) to the class shard of its
+                // pending input, keeping the per-key windows exhaustive.
+                let key = self.key_of(action.input());
+                if key.is_none() {
+                    self.core
+                        .collapse_to_identity(FallbackReason::UnclassifiableInput);
+                }
+                self.core.route(key, action, index)
+            } else {
+                (0, false)
+            }
+        } else if was_quiet && !keyed {
             // The stream's verdict is decided (lin) or deferred to lazy
             // batch re-checks over the buffer (slin): shards stay quiet.
             (0, false)
-        } else if action.is_switch() {
-            if M::BUFFERS_ON_SWITCH {
-                self.core.buffer_window_with(action);
-            }
-            (0, false)
         } else {
             let key = self.key_of(action.input());
-            if key.is_none() && !self.core.fallback {
-                self.core.collapse_to_identity();
+            if key.is_none() && self.core.fallback.is_none() {
+                self.core
+                    .collapse_to_identity(FallbackReason::UnclassifiableInput);
             }
             self.core.route(key, action, index)
         };
@@ -823,7 +855,11 @@ where
             verdict: Err(self.model.stream_error(StreamFailure::NotSatisfied)),
             events: core.events,
             shards: core.shards.len(),
-            fallback: core.fallback || quiet,
+            fallback: core.fallback.or(if quiet {
+                Some(FallbackReason::SwitchUncertified)
+            } else {
+                None
+            }),
             remerged: false,
             prefix_committed: core.prefix_committed,
             reconstructed: false,
@@ -831,6 +867,25 @@ where
             shard: core.summary(),
         };
         if let Some(buffer) = &core.buffer {
+            // Keyed phase-trace mode: a certified partitioner resolves the
+            // deferred verdict through the model's keyed batch check — the
+            // per-class searches stay sharded across switches instead of
+            // engaging the monolithic identity fallback.
+            if quiet && self.config.keyed && core.fallback.is_none() {
+                if let Some(sv) = self
+                    .partitioner
+                    .as_ref()
+                    .and_then(|p| self.model.check_keyed(p, buffer))
+                {
+                    return MonitorReport {
+                        verdict: sv.verdict,
+                        fallback: sv.report.fallback,
+                        remerged: sv.report.remerged,
+                        stats: sv.report.stats,
+                        ..base
+                    };
+                }
+            }
             // Closed-trace mode: delegate to the generic split checker —
             // the proven-identical partitioned path over the live shard
             // table (one identity partition once the stream went quiet).
@@ -841,7 +896,7 @@ where
                         trace: buffer.clone(),
                         index_map: (0..buffer.len()).collect(),
                     }],
-                    fallback: true,
+                    fallback: Some(core.fallback.unwrap_or(FallbackReason::SwitchUncertified)),
                 }
             } else {
                 core.split()
@@ -931,7 +986,7 @@ where
         let Some(partitioner) = &self.partitioner else {
             return self.drive(stream);
         };
-        if threads <= 1 || self.core.fallback || self.core.first_switch.is_some() {
+        if threads <= 1 || self.core.fallback.is_some() || self.core.first_switch.is_some() {
             return self.drive(stream);
         }
 

@@ -22,26 +22,37 @@
 //! downgrade.
 
 use crate::wire::{Decoder, Frame, KvAction, WireError};
-use slin_adt::{KvKeyPartitioner, KvStore};
-use slin_analysis::{certify, AnalyzeConfig, Certificate};
-use slin_core::lin::LinChecker;
+use slin_adt::{KvInput, KvKeyPartitioner, KvStore};
+use slin_analysis::{certify, certify_switch, AnalyzeConfig, Certificate, SwitchCert};
+use slin_core::initrel::ExactInit;
 use slin_core::model::ConsistencyModel;
+use slin_core::partition::FallbackReason;
 use slin_core::session::{CertPolicy, Checker, Session, Strategy, VerdictDelta};
+use slin_core::slin::SlinChecker;
 use slin_core::stream::{GcPolicy, MonitorStatus};
 use slin_obs::{Counter, Gauge, Histogram, LanePumpEvent, Obs, StackObserver};
+use slin_trace::PhaseId;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// The per-tenant session type: an owned streaming linearizability
-/// monitor over the KV alphabet, sharded by key.
-pub type TenantSession = Session<LinChecker<KvStore>, (), KvKeyPartitioner>;
+/// The per-tenant checker model: speculative linearizability over the KV
+/// alphabet for phase pair `(1, 2)` under the exact init relation.
+/// Switch-free tenant streams coincide with plain linearizability
+/// (Theorem 2); a tenant may close its stream with an abort switch frame,
+/// which the session interprets speculatively — sharded, when the keyed
+/// policy installs the switch-independence certificate.
+pub type TenantChecker = SlinChecker<KvStore, ExactInit>;
+
+/// The per-tenant session type: an owned streaming monitor over
+/// [`TenantChecker`], sharded by key.
+pub type TenantSession = Session<TenantChecker, Vec<KvInput>, KvKeyPartitioner>;
 
 /// The per-tenant witness type (what a successful check returns).
-pub type TenantWitness = <LinChecker<KvStore> as ConsistencyModel<()>>::Witness;
+pub type TenantWitness = <TenantChecker as ConsistencyModel<Vec<KvInput>>>::Witness;
 
 /// The per-tenant error type (why a check fails).
-pub type TenantError = <LinChecker<KvStore> as ConsistencyModel<()>>::Error;
+pub type TenantError = <TenantChecker as ConsistencyModel<Vec<KvInput>>>::Error;
 
 /// Per-tenant ingestion policy. The GC half is the checker's own
 /// [`GcPolicy`] — the daemon adds only the queue bound and the shed
@@ -67,6 +78,13 @@ pub struct TenantPolicy {
     /// run per process; guarantees the per-key sharding this daemon
     /// relies on is machine-proven sound, not just documented.
     pub require_cert: bool,
+    /// Install the process-wide **switch-independence certificate**
+    /// (`slin-cert/v2`, certified once per process) on the tenant's
+    /// session: switch frames are then classified per independence class
+    /// and the per-key shards stay incremental across them. Without it a
+    /// switch frame drops the tenant to monolithic re-checks, reported as
+    /// [`FallbackReason::SwitchUncertified`] in the fallback metrics.
+    pub keyed: bool,
 }
 
 impl Default for TenantPolicy {
@@ -77,6 +95,7 @@ impl Default for TenantPolicy {
             gc: GcPolicy::default(),
             shed_lossy: true,
             require_cert: false,
+            keyed: false,
         }
     }
 }
@@ -85,6 +104,7 @@ impl TenantPolicy {
     /// Parses a policy from a `key=value` comma list, e.g.
     /// `queue=64,window=16,lossy=true,epoch_force=false,frontier_cap=32`.
     /// Keys: `queue`, `window` (`none` allowed), `lossy`, `require_cert`,
+    /// `keyed`,
     /// `epoch_cuts`, `epoch_force`, `frontier_cap`, `extension_budget`,
     /// `retire_budget` (`none` allowed), `archive` (witness-archive depth
     /// in retired windows; `0` disables). Unset keys keep their defaults;
@@ -106,6 +126,7 @@ impl TenantPolicy {
                 }
                 "lossy" => policy.shed_lossy = value.parse().map_err(|e| bad(&e))?,
                 "require_cert" => policy.require_cert = value.parse().map_err(|e| bad(&e))?,
+                "keyed" => policy.keyed = value.parse().map_err(|e| bad(&e))?,
                 "epoch_cuts" => policy.gc.epoch_cuts = value.parse().map_err(|e| bad(&e))?,
                 "epoch_force" => policy.gc.epoch_force = value.parse().map_err(|e| bad(&e))?,
                 "frontier_cap" => policy.gc.frontier_cap = value.parse().map_err(|e| bad(&e))?,
@@ -170,15 +191,34 @@ fn shipped_cert() -> &'static Certificate {
     })
 }
 
+/// The process-wide switch-independence certificate (`slin-cert/v2`) for
+/// the daemon's `(KvStore, KvKeyPartitioner, ExactInit)` triple, certified
+/// once on the first keyed tenant.
+fn shipped_switch_cert() -> &'static SwitchCert {
+    static CERT: std::sync::OnceLock<SwitchCert> = std::sync::OnceLock::new();
+    CERT.get_or_init(|| {
+        certify_switch(&KvStore, &KvKeyPartitioner, &AnalyzeConfig::default())
+            .expect("ExactInit decomposes over KvKeyPartitioner's classes")
+    })
+}
+
 impl Tenant {
     fn new(policy: TenantPolicy, obs: Obs, events_metric: Counter) -> Self {
-        let base = Checker::builder(LinChecker::owned(KvStore));
-        let mut builder = if policy.require_cert {
+        let model = SlinChecker::owned(KvStore, ExactInit::new(), PhaseId::FIRST, PhaseId::new(2));
+        let base = Checker::builder(model);
+        let builder = if policy.require_cert {
             base.partitioner_certified(KvKeyPartitioner, shipped_cert())
                 .expect("shipped certificate names KvKeyPartitioner")
                 .cert_policy(CertPolicy::Require)
         } else {
             base.partitioner(KvKeyPartitioner)
+        };
+        let mut builder = if policy.keyed {
+            builder
+                .switch_certified(shipped_switch_cert())
+                .expect("shipped switch certificate covers the tenant triple")
+        } else {
+            builder
         }
         .strategy(Strategy::Streaming { window: None })
         .gc_policy(policy.gc)
@@ -249,6 +289,42 @@ impl VerdictCounts {
     }
 }
 
+/// Rolled-up fallback counters from one [`Daemon::poll_verdicts`] pass:
+/// how many tenants' streaming monitors are currently off the sharded
+/// fast path, by [`FallbackReason`]. A keyed tenant (with the switch
+/// certificate installed) contributes nothing here even after a switch
+/// frame; an unkeyed tenant that saw a switch shows up as
+/// `switch_uncertified`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FallbackCounts {
+    /// Tenants monolithic because a switch arrived with no
+    /// switch-independence certificate installed
+    /// ([`FallbackReason::SwitchUncertified`]).
+    pub switch_uncertified: usize,
+    /// Tenants monolithic because the partitioner could not classify an
+    /// input ([`FallbackReason::UnclassifiableInput`]).
+    pub unclassifiable_input: usize,
+    /// Tenants monolithic because cross-class coupling was detected
+    /// ([`FallbackReason::CrossBoundCoupled`]).
+    pub cross_bound_coupled: usize,
+}
+
+impl FallbackCounts {
+    fn add(&mut self, reason: Option<FallbackReason>) {
+        match reason {
+            Some(FallbackReason::SwitchUncertified) => self.switch_uncertified += 1,
+            Some(FallbackReason::UnclassifiableInput) => self.unclassifiable_input += 1,
+            Some(FallbackReason::CrossBoundCoupled) => self.cross_bound_coupled += 1,
+            None => {}
+        }
+    }
+
+    /// Total tenants off the sharded fast path, any reason.
+    pub fn total(&self) -> usize {
+        self.switch_uncertified + self.unclassifiable_input + self.cross_bound_coupled
+    }
+}
+
 /// The daemon's metrics surface (see [`Daemon::metrics`]); serialises to
 /// the repo's bench-JSON shape via [`DaemonMetrics::to_json`].
 #[derive(Debug, Clone, PartialEq)]
@@ -281,18 +357,23 @@ pub struct DaemonMetrics {
     pub sheds: u64,
     /// Verdict counters from the most recent [`Daemon::poll_verdicts`].
     pub verdicts: VerdictCounts,
+    /// Fallback counters from the most recent [`Daemon::poll_verdicts`]:
+    /// tenants whose streams are currently monolithic, by reason.
+    pub fallbacks: FallbackCounts,
 }
 
 impl DaemonMetrics {
     /// Renders the metrics in the legacy `slin-daemon/v1` bench-JSON shape
-    /// (2-space indent, stable key order). Kept byte-compatible for
-    /// existing scrapers; new consumers should read the richer
+    /// (2-space indent, stable key order; the trailing `fallbacks` block
+    /// is the one additive extension — existing keys are byte-stable).
+    /// New consumers should read the richer
     /// [`Daemon::obs_snapshot_json`] (`slin-obs/v1`), which subsumes every
     /// field here.
     pub fn to_json(&self) -> String {
         let v = &self.verdicts;
+        let f = &self.fallbacks;
         format!(
-            "{{\n  \"schema\": \"slin-daemon/v1\",\n  \"tenants\": {},\n  \"frames\": {},\n  \"bytes\": {},\n  \"events\": {},\n  \"elapsed_secs\": {:.6},\n  \"events_per_sec\": {:.1},\n  \"p50_ingest_us\": {},\n  \"p99_ingest_us\": {},\n  \"queue_depth_peak\": {},\n  \"shed_tenants\": {},\n  \"sheds\": {},\n  \"verdicts\": {{\n    \"ok\": {},\n    \"violation\": {},\n    \"ill_formed\": {},\n    \"switch_seen\": {},\n    \"unknown\": {},\n    \"deferred\": {},\n    \"changed\": {}\n  }}\n}}\n",
+            "{{\n  \"schema\": \"slin-daemon/v1\",\n  \"tenants\": {},\n  \"frames\": {},\n  \"bytes\": {},\n  \"events\": {},\n  \"elapsed_secs\": {:.6},\n  \"events_per_sec\": {:.1},\n  \"p50_ingest_us\": {},\n  \"p99_ingest_us\": {},\n  \"queue_depth_peak\": {},\n  \"shed_tenants\": {},\n  \"sheds\": {},\n  \"verdicts\": {{\n    \"ok\": {},\n    \"violation\": {},\n    \"ill_formed\": {},\n    \"switch_seen\": {},\n    \"unknown\": {},\n    \"deferred\": {},\n    \"changed\": {}\n  }},\n  \"fallbacks\": {{\n    \"switch_uncertified\": {},\n    \"unclassifiable_input\": {},\n    \"cross_bound_coupled\": {}\n  }}\n}}\n",
             self.tenants,
             self.frames,
             self.bytes,
@@ -311,6 +392,9 @@ impl DaemonMetrics {
             v.unknown,
             v.deferred,
             v.changed,
+            f.switch_uncertified,
+            f.unclassifiable_input,
+            f.cross_bound_coupled,
         )
     }
 }
@@ -325,6 +409,7 @@ struct DaemonStats {
     queue_depth_peak: Gauge,
     tenants: Gauge,
     verdicts: [(&'static str, Gauge); 7],
+    fallbacks: [(&'static str, Gauge); 3],
 }
 
 impl DaemonStats {
@@ -334,6 +419,12 @@ impl DaemonStats {
             (
                 status,
                 r.gauge("slin_daemon_verdicts", &[("status", status.to_string())]),
+            )
+        };
+        let fallback = |reason: &'static str| {
+            (
+                reason,
+                r.gauge("slin_daemon_fallback", &[("reason", reason.to_string())]),
             )
         };
         DaemonStats {
@@ -350,6 +441,11 @@ impl DaemonStats {
                 verdict("unknown"),
                 verdict("deferred"),
                 verdict("changed"),
+            ],
+            fallbacks: [
+                fallback("switch_uncertified"),
+                fallback("unclassifiable_input"),
+                fallback("cross_bound_coupled"),
             ],
         }
     }
@@ -375,6 +471,7 @@ pub struct Daemon {
     stats: DaemonStats,
     queue_depth_peak: usize,
     last_verdicts: VerdictCounts,
+    last_fallbacks: FallbackCounts,
     started: Instant,
 }
 
@@ -405,6 +502,7 @@ impl Daemon {
             stats,
             queue_depth_peak: 0,
             last_verdicts: VerdictCounts::default(),
+            last_fallbacks: FallbackCounts::default(),
             started: Instant::now(),
         }
     }
@@ -554,10 +652,13 @@ impl Daemon {
     /// also cached for [`Daemon::metrics`].
     pub fn poll_verdicts(&mut self) -> VerdictCounts {
         let mut counts = VerdictCounts::default();
+        let mut fallbacks = FallbackCounts::default();
         for tenant in self.lanes.iter_mut().flat_map(|l| l.values_mut()) {
             counts.add(&tenant.session.poll_verdict());
+            fallbacks.add(tenant.session.fallback());
         }
         self.last_verdicts = counts;
+        self.last_fallbacks = fallbacks;
         self.stats.tenants.set(self.tenants() as i64);
         for (status, gauge) in &self.stats.verdicts {
             let v = match *status {
@@ -571,7 +672,20 @@ impl Daemon {
             };
             gauge.set(v as i64);
         }
+        for (reason, gauge) in &self.stats.fallbacks {
+            let v = match *reason {
+                "switch_uncertified" => fallbacks.switch_uncertified,
+                "unclassifiable_input" => fallbacks.unclassifiable_input,
+                _ => fallbacks.cross_bound_coupled,
+            };
+            gauge.set(v as i64);
+        }
         counts
+    }
+
+    /// Fallback counters from the most recent [`Daemon::poll_verdicts`].
+    pub fn fallbacks(&self) -> FallbackCounts {
+        self.last_fallbacks
     }
 
     /// Live tenant count.
@@ -645,6 +759,7 @@ impl Daemon {
                 .map(|t| t.sheds)
                 .sum(),
             verdicts: self.last_verdicts,
+            fallbacks: self.last_fallbacks,
         }
     }
 }
@@ -740,7 +855,7 @@ mod tests {
     #[test]
     fn policy_spec_parses_into_gc_policy() {
         let p = TenantPolicy::parse(
-            "queue=64,window=16,lossy=false,epoch_force=true,frontier_cap=8,retire_budget=none",
+            "queue=64,window=16,lossy=false,epoch_force=true,frontier_cap=8,retire_budget=none,keyed=true",
         )
         .unwrap();
         assert_eq!(p.queue_capacity, 64);
@@ -749,8 +864,62 @@ mod tests {
         assert!(p.gc.epoch_force);
         assert_eq!(p.gc.frontier_cap, 8);
         assert_eq!(p.gc.retire_budget, None);
+        assert!(p.keyed);
+        assert!(!TenantPolicy::default().keyed);
         assert!(TenantPolicy::parse("windows=1").is_err());
         assert!(TenantPolicy::parse("queue").is_err());
         assert_eq!(TenantPolicy::parse("").unwrap(), TenantPolicy::default());
+    }
+
+    /// A stream closing with an abort switch: the same frames reach a
+    /// keyed tenant (switch certificate installed, stays sharded) and an
+    /// unkeyed one (drops to the monolithic route, reported as
+    /// `switch_uncertified` in the fallback metrics and the v1 JSON).
+    #[test]
+    fn keyed_policy_keeps_switch_streams_sharded_and_fallbacks_are_metered() {
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        daemon.set_policy(
+            1,
+            TenantPolicy {
+                keyed: true,
+                ..TenantPolicy::default()
+            },
+        );
+        let (c, p) = (ClientId::new(1), PhaseId::FIRST);
+        let mut frames = Vec::new();
+        for tenant in [0u64, 1] {
+            frames.extend(put_round(tenant, 7));
+            frames.push(Frame {
+                tenant,
+                action: Action::invoke(c, p, KvInput::Put(2, 9)),
+            });
+            // Abort out of phase 1 carrying the committed history — the
+            // exact init value the next phase would start from.
+            frames.push(Frame {
+                tenant,
+                action: Action::switch(
+                    c,
+                    PhaseId::new(2),
+                    KvInput::Put(2, 9),
+                    vec![KvInput::Put(1, 7)],
+                ),
+            });
+        }
+        daemon.ingest_bytes(&encode_frames(&frames)).unwrap();
+        daemon.pump();
+        daemon.poll_verdicts();
+        let unkeyed = daemon.tenant_session_mut(0).unwrap().fallback();
+        assert_eq!(unkeyed, Some(FallbackReason::SwitchUncertified));
+        let keyed = daemon.tenant_session_mut(1).unwrap().fallback();
+        assert_eq!(keyed, None, "certified switches must not break sharding");
+        let f = daemon.fallbacks();
+        assert_eq!(f.switch_uncertified, 1);
+        assert_eq!(f.total(), 1);
+        let m = daemon.metrics();
+        assert_eq!(m.fallbacks, f);
+        assert!(m.to_json().contains("\"switch_uncertified\": 1"));
+        assert!(daemon
+            .render_prometheus()
+            .contains("slin_daemon_fallback{reason=\"switch_uncertified\"} 1"));
     }
 }

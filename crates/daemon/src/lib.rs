@@ -32,6 +32,12 @@ pub mod daemon;
 pub mod loadgen;
 pub mod wire;
 
-pub use daemon::{Daemon, DaemonConfig, DaemonMetrics, TenantPolicy, VerdictCounts};
+pub use daemon::{
+    Daemon, DaemonConfig, DaemonMetrics, FallbackCounts, TenantChecker, TenantPolicy,
+    TenantSession, VerdictCounts,
+};
 pub use loadgen::{generate, transport, LoadConfig, Workload};
-pub use wire::{decode_frames, encode_frame, encode_frames, Decoder, Frame, KvAction, WireError};
+pub use wire::{
+    decode_frames, encode_frame, encode_frames, Decoder, Frame, KvAction, WireError,
+    MAX_SWITCH_VALUE,
+};

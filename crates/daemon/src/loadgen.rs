@@ -14,8 +14,10 @@
 use crate::wire::{encode_frame, Frame, KvAction};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use slin_adt::KvStore;
 use slin_core::gen::{random_hostile_kv_trace, HostileConfig};
-use slin_trace::Trace;
+use slin_core::ObjAction;
+use slin_trace::{Action, Trace};
 use std::collections::BTreeMap;
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::thread::JoinHandle;
@@ -71,6 +73,32 @@ pub struct Workload {
     pub frames: usize,
 }
 
+/// Retags the checker generator's unit-valued actions to the wire's
+/// `Vec<KvInput>` switch-value type. Hostile streams are switch-free, so
+/// only the phantom value parameter changes; a switch would retag to the
+/// empty candidate set.
+fn retag(a: ObjAction<KvStore, ()>) -> KvAction {
+    match a {
+        Action::Invoke {
+            client,
+            phase,
+            input,
+        } => Action::invoke(client, phase, input),
+        Action::Respond {
+            client,
+            phase,
+            input,
+            output,
+        } => Action::respond(client, phase, input, output),
+        Action::Switch {
+            client,
+            phase,
+            input,
+            ..
+        } => Action::switch(client, phase, input, Vec::new()),
+    }
+}
+
 /// The cumulative Zipf weights `sum_{j<=k} j^-exponent` for `k` in `1..=n`.
 fn zipf_cumulative(n: usize, exponent: f64) -> Vec<f64> {
     let mut acc = 0.0;
@@ -106,7 +134,11 @@ pub fn generate(cfg: &LoadConfig) -> Workload {
                     .wrapping_add(tenant),
                 ..HostileConfig::default()
             };
-            random_hostile_kv_trace(&hostile).iter().cloned().collect()
+            random_hostile_kv_trace(&hostile)
+                .iter()
+                .cloned()
+                .map(retag)
+                .collect()
         })
         .collect();
 

@@ -18,17 +18,27 @@
 //! | `phase`  | u32  | phase id (≥ 1)                                  |
 //! | input    | var  | `op: u8` (0 put, 1 get, 2 delete), `key: u32`, and for put `value: u64` |
 //! | output   | var  | respond only: `tag: u8` (0 ack, 1 not-found, 2 found), and for found `value: u64` |
+//! | value    | var  | switch only: `count: u8` (≤ [`MAX_SWITCH_VALUE`]) then `count` encoded inputs — the `rinit` candidate history the switch carries |
 //!
-//! Switch frames carry no value payload: the daemon streams plain-object
-//! traces whose switch annotation type is `()`.
+//! Switch frames carry the candidate init history as a bounded input
+//! list, so tenants can close a stream with an abort switch and the
+//! daemon's speculative sessions can interpret it (keyed, under a
+//! switch-independence certificate, or via the monolithic re-check).
 
 use slin_adt::{KvInput, KvOutput, KvStore};
 use slin_core::ObjAction;
 use slin_trace::{Action, ClientId, PhaseId};
 use std::fmt;
 
-/// One object action of the daemon's KV alphabet.
-pub type KvAction = ObjAction<KvStore, ()>;
+/// One object action of the daemon's KV alphabet. The switch annotation
+/// is the exact-init candidate history (what [`slin_core::initrel::ExactInit`]
+/// interprets).
+pub type KvAction = ObjAction<KvStore, Vec<KvInput>>;
+
+/// Most inputs a switch frame's candidate value may carry — bounds both
+/// the frame size and the speculative checker's interpretation work per
+/// switch.
+pub const MAX_SWITCH_VALUE: usize = 16;
 
 /// One decoded unit of ingress: a tenant id and its action.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,10 +50,11 @@ pub struct Frame {
 }
 
 /// The largest body any well-formed frame can have (`tenant + kind +
-/// client + phase + put-input + found-output`). Larger length prefixes are
+/// client + phase + put-input`, plus the larger of a found-output and a
+/// full-length switch value of put-inputs). Larger length prefixes are
 /// rejected before buffering, so a corrupt stream cannot make the decoder
 /// allocate unboundedly.
-pub const MAX_BODY_LEN: usize = 8 + 1 + 4 + 4 + 13 + 9;
+pub const MAX_BODY_LEN: usize = 8 + 1 + 4 + 4 + 13 + 1 + MAX_SWITCH_VALUE * 13;
 
 /// Why a byte stream failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +79,11 @@ pub enum WireError {
     },
     /// A client or phase id of 0 (both are 1-based on the wire).
     ZeroId,
+    /// A switch frame's value count exceeds [`MAX_SWITCH_VALUE`].
+    SwitchValueTooLong {
+        /// The advertised input count.
+        len: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -87,13 +103,42 @@ impl fmt::Display for WireError {
                 write!(f, "{extra} trailing bytes after the last frame field")
             }
             WireError::ZeroId => write!(f, "client and phase ids are 1-based; got 0"),
+            WireError::SwitchValueTooLong { len } => {
+                write!(
+                    f,
+                    "switch value of {len} inputs exceeds the {MAX_SWITCH_VALUE}-input cap"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
 
+fn encode_input(out: &mut Vec<u8>, input: &KvInput) {
+    match *input {
+        KvInput::Put(k, v) => {
+            out.push(0);
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        KvInput::Get(k) => {
+            out.push(1);
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+        KvInput::Delete(k) => {
+            out.push(2);
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+    }
+}
+
 /// Appends one encoded frame to `out`.
+///
+/// # Panics
+///
+/// If a switch frame's candidate value exceeds [`MAX_SWITCH_VALUE`]
+/// inputs — such an action is not representable on the wire.
 pub fn encode_frame(out: &mut Vec<u8>, frame: &Frame) {
     let len_at = out.len();
     out.extend_from_slice(&[0; 4]);
@@ -120,30 +165,28 @@ pub fn encode_frame(out: &mut Vec<u8>, frame: &Frame) {
     out.push(kind);
     out.extend_from_slice(&client.value().to_le_bytes());
     out.extend_from_slice(&phase.value().to_le_bytes());
-    match *input {
-        KvInput::Put(k, v) => {
-            out.push(0);
-            out.extend_from_slice(&k.to_le_bytes());
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        KvInput::Get(k) => {
-            out.push(1);
-            out.extend_from_slice(&k.to_le_bytes());
-        }
-        KvInput::Delete(k) => {
-            out.push(2);
-            out.extend_from_slice(&k.to_le_bytes());
-        }
-    }
-    if let Action::Respond { output, .. } = &frame.action {
-        match output {
+    encode_input(out, input);
+    match &frame.action {
+        Action::Respond { output, .. } => match output {
             KvOutput::Ack => out.push(0),
             KvOutput::Found(None) => out.push(1),
             KvOutput::Found(Some(v)) => {
                 out.push(2);
                 out.extend_from_slice(&v.to_le_bytes());
             }
+        },
+        Action::Switch { value, .. } => {
+            assert!(
+                value.len() <= MAX_SWITCH_VALUE,
+                "switch value of {} inputs exceeds the wire cap of {MAX_SWITCH_VALUE}",
+                value.len()
+            );
+            out.push(value.len() as u8);
+            for input in value {
+                encode_input(out, input);
+            }
         }
+        Action::Invoke { .. } => {}
     }
     let body_len = (out.len() - len_at - 4) as u32;
     out[len_at..len_at + 4].copy_from_slice(&body_len.to_le_bytes());
@@ -189,6 +232,15 @@ impl<'a> Body<'a> {
     }
 }
 
+fn decode_input(body: &mut Body<'_>) -> Result<KvInput, WireError> {
+    Ok(match body.u8()? {
+        0 => KvInput::Put(body.u32()?, body.u64()?),
+        1 => KvInput::Get(body.u32()?),
+        2 => KvInput::Delete(body.u32()?),
+        op => return Err(WireError::BadOpcode(op)),
+    })
+}
+
 /// Decodes one complete frame body (everything after the length prefix).
 fn decode_body(bytes: &[u8]) -> Result<Frame, WireError> {
     let mut body = Body { bytes, pos: 0 };
@@ -200,12 +252,7 @@ fn decode_body(bytes: &[u8]) -> Result<Frame, WireError> {
         return Err(WireError::ZeroId);
     }
     let (client, phase) = (ClientId::new(client), PhaseId::new(phase));
-    let input = match body.u8()? {
-        0 => KvInput::Put(body.u32()?, body.u64()?),
-        1 => KvInput::Get(body.u32()?),
-        2 => KvInput::Delete(body.u32()?),
-        op => return Err(WireError::BadOpcode(op)),
-    };
+    let input = decode_input(&mut body)?;
     let action = match kind {
         0 => Action::invoke(client, phase, input),
         1 => {
@@ -217,7 +264,17 @@ fn decode_body(bytes: &[u8]) -> Result<Frame, WireError> {
             };
             Action::respond(client, phase, input, output)
         }
-        2 => Action::switch(client, phase, input, ()),
+        2 => {
+            let count = body.u8()? as usize;
+            if count > MAX_SWITCH_VALUE {
+                return Err(WireError::SwitchValueTooLong { len: count });
+            }
+            let mut value = Vec::with_capacity(count);
+            for _ in 0..count {
+                value.push(decode_input(&mut body)?);
+            }
+            Action::switch(client, phase, input, value)
+        }
         k => return Err(WireError::BadKind(k)),
     };
     if body.pos != bytes.len() {
@@ -331,7 +388,16 @@ mod tests {
                 Action::respond(c, p, KvInput::Get(9), KvOutput::Found(Some(11))),
             ),
             frame(1, Action::respond(c, p, KvInput::Delete(1), KvOutput::Ack)),
-            frame(9, Action::switch(c, p, KvInput::Put(1, 2), ())),
+            frame(9, Action::switch(c, p, KvInput::Put(1, 2), vec![])),
+            frame(
+                9,
+                Action::switch(
+                    c,
+                    p,
+                    KvInput::Get(3),
+                    vec![KvInput::Put(1, 2), KvInput::Delete(1), KvInput::Get(1)],
+                ),
+            ),
         ]
     }
 
@@ -389,6 +455,28 @@ mod tests {
             decode_frames(&bytes),
             Err(WireError::TrailingBytes { extra: 1 })
         );
+    }
+
+    #[test]
+    fn oversized_switch_values_are_rejected_both_ways() {
+        let (c, p) = (ClientId::new(1), PhaseId::new(2));
+        // Decoder side: a forged count above the cap is a wire error.
+        let mut bytes = encode_frames(&[frame(
+            0,
+            Action::switch(c, p, KvInput::Get(1), vec![KvInput::Get(1)]),
+        )]);
+        let count_at = bytes.len() - 1 - 5; // count byte precedes one get-input
+        bytes[count_at] = MAX_SWITCH_VALUE as u8 + 1;
+        assert_eq!(
+            decode_frames(&bytes),
+            Err(WireError::SwitchValueTooLong {
+                len: MAX_SWITCH_VALUE + 1
+            })
+        );
+        // Encoder side: unrepresentable values panic rather than truncate.
+        let long = vec![KvInput::Get(1); MAX_SWITCH_VALUE + 1];
+        let oversized = frame(0, Action::switch(c, p, KvInput::Get(1), long));
+        assert!(std::panic::catch_unwind(|| encode_frames(&[oversized])).is_err());
     }
 
     #[test]

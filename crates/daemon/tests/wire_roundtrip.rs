@@ -7,33 +7,42 @@
 
 use proptest::prelude::*;
 use slin_adt::{KvInput, KvOutput};
-use slin_daemon::wire::{decode_frames, encode_frames, Decoder, Frame, KvAction, MAX_BODY_LEN};
+use slin_daemon::wire::{
+    decode_frames, encode_frames, Decoder, Frame, KvAction, MAX_BODY_LEN, MAX_SWITCH_VALUE,
+};
 use slin_trace::{Action, ClientId, PhaseId};
 
-/// A strategy for arbitrary well-formed frames: any tenant id, any
-/// action kind, any opcode, boundary-heavy ids and values.
-fn frame() -> impl Strategy<Value = Frame> {
-    let ids = (1..5u32, 1..5u32);
-    let tenant = any::<u64>();
-    let input = (0..3u8, any::<u32>(), any::<u64>()).prop_map(|(op, key, value)| match op {
+/// A strategy for arbitrary KV inputs, boundary-heavy keys and values.
+fn input() -> impl Strategy<Value = KvInput> {
+    (0..3u8, any::<u32>(), any::<u64>()).prop_map(|(op, key, value)| match op {
         0 => KvInput::Put(key, value),
         1 => KvInput::Get(key),
         _ => KvInput::Delete(key),
-    });
+    })
+}
+
+/// A strategy for arbitrary well-formed frames: any tenant id, any
+/// action kind, any opcode, switch values up to the wire cap.
+fn frame() -> impl Strategy<Value = Frame> {
+    let ids = (1..5u32, 1..5u32);
+    let tenant = any::<u64>();
     let output = (0..3u8, any::<u64>()).prop_map(|(tag, value)| match tag {
         0 => KvOutput::Ack,
         1 => KvOutput::Found(None),
         _ => KvOutput::Found(Some(value)),
     });
-    (tenant, ids, 0..3u8, input, output).prop_map(|(tenant, (c, p), kind, input, output)| {
-        let (client, phase) = (ClientId::new(c), PhaseId::new(p));
-        let action: KvAction = match kind {
-            0 => Action::invoke(client, phase, input),
-            1 => Action::respond(client, phase, input, output),
-            _ => Action::switch(client, phase, input, ()),
-        };
-        Frame { tenant, action }
-    })
+    let value = prop::collection::vec(input(), 0..=MAX_SWITCH_VALUE);
+    (tenant, ids, 0..3u8, input(), output, value).prop_map(
+        |(tenant, (c, p), kind, input, output, value)| {
+            let (client, phase) = (ClientId::new(c), PhaseId::new(p));
+            let action: KvAction = match kind {
+                0 => Action::invoke(client, phase, input),
+                1 => Action::respond(client, phase, input, output),
+                _ => Action::switch(client, phase, input, value),
+            };
+            Frame { tenant, action }
+        },
+    )
 }
 
 proptest! {

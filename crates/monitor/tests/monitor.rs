@@ -126,7 +126,7 @@ fn identity_partitioner_collapses_to_one_shard_and_stays_exact() {
     mon.drive(t.iter().cloned());
     assert_eq!(mon.shards(), 1);
     let report = mon.report();
-    assert!(report.fallback);
+    assert!(report.fallback.is_some());
     assert_eq!(report.verdict, LinChecker::owned(KvStore).check(&t));
 }
 

@@ -2,11 +2,20 @@
 //! transport, verdicts differential against per-tenant batch checking,
 //! and observable backpressure shedding under saturating load.
 
-use slin_adt::{KvKeyPartitioner, KvStore};
-use slin_core::lin::LinChecker;
+use slin_adt::{KvInput, KvKeyPartitioner, KvStore};
+use slin_core::initrel::ExactInit;
 use slin_core::session::Checker;
+use slin_core::slin::SlinChecker;
 use slin_core::stream::MonitorStatus;
 use slin_daemon::{generate, transport, Daemon, DaemonConfig, LoadConfig, TenantPolicy};
+use slin_trace::PhaseId;
+
+/// The daemon's own tenant model, rebuilt for the batch oracle: the
+/// speculative checker over the `(1, 2)` phase pair under the exact init
+/// relation (switch-free tenant streams coincide with linearizability).
+fn tenant_model() -> slin_daemon::TenantChecker {
+    SlinChecker::owned(KvStore, ExactInit::new(), PhaseId::FIRST, PhaseId::new(2))
+}
 
 /// 1000 tenants of hostile, Zipf-interleaved streams through the full
 /// pipeline — wire encode, bounded transport, decode, route, lane pump —
@@ -59,9 +68,9 @@ fn thousand_tenant_verdicts_match_per_tenant_batch_checking() {
     let mut mismatches = 0;
     for tenant in daemon.tenant_ids() {
         let reference = &workload.reference[&tenant];
-        let mut batch = Checker::builder(LinChecker::owned(KvStore))
+        let mut batch = Checker::builder(tenant_model())
             .partitioner(KvKeyPartitioner)
-            .build();
+            .build::<Vec<KvInput>>();
         let expected = batch.check(reference);
         let session = daemon.tenant_session_mut(tenant).unwrap();
         let report = session.report().expect("streamed tenants report");

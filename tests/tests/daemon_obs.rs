@@ -6,13 +6,20 @@
 
 #![allow(deprecated)] // the v1 shim under test is deprecated by design
 
-use slin_adt::{KvKeyPartitioner, KvStore};
-use slin_core::lin::LinChecker;
+use slin_adt::{KvInput, KvKeyPartitioner, KvStore};
+use slin_core::initrel::ExactInit;
 use slin_core::session::Checker;
+use slin_core::slin::SlinChecker;
 use slin_core::stream::GcPolicy;
 use slin_daemon::{generate, transport, Daemon, DaemonConfig, LoadConfig, TenantPolicy};
 use slin_obs::StackObserver;
+use slin_trace::PhaseId;
 use std::sync::Arc;
+
+/// The daemon's own tenant model, rebuilt for batch oracles.
+fn tenant_model() -> slin_daemon::TenantChecker {
+    SlinChecker::owned(KvStore, ExactInit::new(), PhaseId::FIRST, PhaseId::new(2))
+}
 
 fn run_workload(daemon: &mut Daemon, cfg: &LoadConfig) -> slin_daemon::Workload {
     let workload = generate(cfg);
@@ -72,6 +79,10 @@ fn v1_shim_is_byte_compatible() {
         "\"unknown\":",
         "\"deferred\":",
         "\"changed\":",
+        "\"fallbacks\":",
+        "\"switch_uncertified\":",
+        "\"unclassifiable_input\":",
+        "\"cross_bound_coupled\":",
     ];
     let mut at = 0;
     for key in keys {
@@ -168,6 +179,7 @@ fn instrumented_thousand_tenant_run_exports_and_round_trips_witnesses() {
         },
         shed_lossy: false,
         require_cert: false,
+        keyed: false,
     };
     let stack = Arc::new(StackObserver::with_tracing(1 << 14));
     let mut daemon = Daemon::with_observer(
@@ -216,9 +228,9 @@ fn instrumented_thousand_tenant_run_exports_and_round_trips_witnesses() {
             continue;
         }
         reconstructed += 1;
-        let mut batch = Checker::builder(LinChecker::owned(KvStore))
+        let mut batch = Checker::builder(tenant_model())
             .partitioner(KvKeyPartitioner)
-            .build();
+            .build::<Vec<KvInput>>();
         let expected = batch.check(&reference);
         assert_eq!(
             format!("{:?}", report.verdict),

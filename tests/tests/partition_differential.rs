@@ -22,6 +22,7 @@ use slin_adt::{
 use slin_core::gen::{random_multikey_kv_trace, random_multikey_set_trace, MultiKeyConfig};
 use slin_core::initrel::{ConsensusInit, ExactInit};
 use slin_core::lin::{witness_is_valid, LinChecker};
+use slin_core::partition::FallbackReason;
 use slin_core::slin::SlinChecker;
 use slin_core::ObjAction;
 use slin_trace::{Action, ClientId, PhaseId, Trace};
@@ -154,7 +155,11 @@ fn identity_partitioner_falls_back_to_the_monolithic_path() {
     let chk = LinChecker::new(&KvStore);
     let (mono, mono_stats) = chk.check_with_stats(&t);
     let (part, report) = chk.check_partitioned_with_report(&IdentityPartitioner, &t);
-    assert!(report.fallback, "identity fallback must engage");
+    assert_eq!(
+        report.fallback,
+        Some(FallbackReason::UnclassifiableInput),
+        "identity fallback must engage"
+    );
     assert_eq!(report.partitions, 1);
     assert!(!report.remerged);
     assert_eq!(part, mono);
@@ -184,7 +189,11 @@ fn switch_actions_engage_the_identity_fallback() {
     ]);
     let chk = SlinChecker::new(&KvStore, ExactInit::new(), ph1, PhaseId::new(2));
     let (part, report) = chk.check_partitioned_with_report(&KvKeyPartitioner, &t);
-    assert!(report.fallback, "switch action must force the fallback");
+    assert_eq!(
+        report.fallback,
+        Some(FallbackReason::SwitchUncertified),
+        "an uncertified switch action must force the fallback"
+    );
     assert_eq!(report.partitions, 1);
     assert_eq!(part, chk.check(&t));
 }
@@ -215,7 +224,7 @@ fn consensus_phase_traces_fall_back_and_agree() {
     let chk = SlinChecker::new(&Consensus, ConsensusInit::new(), ph1, PhaseId::new(2));
     for t in &traces {
         let (part, report) = chk.check_partitioned_with_report(&IdentityPartitioner, t);
-        assert!(report.fallback);
+        assert!(report.fallback.is_some());
         assert_eq!(part, chk.check(t), "{t:?}");
     }
 }

@@ -1,0 +1,223 @@
+//! Phase-trace differential corpora: the **keyed** speculative paths
+//! (certified batch partitioning and sharded streaming across switch
+//! actions) against the monolithic chain search.
+//!
+//! With a valid switch-independence certificate (`slin-cert/v2`) the keyed
+//! checker classifies switch actions per independence class instead of
+//! engaging the identity fallback; verdicts **and witnesses** must stay
+//! byte-identical to the monolithic path with zero fallbacks. The negative
+//! fixture pins the other side of the contract: a partitioner the analyzer
+//! rejects yields a ≤4-input counterexample whose replay *diverges*
+//! keyed-vs-monolithic — exactly the unsoundness the certificate refusal
+//! predicts.
+
+use slin_adt::{Counter, KvInput, KvKeyPartitioner, KvStore};
+use slin_analysis::fixtures::BogusCounterPartitioner;
+use slin_analysis::{certify_switch, AnalyzeConfig, SwitchFailure};
+use slin_core::gen::{phase_trace_bounds, random_phase_kv_trace, PhaseConfig};
+use slin_core::initrel::ExactInit;
+use slin_core::session::{Checker, StrategyUsed};
+use slin_core::slin::SlinChecker;
+use slin_core::stream::{MonitorConfig, SlinMonitor};
+use slin_core::ConsistencyModel;
+use slin_trace::PhaseId;
+
+fn phase_checker() -> SlinChecker<KvStore, ExactInit> {
+    let (m, n) = phase_trace_bounds();
+    SlinChecker::owned(KvStore, ExactInit::new(), m, n)
+}
+
+/// The certified-partitioned corpus: linearizable and perturbed phase
+/// traces over several seeds. Keyed batch verdicts and witnesses are
+/// byte-identical to the monolithic ones; on the well-formed corpus the
+/// keyed path never falls back to the monolithic search.
+#[test]
+fn keyed_batch_is_byte_identical_to_monolithic_on_phase_traces() {
+    let chk = phase_checker();
+    for error_prob in [0.0, 0.5] {
+        for seed in 0..8u64 {
+            let cfg = PhaseConfig {
+                error_prob,
+                seed,
+                ..Default::default()
+            };
+            let t = random_phase_kv_trace(&cfg);
+            assert!(t.iter().any(|a| a.is_switch()), "corpus must cross phases");
+            let mono = chk.check(&t);
+            let sv = chk
+                .check_keyed(&KvKeyPartitioner, &t)
+                .expect("the speculative checker has a keyed path");
+            // Witnesses and error variants byte-identical; the `stats` /
+            // `interpretations_checked` fields measure work, which the
+            // keyed path reshapes by design.
+            assert_eq!(
+                sv.verdict.as_ref().map(|r| &r.witness),
+                mono.as_ref().map(|r| &r.witness),
+                "seed {seed} error {error_prob}"
+            );
+            assert_eq!(
+                sv.verdict.as_ref().err(),
+                mono.as_ref().err(),
+                "seed {seed} error {error_prob}"
+            );
+            assert_eq!(
+                format!("{:?}", sv.verdict.as_ref().map(|r| &r.witness)),
+                format!("{:?}", mono.as_ref().map(|r| &r.witness)),
+                "witness bytes must match: seed {seed} error {error_prob}"
+            );
+            if error_prob == 0.0 {
+                assert_eq!(
+                    sv.report.fallback, None,
+                    "certified corpus must never fall back: seed {seed}"
+                );
+                assert!(mono.is_ok(), "corpus is slin by construction: seed {seed}");
+            }
+        }
+    }
+}
+
+/// Sharded streaming across switches: a keyed monitor keeps its per-class
+/// shards through phase changes and reports byte-identically to the batch
+/// check, with no fallback engaged.
+#[test]
+fn keyed_streaming_across_switches_matches_batch() {
+    let chk = phase_checker();
+    for error_prob in [0.0, 0.5] {
+        for seed in 0..6u64 {
+            let cfg = PhaseConfig {
+                error_prob,
+                seed,
+                ..Default::default()
+            };
+            let t = random_phase_kv_trace(&cfg);
+            let mut mon = SlinMonitor::from_checker(
+                chk.clone(),
+                KvKeyPartitioner,
+                MonitorConfig {
+                    keyed: true,
+                    ..Default::default()
+                },
+            );
+            for a in t.iter() {
+                mon.ingest(a.clone());
+            }
+            let report = mon.report();
+            let batch = chk.check(&t);
+            assert_eq!(
+                report.verdict.as_ref().map(|r| &r.witness),
+                batch.as_ref().map(|r| &r.witness),
+                "seed {seed} error {error_prob}"
+            );
+            assert_eq!(
+                report.verdict.as_ref().err(),
+                batch.as_ref().err(),
+                "seed {seed} error {error_prob}"
+            );
+            assert_eq!(
+                format!("{:?}", report.verdict.as_ref().map(|r| &r.witness)),
+                format!("{:?}", batch.as_ref().map(|r| &r.witness)),
+                "streamed witness bytes must match: seed {seed} error {error_prob}"
+            );
+            if error_prob == 0.0 {
+                assert_eq!(
+                    report.fallback, None,
+                    "keyed stream must stay sharded across switches: seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+/// Without the keyed flag the same stream collapses to the identity route
+/// on its first switch — the fallback reason the keyed mode removes.
+#[test]
+fn unkeyed_streaming_falls_back_on_the_first_switch() {
+    let chk = phase_checker();
+    let t = random_phase_kv_trace(&PhaseConfig::default());
+    let mut mon =
+        SlinMonitor::from_checker(chk.clone(), KvKeyPartitioner, MonitorConfig::default());
+    for a in t.iter() {
+        mon.ingest(a.clone());
+    }
+    let report = mon.report();
+    assert!(
+        report.fallback.is_some(),
+        "uncertified switches must fall back"
+    );
+    assert_eq!(report.verdict, chk.check(&t), "fallback is still exact");
+}
+
+/// The session facade end to end: installing the analyzer's switch
+/// certificate unlocks the partitioned strategy on phase traces, with the
+/// monolithic verdict reproduced byte for byte and zero fallbacks.
+#[test]
+fn session_with_switch_cert_partitions_phase_traces() {
+    let cert = certify_switch(&KvStore, &KvKeyPartitioner, &AnalyzeConfig::default())
+        .expect("the shipped kv partitioner is switch-independent");
+    let chk = phase_checker();
+    for seed in [0u64, 3, 5] {
+        let cfg = PhaseConfig {
+            seed,
+            ..Default::default()
+        };
+        let t = random_phase_kv_trace(&cfg);
+        let mut session = Checker::builder(phase_checker())
+            .partitioner(KvKeyPartitioner)
+            .switch_certified(&cert)
+            .expect("certificate covers (KvStore, KvKeyPartitioner, ExactInit)")
+            .build::<Vec<KvInput>>();
+        let verdict = session.check(&t);
+        assert_eq!(
+            verdict.strategy,
+            StrategyUsed::Partitioned,
+            "a certified session must keep the fast path across switches"
+        );
+        let mono = chk.check(&t);
+        assert_eq!(
+            verdict.outcome.as_ref().map(|r| &r.witness),
+            mono.as_ref().map(|r| &r.witness),
+            "seed {seed}"
+        );
+        assert_eq!(
+            verdict.outcome.as_ref().err(),
+            mono.as_ref().err(),
+            "seed {seed}"
+        );
+        let report = verdict.partition.expect("partitioned runs report");
+        assert_eq!(report.fallback, None, "seed {seed}");
+    }
+}
+
+/// The negative fixture: the analyzer rejects the bogus Counter
+/// partitioner with a ≤4-input counterexample, and replaying that
+/// counterexample as a phase trace exhibits the predicted divergence —
+/// the monolithic check accepts it, the keyed decomposition refutes it.
+#[test]
+fn bogus_init_partitioner_is_rejected_and_the_replay_diverges() {
+    let failure = certify_switch(
+        &Counter,
+        &BogusCounterPartitioner,
+        &AnalyzeConfig::default(),
+    )
+    .expect_err("reads depend on increments across the claimed classes");
+    let SwitchFailure::Unsound(cex) = failure else {
+        panic!("expected a counterexample, not a resource bailout");
+    };
+    assert!(cex.len() <= 4, "counterexample too long: {}", cex.len());
+    let t = cex.to_trace(&Counter);
+    assert!(t.iter().any(|a| a.is_switch()), "replay is a phase trace");
+    let chk = SlinChecker::owned(Counter, ExactInit::new(), PhaseId::new(2), PhaseId::new(3));
+    let mono = chk.check(&t);
+    assert!(
+        mono.is_ok(),
+        "the monolithic interpretation explains the replay: {mono:?}"
+    );
+    let sv = chk
+        .check_keyed(&BogusCounterPartitioner, &t)
+        .expect("the speculative checker has a keyed path");
+    assert!(
+        sv.verdict.is_err(),
+        "the keyed decomposition must refute what the monolithic path \
+         accepts — the divergence the certificate refusal predicts"
+    );
+}
